@@ -1,0 +1,95 @@
+package pcelisp
+
+// The benchmarks below regenerate every experiment of the evaluation
+// (one per table/figure in EXPERIMENTS.md) under the Go benchmark
+// harness, so `go test -bench=.` reproduces the paper-shaped results and
+// tracks the simulator's own performance. Each iteration runs the full
+// experiment at its test scale; ns/op therefore measures "cost to
+// regenerate the table".
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/experiments"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(int64(i)+1, true)
+		if len(tables) == 0 || len(tables[0].Rows()) == 0 {
+			b.Fatalf("%s produced no results", id)
+		}
+	}
+}
+
+// BenchmarkE1DropsDuringResolution regenerates the claim (i) loss table.
+func BenchmarkE1DropsDuringResolution(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2HandshakeLatency regenerates the setup-latency table.
+func BenchmarkE2HandshakeLatency(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3MappingWithinDNS regenerates the (TDNS+Tmap)/TDNS table.
+func BenchmarkE3MappingWithinDNS(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4TrafficEngineering regenerates the TE utilization table.
+func BenchmarkE4TrafficEngineering(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5ControlOverhead regenerates the overhead table.
+func BenchmarkE5ControlOverhead(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6TwoWayResolution regenerates the two-way completion table.
+func BenchmarkE6TwoWayResolution(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Scalability regenerates the scaling table.
+func BenchmarkE7Scalability(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Ablations regenerates the robustness tables.
+func BenchmarkE8Ablations(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkFlowSetupPCE measures one complete PCE flow setup (DNS +
+// push + handshake) on a fresh two-domain world — the end-to-end hot path.
+func BenchmarkFlowSetupPCE(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := experiments.BuildWorld(experiments.WorldConfig{
+			CP: experiments.CPPCE, Domains: 2, Seed: int64(i) + 1,
+			MissPolicy: lisp.MissDrop,
+		})
+		w.Settle()
+		ok := false
+		w.StartFlow(0, 0, 1, 0, func(r experiments.FlowResult) { ok = r.OK })
+		w.Sim.RunFor(10 * time.Second)
+		if !ok {
+			b.Fatal("flow failed")
+		}
+	}
+}
+
+// BenchmarkSimThroughput measures raw simulator packet throughput on a
+// preinstalled world: 1000 one-hop data packets per iteration.
+func BenchmarkSimThroughput(b *testing.B) {
+	w := experiments.BuildWorld(experiments.WorldConfig{
+		CP: experiments.CPPreinstalled, Domains: 2, Seed: 1,
+	})
+	w.Settle()
+	src := w.In.Domains[0].Hosts[0]
+	dst := w.In.Domains[1].Hosts[0]
+	w.TCP[1][0].Listen(9999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1000; j++ {
+			w.TCP[0][0].SendData(dst.Addr, 40000, 9999, 1, 512)
+		}
+		w.Sim.Run()
+	}
+	_ = src
+}

@@ -1,0 +1,62 @@
+// Command experiments regenerates the reproduction's evaluation: every
+// table of DESIGN.md's experiment index (E1-E8), printed in paper style.
+//
+// Usage:
+//
+//	experiments            # run everything at full scale
+//	experiments -run E2    # one experiment
+//	experiments -quick     # reduced scale (the test-suite settings)
+//	experiments -seed 7    # change the world seed
+//	experiments -markdown  # emit GitHub-flavoured tables (EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pcelisp/pcelisp/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Int64("seed", 1, "world seed")
+	quick := flag.Bool("quick", false, "reduced scale")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = all
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(strings.ToUpper(id)))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("== %s: %s ==\n   %s\n\n", e.ID, e.Title, e.Claim)
+		for _, tbl := range e.Run(*seed, *quick) {
+			if *markdown {
+				fmt.Println(tbl.Markdown())
+			} else {
+				fmt.Println(tbl.String())
+			}
+		}
+	}
+}

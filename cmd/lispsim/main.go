@@ -1,0 +1,89 @@
+// Command lispsim runs a single configurable scenario on the simulated
+// internet and reports flow and control-plane statistics — the quick way
+// to poke at the system without the full experiment harness.
+//
+// Usage:
+//
+//	lispsim -cp PCE-CP -domains 4 -flows 20 -policy queue -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/experiments"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+func main() {
+	cpName := flag.String("cp", "PCE-CP", "control plane: ideal|ALT|CONS|MS/MR|NERD|PCE-CP")
+	domains := flag.Int("domains", 4, "number of LISP domains")
+	flows := flag.Int("flows", 12, "number of flows to run")
+	seed := flag.Int64("seed", 1, "world seed")
+	policy := flag.String("policy", "drop", "ITR miss policy: drop|queue")
+	trace := flag.Bool("trace", false, "print per-packet trace events")
+	flag.Parse()
+
+	miss := lisp.MissDrop
+	if *policy == "queue" {
+		miss = lisp.MissQueue
+	}
+	w := experiments.BuildWorld(experiments.WorldConfig{
+		CP:         experiments.CP(*cpName),
+		Domains:    *domains,
+		Seed:       *seed,
+		MissPolicy: miss,
+	})
+	if *trace {
+		w.Sim.Trace = func(ev simnet.TraceEvent) {
+			if ev.Kind == simnet.TraceDrop {
+				fmt.Printf("%12v  %-8s %-12s %s\n", ev.At, ev.Kind, ev.Node, ev.Reason)
+			}
+		}
+	}
+	w.Settle()
+
+	setup := metrics.NewSummary("setup")
+	tdns := metrics.NewSummary("tdns")
+	ok := 0
+	for i := 0; i < *flows; i++ {
+		i := i
+		srcD := i % *domains
+		dstD := (i + 1 + i/(*domains)) % *domains
+		if dstD == srcD {
+			dstD = (dstD + 1) % *domains
+		}
+		w.Sim.Schedule(time.Duration(i)*2*time.Second, func() {
+			w.StartFlow(srcD, 0, dstD, 0, func(res experiments.FlowResult) {
+				if res.OK {
+					ok++
+					setup.AddDuration(res.Setup)
+					tdns.AddDuration(res.TDNS)
+				}
+			})
+		})
+	}
+	w.Sim.RunFor(time.Duration(*flows)*2*time.Second + 90*time.Second)
+
+	tbl := metrics.NewTable(
+		fmt.Sprintf("lispsim: %s, %d domains, %d flows (seed %d)", *cpName, *domains, *flows, *seed),
+		"metric", "value")
+	tbl.AddRow("flows completed", fmt.Sprintf("%d/%d", ok, *flows))
+	tbl.AddRow("mean TDNS", metrics.FormatMs(tdns.Mean()))
+	tbl.AddRow("mean setup", metrics.FormatMs(setup.Mean()))
+	tbl.AddRow("p95 setup", metrics.FormatMs(setup.P95()))
+	tbl.AddRow("ITR drops", w.ITRDrops())
+	tbl.AddRow("ITR state entries", w.ITRStateEntries())
+	msgs, bytes := w.ControlTotals()
+	tbl.AddRow("control messages", msgs)
+	tbl.AddRow("control KB", float64(bytes)/1024)
+	fmt.Println(tbl.String())
+
+	if ok == 0 {
+		os.Exit(1)
+	}
+}

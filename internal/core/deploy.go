@@ -1,0 +1,54 @@
+package core
+
+import (
+	"hash/fnv"
+
+	"github.com/pcelisp/pcelisp/internal/irc"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/topo"
+)
+
+// flowStringHash hashes (client, qname) for step-1 ingress selection,
+// before ED is known.
+func flowStringHash(client netaddr.Addr, qname string) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	client.PutBytes(b[:])
+	h.Write(b[:])
+	h.Write([]byte(qname))
+	return h.Sum64()
+}
+
+// Engine returns the PCE's IRC engine.
+func (p *PCE) Engine() *irc.Engine { return p.cfg.Engine }
+
+// DeployDomain wires a full PCE control plane into a built topology
+// domain: an IRC engine over the domain's providers, the PCE on the DNS
+// path, the resolver IPC hooks and every xTR. The engine's background
+// sampling is NOT started — call pce.Engine().Start() when the scenario
+// needs live utilization tracking (it keeps the event queue busy forever).
+func DeployDomain(d *topo.Domain, policy irc.Policy) *PCE {
+	providers := make([]*irc.Provider, len(d.Providers))
+	for i, prov := range d.Providers {
+		providers[i] = &irc.Provider{
+			Name:        prov.Name,
+			RLOC:        prov.RLOC,
+			Egress:      prov.EgressIface,
+			CapacityBps: prov.CapacityBps,
+			BaseLatency: prov.CoreDelay,
+		}
+	}
+	engine := irc.NewEngine(d.PCENode.Sim(), providers, policy)
+	pce := New(d.PCENode, Config{
+		Addr:      d.PCEAddr,
+		EIDPrefix: d.EIDPrefix,
+		DNSAddr:   d.Resolver.Addr(),
+		Engine:    engine,
+		Group:     d.Group,
+	})
+	pce.AttachResolver(d.Resolver)
+	for _, x := range d.XTRs {
+		pce.WireXTR(x)
+	}
+	return pce
+}

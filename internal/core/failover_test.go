@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/irc"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+	"github.com/pcelisp/pcelisp/internal/topo"
+)
+
+// topoSpecHosts is defaultSpec with more hosts in the source domain.
+func topoSpecHosts(n int) topo.Spec {
+	spec := defaultSpec()
+	spec.Domains[0].Hosts = n
+	return spec
+}
+
+func flowKeyFor(src, dst netaddr.Addr) lisp.FlowKey {
+	return lisp.FlowKey{Src: src, Dst: dst}
+}
+
+// TestProviderFailoverChangesAdvertisedMapping: when the destination
+// domain's preferred provider dies, the IRC failover recomputes the
+// locator set, and the next flow's mapping points at the survivor — the
+// "online IRC engine running in background" keeping the mapping fresh.
+func TestProviderFailoverChangesAdvertisedMapping(t *testing.T) {
+	w := newPCEWorld(t, defaultSpec())
+	sim := w.in.Sim
+	d0, d1 := w.in.Domain(0), w.in.Domain(1)
+
+	// First flow: note which RLOC the mapping used.
+	var firstRLOC netaddr.Addr
+	d0.Hosts[0].DNS.Lookup(d1.Hosts[0].Name, func(netaddr.Addr, simnet.Time, bool) {})
+	sim.RunFor(2 * time.Second)
+	if e, ok := w.pces[0].RemoteMappings().Lookup(d1.Hosts[0].Addr); ok {
+		if loc, found := e.SelectLocator(1); found {
+			firstRLOC = loc.Addr
+		}
+	}
+	if !firstRLOC.IsValid() {
+		t.Fatal("no mapping learned")
+	}
+	// Find and fail that provider at the destination.
+	failed := -1
+	for i, p := range d1.Providers {
+		if p.RLOC == firstRLOC {
+			failed = i
+		}
+	}
+	if failed < 0 {
+		t.Fatalf("mapping RLOC %v is not a d1 provider", firstRLOC)
+	}
+	w.pces[1].Engine().SetProviderUp(failed, false)
+
+	// A new flow from a different host (cold DNS name? same name is
+	// cached — the PCES database also has the stale mapping, so force a
+	// fresh fetch by expiring it).
+	w.pces[0].RemoteMappings().Delete(d1.EIDPrefix)
+	d0.Hosts[1].DNS.Lookup(d1.Hosts[1].Name, func(netaddr.Addr, simnet.Time, bool) {})
+	sim.RunFor(2 * time.Second)
+
+	e, ok := w.pces[0].RemoteMappings().Lookup(d1.Hosts[1].Addr)
+	if !ok {
+		t.Fatal("no refreshed mapping")
+	}
+	for _, l := range e.Locators {
+		if l.Addr == firstRLOC {
+			t.Fatalf("failed provider %v still advertised: %+v", firstRLOC, e.Locators)
+		}
+	}
+	// Data still flows via the survivor.
+	delivered := false
+	d1.Hosts[1].Node.ListenUDP(9700, func(*simnet.Delivery, *packet.UDP) { delivered = true })
+	d0.Hosts[1].Node.SendUDP(d0.Hosts[1].Addr, d1.Hosts[1].Addr, 1, 9700, packet.Payload("survivor"))
+	sim.RunFor(time.Second)
+	if !delivered {
+		t.Fatal("data did not flow after failover")
+	}
+}
+
+// TestAllProvidersDownPassthrough: with every destination provider down,
+// PCED has no mapping to advertise and must let the plain DNS reply
+// through (counted as passthrough) so at least name resolution survives.
+func TestAllProvidersDownPassthrough(t *testing.T) {
+	w := newPCEWorld(t, defaultSpec())
+	sim := w.in.Sim
+	for i := range w.in.Domain(1).Providers {
+		w.pces[1].Engine().SetProviderUp(i, false)
+	}
+	ok := false
+	w.in.Domain(0).Hosts[0].DNS.Lookup(w.in.HostName(1, 0), func(a netaddr.Addr, _ simnet.Time, success bool) {
+		ok = success
+	})
+	sim.RunFor(5 * time.Second)
+	if !ok {
+		t.Fatal("DNS must survive a mapping blackout")
+	}
+	if w.pces[1].Stats.PassthroughReplies != 1 {
+		t.Fatalf("passthroughs = %d", w.pces[1].Stats.PassthroughReplies)
+	}
+	if w.pces[1].Stats.EncapRepliesSent != 0 {
+		t.Fatal("no mapping should have been advertised")
+	}
+}
+
+// TestMappingTTLExpiryAtITR: pushed flow entries age out; a flow that
+// outlives its mapping TTL falls back cleanly (drop under MissDrop)
+// rather than using a stale tuple forever.
+func TestMappingTTLExpiryAtITR(t *testing.T) {
+	in := defaultSpec()
+	w := newPCEWorld(t, in)
+	sim := w.in.Sim
+	d0, d1 := w.in.Domain(0), w.in.Domain(1)
+	src, dst := d0.Hosts[0], d1.Hosts[0]
+
+	src.DNS.Lookup(dst.Name, func(netaddr.Addr, simnet.Time, bool) {})
+	sim.RunFor(2 * time.Second)
+	delivered := 0
+	dst.Node.ListenUDP(9800, func(*simnet.Delivery, *packet.UDP) { delivered++ })
+	src.Node.SendUDP(src.Addr, dst.Addr, 1, 9800, packet.Payload("fresh"))
+	sim.RunFor(time.Second)
+	if delivered != 1 {
+		t.Fatal("fresh mapping failed")
+	}
+	// Default MappingTTL is 300s; jump past it. The prefix entry and the
+	// flow tuple both expire.
+	sim.RunFor(400 * time.Second)
+	src.Node.SendUDP(src.Addr, dst.Addr, 1, 9800, packet.Payload("stale"))
+	sim.RunFor(time.Second)
+	if delivered != 1 {
+		t.Fatalf("delivered = %d; stale mapping must not deliver", delivered)
+	}
+	if d0.XTRs[0].Stats.CacheMissDrops != 1 {
+		t.Fatalf("drops = %d, want 1 after TTL expiry", d0.XTRs[0].Stats.CacheMissDrops)
+	}
+}
+
+// TestTwoFlowsDistinctIngress: with an equal-split policy, different
+// flows from the same domain get different engineered ingress RLOCs —
+// the per-flow granularity that prefix-based mappings cannot express.
+func TestTwoFlowsDistinctIngress(t *testing.T) {
+	w := newPCEWorld(t, topoSpecHosts(8), irc.EqualSplit{}, irc.MinLatency{})
+	sim := w.in.Sim
+	d0, d1 := w.in.Domain(0), w.in.Domain(1)
+	for i := range d0.Hosts {
+		i := i
+		d0.Hosts[i].DNS.Lookup(d1.Hosts[0].Name, func(netaddr.Addr, simnet.Time, bool) {})
+		_ = i
+	}
+	sim.RunFor(3 * time.Second)
+	seen := map[netaddr.Addr]int{}
+	for _, h := range d0.Hosts {
+		fe, ok := d0.XTRs[0].Flows.Lookup(flowKeyFor(h.Addr, d1.Hosts[0].Addr))
+		if !ok {
+			t.Fatalf("flow for %v missing", h.Addr)
+		}
+		seen[fe.SrcRLOC]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all %d flows share one ingress RLOC: %v", len(d0.Hosts), seen)
+	}
+}

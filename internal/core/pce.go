@@ -1,0 +1,661 @@
+// Package core implements the paper's contribution: a PCE-based control
+// plane for LISP. One PCE runs per domain, colocated with the domain's DNS
+// servers and sitting in their data path. It plays both of the paper's
+// roles at once:
+//
+//   - PCES (source role, steps 1 and 7): learns (ES, qname) from the local
+//     resolver by IPC when a host starts a lookup, precomputes the ingress
+//     RLOC for the flow's reverse direction with the IRC engine, intercepts
+//     the port-P encapsulated DNS reply coming back from the remote PCED,
+//     forwards the inner DNS answer to DNSS (7a), and pushes the mapping
+//     tuple (ES, ED, RLOCS, RLOCD) to all local ITRs (7b) — before DNSS has
+//     even answered the host, so the first data packet finds the mapping
+//     installed.
+//
+//   - PCED (destination role, step 6): watches authoritative DNS replies
+//     leaving the domain; when one carries an A record inside the local EID
+//     prefix, it replaces the reply with a UDP message to the querying DNSS
+//     on the special port P whose payload carries both the EID-to-RLOC
+//     mapping (precomputed by the background IRC engine) and the original
+//     DNS reply.
+//
+// The package also implements the paper's closing mechanism: on the first
+// data packet of a flow, the receiving ETR learns the reverse mapping
+// (ES -> RLOCS, from the outer header) and distributes it to its sibling
+// ETRs and the PCE database via multicast, completing two-way resolution
+// without a second lookup.
+//
+// Beyond the paper's text, two robustness paths are implemented and
+// measured by experiment E8: a MapFetch exchange for flows whose DNS
+// answer came from the resolver cache (so no reply ever crossed PCED), and
+// transparent fallback to a classic mapping system when no PCE answers.
+package core
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/dnssim"
+	"github.com/pcelisp/pcelisp/internal/irc"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// Config configures a domain's PCE.
+type Config struct {
+	// Addr is the PCE's own address.
+	Addr netaddr.Addr
+	// EIDPrefix is the domain's EID prefix.
+	EIDPrefix netaddr.Prefix
+	// DNSAddr is the colocated resolver's (DNSS) address; port-P traffic
+	// toward it is intercepted.
+	DNSAddr netaddr.Addr
+	// Engine is the domain's IRC engine.
+	Engine *irc.Engine
+	// Group is the domain's ETR-synchronization multicast group.
+	Group netaddr.Addr
+	// MappingTTL is the lifetime, in seconds, of pushed mappings
+	// (default 300).
+	MappingTTL uint32
+	// PendingTTL bounds how long a step-1 flow waits for its mapping
+	// before being abandoned to the fallback path (default 10s).
+	PendingTTL simnet.Time
+}
+
+// Stats counts PCE activity for the experiments.
+type Stats struct {
+	// IPCQueries counts step-1 notifications from the resolver.
+	IPCQueries uint64
+	// EncapRepliesSent counts step-6 encapsulated DNS replies (PCED).
+	EncapRepliesSent uint64
+	// EncapRepliesReceived counts step-7 interceptions (PCES).
+	EncapRepliesReceived uint64
+	// PassthroughReplies counts authoritative replies PCED let through
+	// unmodified because no mapping was available.
+	PassthroughReplies uint64
+	// MappingPushes counts step-7b pushes to the ITRs.
+	MappingPushes uint64
+	// FlowsPushed counts flow tuples across all pushes.
+	FlowsPushed uint64
+	// ReversePushes counts ETR reverse-mapping multicasts observed at the
+	// PCE (database updates).
+	ReversePushes uint64
+	// MapFetches and MapFetchReplies count the cache-hit fallback.
+	MapFetches      uint64
+	MapFetchReplies uint64
+	// PendingExpired counts step-1 flows abandoned without a mapping.
+	PendingExpired uint64
+	// CacheHitPushes counts flows served from the PCE's own remote-mapping
+	// database on DNS cache hits, with no remote exchange at all.
+	CacheHitPushes uint64
+	// TxControlMessages and TxControlBytes count PCECP traffic originated
+	// by this PCE (experiment E5).
+	TxControlMessages uint64
+	TxControlBytes    uint64
+}
+
+// EventKind classifies PCE events for the OnEvent hook.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvEncapReplySent is PCED replacing a DNS reply (step 6).
+	EvEncapReplySent EventKind = iota
+	// EvEncapReplyReceived is PCES intercepting port P (step 7).
+	EvEncapReplyReceived
+	// EvMappingPushed is the step-7b push to the ITRs.
+	EvMappingPushed
+	// EvFlowInstalled is an ITR installing a pushed flow tuple.
+	EvFlowInstalled
+	// EvReversePushed is an ETR multicasting a reverse mapping.
+	EvReversePushed
+	// EvReverseInstalled is a sibling installing the reverse mapping.
+	EvReverseInstalled
+	// EvMapFetchSent is the cache-hit fallback query.
+	EvMapFetchSent
+	// EvPassthrough is PCED letting a reply through unmapped.
+	EvPassthrough
+)
+
+// Event is one PCE control-plane milestone.
+type Event struct {
+	Kind EventKind
+	At   simnet.Time
+	Node string
+	// SrcEID/DstEID identify the flow when applicable.
+	SrcEID, DstEID netaddr.Addr
+}
+
+// pendingFlow is a step-1 record awaiting its mapping.
+type pendingFlow struct {
+	client  netaddr.Addr
+	ingress netaddr.Addr
+	born    simnet.Time
+}
+
+// PCE is one domain's Path Computation Element.
+type PCE struct {
+	node *simnet.Node
+	cfg  Config
+	xtrs []*lisp.XTR
+
+	pending map[string][]pendingFlow // qname -> waiting flows
+	// remote caches learned remote prefix mappings (the PCES database).
+	remote *lisp.MapCache
+	// peers maps remote EID prefixes to their PCED address.
+	peers *netaddr.Trie[netaddr.Addr]
+	// fetches tracks outstanding MapFetch nonces.
+	fetches map[uint64]fetchCtx
+	// pushed tracks live pushed flows for TE re-pushes.
+	pushed map[lisp.FlowKey]pushedFlow
+	// lastOuter tracks the last outer source seen per flow at local ETRs,
+	// so an upstream TE shift (new RLOCS) re-triggers the reverse push.
+	lastOuter map[lisp.FlowKey]netaddr.Addr
+
+	// OnEvent, when set, receives control-plane milestones (experiment
+	// instrumentation).
+	OnEvent func(Event)
+
+	// Stats counts PCE activity.
+	Stats Stats
+}
+
+type pushedFlow struct {
+	src     netaddr.Addr // SrcRLOC in use (the ingress choice)
+	dst     netaddr.Addr // DstRLOC in use
+	expires simnet.Time
+}
+
+// fetchCtx remembers what a MapFetch was for.
+type fetchCtx struct {
+	qname string
+	ed    netaddr.Addr
+}
+
+// New attaches a PCE to node. The node must already forward the domain's
+// DNS traffic (be "in the data path of the DNS servers").
+func New(node *simnet.Node, cfg Config) *PCE {
+	if cfg.MappingTTL == 0 {
+		cfg.MappingTTL = 300
+	}
+	if cfg.PendingTTL == 0 {
+		cfg.PendingTTL = 10 * time.Second
+	}
+	p := &PCE{
+		node:      node,
+		cfg:       cfg,
+		pending:   make(map[string][]pendingFlow),
+		remote:    lisp.NewMapCache(node.Sim(), 0),
+		peers:     netaddr.NewTrie[netaddr.Addr](),
+		fetches:   make(map[uint64]fetchCtx),
+		pushed:    make(map[lisp.FlowKey]pushedFlow),
+		lastOuter: make(map[lisp.FlowKey]netaddr.Addr),
+	}
+	node.AddSniffer(p.sniff)
+	node.ListenUDP(packet.PortPCECP, p.handleLocalPCECP)
+	if cfg.Group.IsValid() {
+		node.Join(cfg.Group)
+	}
+	return p
+}
+
+// Node returns the PCE's node.
+func (p *PCE) Node() *simnet.Node { return p.node }
+
+// Addr returns the PCE's address.
+func (p *PCE) Addr() netaddr.Addr { return p.cfg.Addr }
+
+// RemoteMappings returns the PCES database of learned remote mappings.
+func (p *PCE) RemoteMappings() *lisp.MapCache { return p.remote }
+
+// AttachResolver wires the paper's step-1 IPC: the resolver notifies the
+// PCE of every client query (and of every answer, for the cache-hit
+// fallback).
+func (p *PCE) AttachResolver(r *dnssim.Resolver) {
+	r.OnClientQuery = func(client netaddr.Addr, qname string) {
+		p.Stats.IPCQueries++
+		if !p.cfg.EIDPrefix.Contains(client) {
+			return // not an end-host flow (infrastructure lookup)
+		}
+		h := flowStringHash(client, qname)
+		ingress, _ := p.cfg.Engine.IngressRLOC(h)
+		p.pending[qname] = append(p.pending[qname], pendingFlow{
+			client: client, ingress: ingress, born: p.node.Sim().Now(),
+		})
+		p.node.Sim().Schedule(p.cfg.PendingTTL, func() { p.expirePending(qname) })
+	}
+	r.OnAnswer = func(client netaddr.Addr, qname string, addr netaddr.Addr, fromCache bool) {
+		if !fromCache || !p.cfg.EIDPrefix.Contains(client) {
+			return
+		}
+		if p.cfg.EIDPrefix.Contains(addr) || !addr.IsValid() {
+			p.dropPending(qname, client)
+			return
+		}
+		// The answer came from the DNSS cache, so no reply crossed PCED.
+		// Serve from our own database, or fetch from the known peer.
+		if _, ok := p.remote.Lookup(addr); ok {
+			p.Stats.CacheHitPushes++
+			p.pushFlowsFor(qname, addr)
+			return
+		}
+		if pced, _, ok := p.peers.Lookup(addr); ok {
+			p.sendMapFetch(pced, addr, qname)
+			return
+		}
+		// Unknown peer: leave it to the ITR's fallback resolver.
+		p.dropPending(qname, client)
+	}
+}
+
+func (p *PCE) expirePending(qname string) {
+	now := p.node.Sim().Now()
+	kept := p.pending[qname][:0]
+	for _, pf := range p.pending[qname] {
+		if now-pf.born < p.cfg.PendingTTL {
+			kept = append(kept, pf)
+		} else {
+			p.Stats.PendingExpired++
+		}
+	}
+	if len(kept) == 0 {
+		delete(p.pending, qname)
+	} else {
+		p.pending[qname] = kept
+	}
+}
+
+func (p *PCE) dropPending(qname string, client netaddr.Addr) {
+	kept := p.pending[qname][:0]
+	for _, pf := range p.pending[qname] {
+		if pf.client != client {
+			kept = append(kept, pf)
+		}
+	}
+	if len(kept) == 0 {
+		delete(p.pending, qname)
+	} else {
+		p.pending[qname] = kept
+	}
+}
+
+// WireXTR connects a local tunnel router: it joins the ETR sync group,
+// receives mapping pushes on port P, and multicasts reverse mappings on
+// first (or re-routed) decapsulated packets.
+func (p *PCE) WireXTR(x *lisp.XTR) {
+	p.xtrs = append(p.xtrs, x)
+	node := x.Node()
+	if p.cfg.Group.IsValid() {
+		node.Join(p.cfg.Group)
+	}
+	node.ListenUDP(packet.PortPCECP, func(d *simnet.Delivery, udp *packet.UDP) {
+		p.handleXTRPCECP(x, udp)
+	})
+	x.OnDecap = func(info lisp.DecapInfo) {
+		p.onDecap(x, info)
+	}
+}
+
+// XTRs returns the wired tunnel routers.
+func (p *PCE) XTRs() []*lisp.XTR { return p.xtrs }
+
+// handleXTRPCECP processes port-P messages at an xTR: mapping pushes from
+// the PCE and reverse pushes from sibling ETRs.
+func (p *PCE) handleXTRPCECP(x *lisp.XTR, udp *packet.UDP) {
+	msg, ok := decodePCECP(udp.LayerPayload())
+	if !ok {
+		return
+	}
+	switch msg.Type {
+	case packet.PCECPMappingPush, packet.PCECPReverseMapPush:
+		for _, f := range msg.Flows {
+			x.InstallFlow(f.SrcEID, f.DstEID, f.SrcRLOC, f.DstRLOC, f.TTL)
+			kind := EvFlowInstalled
+			if msg.Type == packet.PCECPReverseMapPush {
+				kind = EvReverseInstalled
+			}
+			p.emit(Event{Kind: kind, Node: x.Node().Name(), SrcEID: f.SrcEID, DstEID: f.DstEID})
+		}
+		for _, pm := range msg.Prefixes {
+			x.InstallMapping(prefixToEntry(p.node.Sim(), pm))
+		}
+	}
+}
+
+// onDecap implements the paper's ETR behaviour: on the first data packet
+// of a flow (or when the peer's ingress RLOC visibly changed), learn the
+// reverse mapping from the outer header and multicast it to the sibling
+// ETRs and the PCE database.
+func (p *PCE) onDecap(x *lisp.XTR, info lisp.DecapInfo) {
+	fk := lisp.FlowKey{Src: info.InnerSrc, Dst: info.InnerDst}
+	changed := p.lastOuter[fk] != info.OuterSrc
+	p.lastOuter[fk] = info.OuterSrc
+	if !info.First && !changed {
+		return
+	}
+	// Reverse direction: local InnerDst replies to remote InnerSrc using
+	// our RLOC (the outer destination the sender chose from our mapping)
+	// as source and the sender's engineered RLOCS as destination.
+	rev := packet.PCEFlowMapping{
+		TTL:     p.cfg.MappingTTL,
+		SrcEID:  info.InnerDst,
+		DstEID:  info.InnerSrc,
+		SrcRLOC: info.OuterDst,
+		DstRLOC: info.OuterSrc,
+	}
+	x.InstallFlow(rev.SrcEID, rev.DstEID, rev.SrcRLOC, rev.DstRLOC, rev.TTL)
+	p.emit(Event{Kind: EvReversePushed, Node: x.Node().Name(), SrcEID: rev.SrcEID, DstEID: rev.DstEID})
+	if !p.cfg.Group.IsValid() {
+		return
+	}
+	msg := &packet.PCECP{
+		Version: packet.PCECPVersion, Type: packet.PCECPReverseMapPush,
+		Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
+		Flows: []packet.PCEFlowMapping{rev},
+	}
+	x.Node().SendUDP(x.RLOC(), p.cfg.Group, packet.PortPCECP, packet.PortPCECP, msg)
+}
+
+// sniff is the bump-in-the-wire inspector on the PCE node.
+func (p *PCE) sniff(d *simnet.Delivery) simnet.SnifferVerdict {
+	ip := d.IPv4()
+	if ip == nil || ip.Protocol != packet.IPProtocolUDP {
+		return simnet.SnifferPass
+	}
+	udpl := d.Packet().Layer(packet.LayerTypeUDP)
+	if udpl == nil {
+		return simnet.SnifferPass
+	}
+	udp := udpl.(*packet.UDP)
+
+	// PCES: encapsulated replies and fetch replies to our DNSS on port P.
+	if udp.DstPort == packet.PortPCECP && ip.DstIP == p.cfg.DNSAddr {
+		if p.handlePortP(udp.LayerPayload()) {
+			return simnet.SnifferConsume
+		}
+		return simnet.SnifferPass
+	}
+
+	// PCED: authoritative replies leaving the domain with local EIDs.
+	if udp.SrcPort == packet.PortDNS && ip.DstIP != p.cfg.DNSAddr &&
+		!p.cfg.EIDPrefix.Contains(ip.DstIP) {
+		return p.maybeEncapReply(ip, udp)
+	}
+	return simnet.SnifferPass
+}
+
+// maybeEncapReply implements step 6.
+func (p *PCE) maybeEncapReply(ip *packet.IPv4, udp *packet.UDP) simnet.SnifferVerdict {
+	dns := &packet.DNS{}
+	if err := dns.DecodeFromBytes(udp.LayerPayload()); err != nil || !dns.QR || !dns.AA {
+		return simnet.SnifferPass
+	}
+	ed, ok := dns.FirstA()
+	if !ok || !p.cfg.EIDPrefix.Contains(ed) {
+		return simnet.SnifferPass
+	}
+	locators := p.cfg.Engine.MappingLocators()
+	if len(locators) == 0 {
+		// No usable provider: let the plain reply through; data will fall
+		// back to the classic mapping system.
+		p.Stats.PassthroughReplies++
+		p.emit(Event{Kind: EvPassthrough, DstEID: ed})
+		return simnet.SnifferPass
+	}
+	p.Stats.EncapRepliesSent++
+	p.emit(Event{Kind: EvEncapReplySent, DstEID: ed})
+	msg := &packet.PCECP{
+		Version: packet.PCECPVersion, Type: packet.PCECPEncapDNSReply,
+		Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
+		Prefixes: []packet.PCEPrefixMapping{{
+			Prefix: p.cfg.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: locators,
+		}},
+	}
+	// The original DNS reply rides as the inner payload; the outer
+	// message goes to the same DNSS that the reply was addressed to.
+	p.sendControl(ip.DstIP, msg, packet.Payload(udp.LayerPayload()))
+	return simnet.SnifferConsume
+}
+
+// handlePortP implements step 7 (PCES side). It reports whether the
+// message was consumed.
+func (p *PCE) handlePortP(payload []byte) bool {
+	msg, ok := decodePCECP(payload)
+	if !ok {
+		return false
+	}
+	switch msg.Type {
+	case packet.PCECPEncapDNSReply:
+		p.Stats.EncapRepliesReceived++
+		p.learnMappings(msg)
+		inner := msg.LayerPayload()
+		if len(inner) == 0 {
+			return true
+		}
+		// 7a: forward the inner DNS reply to DNSS.
+		p.node.Send(simnet.EncodeUDP(p.cfg.Addr, p.cfg.DNSAddr,
+			packet.PortDNS, packet.PortDNS, packet.Payload(inner)))
+		// 7b: push the mapping for every pending flow of this qname.
+		dns := &packet.DNS{}
+		if err := dns.DecodeFromBytes(inner); err == nil && len(dns.Questions) > 0 {
+			if ed, found := dns.FirstA(); found {
+				p.emit(Event{Kind: EvEncapReplyReceived, DstEID: ed})
+				p.pushFlowsFor(dnssim.CanonicalName(dns.Questions[0].Name), ed)
+			}
+		}
+		return true
+	case packet.PCECPMapFetchReply:
+		p.learnMappings(msg)
+		ctx, ok := p.fetches[msg.Nonce]
+		if !ok {
+			return true
+		}
+		delete(p.fetches, msg.Nonce)
+		p.Stats.MapFetchReplies++
+		p.pushFlowsFor(ctx.qname, ctx.ed)
+		return true
+	}
+	return false
+}
+
+// handleLocalPCECP processes port-P messages addressed to the PCE itself:
+// MapFetch queries (PCED side) and multicast database updates.
+func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
+	msg, ok := decodePCECP(udp.LayerPayload())
+	if !ok {
+		return
+	}
+	switch msg.Type {
+	case packet.PCECPMapFetch:
+		p.Stats.MapFetches++
+		locators := p.cfg.Engine.MappingLocators()
+		reply := &packet.PCECP{
+			Version: packet.PCECPVersion, Type: packet.PCECPMapFetchReply,
+			Nonce: msg.Nonce, PCEAddr: p.cfg.Addr,
+		}
+		if len(locators) > 0 {
+			reply.Prefixes = []packet.PCEPrefixMapping{{
+				Prefix: p.cfg.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: locators,
+			}}
+		}
+		// The reply goes to the querying PCES "toward its DNSS" like the
+		// encapsulated replies, so the same interception path handles it.
+		p.sendControl(msg.Flows[0].SrcRLOC, reply)
+	case packet.PCECPReverseMapPush:
+		p.Stats.ReversePushes++
+		// Database update: remember the flows (metrics only; the PCED
+		// database is consulted by TE tooling).
+		for _, f := range msg.Flows {
+			p.lastOuter[lisp.FlowKey{Src: f.DstEID, Dst: f.SrcEID}] = f.DstRLOC
+		}
+	case packet.PCECPMappingPush:
+		// Multicast copy of our own push (head-end replication excludes
+		// the sender, so this only happens for pushes from sibling PCEs
+		// in shared-group deployments); nothing to do.
+	}
+}
+
+// sendMapFetch issues the cache-hit fallback query toward a known PCED.
+func (p *PCE) sendMapFetch(pced, ed netaddr.Addr, qname string) {
+	nonce := p.node.Sim().Rand().Uint64()
+	p.fetches[nonce] = fetchCtx{qname: qname, ed: ed}
+	p.Stats.MapFetches++
+	p.emit(Event{Kind: EvMapFetchSent, DstEID: ed})
+	msg := &packet.PCECP{
+		Version: packet.PCECPVersion, Type: packet.PCECPMapFetch,
+		Nonce: nonce, PCEAddr: p.cfg.Addr,
+		// The queried EID and our DNSS (for reply interception) ride in a
+		// flow record: SrcRLOC carries the reply target.
+		Flows: []packet.PCEFlowMapping{{SrcEID: 0, DstEID: ed, SrcRLOC: p.cfg.DNSAddr}},
+	}
+	p.sendControl(pced, msg)
+}
+
+// learnMappings ingests the prefix mappings of a PCECP message into the
+// PCES database and the peer table.
+func (p *PCE) learnMappings(msg *packet.PCECP) {
+	for _, pm := range msg.Prefixes {
+		p.remote.Insert(pm.Prefix, pm.Locators, pm.TTL)
+		if msg.PCEAddr.IsValid() {
+			p.peers.Insert(pm.Prefix, msg.PCEAddr)
+		}
+	}
+}
+
+// pushFlowsFor builds and pushes flow tuples for every pending flow of
+// qname toward destination ED.
+func (p *PCE) pushFlowsFor(qname string, ed netaddr.Addr) {
+	entry, ok := p.remote.Lookup(ed)
+	if !ok {
+		return
+	}
+	waiting := p.pending[qname]
+	if len(waiting) == 0 {
+		return
+	}
+	delete(p.pending, qname)
+	flows := make([]packet.PCEFlowMapping, 0, len(waiting))
+	for _, pf := range waiting {
+		flows = append(flows, p.buildFlow(pf.client, ed, pf.ingress, entry))
+	}
+	p.push(flows, []packet.PCEPrefixMapping{{
+		Prefix: entry.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: entry.Locators,
+	}})
+}
+
+func (p *PCE) buildFlow(es, ed, ingress netaddr.Addr, entry *lisp.MapEntry) packet.PCEFlowMapping {
+	h := packet.NewFlow(packet.NewIPv4Endpoint(es), packet.NewIPv4Endpoint(ed)).FastHash()
+	dst := netaddr.Addr(0)
+	if loc, ok := entry.SelectLocator(h); ok {
+		dst = loc.Addr
+	}
+	if !ingress.IsValid() && len(p.xtrs) > 0 {
+		ingress = p.xtrs[0].RLOC()
+	}
+	fk := lisp.FlowKey{Src: es, Dst: ed}
+	p.pushed[fk] = pushedFlow{
+		src:     ingress,
+		dst:     dst,
+		expires: p.node.Sim().Now() + simnet.Time(p.cfg.MappingTTL)*simnet.Time(time.Second),
+	}
+	return packet.PCEFlowMapping{
+		TTL: p.cfg.MappingTTL, SrcEID: es, DstEID: ed, SrcRLOC: ingress, DstRLOC: dst,
+	}
+}
+
+// push multicasts a MappingPush to all local ITRs (step 7b: "the
+// advantage of pushing the mapping to all ITRs is that PCES can carry out
+// local TE actions ... without caring whether a mapping will be in place
+// in the relevant ITRs").
+func (p *PCE) push(flows []packet.PCEFlowMapping, prefixes []packet.PCEPrefixMapping) {
+	if len(flows) == 0 && len(prefixes) == 0 {
+		return
+	}
+	p.Stats.MappingPushes++
+	p.Stats.FlowsPushed += uint64(len(flows))
+	for _, f := range flows {
+		p.emit(Event{Kind: EvMappingPushed, SrcEID: f.SrcEID, DstEID: f.DstEID})
+	}
+	msg := &packet.PCECP{
+		Version: packet.PCECPVersion, Type: packet.PCECPMappingPush,
+		Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
+		Flows: flows, Prefixes: prefixes,
+	}
+	if p.cfg.Group.IsValid() {
+		p.sendControl(p.cfg.Group, msg)
+		return
+	}
+	for _, x := range p.xtrs {
+		p.sendControl(x.RLOC(), msg)
+	}
+}
+
+// sendControl transmits a port-P message from the PCE, counting it for
+// the overhead experiments.
+func (p *PCE) sendControl(dst netaddr.Addr, layers ...packet.SerializableLayer) {
+	data := simnet.EncodeUDP(p.cfg.Addr, dst, packet.PortPCECP, packet.PortPCECP, layers...)
+	p.Stats.TxControlMessages++
+	p.Stats.TxControlBytes += uint64(len(data))
+	p.node.Send(data)
+}
+
+// Repush recomputes the ingress RLOC of every live pushed flow with the
+// current IRC state and re-pushes the changed ones — the paper's dynamic
+// management of mappings ("move part of its internal traffic"). It
+// returns the number of flows whose ingress moved.
+func (p *PCE) Repush() int {
+	now := p.node.Sim().Now()
+	var flows []packet.PCEFlowMapping
+	for fk, pf := range p.pushed {
+		if now >= pf.expires {
+			delete(p.pushed, fk)
+			continue
+		}
+		h := packet.NewFlow(packet.NewIPv4Endpoint(fk.Src), packet.NewIPv4Endpoint(fk.Dst)).FastHash()
+		ingress, ok := p.cfg.Engine.IngressRLOC(h)
+		if !ok || ingress == pf.src {
+			continue // nothing to move for this flow
+		}
+		pf.src = ingress
+		p.pushed[fk] = pf
+		flows = append(flows, packet.PCEFlowMapping{
+			TTL: p.cfg.MappingTTL, SrcEID: fk.Src, DstEID: fk.Dst,
+			SrcRLOC: ingress, DstRLOC: pf.dst,
+		})
+	}
+	if len(flows) > 0 {
+		p.push(flows, nil)
+	}
+	return len(flows)
+}
+
+func (p *PCE) emit(ev Event) {
+	if p.OnEvent == nil {
+		return
+	}
+	ev.At = p.node.Sim().Now()
+	if ev.Node == "" {
+		ev.Node = p.node.Name()
+	}
+	p.OnEvent(ev)
+}
+
+// decodePCECP parses a PCECP message from raw bytes.
+func decodePCECP(payload []byte) (*packet.PCECP, bool) {
+	pk := packet.NewPacket(payload, packet.LayerTypePCECP, packet.NoCopy)
+	l := pk.Layer(packet.LayerTypePCECP)
+	if l == nil {
+		return nil, false
+	}
+	return l.(*packet.PCECP), true
+}
+
+// prefixToEntry converts a wire prefix mapping to a map-cache entry.
+func prefixToEntry(sim *simnet.Sim, pm packet.PCEPrefixMapping) *lisp.MapEntry {
+	e := &lisp.MapEntry{EIDPrefix: pm.Prefix, Locators: pm.Locators}
+	if pm.TTL > 0 {
+		e.Expires = sim.Now() + simnet.Time(pm.TTL)*simnet.Time(time.Second)
+	}
+	return e
+}

@@ -1,0 +1,65 @@
+package dnssim
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// cacheEntry is one cached positive answer.
+type cacheEntry struct {
+	addr    netaddr.Addr
+	expires simnet.Time
+}
+
+// Cache is the resolver's positive answer cache with TTL expiry driven by
+// virtual time.
+type Cache struct {
+	sim     *simnet.Sim
+	entries map[string]cacheEntry
+
+	// Hits and Misses count lookups for the experiments.
+	Hits, Misses uint64
+}
+
+// NewCache returns an empty cache bound to the simulation clock.
+func NewCache(sim *simnet.Sim) *Cache {
+	return &Cache{sim: sim, entries: make(map[string]cacheEntry)}
+}
+
+// Put stores an answer with its TTL in seconds.
+func (c *Cache) Put(name string, addr netaddr.Addr, ttl uint32) {
+	c.entries[CanonicalName(name)] = cacheEntry{
+		addr:    addr,
+		expires: c.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second),
+	}
+}
+
+// Get returns the cached answer for name if present and fresh, along with
+// the remaining TTL in seconds (rounded down, minimum 1 for fresh entries).
+func (c *Cache) Get(name string) (netaddr.Addr, uint32, bool) {
+	e, ok := c.entries[CanonicalName(name)]
+	if !ok || c.sim.Now() >= e.expires {
+		if ok {
+			delete(c.entries, CanonicalName(name))
+		}
+		c.Misses++
+		return 0, 0, false
+	}
+	c.Hits++
+	ttl := uint32((e.expires - c.sim.Now()) / simnet.Time(time.Second))
+	if ttl == 0 {
+		ttl = 1
+	}
+	return e.addr, ttl, true
+}
+
+// Len returns the number of entries, counting expired ones not yet
+// evicted (eviction is lazy).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Flush drops all entries (used between experiment phases).
+func (c *Cache) Flush() {
+	c.entries = make(map[string]cacheEntry)
+}

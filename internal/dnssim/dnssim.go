@@ -1,0 +1,152 @@
+// Package dnssim implements the DNS substrate of the reproduction: an
+// authoritative server with delegations, a caching recursive resolver that
+// performs iterative resolution (root -> TLD -> authoritative), and a stub
+// client. All messages use the RFC 1035 wire format from internal/packet
+// and travel over simnet links, so DNS resolution time TDNS emerges from
+// topology latencies rather than being a configured constant — which is
+// what makes the paper's claim (ii), TDNS+Tmap ~= TDNS, measurable.
+//
+// The resolver exposes the OnClientQuery hook: the paper's step 1, where
+// "PCES obtains ES by Inter-Process Communication (IPC) with the DNS".
+package dnssim
+
+import (
+	"strings"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// CanonicalName lowercases and strips the trailing dot, the name form used
+// as map keys throughout the package.
+func CanonicalName(name string) string {
+	return strings.TrimSuffix(strings.ToLower(name), ".")
+}
+
+// nameUnder reports whether name equals zone or is a subdomain of it.
+// The empty zone is the root and contains everything.
+func nameUnder(name, zone string) bool {
+	if zone == "" {
+		return true
+	}
+	return name == zone || strings.HasSuffix(name, "."+zone)
+}
+
+// delegation is a child-zone referral.
+type delegation struct {
+	zone   string
+	nsName string
+	nsAddr netaddr.Addr
+	ttl    uint32
+}
+
+// ServerStats counts authoritative server activity.
+type ServerStats struct {
+	Queries   uint64
+	Answers   uint64
+	Referrals uint64
+	NXDomain  uint64
+}
+
+// Server is an authoritative DNS server for one zone, optionally holding
+// delegations to child zones (root and TLD servers are just Servers whose
+// answers are referrals).
+type Server struct {
+	node *simnet.Node
+	addr netaddr.Addr
+	zone string
+	as   map[string][]packet.DNSResourceRecord
+	dels []delegation
+
+	// Stats counts server activity for the experiments.
+	Stats ServerStats
+}
+
+// NewServer attaches an authoritative server for zone to node at addr,
+// binding UDP port 53.
+func NewServer(node *simnet.Node, addr netaddr.Addr, zone string) *Server {
+	s := &Server{
+		node: node,
+		addr: addr,
+		zone: CanonicalName(zone),
+		as:   make(map[string][]packet.DNSResourceRecord),
+	}
+	node.ListenUDP(packet.PortDNS, s.handle)
+	return s
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() netaddr.Addr { return s.addr }
+
+// Zone returns the served zone origin ("" for the root).
+func (s *Server) Zone() string { return s.zone }
+
+// AddA publishes an A record.
+func (s *Server) AddA(name string, ip netaddr.Addr, ttl uint32) {
+	n := CanonicalName(name)
+	s.as[n] = append(s.as[n], packet.DNSResourceRecord{
+		Name: n, Type: packet.DNSTypeA, Class: packet.DNSClassIN, TTL: ttl, IP: ip,
+	})
+}
+
+// Delegate publishes a child-zone NS referral with glue.
+func (s *Server) Delegate(childZone, nsName string, nsAddr netaddr.Addr, ttl uint32) {
+	s.dels = append(s.dels, delegation{
+		zone: CanonicalName(childZone), nsName: CanonicalName(nsName), nsAddr: nsAddr, ttl: ttl,
+	})
+}
+
+func (s *Server) handle(d *simnet.Delivery, udp *packet.UDP) {
+	q := &packet.DNS{}
+	if err := q.DecodeFromBytes(udp.LayerPayload()); err != nil || q.QR || len(q.Questions) == 0 {
+		return
+	}
+	s.Stats.Queries++
+	resp := s.Respond(q)
+	ip := d.IPv4()
+	s.node.SendUDP(s.addr, ip.SrcIP, packet.PortDNS, udp.SrcPort, resp)
+}
+
+// Respond builds the authoritative response for query q. Exposed so tests
+// and the PCE fallback path can ask "what would the server say" without a
+// round trip.
+func (s *Server) Respond(q *packet.DNS) *packet.DNS {
+	resp := &packet.DNS{
+		ID: q.ID, QR: true, OpCode: q.OpCode, RD: q.RD,
+		Questions: q.Questions,
+	}
+	name := CanonicalName(q.Questions[0].Name)
+	if q.Questions[0].Type == packet.DNSTypeA {
+		if rrs, ok := s.as[name]; ok {
+			resp.AA = true
+			resp.Answers = rrs
+			s.Stats.Answers++
+			return resp
+		}
+	}
+	// Longest delegation whose zone contains the name.
+	best := -1
+	for i, del := range s.dels {
+		if nameUnder(name, del.zone) && (best < 0 || len(del.zone) > len(s.dels[best].zone)) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		del := s.dels[best]
+		resp.Authorities = []packet.DNSResourceRecord{{
+			Name: del.zone, Type: packet.DNSTypeNS, Class: packet.DNSClassIN, TTL: del.ttl, NSName: del.nsName,
+		}}
+		resp.Additionals = []packet.DNSResourceRecord{{
+			Name: del.nsName, Type: packet.DNSTypeA, Class: packet.DNSClassIN, TTL: del.ttl, IP: del.nsAddr,
+		}}
+		s.Stats.Referrals++
+		return resp
+	}
+	if nameUnder(name, s.zone) {
+		resp.AA = true
+	}
+	resp.RCode = packet.DNSRCodeNXDomain
+	s.Stats.NXDomain++
+	return resp
+}

@@ -1,0 +1,317 @@
+package dnssim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// dnsWorld is a hub-and-spoke DNS hierarchy for tests:
+//
+//	client -- resolver(DNSS) -- hub -- root
+//	                                 \- tld ("example")
+//	                                 \- auth ("dst.example")
+type dnsWorld struct {
+	sim      *simnet.Sim
+	client   *Client
+	resolver *Resolver
+	root     *Server
+	tld      *Server
+	auth     *Server
+	hostAddr netaddr.Addr
+	links    map[string]*simnet.Link
+}
+
+func newDNSWorld(t testing.TB, hubDelay time.Duration) *dnsWorld {
+	t.Helper()
+	s := simnet.New(1)
+	hub := s.NewNode("hub")
+	w := &dnsWorld{sim: s, links: map[string]*simnet.Link{}}
+
+	mk := func(name string, octet byte, delay time.Duration) (*simnet.Node, netaddr.Addr) {
+		n := s.NewNode(name)
+		l := simnet.Connect(n, hub, simnet.LinkConfig{Delay: delay})
+		addr := netaddr.AddrFrom4(10, octet, 0, 1)
+		hubSide := netaddr.AddrFrom4(10, octet, 0, 2)
+		l.A().SetAddr(addr)
+		l.B().SetAddr(hubSide)
+		n.SetDefaultRoute(l.A())
+		hub.AddRoute(netaddr.PrefixFrom(netaddr.AddrFrom4(10, octet, 0, 0), 24), l.B())
+		w.links[name] = l
+		return n, addr
+	}
+
+	clientNode, clientAddr := mk("client", 1, time.Millisecond)
+	resolverNode, resolverAddr := mk("resolver", 2, time.Millisecond)
+	rootNode, rootAddr := mk("root", 3, 20*time.Millisecond)
+	tldNode, tldAddr := mk("tld", 4, 25*time.Millisecond)
+	authNode, authAddr := mk("auth", 5, 40*time.Millisecond)
+
+	w.root = NewServer(rootNode, rootAddr, ".")
+	w.root.Delegate("example", "ns.example", tldAddr, 3600)
+	w.tld = NewServer(tldNode, tldAddr, "example")
+	w.tld.Delegate("dst.example", "ns.dst.example", authAddr, 3600)
+	w.auth = NewServer(authNode, authAddr, "dst.example")
+	w.hostAddr = netaddr.MustParseAddr("12.1.0.9")
+	w.auth.AddA("ed.dst.example", w.hostAddr, 300)
+
+	w.resolver = NewResolver(resolverNode, resolverAddr, rootAddr)
+	w.client = NewClient(clientNode, clientAddr, resolverAddr)
+	_ = hubDelay
+	return w
+}
+
+func TestIterativeResolution(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	var got netaddr.Addr
+	var tdns simnet.Time
+	ok := false
+	w.client.Lookup("ed.dst.example", func(a netaddr.Addr, d simnet.Time, success bool) {
+		got, tdns, ok = a, d, success
+	})
+	w.sim.Run()
+	if !ok || got != w.hostAddr {
+		t.Fatalf("lookup = %v ok=%v", got, ok)
+	}
+	// TDNS = client->resolver (2x2ms) + root (2x21ms) + tld (2x26ms) +
+	// auth (2x41ms) = 4 + 42 + 52 + 82 = 180ms.
+	want := 180 * time.Millisecond
+	if tdns != want {
+		t.Fatalf("TDNS = %v, want %v", tdns, want)
+	}
+	if w.resolver.Stats.Iterations != 3 {
+		t.Fatalf("iterations = %d, want 3", w.resolver.Stats.Iterations)
+	}
+	if w.root.Stats.Referrals != 1 || w.tld.Stats.Referrals != 1 || w.auth.Stats.Answers != 1 {
+		t.Fatalf("server stats: root=%+v tld=%+v auth=%+v", w.root.Stats, w.tld.Stats, w.auth.Stats)
+	}
+}
+
+func TestResolverCacheHit(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	w.client.Lookup("ed.dst.example", func(netaddr.Addr, simnet.Time, bool) {})
+	w.sim.Run()
+	var tdns simnet.Time
+	w.client.Lookup("ed.dst.example", func(a netaddr.Addr, d simnet.Time, ok bool) { tdns = d })
+	w.sim.Run()
+	if w.resolver.Stats.CacheHits != 1 {
+		t.Fatalf("cache hits = %d", w.resolver.Stats.CacheHits)
+	}
+	// Cached answer: only the client<->resolver round trip.
+	if tdns != 4*time.Millisecond {
+		t.Fatalf("cached TDNS = %v", tdns)
+	}
+	if w.auth.Stats.Queries != 1 {
+		t.Fatalf("authoritative queried %d times", w.auth.Stats.Queries)
+	}
+}
+
+func TestCacheExpiry(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	w.client.Lookup("ed.dst.example", func(netaddr.Addr, simnet.Time, bool) {})
+	w.sim.Run()
+	// Advance past the 300s record TTL: the next lookup re-resolves.
+	w.sim.RunFor(301 * time.Second)
+	w.client.Lookup("ed.dst.example", func(netaddr.Addr, simnet.Time, bool) {})
+	w.sim.Run()
+	if w.auth.Stats.Queries != 2 {
+		t.Fatalf("authoritative queried %d times, want 2 after expiry", w.auth.Stats.Queries)
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	var ok, answered bool
+	w.client.Lookup("missing.dst.example", func(a netaddr.Addr, d simnet.Time, success bool) {
+		answered, ok = true, success
+	})
+	w.sim.Run()
+	if !answered || ok {
+		t.Fatalf("answered=%v ok=%v, want answered, not ok", answered, ok)
+	}
+	if w.resolver.Stats.NXDomains != 1 {
+		t.Fatalf("NXDomains = %d", w.resolver.Stats.NXDomains)
+	}
+	if w.client.Stats.Failures != 1 {
+		t.Fatalf("client failures = %d", w.client.Stats.Failures)
+	}
+}
+
+func TestQueryCoalescing(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	answers := 0
+	for i := 0; i < 5; i++ {
+		w.client.Lookup("ed.dst.example", func(a netaddr.Addr, d simnet.Time, ok bool) {
+			if ok {
+				answers++
+			}
+		})
+	}
+	w.sim.Run()
+	if answers != 5 {
+		t.Fatalf("answers = %d", answers)
+	}
+	// All five lookups share one resolution: the authoritative server saw
+	// exactly one query.
+	if w.auth.Stats.Queries != 1 {
+		t.Fatalf("auth queries = %d, want 1 (coalesced)", w.auth.Stats.Queries)
+	}
+}
+
+func TestRetryOnLoss(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	// Break the root link completely for the first second, then heal it.
+	w.links["root"].SetLoss(1.0)
+	ok := false
+	w.client.Lookup("ed.dst.example", func(a netaddr.Addr, d simnet.Time, success bool) { ok = success })
+	w.sim.RunFor(time.Second)
+	w.links["root"].SetLoss(0)
+	w.sim.Run()
+	if !ok {
+		t.Fatal("lookup must succeed after retry")
+	}
+	if w.resolver.Stats.Retries == 0 {
+		t.Fatal("expected at least one retry")
+	}
+}
+
+func TestServFailAfterRetriesExhausted(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	w.links["root"].SetLoss(1.0)
+	var answered, ok bool
+	w.client.Lookup("ed.dst.example", func(a netaddr.Addr, d simnet.Time, success bool) {
+		answered, ok = true, success
+	})
+	w.sim.Run()
+	if !answered || ok {
+		t.Fatalf("answered=%v ok=%v, want SERVFAIL", answered, ok)
+	}
+	if w.resolver.Stats.ServFails != 1 {
+		t.Fatalf("ServFails = %d", w.resolver.Stats.ServFails)
+	}
+}
+
+func TestOnClientQueryIPC(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	var ipcClient netaddr.Addr
+	var ipcName string
+	ipcAt := simnet.Time(-1)
+	w.resolver.OnClientQuery = func(client netaddr.Addr, qname string) {
+		ipcClient, ipcName, ipcAt = client, qname, w.sim.Now()
+	}
+	var answeredAt simnet.Time
+	w.client.Lookup("ed.dst.example", func(netaddr.Addr, simnet.Time, bool) { answeredAt = w.sim.Now() })
+	w.sim.Run()
+	if ipcName != "ed.dst.example" {
+		t.Fatalf("IPC qname = %q", ipcName)
+	}
+	if ipcClient != netaddr.AddrFrom4(10, 1, 0, 1) {
+		t.Fatalf("IPC client = %v", ipcClient)
+	}
+	// The paper's step 1: the PCE learns ES as soon as the query reaches
+	// DNSS, long before the answer.
+	if ipcAt <= 0 || ipcAt >= answeredAt {
+		t.Fatalf("IPC at %v, answer at %v", ipcAt, answeredAt)
+	}
+}
+
+func TestOnAnswerHookReportsCacheness(t *testing.T) {
+	w := newDNSWorld(t, 0)
+	var fromCache []bool
+	w.resolver.OnAnswer = func(client netaddr.Addr, qname string, addr netaddr.Addr, cached bool) {
+		fromCache = append(fromCache, cached)
+	}
+	w.client.Lookup("ed.dst.example", func(netaddr.Addr, simnet.Time, bool) {})
+	w.sim.Run()
+	w.client.Lookup("ed.dst.example", func(netaddr.Addr, simnet.Time, bool) {})
+	w.sim.Run()
+	if len(fromCache) != 2 || fromCache[0] || !fromCache[1] {
+		t.Fatalf("fromCache = %v, want [false true]", fromCache)
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	cases := map[string]string{
+		"WWW.Example.COM.": "www.example.com",
+		"a.b":              "a.b",
+		".":                "",
+	}
+	for in, want := range cases {
+		if got := CanonicalName(in); got != want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNameUnder(t *testing.T) {
+	if !nameUnder("a.example", "example") || !nameUnder("example", "example") {
+		t.Fatal("subdomain matching broken")
+	}
+	if nameUnder("badexample", "example") {
+		t.Fatal("suffix without dot must not match")
+	}
+	if !nameUnder("anything.at.all", "") {
+		t.Fatal("root zone contains everything")
+	}
+}
+
+func TestServerRespondDirect(t *testing.T) {
+	s := simnet.New(1)
+	n := s.NewNode("auth")
+	addr := netaddr.MustParseAddr("12.0.0.53")
+	n.AddAddr(addr)
+	srv := NewServer(n, addr, "dst.example")
+	srv.AddA("h.dst.example", netaddr.MustParseAddr("12.1.0.1"), 60)
+
+	resp := srv.Respond(packet.QuestionFor(9, "h.dst.example", packet.DNSTypeA))
+	if !resp.AA || len(resp.Answers) != 1 {
+		t.Fatalf("direct respond = %+v", resp)
+	}
+	resp = srv.Respond(packet.QuestionFor(9, "nope.dst.example", packet.DNSTypeA))
+	if resp.RCode != packet.DNSRCodeNXDomain || !resp.AA {
+		t.Fatalf("NXDOMAIN respond = %+v", resp)
+	}
+	// Out-of-zone query without delegation: NXDOMAIN without AA.
+	resp = srv.Respond(packet.QuestionFor(9, "other.zone", packet.DNSTypeA))
+	if resp.RCode != packet.DNSRCodeNXDomain || resp.AA {
+		t.Fatalf("out-of-zone respond = %+v", resp)
+	}
+}
+
+func TestCacheRemainingTTL(t *testing.T) {
+	s := simnet.New(1)
+	c := NewCache(s)
+	c.Put("x.example", netaddr.MustParseAddr("1.2.3.4"), 100)
+	s.RunFor(40 * time.Second)
+	_, ttl, ok := c.Get("x.example")
+	if !ok || ttl != 60 {
+		t.Fatalf("remaining TTL = %d ok=%v, want 60", ttl, ok)
+	}
+	s.RunFor(60 * time.Second)
+	if _, _, ok := c.Get("x.example"); ok {
+		t.Fatal("expired entry must miss")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	c.Put("y", 1, 10)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatal("flush must empty the cache")
+	}
+}
+
+func BenchmarkFullResolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := newDNSWorld(b, 0)
+		done := false
+		w.client.Lookup("ed.dst.example", func(netaddr.Addr, simnet.Time, bool) { done = true })
+		w.sim.Run()
+		if !done {
+			b.Fatal("lookup did not finish")
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package dnssim
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// ResolverStats counts resolver activity.
+type ResolverStats struct {
+	ClientQueries uint64
+	CacheHits     uint64
+	Iterations    uint64
+	Retries       uint64
+	ServFails     uint64
+	NXDomains     uint64
+	Answered      uint64
+}
+
+// Resolver is a caching recursive resolver (the paper's DNSS): it accepts
+// client queries and resolves them iteratively from the root, following
+// referrals. Like 2008-era resolvers it sources upstream queries from port
+// 53, so one UDP binding serves both roles.
+type Resolver struct {
+	node *simnet.Node
+	addr netaddr.Addr
+	root netaddr.Addr
+
+	// Cache is the positive answer cache.
+	Cache *Cache
+	// Timeout is the per-upstream-query timeout.
+	Timeout simnet.Time
+	// MaxRetries bounds re-sends of one upstream query.
+	MaxRetries int
+	// MaxSteps bounds referral chain length.
+	MaxSteps int
+
+	// OnClientQuery is the paper's step-1 IPC hook: invoked when a client
+	// query arrives, before resolution. PCES uses it to learn ES and
+	// precompute the ingress RLOC for the reverse mapping.
+	OnClientQuery func(client netaddr.Addr, qname string)
+	// OnAnswer is invoked when the resolver answers a client, with
+	// fromCache reporting whether the answer bypassed iterative
+	// resolution. PCES uses it to detect cache-hit answers whose mapping
+	// never traversed PCED (the MapFetch fallback, experiment E8).
+	OnAnswer func(client netaddr.Addr, qname string, addr netaddr.Addr, fromCache bool)
+
+	inflight map[string]*resolution
+	// Stats counts resolver activity for the experiments.
+	Stats ResolverStats
+}
+
+type waiter struct {
+	addr netaddr.Addr
+	port uint16
+	id   uint16
+}
+
+type resolution struct {
+	qname   string
+	waiters []waiter
+	server  netaddr.Addr
+	steps   int
+	tries   int
+	gen     int
+	started simnet.Time
+}
+
+// NewResolver attaches a recursive resolver to node at addr with the given
+// root server hint, binding UDP port 53.
+func NewResolver(node *simnet.Node, addr, rootAddr netaddr.Addr) *Resolver {
+	r := &Resolver{
+		node:       node,
+		addr:       addr,
+		root:       rootAddr,
+		Cache:      NewCache(node.Sim()),
+		Timeout:    2 * time.Second,
+		MaxRetries: 2,
+		MaxSteps:   12,
+		inflight:   make(map[string]*resolution),
+	}
+	node.ListenUDP(packet.PortDNS, r.handle)
+	return r
+}
+
+// Addr returns the resolver's address.
+func (r *Resolver) Addr() netaddr.Addr { return r.addr }
+
+// Node returns the node hosting the resolver.
+func (r *Resolver) Node() *simnet.Node { return r.node }
+
+func (r *Resolver) handle(d *simnet.Delivery, udp *packet.UDP) {
+	msg := &packet.DNS{}
+	if err := msg.DecodeFromBytes(udp.LayerPayload()); err != nil || len(msg.Questions) == 0 {
+		return
+	}
+	src := d.IPv4().SrcIP
+	if msg.QR {
+		r.handleUpstream(msg)
+		return
+	}
+	r.handleClient(src, udp.SrcPort, msg)
+}
+
+func (r *Resolver) handleClient(client netaddr.Addr, port uint16, q *packet.DNS) {
+	r.Stats.ClientQueries++
+	qname := CanonicalName(q.Questions[0].Name)
+	if r.OnClientQuery != nil {
+		r.OnClientQuery(client, qname)
+	}
+	w := waiter{addr: client, port: port, id: q.ID}
+	if addr, ttl, ok := r.Cache.Get(qname); ok {
+		r.Stats.CacheHits++
+		r.answer(w, qname, addr, ttl, true)
+		return
+	}
+	if res, ok := r.inflight[qname]; ok {
+		res.waiters = append(res.waiters, w)
+		return
+	}
+	res := &resolution{
+		qname:   qname,
+		waiters: []waiter{w},
+		server:  r.root,
+		started: r.node.Sim().Now(),
+	}
+	r.inflight[qname] = res
+	r.sendQuery(res)
+}
+
+func (r *Resolver) sendQuery(res *resolution) {
+	res.gen++
+	gen := res.gen
+	r.Stats.Iterations++
+	q := packet.QuestionFor(uint16(res.gen)^uint16(res.steps<<8), res.qname, packet.DNSTypeA)
+	r.node.SendUDP(r.addr, res.server, packet.PortDNS, packet.PortDNS, q)
+	r.node.Sim().Schedule(r.Timeout, func() {
+		cur, ok := r.inflight[res.qname]
+		if !ok || cur != res || res.gen != gen {
+			return // superseded or finished
+		}
+		res.tries++
+		if res.tries > r.MaxRetries {
+			r.fail(res, packet.DNSRCodeServFail)
+			return
+		}
+		r.Stats.Retries++
+		r.sendQuery(res)
+	})
+}
+
+func (r *Resolver) handleUpstream(msg *packet.DNS) {
+	qname := CanonicalName(msg.Questions[0].Name)
+	res, ok := r.inflight[qname]
+	if !ok {
+		return // stale or duplicate
+	}
+	if a, found := msg.FirstA(); found {
+		ttl := msg.Answers[0].TTL
+		r.Cache.Put(qname, a, ttl)
+		delete(r.inflight, qname)
+		for _, w := range res.waiters {
+			r.answer(w, qname, a, ttl, false)
+		}
+		return
+	}
+	if msg.RCode == packet.DNSRCodeNXDomain {
+		r.Stats.NXDomains++
+		r.fail(res, packet.DNSRCodeNXDomain)
+		return
+	}
+	// Referral: follow the glue.
+	var next netaddr.Addr
+	if len(msg.Authorities) > 0 && msg.Authorities[0].Type == packet.DNSTypeNS {
+		ns := msg.Authorities[0].NSName
+		for _, add := range msg.Additionals {
+			if add.Type == packet.DNSTypeA && CanonicalName(add.Name) == CanonicalName(ns) {
+				next = add.IP
+				break
+			}
+		}
+	}
+	if !next.IsValid() || res.steps >= r.MaxSteps {
+		r.fail(res, packet.DNSRCodeServFail)
+		return
+	}
+	res.steps++
+	res.tries = 0
+	res.server = next
+	r.sendQuery(res)
+}
+
+func (r *Resolver) fail(res *resolution, code packet.DNSResponseCode) {
+	delete(r.inflight, res.qname)
+	if code == packet.DNSRCodeServFail {
+		r.Stats.ServFails++
+	}
+	for _, w := range res.waiters {
+		resp := &packet.DNS{
+			ID: w.id, QR: true, RA: true, RCode: code,
+			Questions: []packet.DNSQuestion{{Name: res.qname, Type: packet.DNSTypeA, Class: packet.DNSClassIN}},
+		}
+		r.node.SendUDP(r.addr, w.addr, packet.PortDNS, w.port, resp)
+	}
+}
+
+func (r *Resolver) answer(w waiter, qname string, addr netaddr.Addr, ttl uint32, fromCache bool) {
+	r.Stats.Answered++
+	resp := &packet.DNS{
+		ID: w.id, QR: true, RA: true,
+		Questions: []packet.DNSQuestion{{Name: qname, Type: packet.DNSTypeA, Class: packet.DNSClassIN}},
+		Answers: []packet.DNSResourceRecord{{
+			Name: qname, Type: packet.DNSTypeA, Class: packet.DNSClassIN, TTL: ttl, IP: addr,
+		}},
+	}
+	if r.OnAnswer != nil {
+		r.OnAnswer(w.addr, qname, addr, fromCache)
+	}
+	r.node.SendUDP(r.addr, w.addr, packet.PortDNS, w.port, resp)
+}
+
+// ClientStats counts stub client activity.
+type ClientStats struct {
+	Lookups  uint64
+	Answers  uint64
+	Failures uint64
+}
+
+// Client is a stub resolver for end-hosts: fire a query at the local
+// resolver, get a callback with the answer.
+type Client struct {
+	node     *simnet.Node
+	addr     netaddr.Addr
+	resolver netaddr.Addr
+	nextID   uint16
+	pending  map[uint16]clientPending
+	// Stats counts lookups for the experiments.
+	Stats ClientStats
+}
+
+type clientPending struct {
+	started simnet.Time
+	cb      func(netaddr.Addr, simnet.Time, bool)
+}
+
+// ClientPort is the source port stub clients use.
+const ClientPort = 5353
+
+// NewClient attaches a stub resolver client to node at addr, using the
+// given recursive resolver.
+func NewClient(node *simnet.Node, addr, resolver netaddr.Addr) *Client {
+	c := &Client{node: node, addr: addr, resolver: resolver, pending: make(map[uint16]clientPending)}
+	node.ListenUDP(ClientPort, c.handle)
+	return c
+}
+
+// Lookup resolves name and calls cb with the address, the elapsed
+// resolution time (TDNS for this flow) and success. The callback fires at
+// most once; a lost reply leaves the lookup pending forever, as real stub
+// resolvers' timeouts are out of scope for the claims.
+func (c *Client) Lookup(name string, cb func(addr netaddr.Addr, tdns simnet.Time, ok bool)) {
+	c.nextID++
+	id := c.nextID
+	c.Stats.Lookups++
+	c.pending[id] = clientPending{started: c.node.Sim().Now(), cb: cb}
+	q := packet.QuestionFor(id, name, packet.DNSTypeA)
+	q.RD = true
+	c.node.SendUDP(c.addr, c.resolver, ClientPort, packet.PortDNS, q)
+}
+
+func (c *Client) handle(d *simnet.Delivery, udp *packet.UDP) {
+	msg := &packet.DNS{}
+	if err := msg.DecodeFromBytes(udp.LayerPayload()); err != nil || !msg.QR {
+		return
+	}
+	p, ok := c.pending[msg.ID]
+	if !ok {
+		return
+	}
+	delete(c.pending, msg.ID)
+	elapsed := c.node.Sim().Now() - p.started
+	if a, found := msg.FirstA(); found && msg.RCode == packet.DNSRCodeNoError {
+		c.Stats.Answers++
+		p.cb(a, elapsed, true)
+		return
+	}
+	c.Stats.Failures++
+	p.cb(0, elapsed, false)
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/workload"
+)
+
+// E3MappingWithinDNS quantifies claim (ii): (TDNS + Tmap) / TDNS ~= 1 for
+// the PCE control plane. For every flow we measure when the destination
+// mapping became usable at the source ITR relative to the flow's own DNS
+// resolution, and report the distribution of the ratio.
+//
+// Workload: flows arrive as a Poisson process from the source domain's
+// hosts toward Zipf-popular destinations, so the mix includes both cold
+// resolutions and DNS-cache hits, as in a live network.
+func E3MappingWithinDNS(seed int64, domains, flows int) (*metrics.Table, map[CP][]metrics.CDFPoint) {
+	if domains < 2 {
+		domains = 6
+	}
+	if flows == 0 {
+		flows = 60
+	}
+	tbl := metrics.NewTable(
+		"E3: mapping readiness vs DNS time, ratio (TDNS+Tmap)/TDNS",
+		"control plane", "flows", "ratio p50", "ratio p95", "ratio max", "flows at 1.0 (%)")
+	cdfs := make(map[CP][]metrics.CDFPoint)
+
+	for _, cp := range []CP{CPALT, CPCONS, CPMSMR, CPNERD, CPPCE} {
+		w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed, HostsPerDomain: 2})
+		w.Settle()
+		rng := rand.New(rand.NewSource(seed + 17))
+		arrivals := workload.NewPoisson(rng, 4)
+		zipf := workload.NewZipf(rng, domains-1, 1.3)
+
+		ratios := metrics.NewSummary("ratio")
+		atOne := 0
+		done := 0
+		var at time.Duration
+		for i := 0; i < flows; i++ {
+			at += arrivals.Next()
+			srcH := i % len(w.In.Domains[0].Hosts)
+			dstD := 1 + zipf.Next()
+			w.Sim.Schedule(at, func() {
+				w.StartFlow(0, srcH, dstD, 0, func(res FlowResult) {
+					done++
+					if res.TDNS <= 0 || res.MappingReady < 0 {
+						return
+					}
+					r := res.Ratio()
+					ratios.Add(r)
+					if r <= 1.0001 {
+						atOne++
+					}
+				})
+			})
+		}
+		w.Sim.RunFor(at + 60*time.Second)
+		tbl.AddRow(string(cp), ratios.Count(),
+			ratios.Quantile(0.5), ratios.P95(), ratios.Max(),
+			100*float64(atOne)/float64(max(ratios.Count(), 1)))
+		cdfs[cp] = ratios.CDF()
+	}
+	tbl.AddNote("ratio 1.0 means the mapping was ready no later than the DNS answer — the paper's target")
+	return tbl, cdfs
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// E5ControlOverhead compares what each control plane costs: control
+// messages and bytes originated, and mapping state held at ITRs, for the
+// same all-pairs workload.
+//
+// The structural differences the table exposes: NERD pays a full database
+// at every ITR regardless of traffic; ALT/CONS pay per-resolution
+// overlay hops; MS/MR pays four legs per resolution; PCE-CP pays one
+// in-band encapsulated reply plus local pushes, and per-flow state only
+// for flows that exist.
+func E5ControlOverhead(seed int64, domains int) *metrics.Table {
+	if domains < 2 {
+		domains = 8
+	}
+	tbl := metrics.NewTable(
+		"E5: control-plane overhead for one cold flow between every domain pair",
+		"control plane", "flows", "ctl msgs", "ctl KB", "msgs/flow", "ITR state entries")
+
+	for _, cp := range []CP{CPALT, CPCONS, CPMSMR, CPNERD, CPPCE} {
+		w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed})
+		w.Settle()
+		baseMsgs, baseBytes := w.ControlTotals() // registration/announce cost
+
+		flows := 0
+		for s := 0; s < domains; s++ {
+			for d := 0; d < domains; d++ {
+				if s == d {
+					continue
+				}
+				s, d := s, d
+				flows++
+				w.Sim.Schedule(time.Duration(flows)*300*time.Millisecond, func() {
+					src := w.In.Domains[s].Hosts[0]
+					dst := w.In.Domains[d].Hosts[0]
+					src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+						if ok {
+							src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
+						}
+					})
+				})
+			}
+		}
+		w.Sim.RunFor(time.Duration(flows)*300*time.Millisecond + 30*time.Second)
+		msgs, bytes := w.ControlTotals()
+		msgs -= baseMsgs
+		bytes -= baseBytes
+		tbl.AddRow(string(cp), flows, msgs, float64(bytes)/1024,
+			float64(msgs)/float64(flows), w.ITRStateEntries())
+	}
+	tbl.AddNote("message/byte counts exclude initial registration and announcement; state counted after all flows")
+	return tbl
+}

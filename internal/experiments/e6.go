@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/core"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// E6TwoWayResolution measures how long after a flow starts BOTH
+// directions have usable mappings at their tunnel routers — the paper's
+// "two-way mapping resolution" completed by the ETR multicast on the
+// first data packet, versus a pull control plane where the reverse
+// direction pays its own resolution when the first reply packet misses.
+//
+// Destination domains use split xTRs (one per provider), so the PCE
+// number includes multicast distribution to the sibling ETR.
+func E6TwoWayResolution(seed int64, trials int) *metrics.Table {
+	if trials == 0 {
+		trials = 5
+	}
+	tbl := metrics.NewTable(
+		"E6: time until two-way mapping resolution completes (flow start = DNS query)",
+		"control plane", "trials", "fwd ready mean", "two-way ready mean", "two-way p95")
+
+	for _, cp := range []CP{CPMSMR, CPPCE} {
+		fwd := metrics.NewSummary("fwd")
+		both := metrics.NewSummary("both")
+		for trial := 0; trial < trials; trial++ {
+			w := BuildWorld(WorldConfig{
+				CP: cp, Domains: 2, Seed: seed + int64(trial), SplitXTRs: true,
+				MissPolicy: lisp.MissQueue,
+			})
+			w.Settle()
+			d0, d1 := w.In.Domains[0], w.In.Domains[1]
+			src, dst := d0.Hosts[0], d1.Hosts[0]
+			start := w.Sim.Now()
+			fk := lisp.FlowKey{Src: dst.Addr, Dst: src.Addr} // reverse direction
+
+			var fwdReady, twoWayReady simnet.Time
+			if cp == CPPCE {
+				w.PCEs[0].OnEvent = func(ev core.Event) {
+					if ev.Kind == core.EvFlowInstalled && fwdReady == 0 {
+						fwdReady = w.Sim.Now() - start
+					}
+				}
+				// Two-way completion: every destination xTR has the
+				// reverse entry. Poll each reverse-install event.
+				installed := map[string]bool{}
+				w.PCEs[1].OnEvent = func(ev core.Event) {
+					if ev.Kind == core.EvReversePushed || ev.Kind == core.EvReverseInstalled {
+						installed[ev.Node] = true
+						if len(installed) >= len(d1.XTRs) && twoWayReady == 0 {
+							twoWayReady = w.Sim.Now() - start
+						}
+					}
+				}
+			}
+
+			// Run the flow: DNS, then one data packet each way (an echo).
+			dst.Node.ListenUDP(7000, func(d *simnet.Delivery, udp *packet.UDP) {
+				ip := d.IPv4()
+				dst.Node.SendUDP(dst.Addr, ip.SrcIP, 7000, 7001, packet.Payload("echo"))
+			})
+			src.Node.ListenUDP(7001, func(*simnet.Delivery, *packet.UDP) {})
+			src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+				if ok {
+					src.Node.SendUDP(src.Addr, addr, 40000, 7000, packet.Payload("ping"))
+				}
+			})
+			w.Sim.RunFor(30 * time.Second)
+
+			if cp == CPMSMR {
+				// Pull CPs: two-way ready when both directions' mappings
+				// resolved at their ITRs.
+				if at, ok := w.MappingReadyAt(dst.Addr); ok {
+					fwdReady = at - start
+				}
+				if at, ok := w.MappingReadyAt(src.Addr); ok {
+					rev := at - start
+					if rev > fwdReady {
+						twoWayReady = rev
+					} else {
+						twoWayReady = fwdReady
+					}
+				}
+			} else {
+				// PCE: ensure the reverse entries really exist.
+				for _, x := range d1.XTRs {
+					if _, ok := x.Flows.Lookup(fk); !ok {
+						twoWayReady = 0
+					}
+				}
+			}
+			if fwdReady > 0 {
+				fwd.AddDuration(fwdReady)
+			}
+			if twoWayReady > 0 {
+				both.AddDuration(twoWayReady)
+			}
+		}
+		tbl.AddRow(string(cp), trials,
+			metrics.FormatMs(fwd.Mean()), metrics.FormatMs(both.Mean()), metrics.FormatMs(both.P95()))
+	}
+	tbl.AddNote("destination domains run split xTRs; PCE two-way includes the ETR multicast to the sibling")
+	return tbl
+}

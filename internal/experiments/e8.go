@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/core"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// E8RaceMargin measures the design-choice the PCE architecture hinges on:
+// the mapping push (step 7b) must beat the host's first packet to the
+// ITR. The margin is the time between mapping installation and the SYN's
+// arrival at the ITR; a negative margin would mean a race lost.
+func E8RaceMargin(seed int64, trials int) *metrics.Table {
+	if trials == 0 {
+		trials = 10
+	}
+	margins := metrics.NewSummary("margin")
+	lost := 0
+	for trial := 0; trial < trials; trial++ {
+		w := BuildWorld(WorldConfig{CP: CPPCE, Domains: 2, Seed: seed + int64(trial)})
+		w.Settle()
+		var installAt simnet.Time
+		w.PCEs[0].OnEvent = func(ev core.Event) {
+			if ev.Kind == core.EvFlowInstalled && installAt == 0 {
+				installAt = w.Sim.Now()
+			}
+		}
+		var synAtITR simnet.Time
+		x0 := w.In.Domains[0].XTRs[0]
+		done := false
+		w.StartFlow(0, 0, 1, 0, func(res FlowResult) { done = res.OK })
+		// Sample the SYN arrival via the encapsulation counter: the first
+		// encap after installAt is the SYN.
+		var poll func()
+		poll = func() {
+			if x0.Stats.EncapPackets > 0 && synAtITR == 0 {
+				synAtITR = w.Sim.Now()
+				return
+			}
+			w.Sim.Schedule(100*time.Microsecond, poll)
+		}
+		w.Sim.Schedule(0, poll)
+		w.Sim.RunFor(10 * time.Second)
+		if !done || installAt == 0 || synAtITR == 0 {
+			lost++
+			continue
+		}
+		margin := synAtITR - installAt
+		if margin < 0 {
+			lost++
+			continue
+		}
+		margins.AddDuration(margin)
+	}
+	tbl := metrics.NewTable(
+		"E8a: push-vs-first-SYN race margin at the ITR",
+		"trials", "races won", "races lost", "margin min", "margin mean", "margin max")
+	tbl.AddRow(trials, margins.Count(), lost,
+		metrics.FormatMs(margins.Min()), metrics.FormatMs(margins.Mean()), metrics.FormatMs(margins.Max()))
+	tbl.AddNote("the sampling resolution is 0.1ms; a lost race would appear in the 'races lost' column")
+	return tbl
+}
+
+// E8PCEFailureFallback measures graceful degradation: the destination
+// domain has no PCE, so flows fall back to the underlying MS/MR mapping
+// system (with queueing ITRs). The cost is the classic Tmap; nothing
+// breaks.
+func E8PCEFailureFallback(seed int64) *metrics.Table {
+	tbl := metrics.NewTable(
+		"E8b: setup latency when the destination PCE is absent (fallback to MS/MR)",
+		"deployment", "flow ok", "setup", "PCE pushes", "fallback resolutions")
+
+	run := func(label string, pceDomains []int) {
+		w := BuildWorld(WorldConfig{
+			CP: CPPCE, Domains: 2, Seed: seed,
+			MissPolicy: lisp.MissQueue, FallbackMSMR: true, PCEDomains: pceDomains,
+		})
+		w.Settle()
+		var res FlowResult
+		w.StartFlow(0, 0, 1, 0, func(r FlowResult) { res = r })
+		w.Sim.RunFor(30 * time.Second)
+		pushes := uint64(0)
+		if w.PCEs[0] != nil {
+			pushes = w.PCEs[0].Stats.MappingPushes
+		}
+		resolutions := uint64(0)
+		for _, d := range w.In.Domains {
+			for _, x := range d.XTRs {
+				resolutions += x.Stats.ResolutionsStarted
+			}
+		}
+		tbl.AddRow(label, res.OK, metrics.FormatMs(float64(res.Setup)/float64(time.Millisecond)), pushes, resolutions)
+	}
+	run("PCE both domains", nil)
+	run("PCE source only", []int{0})
+	tbl.AddNote("queue-policy ITRs; with the destination PCE missing, the SYN waits out one MS/MR resolution")
+	return tbl
+}
+
+// E8QueueMemory measures the queue-policy palliative's cost the paper
+// alludes to: buffered packets at the ITR during a burst of cold flows.
+func E8QueueMemory(seed int64, burst int) *metrics.Table {
+	if burst == 0 {
+		burst = 8
+	}
+	tbl := metrics.NewTable(
+		"E8c: ITR buffering under a cold-flow burst (queue-policy ITRs)",
+		"control plane", "burst flows", "packets queued", "queue timeouts", "replayed")
+
+	for _, cp := range []CP{CPMSMR, CPPCE} {
+		domains := burst + 1
+		w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed, MissPolicy: lisp.MissQueue})
+		w.Settle()
+		// All flows start at the same instant: worst-case burst.
+		for dd := 1; dd <= burst; dd++ {
+			dd := dd
+			src := w.In.Domains[0].Hosts[0]
+			dst := w.In.Domains[dd].Hosts[0]
+			src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+				if !ok {
+					return
+				}
+				for i := 0; i < 4; i++ {
+					i := i
+					w.Sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+						src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
+					})
+				}
+			})
+		}
+		w.Sim.RunFor(30 * time.Second)
+		x := w.In.Domains[0].XTRs[0]
+		tbl.AddRow(string(cp), burst, x.Stats.QueuedPackets, x.Stats.QueueTimeouts, x.Stats.Replayed)
+	}
+	tbl.AddNote("under PCE-CP the mappings precede the packets, so nothing needs buffering")
+	return tbl
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/lisp"
+)
+
+// rowFor returns the first table row whose first cell equals name.
+func rowFor(t *testing.T, rows [][]string, name string) []string {
+	t.Helper()
+	for _, r := range rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	t.Fatalf("no row for %q in %v", name, rows)
+	return nil
+}
+
+func cellFloat(t *testing.T, row []string, idx int) float64 {
+	t.Helper()
+	s := row[idx]
+	s = strings.TrimSuffix(s, "ms")
+	mult := 1.0
+	if strings.HasSuffix(s, "s") {
+		s = strings.TrimSuffix(s, "s")
+		mult = 1000
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", row[idx], err)
+	}
+	return v * mult
+}
+
+// TestE1ClaimNoDropsUnderPCE is the reproduction's headline assertion for
+// claim (i): PCE-CP and the ideal reference lose nothing; every pull CP
+// loses the head of cold flows.
+func TestE1ClaimNoDropsUnderPCE(t *testing.T) {
+	tbl := E1DropsDuringResolution(3, 4, 8, 20*time.Millisecond)
+	rows := tbl.Rows()
+
+	for _, cp := range []string{"ideal", "PCE-CP", "NERD"} {
+		row := rowFor(t, rows, cp)
+		if lost := cellFloat(t, row, 4); lost != 0 {
+			t.Errorf("%s lost %v packets, want 0", cp, lost)
+		}
+	}
+	for _, cp := range []string{"ALT", "CONS", "MS/MR"} {
+		row := rowFor(t, rows, cp)
+		if lost := cellFloat(t, row, 4); lost == 0 {
+			t.Errorf("%s lost nothing on cold flows — resolution must cost packets", cp)
+		}
+	}
+}
+
+// TestE2ClaimSetupLatency checks the latency ordering the paper predicts:
+// PCE-CP ~= ideal reference << queue policy << drop policy (RTO-bound).
+func TestE2ClaimSetupLatency(t *testing.T) {
+	tbl := E2HandshakeLatency(3, 4)
+	rows := tbl.Rows()
+
+	ideal := cellFloat(t, rowFor(t, rows, "ideal"), 3)
+	pce := cellFloat(t, rowFor(t, rows, "PCE-CP"), 3)
+	if pce > ideal*1.05 {
+		t.Errorf("PCE-CP mean setup %vms exceeds ideal %vms by more than 5%%", pce, ideal)
+	}
+
+	var altDrop, altQueue float64
+	for _, r := range rows {
+		if r[0] == "ALT" && r[1] == "drop" {
+			altDrop = cellFloat(t, r, 3)
+		}
+		if r[0] == "ALT" && r[1] == "queue" {
+			altQueue = cellFloat(t, r, 3)
+		}
+	}
+	// Drop policy pays the RFC 6298 RTO (>= 1s); queue policy pays Tmap.
+	if altDrop < 1000 {
+		t.Errorf("ALT/drop mean setup %vms; expected the 1s RTO to dominate", altDrop)
+	}
+	if altQueue >= altDrop {
+		t.Errorf("ALT/queue (%vms) should beat ALT/drop (%vms)", altQueue, altDrop)
+	}
+	if altQueue <= ideal {
+		t.Errorf("ALT/queue (%vms) cannot beat the ideal reference (%vms)", altQueue, ideal)
+	}
+	// SYN retransmissions: none under PCE, some under drop policies.
+	if rtx := cellFloat(t, rowFor(t, rows, "PCE-CP"), 6); rtx != 0 {
+		t.Errorf("PCE-CP retransmits/flow = %v, want 0", rtx)
+	}
+}
+
+// TestE3ClaimRatioOne checks claim (ii): the PCE's mapping-readiness
+// ratio is pinned at 1.0; pull CPs exceed it.
+func TestE3ClaimRatioOne(t *testing.T) {
+	tbl, cdfs := E3MappingWithinDNS(3, 4, 20)
+	rows := tbl.Rows()
+
+	pce := rowFor(t, rows, "PCE-CP")
+	if p95 := cellFloat(t, pce, 3); p95 > 1.0001 {
+		t.Errorf("PCE-CP ratio p95 = %v, want 1.0", p95)
+	}
+	if pct := cellFloat(t, pce, 5); pct < 99 {
+		t.Errorf("PCE-CP flows at ratio 1.0 = %v%%, want ~100%%", pct)
+	}
+	alt := rowFor(t, rows, "ALT")
+	if p95 := cellFloat(t, alt, 3); p95 <= 1.01 {
+		t.Errorf("ALT ratio p95 = %v; pull resolution must exceed TDNS", p95)
+	}
+	if len(cdfs[CPPCE]) == 0 {
+		t.Error("missing PCE CDF")
+	}
+}
+
+// TestE4ClaimTEBalance checks claim (iii): after the policy flip and
+// re-push, both directions of load spread across providers.
+func TestE4ClaimTEBalance(t *testing.T) {
+	tbl := E4TrafficEngineering(3, 3)
+	rows := tbl.Rows()
+	phase1 := rows[0]
+	phase2 := rows[1]
+
+	// Phase 1: everything on provider 0.
+	if in1 := cellFloat(t, phase1, 6); in1 > 0.2 {
+		t.Errorf("phase 1 ingress on P1 = %v, want ~0 (pinned)", in1)
+	}
+	// Phase 2: provider 1 carries real load and fairness improves.
+	if in1 := cellFloat(t, phase2, 6); in1 < 0.2 {
+		t.Errorf("phase 2 ingress on P1 = %v, rebalance did not move inbound traffic", in1)
+	}
+	j1 := cellFloat(t, phase1, 7)
+	j2 := cellFloat(t, phase2, 7)
+	if j2 <= j1 {
+		t.Errorf("ingress Jain did not improve: %v -> %v", j1, j2)
+	}
+	if reb := cellFloat(t, phase2, 8); reb == 0 {
+		t.Error("no rebalances fired")
+	}
+}
+
+// TestE5OverheadShape checks the structural expectations: NERD holds
+// global state at ITRs; PCE state is per-active-flow; per-flow message
+// cost is bounded for all CPs.
+func TestE5OverheadShape(t *testing.T) {
+	tbl := E5ControlOverhead(3, 4)
+	rows := tbl.Rows()
+
+	nerdState := cellFloat(t, rowFor(t, rows, "NERD"), 5)
+	pceState := cellFloat(t, rowFor(t, rows, "PCE-CP"), 5)
+	if nerdState <= 0 {
+		t.Error("NERD must hold database state at ITRs")
+	}
+	// NERD: every ITR holds every prefix (domains * domains entries).
+	if nerdState < 16 {
+		t.Errorf("NERD ITR state = %v, want >= domains^2 = 16", nerdState)
+	}
+	if pceState <= 0 {
+		t.Error("PCE-CP must hold per-flow state")
+	}
+	for _, cp := range []string{"ALT", "CONS", "MS/MR", "PCE-CP"} {
+		if msgs := cellFloat(t, rowFor(t, rows, cp), 4); msgs <= 0 || msgs > 50 {
+			t.Errorf("%s msgs/flow = %v, implausible", cp, msgs)
+		}
+	}
+}
+
+// TestE6TwoWayFasterUnderPCE checks that PCE two-way completion beats the
+// pull baseline.
+func TestE6TwoWayFasterUnderPCE(t *testing.T) {
+	tbl := E6TwoWayResolution(3, 2)
+	rows := tbl.Rows()
+	msmr := cellFloat(t, rowFor(t, rows, "MS/MR"), 3)
+	pce := cellFloat(t, rowFor(t, rows, "PCE-CP"), 3)
+	if msmr == 0 || pce == 0 {
+		t.Fatalf("missing measurements: MS/MR=%v PCE=%v", msmr, pce)
+	}
+	if pce >= msmr {
+		t.Errorf("PCE two-way %vms not faster than MS/MR %vms", pce, msmr)
+	}
+}
+
+// TestE7ScalingShape checks the growth directions: ALT root state and
+// NERD database grow linearly with domains; PCE's source-side state does
+// not.
+func TestE7ScalingShape(t *testing.T) {
+	tbl := E7Scalability(3, []int{4, 8}, 3)
+	rows := tbl.Rows()
+
+	find := func(cp string, domains string) []string {
+		for _, r := range rows {
+			if r[0] == cp && r[1] == domains {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", cp, domains)
+		return nil
+	}
+	alt4 := cellFloat(t, find("ALT", "4"), 3)
+	alt8 := cellFloat(t, find("ALT", "8"), 3)
+	if alt8 != 8 || alt4 != 4 {
+		t.Errorf("ALT root prefixes = %v/%v, want 4/8", alt4, alt8)
+	}
+	nerd8 := cellFloat(t, find("NERD", "8"), 4)
+	if nerd8 < 8 {
+		t.Errorf("NERD ITR state per domain = %v, want >= domains", nerd8)
+	}
+	pce4 := cellFloat(t, find("PCE-CP", "4"), 4)
+	if pce4 > 6 {
+		t.Errorf("PCE per-domain state = %v, should track active flows only", pce4)
+	}
+}
+
+// TestE8RaceAlwaysWon checks the architectural invariant: the push beats
+// the SYN in every trial.
+func TestE8RaceAlwaysWon(t *testing.T) {
+	tbl := E8RaceMargin(3, 4)
+	row := tbl.Rows()[0]
+	if lost := cellFloat(t, row, 2); lost != 0 {
+		t.Errorf("races lost = %v, want 0", lost)
+	}
+	if won := cellFloat(t, row, 1); won != 4 {
+		t.Errorf("races won = %v, want 4", won)
+	}
+	if minMargin := cellFloat(t, row, 3); minMargin <= 0 {
+		t.Errorf("minimum margin = %vms, want > 0", minMargin)
+	}
+}
+
+// TestE8FallbackWorks checks graceful degradation without the remote PCE.
+func TestE8FallbackWorks(t *testing.T) {
+	tbl := E8PCEFailureFallback(3)
+	rows := tbl.Rows()
+	full := rowFor(t, rows, "PCE both domains")
+	degraded := rowFor(t, rows, "PCE source only")
+	if full[1] != "true" || degraded[1] != "true" {
+		t.Fatalf("flows must succeed in both deployments: %v / %v", full, degraded)
+	}
+	if cellFloat(t, degraded, 2) <= cellFloat(t, full, 2) {
+		t.Error("fallback should cost extra latency")
+	}
+	if cellFloat(t, degraded, 4) == 0 {
+		t.Error("fallback must have used the MS/MR resolver")
+	}
+}
+
+// TestE8QueueMemoryShape checks that PCE-CP needs no buffering where the
+// queue palliative does.
+func TestE8QueueMemoryShape(t *testing.T) {
+	tbl := E8QueueMemory(3, 3)
+	rows := tbl.Rows()
+	msmr := rowFor(t, rows, "MS/MR")
+	pce := rowFor(t, rows, "PCE-CP")
+	if q := cellFloat(t, msmr, 2); q == 0 {
+		t.Error("MS/MR burst must queue packets")
+	}
+	if q := cellFloat(t, pce, 2); q != 0 {
+		t.Errorf("PCE-CP queued %v packets, want 0", q)
+	}
+}
+
+// TestRegistry sanity-checks the experiment index.
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("experiments = %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("E3"); !ok {
+		t.Error("ByID(E3) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) should fail")
+	}
+}
+
+// TestWorldBuilders exercises every CP through the harness at tiny scale.
+func TestWorldBuilders(t *testing.T) {
+	for _, cp := range AllCPs {
+		w := BuildWorld(WorldConfig{CP: cp, Domains: 2, Seed: 5, MissPolicy: lisp.MissQueue})
+		w.Settle()
+		var res FlowResult
+		w.StartFlow(0, 0, 1, 0, func(r FlowResult) { res = r })
+		w.Sim.RunFor(30 * time.Second)
+		if !res.OK {
+			t.Errorf("%s: flow failed: %+v", cp, res)
+		}
+		if res.TDNS <= 0 || res.Setup < res.Handshake {
+			t.Errorf("%s: inconsistent timings: %+v", cp, res)
+		}
+	}
+}
+
+func TestWorldUnknownCPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown CP must panic")
+		}
+	}()
+	BuildWorld(WorldConfig{CP: "bogus"})
+}

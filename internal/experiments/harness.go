@@ -1,0 +1,455 @@
+// Package experiments builds and runs the evaluation the paper implies:
+// the quantified versions of its three claims and the comparisons against
+// the control planes it cites. Every experiment produces paper-style
+// tables; cmd/experiments prints them and bench_test.go regenerates them
+// under `go test -bench`.
+//
+// The shared harness builds a multihomed LISP internet (internal/topo),
+// deploys one control plane across every domain — ALT, CONS, MS/MR, NERD,
+// the paper's PCE-CP, or an idealized "preinstalled" reference — and runs
+// instrumented flows (iterative DNS lookup, TCP handshake with RFC 6298
+// retransmission, then data) while recording when mappings become usable
+// at the ITRs.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/core"
+	"github.com/pcelisp/pcelisp/internal/irc"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/mapsys"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+	"github.com/pcelisp/pcelisp/internal/topo"
+	"github.com/pcelisp/pcelisp/internal/workload"
+)
+
+// CP names a control plane under test.
+type CP string
+
+// The control planes.
+const (
+	// CPPreinstalled is the idealized reference: every mapping preloaded
+	// everywhere, so flows pay only tunneling. It bounds what any control
+	// plane can achieve.
+	CPPreinstalled CP = "ideal"
+	// CPALT is the LISP+ALT overlay.
+	CPALT CP = "ALT"
+	// CPCONS is the LISP+CONS hierarchy.
+	CPCONS CP = "CONS"
+	// CPMSMR is the map-server/map-resolver infrastructure.
+	CPMSMR CP = "MS/MR"
+	// CPNERD is the push database.
+	CPNERD CP = "NERD"
+	// CPPCE is the paper's PCE-based control plane.
+	CPPCE CP = "PCE-CP"
+)
+
+// AllCPs lists the control planes in canonical table order.
+var AllCPs = []CP{CPPreinstalled, CPALT, CPCONS, CPMSMR, CPNERD, CPPCE}
+
+// authKey authenticates registrations in every deployment.
+var authKey = []byte("pcelisp-experiments")
+
+// WorldConfig shapes a harness world.
+type WorldConfig struct {
+	// CP selects the control plane.
+	CP CP
+	// Domains, HostsPerDomain, Providers shape the internet.
+	Domains        int
+	HostsPerDomain int
+	Providers      int
+	// MissPolicy applies to every ITR.
+	MissPolicy lisp.MissPolicy
+	// Seed drives all randomness.
+	Seed int64
+	// CoreDelayMin/Max bound provider-core delays.
+	CoreDelayMin, CoreDelayMax time.Duration
+	// SplitXTRs builds one xTR per provider instead of one multihomed.
+	SplitXTRs bool
+	// CapacityBps rate-limits provider links (0 = unlimited).
+	CapacityBps int64
+	// Policy is the IRC policy for PCE domains (default MinLatency).
+	Policy irc.Policy
+	// PCEDomains restricts PCE deployment to these domain indexes
+	// (nil = all); used by the interop/fallback ablations.
+	PCEDomains []int
+	// FallbackMSMR additionally deploys MS/MR as the underlying mapping
+	// system ITRs fall back to (E8).
+	FallbackMSMR bool
+	// DNSRecordTTL overrides host record TTLs.
+	DNSRecordTTL uint32
+}
+
+func (c *WorldConfig) fill() {
+	if c.Domains == 0 {
+		c.Domains = 2
+	}
+	if c.HostsPerDomain == 0 {
+		c.HostsPerDomain = 2
+	}
+	if c.Providers == 0 {
+		c.Providers = 2
+	}
+	if c.Policy == nil {
+		c.Policy = irc.MinLatency{}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// World is a built harness world.
+type World struct {
+	Cfg WorldConfig
+	In  *topo.Internet
+	Sim *simnet.Sim
+
+	// PCEs holds one PCE per domain under CPPCE (nil entries where the
+	// domain is PCE-less).
+	PCEs []*core.PCE
+	// ALT/CONS/MSMR/NERD hold the baseline deployment when active.
+	ALT  *mapsys.ALT
+	CONS *mapsys.CONS
+	MSMR *mapsys.MSMR
+	NERD *mapsys.NERDSystem
+
+	// TCP holds per-domain, per-host TCP endpoints; every host listens on
+	// port 80.
+	TCP [][]*workload.TCPHost
+
+	// mappingReady records, per destination EID, when a usable mapping
+	// first became installable at a source ITR (resolver completion or
+	// PCE push).
+	mappingReady map[netaddr.Addr]simnet.Time
+	// prefixReady records prefix-granularity readiness (NERD pushes).
+	prefixReady *netaddr.Trie[simnet.Time]
+}
+
+// timingResolver wraps a baseline resolver to record completion times.
+type timingResolver struct {
+	inner lisp.Resolver
+	w     *World
+}
+
+// Resolve implements lisp.Resolver.
+func (t *timingResolver) Resolve(eid netaddr.Addr, done func(*lisp.MapEntry, bool)) {
+	t.inner.Resolve(eid, func(e *lisp.MapEntry, ok bool) {
+		if ok {
+			t.w.markReady(eid)
+		}
+		done(e, ok)
+	})
+}
+
+func (w *World) markReady(eid netaddr.Addr) {
+	if _, seen := w.mappingReady[eid]; !seen {
+		w.mappingReady[eid] = w.Sim.Now()
+	}
+}
+
+// MappingReadyAt returns when eid's mapping first became usable.
+func (w *World) MappingReadyAt(eid netaddr.Addr) (simnet.Time, bool) {
+	if at, ok := w.mappingReady[eid]; ok {
+		return at, true
+	}
+	at, _, ok := w.prefixReady.Lookup(eid)
+	return at, ok
+}
+
+// BuildWorld constructs the internet and deploys the selected control
+// plane.
+func BuildWorld(cfg WorldConfig) *World {
+	cfg.fill()
+	spec := topo.Spec{
+		Seed:         cfg.Seed,
+		CoreDelayMin: cfg.CoreDelayMin,
+		CoreDelayMax: cfg.CoreDelayMax,
+		DNSRecordTTL: cfg.DNSRecordTTL,
+	}
+	for i := 0; i < cfg.Domains; i++ {
+		spec.Domains = append(spec.Domains, topo.DomainSpec{
+			Hosts:               cfg.HostsPerDomain,
+			Providers:           cfg.Providers,
+			MissPolicy:          cfg.MissPolicy,
+			SplitXTRs:           cfg.SplitXTRs,
+			ProviderCapacityBps: cfg.CapacityBps,
+		})
+	}
+	in := topo.Build(spec)
+	w := &World{
+		Cfg: cfg, In: in, Sim: in.Sim,
+		PCEs:         make([]*core.PCE, cfg.Domains),
+		mappingReady: make(map[netaddr.Addr]simnet.Time),
+		prefixReady:  netaddr.NewTrie[simnet.Time](),
+	}
+
+	switch cfg.CP {
+	case CPPreinstalled:
+		w.preinstallAll()
+	case CPALT:
+		w.ALT = mapsys.BuildALT(in.Sim, overlayConfigFor(cfg, in))
+		w.attachBaseline(w.ALT)
+	case CPCONS:
+		w.CONS = mapsys.BuildCONS(in.Sim, overlayConfigFor(cfg, in))
+		w.attachBaseline(w.CONS)
+	case CPMSMR:
+		w.MSMR = w.buildMSMR()
+		w.attachBaseline(w.MSMR)
+	case CPNERD:
+		authNode, authAddr := w.addInfraNode("nerd-authority", 50, 15*time.Millisecond)
+		authority := mapsys.NewNERD(authNode, authAddr, authKey)
+		authority.PollInterval = 60 * time.Second
+		w.NERD = mapsys.NewNERDSystem(authority, authKey)
+		for _, d := range in.Domains {
+			w.NERD.AttachSite(siteFor(d))
+			for _, x := range d.XTRs {
+				p := w.NERD.WireXTR(x)
+				p.OnInstall = func(prefix netaddr.Prefix) {
+					if _, _, seen := w.prefixReady.Lookup(prefix.Addr()); !seen {
+						w.prefixReady.Insert(prefix, w.Sim.Now())
+					}
+				}
+			}
+		}
+	case CPPCE:
+		if cfg.FallbackMSMR {
+			w.MSMR = w.buildMSMR()
+			w.attachBaseline(w.MSMR)
+		}
+		deployOn := cfg.PCEDomains
+		if deployOn == nil {
+			for i := range in.Domains {
+				deployOn = append(deployOn, i)
+			}
+		}
+		for _, i := range deployOn {
+			pce := core.DeployDomain(in.Domains[i], cfg.Policy)
+			pce.OnEvent = w.pceEvent
+			w.PCEs[i] = pce
+		}
+	default:
+		panic(fmt.Sprintf("experiments: unknown CP %q", cfg.CP))
+	}
+
+	// TCP endpoints everywhere; every host serves port 80.
+	for _, d := range in.Domains {
+		var hosts []*workload.TCPHost
+		for _, h := range d.Hosts {
+			th := workload.NewTCPHost(h.Node, h.Addr)
+			th.Listen(80)
+			hosts = append(hosts, th)
+		}
+		w.TCP = append(w.TCP, hosts)
+	}
+	return w
+}
+
+func (w *World) pceEvent(ev core.Event) {
+	if ev.Kind == core.EvFlowInstalled || ev.Kind == core.EvMappingPushed {
+		w.markReady(ev.DstEID)
+	}
+}
+
+// overlayConfigFor sizes the ALT/CONS tree to the domain count.
+func overlayConfigFor(cfg WorldConfig, in *topo.Internet) mapsys.OverlayConfig {
+	depth := 1
+	for leaves := 4; leaves < cfg.Domains && depth < 6; leaves *= 4 {
+		depth++
+	}
+	return mapsys.OverlayConfig{
+		Branching:    4,
+		Depth:        depth,
+		LinkDelay:    20 * time.Millisecond,
+		TunnelDelay:  10 * time.Millisecond,
+		NativeUplink: in.Core,
+	}
+}
+
+// siteFor converts a topo domain to a mapping-system site with all
+// providers as equal-priority locators.
+func siteFor(d *topo.Domain) *mapsys.Site {
+	locs := make([]packet.LISPLocator, len(d.Providers))
+	for i, p := range d.Providers {
+		locs[i] = packet.LISPLocator{
+			Priority: 1, Weight: uint8(100 / len(d.Providers)),
+			Reachable: true, Addr: p.RLOC,
+		}
+	}
+	return &mapsys.Site{
+		Prefix:   d.EIDPrefix,
+		Locators: locs,
+		Node:     d.XTRs[0].Node(),
+		Addr:     d.XTRs[0].RLOC(),
+		TTL:      300,
+		AuthKey:  authKey,
+	}
+}
+
+// attachBaseline wires a pull-based mapping system into every domain.
+func (w *World) attachBaseline(sys mapsys.System) {
+	for _, d := range w.In.Domains {
+		resolver := sys.AttachSite(siteFor(d))
+		if resolver == nil {
+			continue
+		}
+		timed := &timingResolver{inner: resolver, w: w}
+		for _, x := range d.XTRs {
+			x.SetResolver(timed)
+		}
+	}
+}
+
+func (w *World) buildMSMR() *mapsys.MSMR {
+	msNode, msAddr := w.addInfraNode("map-server", 51, 12*time.Millisecond)
+	mrNode, mrAddr := w.addInfraNode("map-resolver", 52, 10*time.Millisecond)
+	return mapsys.NewMSMR(msNode, msAddr, mrNode, mrAddr, authKey)
+}
+
+// addInfraNode hangs an infrastructure node off the core.
+func (w *World) addInfraNode(name string, octet byte, delay time.Duration) (*simnet.Node, netaddr.Addr) {
+	n := w.Sim.NewNode(name)
+	l := simnet.Connect(n, w.In.Core, simnet.LinkConfig{Delay: delay})
+	addr := netaddr.AddrFrom4(198, 51, octet, 1)
+	l.A().SetAddr(addr)
+	n.SetDefaultRoute(l.A())
+	w.In.Core.AddRoute(netaddr.PrefixFrom(netaddr.AddrFrom4(198, 51, octet, 0), 24), l.B())
+	return n, addr
+}
+
+// preinstallAll loads every cross-domain mapping into every ITR cache.
+func (w *World) preinstallAll() {
+	for _, src := range w.In.Domains {
+		for _, dst := range w.In.Domains {
+			if src == dst {
+				continue
+			}
+			locs := make([]packet.LISPLocator, len(dst.Providers))
+			for i, p := range dst.Providers {
+				locs[i] = packet.LISPLocator{Priority: 1, Weight: uint8(100 / len(dst.Providers)), Reachable: true, Addr: p.RLOC}
+			}
+			for _, x := range src.XTRs {
+				x.Cache.Insert(dst.EIDPrefix, locs, 0)
+			}
+		}
+		for _, h := range src.Hosts {
+			w.markReady(h.Addr) // ready at t=0 by construction
+		}
+	}
+}
+
+// FlowResult records one instrumented flow.
+type FlowResult struct {
+	// OK is true when the TCP handshake completed.
+	OK bool
+	// TDNS is the DNS resolution time seen by the host.
+	TDNS simnet.Time
+	// Setup is DNS start to TCP established.
+	Setup simnet.Time
+	// Handshake is TCP connect to established.
+	Handshake simnet.Time
+	// Retransmits counts SYN retransmissions.
+	Retransmits int
+	// MappingReady is DNS start to mapping availability at the source ITR
+	// (-1 when it never became ready).
+	MappingReady simnet.Time
+	// Src and Dst identify the flow.
+	Src, Dst netaddr.Addr
+}
+
+// Ratio returns the paper's (TDNS+Tmap)/TDNS metric: how far mapping
+// readiness extends past DNS resolution, as a multiple of TDNS.
+func (f FlowResult) Ratio() float64 {
+	if f.TDNS <= 0 {
+		return 0
+	}
+	ready := f.MappingReady
+	if ready < f.TDNS {
+		ready = f.TDNS // mapping was ready before DNS finished
+	}
+	return float64(ready) / float64(f.TDNS)
+}
+
+// StartFlow runs DNS-then-TCP from host (srcD, srcH) to host (dstD, dstH)
+// and calls done exactly once.
+func (w *World) StartFlow(srcD, srcH, dstD, dstH int, done func(FlowResult)) {
+	src := w.In.Domains[srcD].Hosts[srcH]
+	dst := w.In.Domains[dstD].Hosts[dstH]
+	start := w.Sim.Now()
+	res := FlowResult{Src: src.Addr, Dst: dst.Addr, MappingReady: -1}
+	src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, tdns simnet.Time, ok bool) {
+		res.TDNS = tdns
+		if !ok {
+			done(res)
+			return
+		}
+		w.TCP[srcD][srcH].Connect(addr, 80, func(cr workload.ConnResult) {
+			res.OK = cr.OK
+			res.Handshake = cr.Elapsed
+			res.Retransmits = cr.Retransmits
+			res.Setup = w.Sim.Now() - start
+			if at, ready := w.MappingReadyAt(dst.Addr); ready {
+				if at < start {
+					res.MappingReady = 0
+				} else {
+					res.MappingReady = at - start
+				}
+			}
+			done(res)
+		})
+	})
+}
+
+// Settle runs the simulation long enough for registrations, announcements
+// and first NERD polls to complete.
+func (w *World) Settle() { w.Sim.RunFor(2 * time.Second) }
+
+// ControlTotals reports inter-CP control traffic (messages, bytes) for
+// whichever system is deployed; PCE counts its PCECP traffic.
+func (w *World) ControlTotals() (msgs, bytes uint64) {
+	var cs mapsys.ControlStats
+	switch {
+	case w.ALT != nil:
+		cs = w.ALT.ControlTotals()
+	case w.CONS != nil:
+		cs = w.CONS.ControlTotals()
+	case w.MSMR != nil:
+		cs = w.MSMR.ControlTotals()
+	case w.NERD != nil:
+		cs = w.NERD.ControlTotals()
+	}
+	msgs, bytes = cs.TxMessages, cs.TxBytes
+	for _, pce := range w.PCEs {
+		if pce != nil {
+			msgs += pce.Stats.TxControlMessages
+			bytes += pce.Stats.TxControlBytes
+		}
+	}
+	return msgs, bytes
+}
+
+// ITRStateEntries sums mapping state (cache + flow entries) across all
+// ITRs.
+func (w *World) ITRStateEntries() int {
+	total := 0
+	for _, d := range w.In.Domains {
+		for _, x := range d.XTRs {
+			total += x.Cache.Len() + x.Flows.Len()
+		}
+	}
+	return total
+}
+
+// ITRDrops sums miss-policy losses across all ITRs.
+func (w *World) ITRDrops() uint64 {
+	var total uint64
+	for _, d := range w.In.Domains {
+		for _, x := range d.XTRs {
+			total += x.Stats.CacheMissDrops + x.Stats.QueueTimeouts + x.Stats.QueueOverflows
+		}
+	}
+	return total
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/metrics"
+)
+
+// Experiment is one entry of the reproduction's evaluation suite.
+type Experiment struct {
+	// ID is the experiment identifier ("E1" ... "E8").
+	ID string
+	// Title describes what it measures.
+	Title string
+	// Claim ties it to the paper.
+	Claim string
+	// Run executes the experiment at the given scale (0 = default) and
+	// returns its tables.
+	Run func(seed int64, quick bool) []*metrics.Table
+}
+
+// All returns the experiment suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID:    "E1",
+			Title: "Packet loss during mapping resolution",
+			Claim: "claim (i): no drops or queueing during resolution",
+			Run: func(seed int64, quick bool) []*metrics.Table {
+				domains := 6
+				if quick {
+					domains = 3
+				}
+				return []*metrics.Table{E1DropsDuringResolution(seed, domains, 10, 20*time.Millisecond)}
+			},
+		},
+		{
+			ID:    "E2",
+			Title: "TCP connection setup latency",
+			Claim: "weakness W2 / claim (ii): setup inflates by Tmap (or an RTO) without the PCE",
+			Run: func(seed int64, quick bool) []*metrics.Table {
+				domains := 6
+				if quick {
+					domains = 3
+				}
+				return []*metrics.Table{E2HandshakeLatency(seed, domains)}
+			},
+		},
+		{
+			ID:    "E3",
+			Title: "Mapping readiness within DNS time",
+			Claim: "claim (ii): (TDNS + Tmap)/TDNS ~= 1",
+			Run: func(seed int64, quick bool) []*metrics.Table {
+				domains, flows := 6, 60
+				if quick {
+					domains, flows = 3, 15
+				}
+				tbl, _ := E3MappingWithinDNS(seed, domains, flows)
+				return []*metrics.Table{tbl}
+			},
+		},
+		{
+			ID:    "E4",
+			Title: "Upstream/downstream traffic engineering",
+			Claim: "claim (iii): both directions engineered by re-pushing mappings",
+			Run: func(seed int64, quick bool) []*metrics.Table {
+				remotes := 4
+				if quick {
+					remotes = 2
+				}
+				return []*metrics.Table{E4TrafficEngineering(seed, remotes)}
+			},
+		},
+		{
+			ID:    "E5",
+			Title: "Control-plane overhead",
+			Claim: "comparison against ALT/CONS/NERD/MS-MR message and state cost",
+			Run: func(seed int64, quick bool) []*metrics.Table {
+				domains := 8
+				if quick {
+					domains = 4
+				}
+				return []*metrics.Table{E5ControlOverhead(seed, domains)}
+			},
+		},
+		{
+			ID:    "E6",
+			Title: "Two-way mapping resolution time",
+			Claim: "ETR multicast completes both directions on the first data packet",
+			Run: func(seed int64, quick bool) []*metrics.Table {
+				trials := 5
+				if quick {
+					trials = 2
+				}
+				return []*metrics.Table{E6TwoWayResolution(seed, trials)}
+			},
+		},
+		{
+			ID:    "E7",
+			Title: "Scalability with domain count",
+			Claim: "substrate comparison: where each control plane's cost grows",
+			Run: func(seed int64, quick bool) []*metrics.Table {
+				counts := []int{8, 16, 32}
+				if quick {
+					counts = []int{4, 8}
+				}
+				return []*metrics.Table{E7Scalability(seed, counts, 5)}
+			},
+		},
+		{
+			ID:    "E8",
+			Title: "Robustness ablations",
+			Claim: "race margin, PCE-failure fallback, queue-palliative memory",
+			Run: func(seed int64, quick bool) []*metrics.Table {
+				trials, burst := 10, 8
+				if quick {
+					trials, burst = 3, 4
+				}
+				return []*metrics.Table{
+					E8RaceMargin(seed, trials),
+					E8PCEFailureFallback(seed),
+					E8QueueMemory(seed, burst),
+				}
+			},
+		},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

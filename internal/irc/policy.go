@@ -1,0 +1,146 @@
+package irc
+
+import "sort"
+
+// MinLatency prefers the lowest-latency provider, keeping the others as
+// backups one priority level down.
+type MinLatency struct{}
+
+// Name implements Policy.
+func (MinLatency) Name() string { return "min-latency" }
+
+// Rank implements Policy.
+func (MinLatency) Rank(providers []ProviderState) []Choice {
+	if len(providers) == 0 {
+		return nil
+	}
+	best := 0
+	for i, p := range providers {
+		if p.LatencyMs < providers[best].LatencyMs {
+			best = i
+		}
+	}
+	out := []Choice{{Index: providers[best].Index, Priority: 1, Weight: 100}}
+	for i, p := range providers {
+		if i != best {
+			out = append(out, Choice{Index: p.Index, Priority: 2, Weight: 100})
+		}
+	}
+	return out
+}
+
+// LoadBalance splits traffic across providers proportionally to residual
+// capacity, the classic IRC utilization-balancing behaviour the paper's
+// TE claims build on.
+type LoadBalance struct{}
+
+// Name implements Policy.
+func (LoadBalance) Name() string { return "load-balance" }
+
+// Rank implements Policy.
+func (LoadBalance) Rank(providers []ProviderState) []Choice {
+	if len(providers) == 0 {
+		return nil
+	}
+	// Residual capacity share; floor at 5% so a saturated provider still
+	// receives a trickle and its recovery is observable.
+	weights := make([]float64, len(providers))
+	var total float64
+	for i, p := range providers {
+		residual := (1 - p.EgressUtil) * float64(p.CapacityBps)
+		if residual < 0.05*float64(p.CapacityBps) {
+			residual = 0.05 * float64(p.CapacityBps)
+		}
+		weights[i] = residual
+		total += residual
+	}
+	out := make([]Choice, len(providers))
+	for i, p := range providers {
+		w := int(weights[i] / total * 100)
+		if w < 1 {
+			w = 1
+		}
+		if w > 255 {
+			w = 255
+		}
+		out[i] = Choice{Index: p.Index, Priority: 1, Weight: uint8(w)}
+	}
+	return out
+}
+
+// CostAware fills providers from cheapest to most expensive, spilling to
+// the next tier when a provider crosses the spill threshold.
+type CostAware struct {
+	// SpillAt is the utilization above which traffic spills to the next
+	// cheapest provider (default 0.8).
+	SpillAt float64
+}
+
+// Name implements Policy.
+func (CostAware) Name() string { return "cost-aware" }
+
+// Rank implements Policy.
+func (c CostAware) Rank(providers []ProviderState) []Choice {
+	if len(providers) == 0 {
+		return nil
+	}
+	spill := c.SpillAt
+	if spill == 0 {
+		spill = 0.8
+	}
+	byCost := append([]ProviderState(nil), providers...)
+	sort.SliceStable(byCost, func(i, j int) bool {
+		if byCost[i].CostPerMbps != byCost[j].CostPerMbps {
+			return byCost[i].CostPerMbps < byCost[j].CostPerMbps
+		}
+		return byCost[i].Index < byCost[j].Index
+	})
+	out := make([]Choice, 0, len(byCost))
+	prio := uint8(1)
+	for _, p := range byCost {
+		if p.EgressUtil >= spill {
+			// Saturated cheap provider: keep it at this priority with low
+			// weight and open the next tier.
+			out = append(out, Choice{Index: p.Index, Priority: prio, Weight: 5})
+			prio++
+			continue
+		}
+		out = append(out, Choice{Index: p.Index, Priority: prio, Weight: 100})
+		prio++
+	}
+	// The cheapest unsaturated provider ends up with the lowest priority
+	// value; others are spill tiers.
+	return out
+}
+
+// EqualSplit spreads traffic evenly — the reference point TE experiments
+// compare against.
+type EqualSplit struct{}
+
+// Name implements Policy.
+func (EqualSplit) Name() string { return "equal-split" }
+
+// Rank implements Policy.
+func (EqualSplit) Rank(providers []ProviderState) []Choice {
+	return equalSplit(providers)
+}
+
+// Pinned always selects one provider — how the symmetric-LISP baseline
+// behaves when the ITR is fixed (claim iii's foil).
+type Pinned struct {
+	// Index is the pinned provider.
+	Index int
+}
+
+// Name implements Policy.
+func (Pinned) Name() string { return "pinned" }
+
+// Rank implements Policy.
+func (p Pinned) Rank(providers []ProviderState) []Choice {
+	for _, s := range providers {
+		if s.Index == p.Index {
+			return []Choice{{Index: s.Index, Priority: 1, Weight: 100}}
+		}
+	}
+	return nil
+}

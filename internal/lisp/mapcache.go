@@ -1,0 +1,243 @@
+// Package lisp implements the LISP data plane of draft-farinacci-lisp-08:
+// Ingress Tunnel Routers (ITRs) that encapsulate EID-addressed packets
+// toward Routing Locators, Egress Tunnel Routers (ETRs) that decapsulate
+// them, the EID-to-RLOC map-cache with TTL ageing and LRU capacity, and
+// the cache-miss policies whose cost the paper's claim (i) is about:
+// dropping or queueing packets while the mapping resolves.
+//
+// The paper's PCE control plane extends the data plane with per-flow
+// mappings — the (ES, ED, RLOCS, RLOCD) tuples of step 7b — which let an
+// ITR stamp an outer source RLOC different from its own address,
+// realizing two independent one-way tunnels.
+package lisp
+
+import (
+	"container/list"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// MapEntry is one EID-prefix-to-RLOC-set mapping in an ITR's map-cache.
+type MapEntry struct {
+	// EIDPrefix is the covered EID range.
+	EIDPrefix netaddr.Prefix
+	// Locators is the RLOC set with priorities and weights.
+	Locators []packet.LISPLocator
+	// Expires is the absolute virtual expiry time (0 = never).
+	Expires simnet.Time
+}
+
+// Expired reports whether the entry is stale at time now.
+func (e *MapEntry) Expired(now simnet.Time) bool {
+	return e.Expires != 0 && now >= e.Expires
+}
+
+// SelectLocator picks an RLOC for a flow: the lowest priority level, then
+// weighted selection among that level keyed by the flow hash, so a flow
+// sticks to one locator while aggregate traffic splits by weight.
+func (e *MapEntry) SelectLocator(flowHash uint64) (packet.LISPLocator, bool) {
+	bestPrio := -1
+	for _, l := range e.Locators {
+		if l.Priority == 255 || !l.Reachable {
+			continue
+		}
+		if bestPrio < 0 || int(l.Priority) < bestPrio {
+			bestPrio = int(l.Priority)
+		}
+	}
+	if bestPrio < 0 {
+		return packet.LISPLocator{}, false
+	}
+	var total uint32
+	for _, l := range e.Locators {
+		if int(l.Priority) == bestPrio && l.Reachable {
+			w := uint32(l.Weight)
+			if w == 0 {
+				w = 1
+			}
+			total += w
+		}
+	}
+	target := uint32(flowHash % uint64(total))
+	for _, l := range e.Locators {
+		if int(l.Priority) != bestPrio || !l.Reachable {
+			continue
+		}
+		w := uint32(l.Weight)
+		if w == 0 {
+			w = 1
+		}
+		if target < w {
+			return l, true
+		}
+		target -= w
+	}
+	return packet.LISPLocator{}, false
+}
+
+// MapCacheStats counts cache activity.
+type MapCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Expired   uint64
+	Evictions uint64
+	Inserts   uint64
+}
+
+// MapCache is the ITR's EID-to-RLOC cache: longest-prefix-match lookups,
+// TTL expiry against virtual time, and optional LRU capacity. NERD-style
+// full-database ITRs use capacity 0 (unbounded); cache-based ITRs use a
+// finite capacity, which is where the paper's miss penalties come from.
+type MapCache struct {
+	sim      *simnet.Sim
+	trie     *netaddr.Trie[*MapEntry]
+	capacity int
+	lru      *list.List // front = most recent; values are netaddr.Prefix
+	elems    map[netaddr.Prefix]*list.Element
+
+	// Stats counts cache activity for the experiments.
+	Stats MapCacheStats
+}
+
+// NewMapCache creates a cache; capacity 0 means unbounded.
+func NewMapCache(sim *simnet.Sim, capacity int) *MapCache {
+	return &MapCache{
+		sim:      sim,
+		trie:     netaddr.NewTrie[*MapEntry](),
+		capacity: capacity,
+		lru:      list.New(),
+		elems:    make(map[netaddr.Prefix]*list.Element),
+	}
+}
+
+// Len returns the number of live entries.
+func (c *MapCache) Len() int { return c.trie.Len() }
+
+// Insert stores a mapping with ttl seconds of life (0 = immortal),
+// evicting the least recently used entry if at capacity.
+func (c *MapCache) Insert(prefix netaddr.Prefix, locators []packet.LISPLocator, ttl uint32) *MapEntry {
+	e := &MapEntry{EIDPrefix: prefix, Locators: locators}
+	if ttl > 0 {
+		e.Expires = c.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
+	}
+	if el, ok := c.elems[prefix]; ok {
+		c.lru.MoveToFront(el)
+	} else {
+		if c.capacity > 0 && c.lru.Len() >= c.capacity {
+			oldest := c.lru.Back()
+			c.removeElement(oldest)
+			c.Stats.Evictions++
+		}
+		c.elems[prefix] = c.lru.PushFront(prefix)
+	}
+	c.trie.Insert(prefix, e)
+	c.Stats.Inserts++
+	return e
+}
+
+func (c *MapCache) removeElement(el *list.Element) {
+	p := el.Value.(netaddr.Prefix)
+	c.lru.Remove(el)
+	delete(c.elems, p)
+	c.trie.Delete(p)
+}
+
+// Delete removes the exact prefix.
+func (c *MapCache) Delete(prefix netaddr.Prefix) bool {
+	el, ok := c.elems[prefix]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+// Lookup finds the longest-prefix mapping for eid, handling expiry and
+// LRU touch.
+func (c *MapCache) Lookup(eid netaddr.Addr) (*MapEntry, bool) {
+	e, p, ok := c.trie.Lookup(eid)
+	if !ok {
+		c.Stats.Misses++
+		return nil, false
+	}
+	// The trie reports the matched length; recover the exact prefix key.
+	key := netaddr.PrefixFrom(eid, p.Bits())
+	if e.Expired(c.sim.Now()) {
+		c.Stats.Expired++
+		c.Stats.Misses++
+		if el, found := c.elems[key]; found {
+			c.removeElement(el)
+		}
+		return nil, false
+	}
+	c.Stats.Hits++
+	if el, found := c.elems[key]; found {
+		c.lru.MoveToFront(el)
+	}
+	return e, true
+}
+
+// Walk visits all entries (including expired ones awaiting lazy eviction).
+func (c *MapCache) Walk(fn func(netaddr.Prefix, *MapEntry) bool) {
+	c.trie.Walk(func(p netaddr.Prefix, e *MapEntry) bool { return fn(p, e) })
+}
+
+// FlowKey identifies a unidirectional flow by its EID pair.
+type FlowKey struct {
+	// Src and Dst are the inner source and destination EIDs.
+	Src, Dst netaddr.Addr
+}
+
+// FlowEntry is a per-flow mapping installed by the PCE control plane: the
+// paper's (ES, ED, RLOCS, RLOCD) tuple.
+type FlowEntry struct {
+	// SrcRLOC is the outer source to stamp (may differ from the ITR's own
+	// RLOC — the reverse-direction TE knob).
+	SrcRLOC netaddr.Addr
+	// DstRLOC is the outer destination.
+	DstRLOC netaddr.Addr
+	// Expires is the absolute expiry (0 = never).
+	Expires simnet.Time
+}
+
+// FlowTable holds per-flow mappings with TTL expiry.
+type FlowTable struct {
+	sim     *simnet.Sim
+	entries map[FlowKey]FlowEntry
+}
+
+// NewFlowTable returns an empty flow table.
+func NewFlowTable(sim *simnet.Sim) *FlowTable {
+	return &FlowTable{sim: sim, entries: make(map[FlowKey]FlowEntry)}
+}
+
+// Insert installs a flow mapping with ttl seconds of life (0 = immortal).
+func (t *FlowTable) Insert(k FlowKey, srcRLOC, dstRLOC netaddr.Addr, ttl uint32) {
+	e := FlowEntry{SrcRLOC: srcRLOC, DstRLOC: dstRLOC}
+	if ttl > 0 {
+		e.Expires = t.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
+	}
+	t.entries[k] = e
+}
+
+// Lookup returns the live entry for k.
+func (t *FlowTable) Lookup(k FlowKey) (FlowEntry, bool) {
+	e, ok := t.entries[k]
+	if !ok {
+		return FlowEntry{}, false
+	}
+	if e.Expires != 0 && t.sim.Now() >= e.Expires {
+		delete(t.entries, k)
+		return FlowEntry{}, false
+	}
+	return e, true
+}
+
+// Delete removes the entry for k.
+func (t *FlowTable) Delete(k FlowKey) { delete(t.entries, k) }
+
+// Len returns the number of entries including expired-but-unevicted ones.
+func (t *FlowTable) Len() int { return len(t.entries) }

@@ -1,0 +1,202 @@
+package lisp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+func loc(addr string, prio, weight uint8) packet.LISPLocator {
+	return packet.LISPLocator{
+		Priority: prio, Weight: weight, Reachable: true,
+		Addr: netaddr.MustParseAddr(addr),
+	}
+}
+
+func TestMapCacheInsertLookup(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	p := netaddr.MustParsePrefix("100.2.0.0/16")
+	c.Insert(p, []packet.LISPLocator{loc("12.0.0.1", 1, 100)}, 60)
+	e, ok := c.Lookup(netaddr.MustParseAddr("100.2.3.4"))
+	if !ok || e.EIDPrefix != p {
+		t.Fatalf("lookup = %+v, %v", e, ok)
+	}
+	if _, ok := c.Lookup(netaddr.MustParseAddr("100.3.0.1")); ok {
+		t.Fatal("lookup outside prefix must miss")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 || c.Stats.Inserts != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestMapCacheTTLExpiry(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	c.Insert(netaddr.MustParsePrefix("100.2.0.0/16"), []packet.LISPLocator{loc("12.0.0.1", 1, 100)}, 10)
+	s.RunFor(9 * time.Second)
+	if _, ok := c.Lookup(netaddr.MustParseAddr("100.2.0.1")); !ok {
+		t.Fatal("entry expired early")
+	}
+	s.RunFor(2 * time.Second)
+	if _, ok := c.Lookup(netaddr.MustParseAddr("100.2.0.1")); ok {
+		t.Fatal("entry must expire after TTL")
+	}
+	if c.Stats.Expired != 1 {
+		t.Fatalf("expired = %d", c.Stats.Expired)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry not evicted: len=%d", c.Len())
+	}
+}
+
+func TestMapCacheLRUEviction(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 3)
+	locators := []packet.LISPLocator{loc("12.0.0.1", 1, 100)}
+	p := func(i int) netaddr.Prefix {
+		return netaddr.PrefixFrom(netaddr.AddrFrom4(100, byte(i), 0, 0), 16)
+	}
+	for i := 1; i <= 3; i++ {
+		c.Insert(p(i), locators, 0)
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, ok := c.Lookup(netaddr.AddrFrom4(100, 1, 0, 1)); !ok {
+		t.Fatal("touch miss")
+	}
+	c.Insert(p(4), locators, 0)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Lookup(netaddr.AddrFrom4(100, 2, 0, 1)); ok {
+		t.Fatal("LRU entry 2 must have been evicted")
+	}
+	if _, ok := c.Lookup(netaddr.AddrFrom4(100, 1, 0, 1)); !ok {
+		t.Fatal("recently used entry 1 must survive")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+func TestMapCacheReinsertUpdates(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 2)
+	p := netaddr.MustParsePrefix("100.2.0.0/16")
+	c.Insert(p, []packet.LISPLocator{loc("12.0.0.1", 1, 100)}, 0)
+	c.Insert(p, []packet.LISPLocator{loc("13.0.0.1", 1, 100)}, 0)
+	if c.Len() != 1 {
+		t.Fatalf("reinsert duplicated: len=%d", c.Len())
+	}
+	e, _ := c.Lookup(netaddr.MustParseAddr("100.2.0.1"))
+	if e.Locators[0].Addr != netaddr.MustParseAddr("13.0.0.1") {
+		t.Fatal("reinsert did not update locators")
+	}
+}
+
+func TestMapCacheDeleteAndWalk(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	p1 := netaddr.MustParsePrefix("100.1.0.0/16")
+	p2 := netaddr.MustParsePrefix("100.2.0.0/16")
+	c.Insert(p1, nil, 0)
+	c.Insert(p2, nil, 0)
+	if !c.Delete(p1) || c.Delete(p1) {
+		t.Fatal("delete semantics broken")
+	}
+	seen := 0
+	c.Walk(func(p netaddr.Prefix, e *MapEntry) bool {
+		if p != p2 {
+			t.Fatalf("walk saw %v", p)
+		}
+		seen++
+		return true
+	})
+	if seen != 1 {
+		t.Fatalf("walk saw %d entries", seen)
+	}
+}
+
+func TestMapCacheLongestPrefixWins(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	c.Insert(netaddr.MustParsePrefix("100.0.0.0/8"), []packet.LISPLocator{loc("12.0.0.1", 1, 1)}, 0)
+	c.Insert(netaddr.MustParsePrefix("100.2.0.0/16"), []packet.LISPLocator{loc("13.0.0.1", 1, 1)}, 0)
+	e, ok := c.Lookup(netaddr.MustParseAddr("100.2.9.9"))
+	if !ok || e.EIDPrefix.Bits() != 16 {
+		t.Fatalf("lookup = %+v", e)
+	}
+}
+
+func TestSelectLocatorPriorityAndWeight(t *testing.T) {
+	e := &MapEntry{Locators: []packet.LISPLocator{
+		loc("12.0.0.1", 1, 75),
+		loc("13.0.0.1", 1, 25),
+		loc("14.0.0.1", 2, 100), // backup priority, never chosen
+	}}
+	counts := map[netaddr.Addr]int{}
+	for h := uint64(0); h < 10000; h++ {
+		l, ok := e.SelectLocator(h * 2654435761)
+		if !ok {
+			t.Fatal("selection failed")
+		}
+		counts[l.Addr]++
+	}
+	if counts[netaddr.MustParseAddr("14.0.0.1")] != 0 {
+		t.Fatal("backup-priority locator must not be selected")
+	}
+	frac := float64(counts[netaddr.MustParseAddr("12.0.0.1")]) / 10000
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("weight-75 locator got %.2f of flows", frac)
+	}
+}
+
+func TestSelectLocatorDeterministicPerFlow(t *testing.T) {
+	e := &MapEntry{Locators: []packet.LISPLocator{loc("12.0.0.1", 1, 50), loc("13.0.0.1", 1, 50)}}
+	a1, _ := e.SelectLocator(12345)
+	a2, _ := e.SelectLocator(12345)
+	if a1.Addr != a2.Addr {
+		t.Fatal("same flow hash must select the same locator")
+	}
+}
+
+func TestSelectLocatorUnusable(t *testing.T) {
+	e := &MapEntry{Locators: []packet.LISPLocator{
+		{Priority: 255, Weight: 1, Reachable: true, Addr: 1},
+		{Priority: 1, Weight: 1, Reachable: false, Addr: 2},
+	}}
+	if _, ok := e.SelectLocator(1); ok {
+		t.Fatal("no usable locator must fail selection")
+	}
+	// Zero-weight locators still selectable (weight floored to 1).
+	e2 := &MapEntry{Locators: []packet.LISPLocator{{Priority: 1, Weight: 0, Reachable: true, Addr: 3}}}
+	if _, ok := e2.SelectLocator(1); !ok {
+		t.Fatal("zero-weight locator must be usable")
+	}
+}
+
+func TestFlowTable(t *testing.T) {
+	s := simnet.New(1)
+	ft := NewFlowTable(s)
+	k := FlowKey{Src: netaddr.MustParseAddr("100.1.0.5"), Dst: netaddr.MustParseAddr("100.2.0.9")}
+	ft.Insert(k, netaddr.MustParseAddr("11.0.0.1"), netaddr.MustParseAddr("13.0.0.1"), 10)
+	e, ok := ft.Lookup(k)
+	if !ok || e.SrcRLOC != netaddr.MustParseAddr("11.0.0.1") {
+		t.Fatalf("flow lookup = %+v, %v", e, ok)
+	}
+	if _, ok := ft.Lookup(FlowKey{Src: k.Dst, Dst: k.Src}); ok {
+		t.Fatal("reverse key must not match")
+	}
+	s.RunFor(11 * time.Second)
+	if _, ok := ft.Lookup(k); ok {
+		t.Fatal("flow entry must expire")
+	}
+	ft.Insert(k, 1, 2, 0)
+	ft.Delete(k)
+	if ft.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+}

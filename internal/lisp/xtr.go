@@ -1,0 +1,392 @@
+package lisp
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// MissPolicy selects what an ITR does with packets that miss the
+// map-cache while the mapping resolves — the subject of claim (i).
+type MissPolicy int
+
+const (
+	// MissDrop drops the packet (the draft-08 default the paper
+	// criticizes: "the initial packets ... can be dropped at the ITR").
+	MissDrop MissPolicy = iota
+	// MissQueue buffers packets per destination EID and replays them when
+	// the mapping arrives — the "debatable features to border routers"
+	// palliative.
+	MissQueue
+)
+
+// String names the policy.
+func (p MissPolicy) String() string {
+	switch p {
+	case MissDrop:
+		return "drop"
+	case MissQueue:
+		return "queue"
+	default:
+		return "?"
+	}
+}
+
+// Resolver is the ITR's interface to a mapping system (ALT, CONS, NERD,
+// MS/MR). Resolve must eventually call done exactly once; ok=false means
+// the resolution failed or timed out.
+type Resolver interface {
+	Resolve(eid netaddr.Addr, done func(entry *MapEntry, ok bool))
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(eid netaddr.Addr, done func(entry *MapEntry, ok bool))
+
+// Resolve implements Resolver.
+func (f ResolverFunc) Resolve(eid netaddr.Addr, done func(entry *MapEntry, ok bool)) {
+	f(eid, done)
+}
+
+// XTRStats counts tunnel-router activity.
+type XTRStats struct {
+	// EncapPackets counts packets encapsulated toward remote RLOCs.
+	EncapPackets uint64
+	// DecapPackets counts packets decapsulated for local delivery.
+	DecapPackets uint64
+	// CacheMissDrops counts data packets dropped by MissDrop during
+	// resolution — the paper's headline problem.
+	CacheMissDrops uint64
+	// QueuedPackets counts packets buffered by MissQueue.
+	QueuedPackets uint64
+	// QueueOverflows counts buffer-full drops under MissQueue.
+	QueueOverflows uint64
+	// QueueTimeouts counts buffered packets dropped because resolution
+	// never answered.
+	QueueTimeouts uint64
+	// Replayed counts buffered packets sent after late mapping arrival.
+	Replayed uint64
+	// ResolutionsStarted counts mapping-system resolutions triggered.
+	ResolutionsStarted uint64
+	// ResolutionsFailed counts resolutions that came back negative.
+	ResolutionsFailed uint64
+	// FlowMappingsUsed counts encapsulations that used a per-flow entry.
+	FlowMappingsUsed uint64
+	// NonEIDForwarded counts intercepted packets that were not EID-bound.
+	NonEIDForwarded uint64
+}
+
+// XTRConfig configures a tunnel router.
+type XTRConfig struct {
+	// RLOC is the router's own locator, the default outer source.
+	RLOC netaddr.Addr
+	// LocalEIDs is the site's EID prefix: packets destined inside it are
+	// never encapsulated, and only packets sourced inside it are.
+	LocalEIDs netaddr.Prefix
+	// EIDSpace is the global EID space; destinations outside it are plain
+	// transit (RLOC-addressed) traffic.
+	EIDSpace netaddr.Prefix
+	// CacheCapacity bounds the map-cache (0 = unbounded).
+	CacheCapacity int
+	// MissPolicy selects drop vs queue behaviour.
+	MissPolicy MissPolicy
+	// QueueCapPerEID bounds buffered packets per destination EID under
+	// MissQueue (default 8).
+	QueueCapPerEID int
+	// QueueTimeout bounds how long packets wait for a mapping
+	// (default 3s).
+	QueueTimeout simnet.Time
+	// Resolver is the mapping system to consult on cache misses. May be
+	// nil for pure-push control planes (NERD, PCE-CP), in which case
+	// misses follow the policy with no resolution.
+	Resolver Resolver
+}
+
+// XTR is a LISP tunnel router combining the ITR (encapsulate) and ETR
+// (decapsulate) roles, as border routers do in practice and in the paper's
+// Fig. 1. Install it on a border node with InstallXTR.
+type XTR struct {
+	node *simnet.Node
+	cfg  XTRConfig
+
+	// Cache is the EID-prefix map-cache.
+	Cache *MapCache
+	// Flows is the per-flow table installed by the PCE control plane.
+	Flows *FlowTable
+
+	queue     map[netaddr.Addr][]queuedPacket
+	resolving map[netaddr.Addr]bool
+
+	// OnDecap, when set, is invoked for every decapsulated packet. The
+	// PCE control plane hooks it to learn and multicast reverse mappings.
+	OnDecap func(info DecapInfo)
+
+	seenSources map[FlowKey]bool
+
+	// Stats counts activity for the experiments.
+	Stats XTRStats
+}
+
+type queuedPacket struct {
+	data     []byte
+	deadline simnet.Time
+}
+
+// InstallXTR attaches LISP tunnel-router behaviour to node: a sniffer
+// intercepts outbound EID-destined packets for encapsulation, and a UDP
+// handler on port 4341 decapsulates inbound tunnels.
+func InstallXTR(node *simnet.Node, cfg XTRConfig) *XTR {
+	if cfg.QueueCapPerEID == 0 {
+		cfg.QueueCapPerEID = 8
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = 3 * time.Second
+	}
+	x := &XTR{
+		node:        node,
+		cfg:         cfg,
+		Cache:       NewMapCache(node.Sim(), cfg.CacheCapacity),
+		Flows:       NewFlowTable(node.Sim()),
+		queue:       make(map[netaddr.Addr][]queuedPacket),
+		resolving:   make(map[netaddr.Addr]bool),
+		seenSources: make(map[FlowKey]bool),
+	}
+	node.AddSniffer(x.interceptOutbound)
+	node.ListenUDP(packet.PortLISPData, x.decap)
+	return x
+}
+
+// Node returns the hosting node.
+func (x *XTR) Node() *simnet.Node { return x.node }
+
+// SetResolver installs the mapping system consulted on cache misses.
+// Control planes are wired after the data plane, so this is settable.
+func (x *XTR) SetResolver(r Resolver) { x.cfg.Resolver = r }
+
+// MissPolicy returns the configured miss policy.
+func (x *XTR) MissPolicy() MissPolicy { return x.cfg.MissPolicy }
+
+// RLOC returns the router's own locator.
+func (x *XTR) RLOC() netaddr.Addr { return x.cfg.RLOC }
+
+// LocalEIDs returns the site prefix.
+func (x *XTR) LocalEIDs() netaddr.Prefix { return x.cfg.LocalEIDs }
+
+// interceptOutbound encapsulates packets leaving the site toward remote
+// EIDs. Anything else passes through to normal forwarding.
+func (x *XTR) interceptOutbound(d *simnet.Delivery) simnet.SnifferVerdict {
+	dst, ok := packet.PeekIPv4Dst(d.Data)
+	if !ok {
+		return simnet.SnifferPass
+	}
+	if !x.cfg.EIDSpace.Contains(dst) || x.cfg.LocalEIDs.Contains(dst) {
+		return simnet.SnifferPass // transit or intra-site traffic
+	}
+	src, _ := packet.PeekIPv4Src(d.Data)
+	if !x.cfg.LocalEIDs.Contains(src) {
+		// EID-destined but not sourced here: without a mapping this is
+		// unroutable; treat like a miss-policy packet from elsewhere.
+		x.Stats.NonEIDForwarded++
+	}
+	x.handleOutbound(src, dst, d.Data)
+	return simnet.SnifferConsume
+}
+
+func (x *XTR) handleOutbound(src, dst netaddr.Addr, data []byte) {
+	// Per-flow mapping (PCE 4-tuple) takes precedence: it carries the
+	// engineered source RLOC.
+	if fe, ok := x.Flows.Lookup(FlowKey{Src: src, Dst: dst}); ok {
+		x.Stats.FlowMappingsUsed++
+		x.encap(fe.SrcRLOC, fe.DstRLOC, data)
+		return
+	}
+	if e, ok := x.Cache.Lookup(dst); ok {
+		h := packet.NewFlow(packet.NewIPv4Endpoint(src), packet.NewIPv4Endpoint(dst)).FastHash()
+		loc, usable := e.SelectLocator(h)
+		if !usable {
+			x.dropOnMiss(dst, data)
+			return
+		}
+		x.encap(x.cfg.RLOC, loc.Addr, data)
+		return
+	}
+	x.dropOnMiss(dst, data)
+}
+
+// dropOnMiss applies the miss policy and triggers resolution.
+func (x *XTR) dropOnMiss(dst netaddr.Addr, data []byte) {
+	switch x.cfg.MissPolicy {
+	case MissQueue:
+		q := x.queue[dst]
+		if len(q) >= x.cfg.QueueCapPerEID {
+			x.Stats.QueueOverflows++
+		} else {
+			x.queue[dst] = append(q, queuedPacket{data: data, deadline: x.node.Sim().Now() + x.cfg.QueueTimeout})
+			x.Stats.QueuedPackets++
+			x.scheduleQueueExpiry(dst)
+		}
+	default:
+		x.Stats.CacheMissDrops++
+	}
+	x.startResolution(dst)
+}
+
+func (x *XTR) scheduleQueueExpiry(dst netaddr.Addr) {
+	x.node.Sim().Schedule(x.cfg.QueueTimeout, func() {
+		now := x.node.Sim().Now()
+		q := x.queue[dst]
+		kept := q[:0]
+		for _, qp := range q {
+			if qp.deadline > now {
+				kept = append(kept, qp)
+			} else {
+				x.Stats.QueueTimeouts++
+			}
+		}
+		if len(kept) == 0 {
+			delete(x.queue, dst)
+		} else {
+			x.queue[dst] = kept
+		}
+	})
+}
+
+func (x *XTR) startResolution(dst netaddr.Addr) {
+	if x.cfg.Resolver == nil || x.resolving[dst] {
+		return
+	}
+	x.resolving[dst] = true
+	x.Stats.ResolutionsStarted++
+	x.cfg.Resolver.Resolve(dst, func(entry *MapEntry, ok bool) {
+		delete(x.resolving, dst)
+		if !ok || entry == nil {
+			x.Stats.ResolutionsFailed++
+			return
+		}
+		x.InstallMapping(entry)
+	})
+}
+
+// InstallMapping inserts a prefix mapping into the cache and replays any
+// packets queued for EIDs it covers.
+func (x *XTR) InstallMapping(entry *MapEntry) {
+	ttl := uint32(0)
+	if entry.Expires != 0 {
+		remaining := entry.Expires - x.node.Sim().Now()
+		if remaining <= 0 {
+			return
+		}
+		ttl = uint32(remaining / simnet.Time(time.Second))
+		if ttl == 0 {
+			ttl = 1
+		}
+	}
+	e := x.Cache.Insert(entry.EIDPrefix, entry.Locators, ttl)
+	for dst, q := range x.queue {
+		if !entry.EIDPrefix.Contains(dst) {
+			continue
+		}
+		delete(x.queue, dst)
+		for _, qp := range q {
+			src, _ := packet.PeekIPv4Src(qp.data)
+			h := packet.NewFlow(packet.NewIPv4Endpoint(src), packet.NewIPv4Endpoint(dst)).FastHash()
+			if loc, usable := e.SelectLocator(h); usable {
+				x.Stats.Replayed++
+				x.encap(x.cfg.RLOC, loc.Addr, qp.data)
+			} else {
+				x.Stats.QueueTimeouts++
+			}
+		}
+	}
+}
+
+// InstallFlow installs a per-flow 4-tuple (the PCE step-7b push) and
+// replays queued packets for its destination.
+func (x *XTR) InstallFlow(srcEID, dstEID, srcRLOC, dstRLOC netaddr.Addr, ttl uint32) {
+	x.Flows.Insert(FlowKey{Src: srcEID, Dst: dstEID}, srcRLOC, dstRLOC, ttl)
+	q := x.queue[dstEID]
+	if len(q) == 0 {
+		return
+	}
+	kept := q[:0]
+	for _, qp := range q {
+		src, _ := packet.PeekIPv4Src(qp.data)
+		if src == srcEID {
+			x.Stats.Replayed++
+			x.encap(srcRLOC, dstRLOC, qp.data)
+		} else {
+			kept = append(kept, qp)
+		}
+	}
+	if len(kept) == 0 {
+		delete(x.queue, dstEID)
+	} else {
+		x.queue[dstEID] = kept
+	}
+}
+
+// encap wraps data in outer IPv4/UDP/LISP and sends it. When this router
+// owns the source RLOC on one of its own uplinks, the packet leaves
+// through that uplink — source-based egress steering, which is how a
+// multihomed xTR realizes the IRC engine's egress choice. A source RLOC
+// owned by a sibling xTR just gets stamped: the packet leaves via the
+// default route and only the *return* path shifts (the paper's
+// independent one-way tunnels).
+func (x *XTR) encap(srcRLOC, dstRLOC netaddr.Addr, inner []byte) {
+	x.Stats.EncapPackets++
+	outerIP := &packet.IPv4{
+		TTL: packet.DefaultTTL, Protocol: packet.IPProtocolUDP,
+		SrcIP: srcRLOC, DstIP: dstRLOC,
+	}
+	outerUDP := &packet.UDP{SrcPort: packet.PortLISPData, DstPort: packet.PortLISPData}
+	outerUDP.SetNetworkLayerForChecksum(outerIP)
+	hdr := &packet.LISP{NonceP: true, Nonce: uint32(x.node.Sim().Rand().Uint32()) & 0xffffff}
+	data := packet.Serialize(outerIP, outerUDP, hdr, packet.Payload(inner))
+	if out := x.node.IfaceByAddr(srcRLOC); out != nil {
+		x.node.SendVia(out, data)
+		return
+	}
+	x.node.Send(data)
+}
+
+// DecapInfo describes one decapsulated packet for the OnDecap hook: the
+// inner EID pair and the outer RLOC pair. First marks the first packet of
+// the (inner src, inner dst) flow seen at this ETR — the trigger for the
+// paper's reverse-mapping multicast.
+type DecapInfo struct {
+	InnerSrc, InnerDst netaddr.Addr
+	OuterSrc, OuterDst netaddr.Addr
+	First              bool
+}
+
+// decap handles inbound tunneled packets on UDP 4341: strip the outer
+// headers, learn the reverse mapping, forward the inner packet into the
+// site.
+func (x *XTR) decap(d *simnet.Delivery, udp *packet.UDP) {
+	payload := udp.LayerPayload()
+	if len(payload) < packet.LISPHeaderLen {
+		return
+	}
+	inner := payload[packet.LISPHeaderLen:]
+	innerDst, ok := packet.PeekIPv4Dst(inner)
+	if !ok || !x.cfg.LocalEIDs.Contains(innerDst) {
+		return // not ours; a real ETR would ICMP, the sim just drops
+	}
+	x.Stats.DecapPackets++
+	innerSrc, _ := packet.PeekIPv4Src(inner)
+	outerIP := d.IPv4()
+	if x.OnDecap != nil {
+		fk := FlowKey{Src: innerSrc, Dst: innerDst}
+		first := !x.seenSources[fk]
+		x.seenSources[fk] = true
+		x.OnDecap(DecapInfo{
+			InnerSrc: innerSrc, InnerDst: innerDst,
+			OuterSrc: outerIP.SrcIP, OuterDst: outerIP.DstIP,
+			First: first,
+		})
+	}
+	cp := make([]byte, len(inner))
+	copy(cp, inner)
+	x.node.Send(cp)
+}

@@ -1,0 +1,102 @@
+package mapsys
+
+import (
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// ALT implements the LISP Alternative Topology (draft-ietf-lisp-alt): an
+// overlay of routers interconnected by tunnels, carrying EID-prefix
+// reachability in a BGP-like hierarchy. Map-Requests are routed hop-by-hop
+// across the overlay toward the ETR owning the queried prefix; the ETR
+// answers with a Map-Reply sent *natively* (not over the overlay) straight
+// to the requesting ITR.
+//
+// T_map under ALT is therefore (hops-to-ETR x overlay hop delay) + the
+// native return path — typically several times an Internet RTT, which is
+// exactly the latency the paper's control plane hides inside TDNS.
+type ALT struct {
+	tree       *overlayTree
+	siteAgents []*ControlAgent
+
+	// Stats counts overlay activity.
+	Stats ALTStats
+}
+
+// ALTStats counts overlay activity.
+type ALTStats struct {
+	// RequestsForwarded counts request hops across the overlay.
+	RequestsForwarded uint64
+	// RootMisses counts requests that died at the root (negative reply).
+	RootMisses uint64
+}
+
+// BuildALT constructs the ALT overlay inside sim.
+func BuildALT(sim *simnet.Sim, cfg OverlayConfig) *ALT {
+	t := buildOverlayTree(sim, "alt", cfg)
+	a := &ALT{tree: t}
+	for _, r := range t.routers {
+		r.agent = NewControlAgent(r.node, r.addr)
+		router := r
+		r.agent.OnMapRegister = router.onAnnounce
+		r.agent.OnMapRequest = func(src netaddr.Addr, m *packet.LISPMapRequest) {
+			a.routeRequest(router, m)
+		}
+	}
+	return a
+}
+
+// routeRequest forwards a Map-Request one overlay hop, or answers
+// negatively at the root.
+func (a *ALT) routeRequest(r *overlayRouter, m *packet.LISPMapRequest) {
+	if len(m.EIDPrefixes) == 0 || len(m.ITRRLOCs) == 0 {
+		return
+	}
+	eid := m.EIDPrefixes[0].Addr()
+	next, ok := r.routeFor(eid)
+	if !ok {
+		a.Stats.RootMisses++
+		r.agent.Send(m.ITRRLOCs[0], &packet.LISPMapReply{Nonce: m.Nonce})
+		return
+	}
+	a.Stats.RequestsForwarded++
+	r.agent.Send(next, m)
+}
+
+// Name implements System.
+func (a *ALT) Name() string { return "ALT" }
+
+// AttachSite tunnels the site to a leaf router, announces its prefix up
+// the hierarchy, installs the ETR responder, and returns the ITR-side
+// resolver targeting the leaf.
+func (a *ALT) AttachSite(site *Site) lisp.Resolver {
+	leaf := a.tree.attachSite(site)
+	leaf.announceUp(site.Prefix, site.Addr)
+
+	agent := NewControlAgent(site.Node, site.Addr)
+	a.siteAgents = append(a.siteAgents, agent)
+	ETRResponder(agent, site)
+	req := NewRequester(agent)
+	leafAddr := leaf.addr
+	req.Target = func(netaddr.Addr) netaddr.Addr { return leafAddr }
+	return req
+}
+
+// RootTableSize returns the number of prefixes held at the overlay root —
+// the state concentration the scalability experiment tracks.
+func (a *ALT) RootTableSize() int { return a.tree.tableSize(0) }
+
+// ControlTotals sums control traffic across overlay routers and site
+// agents.
+func (a *ALT) ControlTotals() ControlStats {
+	agents := append([]*ControlAgent(nil), a.siteAgents...)
+	for _, r := range a.tree.routers {
+		agents = append(agents, r.agent)
+	}
+	return SumControlStats(agents)
+}
+
+// Routers returns the number of overlay routers.
+func (a *ALT) Routers() int { return len(a.tree.routers) }

@@ -1,0 +1,170 @@
+package mapsys
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// CONS implements the Content distribution Overlay Network Service for
+// LISP (draft-meyer-lisp-cons): a hierarchy of Content Access Routers
+// (CARs, the leaves sites attach to) and Content Distribution Routers
+// (CDRs, the interior). Unlike ALT, answers flow back *through the
+// overlay* along the reverse request path, and intermediate routers cache
+// them — so popular prefixes resolve at nearby routers while cold ones pay
+// the full climb.
+type CONS struct {
+	tree       *overlayTree
+	byOverlay  map[*overlayRouter]*consRouter
+	siteAgents []*ControlAgent
+
+	// CacheTTL bounds intermediate answer caching (default 60s).
+	CacheTTL simnet.Time
+
+	// Stats counts overlay activity.
+	Stats CONSStats
+}
+
+// CONSStats counts overlay activity.
+type CONSStats struct {
+	// RequestsForwarded counts request hops across the overlay.
+	RequestsForwarded uint64
+	// CacheAnswers counts requests answered from an intermediate cache.
+	CacheAnswers uint64
+	// AuthoritativeAnswers counts requests answered from a CAR database.
+	AuthoritativeAnswers uint64
+	// RootMisses counts requests that died at the root.
+	RootMisses uint64
+}
+
+type consCached struct {
+	record  packet.LISPMapRecord
+	expires simnet.Time
+}
+
+// consRouter augments the shared overlay router with the CONS database,
+// answer cache and reverse-path state.
+type consRouter struct {
+	*overlayRouter
+	db      *netaddr.Trie[packet.LISPMapRecord]
+	cache   *netaddr.Trie[consCached]
+	pending map[uint64]netaddr.Addr // nonce -> previous hop
+}
+
+// BuildCONS constructs the CONS overlay inside sim.
+func BuildCONS(sim *simnet.Sim, cfg OverlayConfig) *CONS {
+	t := buildOverlayTree(sim, "cons", cfg)
+	c := &CONS{
+		tree:      t,
+		byOverlay: make(map[*overlayRouter]*consRouter),
+		CacheTTL:  60 * time.Second,
+	}
+	for _, r := range t.routers {
+		cr := &consRouter{
+			overlayRouter: r,
+			db:            netaddr.NewTrie[packet.LISPMapRecord](),
+			cache:         netaddr.NewTrie[consCached](),
+			pending:       make(map[uint64]netaddr.Addr),
+		}
+		r.agent = NewControlAgent(r.node, r.addr)
+		r.agent.OnMapRegister = cr.onAnnounce
+		r.agent.OnMapRequest = func(src netaddr.Addr, m *packet.LISPMapRequest) {
+			c.handleRequest(cr, src, m)
+		}
+		r.agent.OnMapReply = func(src netaddr.Addr, m *packet.LISPMapReply) {
+			c.handleReply(cr, m)
+		}
+		c.byOverlay[r] = cr
+	}
+	return c
+}
+
+func (c *CONS) handleRequest(r *consRouter, src netaddr.Addr, m *packet.LISPMapRequest) {
+	if len(m.EIDPrefixes) == 0 {
+		return
+	}
+	eid := m.EIDPrefixes[0].Addr()
+	if rec, _, ok := r.db.Lookup(eid); ok {
+		c.Stats.AuthoritativeAnswers++
+		r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce, Records: []packet.LISPMapRecord{rec}})
+		return
+	}
+	if e, p, ok := r.cache.Lookup(eid); ok {
+		if r.node.Sim().Now() < e.expires {
+			c.Stats.CacheAnswers++
+			r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce, Records: []packet.LISPMapRecord{e.record}})
+			return
+		}
+		r.cache.Delete(netaddr.PrefixFrom(eid, p.Bits()))
+	}
+	next, ok := r.routeFor(eid)
+	if !ok {
+		c.Stats.RootMisses++
+		r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce})
+		return
+	}
+	c.Stats.RequestsForwarded++
+	r.pending[m.Nonce] = src
+	r.agent.Send(next, m)
+}
+
+func (c *CONS) handleReply(r *consRouter, m *packet.LISPMapReply) {
+	prev, ok := r.pending[m.Nonce]
+	if !ok {
+		return
+	}
+	delete(r.pending, m.Nonce)
+	for _, rec := range m.Records {
+		r.cache.Insert(rec.EIDPrefix, consCached{
+			record:  rec,
+			expires: r.node.Sim().Now() + c.CacheTTL,
+		})
+	}
+	r.agent.Send(prev, m)
+}
+
+// Name implements System.
+func (c *CONS) Name() string { return "CONS" }
+
+// AttachSite tunnels the site to a CAR, stores its record in the CAR
+// database, announces reachability up the CDR hierarchy, and returns the
+// ITR-side resolver targeting the CAR. CONS answers authoritatively from
+// the overlay, so no ETR responder is installed.
+func (c *CONS) AttachSite(site *Site) lisp.Resolver {
+	leaf := c.tree.attachSite(site)
+	cr := c.byOverlay[leaf]
+	cr.db.Insert(site.Prefix, site.Record())
+	// Ancestors learn to route the prefix down to this CAR, which answers
+	// from its database; the CAR itself keeps no table entry (the db
+	// lookup comes first, so no self-loop is possible).
+	if leaf.parent != nil {
+		reg := &packet.LISPMapRegister{
+			Nonce:   uint64(site.Prefix.Addr())<<8 | uint64(site.Prefix.Bits()),
+			Records: []packet.LISPMapRecord{{EIDPrefix: site.Prefix}},
+		}
+		leaf.agent.Send(leaf.parent.addr, reg)
+	}
+
+	agent := NewControlAgent(site.Node, site.Addr)
+	c.siteAgents = append(c.siteAgents, agent)
+	req := NewRequester(agent)
+	carAddr := leaf.addr
+	req.Target = func(netaddr.Addr) netaddr.Addr { return carAddr }
+	return req
+}
+
+// RootTableSize returns the prefix count at the overlay root.
+func (c *CONS) RootTableSize() int { return c.tree.tableSize(0) }
+
+// ControlTotals sums control traffic across overlay routers and site
+// agents.
+func (c *CONS) ControlTotals() ControlStats {
+	agents := append([]*ControlAgent(nil), c.siteAgents...)
+	for _, r := range c.tree.routers {
+		agents = append(agents, r.agent)
+	}
+	return SumControlStats(agents)
+}

@@ -1,0 +1,333 @@
+// Package mapsys implements the LISP mapping systems the paper compares
+// against: the Map-Server/Map-Resolver infrastructure (draft-ietf-lisp-ms,
+// later RFC 6833), the ALT aggregated overlay (draft-ietf-lisp-alt), the
+// CONS hierarchical content distribution overlay (draft-meyer-lisp-cons)
+// and the NERD push-database (draft-lear-lisp-nerd).
+//
+// All four present the same ITR-facing interface — lisp.Resolver — so the
+// experiment harness can swap control planes under an unchanged data
+// plane, and all four exchange real wire-format control messages over the
+// simulated network (Map-Request/Map-Reply/Map-Register/Map-Notify/ECM on
+// UDP 4342). Their different message paths are exactly what produces the
+// different T_map-resolution profiles in experiments E1-E3.
+package mapsys
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// Site describes one LISP site from the mapping system's point of view:
+// the EID prefix it owns, its locator set, and the control-plane address
+// of its xTR.
+type Site struct {
+	// Prefix is the site's EID prefix.
+	Prefix netaddr.Prefix
+	// Locators is the site's RLOC set.
+	Locators []packet.LISPLocator
+	// Node hosts the site's control plane (normally the xTR node).
+	Node *simnet.Node
+	// Addr is the control-plane address (normally the xTR's RLOC).
+	Addr netaddr.Addr
+	// TTL is the record TTL in seconds handed out for this site.
+	TTL uint32
+	// AuthKey authenticates the site's Map-Register messages.
+	AuthKey []byte
+}
+
+// Record returns the site's mapping record.
+func (s *Site) Record() packet.LISPMapRecord {
+	return packet.LISPMapRecord{
+		TTL: s.TTL, EIDPrefix: s.Prefix, Authoritative: true, Locators: s.Locators,
+	}
+}
+
+// ControlAgent owns UDP port 4342 on one node and dispatches LISP control
+// messages to role handlers. ECMs are unwrapped transparently: handlers
+// receive the inner message with the inner source address, plus the outer
+// source that delivered it.
+type ControlAgent struct {
+	node *simnet.Node
+	addr netaddr.Addr
+
+	// OnMapRequest handles Map-Requests (possibly ECM-unwrapped).
+	OnMapRequest func(src netaddr.Addr, m *packet.LISPMapRequest)
+	// OnMapReply handles Map-Replies.
+	OnMapReply func(src netaddr.Addr, m *packet.LISPMapReply)
+	// OnMapRegister handles Map-Registers.
+	OnMapRegister func(src netaddr.Addr, m *packet.LISPMapRegister)
+	// OnMapNotify handles Map-Notifies.
+	OnMapNotify func(src netaddr.Addr, m *packet.LISPMapNotify)
+
+	// Stats counts control messages by direction.
+	Stats ControlStats
+}
+
+// ControlStats counts control-plane traffic through an agent.
+type ControlStats struct {
+	RxMessages uint64
+	RxBytes    uint64
+	TxMessages uint64
+	TxBytes    uint64
+	Malformed  uint64
+}
+
+// NewControlAgent binds a control agent to node:4342 at addr.
+func NewControlAgent(node *simnet.Node, addr netaddr.Addr) *ControlAgent {
+	a := &ControlAgent{node: node, addr: addr}
+	node.ListenUDP(packet.PortLISPControl, a.handle)
+	return a
+}
+
+// Node returns the hosting node.
+func (a *ControlAgent) Node() *simnet.Node { return a.node }
+
+// Addr returns the agent's control address.
+func (a *ControlAgent) Addr() netaddr.Addr { return a.addr }
+
+func (a *ControlAgent) handle(d *simnet.Delivery, udp *packet.UDP) {
+	a.Stats.RxMessages++
+	a.Stats.RxBytes += uint64(len(d.Data))
+	src := d.IPv4().SrcIP
+	a.dispatch(src, udp.LayerPayload())
+}
+
+func (a *ControlAgent) dispatch(src netaddr.Addr, msg []byte) {
+	p := packet.NewPacket(msg, packet.LayerTypeLISPControl, packet.NoCopy)
+	if p.ErrorLayer() != nil {
+		a.Stats.Malformed++
+		return
+	}
+	if ecm := p.Layer(packet.LayerTypeLISPECM); ecm != nil {
+		// Unwrap: the inner packet is IP/UDP/control; dispatch the inner
+		// control message with the *inner* source (the original sender).
+		innerIP := p.Layer(packet.LayerTypeIPv4)
+		innerUDP := p.Layer(packet.LayerTypeUDP)
+		if innerIP == nil || innerUDP == nil {
+			a.Stats.Malformed++
+			return
+		}
+		a.dispatch(innerIP.(*packet.IPv4).SrcIP, innerUDP.(*packet.UDP).LayerPayload())
+		return
+	}
+	switch {
+	case p.Layer(packet.LayerTypeLISPMapRequest) != nil:
+		if a.OnMapRequest != nil {
+			a.OnMapRequest(src, p.Layer(packet.LayerTypeLISPMapRequest).(*packet.LISPMapRequest))
+		}
+	case p.Layer(packet.LayerTypeLISPMapReply) != nil:
+		if a.OnMapReply != nil {
+			a.OnMapReply(src, p.Layer(packet.LayerTypeLISPMapReply).(*packet.LISPMapReply))
+		}
+	case p.Layer(packet.LayerTypeLISPMapRegister) != nil:
+		if a.OnMapRegister != nil {
+			a.OnMapRegister(src, p.Layer(packet.LayerTypeLISPMapRegister).(*packet.LISPMapRegister))
+		}
+	case p.Layer(packet.LayerTypeLISPMapNotify) != nil:
+		if a.OnMapNotify != nil {
+			a.OnMapNotify(src, p.Layer(packet.LayerTypeLISPMapNotify).(*packet.LISPMapNotify))
+		}
+	default:
+		a.Stats.Malformed++
+	}
+}
+
+// Send transmits a control message to dst:4342.
+func (a *ControlAgent) Send(dst netaddr.Addr, msg packet.SerializableLayer) {
+	data := simnet.EncodeUDP(a.addr, dst, packet.PortLISPControl, packet.PortLISPControl, msg)
+	a.Stats.TxMessages++
+	a.Stats.TxBytes += uint64(len(data))
+	a.node.Send(data)
+}
+
+// SendECM wraps msg in inner IP/UDP and an Encapsulated Control Message
+// toward dst:4342, per RFC 6833 §4.3.
+func (a *ControlAgent) SendECM(dst netaddr.Addr, msg packet.SerializableLayer) {
+	inner := simnet.EncodeUDP(a.addr, dst, packet.PortLISPControl, packet.PortLISPControl, msg)
+	data := simnet.EncodeUDP(a.addr, dst, packet.PortLISPControl, packet.PortLISPControl,
+		&packet.LISPECM{}, packet.Payload(inner))
+	a.Stats.TxMessages++
+	a.Stats.TxBytes += uint64(len(data))
+	a.node.Send(data)
+}
+
+// RecordToEntry converts a wire mapping record into a data-plane map-cache
+// entry with an absolute expiry.
+func RecordToEntry(sim *simnet.Sim, r packet.LISPMapRecord) *lisp.MapEntry {
+	e := &lisp.MapEntry{EIDPrefix: r.EIDPrefix, Locators: r.Locators}
+	if r.TTL > 0 {
+		e.Expires = sim.Now() + simnet.Time(r.TTL)*simnet.Time(time.Second)
+	}
+	return e
+}
+
+// Requester is the ITR-side resolution engine shared by all pull-based
+// mapping systems: it issues Map-Requests toward a system-specific target,
+// correlates Map-Replies by nonce, retries on timeout and fails over.
+type Requester struct {
+	agent *ControlAgent
+	// Target returns the address to which the Map-Request for eid is
+	// sent (the Map-Resolver, the edge ALT router, the local CAR...).
+	Target func(eid netaddr.Addr) netaddr.Addr
+	// ECM wraps requests in an Encapsulated Control Message (MS/MR mode).
+	ECM bool
+	// Timeout is the per-attempt timeout.
+	Timeout simnet.Time
+	// MaxRetries bounds re-sends.
+	MaxRetries int
+
+	pending map[uint64]*pendingResolve
+
+	// Stats counts requester activity.
+	Stats RequesterStats
+}
+
+// RequesterStats counts ITR-side resolution activity.
+type RequesterStats struct {
+	Requests  uint64
+	Retries   uint64
+	Timeouts  uint64
+	Answers   uint64
+	Negatives uint64
+}
+
+type pendingResolve struct {
+	eid     netaddr.Addr
+	done    func(*lisp.MapEntry, bool)
+	tries   int
+	gen     int
+	started simnet.Time
+}
+
+// NewRequester builds a requester on an agent. The agent's OnMapReply is
+// claimed by the requester.
+func NewRequester(agent *ControlAgent) *Requester {
+	r := &Requester{
+		agent:   agent,
+		Timeout: 1 * time.Second,
+		// One retry by default: the paper's drop analysis is about the
+		// first packets, not about endless retransmission.
+		MaxRetries: 2,
+		pending:    make(map[uint64]*pendingResolve),
+	}
+	agent.OnMapReply = r.onReply
+	return r
+}
+
+// Resolve implements lisp.Resolver.
+func (r *Requester) Resolve(eid netaddr.Addr, done func(*lisp.MapEntry, bool)) {
+	if r.Target == nil {
+		panic("mapsys: Requester without Target")
+	}
+	// Nonces come from the simulation RNG: deterministic per seed, and
+	// collision-free across the requesters of different sites (a plain
+	// per-requester counter would collide in CONS reverse-path state).
+	nonce := r.agent.node.Sim().Rand().Uint64()
+	for _, exists := r.pending[nonce]; exists; _, exists = r.pending[nonce] {
+		nonce = r.agent.node.Sim().Rand().Uint64()
+	}
+	p := &pendingResolve{eid: eid, done: done, started: r.agent.node.Sim().Now()}
+	r.pending[nonce] = p
+	r.sendAttempt(nonce, p)
+}
+
+func (r *Requester) sendAttempt(nonce uint64, p *pendingResolve) {
+	p.gen++
+	gen := p.gen
+	r.Stats.Requests++
+	req := &packet.LISPMapRequest{
+		Nonce:       nonce,
+		ITRRLOCs:    []netaddr.Addr{r.agent.addr},
+		EIDPrefixes: []netaddr.Prefix{netaddr.HostPrefix(p.eid)},
+	}
+	target := r.Target(p.eid)
+	if r.ECM {
+		r.agent.SendECM(target, req)
+	} else {
+		r.agent.Send(target, req)
+	}
+	r.agent.node.Sim().Schedule(r.Timeout, func() {
+		cur, ok := r.pending[nonce]
+		if !ok || cur != p || p.gen != gen {
+			return
+		}
+		p.tries++
+		if p.tries > r.MaxRetries {
+			delete(r.pending, nonce)
+			r.Stats.Timeouts++
+			p.done(nil, false)
+			return
+		}
+		r.Stats.Retries++
+		r.sendAttempt(nonce, p)
+	})
+}
+
+func (r *Requester) onReply(src netaddr.Addr, m *packet.LISPMapReply) {
+	p, ok := r.pending[m.Nonce]
+	if !ok {
+		return // duplicate or stale
+	}
+	delete(r.pending, m.Nonce)
+	if len(m.Records) == 0 || len(m.Records[0].Locators) == 0 {
+		r.Stats.Negatives++
+		p.done(nil, false)
+		return
+	}
+	r.Stats.Answers++
+	p.done(RecordToEntry(r.agent.node.Sim(), m.Records[0]), true)
+}
+
+// ETRResponder makes a site's control agent answer Map-Requests with the
+// site's authoritative record, the ETR role of RFC 6833 §4.4.
+func ETRResponder(agent *ControlAgent, site *Site) {
+	agent.OnMapRequest = func(src netaddr.Addr, m *packet.LISPMapRequest) {
+		if len(m.ITRRLOCs) == 0 {
+			return
+		}
+		covers := false
+		for _, q := range m.EIDPrefixes {
+			if site.Prefix.Overlaps(q) {
+				covers = true
+				break
+			}
+		}
+		reply := &packet.LISPMapReply{Nonce: m.Nonce}
+		if covers {
+			reply.Records = []packet.LISPMapRecord{site.Record()}
+		}
+		agent.Send(m.ITRRLOCs[0], reply)
+	}
+}
+
+// System is the common face of a mapping-system deployment: it wires one
+// site's xTR into the control plane and names itself for experiment
+// tables.
+type System interface {
+	// Name identifies the control plane in tables ("ALT", "NERD", ...).
+	Name() string
+	// AttachSite registers a site and returns the lisp.Resolver its ITRs
+	// should use (nil for pure-push systems whose ITRs never resolve).
+	AttachSite(site *Site) lisp.Resolver
+}
+
+// ErrNoSite is returned by deployments asked about an unknown EID.
+var ErrNoSite = fmt.Errorf("mapsys: no site covers the EID")
+
+// SumControlStats adds up the counters of a set of agents (experiment E5).
+func SumControlStats(agents []*ControlAgent) ControlStats {
+	var out ControlStats
+	for _, a := range agents {
+		out.RxMessages += a.Stats.RxMessages
+		out.RxBytes += a.Stats.RxBytes
+		out.TxMessages += a.Stats.TxMessages
+		out.TxBytes += a.Stats.TxBytes
+		out.Malformed += a.Stats.Malformed
+	}
+	return out
+}

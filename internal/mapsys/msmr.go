@@ -1,0 +1,201 @@
+package mapsys
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// MapServer is the registration point of the MS/MR mapping system
+// (draft-ietf-lisp-ms): ETRs register their prefixes with authenticated
+// Map-Registers; Map-Requests arriving (via Map-Resolvers) are forwarded
+// to the registered ETR, which map-replies directly to the querying ITR.
+type MapServer struct {
+	agent   *ControlAgent
+	authKey []byte
+	sites   *netaddr.Trie[registeredSite]
+
+	// Stats counts server activity.
+	Stats MapServerStats
+}
+
+// MapServerStats counts map-server activity.
+type MapServerStats struct {
+	Registers    uint64
+	BadAuth      uint64
+	Forwarded    uint64
+	Negatives    uint64
+	NotifiesSent uint64
+}
+
+type registeredSite struct {
+	record  packet.LISPMapRecord
+	etrAddr netaddr.Addr
+}
+
+// NewMapServer attaches a map-server to node at addr. authKey
+// authenticates all sites (per-site keys are an easy extension the
+// experiments do not need).
+func NewMapServer(node *simnet.Node, addr netaddr.Addr, authKey []byte) *MapServer {
+	ms := &MapServer{
+		agent:   NewControlAgent(node, addr),
+		authKey: authKey,
+		sites:   netaddr.NewTrie[registeredSite](),
+	}
+	ms.agent.OnMapRegister = ms.onRegister
+	ms.agent.OnMapRequest = ms.onRequest
+	return ms
+}
+
+// Addr returns the map-server's address.
+func (ms *MapServer) Addr() netaddr.Addr { return ms.addrOf() }
+
+func (ms *MapServer) addrOf() netaddr.Addr { return ms.agent.addr }
+
+// RegisteredSites returns the number of registered prefixes.
+func (ms *MapServer) RegisteredSites() int { return ms.sites.Len() }
+
+func (ms *MapServer) onRegister(src netaddr.Addr, m *packet.LISPMapRegister) {
+	if !m.VerifyAuth(ms.authKey) {
+		ms.Stats.BadAuth++
+		return
+	}
+	ms.Stats.Registers++
+	for _, r := range m.Records {
+		ms.sites.Insert(r.EIDPrefix, registeredSite{record: r, etrAddr: src})
+	}
+	if m.WantNotify {
+		ms.Stats.NotifiesSent++
+		notify := &packet.LISPMapNotify{LISPMapRegister: packet.LISPMapRegister{
+			Nonce: m.Nonce, KeyID: m.KeyID, AuthKey: ms.authKey, Records: m.Records,
+		}}
+		ms.agent.Send(src, notify)
+	}
+}
+
+func (ms *MapServer) onRequest(src netaddr.Addr, m *packet.LISPMapRequest) {
+	if len(m.EIDPrefixes) == 0 || len(m.ITRRLOCs) == 0 {
+		return
+	}
+	eid := m.EIDPrefixes[0].Addr()
+	site, _, ok := ms.sites.Lookup(eid)
+	if !ok {
+		ms.Stats.Negatives++
+		ms.agent.Send(m.ITRRLOCs[0], &packet.LISPMapReply{Nonce: m.Nonce})
+		return
+	}
+	ms.Stats.Forwarded++
+	ms.agent.SendECM(site.etrAddr, m)
+}
+
+// MapResolver accepts ECM Map-Requests from ITRs and forwards them to the
+// map-server (RFC 6833 §4.4). The indirection leg is part of T_map.
+type MapResolver struct {
+	agent *ControlAgent
+	ms    netaddr.Addr
+
+	// Stats counts resolver activity.
+	Stats MapResolverStats
+}
+
+// MapResolverStats counts map-resolver activity.
+type MapResolverStats struct {
+	Forwarded uint64
+}
+
+// NewMapResolver attaches a map-resolver to node at addr, forwarding to
+// the map-server at ms.
+func NewMapResolver(node *simnet.Node, addr, ms netaddr.Addr) *MapResolver {
+	mr := &MapResolver{agent: NewControlAgent(node, addr), ms: ms}
+	mr.agent.OnMapRequest = func(src netaddr.Addr, m *packet.LISPMapRequest) {
+		mr.Stats.Forwarded++
+		mr.agent.SendECM(mr.ms, m)
+	}
+	return mr
+}
+
+// Addr returns the map-resolver's address.
+func (mr *MapResolver) Addr() netaddr.Addr { return mr.agent.addr }
+
+// MSMR is a full Map-Server/Map-Resolver deployment.
+type MSMR struct {
+	// MS is the map-server.
+	MS *MapServer
+	// MR is the map-resolver ITRs query.
+	MR *MapResolver
+	// RegisterInterval is the periodic re-registration period
+	// (default 60s, RFC 6833 suggests 1 minute).
+	RegisterInterval simnet.Time
+	authKey          []byte
+	agents           map[*simnet.Node]*ControlAgent
+}
+
+// NewMSMR builds the deployment with the map-server on msNode and the
+// map-resolver on mrNode (they may be the same node only if different
+// addresses are used — each binds its own agent, so distinct nodes are
+// expected).
+func NewMSMR(msNode *simnet.Node, msAddr netaddr.Addr, mrNode *simnet.Node, mrAddr netaddr.Addr, authKey []byte) *MSMR {
+	return &MSMR{
+		MS:               NewMapServer(msNode, msAddr, authKey),
+		MR:               NewMapResolver(mrNode, mrAddr, msAddr),
+		RegisterInterval: 60 * time.Second,
+		authKey:          authKey,
+		agents:           make(map[*simnet.Node]*ControlAgent),
+	}
+}
+
+// Name implements System.
+func (m *MSMR) Name() string { return "MS/MR" }
+
+// ControlTotals sums control traffic across the map-server, map-resolver
+// and every site agent.
+func (m *MSMR) ControlTotals() ControlStats {
+	agents := []*ControlAgent{m.MS.agent, m.MR.agent}
+	for _, a := range m.agents {
+		agents = append(agents, a)
+	}
+	return SumControlStats(agents)
+}
+
+// AttachSite wires a site: its agent answers Map-Requests (ETR role),
+// registers with the map-server now and periodically, and the returned
+// resolver sends ECM Map-Requests to the map-resolver (ITR role).
+func (m *MSMR) AttachSite(site *Site) lisp.Resolver {
+	agent := m.agentFor(site.Node, site.Addr)
+	ETRResponder(agent, site)
+	m.register(agent, site)
+
+	req := NewRequester(agent)
+	req.ECM = true
+	mrAddr := m.MR.Addr()
+	req.Target = func(netaddr.Addr) netaddr.Addr { return mrAddr }
+	return req
+}
+
+func (m *MSMR) agentFor(node *simnet.Node, addr netaddr.Addr) *ControlAgent {
+	if a, ok := m.agents[node]; ok {
+		return a
+	}
+	a := NewControlAgent(node, addr)
+	m.agents[node] = a
+	return a
+}
+
+func (m *MSMR) register(agent *ControlAgent, site *Site) {
+	key := site.AuthKey
+	if key == nil {
+		key = m.authKey
+	}
+	reg := &packet.LISPMapRegister{
+		ProxyReply: false, WantNotify: false,
+		Nonce:   agent.node.Sim().Rand().Uint64(),
+		KeyID:   1,
+		AuthKey: key,
+		Records: []packet.LISPMapRecord{site.Record()},
+	}
+	agent.Send(m.MS.Addr(), reg)
+	agent.node.Sim().Schedule(m.RegisterInterval, func() { m.register(agent, site) })
+}

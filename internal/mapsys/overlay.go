@@ -1,0 +1,183 @@
+package mapsys
+
+import (
+	"fmt"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// OverlayConfig shapes the router tree shared by the ALT and CONS
+// overlays.
+type OverlayConfig struct {
+	// Branching is the number of children per router (>=1).
+	Branching int
+	// Depth is the number of levels below the root; leaves sit at Depth.
+	Depth int
+	// LinkDelay is the one-way delay of each overlay hop (a GRE tunnel
+	// across providers in the real systems, so tens of milliseconds).
+	LinkDelay simnet.Time
+	// TunnelDelay is the one-way delay of the site-to-leaf attachment.
+	TunnelDelay simnet.Time
+	// AddrBase allocates overlay router addresses (defaults to
+	// 198.18.0.0/15, the benchmarking range).
+	AddrBase netaddr.Prefix
+	// NativeUplink, when set, connects the overlay root to the native
+	// internet (a core node) so routers can send packets to non-overlay
+	// addresses — ALT roots answer unresolvable Map-Requests natively.
+	NativeUplink *simnet.Node
+	// NativeDelay is the one-way delay of the uplink (defaults to
+	// LinkDelay).
+	NativeDelay simnet.Time
+}
+
+func (c *OverlayConfig) fill() {
+	if c.Branching < 1 {
+		c.Branching = 2
+	}
+	if c.Depth < 1 {
+		c.Depth = 1
+	}
+	if c.AddrBase == (netaddr.Prefix{}) {
+		c.AddrBase = netaddr.MustParsePrefix("198.18.0.0/15")
+	}
+	if c.TunnelDelay == 0 {
+		c.TunnelDelay = c.LinkDelay
+	}
+}
+
+// overlayRouter is one node of the shared tree.
+type overlayRouter struct {
+	node   *simnet.Node
+	agent  *ControlAgent
+	addr   netaddr.Addr
+	parent *overlayRouter
+	depth  int
+	// table routes prefixes downward: next-hop address of the child (or
+	// attached site) that announced them.
+	table *netaddr.Trie[netaddr.Addr]
+}
+
+// overlayTree builds and owns the router hierarchy.
+type overlayTree struct {
+	sim      *simnet.Sim
+	cfg      OverlayConfig
+	prefix   string // node-name prefix ("alt"/"cons")
+	root     *overlayRouter
+	leaves   []*overlayRouter
+	routers  []*overlayRouter
+	nextLeaf int
+}
+
+// buildOverlayTree constructs the tree with links and underlay routes:
+// each router has host routes to its direct neighbours and a default
+// route toward its parent, which is all hop-by-hop overlay forwarding
+// needs.
+func buildOverlayTree(sim *simnet.Sim, namePrefix string, cfg OverlayConfig) *overlayTree {
+	cfg.fill()
+	t := &overlayTree{sim: sim, cfg: cfg, prefix: namePrefix}
+	next := 0
+	alloc := func() netaddr.Addr {
+		a := cfg.AddrBase.NthHost(next + 1)
+		next++
+		return a
+	}
+	var build func(parent *overlayRouter, depth, idx int) *overlayRouter
+	build = func(parent *overlayRouter, depth, idx int) *overlayRouter {
+		name := fmt.Sprintf("%s-%d-%d", namePrefix, depth, idx)
+		r := &overlayRouter{
+			node:  sim.NewNode(name),
+			addr:  alloc(),
+			depth: depth,
+			table: netaddr.NewTrie[netaddr.Addr](),
+		}
+		r.node.AddAddr(r.addr)
+		t.routers = append(t.routers, r)
+		if parent != nil {
+			r.parent = parent
+			l := simnet.Connect(r.node, parent.node, simnet.LinkConfig{Delay: cfg.LinkDelay})
+			r.node.SetDefaultRoute(l.A())
+			parent.node.AddRoute(netaddr.HostPrefix(r.addr), l.B())
+			// The parent reaches deeper descendants hop-by-hop only: every
+			// overlay hop re-addresses to its direct neighbour, so host
+			// routes to children suffice.
+		}
+		if depth == cfg.Depth {
+			t.leaves = append(t.leaves, r)
+			return r
+		}
+		for c := 0; c < cfg.Branching; c++ {
+			build(r, depth+1, idx*cfg.Branching+c)
+		}
+		return r
+	}
+	t.root = build(nil, 0, 0)
+	if cfg.NativeUplink != nil {
+		delay := cfg.NativeDelay
+		if delay == 0 {
+			delay = cfg.LinkDelay
+		}
+		l := simnet.Connect(t.root.node, cfg.NativeUplink, simnet.LinkConfig{Delay: delay})
+		t.root.node.SetDefaultRoute(l.A())
+	}
+	return t
+}
+
+// leafForNextSite assigns sites to leaves round-robin, keeping attachment
+// deterministic.
+func (t *overlayTree) leafForNextSite() *overlayRouter {
+	l := t.leaves[t.nextLeaf%len(t.leaves)]
+	t.nextLeaf++
+	return l
+}
+
+// attachSite tunnels a site's node to a leaf router and returns that leaf.
+// The site gains a host route to the leaf (the "GRE tunnel") and the leaf
+// gains one back.
+func (t *overlayTree) attachSite(site *Site) *overlayRouter {
+	leaf := t.leafForNextSite()
+	l := simnet.Connect(site.Node, leaf.node, simnet.LinkConfig{Delay: t.cfg.TunnelDelay})
+	site.Node.AddRoute(netaddr.HostPrefix(leaf.addr), l.A())
+	leaf.node.AddRoute(netaddr.HostPrefix(site.Addr), l.B())
+	return leaf
+}
+
+// announceUp installs prefix->via at r and propagates the announcement to
+// ancestors with hop-by-hop Map-Register messages (unauthenticated:
+// overlay peers are mutually trusted infrastructure in both drafts).
+func (r *overlayRouter) announceUp(prefix netaddr.Prefix, via netaddr.Addr) {
+	r.table.Insert(prefix, via)
+	if r.parent == nil {
+		return
+	}
+	reg := &packet.LISPMapRegister{
+		Nonce:   uint64(prefix.Addr())<<8 | uint64(prefix.Bits()),
+		Records: []packet.LISPMapRecord{{EIDPrefix: prefix}},
+	}
+	r.agent.Send(r.parent.addr, reg)
+}
+
+// onAnnounce handles an announcement from a child: record the child as
+// next hop and keep propagating up.
+func (r *overlayRouter) onAnnounce(src netaddr.Addr, m *packet.LISPMapRegister) {
+	for _, rec := range m.Records {
+		r.announceUp(rec.EIDPrefix, src)
+	}
+}
+
+// routeFor returns where to forward a request for eid: the announced
+// next hop below, otherwise the parent, otherwise nothing (root miss).
+func (r *overlayRouter) routeFor(eid netaddr.Addr) (netaddr.Addr, bool) {
+	if via, _, ok := r.table.Lookup(eid); ok {
+		return via, true
+	}
+	if r.parent != nil {
+		return r.parent.addr, true
+	}
+	return 0, false
+}
+
+// TableSize returns the routing table size of router index i (root is 0),
+// used by the scalability experiment E7.
+func (t *overlayTree) tableSize(i int) int { return t.routers[i].table.Len() }

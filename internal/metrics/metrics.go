@@ -1,0 +1,241 @@
+// Package metrics provides the measurement primitives used by the
+// experiment harness: streaming summaries, histograms with exact quantiles
+// over stored samples, time series, fairness indices and deterministic
+// table rendering for paper-style output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates samples and reports order statistics. Samples are
+// retained (the experiments are bounded), so quantiles are exact.
+type Summary struct {
+	name    string
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// NewSummary returns an empty summary with a display name.
+func NewSummary(name string) *Summary { return &Summary{name: name} }
+
+// Name returns the display name.
+func (s *Summary) Name() string { return s.name }
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// AddDuration records a duration sample in milliseconds.
+func (s *Summary) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Sum returns the sample total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample (0 when empty).
+func (s *Summary) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest sample (0 when empty).
+func (s *Summary) Max() float64 { return s.Quantile(1) }
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Quantile returns the q-th sample quantile (q in [0,1], nearest-rank).
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[len(s.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.samples[idx]
+}
+
+// Median returns the 50th percentile.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// P95 returns the 95th percentile.
+func (s *Summary) P95() float64 { return s.Quantile(0.95) }
+
+// P99 returns the 99th percentile.
+func (s *Summary) P99() float64 { return s.Quantile(0.99) }
+
+// CDF returns (value, cumulative fraction) pairs at each distinct sample,
+// suitable for plotting the experiment figures.
+func (s *Summary) CDF() []CDFPoint {
+	if len(s.samples) == 0 {
+		return nil
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	var out []CDFPoint
+	n := float64(len(s.samples))
+	for i, v := range s.samples {
+		if i+1 < len(s.samples) && s.samples[i+1] == v {
+			continue // emit the last index of each distinct value
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// Jain computes Jain's fairness index over xs: (Σx)² / (n·Σx²).
+// 1.0 is perfectly balanced; 1/n is maximally unfair.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Series is a time-indexed sequence of values (one experiment curve).
+type Series struct {
+	name   string
+	Points []SeriesPoint
+}
+
+// SeriesPoint is one (time, value) sample.
+type SeriesPoint struct {
+	At    time.Duration
+	Value float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series display name.
+func (s *Series) Name() string { return s.name }
+
+// Add appends a point.
+func (s *Series) Add(at time.Duration, v float64) {
+	s.Points = append(s.Points, SeriesPoint{At: at, Value: v})
+}
+
+// Last returns the most recent value (0 when empty).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// Max returns the largest value in the series.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Mean returns the mean of the series values.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Counter is a named monotonic counter.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Name returns the counter name.
+func (c *Counter) Name() string { return c.name }
+
+// FormatMs renders a millisecond value with sensible precision.
+func FormatMs(ms float64) string {
+	switch {
+	case ms >= 1000:
+		return fmt.Sprintf("%.2fs", ms/1000)
+	case ms >= 10:
+		return fmt.Sprintf("%.0fms", ms)
+	case ms >= 1:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.3fms", ms)
+	}
+}

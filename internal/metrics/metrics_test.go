@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary("latency")
+	if s.Name() != "latency" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.Count() != 5 || s.Sum() != 15 {
+		t.Fatalf("count=%d sum=%v", s.Count(), s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("median = %v", s.Median())
+	}
+	if got := s.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary("empty")
+	if s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty summary must report zeros")
+	}
+	if s.CDF() != nil {
+		t.Fatal("empty CDF must be nil")
+	}
+}
+
+func TestSummaryQuantileNearestRank(t *testing.T) {
+	s := NewSummary("q")
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{0: 1, 0.01: 1, 0.5: 50, 0.95: 95, 0.99: 99, 1: 100}
+	for q, want := range cases {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if s.P95() != 95 || s.P99() != 99 {
+		t.Errorf("P95/P99 = %v/%v", s.P95(), s.P99())
+	}
+}
+
+func TestSummaryAddAfterQuantile(t *testing.T) {
+	s := NewSummary("interleaved")
+	s.Add(10)
+	_ = s.Median()
+	s.Add(1) // must re-sort on next query
+	if s.Min() != 1 {
+		t.Fatalf("Min after interleaved Add = %v", s.Min())
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	s := NewSummary("d")
+	s.AddDuration(1500 * time.Millisecond)
+	if s.Mean() != 1500 {
+		t.Fatalf("duration in ms = %v", s.Mean())
+	}
+}
+
+func TestSummaryQuantileMatchesSort(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := NewSummary("p")
+		for _, v := range vals {
+			s.Add(v)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return s.Min() == sorted[0] && s.Max() == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	s := NewSummary("cdf")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		s.Add(float64(rng.Intn(50)))
+	}
+	cdf := s.CDF()
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Fatalf("CDF must end at 1, got %v", cdf[len(cdf)-1].Fraction)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value <= cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("CDF not strictly increasing at %d: %+v %+v", i, cdf[i-1], cdf[i])
+		}
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{1, 1, 1, 1}); got != 1 {
+		t.Fatalf("Jain(equal) = %v", got)
+	}
+	if got := Jain([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("Jain(one-hot) = %v, want 0.25", got)
+	}
+	if got := Jain(nil); got != 0 {
+		t.Fatalf("Jain(nil) = %v", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 1 {
+		t.Fatalf("Jain(zeros) = %v, want 1 (vacuously fair)", got)
+	}
+}
+
+func TestJainBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 && v < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := Jain(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("util")
+	if s.Name() != "util" || s.Last() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series accessors wrong")
+	}
+	s.Add(time.Second, 0.5)
+	s.Add(2*time.Second, 0.9)
+	s.Add(3*time.Second, 0.7)
+	if s.Last() != 0.7 || s.Max() != 0.9 {
+		t.Fatalf("last=%v max=%v", s.Last(), s.Max())
+	}
+	if math.Abs(s.Mean()-0.7) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("msgs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 || c.Name() != "msgs" {
+		t.Fatalf("counter = %d %q", c.Value(), c.Name())
+	}
+}
+
+func TestFormatMs(t *testing.T) {
+	cases := map[float64]string{
+		2500: "2.50s",
+		150:  "150ms",
+		5.5:  "5.5ms",
+		0.25: "0.250ms",
+	}
+	for in, want := range cases {
+		if got := FormatMs(in); got != want {
+			t.Errorf("FormatMs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E5: control overhead", "CP", "msgs/flow", "bytes/flow")
+	tb.AddRow("ALT", 4.0, 512)
+	tb.AddRow("PCE-CP", 2.5, 310)
+	tb.AddNote("averaged over %d flows", 100)
+	out := tb.String()
+	for _, want := range []string{"E5: control overhead", "CP", "ALT", "PCE-CP", "2.5", "note: averaged over 100 flows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if len(tb.Rows()) != 2 || tb.Rows()[1][0] != "PCE-CP" {
+		t.Fatalf("Rows = %v", tb.Rows())
+	}
+	if got := tb.Headers()[2]; got != "bytes/flow" {
+		t.Fatalf("Headers = %v", tb.Headers())
+	}
+	// Columns align: every data row has the header row's prefix width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x,y", 1.25)
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| x,y | 1.25 |") {
+		t.Fatalf("markdown = %q", md)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y",1.25`) {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{1.25: "1.25", 2: "2", 0.1: "0.1", 0: "0", 1.2345: "1.234"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableDeterministic(t *testing.T) {
+	build := func() string {
+		tb := NewTable("t", "k", "v")
+		for i := 0; i < 10; i++ {
+			tb.AddRow(i, float64(i)*1.5)
+		}
+		return tb.String()
+	}
+	if build() != build() {
+		t.Fatal("table rendering must be deterministic")
+	}
+}

@@ -1,0 +1,224 @@
+// Package netaddr provides the IPv4 address, prefix and longest-prefix-match
+// primitives used throughout the LISP/PCE control-plane reproduction.
+//
+// LISP (draft-farinacci-lisp-08) separates Endpoint Identifiers (EIDs) from
+// Routing Locators (RLOCs); both are plain IPv4 addresses drawn from
+// disjoint prefixes. This package deliberately implements IPv4 only — the
+// paper, its examples (10.0.0.0/8 … 13.0.0.0/8) and the 2008-era drafts are
+// all IPv4 — and keeps Addr a comparable value type so it can key maps and
+// ride inside packets without allocation.
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address stored in host byte order. The zero value is the
+// unspecified address 0.0.0.0, which is treated as invalid almost
+// everywhere.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four octets, a.b.c.d.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// AddrFromBytes decodes a 4-byte big-endian slice. It panics if b is shorter
+// than 4 bytes; callers decode from fixed-size packet fields.
+func AddrFromBytes(b []byte) Addr {
+	_ = b[3]
+	return Addr(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}
+
+// ParseAddr parses dotted-quad notation ("192.0.2.1").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netaddr: %q is not dotted-quad", s)
+	}
+	var a Addr
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netaddr: %q is not dotted-quad", s)
+		}
+		a = a<<8 | Addr(n)
+	}
+	return a, nil
+}
+
+// MustParseAddr is ParseAddr for constants in tests and topology builders;
+// it panics on malformed input.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IsValid reports whether a is a usable unicast address (not 0.0.0.0).
+func (a Addr) IsValid() bool { return a != 0 }
+
+// IsMulticast reports whether a falls in 224.0.0.0/4. The PCE control plane
+// uses a multicast group to distribute reverse mappings among sibling ETRs.
+func (a Addr) IsMulticast() bool { return a>>28 == 0xe }
+
+// Octets returns the four address bytes, most significant first.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// AppendBytes appends the 4-byte big-endian encoding of a to b.
+func (a Addr) AppendBytes(b []byte) []byte {
+	return append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// PutBytes writes the 4-byte big-endian encoding of a into b.
+func (a Addr) PutBytes(b []byte) {
+	_ = b[3]
+	b[0], b[1], b[2], b[3] = byte(a>>24), byte(a>>16), byte(a>>8), byte(a)
+}
+
+// String renders a in dotted-quad notation.
+func (a Addr) String() string {
+	o := a.Octets()
+	// Hand-rolled to avoid fmt in data-path logging.
+	buf := make([]byte, 0, 15)
+	for i, b := range o {
+		if i > 0 {
+			buf = append(buf, '.')
+		}
+		buf = strconv.AppendUint(buf, uint64(b), 10)
+	}
+	return string(buf)
+}
+
+// Less orders addresses numerically; useful for deterministic iteration.
+func (a Addr) Less(b Addr) bool { return a < b }
+
+// Next returns the numerically following address, wrapping at the top of
+// the space. Topology builders use it to hand out host addresses.
+func (a Addr) Next() Addr { return a + 1 }
+
+// Prefix is an IPv4 CIDR prefix. Bits beyond the mask length are kept
+// zeroed so Prefix values compare correctly with ==.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// PrefixFrom masks addr to bits and returns the prefix. bits outside
+// [0,32] are clamped.
+func PrefixFrom(addr Addr, bits int) Prefix {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	return Prefix{addr: addr.mask(uint8(bits)), bits: uint8(bits)}
+}
+
+// HostPrefix returns the /32 prefix covering exactly addr.
+func HostPrefix(addr Addr) Prefix { return Prefix{addr: addr, bits: 32} }
+
+// ParsePrefix parses CIDR notation ("10.0.0.0/8").
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.LastIndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: %q is not CIDR", s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: %q has bad prefix length", s)
+	}
+	return PrefixFrom(a, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on malformed input.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a Addr) mask(bits uint8) Addr {
+	if bits == 0 {
+		return 0
+	}
+	return a & Addr(^uint32(0)<<(32-bits))
+}
+
+// Addr returns the (masked) network address of p.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// IsValid reports whether p was built by a constructor (a zero Prefix is
+// the default route 0.0.0.0/0, which is valid; use IsZero to detect the
+// unset value where the distinction matters).
+func (p Prefix) IsValid() bool { return p.bits <= 32 }
+
+// IsSingleIP reports whether p covers exactly one address.
+func (p Prefix) IsSingleIP() bool { return p.bits == 32 }
+
+// Contains reports whether a is inside p.
+func (p Prefix) Contains(a Addr) bool { return a.mask(p.bits) == p.addr }
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.bits <= q.bits {
+		return p.Contains(q.addr)
+	}
+	return q.Contains(p.addr)
+}
+
+// String renders p in CIDR notation.
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// Supernet returns the prefix one bit shorter than p. Supernet of /0 is /0.
+func (p Prefix) Supernet() Prefix {
+	if p.bits == 0 {
+		return p
+	}
+	return PrefixFrom(p.addr, int(p.bits)-1)
+}
+
+// NthHost returns the n-th address inside p (n=0 is the network address).
+// It panics if n does not fit in the host part; builders size prefixes to
+// their populations up front.
+func (p Prefix) NthHost(n int) Addr {
+	host := uint32(n)
+	if p.bits < 32 && host>>(32-p.bits) != 0 {
+		panic(fmt.Sprintf("netaddr: host %d does not fit in %s", n, p))
+	}
+	if p.bits == 32 && n != 0 {
+		panic(fmt.Sprintf("netaddr: host %d does not fit in %s", n, p))
+	}
+	return p.addr + Addr(host)
+}
+
+// Subnet carves the i-th subnet of length newBits out of p.
+// Example: MustParsePrefix("10.0.0.0/8").Subnet(24, 5) == 10.0.5.0/24.
+func (p Prefix) Subnet(newBits, i int) Prefix {
+	if newBits < int(p.bits) || newBits > 32 {
+		panic(fmt.Sprintf("netaddr: cannot carve /%d out of %s", newBits, p))
+	}
+	span := newBits - int(p.bits)
+	if span < 32 && uint32(i)>>span != 0 {
+		panic(fmt.Sprintf("netaddr: subnet index %d does not fit in %s -> /%d", i, p, newBits))
+	}
+	return PrefixFrom(p.addr+Addr(uint32(i)<<(32-newBits)), newBits)
+}

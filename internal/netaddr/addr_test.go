@@ -1,0 +1,239 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrFrom4(t *testing.T) {
+	a := AddrFrom4(192, 0, 2, 1)
+	if got := a.String(); got != "192.0.2.1" {
+		t.Fatalf("String() = %q, want 192.0.2.1", got)
+	}
+	if o := a.Octets(); o != [4]byte{192, 0, 2, 1} {
+		t.Fatalf("Octets() = %v", o)
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"10.0.0.1", AddrFrom4(10, 0, 0, 1), true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"-1.0.0.1", 0, false},
+		{"01.0.0.1", 0, false}, // leading zero rejected
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	f := func(u uint32) bool {
+		a := Addr(u)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrBytesRoundTrip(t *testing.T) {
+	f := func(u uint32) bool {
+		a := Addr(u)
+		b := a.AppendBytes(nil)
+		if len(b) != 4 {
+			return false
+		}
+		var fixed [4]byte
+		a.PutBytes(fixed[:])
+		return AddrFromBytes(b) == a && AddrFromBytes(fixed[:]) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrPredicates(t *testing.T) {
+	if Addr(0).IsValid() {
+		t.Error("0.0.0.0 must be invalid")
+	}
+	if !MustParseAddr("10.0.0.1").IsValid() {
+		t.Error("10.0.0.1 must be valid")
+	}
+	if !MustParseAddr("224.0.0.1").IsMulticast() {
+		t.Error("224.0.0.1 must be multicast")
+	}
+	if !MustParseAddr("239.255.255.255").IsMulticast() {
+		t.Error("239.255.255.255 must be multicast")
+	}
+	if MustParseAddr("223.255.255.255").IsMulticast() {
+		t.Error("223.255.255.255 must not be multicast")
+	}
+	if MustParseAddr("240.0.0.0").IsMulticast() {
+		t.Error("240.0.0.0 must not be multicast")
+	}
+}
+
+func TestAddrNextAndLess(t *testing.T) {
+	a := MustParseAddr("10.0.0.1")
+	if a.Next() != MustParseAddr("10.0.0.2") {
+		t.Errorf("Next() = %v", a.Next())
+	}
+	if !a.Less(a.Next()) || a.Next().Less(a) {
+		t.Error("Less ordering broken")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"10.0.0.0/8", "10.0.0.0/8", true},
+		{"10.1.2.3/8", "10.0.0.0/8", true}, // host bits masked off
+		{"192.0.2.1/32", "192.0.2.1/32", true},
+		{"0.0.0.0/0", "0.0.0.0/0", true},
+		{"10.0.0.0/33", "", false},
+		{"10.0.0.0/-1", "", false},
+		{"10.0.0.0", "", false},
+		{"bogus/8", "", false},
+	}
+	for _, c := range cases {
+		got, err := ParsePrefix(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParsePrefix(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got.String() != c.want {
+			t.Errorf("ParsePrefix(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if !p.Contains(MustParseAddr("10.255.0.1")) {
+		t.Error("10/8 must contain 10.255.0.1")
+	}
+	if p.Contains(MustParseAddr("11.0.0.1")) {
+		t.Error("10/8 must not contain 11.0.0.1")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("203.0.113.9")) {
+		t.Error("default route contains everything")
+	}
+	host := HostPrefix(MustParseAddr("192.0.2.7"))
+	if !host.Contains(MustParseAddr("192.0.2.7")) || host.Contains(MustParseAddr("192.0.2.8")) {
+		t.Error("host prefix must contain exactly itself")
+	}
+}
+
+func TestPrefixContainsMaskConsistency(t *testing.T) {
+	f := func(u uint32, v uint32, bits uint8) bool {
+		b := int(bits % 33)
+		p := PrefixFrom(Addr(u), b)
+		a := Addr(v)
+		// Contains must agree with prefix-of-masked-address equality.
+		want := PrefixFrom(a, b).Addr() == p.Addr()
+		return p.Contains(a) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.5.0.0/16")
+	q := MustParsePrefix("11.0.0.0/8")
+	if !p8.Overlaps(p16) || !p16.Overlaps(p8) {
+		t.Error("nested prefixes overlap")
+	}
+	if p8.Overlaps(q) || q.Overlaps(p8) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+	if !p8.Overlaps(p8) {
+		t.Error("prefix overlaps itself")
+	}
+}
+
+func TestPrefixSupernet(t *testing.T) {
+	p := MustParsePrefix("10.128.0.0/9")
+	if got := p.Supernet(); got != MustParsePrefix("10.0.0.0/8") {
+		t.Errorf("Supernet = %v", got)
+	}
+	def := MustParsePrefix("0.0.0.0/0")
+	if def.Supernet() != def {
+		t.Error("supernet of /0 is /0")
+	}
+}
+
+func TestPrefixNthHost(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/24")
+	if got := p.NthHost(5); got != MustParseAddr("10.0.0.5") {
+		t.Errorf("NthHost(5) = %v", got)
+	}
+	if got := HostPrefix(MustParseAddr("10.0.0.9")).NthHost(0); got != MustParseAddr("10.0.0.9") {
+		t.Errorf("NthHost(0) of /32 = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NthHost out of range must panic")
+		}
+	}()
+	p.NthHost(256)
+}
+
+func TestPrefixSubnet(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if got := p.Subnet(24, 5); got != MustParsePrefix("10.0.5.0/24") {
+		t.Errorf("Subnet(24,5) = %v", got)
+	}
+	if got := p.Subnet(8, 0); got != p {
+		t.Errorf("Subnet(8,0) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Subnet with shorter newBits must panic")
+		}
+	}()
+	p.Subnet(4, 0)
+}
+
+func TestPrefixSubnetIndexRange(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	defer func() {
+		if recover() == nil {
+			t.Error("Subnet index overflow must panic")
+		}
+	}()
+	p.Subnet(9, 2) // only indexes 0 and 1 fit
+}
+
+func TestPrefixIsSingleIP(t *testing.T) {
+	if !HostPrefix(MustParseAddr("1.2.3.4")).IsSingleIP() {
+		t.Error("/32 is a single IP")
+	}
+	if MustParsePrefix("1.2.3.0/24").IsSingleIP() {
+		t.Error("/24 is not a single IP")
+	}
+}

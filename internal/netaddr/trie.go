@@ -1,0 +1,150 @@
+package netaddr
+
+// Trie is a binary radix trie mapping prefixes to values, supporting exact
+// insert/delete and longest-prefix-match lookup. It backs every forwarding
+// table in the reproduction: simulator IP routing, ITR map-caches, ALT
+// overlay routing and the PCE mapping databases.
+//
+// The implementation is a path-uncompressed binary trie: simple, allocation
+// light on lookup (zero), and fast enough that the simulator's per-hop
+// lookups never show up in profiles. Depth is bounded by 32.
+//
+// Trie is not safe for concurrent mutation; the simulator is single
+// threaded by design and real-socket users wrap it in their own lock.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V any]() *Trie[V] { return &Trie[V]{root: &trieNode[V]{}} }
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores v under p, replacing any existing value. It reports whether
+// the prefix was newly added.
+func (t *Trie[V]) Insert(p Prefix, v V) bool {
+	n := t.root
+	a := uint32(p.addr)
+	for i := 0; i < p.Bits(); i++ {
+		b := (a >> (31 - uint(i))) & 1
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = v, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Delete removes the exact prefix p. It reports whether p was present.
+// Interior nodes are left in place; tries in this codebase grow to a
+// working set and stay there, so eager pruning buys nothing.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.root
+	a := uint32(p.addr)
+	for i := 0; i < p.Bits(); i++ {
+		b := (a >> (31 - uint(i))) & 1
+		if n.child[b] == nil {
+			return false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Get returns the value stored under exactly p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	n := t.root
+	a := uint32(p.addr)
+	for i := 0; i < p.Bits(); i++ {
+		b := (a >> (31 - uint(i))) & 1
+		if n.child[b] == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.child[b]
+	}
+	return n.val, n.set
+}
+
+// Lookup returns the value of the longest prefix containing a, the matched
+// prefix itself, and whether any prefix matched.
+func (t *Trie[V]) Lookup(a Addr) (V, Prefix, bool) {
+	n := t.root
+	var (
+		bestVal  V
+		bestBits = -1
+	)
+	u := uint32(a)
+	for i := 0; ; i++ {
+		if n.set {
+			bestVal, bestBits = n.val, i
+		}
+		if i == 32 {
+			break
+		}
+		b := (u >> (31 - uint(i))) & 1
+		if n.child[b] == nil {
+			break
+		}
+		n = n.child[b]
+	}
+	if bestBits < 0 {
+		var zero V
+		return zero, Prefix{}, false
+	}
+	return bestVal, PrefixFrom(a, bestBits), true
+}
+
+// Walk visits every stored prefix in lexicographic (address, length) order
+// of the trie walk, calling fn(prefix, value). Returning false stops the
+// walk early. Determinism matters: experiment output is diffed across runs.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *Trie[V]) walk(n *trieNode[V], addr uint32, depth int, fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set {
+		if !fn(PrefixFrom(Addr(addr), depth), n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.child[0], addr, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
+}
+
+// Prefixes returns all stored prefixes in walk order.
+func (t *Trie[V]) Prefixes() []Prefix {
+	out := make([]Prefix, 0, t.size)
+	t.Walk(func(p Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,247 @@
+package netaddr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieInsertGet(t *testing.T) {
+	tr := NewTrie[string]()
+	p := MustParsePrefix("10.0.0.0/8")
+	if !tr.Insert(p, "ten") {
+		t.Fatal("first insert must report added")
+	}
+	if tr.Insert(p, "ten-again") {
+		t.Fatal("re-insert must not report added")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, ok := tr.Get(p)
+	if !ok || v != "ten-again" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/9")); ok {
+		t.Fatal("Get of absent prefix must miss")
+	}
+}
+
+func TestTrieLookupLongestMatch(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "coarse")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "mid")
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), "fine")
+
+	cases := []struct {
+		addr string
+		want string
+		bits int
+	}{
+		{"10.1.2.3", "fine", 24},
+		{"10.1.9.9", "mid", 16},
+		{"10.200.0.1", "coarse", 8},
+		{"192.0.2.1", "default", 0},
+	}
+	for _, c := range cases {
+		v, p, ok := tr.Lookup(MustParseAddr(c.addr))
+		if !ok || v != c.want || p.Bits() != c.bits {
+			t.Errorf("Lookup(%s) = %q/%d ok=%v, want %q/%d", c.addr, v, p.Bits(), ok, c.want, c.bits)
+		}
+	}
+}
+
+func TestTrieLookupMiss(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	if _, _, ok := tr.Lookup(MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("lookup outside any prefix must miss")
+	}
+	empty := NewTrie[int]()
+	if _, _, ok := empty.Lookup(MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("lookup in empty trie must miss")
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	tr := NewTrie[int]()
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.1.0.0/16")
+	tr.Insert(p8, 8)
+	tr.Insert(p16, 16)
+	if !tr.Delete(p16) {
+		t.Fatal("delete of present prefix must succeed")
+	}
+	if tr.Delete(p16) {
+		t.Fatal("second delete must fail")
+	}
+	if tr.Delete(MustParsePrefix("10.2.0.0/16")) {
+		t.Fatal("delete of absent prefix must fail")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after delete", tr.Len())
+	}
+	// The /8 must still answer for former /16 addresses.
+	v, _, ok := tr.Lookup(MustParseAddr("10.1.2.3"))
+	if !ok || v != 8 {
+		t.Fatalf("Lookup after delete = %d, %v", v, ok)
+	}
+}
+
+func TestTrieHostRoutes(t *testing.T) {
+	tr := NewTrie[int]()
+	a := MustParseAddr("192.0.2.55")
+	tr.Insert(HostPrefix(a), 55)
+	tr.Insert(MustParsePrefix("192.0.2.0/24"), 24)
+	v, p, ok := tr.Lookup(a)
+	if !ok || v != 55 || p.Bits() != 32 {
+		t.Fatalf("host route lookup = %d/%d %v", v, p.Bits(), ok)
+	}
+	v, p, ok = tr.Lookup(a.Next())
+	if !ok || v != 24 || p.Bits() != 24 {
+		t.Fatalf("covering route lookup = %d/%d %v", v, p.Bits(), ok)
+	}
+}
+
+func TestTrieWalkDeterministic(t *testing.T) {
+	tr := NewTrie[int]()
+	in := []string{"10.0.0.0/8", "0.0.0.0/0", "10.1.0.0/16", "192.0.2.0/24", "10.1.0.0/24"}
+	for i, s := range in {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.0.0/24", "192.0.2.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", got, want)
+		}
+	}
+	if got := tr.Prefixes(); len(got) != len(want) {
+		t.Fatalf("Prefixes len = %d", len(got))
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(MustParsePrefix("11.0.0.0/8"), 2)
+	n := 0
+	tr.Walk(func(Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// refLPM is the obviously-correct longest-prefix match used as the oracle.
+func refLPM(entries map[Prefix]int, a Addr) (int, int, bool) {
+	best, bestBits, ok := 0, -1, false
+	for p, v := range entries {
+		if p.Contains(a) && p.Bits() > bestBits {
+			best, bestBits, ok = v, p.Bits(), true
+		}
+	}
+	return best, bestBits, ok
+}
+
+// TestTrieMatchesLinearScan cross-checks trie LPM against a linear scan on
+// randomized rule sets — the core correctness property of the package.
+func TestTrieMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		tr := NewTrie[int]()
+		entries := map[Prefix]int{}
+		for i := 0; i < 60; i++ {
+			p := PrefixFrom(Addr(rng.Uint32()), rng.Intn(33))
+			entries[p] = i
+			tr.Insert(p, i)
+		}
+		if tr.Len() != len(entries) {
+			t.Fatalf("round %d: Len=%d want %d", round, tr.Len(), len(entries))
+		}
+		for i := 0; i < 200; i++ {
+			var a Addr
+			if i%2 == 0 {
+				a = Addr(rng.Uint32())
+			} else {
+				// Bias half the probes into stored prefixes so matches happen.
+				for p := range entries {
+					a = p.Addr() + Addr(rng.Uint32()&0xff)
+					break
+				}
+			}
+			wantV, wantBits, wantOK := refLPM(entries, a)
+			gotV, gotP, gotOK := tr.Lookup(a)
+			if gotOK != wantOK {
+				t.Fatalf("round %d: Lookup(%v) ok=%v want %v", round, a, gotOK, wantOK)
+			}
+			if wantOK && (gotV != wantV || gotP.Bits() != wantBits) {
+				t.Fatalf("round %d: Lookup(%v) = %d/%d, want %d/%d",
+					round, a, gotV, gotP.Bits(), wantV, wantBits)
+			}
+		}
+	}
+}
+
+// TestTrieInsertDeleteQuick property: after any interleaving of inserts and
+// deletes, Get agrees with a shadow map.
+func TestTrieInsertDeleteQuick(t *testing.T) {
+	f := func(ops []struct {
+		Addr uint32
+		Bits uint8
+		Del  bool
+	}) bool {
+		tr := NewTrie[uint32]()
+		shadow := map[Prefix]uint32{}
+		for _, op := range ops {
+			p := PrefixFrom(Addr(op.Addr), int(op.Bits%33))
+			if op.Del {
+				_, inShadow := shadow[p]
+				if tr.Delete(p) != inShadow {
+					return false
+				}
+				delete(shadow, p)
+			} else {
+				tr.Insert(p, op.Addr)
+				shadow[p] = op.Addr
+			}
+		}
+		if tr.Len() != len(shadow) {
+			return false
+		}
+		for p, v := range shadow {
+			got, ok := tr.Get(p)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	tr := NewTrie[int]()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		tr.Insert(PrefixFrom(Addr(rng.Uint32()), 8+rng.Intn(25)), i)
+	}
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = Addr(rng.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i&1023])
+	}
+}

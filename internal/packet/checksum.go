@@ -1,0 +1,40 @@
+package packet
+
+import "github.com/pcelisp/pcelisp/internal/netaddr"
+
+// Checksum computes the RFC 1071 Internet checksum over data.
+func Checksum(data []byte) uint16 {
+	return finishChecksum(sumBytes(0, data))
+}
+
+// sumBytes adds data to a running 32-bit ones-complement accumulator.
+func sumBytes(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderChecksum starts a transport checksum with the IPv4
+// pseudo-header (RFC 768 / RFC 793): src, dst, zero+protocol, length.
+func pseudoHeaderChecksum(src, dst netaddr.Addr, proto IPProtocol, length int) uint32 {
+	var sum uint32
+	sum += uint32(src >> 16)
+	sum += uint32(src & 0xffff)
+	sum += uint32(dst >> 16)
+	sum += uint32(dst & 0xffff)
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

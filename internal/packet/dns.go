@@ -1,0 +1,389 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// DNSOpCode is the DNS header opcode.
+type DNSOpCode uint8
+
+// DNSOpCodeQuery is a standard query.
+const DNSOpCodeQuery DNSOpCode = 0
+
+// DNSResponseCode is the DNS header RCODE.
+type DNSResponseCode uint8
+
+// Response codes used in this codebase.
+const (
+	// DNSRCodeNoError is RCODE 0.
+	DNSRCodeNoError DNSResponseCode = 0
+	// DNSRCodeNXDomain is RCODE 3 (name does not exist).
+	DNSRCodeNXDomain DNSResponseCode = 3
+	// DNSRCodeServFail is RCODE 2.
+	DNSRCodeServFail DNSResponseCode = 2
+)
+
+// DNSType is a DNS record type.
+type DNSType uint16
+
+// Record types used in this codebase.
+const (
+	// DNSTypeA is an IPv4 address record.
+	DNSTypeA DNSType = 1
+	// DNSTypeNS is a name-server delegation record.
+	DNSTypeNS DNSType = 2
+	// DNSTypeCNAME is a canonical-name alias record.
+	DNSTypeCNAME DNSType = 5
+)
+
+// String names the type.
+func (t DNSType) String() string {
+	switch t {
+	case DNSTypeA:
+		return "A"
+	case DNSTypeNS:
+		return "NS"
+	case DNSTypeCNAME:
+		return "CNAME"
+	default:
+		return fmt.Sprintf("DNSType(%d)", uint16(t))
+	}
+}
+
+// DNSClass is a DNS record class.
+type DNSClass uint16
+
+// DNSClassIN is the Internet class.
+const DNSClassIN DNSClass = 1
+
+// dnsHeaderLen is the fixed DNS message header size.
+const dnsHeaderLen = 12
+
+// DNSQuestion is one entry of a DNS question section.
+type DNSQuestion struct {
+	Name  string
+	Type  DNSType
+	Class DNSClass
+}
+
+// DNSResourceRecord is one entry of an answer/authority/additional section.
+type DNSResourceRecord struct {
+	Name  string
+	Type  DNSType
+	Class DNSClass
+	TTL   uint32
+	// IP is the record data for A records.
+	IP netaddr.Addr
+	// NSName is the record data for NS and CNAME records.
+	NSName string
+	// Data carries the raw RDATA for record types this package does not
+	// interpret.
+	Data []byte
+}
+
+// DNS is a DNS message (RFC 1035 wire format). Decoding understands name
+// compression pointers; encoding emits uncompressed names, which is always
+// legal.
+type DNS struct {
+	BaseLayer
+	ID     uint16
+	QR     bool // response flag
+	OpCode DNSOpCode
+	AA     bool // authoritative answer
+	TC     bool // truncated
+	RD     bool // recursion desired
+	RA     bool // recursion available
+	RCode  DNSResponseCode
+
+	Questions   []DNSQuestion
+	Answers     []DNSResourceRecord
+	Authorities []DNSResourceRecord
+	Additionals []DNSResourceRecord
+}
+
+// LayerType returns LayerTypeDNS.
+func (*DNS) LayerType() LayerType { return LayerTypeDNS }
+
+// Payload returns nil: DNS is an application layer.
+func (*DNS) Payload() []byte { return nil }
+
+func decodeDNS(data []byte, p PacketBuilder) error {
+	d := &DNS{}
+	if err := d.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	p.AddLayer(d)
+	p.SetApplicationLayer(d)
+	return nil
+}
+
+// DecodeFromBytes parses a DNS message from data.
+func (d *DNS) DecodeFromBytes(data []byte) error {
+	if len(data) < dnsHeaderLen {
+		return fmt.Errorf("DNS: %d bytes is too short for a header", len(data))
+	}
+	d.ID = uint16(data[0])<<8 | uint16(data[1])
+	d.QR = data[2]&0x80 != 0
+	d.OpCode = DNSOpCode((data[2] >> 3) & 0x0f)
+	d.AA = data[2]&0x04 != 0
+	d.TC = data[2]&0x02 != 0
+	d.RD = data[2]&0x01 != 0
+	d.RA = data[3]&0x80 != 0
+	d.RCode = DNSResponseCode(data[3] & 0x0f)
+	qd := int(uint16(data[4])<<8 | uint16(data[5]))
+	an := int(uint16(data[6])<<8 | uint16(data[7]))
+	ns := int(uint16(data[8])<<8 | uint16(data[9]))
+	ar := int(uint16(data[10])<<8 | uint16(data[11]))
+
+	off := dnsHeaderLen
+	d.Questions = d.Questions[:0]
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeDNSName(data, off)
+		if err != nil {
+			return fmt.Errorf("DNS: question %d: %w", i, err)
+		}
+		off = n
+		if off+4 > len(data) {
+			return fmt.Errorf("DNS: question %d truncated", i)
+		}
+		d.Questions = append(d.Questions, DNSQuestion{
+			Name:  name,
+			Type:  DNSType(uint16(data[off])<<8 | uint16(data[off+1])),
+			Class: DNSClass(uint16(data[off+2])<<8 | uint16(data[off+3])),
+		})
+		off += 4
+	}
+	var err error
+	if d.Answers, off, err = decodeDNSRRs(data, off, an); err != nil {
+		return fmt.Errorf("DNS: answers: %w", err)
+	}
+	if d.Authorities, off, err = decodeDNSRRs(data, off, ns); err != nil {
+		return fmt.Errorf("DNS: authorities: %w", err)
+	}
+	if d.Additionals, off, err = decodeDNSRRs(data, off, ar); err != nil {
+		return fmt.Errorf("DNS: additionals: %w", err)
+	}
+	d.Contents = data[:off]
+	d.BaseLayer.Payload = nil
+	return nil
+}
+
+func decodeDNSRRs(data []byte, off, count int) ([]DNSResourceRecord, int, error) {
+	if count == 0 {
+		return nil, off, nil
+	}
+	rrs := make([]DNSResourceRecord, 0, count)
+	for i := 0; i < count; i++ {
+		name, n, err := decodeDNSName(data, off)
+		if err != nil {
+			return nil, 0, fmt.Errorf("record %d: %w", i, err)
+		}
+		off = n
+		if off+10 > len(data) {
+			return nil, 0, fmt.Errorf("record %d truncated", i)
+		}
+		rr := DNSResourceRecord{
+			Name:  name,
+			Type:  DNSType(uint16(data[off])<<8 | uint16(data[off+1])),
+			Class: DNSClass(uint16(data[off+2])<<8 | uint16(data[off+3])),
+			TTL:   uint32(data[off+4])<<24 | uint32(data[off+5])<<16 | uint32(data[off+6])<<8 | uint32(data[off+7]),
+		}
+		rdlen := int(uint16(data[off+8])<<8 | uint16(data[off+9]))
+		off += 10
+		if off+rdlen > len(data) {
+			return nil, 0, fmt.Errorf("record %d rdata truncated", i)
+		}
+		rdata := data[off : off+rdlen]
+		switch rr.Type {
+		case DNSTypeA:
+			if rdlen != 4 {
+				return nil, 0, fmt.Errorf("record %d: A rdata length %d", i, rdlen)
+			}
+			rr.IP = netaddr.AddrFromBytes(rdata)
+		case DNSTypeNS, DNSTypeCNAME:
+			nsName, _, err := decodeDNSName(data, off)
+			if err != nil {
+				return nil, 0, fmt.Errorf("record %d: ns name: %w", i, err)
+			}
+			rr.NSName = nsName
+		default:
+			rr.Data = rdata
+		}
+		off += rdlen
+		rrs = append(rrs, rr)
+	}
+	return rrs, off, nil
+}
+
+// decodeDNSName reads a possibly-compressed domain name starting at off,
+// returning the dotted name and the offset just past it in the message.
+func decodeDNSName(data []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	end := -1 // offset after the name in the original (pre-jump) stream
+	hops := 0
+	for {
+		if off >= len(data) {
+			return "", 0, fmt.Errorf("name runs past message end")
+		}
+		c := int(data[off])
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			return name, end, nil
+		case c&0xc0 == 0xc0: // compression pointer
+			if off+1 >= len(data) {
+				return "", 0, fmt.Errorf("truncated compression pointer")
+			}
+			if hops++; hops > 32 {
+				return "", 0, fmt.Errorf("compression pointer loop")
+			}
+			ptr := (c&0x3f)<<8 | int(data[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("forward compression pointer")
+			}
+			off = ptr
+		case c&0xc0 != 0:
+			return "", 0, fmt.Errorf("bad label length byte 0x%02x", c)
+		default:
+			if off+1+c > len(data) {
+				return "", 0, fmt.Errorf("label runs past message end")
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(data[off+1 : off+1+c])
+			off += 1 + c
+			if sb.Len() > 255 {
+				return "", 0, fmt.Errorf("name longer than 255 bytes")
+			}
+		}
+	}
+}
+
+// encodeDNSName appends the uncompressed wire encoding of name to b.
+func encodeDNSName(b []byte, name string) ([]byte, error) {
+	if name == "." || name == "" {
+		return append(b, 0), nil
+	}
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("DNS: bad label %q in %q", label, name)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}
+
+// AppendBytes encodes the message and appends it to b.
+func (d *DNS) AppendBytes(b []byte) ([]byte, error) {
+	var flags2, flags3 byte
+	if d.QR {
+		flags2 |= 0x80
+	}
+	flags2 |= byte(d.OpCode&0x0f) << 3
+	if d.AA {
+		flags2 |= 0x04
+	}
+	if d.TC {
+		flags2 |= 0x02
+	}
+	if d.RD {
+		flags2 |= 0x01
+	}
+	if d.RA {
+		flags3 |= 0x80
+	}
+	flags3 |= byte(d.RCode & 0x0f)
+	b = append(b,
+		byte(d.ID>>8), byte(d.ID), flags2, flags3,
+		byte(len(d.Questions)>>8), byte(len(d.Questions)),
+		byte(len(d.Answers)>>8), byte(len(d.Answers)),
+		byte(len(d.Authorities)>>8), byte(len(d.Authorities)),
+		byte(len(d.Additionals)>>8), byte(len(d.Additionals)),
+	)
+	var err error
+	for _, q := range d.Questions {
+		if b, err = encodeDNSName(b, q.Name); err != nil {
+			return nil, err
+		}
+		b = append(b, byte(q.Type>>8), byte(q.Type), byte(q.Class>>8), byte(q.Class))
+	}
+	for _, sec := range [][]DNSResourceRecord{d.Answers, d.Authorities, d.Additionals} {
+		for _, rr := range sec {
+			if b, err = appendDNSRR(b, rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func appendDNSRR(b []byte, rr DNSResourceRecord) ([]byte, error) {
+	var err error
+	if b, err = encodeDNSName(b, rr.Name); err != nil {
+		return nil, err
+	}
+	b = append(b, byte(rr.Type>>8), byte(rr.Type), byte(rr.Class>>8), byte(rr.Class),
+		byte(rr.TTL>>24), byte(rr.TTL>>16), byte(rr.TTL>>8), byte(rr.TTL))
+	switch rr.Type {
+	case DNSTypeA:
+		b = append(b, 0, 4)
+		b = rr.IP.AppendBytes(b)
+	case DNSTypeNS, DNSTypeCNAME:
+		var rdata []byte
+		if rdata, err = encodeDNSName(nil, rr.NSName); err != nil {
+			return nil, err
+		}
+		b = append(b, byte(len(rdata)>>8), byte(len(rdata)))
+		b = append(b, rdata...)
+	default:
+		b = append(b, byte(len(rr.Data)>>8), byte(len(rr.Data)))
+		b = append(b, rr.Data...)
+	}
+	return b, nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (d *DNS) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+	enc, err := d.AppendBytes(nil)
+	if err != nil {
+		return err
+	}
+	bytes, err := b.PrependBytes(len(enc))
+	if err != nil {
+		return err
+	}
+	copy(bytes, enc)
+	return nil
+}
+
+// QuestionFor returns a single-question query message for name.
+func QuestionFor(id uint16, name string, t DNSType) *DNS {
+	return &DNS{
+		ID: id, RD: false, OpCode: DNSOpCodeQuery,
+		Questions: []DNSQuestion{{Name: name, Type: t, Class: DNSClassIN}},
+	}
+}
+
+// FirstA returns the first A record in the answer section, if any.
+func (d *DNS) FirstA() (netaddr.Addr, bool) {
+	for _, rr := range d.Answers {
+		if rr.Type == DNSTypeA {
+			return rr.IP, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,220 @@
+package packet
+
+import (
+	"testing"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	in := QuestionFor(0x1234, "www.example.com", DNSTypeA)
+	data := Serialize(in)
+	p := NewPacket(data, LayerTypeDNS, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypeDNS).(*DNS)
+	if out.ID != 0x1234 || out.QR || out.OpCode != DNSOpCodeQuery {
+		t.Fatalf("header = %+v", out)
+	}
+	if len(out.Questions) != 1 {
+		t.Fatalf("questions = %d", len(out.Questions))
+	}
+	q := out.Questions[0]
+	if q.Name != "www.example.com" || q.Type != DNSTypeA || q.Class != DNSClassIN {
+		t.Fatalf("question = %+v", q)
+	}
+}
+
+func TestDNSResponseRoundTrip(t *testing.T) {
+	addr := netaddr.MustParseAddr("12.0.1.9")
+	in := &DNS{
+		ID: 7, QR: true, AA: true, RA: true, RCode: DNSRCodeNoError,
+		Questions: []DNSQuestion{{Name: "ed.dst.example", Type: DNSTypeA, Class: DNSClassIN}},
+		Answers: []DNSResourceRecord{
+			{Name: "ed.dst.example", Type: DNSTypeA, Class: DNSClassIN, TTL: 300, IP: addr},
+		},
+		Authorities: []DNSResourceRecord{
+			{Name: "dst.example", Type: DNSTypeNS, Class: DNSClassIN, TTL: 3600, NSName: "ns1.dst.example"},
+		},
+		Additionals: []DNSResourceRecord{
+			{Name: "ns1.dst.example", Type: DNSTypeA, Class: DNSClassIN, TTL: 3600, IP: netaddr.MustParseAddr("12.0.0.53")},
+		},
+	}
+	data := Serialize(in)
+	out := &DNS{}
+	if err := out.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if !out.QR || !out.AA || !out.RA || out.RCode != DNSRCodeNoError {
+		t.Fatalf("flags = %+v", out)
+	}
+	if got, ok := out.FirstA(); !ok || got != addr {
+		t.Fatalf("FirstA = %v, %v", got, ok)
+	}
+	if out.Authorities[0].NSName != "ns1.dst.example" {
+		t.Fatalf("authority = %+v", out.Authorities[0])
+	}
+	if out.Additionals[0].IP != netaddr.MustParseAddr("12.0.0.53") {
+		t.Fatalf("additional = %+v", out.Additionals[0])
+	}
+}
+
+func TestDNSRootName(t *testing.T) {
+	in := QuestionFor(1, ".", DNSTypeNS)
+	data := Serialize(in)
+	out := &DNS{}
+	if err := out.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if out.Questions[0].Name != "." {
+		t.Fatalf("root name = %q", out.Questions[0].Name)
+	}
+}
+
+func TestDNSCNAMERecord(t *testing.T) {
+	in := &DNS{ID: 9, QR: true,
+		Answers: []DNSResourceRecord{{Name: "alias.example", Type: DNSTypeCNAME, Class: DNSClassIN, TTL: 60, NSName: "real.example"}}}
+	out := &DNS{}
+	if err := out.DecodeFromBytes(Serialize(in)); err != nil {
+		t.Fatal(err)
+	}
+	if out.Answers[0].NSName != "real.example" {
+		t.Fatalf("CNAME = %+v", out.Answers[0])
+	}
+}
+
+func TestDNSUnknownRecordTypePassthrough(t *testing.T) {
+	in := &DNS{ID: 9, QR: true,
+		Answers: []DNSResourceRecord{{Name: "x.example", Type: DNSType(16), Class: DNSClassIN, TTL: 60, Data: []byte("v=spf1")}}}
+	out := &DNS{}
+	if err := out.DecodeFromBytes(Serialize(in)); err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Answers[0].Data) != "v=spf1" {
+		t.Fatalf("raw rdata = %q", out.Answers[0].Data)
+	}
+}
+
+func TestDNSCompressionPointerDecode(t *testing.T) {
+	// Hand-build a response whose answer name is a pointer to the question
+	// name (offset 12), the classic compression layout.
+	q := QuestionFor(0xaaaa, "ed.dst.example", DNSTypeA)
+	msg := Serialize(q)
+	msg[2] |= 0x80                                         // QR
+	msg[7] = 1                                             // ANCOUNT = 1
+	answer := []byte{0xc0, 12}                             // pointer to offset 12
+	answer = append(answer, 0, 1, 0, 1, 0, 0, 1, 44, 0, 4) // A IN TTL=300 rdlen=4
+	answer = append(answer, 12, 0, 1, 9)
+	msg = append(msg, answer...)
+
+	out := &DNS{}
+	if err := out.DecodeFromBytes(msg); err != nil {
+		t.Fatal(err)
+	}
+	if out.Answers[0].Name != "ed.dst.example" {
+		t.Fatalf("compressed name = %q", out.Answers[0].Name)
+	}
+	if out.Answers[0].IP != netaddr.MustParseAddr("12.0.1.9") {
+		t.Fatalf("A = %v", out.Answers[0].IP)
+	}
+}
+
+func TestDNSCompressionLoopRejected(t *testing.T) {
+	// A name that is a pointer to itself must be rejected, not loop.
+	msg := Serialize(QuestionFor(1, "a.example", DNSTypeA))
+	msg[7] = 1
+	// Answer name: pointer to offset 12; but we overwrite offset 12 to be a
+	// pointer back to itself first.
+	msg[12], msg[13] = 0xc0, 12
+	answer := []byte{0xc0, 12, 0, 1, 0, 1, 0, 0, 0, 1, 0, 4, 1, 2, 3, 4}
+	msg = append(msg, answer...)
+	out := &DNS{}
+	if err := out.DecodeFromBytes(msg); err == nil {
+		t.Fatal("self-pointing name must fail")
+	}
+}
+
+func TestDNSForwardPointerRejected(t *testing.T) {
+	msg := Serialize(QuestionFor(1, "a.example", DNSTypeA))
+	msg[7] = 1
+	answer := []byte{0xc0, 200, 0, 1, 0, 1, 0, 0, 0, 1, 0, 4, 1, 2, 3, 4}
+	msg = append(msg, answer...)
+	out := &DNS{}
+	if err := out.DecodeFromBytes(msg); err == nil {
+		t.Fatal("forward pointer must fail")
+	}
+}
+
+func TestDNSBadLabelRejected(t *testing.T) {
+	in := &DNS{Questions: []DNSQuestion{{Name: "a..b", Type: DNSTypeA, Class: DNSClassIN}}}
+	if err := SerializeLayers(NewSerializeBuffer(), FixAll, in); err == nil {
+		t.Fatal("empty label must fail to encode")
+	}
+	long := make([]byte, 70)
+	for i := range long {
+		long[i] = 'x'
+	}
+	in2 := &DNS{Questions: []DNSQuestion{{Name: string(long), Type: DNSTypeA, Class: DNSClassIN}}}
+	if err := SerializeLayers(NewSerializeBuffer(), FixAll, in2); err == nil {
+		t.Fatal("64-byte label must fail to encode")
+	}
+}
+
+func TestDNSTruncatedMessages(t *testing.T) {
+	full := Serialize(&DNS{
+		ID: 3, QR: true,
+		Questions: []DNSQuestion{{Name: "q.example", Type: DNSTypeA, Class: DNSClassIN}},
+		Answers:   []DNSResourceRecord{{Name: "q.example", Type: DNSTypeA, Class: DNSClassIN, TTL: 1, IP: 0x01020304}},
+	})
+	for n := 0; n < len(full); n++ {
+		out := &DNS{}
+		if err := out.DecodeFromBytes(full[:n]); err == nil {
+			// Truncations that happen to end exactly at a section boundary
+			// with zero remaining counts are not errors; but counts are
+			// non-zero here, so every strict prefix must fail.
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+}
+
+func TestDNSOverUDPPort53(t *testing.T) {
+	dns := QuestionFor(0x77, "host.example", DNSTypeA)
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP}
+	udp := &UDP{SrcPort: 30000, DstPort: PortDNS}
+	udp.SetNetworkLayerForChecksum(ip)
+	data := Serialize(ip, udp, dns)
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	l := p.Layer(LayerTypeDNS)
+	if l == nil {
+		t.Fatal("DNS not decoded via port 53")
+	}
+	if l.(*DNS).Questions[0].Name != "host.example" {
+		t.Fatalf("question = %+v", l.(*DNS).Questions[0])
+	}
+	// Reply direction: src port 53 also triggers DNS decoding.
+	udp2 := &UDP{SrcPort: PortDNS, DstPort: 30000}
+	udp2.SetNetworkLayerForChecksum(ip)
+	data2 := Serialize(ip, udp2, dns)
+	if NewPacket(data2, LayerTypeIPv4, Default).Layer(LayerTypeDNS) == nil {
+		t.Fatal("DNS not decoded via source port 53")
+	}
+}
+
+func TestDNSAppendBytesDeterministic(t *testing.T) {
+	in := &DNS{ID: 42, Questions: []DNSQuestion{{Name: "d.example", Type: DNSTypeA, Class: DNSClassIN}}}
+	a, err := in.AppendBytes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := in.AppendBytes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("encoding must be deterministic")
+	}
+}

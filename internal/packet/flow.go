@@ -1,0 +1,120 @@
+package packet
+
+import (
+	"fmt"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// EndpointType distinguishes the address families an Endpoint can hold.
+type EndpointType int
+
+// Endpoint types used by the built-in layers.
+const (
+	// EndpointInvalid is the zero EndpointType.
+	EndpointInvalid EndpointType = iota
+	// EndpointIPv4 holds a 4-byte IP address.
+	EndpointIPv4
+	// EndpointUDPPort holds a UDP port.
+	EndpointUDPPort
+	// EndpointTCPPort holds a TCP port.
+	EndpointTCPPort
+)
+
+// Endpoint is a hashable representation of one side of a flow: an address
+// or port. Endpoints are comparable and usable as map keys.
+type Endpoint struct {
+	typ EndpointType
+	raw uint32
+}
+
+// NewIPv4Endpoint wraps an IPv4 address.
+func NewIPv4Endpoint(a netaddr.Addr) Endpoint {
+	return Endpoint{typ: EndpointIPv4, raw: uint32(a)}
+}
+
+// NewUDPPortEndpoint wraps a UDP port.
+func NewUDPPortEndpoint(p uint16) Endpoint {
+	return Endpoint{typ: EndpointUDPPort, raw: uint32(p)}
+}
+
+// NewTCPPortEndpoint wraps a TCP port.
+func NewTCPPortEndpoint(p uint16) Endpoint {
+	return Endpoint{typ: EndpointTCPPort, raw: uint32(p)}
+}
+
+// Type returns the endpoint's address family.
+func (e Endpoint) Type() EndpointType { return e.typ }
+
+// Addr returns the endpoint as an IPv4 address (valid for EndpointIPv4).
+func (e Endpoint) Addr() netaddr.Addr { return netaddr.Addr(e.raw) }
+
+// Port returns the endpoint as a port (valid for port endpoints).
+func (e Endpoint) Port() uint16 { return uint16(e.raw) }
+
+// FastHash returns a quick non-cryptographic hash of the endpoint.
+func (e Endpoint) FastHash() uint64 {
+	return fnv1a(uint64(e.typ)<<32 | uint64(e.raw))
+}
+
+// String renders the endpoint for humans.
+func (e Endpoint) String() string {
+	switch e.typ {
+	case EndpointIPv4:
+		return e.Addr().String()
+	case EndpointUDPPort, EndpointTCPPort:
+		return fmt.Sprintf(":%d", e.Port())
+	default:
+		return "invalid"
+	}
+}
+
+// Flow is an ordered (source, destination) endpoint pair. Flows are
+// comparable and usable as map keys.
+type Flow struct {
+	src, dst Endpoint
+}
+
+// NewFlow builds a flow from two endpoints.
+func NewFlow(src, dst Endpoint) Flow { return Flow{src: src, dst: dst} }
+
+// Endpoints returns the source and destination endpoints.
+func (f Flow) Endpoints() (src, dst Endpoint) { return f.src, f.dst }
+
+// Src returns the source endpoint.
+func (f Flow) Src() Endpoint { return f.src }
+
+// Dst returns the destination endpoint.
+func (f Flow) Dst() Endpoint { return f.dst }
+
+// Reverse returns the flow with source and destination swapped.
+func (f Flow) Reverse() Flow { return Flow{src: f.dst, dst: f.src} }
+
+// FastHash returns a quick hash of the flow. It is symmetric: A->B hashes
+// identically to B->A, so both directions of a conversation land in the
+// same bucket when load-balancing across workers.
+func (f Flow) FastHash() uint64 {
+	a, b := f.src.FastHash(), f.dst.FastHash()
+	if a > b {
+		a, b = b, a
+	}
+	return fnv1a(a ^ (b<<1 | b>>63))
+}
+
+// String renders "src -> dst".
+func (f Flow) String() string { return f.src.String() + " -> " + f.dst.String() }
+
+// fnv1a hashes a uint64 with the 64-bit FNV-1a construction over its bytes.
+func fnv1a(v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}

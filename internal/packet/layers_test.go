@@ -1,0 +1,420 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	in := &IPv4{
+		TOS: 0x10, ID: 0xbeef, Flags: IPv4DontFragment, TTL: 17,
+		Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP,
+	}
+	data := Serialize(in, Payload(bytes.Repeat([]byte{0xaa}, 11)))
+	if !VerifyIPv4Checksum(data) {
+		t.Fatal("serialized header checksum invalid")
+	}
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	out := p.Layer(LayerTypeIPv4).(*IPv4)
+	if out.TOS != in.TOS || out.ID != in.ID || out.Flags != in.Flags ||
+		out.TTL != in.TTL || out.Protocol != in.Protocol ||
+		out.SrcIP != in.SrcIP || out.DstIP != in.DstIP {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	if out.Length != uint16(IPv4HeaderLen+11) {
+		t.Fatalf("Length = %d", out.Length)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	in := &IPv4{TTL: 1, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP,
+		Options: []byte{7, 4, 0, 0}} // dummy 4-byte option
+	data := Serialize(in)
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	out := p.Layer(LayerTypeIPv4).(*IPv4)
+	if !bytes.Equal(out.Options, in.Options) {
+		t.Fatalf("options = %v", out.Options)
+	}
+	if out.IHL != 6 {
+		t.Fatalf("IHL = %d", out.IHL)
+	}
+	bad := &IPv4{Options: []byte{1, 2, 3}}
+	if err := SerializeLayers(NewSerializeBuffer(), FixAll, bad); err == nil {
+		t.Fatal("unaligned options must fail to serialize")
+	}
+}
+
+func TestIPv4DecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"short":       make([]byte, 10),
+		"bad version": append([]byte{0x65}, make([]byte, 19)...),
+		"bad ihl":     append([]byte{0x4f}, make([]byte, 19)...),
+	}
+	for name, data := range cases {
+		p := NewPacket(data, LayerTypeIPv4, Default)
+		if p.ErrorLayer() == nil {
+			t.Errorf("%s: expected decode failure", name)
+		}
+	}
+	// Total length longer than the buffer must fail.
+	good := Serialize(&IPv4{TTL: 1, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP})
+	good[2], good[3] = 0xff, 0xff
+	if NewPacket(good, LayerTypeIPv4, Default).ErrorLayer() == nil {
+		t.Error("oversized total length must fail")
+	}
+}
+
+func TestPeekIPv4(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, nil)
+	if got, ok := PeekIPv4Dst(data); !ok || got != dstIP {
+		t.Fatalf("PeekIPv4Dst = %v, %v", got, ok)
+	}
+	if got, ok := PeekIPv4Src(data); !ok || got != srcIP {
+		t.Fatalf("PeekIPv4Src = %v, %v", got, ok)
+	}
+	if _, ok := PeekIPv4Dst([]byte{1, 2}); ok {
+		t.Fatal("short peek must fail")
+	}
+	if _, ok := PeekIPv4Src([]byte{0x60, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); ok {
+		t.Fatal("non-v4 peek must fail")
+	}
+}
+
+func TestPatchIPv4TTL(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, []byte("ttl"))
+	for i := 0; i < DefaultTTL-1; i++ {
+		if !PatchIPv4TTL(data) {
+			t.Fatalf("patch %d failed", i)
+		}
+		if !VerifyIPv4Checksum(data) {
+			t.Fatalf("checksum broken after %d decrements", i+1)
+		}
+	}
+	if data[8] != 1 {
+		t.Fatalf("TTL = %d, want 1", data[8])
+	}
+	PatchIPv4TTL(data)
+	if PatchIPv4TTL(data) {
+		t.Fatal("TTL 0 must refuse to decrement")
+	}
+}
+
+func TestPatchIPv4Dst(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, []byte("dst"))
+	newDst := netaddr.MustParseAddr("203.0.113.77")
+	if !PatchIPv4Dst(data, newDst) {
+		t.Fatal("patch failed")
+	}
+	if !VerifyIPv4Checksum(data) {
+		t.Fatal("checksum broken after dst patch")
+	}
+	if got, _ := PeekIPv4Dst(data); got != newDst {
+		t.Fatalf("dst = %v", got)
+	}
+	if PatchIPv4Dst([]byte{1}, newDst) {
+		t.Fatal("short patch must fail")
+	}
+}
+
+func TestUDPRoundTripAndChecksum(t *testing.T) {
+	data := buildUDPPacket(t, 5353, 53, []byte("query"))
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	udp := p.Layer(LayerTypeUDP).(*UDP)
+	if udp.Length != UDPHeaderLen+5 {
+		t.Fatalf("Length = %d", udp.Length)
+	}
+	if udp.Checksum == 0 {
+		t.Fatal("checksum not computed")
+	}
+	ip := p.Layer(LayerTypeIPv4).(*IPv4)
+	if !VerifyUDPChecksum(ip.SrcIP, ip.DstIP, ip.LayerPayload()) {
+		t.Fatal("UDP checksum does not verify")
+	}
+	// Corrupt one payload byte: verification must fail.
+	data[len(data)-1] ^= 0xff
+	if VerifyUDPChecksum(ip.SrcIP, ip.DstIP, data[IPv4HeaderLen:]) {
+		t.Fatal("corrupted datagram must not verify")
+	}
+}
+
+func TestUDPZeroChecksumAllowed(t *testing.T) {
+	udp := &UDP{SrcPort: 1, DstPort: 2} // no network layer set
+	data := Serialize(udp, Payload([]byte("x")))
+	if got := uint16(data[6])<<8 | uint16(data[7]); got != 0 {
+		t.Fatalf("checksum = %d, want 0 without pseudo-header", got)
+	}
+	if !VerifyUDPChecksum(srcIP, dstIP, data) {
+		t.Fatal("zero checksum must verify trivially")
+	}
+}
+
+func TestUDPDecodeErrors(t *testing.T) {
+	if _, err := quickDecodeUDP(make([]byte, 4)); err == nil {
+		t.Fatal("short UDP must fail")
+	}
+	bad := []byte{0, 1, 0, 2, 0, 3, 0, 0} // length 3 < 8
+	if _, err := quickDecodeUDP(bad); err == nil {
+		t.Fatal("undersized UDP length must fail")
+	}
+}
+
+func quickDecodeUDP(data []byte) (*UDP, error) {
+	p := &Packet{data: data, next: LayerTypeUDP, rest: data}
+	p.decodeAll()
+	if p.failure != nil {
+		return nil, p.failure.Error()
+	}
+	return p.layers[0].(*UDP), nil
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolTCP, SrcIP: srcIP, DstIP: dstIP}
+	in := &TCP{
+		SrcPort: 43210, DstPort: 80, Seq: 0x12345678, Ack: 0x9abcdef0,
+		SYN: true, ACK: true, Window: 65535, Urgent: 7,
+	}
+	in.SetNetworkLayerForChecksum(ip)
+	data := Serialize(ip, in, Payload([]byte("GET /")))
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypeTCP).(*TCP)
+	if out.SrcPort != in.SrcPort || out.DstPort != in.DstPort ||
+		out.Seq != in.Seq || out.Ack != in.Ack ||
+		!out.SYN || !out.ACK || out.FIN || out.RST || out.PSH || out.URG ||
+		out.Window != in.Window || out.Urgent != in.Urgent {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if string(out.LayerPayload()) != "GET /" {
+		t.Fatalf("payload = %q", out.LayerPayload())
+	}
+	if out.Checksum == 0 {
+		t.Fatal("TCP checksum not computed")
+	}
+	tf := out.TransportFlow()
+	if tf.Src().Port() != 43210 || tf.Dst().Port() != 80 {
+		t.Fatalf("transport flow = %v", tf)
+	}
+}
+
+func TestTCPAllFlags(t *testing.T) {
+	in := &TCP{FIN: true, SYN: true, RST: true, PSH: true, ACK: true, URG: true}
+	data := Serialize(in)
+	p := NewPacket(data, LayerTypeTCP, Default)
+	out := p.Layer(LayerTypeTCP).(*TCP)
+	if !(out.FIN && out.SYN && out.RST && out.PSH && out.ACK && out.URG) {
+		t.Fatalf("flags lost: %+v", out)
+	}
+}
+
+func TestTCPDecodeErrors(t *testing.T) {
+	p := NewPacket(make([]byte, 10), LayerTypeTCP, Default)
+	if p.ErrorLayer() == nil {
+		t.Fatal("short TCP must fail")
+	}
+	data := Serialize(&TCP{})
+	data[12] = 0xf0 // data offset 15 words > segment
+	if NewPacket(data, LayerTypeTCP, Default).ErrorLayer() == nil {
+		t.Fatal("bad data offset must fail")
+	}
+}
+
+func TestLISPHeaderRoundTrip(t *testing.T) {
+	inner := buildUDPPacket(t, 1, 2, []byte("inner"))
+	in := &LISP{NonceP: true, Nonce: 0xabcdef, LSBP: true, LSB: 0x3}
+	outerIP := &IPv4{TTL: 64, Protocol: IPProtocolUDP,
+		SrcIP: netaddr.MustParseAddr("10.0.0.254"), DstIP: netaddr.MustParseAddr("12.0.0.254")}
+	outerUDP := &UDP{SrcPort: 4341, DstPort: PortLISPData}
+	outerUDP.SetNetworkLayerForChecksum(outerIP)
+	data := Serialize(outerIP, outerUDP, in, Payload(inner))
+
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	if got := p.String(); got != "IPv4/UDP/LISP/IPv4/UDP/Payload" {
+		t.Fatalf("stack = %q", got)
+	}
+	l := p.Layer(LayerTypeLISP).(*LISP)
+	if !l.NonceP || l.Nonce != 0xabcdef || !l.LSBP || l.LSB != 3 {
+		t.Fatalf("LISP header = %+v", l)
+	}
+	// The packet's NetworkLayer must be the *outer* header (first wins).
+	if p.NetworkLayer().(*IPv4).DstIP != netaddr.MustParseAddr("12.0.0.254") {
+		t.Fatal("network layer is not the outer header")
+	}
+	// The inner payload survives intact.
+	if string(p.ApplicationLayer().Payload()) != "inner" {
+		t.Fatalf("inner payload = %q", p.ApplicationLayer().Payload())
+	}
+}
+
+func TestLISPInstanceID(t *testing.T) {
+	in := &LISP{InstanceP: true, InstanceID: 0x0abcde, LSB: 0x5}
+	data := Serialize(in, Payload(buildUDPPacket(t, 1, 2, nil)))
+	p := NewPacket(data, LayerTypeLISP, Default)
+	out := p.Layer(LayerTypeLISP).(*LISP)
+	if !out.InstanceP || out.InstanceID != 0x0abcde || out.LSB != 5 {
+		t.Fatalf("instance fields = %+v", out)
+	}
+}
+
+func TestLISPDecodeTooShort(t *testing.T) {
+	if NewPacket(make([]byte, 7), LayerTypeLISP, Default).ErrorLayer() == nil {
+		t.Fatal("short LISP header must fail")
+	}
+}
+
+func TestFlowEndpoint(t *testing.T) {
+	a := NewIPv4Endpoint(srcIP)
+	b := NewIPv4Endpoint(dstIP)
+	f := NewFlow(a, b)
+	gotA, gotB := f.Endpoints()
+	if gotA != a || gotB != b {
+		t.Fatal("endpoints mismatch")
+	}
+	if f.Reverse() != NewFlow(b, a) {
+		t.Fatal("reverse mismatch")
+	}
+	if f.FastHash() != f.Reverse().FastHash() {
+		t.Fatal("FastHash must be symmetric")
+	}
+	if NewFlow(a, a).FastHash() == f.FastHash() {
+		t.Fatal("different flows should hash differently (sanity)")
+	}
+	m := map[Flow]int{f: 1}
+	if m[NewFlow(a, b)] != 1 {
+		t.Fatal("Flow must be a usable map key")
+	}
+	if a.String() != "10.0.0.1" || NewUDPPortEndpoint(53).String() != ":53" {
+		t.Fatalf("endpoint strings: %q %q", a.String(), NewUDPPortEndpoint(53).String())
+	}
+	if f.String() != "10.0.0.1 -> 11.0.0.2" {
+		t.Fatalf("flow string = %q", f.String())
+	}
+}
+
+func TestEndpointTypesDistinct(t *testing.T) {
+	u := NewUDPPortEndpoint(80)
+	tc := NewTCPPortEndpoint(80)
+	if u == tc {
+		t.Fatal("UDP and TCP port 80 must be distinct endpoints")
+	}
+	if u.FastHash() == tc.FastHash() {
+		t.Fatal("distinct endpoint types should hash apart")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 == 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Fatalf("Checksum = %#04x, want 0x220d", got)
+	}
+	// Odd-length input exercises the padding path.
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+func TestIPv4QuickRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, tos, ttl uint8, id uint16, payload []byte) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		in := &IPv4{TOS: tos, ID: id, TTL: ttl, Protocol: IPProtocolUDP,
+			SrcIP: netaddr.Addr(src), DstIP: netaddr.Addr(dst)}
+		data := Serialize(in, Payload(payload))
+		p := NewPacket(data, LayerTypeIPv4, Default)
+		out, ok := p.Layer(LayerTypeIPv4).(*IPv4)
+		if !ok {
+			return false
+		}
+		return out.SrcIP == in.SrcIP && out.DstIP == in.DstIP &&
+			out.TOS == tos && out.TTL == ttl && out.ID == id &&
+			VerifyIPv4Checksum(data) &&
+			bytes.Equal(out.LayerPayload(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodersNeverPanic feeds random garbage into every registered
+// decoder; all must fail cleanly via DecodeFailure, never panic.
+func TestDecodersNeverPanic(t *testing.T) {
+	decoders := []LayerType{
+		LayerTypeIPv4, LayerTypeUDP, LayerTypeTCP, LayerTypeDNS,
+		LayerTypeLISP, LayerTypeLISPControl, LayerTypePCECP,
+		LayerTypeLISPMapRequest, LayerTypeLISPMapReply,
+		LayerTypeLISPMapRegister, LayerTypeLISPMapNotify, LayerTypeLISPECM,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range decoders {
+		for trial := 0; trial < 300; trial++ {
+			n := rng.Intn(120)
+			data := make([]byte, n)
+			rng.Read(data)
+			p := NewPacket(data, d, Default)
+			p.Layers() // force full decode
+		}
+	}
+}
+
+// TestTruncationRobustness serializes a full LISP-encapsulated packet and
+// feeds every truncation of it to the decoder; none may panic.
+func TestTruncationRobustness(t *testing.T) {
+	inner := buildUDPPacket(t, 1, PortDNS, Serialize(QuestionFor(1, "www.example.com", DNSTypeA)))
+	outerIP := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP}
+	outerUDP := &UDP{SrcPort: 4341, DstPort: PortLISPData}
+	outerUDP.SetNetworkLayerForChecksum(outerIP)
+	full := Serialize(outerIP, outerUDP, &LISP{NonceP: true, Nonce: 1}, Payload(inner))
+	for n := 0; n <= len(full); n++ {
+		p := NewPacket(full[:n], LayerTypeIPv4, Default)
+		p.Layers()
+	}
+}
+
+func BenchmarkSerializeIPv4UDP(b *testing.B) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP}
+	udp := &UDP{SrcPort: 1234, DstPort: 9999}
+	udp.SetNetworkLayerForChecksum(ip)
+	payload := Payload(make([]byte, 64))
+	buf := NewSerializeBuffer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SerializeLayers(buf, FixAll, ip, udp, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeEager(b *testing.B) {
+	data := buildUDPPacket(b, 1234, 9999, make([]byte, 64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket(data, LayerTypeIPv4, NoCopy)
+		if p.ErrorLayer() != nil {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkDecodeLazyNetworkOnly(b *testing.B) {
+	data := buildUDPPacket(b, 1234, 9999, make([]byte, 64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket(data, LayerTypeIPv4, LazyNoCopy)
+		if p.NetworkLayer() == nil {
+			b.Fatal("no network layer")
+		}
+	}
+}

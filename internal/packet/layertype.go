@@ -1,0 +1,159 @@
+package packet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LayerType identifies a protocol layer. Types below 1000 are reserved for
+// the layers built into this package; callers may register their own with
+// RegisterLayerType, mirroring gopacket's extension mechanism.
+type LayerType int
+
+// Built-in layer types.
+const (
+	// LayerTypeZero is the invalid zero LayerType.
+	LayerTypeZero LayerType = iota
+	// LayerTypeDecodeFailure marks bytes that failed to decode.
+	LayerTypeDecodeFailure
+	// LayerTypePayload is opaque application bytes.
+	LayerTypePayload
+	// LayerTypeIPv4 is the IPv4 header.
+	LayerTypeIPv4
+	// LayerTypeUDP is the UDP header.
+	LayerTypeUDP
+	// LayerTypeTCP is the TCP header.
+	LayerTypeTCP
+	// LayerTypeDNS is a DNS message.
+	LayerTypeDNS
+	// LayerTypeLISP is the LISP data-plane encapsulation header
+	// (draft-farinacci-lisp-08 §5.2); its payload is the inner IPv4 packet.
+	LayerTypeLISP
+	// LayerTypeLISPControl is a LISP control message (Map-Request,
+	// Map-Reply, Map-Register, Map-Notify or ECM).
+	LayerTypeLISPControl
+	// LayerTypePCECP is the PCE control-plane message introduced by the
+	// paper: the UDP-encapsulated DNS reply carrying a mapping (step 6),
+	// the mapping push to ITRs (step 7b) and the ETR reverse-mapping
+	// multicast.
+	LayerTypePCECP
+)
+
+// LayerTypeMetadata describes a registered LayerType.
+type LayerTypeMetadata struct {
+	// Name appears in Packet.String output.
+	Name string
+	// Decoder decodes a layer of this type.
+	Decoder Decoder
+}
+
+var (
+	layerTypeMu   sync.RWMutex
+	layerTypeMeta = map[LayerType]LayerTypeMetadata{}
+)
+
+// RegisterLayerType registers a new layer type with its metadata. It
+// panics if the type number is already taken, since that is a programming
+// error caught at init time.
+func RegisterLayerType(num int, meta LayerTypeMetadata) LayerType {
+	t := LayerType(num)
+	layerTypeMu.Lock()
+	defer layerTypeMu.Unlock()
+	if _, dup := layerTypeMeta[t]; dup {
+		panic(fmt.Sprintf("packet: layer type %d registered twice", num))
+	}
+	layerTypeMeta[t] = meta
+	return t
+}
+
+// OverrideLayerType replaces the metadata of an existing layer type. Tests
+// use it to splice probe decoders in.
+func OverrideLayerType(num int, meta LayerTypeMetadata) LayerType {
+	t := LayerType(num)
+	layerTypeMu.Lock()
+	defer layerTypeMu.Unlock()
+	layerTypeMeta[t] = meta
+	return t
+}
+
+// String returns the registered name of t.
+func (t LayerType) String() string {
+	layerTypeMu.RLock()
+	meta, ok := layerTypeMeta[t]
+	layerTypeMu.RUnlock()
+	if !ok {
+		return fmt.Sprintf("LayerType(%d)", int(t))
+	}
+	return meta.Name
+}
+
+// Decode implements Decoder by delegating to the registered decoder for t,
+// so LayerTypes can be used directly as NextDecoder arguments.
+func (t LayerType) Decode(data []byte, p PacketBuilder) error {
+	layerTypeMu.RLock()
+	meta, ok := layerTypeMeta[t]
+	layerTypeMu.RUnlock()
+	if !ok || meta.Decoder == nil {
+		return fmt.Errorf("packet: no decoder registered for %v", t)
+	}
+	return meta.Decoder.Decode(data, p)
+}
+
+func init() {
+	for t, m := range map[LayerType]LayerTypeMetadata{
+		LayerTypeDecodeFailure: {Name: "DecodeFailure"},
+		LayerTypePayload:       {Name: "Payload", Decoder: DecodeFunc(decodePayload)},
+		LayerTypeIPv4:          {Name: "IPv4", Decoder: DecodeFunc(decodeIPv4)},
+		LayerTypeUDP:           {Name: "UDP", Decoder: DecodeFunc(decodeUDP)},
+		LayerTypeTCP:           {Name: "TCP", Decoder: DecodeFunc(decodeTCP)},
+		LayerTypeDNS:           {Name: "DNS", Decoder: DecodeFunc(decodeDNS)},
+		LayerTypeLISP:          {Name: "LISP", Decoder: DecodeFunc(decodeLISP)},
+		LayerTypeLISPControl:   {Name: "LISPControl", Decoder: DecodeFunc(decodeLISPControl)},
+		LayerTypePCECP:         {Name: "PCECP", Decoder: DecodeFunc(decodePCECP)},
+	} {
+		layerTypeMeta[t] = m
+	}
+}
+
+// UDP port numbers with registered meanings in this codebase.
+const (
+	// PortDNS is the DNS server port.
+	PortDNS = 53
+	// PortLISPData is the LISP data-plane encapsulation port (RFC-to-be 4341).
+	PortLISPData = 4341
+	// PortLISPControl is the LISP control-plane port (4342).
+	PortLISPControl = 4342
+	// PortPCECP is the paper's "special transport port P" listened on by
+	// PCES for encapsulated DNS replies, and reused for mapping pushes.
+	PortPCECP = 4344
+)
+
+var (
+	udpPortMu    sync.RWMutex
+	udpPortTypes = map[uint16]LayerType{
+		PortDNS:         LayerTypeDNS,
+		PortLISPData:    LayerTypeLISP,
+		PortLISPControl: LayerTypeLISPControl,
+		PortPCECP:       LayerTypePCECP,
+	}
+)
+
+// RegisterUDPPortLayerType maps a UDP port (source or destination) to the
+// layer type used to decode its payload.
+func RegisterUDPPortLayerType(port uint16, t LayerType) {
+	udpPortMu.Lock()
+	udpPortTypes[port] = t
+	udpPortMu.Unlock()
+}
+
+func udpPortLayerType(src, dst uint16) Decoder {
+	udpPortMu.RLock()
+	defer udpPortMu.RUnlock()
+	if t, ok := udpPortTypes[dst]; ok {
+		return t
+	}
+	if t, ok := udpPortTypes[src]; ok {
+		return t
+	}
+	return LayerTypePayload
+}

@@ -1,0 +1,93 @@
+package packet
+
+import "fmt"
+
+// LISPHeaderLen is the size of the LISP data-plane encapsulation header
+// that sits between the outer UDP header (port 4341) and the inner IPv4
+// packet (draft-farinacci-lisp-08 §5.2).
+const LISPHeaderLen = 8
+
+// LISP is the data-plane encapsulation header. An encapsulated packet on
+// the wire is: outer IPv4 (RLOC->RLOC) / UDP (dport 4341) / LISP / inner
+// IPv4 (EID->EID) / ... .
+type LISP struct {
+	BaseLayer
+	// NonceP (N bit) indicates the Nonce field is set.
+	NonceP bool
+	// LSBP (L bit) indicates the Locator-Status-Bits field is set.
+	LSBP bool
+	// Echo (E bit) requests nonce echo (RFC 6830 echo-nonce algorithm).
+	Echo bool
+	// MapVersionP (V bit) indicates map-version numbers are present.
+	MapVersionP bool
+	// InstanceP (I bit) indicates the second word holds an Instance ID.
+	InstanceP bool
+	// Nonce is a 24-bit random value when NonceP is set.
+	Nonce uint32
+	// InstanceID is a 24-bit VPN discriminator when InstanceP is set.
+	InstanceID uint32
+	// LSB holds locator-status bits when InstanceP is clear.
+	LSB uint32
+}
+
+// LayerType returns LayerTypeLISP.
+func (*LISP) LayerType() LayerType { return LayerTypeLISP }
+
+func decodeLISP(data []byte, p PacketBuilder) error {
+	if len(data) < LISPHeaderLen {
+		return fmt.Errorf("LISP: %d bytes is too short for the data header", len(data))
+	}
+	l := &LISP{
+		NonceP:      data[0]&0x80 != 0,
+		LSBP:        data[0]&0x40 != 0,
+		Echo:        data[0]&0x20 != 0,
+		MapVersionP: data[0]&0x10 != 0,
+		InstanceP:   data[0]&0x08 != 0,
+		Nonce:       uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]),
+	}
+	word2 := uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7])
+	if l.InstanceP {
+		l.InstanceID = word2 >> 8
+		l.LSB = word2 & 0xff
+	} else {
+		l.LSB = word2
+	}
+	l.Contents = data[:LISPHeaderLen]
+	l.Payload = data[LISPHeaderLen:]
+	p.AddLayer(l)
+	return p.NextDecoder(LayerTypeIPv4)
+}
+
+// SerializeTo implements SerializableLayer.
+func (l *LISP) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+	bytes, err := b.PrependBytes(LISPHeaderLen)
+	if err != nil {
+		return err
+	}
+	var flags byte
+	if l.NonceP {
+		flags |= 0x80
+	}
+	if l.LSBP {
+		flags |= 0x40
+	}
+	if l.Echo {
+		flags |= 0x20
+	}
+	if l.MapVersionP {
+		flags |= 0x10
+	}
+	if l.InstanceP {
+		flags |= 0x08
+	}
+	bytes[0] = flags
+	bytes[1], bytes[2], bytes[3] = byte(l.Nonce>>16), byte(l.Nonce>>8), byte(l.Nonce)
+	var word2 uint32
+	if l.InstanceP {
+		word2 = l.InstanceID<<8 | l.LSB&0xff
+	} else {
+		word2 = l.LSB
+	}
+	bytes[4], bytes[5], bytes[6], bytes[7] = byte(word2>>24), byte(word2>>16), byte(word2>>8), byte(word2)
+	return nil
+}

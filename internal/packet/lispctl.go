@@ -1,0 +1,661 @@
+package packet
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"fmt"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// LISP control message types (first nibble of the message).
+const (
+	lispTypeMapRequest  = 1
+	lispTypeMapReply    = 2
+	lispTypeMapRegister = 3
+	lispTypeMapNotify   = 4
+	lispTypeECM         = 8
+)
+
+// Layer types for the individual control messages. The generic
+// LayerTypeLISPControl decoder inspects the type nibble and adds one of
+// these concrete layers.
+var (
+	// LayerTypeLISPMapRequest is a Map-Request message.
+	LayerTypeLISPMapRequest = RegisterLayerType(100, LayerTypeMetadata{Name: "LISPMapRequest", Decoder: DecodeFunc(decodeLISPMapRequest)})
+	// LayerTypeLISPMapReply is a Map-Reply message.
+	LayerTypeLISPMapReply = RegisterLayerType(101, LayerTypeMetadata{Name: "LISPMapReply", Decoder: DecodeFunc(decodeLISPMapReply)})
+	// LayerTypeLISPMapRegister is a Map-Register message.
+	LayerTypeLISPMapRegister = RegisterLayerType(102, LayerTypeMetadata{Name: "LISPMapRegister", Decoder: DecodeFunc(decodeLISPMapRegister)})
+	// LayerTypeLISPMapNotify is a Map-Notify message.
+	LayerTypeLISPMapNotify = RegisterLayerType(103, LayerTypeMetadata{Name: "LISPMapNotify", Decoder: DecodeFunc(decodeLISPMapNotify)})
+	// LayerTypeLISPECM is an Encapsulated Control Message.
+	LayerTypeLISPECM = RegisterLayerType(104, LayerTypeMetadata{Name: "LISPECM", Decoder: DecodeFunc(decodeLISPECM)})
+)
+
+// decodeLISPControl dispatches on the control message type nibble.
+func decodeLISPControl(data []byte, p PacketBuilder) error {
+	if len(data) < 1 {
+		return fmt.Errorf("LISPControl: empty message")
+	}
+	switch data[0] >> 4 {
+	case lispTypeMapRequest:
+		return decodeLISPMapRequest(data, p)
+	case lispTypeMapReply:
+		return decodeLISPMapReply(data, p)
+	case lispTypeMapRegister:
+		return decodeLISPMapRegister(data, p)
+	case lispTypeMapNotify:
+		return decodeLISPMapNotify(data, p)
+	case lispTypeECM:
+		return decodeLISPECM(data, p)
+	default:
+		return fmt.Errorf("LISPControl: unknown type %d", data[0]>>4)
+	}
+}
+
+const afiIPv4 = 1
+
+// LISPLocator is one RLOC entry of a mapping record (RFC 6830 §6.1.4).
+type LISPLocator struct {
+	// Priority selects among locators: lower is preferred; 255 means
+	// "do not use".
+	Priority uint8
+	// Weight splits load among locators of equal priority.
+	Weight uint8
+	// MPriority and MWeight are the multicast equivalents.
+	MPriority, MWeight uint8
+	// Local is the L bit: the locator belongs to the sender.
+	Local bool
+	// Probe is the p bit: reply to a locator reachability probe.
+	Probe bool
+	// Reachable is the R bit.
+	Reachable bool
+	// Addr is the locator address.
+	Addr netaddr.Addr
+}
+
+const lispLocatorLen = 12
+
+func appendLocator(b []byte, l LISPLocator) []byte {
+	var flags byte
+	if l.Local {
+		flags |= 0x04
+	}
+	if l.Probe {
+		flags |= 0x02
+	}
+	if l.Reachable {
+		flags |= 0x01
+	}
+	b = append(b, l.Priority, l.Weight, l.MPriority, l.MWeight, 0, flags, 0, afiIPv4)
+	return l.Addr.AppendBytes(b)
+}
+
+func decodeLocator(data []byte) (LISPLocator, int, error) {
+	if len(data) < lispLocatorLen {
+		return LISPLocator{}, 0, fmt.Errorf("locator truncated (%d bytes)", len(data))
+	}
+	if afi := uint16(data[6])<<8 | uint16(data[7]); afi != afiIPv4 {
+		return LISPLocator{}, 0, fmt.Errorf("locator AFI %d unsupported", afi)
+	}
+	return LISPLocator{
+		Priority:  data[0],
+		Weight:    data[1],
+		MPriority: data[2],
+		MWeight:   data[3],
+		Local:     data[5]&0x04 != 0,
+		Probe:     data[5]&0x02 != 0,
+		Reachable: data[5]&0x01 != 0,
+		Addr:      netaddr.AddrFromBytes(data[8:12]),
+	}, lispLocatorLen, nil
+}
+
+// LISPMapRecord is one EID-to-RLOC mapping record carried by Map-Reply,
+// Map-Register and Map-Notify messages.
+type LISPMapRecord struct {
+	// TTL is the record lifetime in seconds. (RFC 6830 uses minutes; the
+	// simulator works in seconds for finer-grained ageing experiments.)
+	TTL uint32
+	// EIDPrefix is the EID range the record covers.
+	EIDPrefix netaddr.Prefix
+	// Action is the negative-reply action (0 = no action).
+	Action uint8
+	// Authoritative is the A bit.
+	Authoritative bool
+	// MapVersion is the 12-bit mapping version number.
+	MapVersion uint16
+	// Locators is the RLOC set.
+	Locators []LISPLocator
+}
+
+const lispRecordFixedLen = 16
+
+func appendMapRecord(b []byte, r LISPMapRecord) ([]byte, error) {
+	if len(r.Locators) > 255 {
+		return nil, fmt.Errorf("record has %d locators (max 255)", len(r.Locators))
+	}
+	b = append(b, byte(r.TTL>>24), byte(r.TTL>>16), byte(r.TTL>>8), byte(r.TTL))
+	actA := r.Action << 5
+	if r.Authoritative {
+		actA |= 0x10
+	}
+	b = append(b, byte(len(r.Locators)), byte(r.EIDPrefix.Bits()), actA, 0)
+	b = append(b, byte(r.MapVersion>>8), byte(r.MapVersion), 0, afiIPv4)
+	b = r.EIDPrefix.Addr().AppendBytes(b)
+	for _, l := range r.Locators {
+		b = appendLocator(b, l)
+	}
+	return b, nil
+}
+
+func decodeMapRecord(data []byte) (LISPMapRecord, int, error) {
+	if len(data) < lispRecordFixedLen {
+		return LISPMapRecord{}, 0, fmt.Errorf("record truncated (%d bytes)", len(data))
+	}
+	r := LISPMapRecord{
+		TTL:           uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]),
+		Action:        data[6] >> 5,
+		Authoritative: data[6]&0x10 != 0,
+		MapVersion:    uint16(data[8])<<8 | uint16(data[9]),
+	}
+	locCount := int(data[4])
+	maskLen := int(data[5])
+	if maskLen > 32 {
+		return LISPMapRecord{}, 0, fmt.Errorf("record mask length %d", maskLen)
+	}
+	if afi := uint16(data[10])<<8 | uint16(data[11]); afi != afiIPv4 {
+		return LISPMapRecord{}, 0, fmt.Errorf("record EID AFI %d unsupported", afi)
+	}
+	r.EIDPrefix = netaddr.PrefixFrom(netaddr.AddrFromBytes(data[12:16]), maskLen)
+	off := lispRecordFixedLen
+	for i := 0; i < locCount; i++ {
+		loc, n, err := decodeLocator(data[off:])
+		if err != nil {
+			return LISPMapRecord{}, 0, fmt.Errorf("record locator %d: %w", i, err)
+		}
+		r.Locators = append(r.Locators, loc)
+		off += n
+	}
+	return r, off, nil
+}
+
+// BestLocator returns the usable locator with the lowest priority value,
+// breaking ties by highest weight then lowest address for determinism.
+func (r LISPMapRecord) BestLocator() (LISPLocator, bool) {
+	best, found := LISPLocator{}, false
+	for _, l := range r.Locators {
+		if l.Priority == 255 || !l.Reachable {
+			continue
+		}
+		if !found || l.Priority < best.Priority ||
+			(l.Priority == best.Priority && l.Weight > best.Weight) ||
+			(l.Priority == best.Priority && l.Weight == best.Weight && l.Addr < best.Addr) {
+			best, found = l, true
+		}
+	}
+	return best, found
+}
+
+// LISPMapRequest is the Map-Request control message (type 1).
+type LISPMapRequest struct {
+	BaseLayer
+	// Authoritative (A) requests an authoritative reply only.
+	Authoritative bool
+	// MapDataPresent (M) indicates a piggybacked mapping record.
+	MapDataPresent bool
+	// Probe (P) marks an RLOC reachability probe.
+	Probe bool
+	// SMR (S) marks a solicit-map-request.
+	SMR bool
+	// Nonce correlates the reply.
+	Nonce uint64
+	// SourceEID is the querying host's EID (zero when unknown).
+	SourceEID netaddr.Addr
+	// ITRRLOCs lists the requester's RLOCs; replies go to one of these.
+	ITRRLOCs []netaddr.Addr
+	// EIDPrefixes are the queried EIDs (as host prefixes for single EIDs).
+	EIDPrefixes []netaddr.Prefix
+}
+
+// LayerType returns LayerTypeLISPMapRequest.
+func (*LISPMapRequest) LayerType() LayerType { return LayerTypeLISPMapRequest }
+
+// Payload returns nil (application layer).
+func (*LISPMapRequest) Payload() []byte { return nil }
+
+// SerializeTo implements SerializableLayer.
+func (m *LISPMapRequest) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+	if len(m.ITRRLOCs) < 1 || len(m.ITRRLOCs) > 32 {
+		return fmt.Errorf("Map-Request needs 1..32 ITR-RLOCs, have %d", len(m.ITRRLOCs))
+	}
+	if len(m.EIDPrefixes) < 1 || len(m.EIDPrefixes) > 255 {
+		return fmt.Errorf("Map-Request needs 1..255 records, have %d", len(m.EIDPrefixes))
+	}
+	var flags byte = lispTypeMapRequest << 4
+	if m.Authoritative {
+		flags |= 0x08
+	}
+	if m.MapDataPresent {
+		flags |= 0x04
+	}
+	if m.Probe {
+		flags |= 0x02
+	}
+	if m.SMR {
+		flags |= 0x01
+	}
+	enc := []byte{flags, 0, byte(len(m.ITRRLOCs) - 1), byte(len(m.EIDPrefixes))}
+	enc = appendUint64(enc, m.Nonce)
+	if m.SourceEID.IsValid() {
+		enc = append(enc, 0, afiIPv4)
+		enc = m.SourceEID.AppendBytes(enc)
+	} else {
+		enc = append(enc, 0, 0)
+	}
+	for _, rloc := range m.ITRRLOCs {
+		enc = append(enc, 0, afiIPv4)
+		enc = rloc.AppendBytes(enc)
+	}
+	for _, p := range m.EIDPrefixes {
+		enc = append(enc, 0, byte(p.Bits()), 0, afiIPv4)
+		enc = p.Addr().AppendBytes(enc)
+	}
+	out, err := b.PrependBytes(len(enc))
+	if err != nil {
+		return err
+	}
+	copy(out, enc)
+	return nil
+}
+
+func decodeLISPMapRequest(data []byte, p PacketBuilder) error {
+	if len(data) < 12 {
+		return fmt.Errorf("Map-Request: truncated header (%d bytes)", len(data))
+	}
+	if data[0]>>4 != lispTypeMapRequest {
+		return fmt.Errorf("Map-Request: wrong type %d", data[0]>>4)
+	}
+	m := &LISPMapRequest{
+		Authoritative:  data[0]&0x08 != 0,
+		MapDataPresent: data[0]&0x04 != 0,
+		Probe:          data[0]&0x02 != 0,
+		SMR:            data[0]&0x01 != 0,
+		Nonce:          readUint64(data[4:]),
+	}
+	itrCount := int(data[2]) + 1
+	recCount := int(data[3])
+	off := 12
+	var err error
+	if m.SourceEID, off, err = decodeAFIAddr(data, off); err != nil {
+		return fmt.Errorf("Map-Request: source EID: %w", err)
+	}
+	for i := 0; i < itrCount; i++ {
+		var a netaddr.Addr
+		if a, off, err = decodeAFIAddr(data, off); err != nil {
+			return fmt.Errorf("Map-Request: ITR-RLOC %d: %w", i, err)
+		}
+		m.ITRRLOCs = append(m.ITRRLOCs, a)
+	}
+	for i := 0; i < recCount; i++ {
+		if off+8 > len(data) {
+			return fmt.Errorf("Map-Request: record %d truncated", i)
+		}
+		maskLen := int(data[off+1])
+		if maskLen > 32 {
+			return fmt.Errorf("Map-Request: record %d mask length %d", i, maskLen)
+		}
+		if afi := uint16(data[off+2])<<8 | uint16(data[off+3]); afi != afiIPv4 {
+			return fmt.Errorf("Map-Request: record %d AFI %d unsupported", i, afi)
+		}
+		m.EIDPrefixes = append(m.EIDPrefixes,
+			netaddr.PrefixFrom(netaddr.AddrFromBytes(data[off+4:off+8]), maskLen))
+		off += 8
+	}
+	m.Contents = data[:off]
+	p.AddLayer(m)
+	p.SetApplicationLayer(m)
+	return nil
+}
+
+// decodeAFIAddr reads a (AFI, address) pair; AFI 0 means "no address".
+func decodeAFIAddr(data []byte, off int) (netaddr.Addr, int, error) {
+	if off+2 > len(data) {
+		return 0, 0, fmt.Errorf("AFI truncated")
+	}
+	afi := uint16(data[off])<<8 | uint16(data[off+1])
+	off += 2
+	switch afi {
+	case 0:
+		return 0, off, nil
+	case afiIPv4:
+		if off+4 > len(data) {
+			return 0, 0, fmt.Errorf("IPv4 address truncated")
+		}
+		return netaddr.AddrFromBytes(data[off : off+4]), off + 4, nil
+	default:
+		return 0, 0, fmt.Errorf("AFI %d unsupported", afi)
+	}
+}
+
+// LISPMapReply is the Map-Reply control message (type 2).
+type LISPMapReply struct {
+	BaseLayer
+	// Probe (P) marks a probe reply.
+	Probe bool
+	// Echo (E) requests echo-nonce.
+	Echo bool
+	// Security (S) is unused here.
+	Security bool
+	// Nonce echoes the request nonce.
+	Nonce uint64
+	// Records holds the mappings.
+	Records []LISPMapRecord
+}
+
+// LayerType returns LayerTypeLISPMapReply.
+func (*LISPMapReply) LayerType() LayerType { return LayerTypeLISPMapReply }
+
+// Payload returns nil (application layer).
+func (*LISPMapReply) Payload() []byte { return nil }
+
+// SerializeTo implements SerializableLayer.
+func (m *LISPMapReply) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+	if len(m.Records) > 255 {
+		return fmt.Errorf("Map-Reply has %d records (max 255)", len(m.Records))
+	}
+	var flags byte = lispTypeMapReply << 4
+	if m.Probe {
+		flags |= 0x08
+	}
+	if m.Echo {
+		flags |= 0x04
+	}
+	if m.Security {
+		flags |= 0x02
+	}
+	enc := []byte{flags, 0, 0, byte(len(m.Records))}
+	enc = appendUint64(enc, m.Nonce)
+	var err error
+	for _, r := range m.Records {
+		if enc, err = appendMapRecord(enc, r); err != nil {
+			return err
+		}
+	}
+	out, err := b.PrependBytes(len(enc))
+	if err != nil {
+		return err
+	}
+	copy(out, enc)
+	return nil
+}
+
+func decodeLISPMapReply(data []byte, p PacketBuilder) error {
+	if len(data) < 12 {
+		return fmt.Errorf("Map-Reply: truncated header (%d bytes)", len(data))
+	}
+	if data[0]>>4 != lispTypeMapReply {
+		return fmt.Errorf("Map-Reply: wrong type %d", data[0]>>4)
+	}
+	m := &LISPMapReply{
+		Probe:    data[0]&0x08 != 0,
+		Echo:     data[0]&0x04 != 0,
+		Security: data[0]&0x02 != 0,
+		Nonce:    readUint64(data[4:]),
+	}
+	recCount := int(data[3])
+	off := 12
+	for i := 0; i < recCount; i++ {
+		r, n, err := decodeMapRecord(data[off:])
+		if err != nil {
+			return fmt.Errorf("Map-Reply: record %d: %w", i, err)
+		}
+		m.Records = append(m.Records, r)
+		off += n
+	}
+	m.Contents = data[:off]
+	p.AddLayer(m)
+	p.SetApplicationLayer(m)
+	return nil
+}
+
+// lispAuthLen is the HMAC-SHA1 authentication data length used by
+// Map-Register and Map-Notify (key ID 1, RFC 6833 §4.4).
+const lispAuthLen = sha1.Size
+
+// LISPMapRegister is the Map-Register control message (type 3) sent by an
+// ETR to its map-server, authenticated with HMAC-SHA1.
+type LISPMapRegister struct {
+	BaseLayer
+	// ProxyReply (P) asks the map-server to proxy-reply on the ETR's behalf.
+	ProxyReply bool
+	// WantNotify (M) requests a Map-Notify acknowledgement.
+	WantNotify bool
+	// Nonce correlates the Map-Notify.
+	Nonce uint64
+	// KeyID selects the shared key (1 = HMAC-SHA1 here).
+	KeyID uint16
+	// AuthData is the HMAC over the message with this field zeroed.
+	AuthData []byte
+	// Records holds the registered mappings.
+	Records []LISPMapRecord
+	// AuthKey, when non-nil, makes SerializeTo compute AuthData.
+	// It is never serialized.
+	AuthKey []byte
+}
+
+// LayerType returns LayerTypeLISPMapRegister.
+func (*LISPMapRegister) LayerType() LayerType { return LayerTypeLISPMapRegister }
+
+// Payload returns nil (application layer).
+func (*LISPMapRegister) Payload() []byte { return nil }
+
+func appendRegisterBody(enc []byte, nonce uint64, keyID uint16, auth []byte, records []LISPMapRecord) ([]byte, error) {
+	enc = appendUint64(enc, nonce)
+	enc = append(enc, byte(keyID>>8), byte(keyID), byte(len(auth)>>8), byte(len(auth)))
+	enc = append(enc, auth...)
+	var err error
+	for _, r := range records {
+		if enc, err = appendMapRecord(enc, r); err != nil {
+			return nil, err
+		}
+	}
+	return enc, nil
+}
+
+// SerializeTo implements SerializableLayer. With a non-nil AuthKey and
+// ComputeChecksums set, the HMAC is computed over the message with the
+// auth-data field zeroed, per RFC 6833.
+func (m *LISPMapRegister) SerializeTo(b SerializeBuffer, opts SerializeOptions) error {
+	if len(m.Records) > 255 {
+		return fmt.Errorf("Map-Register has %d records (max 255)", len(m.Records))
+	}
+	var flags byte = lispTypeMapRegister << 4
+	if m.ProxyReply {
+		flags |= 0x08
+	}
+	var b2 byte
+	if m.WantNotify {
+		b2 |= 0x01
+	}
+	auth := m.AuthData
+	if m.AuthKey != nil && opts.ComputeChecksums {
+		auth = make([]byte, lispAuthLen)
+	}
+	enc := []byte{flags, 0, b2, byte(len(m.Records))}
+	enc, err := appendRegisterBody(enc, m.Nonce, m.KeyID, auth, m.Records)
+	if err != nil {
+		return err
+	}
+	if m.AuthKey != nil && opts.ComputeChecksums {
+		mac := hmac.New(sha1.New, m.AuthKey)
+		mac.Write(enc)
+		m.AuthData = mac.Sum(nil)
+		copy(enc[16:16+lispAuthLen], m.AuthData)
+	}
+	out, err := b.PrependBytes(len(enc))
+	if err != nil {
+		return err
+	}
+	copy(out, enc)
+	return nil
+}
+
+func decodeLISPMapRegister(data []byte, p PacketBuilder) error {
+	m := &LISPMapRegister{}
+	off, err := m.decodeCommon(data, lispTypeMapRegister, "Map-Register")
+	if err != nil {
+		return err
+	}
+	m.ProxyReply = data[0]&0x08 != 0
+	m.WantNotify = data[2]&0x01 != 0
+	m.Contents = data[:off]
+	p.AddLayer(m)
+	p.SetApplicationLayer(m)
+	return nil
+}
+
+func (m *LISPMapRegister) decodeCommon(data []byte, wantType byte, what string) (int, error) {
+	if len(data) < 16 {
+		return 0, fmt.Errorf("%s: truncated header (%d bytes)", what, len(data))
+	}
+	if data[0]>>4 != wantType {
+		return 0, fmt.Errorf("%s: wrong type %d", what, data[0]>>4)
+	}
+	m.Nonce = readUint64(data[4:])
+	m.KeyID = uint16(data[12])<<8 | uint16(data[13])
+	authLen := int(uint16(data[14])<<8 | uint16(data[15]))
+	if 16+authLen > len(data) {
+		return 0, fmt.Errorf("%s: auth data truncated", what)
+	}
+	m.AuthData = data[16 : 16+authLen]
+	recCount := int(data[3])
+	off := 16 + authLen
+	for i := 0; i < recCount; i++ {
+		r, n, err := decodeMapRecord(data[off:])
+		if err != nil {
+			return 0, fmt.Errorf("%s: record %d: %w", what, i, err)
+		}
+		m.Records = append(m.Records, r)
+		off += n
+	}
+	return off, nil
+}
+
+// VerifyAuth recomputes the HMAC over the received message bytes with the
+// auth field zeroed and compares in constant time.
+func (m *LISPMapRegister) VerifyAuth(key []byte) bool {
+	if len(m.AuthData) != lispAuthLen || len(m.Contents) < 16+lispAuthLen {
+		return false
+	}
+	msg := make([]byte, len(m.Contents))
+	copy(msg, m.Contents)
+	for i := 16; i < 16+lispAuthLen; i++ {
+		msg[i] = 0
+	}
+	mac := hmac.New(sha1.New, key)
+	mac.Write(msg)
+	return hmac.Equal(mac.Sum(nil), m.AuthData)
+}
+
+// LISPMapNotify is the Map-Notify acknowledgement (type 4); same body
+// layout as Map-Register.
+type LISPMapNotify struct {
+	LISPMapRegister
+}
+
+// LayerType returns LayerTypeLISPMapNotify.
+func (*LISPMapNotify) LayerType() LayerType { return LayerTypeLISPMapNotify }
+
+// SerializeTo implements SerializableLayer.
+func (m *LISPMapNotify) SerializeTo(b SerializeBuffer, opts SerializeOptions) error {
+	if len(m.Records) > 255 {
+		return fmt.Errorf("Map-Notify has %d records (max 255)", len(m.Records))
+	}
+	auth := m.AuthData
+	if m.AuthKey != nil && opts.ComputeChecksums {
+		auth = make([]byte, lispAuthLen)
+	}
+	enc := []byte{lispTypeMapNotify << 4, 0, 0, byte(len(m.Records))}
+	enc, err := appendRegisterBody(enc, m.Nonce, m.KeyID, auth, m.Records)
+	if err != nil {
+		return err
+	}
+	if m.AuthKey != nil && opts.ComputeChecksums {
+		mac := hmac.New(sha1.New, m.AuthKey)
+		mac.Write(enc)
+		m.AuthData = mac.Sum(nil)
+		copy(enc[16:16+lispAuthLen], m.AuthData)
+	}
+	out, err := b.PrependBytes(len(enc))
+	if err != nil {
+		return err
+	}
+	copy(out, enc)
+	return nil
+}
+
+func decodeLISPMapNotify(data []byte, p PacketBuilder) error {
+	m := &LISPMapNotify{}
+	off, err := m.decodeCommon(data, lispTypeMapNotify, "Map-Notify")
+	if err != nil {
+		return err
+	}
+	m.Contents = data[:off]
+	p.AddLayer(m)
+	p.SetApplicationLayer(m)
+	return nil
+}
+
+// LISPECM is the Encapsulated Control Message (type 8): a 4-byte header
+// followed by a full inner IPv4/UDP control packet. Map-Resolvers receive
+// Map-Requests inside ECMs.
+type LISPECM struct {
+	BaseLayer
+	// Security (S) is unused here.
+	Security bool
+}
+
+// LISPECMHeaderLen is the ECM header size.
+const LISPECMHeaderLen = 4
+
+// LayerType returns LayerTypeLISPECM.
+func (*LISPECM) LayerType() LayerType { return LayerTypeLISPECM }
+
+// SerializeTo implements SerializableLayer.
+func (m *LISPECM) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+	bytes, err := b.PrependBytes(LISPECMHeaderLen)
+	if err != nil {
+		return err
+	}
+	bytes[0] = lispTypeECM << 4
+	if m.Security {
+		bytes[0] |= 0x08
+	}
+	bytes[1], bytes[2], bytes[3] = 0, 0, 0
+	return nil
+}
+
+func decodeLISPECM(data []byte, p PacketBuilder) error {
+	if len(data) < LISPECMHeaderLen {
+		return fmt.Errorf("ECM: truncated header (%d bytes)", len(data))
+	}
+	if data[0]>>4 != lispTypeECM {
+		return fmt.Errorf("ECM: wrong type %d", data[0]>>4)
+	}
+	m := &LISPECM{Security: data[0]&0x08 != 0}
+	m.Contents = data[:LISPECMHeaderLen]
+	m.Payload = data[LISPECMHeaderLen:]
+	p.AddLayer(m)
+	return p.NextDecoder(LayerTypeIPv4)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func readUint64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

@@ -1,0 +1,253 @@
+package packet
+
+import (
+	"testing"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+func locatorSet() []LISPLocator {
+	return []LISPLocator{
+		{Priority: 1, Weight: 60, Local: true, Reachable: true, Addr: netaddr.MustParseAddr("12.0.0.254")},
+		{Priority: 1, Weight: 40, Reachable: true, Addr: netaddr.MustParseAddr("13.0.0.254")},
+		{Priority: 255, Weight: 0, Addr: netaddr.MustParseAddr("13.0.0.253")},
+	}
+}
+
+func TestMapRequestRoundTrip(t *testing.T) {
+	in := &LISPMapRequest{
+		Authoritative: true, SMR: false, Nonce: 0xdeadbeefcafe,
+		SourceEID: netaddr.MustParseAddr("10.1.0.5"),
+		ITRRLOCs:  []netaddr.Addr{netaddr.MustParseAddr("10.0.0.254"), netaddr.MustParseAddr("11.0.0.254")},
+		EIDPrefixes: []netaddr.Prefix{
+			netaddr.HostPrefix(netaddr.MustParseAddr("12.0.1.9")),
+			netaddr.MustParsePrefix("13.1.0.0/16"),
+		},
+	}
+	data := Serialize(in)
+	p := NewPacket(data, LayerTypeLISPControl, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypeLISPMapRequest).(*LISPMapRequest)
+	if out.Nonce != in.Nonce || !out.Authoritative || out.SMR {
+		t.Fatalf("header = %+v", out)
+	}
+	if out.SourceEID != in.SourceEID {
+		t.Fatalf("source EID = %v", out.SourceEID)
+	}
+	if len(out.ITRRLOCs) != 2 || out.ITRRLOCs[1] != in.ITRRLOCs[1] {
+		t.Fatalf("ITR-RLOCs = %v", out.ITRRLOCs)
+	}
+	if len(out.EIDPrefixes) != 2 || out.EIDPrefixes[0] != in.EIDPrefixes[0] || out.EIDPrefixes[1] != in.EIDPrefixes[1] {
+		t.Fatalf("EID prefixes = %v", out.EIDPrefixes)
+	}
+}
+
+func TestMapRequestNoSourceEID(t *testing.T) {
+	in := &LISPMapRequest{
+		Nonce:       1,
+		ITRRLOCs:    []netaddr.Addr{netaddr.MustParseAddr("10.0.0.254")},
+		EIDPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("12.0.0.0/8")},
+	}
+	data := Serialize(in)
+	out := NewPacket(data, LayerTypeLISPControl, Default).Layer(LayerTypeLISPMapRequest).(*LISPMapRequest)
+	if out.SourceEID.IsValid() {
+		t.Fatalf("source EID should be unset, got %v", out.SourceEID)
+	}
+}
+
+func TestMapRequestValidation(t *testing.T) {
+	noITR := &LISPMapRequest{EIDPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("10.0.0.0/8")}}
+	if err := SerializeLayers(NewSerializeBuffer(), FixAll, noITR); err == nil {
+		t.Fatal("Map-Request without ITR-RLOCs must fail")
+	}
+	noEID := &LISPMapRequest{ITRRLOCs: []netaddr.Addr{1}}
+	if err := SerializeLayers(NewSerializeBuffer(), FixAll, noEID); err == nil {
+		t.Fatal("Map-Request without records must fail")
+	}
+}
+
+func TestMapReplyRoundTrip(t *testing.T) {
+	in := &LISPMapReply{
+		Nonce: 0x1122334455667788,
+		Records: []LISPMapRecord{{
+			TTL: 900, EIDPrefix: netaddr.MustParsePrefix("12.0.1.0/24"),
+			Authoritative: true, MapVersion: 7, Locators: locatorSet(),
+		}},
+	}
+	data := Serialize(in)
+	p := NewPacket(data, LayerTypeLISPControl, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypeLISPMapReply).(*LISPMapReply)
+	if out.Nonce != in.Nonce || len(out.Records) != 1 {
+		t.Fatalf("reply = %+v", out)
+	}
+	r := out.Records[0]
+	if r.TTL != 900 || r.EIDPrefix != in.Records[0].EIDPrefix || !r.Authoritative || r.MapVersion != 7 {
+		t.Fatalf("record = %+v", r)
+	}
+	if len(r.Locators) != 3 {
+		t.Fatalf("locators = %d", len(r.Locators))
+	}
+	for i, l := range r.Locators {
+		w := in.Records[0].Locators[i]
+		if l != w {
+			t.Fatalf("locator %d = %+v, want %+v", i, l, w)
+		}
+	}
+}
+
+func TestBestLocator(t *testing.T) {
+	r := LISPMapRecord{Locators: locatorSet()}
+	best, ok := r.BestLocator()
+	if !ok || best.Addr != netaddr.MustParseAddr("12.0.0.254") {
+		t.Fatalf("best = %+v, %v", best, ok)
+	}
+	// Priority 255 and unreachable locators are never chosen.
+	r2 := LISPMapRecord{Locators: []LISPLocator{
+		{Priority: 255, Reachable: true, Addr: 1},
+		{Priority: 1, Reachable: false, Addr: 2},
+	}}
+	if _, ok := r2.BestLocator(); ok {
+		t.Fatal("unusable locators must yield no best")
+	}
+	// Tie on priority+weight breaks by lowest address.
+	r3 := LISPMapRecord{Locators: []LISPLocator{
+		{Priority: 1, Weight: 10, Reachable: true, Addr: 9},
+		{Priority: 1, Weight: 10, Reachable: true, Addr: 3},
+	}}
+	if best, _ := r3.BestLocator(); best.Addr != 3 {
+		t.Fatalf("tie break = %v", best.Addr)
+	}
+}
+
+func TestMapRegisterAuth(t *testing.T) {
+	key := []byte("shared-secret")
+	in := &LISPMapRegister{
+		ProxyReply: true, WantNotify: true, Nonce: 42, KeyID: 1, AuthKey: key,
+		Records: []LISPMapRecord{{
+			TTL: 60, EIDPrefix: netaddr.MustParsePrefix("12.0.1.0/24"),
+			Locators: locatorSet()[:2],
+		}},
+	}
+	data := Serialize(in)
+	p := NewPacket(data, LayerTypeLISPControl, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypeLISPMapRegister).(*LISPMapRegister)
+	if !out.ProxyReply || !out.WantNotify || out.Nonce != 42 || out.KeyID != 1 {
+		t.Fatalf("register = %+v", out)
+	}
+	if !out.VerifyAuth(key) {
+		t.Fatal("valid HMAC must verify")
+	}
+	if out.VerifyAuth([]byte("wrong-key")) {
+		t.Fatal("wrong key must not verify")
+	}
+	// Bit-flip in a record invalidates the signature.
+	tampered := make([]byte, len(data))
+	copy(tampered, data)
+	tampered[len(tampered)-1] ^= 1
+	out2 := NewPacket(tampered, LayerTypeLISPControl, Default).Layer(LayerTypeLISPMapRegister).(*LISPMapRegister)
+	if out2 != nil && out2.VerifyAuth(key) {
+		t.Fatal("tampered message must not verify")
+	}
+}
+
+func TestMapNotifyRoundTrip(t *testing.T) {
+	key := []byte("notify-key")
+	in := &LISPMapNotify{LISPMapRegister{
+		Nonce: 7, KeyID: 1, AuthKey: key,
+		Records: []LISPMapRecord{{TTL: 1, EIDPrefix: netaddr.MustParsePrefix("10.0.0.0/8")}},
+	}}
+	data := Serialize(in)
+	p := NewPacket(data, LayerTypeLISPControl, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypeLISPMapNotify).(*LISPMapNotify)
+	if out.Nonce != 7 || len(out.Records) != 1 {
+		t.Fatalf("notify = %+v", out)
+	}
+	if !out.VerifyAuth(key) {
+		t.Fatal("notify HMAC must verify")
+	}
+}
+
+func TestECMCarriesInnerControlPacket(t *testing.T) {
+	// A Map-Request wrapped in IP/UDP wrapped in an ECM, as sent to a
+	// Map-Resolver (RFC 6833).
+	req := &LISPMapRequest{
+		Nonce:       99,
+		ITRRLOCs:    []netaddr.Addr{netaddr.MustParseAddr("10.0.0.254")},
+		EIDPrefixes: []netaddr.Prefix{netaddr.HostPrefix(netaddr.MustParseAddr("12.0.1.9"))},
+	}
+	innerIP := &IPv4{TTL: 64, Protocol: IPProtocolUDP,
+		SrcIP: netaddr.MustParseAddr("10.0.0.254"), DstIP: netaddr.MustParseAddr("198.51.100.1")}
+	innerUDP := &UDP{SrcPort: PortLISPControl, DstPort: PortLISPControl}
+	innerUDP.SetNetworkLayerForChecksum(innerIP)
+	inner := Serialize(innerIP, innerUDP, req)
+
+	data := Serialize(&LISPECM{}, Payload(inner))
+	p := NewPacket(data, LayerTypeLISPControl, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	if p.Layer(LayerTypeLISPECM) == nil {
+		t.Fatal("ECM layer missing")
+	}
+	got := p.Layer(LayerTypeLISPMapRequest)
+	if got == nil {
+		t.Fatal("inner Map-Request not decoded through ECM")
+	}
+	if got.(*LISPMapRequest).Nonce != 99 {
+		t.Fatalf("inner nonce = %d", got.(*LISPMapRequest).Nonce)
+	}
+}
+
+func TestControlDispatchUnknownType(t *testing.T) {
+	p := NewPacket([]byte{0xf0, 0, 0, 0}, LayerTypeLISPControl, Default)
+	if p.ErrorLayer() == nil {
+		t.Fatal("unknown control type must fail")
+	}
+}
+
+func TestMapRecordBadMaskLen(t *testing.T) {
+	in := &LISPMapReply{Nonce: 1, Records: []LISPMapRecord{{TTL: 1, EIDPrefix: netaddr.MustParsePrefix("10.0.0.0/8")}}}
+	data := Serialize(in)
+	data[12+5] = 40 // mask length byte of first record
+	p := NewPacket(data, LayerTypeLISPControl, Default)
+	if p.ErrorLayer() == nil {
+		t.Fatal("mask length 40 must fail")
+	}
+}
+
+func TestMapReplyOverUDPPort4342(t *testing.T) {
+	reply := &LISPMapReply{Nonce: 5, Records: []LISPMapRecord{{TTL: 10, EIDPrefix: netaddr.MustParsePrefix("12.0.0.0/8"), Locators: locatorSet()[:1]}}}
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP}
+	udp := &UDP{SrcPort: PortLISPControl, DstPort: 61000}
+	udp.SetNetworkLayerForChecksum(ip)
+	data := Serialize(ip, udp, reply)
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.Layer(LayerTypeLISPMapReply) == nil {
+		t.Fatal("Map-Reply not decoded via port 4342")
+	}
+}
+
+func BenchmarkMapReplySerialize(b *testing.B) {
+	in := &LISPMapReply{Nonce: 1, Records: []LISPMapRecord{{
+		TTL: 900, EIDPrefix: netaddr.MustParsePrefix("12.0.1.0/24"), Locators: locatorSet(),
+	}}}
+	buf := NewSerializeBuffer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SerializeLayers(buf, FixAll, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

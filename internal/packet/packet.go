@@ -1,0 +1,325 @@
+// Package packet provides wire-format encoding and decoding for every
+// protocol in the LISP/PCE reproduction: IPv4, UDP, TCP, DNS, the LISP
+// data-plane encapsulation header, LISP control messages (Map-Request,
+// Map-Reply, Map-Register, Map-Notify, Encapsulated Control Message) and
+// the PCE control-plane messages introduced by the paper.
+//
+// The architecture follows gopacket: a packet is a []byte decoded into a
+// stack of Layers; each Layer knows its own contents and payload; decoding
+// proceeds through a chain of Decoders driven by a PacketBuilder; packets
+// may be decoded eagerly or lazily, with or without copying the input; and
+// serialization writes layers back-to-front into a SerializeBuffer so
+// lengths and checksums can be fixed up as outer layers are prepended.
+//
+// Every byte that crosses a simulated link or a real UDP socket in this
+// repository is produced and parsed by this package — the simulator never
+// cheats by passing Go structs around.
+package packet
+
+import (
+	"fmt"
+)
+
+// Layer represents one decoded protocol header within a packet.
+type Layer interface {
+	// LayerType returns the registered type of this layer.
+	LayerType() LayerType
+	// LayerContents returns the bytes that make up this layer's header.
+	LayerContents() []byte
+	// LayerPayload returns the bytes following this layer's header.
+	LayerPayload() []byte
+}
+
+// NetworkLayer is a Layer that carries network-level (IP) addressing.
+type NetworkLayer interface {
+	Layer
+	// NetworkFlow returns the source/destination endpoints of this layer.
+	NetworkFlow() Flow
+}
+
+// TransportLayer is a Layer that carries transport-level (port) addressing.
+type TransportLayer interface {
+	Layer
+	// TransportFlow returns the source/destination port endpoints.
+	TransportFlow() Flow
+}
+
+// ApplicationLayer is the innermost payload-bearing layer of a packet.
+type ApplicationLayer interface {
+	Layer
+	// Payload returns the application bytes.
+	Payload() []byte
+}
+
+// Decoder turns bytes into one Layer and tells the PacketBuilder how to
+// continue with the remaining payload.
+type Decoder interface {
+	Decode(data []byte, p PacketBuilder) error
+}
+
+// DecodeFunc adapts a function to the Decoder interface.
+type DecodeFunc func(data []byte, p PacketBuilder) error
+
+// Decode implements Decoder.
+func (f DecodeFunc) Decode(data []byte, p PacketBuilder) error { return f(data, p) }
+
+// PacketBuilder is handed to Decoders so they can attach layers and
+// schedule the next decoder for their payload.
+type PacketBuilder interface {
+	// AddLayer appends a freshly decoded layer to the packet.
+	AddLayer(l Layer)
+	// SetNetworkLayer records l as the packet's network layer (first wins,
+	// so the outer header of an IP-in-IP packet is the network layer).
+	SetNetworkLayer(l NetworkLayer)
+	// SetTransportLayer records l as the packet's transport layer (first wins).
+	SetTransportLayer(l TransportLayer)
+	// SetApplicationLayer records l as the packet's application layer (last wins).
+	SetApplicationLayer(l ApplicationLayer)
+	// NextDecoder schedules d to decode the most recent layer's payload.
+	NextDecoder(d Decoder) error
+}
+
+// DecodeOptions controls NewPacket behaviour, mirroring gopacket.
+type DecodeOptions struct {
+	// Lazy postpones decoding until layers are requested. Lazily decoded
+	// packets are not safe for concurrent use.
+	Lazy bool
+	// NoCopy uses the caller's slice directly instead of copying. The
+	// caller must not modify the slice afterwards.
+	NoCopy bool
+}
+
+// Predefined option sets.
+var (
+	// Default decodes eagerly and copies the input.
+	Default = DecodeOptions{}
+	// Lazy decodes on demand and copies the input.
+	Lazy = DecodeOptions{Lazy: true}
+	// NoCopy decodes eagerly without copying the input.
+	NoCopy = DecodeOptions{NoCopy: true}
+	// LazyNoCopy is the fastest and least safe combination.
+	LazyNoCopy = DecodeOptions{Lazy: true, NoCopy: true}
+)
+
+// Packet is a decoded packet: the raw data plus its stack of layers.
+type Packet struct {
+	data   []byte
+	layers []Layer
+
+	network     NetworkLayer
+	transport   TransportLayer
+	application ApplicationLayer
+	failure     *DecodeFailure
+
+	// Lazy-decoding state: the decoder to run next and the bytes it will
+	// consume. nil next means decoding has finished.
+	next Decoder
+	rest []byte
+}
+
+// NewPacket decodes data starting with the given decoder. It never returns
+// an error: malformed packets carry a DecodeFailure layer instead, because
+// the outer layers that did decode are usually still useful.
+func NewPacket(data []byte, first Decoder, opts DecodeOptions) *Packet {
+	if !opts.NoCopy {
+		c := make([]byte, len(data))
+		copy(c, data)
+		data = c
+	}
+	p := &Packet{data: data, next: first, rest: data}
+	if !opts.Lazy {
+		p.decodeAll()
+	}
+	return p
+}
+
+// Data returns the raw bytes of the packet.
+func (p *Packet) Data() []byte { return p.data }
+
+// Layers decodes (if necessary) and returns all layers of the packet.
+func (p *Packet) Layers() []Layer {
+	p.decodeAll()
+	return p.layers
+}
+
+// Layer returns the first layer of type t, decoding lazily as needed, or
+// nil if the packet holds no such layer.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	for p.next != nil {
+		n := len(p.layers)
+		p.decodeOne()
+		for _, l := range p.layers[n:] {
+			if l.LayerType() == t {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+// NetworkLayer returns the packet's network layer (outermost IP header).
+func (p *Packet) NetworkLayer() NetworkLayer {
+	for p.network == nil && p.next != nil {
+		p.decodeOne()
+	}
+	return p.network
+}
+
+// TransportLayer returns the packet's transport layer (outermost UDP/TCP).
+func (p *Packet) TransportLayer() TransportLayer {
+	for p.transport == nil && p.next != nil {
+		p.decodeOne()
+	}
+	return p.transport
+}
+
+// ApplicationLayer returns the innermost payload-bearing layer.
+func (p *Packet) ApplicationLayer() ApplicationLayer {
+	p.decodeAll()
+	return p.application
+}
+
+// ErrorLayer returns the DecodeFailure layer if any part of the packet
+// failed to decode, or nil.
+func (p *Packet) ErrorLayer() *DecodeFailure {
+	p.decodeAll()
+	return p.failure
+}
+
+// String summarizes the layer stack, e.g. "IPv4/UDP/DNS".
+func (p *Packet) String() string {
+	p.decodeAll()
+	s := ""
+	for i, l := range p.layers {
+		if i > 0 {
+			s += "/"
+		}
+		s += l.LayerType().String()
+	}
+	return s
+}
+
+func (p *Packet) decodeAll() {
+	for p.next != nil {
+		p.decodeOne()
+	}
+}
+
+func (p *Packet) decodeOne() {
+	d := p.next
+	data := p.rest
+	p.next, p.rest = nil, nil
+	if err := d.Decode(data, p); err != nil {
+		p.failure = &DecodeFailure{data: data, err: err}
+		p.layers = append(p.layers, p.failure)
+		p.next = nil
+	}
+}
+
+// AddLayer implements PacketBuilder.
+func (p *Packet) AddLayer(l Layer) { p.layers = append(p.layers, l) }
+
+// SetNetworkLayer implements PacketBuilder.
+func (p *Packet) SetNetworkLayer(l NetworkLayer) {
+	if p.network == nil {
+		p.network = l
+	}
+}
+
+// SetTransportLayer implements PacketBuilder.
+func (p *Packet) SetTransportLayer(l TransportLayer) {
+	if p.transport == nil {
+		p.transport = l
+	}
+}
+
+// SetApplicationLayer implements PacketBuilder.
+func (p *Packet) SetApplicationLayer(l ApplicationLayer) { p.application = l }
+
+// NextDecoder implements PacketBuilder: it schedules d to run over the
+// payload of the most recently added layer.
+func (p *Packet) NextDecoder(d Decoder) error {
+	if d == nil {
+		return fmt.Errorf("packet: NextDecoder called with nil decoder")
+	}
+	if len(p.layers) == 0 {
+		return fmt.Errorf("packet: NextDecoder called before any layer was added")
+	}
+	rest := p.layers[len(p.layers)-1].LayerPayload()
+	if len(rest) == 0 {
+		return nil // nothing left; decoding completes cleanly
+	}
+	p.next, p.rest = d, rest
+	return nil
+}
+
+// BaseLayer holds the two byte slices common to every concrete layer.
+// Embedding it provides LayerContents and LayerPayload for free.
+type BaseLayer struct {
+	// Contents is the set of bytes that make up this layer's header.
+	Contents []byte
+	// Payload is the set of bytes contained by (but not part of) this layer.
+	Payload []byte
+}
+
+// LayerContents returns the header bytes of this layer.
+func (b *BaseLayer) LayerContents() []byte { return b.Contents }
+
+// LayerPayload returns the bytes following this layer's header.
+func (b *BaseLayer) LayerPayload() []byte { return b.Payload }
+
+// Payload is a trivial ApplicationLayer wrapping raw application bytes.
+type Payload []byte
+
+// LayerType returns LayerTypePayload.
+func (Payload) LayerType() LayerType { return LayerTypePayload }
+
+// LayerContents returns the payload bytes.
+func (p Payload) LayerContents() []byte { return p }
+
+// LayerPayload returns nil; Payload is always innermost.
+func (Payload) LayerPayload() []byte { return nil }
+
+// Payload returns the payload bytes (ApplicationLayer).
+func (p Payload) Payload() []byte { return p }
+
+// SerializeTo implements SerializableLayer.
+func (p Payload) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+	bytes, err := b.PrependBytes(len(p))
+	if err != nil {
+		return err
+	}
+	copy(bytes, p)
+	return nil
+}
+
+func decodePayload(data []byte, p PacketBuilder) error {
+	pl := Payload(data)
+	p.AddLayer(pl)
+	p.SetApplicationLayer(pl)
+	return nil
+}
+
+// DecodeFailure is the layer attached when decoding fails part-way. The
+// bytes that could not be decoded are preserved.
+type DecodeFailure struct {
+	data []byte
+	err  error
+}
+
+// LayerType returns LayerTypeDecodeFailure.
+func (*DecodeFailure) LayerType() LayerType { return LayerTypeDecodeFailure }
+
+// LayerContents returns the undecodable bytes.
+func (d *DecodeFailure) LayerContents() []byte { return d.data }
+
+// LayerPayload returns nil.
+func (*DecodeFailure) LayerPayload() []byte { return nil }
+
+// Error returns the decode error.
+func (d *DecodeFailure) Error() error { return d.err }

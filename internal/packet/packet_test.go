@@ -1,0 +1,264 @@
+package packet
+
+import (
+	"testing"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+var (
+	srcIP = netaddr.MustParseAddr("10.0.0.1")
+	dstIP = netaddr.MustParseAddr("11.0.0.2")
+)
+
+// shimLayer is the custom layer used by TestCustomDecoderRegistration.
+type shimLayer struct {
+	BaseLayer
+	typ LayerType
+}
+
+func (s *shimLayer) LayerType() LayerType { return s.typ }
+
+// buildUDPPacket serializes IPv4/UDP/payload for use across tests.
+func buildUDPPacket(t testing.TB, sport, dport uint16, payload []byte) []byte {
+	t.Helper()
+	ip := &IPv4{TTL: DefaultTTL, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP}
+	udp := &UDP{SrcPort: sport, DstPort: dport}
+	udp.SetNetworkLayerForChecksum(ip)
+	return Serialize(ip, udp, Payload(payload))
+}
+
+func TestNewPacketEagerDecode(t *testing.T) {
+	data := buildUDPPacket(t, 1234, 9999, []byte("hello"))
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	if got := p.String(); got != "IPv4/UDP/Payload" {
+		t.Fatalf("layer stack = %q", got)
+	}
+	ip := p.Layer(LayerTypeIPv4).(*IPv4)
+	if ip.SrcIP != srcIP || ip.DstIP != dstIP {
+		t.Fatalf("addresses = %v -> %v", ip.SrcIP, ip.DstIP)
+	}
+	if ip.TTL != DefaultTTL {
+		t.Fatalf("TTL = %d", ip.TTL)
+	}
+	udp := p.Layer(LayerTypeUDP).(*UDP)
+	if udp.SrcPort != 1234 || udp.DstPort != 9999 {
+		t.Fatalf("ports = %d -> %d", udp.SrcPort, udp.DstPort)
+	}
+	app := p.ApplicationLayer()
+	if app == nil || string(app.Payload()) != "hello" {
+		t.Fatalf("application layer = %v", app)
+	}
+}
+
+func TestNewPacketKnownLayerPointers(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, []byte("x"))
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.NetworkLayer() == nil || p.NetworkLayer().LayerType() != LayerTypeIPv4 {
+		t.Fatal("network layer not set")
+	}
+	if p.TransportLayer() == nil || p.TransportLayer().LayerType() != LayerTypeUDP {
+		t.Fatal("transport layer not set")
+	}
+	nf := p.NetworkLayer().NetworkFlow()
+	if nf.Src().Addr() != srcIP || nf.Dst().Addr() != dstIP {
+		t.Fatalf("network flow = %v", nf)
+	}
+}
+
+func TestNewPacketLazy(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, []byte("lazy"))
+	p := NewPacket(data, LayerTypeIPv4, Lazy)
+	// Requesting the UDP layer must decode exactly up to UDP.
+	if l := p.Layer(LayerTypeUDP); l == nil {
+		t.Fatal("UDP layer not found lazily")
+	}
+	// Payload not yet decoded: internal state should still hold a next
+	// decoder. Asking for all layers finishes the job.
+	all := p.Layers()
+	if len(all) != 3 {
+		t.Fatalf("Layers() = %d layers", len(all))
+	}
+	if p.Layer(LayerTypePayload) == nil {
+		t.Fatal("payload missing after full decode")
+	}
+}
+
+func TestNewPacketLazyStopsEarly(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, []byte("payload"))
+	p := NewPacket(data, LayerTypeIPv4, Lazy)
+	ip := p.Layer(LayerTypeIPv4)
+	if ip == nil {
+		t.Fatal("IPv4 missing")
+	}
+	if n := len(p.layers); n != 1 {
+		t.Fatalf("lazy decode produced %d layers before being asked, want 1", n)
+	}
+}
+
+func TestNewPacketCopySemantics(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, []byte("copyme"))
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	// Mutating the caller's slice must not affect a copied packet.
+	for i := range data {
+		data[i] = 0xff
+	}
+	if p.ErrorLayer() != nil {
+		t.Fatal("copied packet corrupted by caller mutation")
+	}
+	if string(p.ApplicationLayer().Payload()) != "copyme" {
+		t.Fatal("payload corrupted by caller mutation")
+	}
+}
+
+func TestNewPacketNoCopySharesMemory(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, []byte("shared"))
+	p := NewPacket(data, LayerTypeIPv4, NoCopy)
+	if &p.Data()[0] != &data[0] {
+		t.Fatal("NoCopy must alias the caller's slice")
+	}
+}
+
+func TestDecodeFailurePreservesOuterLayers(t *testing.T) {
+	data := buildUDPPacket(t, 1, 2, []byte("ok"))
+	// Truncate inside the UDP header: IPv4 length will disagree, IPv4
+	// decode fails cleanly with a DecodeFailure and no panic.
+	trunc := data[:22]
+	p := NewPacket(trunc, LayerTypeIPv4, Default)
+	if p.ErrorLayer() == nil {
+		t.Fatal("expected decode failure")
+	}
+}
+
+func TestDecodeFailureMidStack(t *testing.T) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP}
+	udp := &UDP{SrcPort: 5, DstPort: PortDNS} // DNS payload expected
+	udp.SetNetworkLayerForChecksum(ip)
+	data := Serialize(ip, udp, Payload([]byte{1, 2, 3})) // 3 bytes: not a DNS header
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.ErrorLayer() == nil {
+		t.Fatal("expected DNS decode failure")
+	}
+	// Outer layers remain accessible.
+	if p.Layer(LayerTypeIPv4) == nil || p.Layer(LayerTypeUDP) == nil {
+		t.Fatal("outer layers lost on inner decode failure")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	data := buildUDPPacket(t, 7, 8, nil)
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if got := p.String(); got != "IPv4/UDP" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestEmptyUDPPayloadCompletesCleanly(t *testing.T) {
+	data := buildUDPPacket(t, 7, 8, nil)
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	if got := len(p.Layers()); got != 2 {
+		t.Fatalf("layers = %d, want 2", got)
+	}
+}
+
+// TestCustomDecoderRegistration mirrors the gopacket guide's "Implementing
+// Your Own Decoder": a 4-byte shim header in front of IPv4.
+func TestCustomDecoderRegistration(t *testing.T) {
+	shimType := RegisterLayerType(12345, LayerTypeMetadata{Name: "Shim"})
+	shimDecode := DecodeFunc(func(data []byte, p PacketBuilder) error {
+		if len(data) < 4 {
+			t.Fatal("shim too short")
+		}
+		l := &shimLayer{typ: shimType, BaseLayer: BaseLayer{Contents: data[:4], Payload: data[4:]}}
+		p.AddLayer(l)
+		return p.NextDecoder(LayerTypeIPv4)
+	})
+	inner := buildUDPPacket(t, 1, 2, []byte("inner"))
+	data := append([]byte{0xde, 0xad, 0xbe, 0xef}, inner...)
+	p := NewPacket(data, shimDecode, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	if p.Layer(LayerTypeIPv4) == nil {
+		t.Fatal("IPv4 not reached through custom decoder")
+	}
+}
+
+func TestRegisterLayerTypeDuplicatePanics(t *testing.T) {
+	RegisterLayerType(22222, LayerTypeMetadata{Name: "Once"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	RegisterLayerType(22222, LayerTypeMetadata{Name: "Twice"})
+}
+
+func TestLayerTypeString(t *testing.T) {
+	if LayerTypeIPv4.String() != "IPv4" {
+		t.Fatalf("IPv4 name = %q", LayerTypeIPv4.String())
+	}
+	if got := LayerType(99999).String(); got != "LayerType(99999)" {
+		t.Fatalf("unknown type name = %q", got)
+	}
+}
+
+func TestSerializeBufferGrowth(t *testing.T) {
+	b := NewSerializeBufferExpectedSize(2, 2)
+	head, err := b.PrependBytes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(head, "headhead")
+	tail, err := b.AppendBytes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(tail, "tailtail")
+	if got := string(b.Bytes()); got != "headheadtailtail" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if err := b.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bytes()) != 0 {
+		t.Fatal("Clear must empty the buffer")
+	}
+	if _, err := b.PrependBytes(-1); err == nil {
+		t.Fatal("negative prepend must error")
+	}
+	if _, err := b.AppendBytes(-1); err == nil {
+		t.Fatal("negative append must error")
+	}
+}
+
+func TestSerializeBufferAppendZeroes(t *testing.T) {
+	b := NewSerializeBuffer()
+	x, _ := b.AppendBytes(4)
+	copy(x, []byte{1, 2, 3, 4})
+	if err := b.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := b.AppendBytes(4)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("AppendBytes[%d] = %d after Clear, want 0", i, v)
+		}
+	}
+}
+
+func TestNextDecoderErrors(t *testing.T) {
+	p := &Packet{}
+	if err := p.NextDecoder(nil); err == nil {
+		t.Fatal("nil decoder must error")
+	}
+	if err := p.NextDecoder(LayerTypeIPv4); err == nil {
+		t.Fatal("NextDecoder before AddLayer must error")
+	}
+}

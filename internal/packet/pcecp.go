@@ -1,0 +1,237 @@
+package packet
+
+import (
+	"fmt"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// PCECPType identifies a PCE control-plane message. The paper defines the
+// message flow in prose; this package gives it a concrete wire format.
+type PCECPType uint8
+
+// PCE-CP message types.
+const (
+	// PCECPEncapDNSReply is the paper's step 6: PCED encapsulates the
+	// authoritative DNS reply in a new UDP message toward DNSS on port P,
+	// with the EID-to-RLOC mapping for ED in the outer payload and the
+	// original DNS reply as the inner payload.
+	PCECPEncapDNSReply PCECPType = 1
+	// PCECPMappingPush is step 7b: PCES pushes the mapping tuple
+	// (ES, ED, RLOCS, RLOCD) to all local ITRs.
+	PCECPMappingPush PCECPType = 2
+	// PCECPReverseMapPush is the ETR multicast: on the first data packet,
+	// the receiving ETR distributes the reverse mapping to its sibling
+	// ETRs and the PCED database.
+	PCECPReverseMapPush PCECPType = 3
+	// PCECPMappingAck acknowledges a push (used by reliability ablations).
+	PCECPMappingAck PCECPType = 4
+	// PCECPMapFetch is an explicit PCES->PCED mapping query, the fallback
+	// when the DNS-reply race is lost (e.g. the answer came from a cache).
+	PCECPMapFetch PCECPType = 5
+	// PCECPMapFetchReply answers a PCECPMapFetch.
+	PCECPMapFetchReply PCECPType = 6
+)
+
+// String names the message type.
+func (t PCECPType) String() string {
+	switch t {
+	case PCECPEncapDNSReply:
+		return "EncapDNSReply"
+	case PCECPMappingPush:
+		return "MappingPush"
+	case PCECPReverseMapPush:
+		return "ReverseMapPush"
+	case PCECPMappingAck:
+		return "MappingAck"
+	case PCECPMapFetch:
+		return "MapFetch"
+	case PCECPMapFetchReply:
+		return "MapFetchReply"
+	default:
+		return fmt.Sprintf("PCECPType(%d)", uint8(t))
+	}
+}
+
+// PCEFlowMapping is the paper's per-flow mapping tuple (ES, ED, RLOCS,
+// RLOCD): it lets an ITR encapsulate traffic from SrcEID to DstEID using a
+// source RLOC that may differ from the ITR's own address, realizing the
+// "two independent one-way tunnels" of step 7b.
+type PCEFlowMapping struct {
+	// TTL is the entry lifetime in seconds.
+	TTL uint32
+	// SrcEID and DstEID identify the flow (ES, ED).
+	SrcEID, DstEID netaddr.Addr
+	// SrcRLOC is the local RLOC to stamp as the outer source (RLOCS),
+	// chosen by PCES in step 1 to engineer the inbound direction.
+	SrcRLOC netaddr.Addr
+	// DstRLOC is the remote RLOC to tunnel to (RLOCD), chosen by the
+	// destination domain's IRC engine.
+	DstRLOC netaddr.Addr
+}
+
+// PCEPrefixMapping is an EID-prefix-to-RLOC-set mapping, used when the
+// destination PCE advertises a whole prefix rather than a single flow.
+type PCEPrefixMapping struct {
+	// Prefix is the covered EID range.
+	Prefix netaddr.Prefix
+	// TTL is the entry lifetime in seconds.
+	TTL uint32
+	// Locators is the RLOC set with priorities and weights.
+	Locators []LISPLocator
+}
+
+// Record kind tags on the wire.
+const (
+	pceKindPrefix = 1
+	pceKindFlow   = 2
+)
+
+// PCECPHeaderLen is the fixed PCE-CP message header size.
+const PCECPHeaderLen = 16
+
+// PCECP is a PCE control-plane message.
+//
+// Wire format (16-byte header, then records, then optional inner payload):
+//
+//	byte 0     Version(4) | Type(4)
+//	byte 1     Flags
+//	bytes 2-3  Record count
+//	bytes 4-11 Nonce
+//	bytes 12-15 Sender PCE address
+//
+// For PCECPEncapDNSReply the bytes after the records are the original DNS
+// message, so the layer's NextDecoder is DNS; a PCES that is not
+// PCE-capable would never see port P traffic, and a legacy DNSS receiving
+// it would drop it — preserving the paper's incremental deployability.
+type PCECP struct {
+	BaseLayer
+	// Version is the protocol version (1).
+	Version uint8
+	// Type selects the message semantics.
+	Type PCECPType
+	// Flags is reserved.
+	Flags uint8
+	// Nonce correlates acks and fetch replies.
+	Nonce uint64
+	// PCEAddr is the sending PCE's address; PCES learns PCED from it
+	// (step 7) without any configuration.
+	PCEAddr netaddr.Addr
+	// Prefixes carries prefix-granularity mappings.
+	Prefixes []PCEPrefixMapping
+	// Flows carries flow-granularity mappings.
+	Flows []PCEFlowMapping
+}
+
+// PCECPVersion is the current protocol version.
+const PCECPVersion = 1
+
+// LayerType returns LayerTypePCECP.
+func (*PCECP) LayerType() LayerType { return LayerTypePCECP }
+
+// SerializeTo implements SerializableLayer.
+func (m *PCECP) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+	n := len(m.Prefixes) + len(m.Flows)
+	if n > 0xffff {
+		return fmt.Errorf("PCECP: %d records (max 65535)", n)
+	}
+	enc := make([]byte, 0, PCECPHeaderLen+n*24)
+	enc = append(enc, m.Version<<4|byte(m.Type), m.Flags, byte(n>>8), byte(n))
+	enc = appendUint64(enc, m.Nonce)
+	enc = m.PCEAddr.AppendBytes(enc)
+	for _, pm := range m.Prefixes {
+		if len(pm.Locators) > 255 {
+			return fmt.Errorf("PCECP: prefix mapping with %d locators", len(pm.Locators))
+		}
+		enc = append(enc, pceKindPrefix, byte(pm.Prefix.Bits()))
+		enc = pm.Prefix.Addr().AppendBytes(enc)
+		enc = append(enc, byte(pm.TTL>>24), byte(pm.TTL>>16), byte(pm.TTL>>8), byte(pm.TTL))
+		enc = append(enc, byte(len(pm.Locators)), 0)
+		for _, l := range pm.Locators {
+			enc = appendLocator(enc, l)
+		}
+	}
+	for _, fm := range m.Flows {
+		enc = append(enc, pceKindFlow, 0)
+		enc = append(enc, byte(fm.TTL>>24), byte(fm.TTL>>16), byte(fm.TTL>>8), byte(fm.TTL))
+		enc = fm.SrcEID.AppendBytes(enc)
+		enc = fm.DstEID.AppendBytes(enc)
+		enc = fm.SrcRLOC.AppendBytes(enc)
+		enc = fm.DstRLOC.AppendBytes(enc)
+	}
+	out, err := b.PrependBytes(len(enc))
+	if err != nil {
+		return err
+	}
+	copy(out, enc)
+	return nil
+}
+
+func decodePCECP(data []byte, p PacketBuilder) error {
+	if len(data) < PCECPHeaderLen {
+		return fmt.Errorf("PCECP: truncated header (%d bytes)", len(data))
+	}
+	m := &PCECP{
+		Version: data[0] >> 4,
+		Type:    PCECPType(data[0] & 0x0f),
+		Flags:   data[1],
+		Nonce:   readUint64(data[4:]),
+		PCEAddr: netaddr.AddrFromBytes(data[12:16]),
+	}
+	if m.Version != PCECPVersion {
+		return fmt.Errorf("PCECP: unsupported version %d", m.Version)
+	}
+	n := int(uint16(data[2])<<8 | uint16(data[3]))
+	off := PCECPHeaderLen
+	for i := 0; i < n; i++ {
+		if off >= len(data) {
+			return fmt.Errorf("PCECP: record %d truncated", i)
+		}
+		switch data[off] {
+		case pceKindPrefix:
+			if off+12 > len(data) {
+				return fmt.Errorf("PCECP: prefix record %d truncated", i)
+			}
+			maskLen := int(data[off+1])
+			if maskLen > 32 {
+				return fmt.Errorf("PCECP: prefix record %d mask length %d", i, maskLen)
+			}
+			pm := PCEPrefixMapping{
+				Prefix: netaddr.PrefixFrom(netaddr.AddrFromBytes(data[off+2:off+6]), maskLen),
+				TTL:    uint32(data[off+6])<<24 | uint32(data[off+7])<<16 | uint32(data[off+8])<<8 | uint32(data[off+9]),
+			}
+			locCount := int(data[off+10])
+			off += 12
+			for j := 0; j < locCount; j++ {
+				loc, sz, err := decodeLocator(data[off:])
+				if err != nil {
+					return fmt.Errorf("PCECP: prefix record %d locator %d: %w", i, j, err)
+				}
+				pm.Locators = append(pm.Locators, loc)
+				off += sz
+			}
+			m.Prefixes = append(m.Prefixes, pm)
+		case pceKindFlow:
+			if off+22 > len(data) {
+				return fmt.Errorf("PCECP: flow record %d truncated", i)
+			}
+			m.Flows = append(m.Flows, PCEFlowMapping{
+				TTL:     uint32(data[off+2])<<24 | uint32(data[off+3])<<16 | uint32(data[off+4])<<8 | uint32(data[off+5]),
+				SrcEID:  netaddr.AddrFromBytes(data[off+6 : off+10]),
+				DstEID:  netaddr.AddrFromBytes(data[off+10 : off+14]),
+				SrcRLOC: netaddr.AddrFromBytes(data[off+14 : off+18]),
+				DstRLOC: netaddr.AddrFromBytes(data[off+18 : off+22]),
+			})
+			off += 22
+		default:
+			return fmt.Errorf("PCECP: record %d has unknown kind %d", i, data[off])
+		}
+	}
+	m.Contents = data[:off]
+	m.Payload = data[off:]
+	p.AddLayer(m)
+	if m.Type == PCECPEncapDNSReply && len(m.Payload) > 0 {
+		return p.NextDecoder(LayerTypeDNS)
+	}
+	return p.NextDecoder(LayerTypePayload)
+}

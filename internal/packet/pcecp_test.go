@@ -1,0 +1,178 @@
+package packet
+
+import (
+	"testing"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+var (
+	pceD  = netaddr.MustParseAddr("12.0.0.53")
+	dnsS  = netaddr.MustParseAddr("10.0.0.53")
+	es    = netaddr.MustParseAddr("10.1.0.5")
+	ed    = netaddr.MustParseAddr("12.1.0.9")
+	rlocS = netaddr.MustParseAddr("11.0.0.254")
+	rlocD = netaddr.MustParseAddr("13.0.0.254")
+)
+
+func TestPCECPEncapDNSReplyRoundTrip(t *testing.T) {
+	// The paper's step 6 message: outer UDP toward DNSS on port P, PCECP
+	// header with the ED mapping, inner payload = the original DNS reply.
+	dnsReply := &DNS{
+		ID: 0x99, QR: true, AA: true,
+		Questions: []DNSQuestion{{Name: "ed.dst.example", Type: DNSTypeA, Class: DNSClassIN}},
+		Answers:   []DNSResourceRecord{{Name: "ed.dst.example", Type: DNSTypeA, Class: DNSClassIN, TTL: 300, IP: ed}},
+	}
+	msg := &PCECP{
+		Version: PCECPVersion, Type: PCECPEncapDNSReply, Nonce: 0xabc, PCEAddr: pceD,
+		Prefixes: []PCEPrefixMapping{{
+			Prefix: netaddr.MustParsePrefix("12.1.0.0/16"), TTL: 900,
+			Locators: []LISPLocator{
+				{Priority: 1, Weight: 70, Reachable: true, Addr: netaddr.MustParseAddr("12.0.0.254")},
+				{Priority: 2, Weight: 30, Reachable: true, Addr: rlocD},
+			},
+		}},
+	}
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: pceD, DstIP: dnsS}
+	udp := &UDP{SrcPort: PortPCECP, DstPort: PortPCECP}
+	udp.SetNetworkLayerForChecksum(ip)
+	data := Serialize(ip, udp, msg, dnsReply)
+
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	if got := p.String(); got != "IPv4/UDP/PCECP/DNS" {
+		t.Fatalf("stack = %q", got)
+	}
+	out := p.Layer(LayerTypePCECP).(*PCECP)
+	if out.Type != PCECPEncapDNSReply || out.PCEAddr != pceD || out.Nonce != 0xabc {
+		t.Fatalf("header = %+v", out)
+	}
+	if len(out.Prefixes) != 1 || out.Prefixes[0].Prefix != netaddr.MustParsePrefix("12.1.0.0/16") {
+		t.Fatalf("prefixes = %+v", out.Prefixes)
+	}
+	if len(out.Prefixes[0].Locators) != 2 || out.Prefixes[0].Locators[1].Addr != rlocD {
+		t.Fatalf("locators = %+v", out.Prefixes[0].Locators)
+	}
+	// The inner DNS reply survives the encapsulation intact (step 7a).
+	inner := p.Layer(LayerTypeDNS).(*DNS)
+	if a, ok := inner.FirstA(); !ok || a != ed {
+		t.Fatalf("inner DNS answer = %v, %v", a, ok)
+	}
+}
+
+func TestPCECPMappingPushRoundTrip(t *testing.T) {
+	// Step 7b: the flow 4-tuple (ES, ED, RLOCS, RLOCD) pushed to ITRs.
+	msg := &PCECP{
+		Version: PCECPVersion, Type: PCECPMappingPush, Nonce: 7, PCEAddr: dnsS,
+		Flows: []PCEFlowMapping{{TTL: 300, SrcEID: es, DstEID: ed, SrcRLOC: rlocS, DstRLOC: rlocD}},
+	}
+	data := Serialize(msg)
+	p := NewPacket(data, LayerTypePCECP, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypePCECP).(*PCECP)
+	if out.Type != PCECPMappingPush || len(out.Flows) != 1 {
+		t.Fatalf("push = %+v", out)
+	}
+	f := out.Flows[0]
+	if f.SrcEID != es || f.DstEID != ed || f.SrcRLOC != rlocS || f.DstRLOC != rlocD || f.TTL != 300 {
+		t.Fatalf("flow = %+v", f)
+	}
+}
+
+func TestPCECPMixedRecords(t *testing.T) {
+	msg := &PCECP{
+		Version: PCECPVersion, Type: PCECPReverseMapPush, PCEAddr: pceD,
+		Prefixes: []PCEPrefixMapping{{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), TTL: 60,
+			Locators: []LISPLocator{{Priority: 1, Reachable: true, Addr: rlocS}}}},
+		Flows: []PCEFlowMapping{
+			{TTL: 30, SrcEID: ed, DstEID: es, SrcRLOC: rlocD, DstRLOC: rlocS},
+			{TTL: 31, SrcEID: ed.Next(), DstEID: es.Next(), SrcRLOC: rlocD, DstRLOC: rlocS},
+		},
+	}
+	data := Serialize(msg)
+	out := NewPacket(data, LayerTypePCECP, Default).Layer(LayerTypePCECP).(*PCECP)
+	if len(out.Prefixes) != 1 || len(out.Flows) != 2 {
+		t.Fatalf("records = %d prefixes, %d flows", len(out.Prefixes), len(out.Flows))
+	}
+	if out.Flows[1].TTL != 31 {
+		t.Fatalf("second flow = %+v", out.Flows[1])
+	}
+}
+
+func TestPCECPVersionRejected(t *testing.T) {
+	data := Serialize(&PCECP{Version: 2, Type: PCECPMappingAck, PCEAddr: pceD})
+	if NewPacket(data, LayerTypePCECP, Default).ErrorLayer() == nil {
+		t.Fatal("version 2 must be rejected")
+	}
+}
+
+func TestPCECPTruncations(t *testing.T) {
+	msg := &PCECP{
+		Version: PCECPVersion, Type: PCECPMappingPush, PCEAddr: pceD,
+		Flows:    []PCEFlowMapping{{TTL: 30, SrcEID: es, DstEID: ed, SrcRLOC: rlocS, DstRLOC: rlocD}},
+		Prefixes: []PCEPrefixMapping{{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), TTL: 60, Locators: []LISPLocator{{Priority: 1, Addr: rlocS}}}},
+	}
+	full := Serialize(msg)
+	for n := 0; n < len(full); n++ {
+		p := NewPacket(full[:n], LayerTypePCECP, Default)
+		p.Layers()
+	}
+}
+
+func TestPCECPUnknownRecordKind(t *testing.T) {
+	data := Serialize(&PCECP{Version: PCECPVersion, Type: PCECPMappingPush, PCEAddr: pceD})
+	data[3] = 1 // claim one record, then provide garbage
+	data = append(data, 0x7f)
+	if NewPacket(data, LayerTypePCECP, Default).ErrorLayer() == nil {
+		t.Fatal("unknown record kind must fail")
+	}
+}
+
+func TestPCECPTypeString(t *testing.T) {
+	names := map[PCECPType]string{
+		PCECPEncapDNSReply: "EncapDNSReply", PCECPMappingPush: "MappingPush",
+		PCECPReverseMapPush: "ReverseMapPush", PCECPMappingAck: "MappingAck",
+		PCECPMapFetch: "MapFetch", PCECPMapFetchReply: "MapFetchReply",
+		PCECPType(15): "PCECPType(15)",
+	}
+	for typ, want := range names {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestPCECPOverPortP(t *testing.T) {
+	// Port P demultiplexing: a PCES snooping for port P sees the PCECP
+	// layer without knowing anything beyond IPv4/UDP.
+	msg := &PCECP{Version: PCECPVersion, Type: PCECPMappingAck, Nonce: 3, PCEAddr: pceD}
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: pceD, DstIP: dnsS}
+	udp := &UDP{SrcPort: 50000, DstPort: PortPCECP}
+	udp.SetNetworkLayerForChecksum(ip)
+	data := Serialize(ip, udp, msg)
+	p := NewPacket(data, LayerTypeIPv4, Default)
+	got := p.Layer(LayerTypePCECP)
+	if got == nil || got.(*PCECP).Nonce != 3 {
+		t.Fatal("PCECP not demultiplexed via port P")
+	}
+}
+
+func BenchmarkPCECPEncapDNSReply(b *testing.B) {
+	dnsReply := &DNS{ID: 1, QR: true,
+		Answers: []DNSResourceRecord{{Name: "ed.dst.example", Type: DNSTypeA, Class: DNSClassIN, TTL: 300, IP: ed}}}
+	msg := &PCECP{Version: PCECPVersion, Type: PCECPEncapDNSReply, PCEAddr: pceD,
+		Prefixes: []PCEPrefixMapping{{Prefix: netaddr.MustParsePrefix("12.1.0.0/16"), TTL: 900,
+			Locators: []LISPLocator{{Priority: 1, Weight: 100, Reachable: true, Addr: rlocD}}}}}
+	buf := NewSerializeBuffer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SerializeLayers(buf, FixAll, msg, dnsReply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// Property-based round trips for the control-message codecs: any
+// structurally valid message must survive serialize -> decode exactly.
+
+func normLocators(raw []uint32, n int) []LISPLocator {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]LISPLocator, 0, n)
+	for i := 0; i < n && i < len(raw); i++ {
+		v := raw[i]
+		out = append(out, LISPLocator{
+			Priority:  uint8(v),
+			Weight:    uint8(v >> 8),
+			MPriority: uint8(v >> 16),
+			MWeight:   uint8(v >> 24),
+			Local:     v&1 != 0,
+			Probe:     v&2 != 0,
+			Reachable: v&4 != 0,
+			Addr:      netaddr.Addr(v*2654435761 + 1),
+		})
+	}
+	return out
+}
+
+func TestQuickMapReplyRoundTrip(t *testing.T) {
+	f := func(nonce uint64, ttl uint32, addr uint32, bits uint8, locRaw []uint32, nLoc uint8) bool {
+		rec := LISPMapRecord{
+			TTL:           ttl,
+			EIDPrefix:     netaddr.PrefixFrom(netaddr.Addr(addr), int(bits%33)),
+			Action:        uint8(nonce % 8),
+			Authoritative: nonce%2 == 0,
+			MapVersion:    uint16(ttl % 4096),
+			Locators:      normLocators(locRaw, int(nLoc%5)),
+		}
+		in := &LISPMapReply{Nonce: nonce, Probe: ttl%2 == 0, Records: []LISPMapRecord{rec}}
+		data := Serialize(in)
+		p := NewPacket(data, LayerTypeLISPControl, Default)
+		l := p.Layer(LayerTypeLISPMapReply)
+		if l == nil {
+			return false
+		}
+		out := l.(*LISPMapReply)
+		if out.Nonce != in.Nonce || out.Probe != in.Probe || len(out.Records) != 1 {
+			return false
+		}
+		got := out.Records[0]
+		if got.TTL != rec.TTL || got.EIDPrefix != rec.EIDPrefix ||
+			got.Action != rec.Action || got.Authoritative != rec.Authoritative ||
+			got.MapVersion != rec.MapVersion {
+			return false
+		}
+		if len(got.Locators) != len(rec.Locators) {
+			return false
+		}
+		for i := range got.Locators {
+			if got.Locators[i] != rec.Locators[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMapRequestRoundTrip(t *testing.T) {
+	f := func(nonce uint64, src uint32, itrs []uint32, eids []uint32, flags uint8) bool {
+		in := &LISPMapRequest{
+			Authoritative:  flags&1 != 0,
+			MapDataPresent: flags&2 != 0,
+			Probe:          flags&4 != 0,
+			SMR:            flags&8 != 0,
+			Nonce:          nonce,
+			SourceEID:      netaddr.Addr(src),
+		}
+		for i := 0; i < len(itrs)%32+1; i++ {
+			v := uint32(i) + 1
+			if i < len(itrs) {
+				v = itrs[i] | 1
+			}
+			in.ITRRLOCs = append(in.ITRRLOCs, netaddr.Addr(v))
+		}
+		for i := 0; i < len(eids)%8+1; i++ {
+			v := uint32(i) * 7
+			if i < len(eids) {
+				v = eids[i]
+			}
+			in.EIDPrefixes = append(in.EIDPrefixes, netaddr.PrefixFrom(netaddr.Addr(v), int(v%33)))
+		}
+		data := Serialize(in)
+		p := NewPacket(data, LayerTypeLISPControl, Default)
+		l := p.Layer(LayerTypeLISPMapRequest)
+		if l == nil {
+			return false
+		}
+		out := l.(*LISPMapRequest)
+		return out.Nonce == in.Nonce &&
+			out.Authoritative == in.Authoritative &&
+			out.MapDataPresent == in.MapDataPresent &&
+			out.Probe == in.Probe && out.SMR == in.SMR &&
+			out.SourceEID == in.SourceEID &&
+			reflect.DeepEqual(out.ITRRLOCs, in.ITRRLOCs) &&
+			reflect.DeepEqual(out.EIDPrefixes, in.EIDPrefixes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPCECPRoundTrip(t *testing.T) {
+	f := func(nonce uint64, pce uint32, typ uint8, flows []uint32, prefixes []uint32) bool {
+		in := &PCECP{
+			Version: PCECPVersion,
+			Type:    PCECPType(typ%6 + 1),
+			Nonce:   nonce,
+			PCEAddr: netaddr.Addr(pce),
+		}
+		if in.Type == PCECPEncapDNSReply {
+			in.Type = PCECPMappingPush // the DNS-payload variant is covered elsewhere
+		}
+		for i := 0; i < len(flows)%6; i++ {
+			v := flows[i]
+			in.Flows = append(in.Flows, PCEFlowMapping{
+				TTL:     v,
+				SrcEID:  netaddr.Addr(v + 1),
+				DstEID:  netaddr.Addr(v + 2),
+				SrcRLOC: netaddr.Addr(v + 3),
+				DstRLOC: netaddr.Addr(v + 4),
+			})
+		}
+		for i := 0; i < len(prefixes)%4; i++ {
+			v := prefixes[i]
+			in.Prefixes = append(in.Prefixes, PCEPrefixMapping{
+				Prefix:   netaddr.PrefixFrom(netaddr.Addr(v), int(v%33)),
+				TTL:      v,
+				Locators: normLocators([]uint32{v, v ^ 0xffffffff}, int(v%3)),
+			})
+		}
+		data := Serialize(in)
+		p := NewPacket(data, LayerTypePCECP, Default)
+		l := p.Layer(LayerTypePCECP)
+		if l == nil {
+			return false
+		}
+		out := l.(*PCECP)
+		if out.Type != in.Type || out.Nonce != in.Nonce || out.PCEAddr != in.PCEAddr {
+			return false
+		}
+		if !reflect.DeepEqual(out.Flows, in.Flows) {
+			return false
+		}
+		if len(out.Prefixes) != len(in.Prefixes) {
+			return false
+		}
+		for i := range in.Prefixes {
+			if out.Prefixes[i].Prefix != in.Prefixes[i].Prefix ||
+				out.Prefixes[i].TTL != in.Prefixes[i].TTL ||
+				!reflect.DeepEqual(out.Prefixes[i].Locators, in.Prefixes[i].Locators) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDNSRoundTrip(t *testing.T) {
+	f := func(id uint16, ttl uint32, a uint32, labels []byte) bool {
+		// Build a legal name from the fuzz input.
+		name := "h"
+		for i, b := range labels {
+			if i >= 3 {
+				break
+			}
+			name += string(rune('a'+int(b%26))) + "."
+		}
+		name += "example"
+		in := &DNS{
+			ID: id, QR: true, AA: ttl%2 == 0, RD: ttl%3 == 0, RA: ttl%5 == 0,
+			RCode:     DNSResponseCode(ttl % 6 % 4),
+			Questions: []DNSQuestion{{Name: name, Type: DNSTypeA, Class: DNSClassIN}},
+			Answers: []DNSResourceRecord{{
+				Name: name, Type: DNSTypeA, Class: DNSClassIN, TTL: ttl, IP: netaddr.Addr(a),
+			}},
+		}
+		out := &DNS{}
+		if err := out.DecodeFromBytes(Serialize(in)); err != nil {
+			return false
+		}
+		return out.ID == in.ID && out.QR && out.AA == in.AA &&
+			out.RD == in.RD && out.RA == in.RA && out.RCode == in.RCode &&
+			out.Questions[0].Name == name &&
+			out.Answers[0].IP == netaddr.Addr(a) && out.Answers[0].TTL == ttl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTCPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win uint16) bool {
+		in := &TCP{
+			SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack,
+			FIN: flags&1 != 0, SYN: flags&2 != 0, RST: flags&4 != 0,
+			PSH: flags&8 != 0, ACK: flags&16 != 0, URG: flags&32 != 0,
+			Window: win,
+		}
+		data := Serialize(in)
+		p := NewPacket(data, LayerTypeTCP, Default)
+		l := p.Layer(LayerTypeTCP)
+		if l == nil {
+			return false
+		}
+		out := l.(*TCP)
+		return out.SrcPort == sp && out.DstPort == dp && out.Seq == seq &&
+			out.Ack == ack && out.Window == win &&
+			out.FIN == in.FIN && out.SYN == in.SYN && out.RST == in.RST &&
+			out.PSH == in.PSH && out.ACK == in.ACK && out.URG == in.URG
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package packet
+
+import (
+	"fmt"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// TCPHeaderLen is the length of an option-less TCP header.
+const TCPHeaderLen = 20
+
+// TCP is the Transmission Control Protocol header. The reproduction models
+// connection establishment (SYN / SYN-ACK / ACK with RFC 6298 SYN
+// retransmission) and data segments; it does not implement full congestion
+// control, which none of the paper's claims depend on.
+type TCP struct {
+	BaseLayer
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	FIN, SYN, RST    bool
+	PSH, ACK, URG    bool
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+
+	netSrc, netDst netaddr.Addr
+	netSet         bool
+}
+
+// LayerType returns LayerTypeTCP.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// TransportFlow returns the src->dst port flow.
+func (t *TCP) TransportFlow() Flow {
+	return NewFlow(NewTCPPortEndpoint(t.SrcPort), NewTCPPortEndpoint(t.DstPort))
+}
+
+// SetNetworkLayerForChecksum records the enclosing IPv4 header for
+// pseudo-header checksum computation.
+func (t *TCP) SetNetworkLayerForChecksum(ip *IPv4) {
+	t.netSrc, t.netDst, t.netSet = ip.SrcIP, ip.DstIP, true
+}
+
+func decodeTCP(data []byte, p PacketBuilder) error {
+	if len(data) < TCPHeaderLen {
+		return fmt.Errorf("TCP: %d bytes is too short for a header", len(data))
+	}
+	t := &TCP{
+		SrcPort:    uint16(data[0])<<8 | uint16(data[1]),
+		DstPort:    uint16(data[2])<<8 | uint16(data[3]),
+		Seq:        uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7]),
+		Ack:        uint32(data[8])<<24 | uint32(data[9])<<16 | uint32(data[10])<<8 | uint32(data[11]),
+		DataOffset: data[12] >> 4,
+		Window:     uint16(data[14])<<8 | uint16(data[15]),
+		Checksum:   uint16(data[16])<<8 | uint16(data[17]),
+		Urgent:     uint16(data[18])<<8 | uint16(data[19]),
+	}
+	flags := data[13]
+	t.FIN = flags&0x01 != 0
+	t.SYN = flags&0x02 != 0
+	t.RST = flags&0x04 != 0
+	t.PSH = flags&0x08 != 0
+	t.ACK = flags&0x10 != 0
+	t.URG = flags&0x20 != 0
+	hl := int(t.DataOffset) * 4
+	if hl < TCPHeaderLen || hl > len(data) {
+		return fmt.Errorf("TCP: bad data offset %d (segment %d)", hl, len(data))
+	}
+	if hl > TCPHeaderLen {
+		t.Options = data[TCPHeaderLen:hl]
+	}
+	t.Contents = data[:hl]
+	t.Payload = data[hl:]
+	p.AddLayer(t)
+	p.SetTransportLayer(t)
+	return p.NextDecoder(LayerTypePayload)
+}
+
+// SerializeTo implements SerializableLayer.
+func (t *TCP) SerializeTo(b SerializeBuffer, opts SerializeOptions) error {
+	if len(t.Options)%4 != 0 {
+		return fmt.Errorf("TCP: options length %d is not a multiple of 4", len(t.Options))
+	}
+	hl := TCPHeaderLen + len(t.Options)
+	payloadLen := len(b.Bytes())
+	bytes, err := b.PrependBytes(hl)
+	if err != nil {
+		return err
+	}
+	if opts.FixLengths {
+		t.DataOffset = uint8(hl / 4)
+	}
+	bytes[0], bytes[1] = byte(t.SrcPort>>8), byte(t.SrcPort)
+	bytes[2], bytes[3] = byte(t.DstPort>>8), byte(t.DstPort)
+	bytes[4], bytes[5], bytes[6], bytes[7] = byte(t.Seq>>24), byte(t.Seq>>16), byte(t.Seq>>8), byte(t.Seq)
+	bytes[8], bytes[9], bytes[10], bytes[11] = byte(t.Ack>>24), byte(t.Ack>>16), byte(t.Ack>>8), byte(t.Ack)
+	bytes[12] = t.DataOffset << 4
+	var flags byte
+	if t.FIN {
+		flags |= 0x01
+	}
+	if t.SYN {
+		flags |= 0x02
+	}
+	if t.RST {
+		flags |= 0x04
+	}
+	if t.PSH {
+		flags |= 0x08
+	}
+	if t.ACK {
+		flags |= 0x10
+	}
+	if t.URG {
+		flags |= 0x20
+	}
+	bytes[13] = flags
+	bytes[14], bytes[15] = byte(t.Window>>8), byte(t.Window)
+	bytes[16], bytes[17] = 0, 0
+	bytes[18], bytes[19] = byte(t.Urgent>>8), byte(t.Urgent)
+	copy(bytes[TCPHeaderLen:], t.Options)
+	if opts.ComputeChecksums && t.netSet {
+		segment := b.Bytes()[:hl+payloadLen]
+		sum := pseudoHeaderChecksum(t.netSrc, t.netDst, IPProtocolTCP, len(segment))
+		t.Checksum = finishChecksum(sumBytes(sum, segment))
+	}
+	bytes[16], bytes[17] = byte(t.Checksum>>8), byte(t.Checksum)
+	return nil
+}

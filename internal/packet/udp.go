@@ -1,0 +1,105 @@
+package packet
+
+import (
+	"fmt"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// UDPHeaderLen is the fixed UDP header size.
+const UDPHeaderLen = 8
+
+// UDP is the User Datagram Protocol header.
+type UDP struct {
+	BaseLayer
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+
+	// netForChecksum, when set, provides the pseudo-header for checksum
+	// computation during serialization.
+	netSrc, netDst netaddr.Addr
+	netSet         bool
+}
+
+// LayerType returns LayerTypeUDP.
+func (*UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// TransportFlow returns the src->dst port flow.
+func (u *UDP) TransportFlow() Flow {
+	return NewFlow(NewUDPPortEndpoint(u.SrcPort), NewUDPPortEndpoint(u.DstPort))
+}
+
+// SetNetworkLayerForChecksum records the enclosing IPv4 header so
+// SerializeTo can compute the pseudo-header checksum, mirroring gopacket.
+func (u *UDP) SetNetworkLayerForChecksum(ip *IPv4) {
+	u.netSrc, u.netDst, u.netSet = ip.SrcIP, ip.DstIP, true
+}
+
+func decodeUDP(data []byte, p PacketBuilder) error {
+	if len(data) < UDPHeaderLen {
+		return fmt.Errorf("UDP: %d bytes is too short for a header", len(data))
+	}
+	u := &UDP{
+		SrcPort:  uint16(data[0])<<8 | uint16(data[1]),
+		DstPort:  uint16(data[2])<<8 | uint16(data[3]),
+		Length:   uint16(data[4])<<8 | uint16(data[5]),
+		Checksum: uint16(data[6])<<8 | uint16(data[7]),
+	}
+	if int(u.Length) < UDPHeaderLen || int(u.Length) > len(data) {
+		return fmt.Errorf("UDP: bad length %d (datagram %d)", u.Length, len(data))
+	}
+	u.Contents = data[:UDPHeaderLen]
+	u.Payload = data[UDPHeaderLen:u.Length]
+	p.AddLayer(u)
+	p.SetTransportLayer(u)
+	return p.NextDecoder(udpPortLayerType(u.SrcPort, u.DstPort))
+}
+
+// SerializeTo implements SerializableLayer.
+func (u *UDP) SerializeTo(b SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := len(b.Bytes())
+	bytes, err := b.PrependBytes(UDPHeaderLen)
+	if err != nil {
+		return err
+	}
+	if opts.FixLengths {
+		u.Length = uint16(UDPHeaderLen + payloadLen)
+	}
+	bytes[0], bytes[1] = byte(u.SrcPort>>8), byte(u.SrcPort)
+	bytes[2], bytes[3] = byte(u.DstPort>>8), byte(u.DstPort)
+	bytes[4], bytes[5] = byte(u.Length>>8), byte(u.Length)
+	bytes[6], bytes[7] = 0, 0
+	if opts.ComputeChecksums {
+		if !u.netSet {
+			// A zero UDP checksum is legal in IPv4 ("not computed"); layers
+			// serialized without a network layer for checksum emit 0.
+			u.Checksum = 0
+		} else {
+			datagram := b.Bytes()[:UDPHeaderLen+payloadLen]
+			sum := pseudoHeaderChecksum(u.netSrc, u.netDst, IPProtocolUDP, len(datagram))
+			u.Checksum = finishChecksum(sumBytes(sum, datagram))
+			if u.Checksum == 0 {
+				u.Checksum = 0xffff // 0 is reserved for "no checksum"
+			}
+		}
+	}
+	bytes[6], bytes[7] = byte(u.Checksum>>8), byte(u.Checksum)
+	return nil
+}
+
+// VerifyUDPChecksum checks the checksum of the UDP datagram in data
+// against the given pseudo-header addresses. A zero stored checksum
+// verifies trivially per RFC 768.
+func VerifyUDPChecksum(src, dst netaddr.Addr, datagram []byte) bool {
+	if len(datagram) < UDPHeaderLen {
+		return false
+	}
+	stored := uint16(datagram[6])<<8 | uint16(datagram[7])
+	if stored == 0 {
+		return true
+	}
+	sum := pseudoHeaderChecksum(src, dst, IPProtocolUDP, len(datagram))
+	return finishChecksum(sumBytes(sum, datagram)) == 0
+}

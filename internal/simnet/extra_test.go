@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+)
+
+func TestSendViaBypassesRouting(t *testing.T) {
+	s := New(1)
+	// One node with two links; routing prefers link A, SendVia forces B.
+	n := s.NewNode("n")
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	la := Connect(n, a, LinkConfig{Delay: time.Millisecond})
+	lb := Connect(n, b, LinkConfig{Delay: time.Millisecond})
+	la.A().SetAddr(netaddr.MustParseAddr("10.0.0.1"))
+	la.B().SetAddr(netaddr.MustParseAddr("10.0.0.2"))
+	lb.A().SetAddr(netaddr.MustParseAddr("10.0.1.1"))
+	lb.B().SetAddr(netaddr.MustParseAddr("10.0.1.2"))
+	n.SetDefaultRoute(la.A())
+	got := ""
+	b.SetLocalHandler(func(d *Delivery) bool { got = "b"; return true })
+	a.SetLocalHandler(func(d *Delivery) bool { got = "a"; return true })
+	// Destination routes via A, but SendVia pins the B link. The B side
+	// is not the packet's destination, so B forwards (and fails, no
+	// route) unless it owns the address; send to B's own address.
+	data := EncodeUDP(netaddr.MustParseAddr("10.0.1.1"), netaddr.MustParseAddr("10.0.1.2"), 1, 2)
+	n.SendVia(lb.A(), data)
+	s.Run()
+	if got != "b" && b.Stats.DeliveredLocal != 1 {
+		t.Fatalf("SendVia did not use link B: %q %+v", got, b.Stats)
+	}
+}
+
+func TestSendViaForeignIfacePanics(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	l := Connect(a, b, LinkConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SendVia with another node's iface must panic")
+		}
+	}()
+	a.SendVia(l.B(), []byte{1})
+}
+
+func TestIfaceByAddr(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	l := Connect(a, b, LinkConfig{})
+	addr := netaddr.MustParseAddr("10.0.0.1")
+	l.A().SetAddr(addr)
+	a.AddAddr(netaddr.MustParseAddr("192.0.2.1")) // loopback-style
+	if a.IfaceByAddr(addr) != l.A() {
+		t.Fatal("IfaceByAddr missed the link address")
+	}
+	if a.IfaceByAddr(netaddr.MustParseAddr("192.0.2.1")) != nil {
+		t.Fatal("loopback address has no iface")
+	}
+	if a.IfaceByAddr(netaddr.MustParseAddr("9.9.9.9")) != nil {
+		t.Fatal("unknown address has no iface")
+	}
+}
+
+func TestQueueDepthAndConfig(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	l := Connect(a, b, LinkConfig{Delay: time.Millisecond, RateBps: 8000, QueueBytes: 10000})
+	l.A().SetAddr(netaddr.MustParseAddr("10.0.0.1"))
+	l.B().SetAddr(netaddr.MustParseAddr("10.0.0.2"))
+	a.SetDefaultRoute(l.A())
+	if l.A().QueueDepth() != 0 {
+		t.Fatal("fresh link must have empty queue")
+	}
+	// Two 100-byte packets at 1000 B/s: after sending, one is serializing
+	// and one queued.
+	payload := make([]byte, 72)
+	a.SendUDP(netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("10.0.0.2"), 1, 2, packet.Payload(payload))
+	a.SendUDP(netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("10.0.0.2"), 1, 2, packet.Payload(payload))
+	if d := l.A().QueueDepth(); d < 150 {
+		t.Fatalf("queue depth = %d, want ~200 bytes backlog", d)
+	}
+	if cfg := l.A().Config(); cfg.RateBps != 8000 || cfg.QueueBytes != 10000 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if l.A().Name() != "a:b" || l.B().Name() != "b:a" {
+		t.Fatalf("iface names: %q %q", l.A().Name(), l.B().Name())
+	}
+	if l.A().Peer() != l.B() || l.A().Node() != a {
+		t.Fatal("peer/node accessors broken")
+	}
+	s.Run()
+}
+
+func TestConnectAsym(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	l := ConnectAsym(a, b,
+		LinkConfig{Delay: 5 * time.Millisecond},
+		LinkConfig{Delay: 50 * time.Millisecond})
+	l.A().SetAddr(netaddr.MustParseAddr("10.0.0.1"))
+	l.B().SetAddr(netaddr.MustParseAddr("10.0.0.2"))
+	a.SetDefaultRoute(l.A())
+	b.SetDefaultRoute(l.B())
+	var fwdAt, revAt Time
+	b.ListenUDP(7, func(d *Delivery, u *packet.UDP) {
+		fwdAt = s.Now()
+		b.SendUDP(netaddr.MustParseAddr("10.0.0.2"), netaddr.MustParseAddr("10.0.0.1"), 7, 8)
+	})
+	a.ListenUDP(8, func(d *Delivery, u *packet.UDP) { revAt = s.Now() })
+	a.SendUDP(netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("10.0.0.2"), 1, 7)
+	s.Run()
+	if fwdAt != 5*time.Millisecond {
+		t.Fatalf("forward at %v", fwdAt)
+	}
+	if revAt != 55*time.Millisecond {
+		t.Fatalf("reverse at %v", revAt)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("router")
+	if n.Sim() != s || n.Name() != "router" || n.String() != "router" {
+		t.Fatal("basic accessors broken")
+	}
+	if s.Node("router") != n || s.Node("ghost") != nil {
+		t.Fatal("registry lookup broken")
+	}
+	if len(s.Nodes()) != 1 {
+		t.Fatal("Nodes() broken")
+	}
+	a := netaddr.MustParseAddr("10.0.0.1")
+	n.AddAddr(a)
+	if got := n.Addrs(); len(got) != 1 || got[0] != a {
+		t.Fatalf("Addrs = %v", got)
+	}
+	if n.PrimaryAddr() != a {
+		t.Fatal("PrimaryAddr broken")
+	}
+	empty := s.NewNode("empty")
+	if empty.PrimaryAddr() != 0 {
+		t.Fatal("empty node must have zero primary addr")
+	}
+	if n.Routes() == nil {
+		t.Fatal("Routes accessor broken")
+	}
+}
+
+func TestAddRouteValidation(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	l := Connect(a, b, LinkConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("route via foreign iface must panic")
+		}
+	}()
+	a.AddRoute(netaddr.MustParsePrefix("10.0.0.0/8"), l.B())
+}
+
+func TestSendMalformed(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("n")
+	if err := n.Send([]byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed send must error")
+	}
+	if n.Stats.Malformed != 1 {
+		t.Fatalf("malformed = %d", n.Stats.Malformed)
+	}
+}
+
+func TestMulticastSendWithNoMembers(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("n")
+	n.AddAddr(netaddr.MustParseAddr("10.0.0.1"))
+	// No members: nothing to send, no error (sender-only groups are
+	// silent).
+	err := n.SendUDP(netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("239.0.0.1"),
+		4344, 4344, packet.Payload("lonely"))
+	if err != nil {
+		t.Fatalf("empty group send: %v", err)
+	}
+	s.Run()
+}

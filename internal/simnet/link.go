@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// LinkConfig describes one direction of a point-to-point link.
+type LinkConfig struct {
+	// Delay is the one-way propagation delay.
+	Delay Time
+	// RateBps is the transmission rate in bits per second; 0 means
+	// infinite (no serialization delay, no queueing).
+	RateBps int64
+	// QueueBytes bounds the transmit queue; packets arriving when the
+	// backlog exceeds it are tail-dropped. 0 means unbounded.
+	QueueBytes int
+	// Loss is the independent per-packet loss probability in [0,1).
+	Loss float64
+}
+
+// LinkCounters accumulates per-direction statistics.
+type LinkCounters struct {
+	// TxPackets and TxBytes count traffic put on the wire.
+	TxPackets, TxBytes uint64
+	// QueueDrops counts tail drops at the transmit queue.
+	QueueDrops uint64
+	// RandomLoss counts packets lost to the Loss probability.
+	RandomLoss uint64
+}
+
+// Iface is a node's attachment to one end of a link.
+type Iface struct {
+	node *Node
+	dir  *linkDir // transmit direction: this iface -> peer
+	peer *Iface
+	addr netaddr.Addr
+	name string
+}
+
+// Node returns the owning node.
+func (i *Iface) Node() *Node { return i.node }
+
+// Peer returns the interface at the other end of the link.
+func (i *Iface) Peer() *Iface { return i.peer }
+
+// Addr returns the interface address (zero if unset).
+func (i *Iface) Addr() netaddr.Addr { return i.addr }
+
+// SetAddr assigns the interface address and registers it as a local
+// address of the owning node.
+func (i *Iface) SetAddr(a netaddr.Addr) *Iface {
+	i.addr = a
+	i.node.registerAddr(a, i)
+	return i
+}
+
+// Name returns "node:peer" for diagnostics.
+func (i *Iface) Name() string { return i.name }
+
+// Config returns the transmit-direction link configuration.
+func (i *Iface) Config() LinkConfig { return i.dir.cfg }
+
+// SetConfig replaces the transmit-direction configuration (used by
+// failure-injection tests to degrade a live link).
+func (i *Iface) SetConfig(cfg LinkConfig) { i.dir.cfg = cfg }
+
+// Counters returns a snapshot of the transmit-direction counters.
+func (i *Iface) Counters() LinkCounters { return i.dir.counters }
+
+// QueueDepth returns the current transmit backlog in bytes.
+func (i *Iface) QueueDepth() int {
+	now := i.node.sim.Now()
+	if i.dir.busyUntil <= now || i.dir.cfg.RateBps == 0 {
+		return 0
+	}
+	return int(float64(i.dir.busyUntil-now) / float64(time.Second) * float64(i.dir.cfg.RateBps) / 8)
+}
+
+// linkDir is one direction of a link.
+type linkDir struct {
+	cfg       LinkConfig
+	busyUntil Time
+	counters  LinkCounters
+}
+
+// Link is a full-duplex point-to-point link.
+type Link struct {
+	a, b *Iface
+}
+
+// A returns the interface on the first node passed to Connect.
+func (l *Link) A() *Iface { return l.a }
+
+// B returns the interface on the second node passed to Connect.
+func (l *Link) B() *Iface { return l.b }
+
+// SetLoss sets the loss probability on both directions.
+func (l *Link) SetLoss(p float64) {
+	l.a.dir.cfg.Loss = p
+	l.b.dir.cfg.Loss = p
+}
+
+// Connect creates a link between two nodes with the same configuration in
+// both directions, returning the new link.
+func Connect(a, b *Node, cfg LinkConfig) *Link {
+	return ConnectAsym(a, b, cfg, cfg)
+}
+
+// ConnectAsym creates a link with per-direction configurations: ab applies
+// to traffic from a to b.
+func ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
+	if a.sim != b.sim {
+		panic("simnet: Connect across simulations")
+	}
+	ia := &Iface{node: a, dir: &linkDir{cfg: ab}, name: a.name + ":" + b.name}
+	ib := &Iface{node: b, dir: &linkDir{cfg: ba}, name: b.name + ":" + a.name}
+	ia.peer, ib.peer = ib, ia
+	a.ifaces = append(a.ifaces, ia)
+	b.ifaces = append(b.ifaces, ib)
+	return &Link{a: ia, b: ib}
+}
+
+// transmit puts data on the wire toward the peer, modelling store-and-
+// forward transmission: serialization at the link rate behind the current
+// backlog, then propagation, then delivery to the peer node.
+func (i *Iface) transmit(data []byte) {
+	sim := i.node.sim
+	d := i.dir
+	now := sim.Now()
+
+	if d.cfg.QueueBytes > 0 && d.cfg.RateBps > 0 {
+		backlog := float64(d.busyUntil-now) / float64(time.Second) * float64(d.cfg.RateBps) / 8
+		if backlog > 0 && int(backlog)+len(data) > d.cfg.QueueBytes {
+			d.counters.QueueDrops++
+			sim.trace(TraceDrop, i.node.name, fmt.Sprintf("queue overflow on %s", i.name), data)
+			return
+		}
+	}
+	var txTime Time
+	if d.cfg.RateBps > 0 {
+		txTime = Time(float64(len(data)*8) / float64(d.cfg.RateBps) * float64(time.Second))
+	}
+	start := now
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	d.busyUntil = start + txTime
+	d.counters.TxPackets++
+	d.counters.TxBytes += uint64(len(data))
+
+	if d.cfg.Loss > 0 && sim.Rand().Float64() < d.cfg.Loss {
+		d.counters.RandomLoss++
+		sim.trace(TraceDrop, i.node.name, fmt.Sprintf("random loss on %s", i.name), data)
+		return
+	}
+	arrival := d.busyUntil + d.cfg.Delay
+	to := i.peer
+	sim.At(arrival, func() { to.node.receive(data, to) })
+}

@@ -1,0 +1,240 @@
+// Package simnet is a deterministic discrete-event network simulator. It
+// provides a virtual clock, an event queue, nodes with addressed
+// interfaces, point-to-point links with propagation delay, transmission
+// rate and drop-tail queues, static IPv4 longest-prefix-match forwarding,
+// and head-end-replicated multicast groups.
+//
+// Every packet that crosses a link is a real encoded byte slice produced
+// by internal/packet — protocol code cannot take shortcuts around the wire
+// format, which is what lets the same control-plane code run over real UDP
+// sockets in internal/wire.
+//
+// Determinism: all behaviour derives from the scenario seed via Rand();
+// events scheduled for the same instant fire in scheduling order. Two runs
+// of the same scenario produce byte-identical metric output.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// Time is virtual time since simulation start.
+type Time = time.Duration
+
+// Sim is a discrete-event simulation instance. Sim is not safe for
+// concurrent use: the event loop is strictly single-threaded, which is
+// what makes runs reproducible.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	nodes   map[string]*Node
+	order   []*Node // deterministic iteration order
+	groups  map[netaddr.Addr][]*Node
+	stopped bool
+
+	// Trace, when non-nil, receives a TraceEvent for every packet
+	// milestone. Used by examples/quickstart to print the steps 1-8
+	// timeline, and by tests to assert paths.
+	Trace func(ev TraceEvent)
+}
+
+// New creates a simulation seeded for deterministic randomness.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:    rand.New(rand.NewSource(seed)),
+		nodes:  make(map[string]*Node),
+		groups: make(map[netaddr.Addr][]*Node),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay d (clamped to >= 0).
+func (s *Sim) Schedule(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// At runs fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// Stop makes Run return after the current event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run processes events until the queue drains or Stop is called. It
+// returns the number of events processed.
+func (s *Sim) Run() int { return s.RunUntil(1<<62 - 1) }
+
+// RunFor processes events for a span of virtual time from now.
+func (s *Sim) RunFor(d Time) int { return s.RunUntil(s.now + d) }
+
+// RunUntil processes events with timestamps <= deadline, advancing the
+// clock to deadline if the queue drains earlier.
+func (s *Sim) RunUntil(deadline Time) int {
+	s.stopped = false
+	n := 0
+	for !s.stopped && len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		next.fn()
+		n++
+	}
+	if !s.stopped && s.now < deadline && deadline < 1<<62-1 {
+		s.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// NewNode creates and registers a named node. Names must be unique; the
+// topology builders guarantee this, so duplicates panic.
+func (s *Sim) NewNode(name string) *Node {
+	if _, dup := s.nodes[name]; dup {
+		panic(fmt.Sprintf("simnet: node %q created twice", name))
+	}
+	n := &Node{
+		sim:    s,
+		name:   name,
+		addrs:  make(map[netaddr.Addr]*Iface),
+		routes: netaddr.NewTrie[Route](),
+		udp:    make(map[uint16]UDPHandler),
+	}
+	s.nodes[name] = n
+	s.order = append(s.order, n)
+	return n
+}
+
+// Node returns the node registered under name, or nil.
+func (s *Sim) Node(name string) *Node { return s.nodes[name] }
+
+// Nodes returns all nodes in creation order.
+func (s *Sim) Nodes() []*Node { return s.order }
+
+// JoinGroup subscribes n to multicast group g (must be 224.0.0.0/4).
+// Delivery is head-end replication: the sending node unicasts one copy
+// toward each member, patching the outer destination — behaviourally
+// equivalent to intra-domain multicast for the ETR synchronization the
+// paper uses, without modelling multicast routing state.
+func (s *Sim) JoinGroup(g netaddr.Addr, n *Node) {
+	if !g.IsMulticast() {
+		panic(fmt.Sprintf("simnet: %v is not a multicast group", g))
+	}
+	for _, m := range s.groups[g] {
+		if m == n {
+			return
+		}
+	}
+	s.groups[g] = append(s.groups[g], n)
+}
+
+// LeaveGroup removes n from group g.
+func (s *Sim) LeaveGroup(g netaddr.Addr, n *Node) {
+	members := s.groups[g]
+	for i, m := range members {
+		if m == n {
+			s.groups[g] = append(members[:i:i], members[i+1:]...)
+			return
+		}
+	}
+}
+
+// GroupMembers returns the members of g in join order.
+func (s *Sim) GroupMembers(g netaddr.Addr) []*Node { return s.groups[g] }
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// TraceEventKind classifies trace events.
+type TraceEventKind int
+
+// Trace event kinds.
+const (
+	// TraceSend is a packet leaving a node.
+	TraceSend TraceEventKind = iota
+	// TraceDeliver is a packet arriving at its final node.
+	TraceDeliver
+	// TraceForward is a packet transiting a node.
+	TraceForward
+	// TraceDrop is a packet lost (queue overflow, TTL, no route, ...).
+	TraceDrop
+)
+
+// String names the kind.
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceDeliver:
+		return "deliver"
+	case TraceForward:
+		return "forward"
+	case TraceDrop:
+		return "drop"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent describes one packet milestone for the optional Trace hook.
+type TraceEvent struct {
+	At     Time
+	Kind   TraceEventKind
+	Node   string
+	Reason string
+	Data   []byte
+}
+
+func (s *Sim) trace(kind TraceEventKind, node, reason string, data []byte) {
+	if s.Trace != nil {
+		s.Trace(TraceEvent{At: s.now, Kind: kind, Node: node, Reason: reason, Data: data})
+	}
+}

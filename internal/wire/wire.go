@@ -1,0 +1,183 @@
+// Package wire abstracts datagram transport so the PCE control-plane
+// codecs run identically over the simulator and over real UDP sockets.
+// examples/udp-overlay uses the UDP transport to exchange genuine PCECP
+// messages between goroutines on localhost, demonstrating that nothing in
+// the control plane is simulator-bound.
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// Handler consumes a received datagram.
+type Handler func(src netaddr.Addr, payload []byte)
+
+// Transport delivers opaque datagrams between virtual addresses.
+type Transport interface {
+	// LocalAddr returns the endpoint's virtual address.
+	LocalAddr() netaddr.Addr
+	// Send transmits payload to the endpoint registered under dst.
+	Send(dst netaddr.Addr, payload []byte) error
+	// SetHandler installs the receive callback (replacing any previous).
+	SetHandler(h Handler)
+	// Close releases resources.
+	Close() error
+}
+
+// SimTransport adapts a simnet node + UDP port to the Transport interface.
+type SimTransport struct {
+	node *simnet.Node
+	addr netaddr.Addr
+	port uint16
+	mu   sync.Mutex
+	h    Handler
+}
+
+// NewSimTransport binds a transport to node:port at addr.
+func NewSimTransport(node *simnet.Node, addr netaddr.Addr, port uint16) *SimTransport {
+	t := &SimTransport{node: node, addr: addr, port: port}
+	node.ListenUDP(port, func(d *simnet.Delivery, udp *packet.UDP) {
+		t.mu.Lock()
+		h := t.h
+		t.mu.Unlock()
+		if h != nil {
+			h(d.IPv4().SrcIP, udp.LayerPayload())
+		}
+	})
+	return t
+}
+
+// LocalAddr implements Transport.
+func (t *SimTransport) LocalAddr() netaddr.Addr { return t.addr }
+
+// Send implements Transport.
+func (t *SimTransport) Send(dst netaddr.Addr, payload []byte) error {
+	return t.node.SendUDP(t.addr, dst, t.port, t.port, packet.Payload(payload))
+}
+
+// SetHandler implements Transport.
+func (t *SimTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	t.h = h
+	t.mu.Unlock()
+}
+
+// Close implements Transport (no-op; the simulation owns the node).
+func (t *SimTransport) Close() error { return nil }
+
+// Registry maps virtual addresses to real UDP endpoints so UDPTransports
+// can find each other on localhost.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[netaddr.Addr]*net.UDPAddr
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[netaddr.Addr]*net.UDPAddr)}
+}
+
+// Register binds a virtual address to a real endpoint.
+func (r *Registry) Register(a netaddr.Addr, real *net.UDPAddr) {
+	r.mu.Lock()
+	r.m[a] = real
+	r.mu.Unlock()
+}
+
+// Lookup resolves a virtual address.
+func (r *Registry) Lookup(a netaddr.Addr) (*net.UDPAddr, bool) {
+	r.mu.RLock()
+	real, ok := r.m[a]
+	r.mu.RUnlock()
+	return real, ok
+}
+
+// udpHeaderLen is the framing prefix: the 4-byte virtual source address.
+const udpHeaderLen = 4
+
+// UDPTransport carries datagrams over a real net.UDPConn on localhost.
+// Each datagram is framed with the sender's virtual address, since real
+// ephemeral ports don't map back to virtual addresses.
+type UDPTransport struct {
+	addr netaddr.Addr
+	reg  *Registry
+	conn *net.UDPConn
+	mu   sync.Mutex
+	h    Handler
+	done chan struct{}
+}
+
+// NewUDPTransport binds a real UDP socket on 127.0.0.1 and registers the
+// virtual address.
+func NewUDPTransport(addr netaddr.Addr, reg *Registry) (*UDPTransport, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("wire: bind: %w", err)
+	}
+	t := &UDPTransport{addr: addr, reg: reg, conn: conn, done: make(chan struct{})}
+	reg.Register(addr, conn.LocalAddr().(*net.UDPAddr))
+	go t.readLoop()
+	return t, nil
+}
+
+func (t *UDPTransport) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				return // socket error: stop reading
+			}
+		}
+		if n < udpHeaderLen {
+			continue
+		}
+		src := netaddr.AddrFromBytes(buf[:udpHeaderLen])
+		payload := make([]byte, n-udpHeaderLen)
+		copy(payload, buf[udpHeaderLen:n])
+		t.mu.Lock()
+		h := t.h
+		t.mu.Unlock()
+		if h != nil {
+			h(src, payload)
+		}
+	}
+}
+
+// LocalAddr implements Transport.
+func (t *UDPTransport) LocalAddr() netaddr.Addr { return t.addr }
+
+// Send implements Transport.
+func (t *UDPTransport) Send(dst netaddr.Addr, payload []byte) error {
+	real, ok := t.reg.Lookup(dst)
+	if !ok {
+		return fmt.Errorf("wire: no endpoint registered for %v", dst)
+	}
+	frame := make([]byte, 0, udpHeaderLen+len(payload))
+	frame = t.addr.AppendBytes(frame)
+	frame = append(frame, payload...)
+	_, err := t.conn.WriteToUDP(frame, real)
+	return err
+}
+
+// SetHandler implements Transport.
+func (t *UDPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	t.h = h
+	t.mu.Unlock()
+}
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	close(t.done)
+	return t.conn.Close()
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// Poisson yields exponentially distributed inter-arrival times for a
+// given mean rate (flows per second).
+type Poisson struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+// NewPoisson builds a Poisson arrival process.
+func NewPoisson(rng *rand.Rand, flowsPerSecond float64) *Poisson {
+	if flowsPerSecond <= 0 {
+		panic("workload: non-positive arrival rate")
+	}
+	return &Poisson{rng: rng, rate: flowsPerSecond}
+}
+
+// Next returns the time until the next arrival.
+func (p *Poisson) Next() simnet.Time {
+	return simnet.Time(p.rng.ExpFloat64() / p.rate * float64(time.Second))
+}
+
+// Zipf yields destination indexes with Zipfian popularity: index 0 is the
+// most popular. A skew of 0 degenerates to uniform.
+type Zipf struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+// NewZipf builds a sampler over [0, n) with the given skew (s > 1 in the
+// rand.Zipf parameterization; 1.2 is a webby default).
+func NewZipf(rng *rand.Rand, n int, skew float64) *Zipf {
+	if n <= 0 {
+		panic("workload: empty Zipf domain")
+	}
+	z := &Zipf{rng: rng, n: n}
+	if skew > 1 {
+		z.zipf = rand.NewZipf(rng, skew, 1, uint64(n-1))
+	}
+	return z
+}
+
+// Next samples an index.
+func (z *Zipf) Next() int {
+	if z.zipf == nil {
+		return z.rng.Intn(z.n)
+	}
+	return int(z.zipf.Uint64())
+}
+
+// Pareto yields heavy-tailed flow sizes (in segments) with shape alpha
+// and minimum xm.
+type Pareto struct {
+	rng   *rand.Rand
+	alpha float64
+	xm    float64
+	max   int
+}
+
+// NewPareto builds a sampler; max bounds the tail (0 = unbounded).
+func NewPareto(rng *rand.Rand, alpha, xm float64, max int) *Pareto {
+	if alpha <= 0 || xm <= 0 {
+		panic("workload: bad Pareto parameters")
+	}
+	return &Pareto{rng: rng, alpha: alpha, xm: xm, max: max}
+}
+
+// Next samples a size.
+func (p *Pareto) Next() int {
+	u := p.rng.Float64()
+	for u == 0 {
+		u = p.rng.Float64()
+	}
+	v := int(p.xm / math.Pow(u, 1/p.alpha))
+	if v < int(p.xm) {
+		v = int(p.xm)
+	}
+	if p.max > 0 && v > p.max {
+		v = p.max
+	}
+	return v
+}
