@@ -5,7 +5,9 @@ package pcelisp
 // harness, so `go test -bench=.` reproduces the paper-shaped results and
 // tracks the simulator's own performance. Each iteration runs the full
 // experiment at its test scale; ns/op therefore measures "cost to
-// regenerate the table".
+// regenerate the table". The ...Parallel variants run the same cells
+// through the worker-pool engine (GOMAXPROCS workers), so comparing a
+// pair shows the scenario engine's speedup on the current machine.
 
 import (
 	"testing"
@@ -13,9 +15,10 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/experiments"
 	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/runner"
 )
 
-func benchExperiment(b *testing.B, id string) {
+func benchExperiment(b *testing.B, id string, workers int) {
 	b.Helper()
 	e, ok := experiments.ByID(id)
 	if !ok {
@@ -23,7 +26,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(int64(i)+1, true)
+		tables := e.RunWorkers(int64(i)+1, true, workers)
 		if len(tables) == 0 || len(tables[0].Rows()) == 0 {
 			b.Fatalf("%s produced no results", id)
 		}
@@ -31,28 +34,49 @@ func benchExperiment(b *testing.B, id string) {
 }
 
 // BenchmarkE1DropsDuringResolution regenerates the claim (i) loss table.
-func BenchmarkE1DropsDuringResolution(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE1DropsDuringResolution(b *testing.B) { benchExperiment(b, "E1", runner.Serial) }
+
+// BenchmarkE1Parallel regenerates the same table through the worker pool.
+func BenchmarkE1Parallel(b *testing.B) { benchExperiment(b, "E1", runner.Auto) }
 
 // BenchmarkE2HandshakeLatency regenerates the setup-latency table.
-func BenchmarkE2HandshakeLatency(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE2HandshakeLatency(b *testing.B) { benchExperiment(b, "E2", runner.Serial) }
+
+// BenchmarkE2Parallel regenerates the same table through the worker pool.
+func BenchmarkE2Parallel(b *testing.B) { benchExperiment(b, "E2", runner.Auto) }
 
 // BenchmarkE3MappingWithinDNS regenerates the (TDNS+Tmap)/TDNS table.
-func BenchmarkE3MappingWithinDNS(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE3MappingWithinDNS(b *testing.B) { benchExperiment(b, "E3", runner.Serial) }
+
+// BenchmarkE3Parallel regenerates the same table through the worker pool.
+func BenchmarkE3Parallel(b *testing.B) { benchExperiment(b, "E3", runner.Auto) }
 
 // BenchmarkE4TrafficEngineering regenerates the TE utilization table.
-func BenchmarkE4TrafficEngineering(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE4TrafficEngineering(b *testing.B) { benchExperiment(b, "E4", runner.Serial) }
 
 // BenchmarkE5ControlOverhead regenerates the overhead table.
-func BenchmarkE5ControlOverhead(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE5ControlOverhead(b *testing.B) { benchExperiment(b, "E5", runner.Serial) }
+
+// BenchmarkE5Parallel regenerates the same table through the worker pool.
+func BenchmarkE5Parallel(b *testing.B) { benchExperiment(b, "E5", runner.Auto) }
 
 // BenchmarkE6TwoWayResolution regenerates the two-way completion table.
-func BenchmarkE6TwoWayResolution(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE6TwoWayResolution(b *testing.B) { benchExperiment(b, "E6", runner.Serial) }
+
+// BenchmarkE6Parallel regenerates the same table through the worker pool.
+func BenchmarkE6Parallel(b *testing.B) { benchExperiment(b, "E6", runner.Auto) }
 
 // BenchmarkE7Scalability regenerates the scaling table.
-func BenchmarkE7Scalability(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE7Scalability(b *testing.B) { benchExperiment(b, "E7", runner.Serial) }
+
+// BenchmarkE7Parallel regenerates the same table through the worker pool.
+func BenchmarkE7Parallel(b *testing.B) { benchExperiment(b, "E7", runner.Auto) }
 
 // BenchmarkE8Ablations regenerates the robustness tables.
-func BenchmarkE8Ablations(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE8Ablations(b *testing.B) { benchExperiment(b, "E8", runner.Serial) }
+
+// BenchmarkE8Parallel regenerates the same tables through the worker pool.
+func BenchmarkE8Parallel(b *testing.B) { benchExperiment(b, "E8", runner.Auto) }
 
 // BenchmarkFlowSetupPCE measures one complete PCE flow setup (DNS +
 // push + handshake) on a fresh two-domain world — the end-to-end hot path.

@@ -1,28 +1,45 @@
 // Command experiments regenerates the reproduction's evaluation: every
-// table of DESIGN.md's experiment index (E1-E8), printed in paper style.
+// table of EXPERIMENTS.md's experiment index (E1-E8), printed in paper
+// style.
 //
 // Usage:
 //
-//	experiments            # run everything at full scale
-//	experiments -run E2    # one experiment
-//	experiments -quick     # reduced scale (the test-suite settings)
-//	experiments -seed 7    # change the world seed
-//	experiments -markdown  # emit GitHub-flavoured tables (EXPERIMENTS.md)
+//	experiments                # run everything at full scale
+//	experiments -run E2        # one experiment
+//	experiments -quick         # reduced scale (the test-suite settings)
+//	experiments -seed 7        # change the world seed
+//	experiments -seeds 1,2,3   # repeat the suite under several seeds
+//	experiments -parallel      # fan independent cells across all CPUs
+//	experiments -workers 4     # cap the parallel worker pool
+//	experiments -cps PCE-CP,ALT  # restrict to some control planes
+//	experiments -markdown      # emit GitHub-flavoured tables (EXPERIMENTS.md)
+//
+// -parallel distributes each experiment's independent cells (one
+// simulated world each) across GOMAXPROCS goroutines and merges results
+// in canonical order, so its output is byte-identical to the serial run
+// for the same seeds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/pcelisp/pcelisp/internal/experiments"
+	"github.com/pcelisp/pcelisp/internal/runner"
 )
 
 func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	seed := flag.Int64("seed", 1, "world seed")
+	seeds := flag.String("seeds", "", "comma-separated world seeds (overrides -seed)")
 	quick := flag.Bool("quick", false, "reduced scale")
+	parallel := flag.Bool("parallel", false, "fan each experiment's cells across all CPUs")
+	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+	cps := flag.String("cps", "", "comma-separated control planes to keep (default: all; see -list-cps)")
+	listCPs := flag.Bool("list-cps", false, "list control planes and exit")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -31,6 +48,12 @@ func main() {
 	if *list {
 		for _, e := range all {
 			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+	if *listCPs {
+		for _, cp := range experiments.AllCPs {
+			fmt.Println(cp)
 		}
 		return
 	}
@@ -49,14 +72,78 @@ func main() {
 		}
 	}
 
-	for _, e := range selected {
-		fmt.Printf("== %s: %s ==\n   %s\n\n", e.ID, e.Title, e.Claim)
-		for _, tbl := range e.Run(*seed, *quick) {
-			if *markdown {
-				fmt.Println(tbl.Markdown())
-			} else {
-				fmt.Println(tbl.String())
+	keep := parseCPs(*cps)
+	seedList := parseSeeds(*seeds, *seed)
+	poolSize := runner.Serial
+	if *parallel || *workers > 1 {
+		poolSize = *workers // 0 = runner.Auto = GOMAXPROCS
+	}
+
+	for _, s := range seedList {
+		if len(seedList) > 1 {
+			fmt.Printf("==== seed %d ====\n\n", s)
+		}
+		for _, e := range selected {
+			fmt.Printf("== %s: %s ==\n   %s\n\n", e.ID, e.Title, e.Claim)
+			for _, tbl := range e.RunCPs(s, *quick, poolSize, keep) {
+				if *markdown {
+					fmt.Println(tbl.Markdown())
+				} else {
+					fmt.Println(tbl.String())
+				}
 			}
 		}
 	}
+}
+
+// parseCPs resolves a comma-separated control-plane filter against the
+// canonical names (case-insensitive).
+func parseCPs(s string) []experiments.CP {
+	if s == "" {
+		return nil
+	}
+	var keep []experiments.CP
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, cp := range experiments.AllCPs {
+			if strings.EqualFold(string(cp), name) {
+				keep = append(keep, cp)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown control plane %q (use -list-cps)\n", name)
+			os.Exit(2)
+		}
+	}
+	return keep
+}
+
+// parseSeeds returns the -seeds list, or the single -seed fallback.
+func parseSeeds(s string, fallback int64) []int64 {
+	if s == "" {
+		return []int64{fallback}
+	}
+	var seeds []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return []int64{fallback}
+	}
+	return seeds
 }

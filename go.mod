@@ -1,0 +1,3 @@
+module github.com/pcelisp/pcelisp
+
+go 1.24

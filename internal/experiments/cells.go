@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/runner"
+)
+
+// Cell is one independent unit of an experiment. Each cell builds and
+// owns its own simulation world, which is what makes the parallel engine
+// safe: cells share nothing but the seed arithmetic that created them.
+type Cell struct {
+	// Label identifies the cell within its experiment — usually the
+	// control plane under test, plus a variant or trial suffix.
+	Label string
+	// CP is the control plane the cell exercises. Empty means the cell is
+	// not CP-specific (like E4's single TE world) and always runs, even
+	// under a control-plane filter.
+	CP CP
+	// Run executes the cell and returns its partial result for the
+	// experiment's merge step.
+	Run func() interface{}
+}
+
+// MergeFunc folds per-cell results — ordered exactly as the cells were,
+// with nil where a cell was filtered out — into rendered tables. Merging
+// in canonical cell order is what keeps parallel output byte-identical to
+// the serial path.
+type MergeFunc func(results []interface{}) []*metrics.Table
+
+// runCells executes cells across `workers` goroutines (runner.Serial for
+// the classic in-order path) and returns their values in canonical order.
+func runCells(experiment string, cells []Cell, workers int) []interface{} {
+	rcs := make([]runner.Cell, len(cells))
+	for i, c := range cells {
+		rcs[i] = runner.Cell{Experiment: experiment, Label: c.Label, Run: c.Run}
+	}
+	return runner.Values(runner.Run(rcs, workers))
+}
+
+// tableMerge lifts a single-table merge into a MergeFunc.
+func tableMerge(m func(results []interface{}) *metrics.Table) MergeFunc {
+	return func(results []interface{}) []*metrics.Table {
+		return []*metrics.Table{m(results)}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/runner"
 )
 
 // TestDeterministicWorlds is the reproduction's reproducibility guarantee:
@@ -34,6 +36,34 @@ func TestDeterministicTables(t *testing.T) {
 	b := E1DropsDuringResolution(7, 3, 5, 20*time.Millisecond).String()
 	if a != b {
 		t.Fatalf("E1 output diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestParallelMatchesSerial is the parallel engine's regression guarantee:
+// fanning an experiment's cells across a worker pool renders tables
+// byte-identical to the serial path for the same seed. E1 exercises the
+// per-CP decomposition, E5 the overhead comparison.
+func TestParallelMatchesSerial(t *testing.T) {
+	render := func(tables []*metrics.Table) string {
+		s := ""
+		for _, tbl := range tables {
+			s += tbl.String()
+		}
+		return s
+	}
+	for _, id := range []string{"E1", "E5"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		serial := render(e.Run(11, true))
+		for _, workers := range []int{runner.Auto, 3, 8} {
+			parallel := render(e.RunWorkers(11, true, workers))
+			if parallel != serial {
+				t.Errorf("%s: %d-worker output diverged from serial:\n%s\nvs\n%s",
+					id, workers, parallel, serial)
+			}
+		}
 	}
 }
 

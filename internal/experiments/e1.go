@@ -6,19 +6,28 @@ import (
 	"github.com/pcelisp/pcelisp/internal/metrics"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runner"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
-// E1DropsDuringResolution quantifies claim (i): packets are neither
-// dropped nor queued during mapping resolution under the PCE control
-// plane, while every pull-based control plane loses (or delays) the head
-// of each cold flow.
+// E1 quantifies claim (i): packets are neither dropped nor queued during
+// mapping resolution under the PCE control plane, while every pull-based
+// control plane loses (or delays) the head of each cold flow.
 //
 // Workload: from one source domain, one cold flow per destination domain,
 // staggered 500ms apart; after the DNS answer arrives the host emits
 // packetsPerFlow data packets at the given spacing — what an application
 // sends right after resolution. We count arrivals at the destinations.
-func E1DropsDuringResolution(seed int64, domains, packetsPerFlow int, spacing time.Duration) *metrics.Table {
+
+// e1Result is one control plane's loss count.
+type e1Result struct {
+	cp                     CP
+	flows, sent, delivered int
+	drops                  uint64
+}
+
+// e1Experiment decomposes E1 into one cell per control plane.
+func e1Experiment(seed int64, domains, packetsPerFlow int, spacing time.Duration) ([]Cell, MergeFunc) {
 	if domains < 2 {
 		domains = 6
 	}
@@ -28,47 +37,72 @@ func E1DropsDuringResolution(seed int64, domains, packetsPerFlow int, spacing ti
 	if spacing == 0 {
 		spacing = 20 * time.Millisecond
 	}
-	tbl := metrics.NewTable(
-		"E1: packet loss during mapping resolution (cold flows, drop-policy ITRs)",
-		"control plane", "flows", "data pkts", "delivered", "lost", "loss %", "ITR drops")
-
-	for _, cp := range AllCPs {
-		w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed})
-		w.Settle()
-		delivered := 0
-		for dd := 1; dd < domains; dd++ {
-			port := uint16(9000 + dd)
-			w.In.Domains[dd].Hosts[0].Node.ListenUDP(port, func(*simnet.Delivery, *packet.UDP) {
-				delivered++
-			})
-		}
-		for dd := 1; dd < domains; dd++ {
-			dd := dd
-			w.Sim.Schedule(time.Duration(dd-1)*500*time.Millisecond, func() {
-				src := w.In.Domains[0].Hosts[0]
-				dst := w.In.Domains[dd].Hosts[0]
-				src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
-					if !ok {
-						return
-					}
-					for i := 0; i < packetsPerFlow; i++ {
-						i := i
-						w.Sim.Schedule(time.Duration(i)*spacing, func() {
-							src.Node.SendUDP(src.Addr, addr, 40000, uint16(9000+dd),
-								packet.Payload("data"))
-						})
-					}
-				})
-			})
-		}
-		w.Sim.RunFor(time.Duration(domains) * time.Second)
-
-		flows := domains - 1
-		sent := flows * packetsPerFlow
-		lost := sent - delivered
-		tbl.AddRow(string(cp), flows, sent, delivered, lost,
-			100*float64(lost)/float64(sent), w.ITRDrops())
+	cells := make([]Cell, len(AllCPs))
+	for i, cp := range AllCPs {
+		cp := cp
+		cells[i] = Cell{Label: string(cp), CP: cp, Run: func() interface{} {
+			return e1RunCell(cp, seed, domains, packetsPerFlow, spacing)
+		}}
 	}
-	tbl.AddNote("packets sent %s apart starting at the DNS answer; loss under pull CPs is the resolution window", spacing)
-	return tbl
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E1: packet loss during mapping resolution (cold flows, drop-policy ITRs)",
+			"control plane", "flows", "data pkts", "delivered", "lost", "loss %", "ITR drops")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e1Result)
+			lost := c.sent - c.delivered
+			tbl.AddRow(string(c.cp), c.flows, c.sent, c.delivered, lost,
+				100*float64(lost)/float64(c.sent), c.drops)
+		}
+		tbl.AddNote("packets sent %s apart starting at the DNS answer; loss under pull CPs is the resolution window", spacing)
+		return tbl
+	})
+	return cells, merge
+}
+
+// e1RunCell runs one control plane's world: cold flows toward every
+// destination domain, counting arrivals.
+func e1RunCell(cp CP, seed int64, domains, packetsPerFlow int, spacing time.Duration) e1Result {
+	w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed})
+	w.Settle()
+	delivered := 0
+	for dd := 1; dd < domains; dd++ {
+		port := uint16(9000 + dd)
+		w.In.Domains[dd].Hosts[0].Node.ListenUDP(port, func(*simnet.Delivery, *packet.UDP) {
+			delivered++
+		})
+	}
+	for dd := 1; dd < domains; dd++ {
+		dd := dd
+		w.Sim.Schedule(time.Duration(dd-1)*500*time.Millisecond, func() {
+			src := w.In.Domains[0].Hosts[0]
+			dst := w.In.Domains[dd].Hosts[0]
+			src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+				if !ok {
+					return
+				}
+				for i := 0; i < packetsPerFlow; i++ {
+					i := i
+					w.Sim.Schedule(time.Duration(i)*spacing, func() {
+						src.Node.SendUDP(src.Addr, addr, 40000, uint16(9000+dd),
+							packet.Payload("data"))
+					})
+				}
+			})
+		})
+	}
+	w.Sim.RunFor(time.Duration(domains) * time.Second)
+
+	flows := domains - 1
+	return e1Result{cp: cp, flows: flows, sent: flows * packetsPerFlow,
+		delivered: delivered, drops: w.ITRDrops()}
+}
+
+// E1DropsDuringResolution runs E1 serially and returns its table.
+func E1DropsDuringResolution(seed int64, domains, packetsPerFlow int, spacing time.Duration) *metrics.Table {
+	cells, merge := e1Experiment(seed, domains, packetsPerFlow, spacing)
+	return merge(runCells("E1", cells, runner.Serial))[0]
 }

@@ -5,24 +5,33 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/runner"
 )
 
-// E2HandshakeLatency quantifies the paper's latency analysis (weakness W2
-// and claim ii): TCP connection setup time per control plane, against the
-// idealized reference TDNS + 2*OWD(S,D) + OWD(D,S).
+// E2 quantifies the paper's latency analysis (weakness W2 and claim ii):
+// TCP connection setup time per control plane, against the idealized
+// reference TDNS + 2*OWD(S,D) + OWD(D,S).
 //
 // Under drop-policy ITRs, a cold flow's SYN dies at the ITR and pays the
 // RFC 6298 1-second RTO — the hidden cost the paper highlights. Under
 // queue policy the SYN waits out Tmap. Under PCE-CP the mapping precedes
 // the SYN, so setup matches the reference.
-func E2HandshakeLatency(seed int64, domains int) *metrics.Table {
+
+// e2Result is one (control plane, miss policy) variant's setup latencies.
+type e2Result struct {
+	cp        CP
+	policy    lisp.MissPolicy
+	okFlows   int
+	setup     *metrics.Summary
+	handshake *metrics.Summary
+	rtx       int
+}
+
+// e2Experiment decomposes E2 into one cell per (CP, miss-policy) variant.
+func e2Experiment(seed int64, domains int) ([]Cell, MergeFunc) {
 	if domains < 2 {
 		domains = 6
 	}
-	tbl := metrics.NewTable(
-		"E2: TCP connection setup on cold flows (DNS start -> established)",
-		"control plane", "miss policy", "flows ok", "mean setup", "p95 setup", "mean handshake", "SYN rtx/flow")
-
 	type variant struct {
 		cp     CP
 		policy lisp.MissPolicy
@@ -37,33 +46,59 @@ func E2HandshakeLatency(seed int64, domains int) *metrics.Table {
 		{CPNERD, lisp.MissDrop},
 		{CPPCE, lisp.MissDrop},
 	}
-	for _, v := range variants {
-		w := BuildWorld(WorldConfig{CP: v.cp, Domains: domains, Seed: seed, MissPolicy: v.policy})
-		w.Settle()
-		setup := metrics.NewSummary("setup")
-		handshake := metrics.NewSummary("handshake")
-		rtx := 0
-		okFlows := 0
-		for dd := 1; dd < domains; dd++ {
-			dd := dd
-			w.Sim.Schedule(time.Duration(dd-1)*3*time.Second, func() {
-				w.StartFlow(0, 0, dd, 0, func(res FlowResult) {
-					if !res.OK {
-						return
-					}
-					okFlows++
-					setup.AddDuration(res.Setup)
-					handshake.AddDuration(res.Handshake)
-					rtx += res.Retransmits
-				})
-			})
-		}
-		w.Sim.RunFor(time.Duration(domains*3+30) * time.Second)
-		tbl.AddRow(string(v.cp), v.policy.String(), okFlows,
-			metrics.FormatMs(setup.Mean()), metrics.FormatMs(setup.P95()),
-			metrics.FormatMs(handshake.Mean()),
-			float64(rtx)/float64(max(okFlows, 1)))
+	cells := make([]Cell, len(variants))
+	for i, v := range variants {
+		v := v
+		cells[i] = Cell{Label: string(v.cp) + "/" + v.policy.String(), CP: v.cp, Run: func() interface{} {
+			return e2RunCell(v.cp, v.policy, seed, domains)
+		}}
 	}
-	tbl.AddNote("reference row 'ideal' is TDNS + 3 one-way delays; the paper's claim is that PCE-CP matches it")
-	return tbl
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E2: TCP connection setup on cold flows (DNS start -> established)",
+			"control plane", "miss policy", "flows ok", "mean setup", "p95 setup", "mean handshake", "SYN rtx/flow")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e2Result)
+			tbl.AddRow(string(c.cp), c.policy.String(), c.okFlows,
+				metrics.FormatMs(c.setup.Mean()), metrics.FormatMs(c.setup.P95()),
+				metrics.FormatMs(c.handshake.Mean()),
+				float64(c.rtx)/float64(max(c.okFlows, 1)))
+		}
+		tbl.AddNote("reference row 'ideal' is TDNS + 3 one-way delays; the paper's claim is that PCE-CP matches it")
+		return tbl
+	})
+	return cells, merge
+}
+
+// e2RunCell measures setup latency for one variant's world.
+func e2RunCell(cp CP, policy lisp.MissPolicy, seed int64, domains int) e2Result {
+	w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed, MissPolicy: policy})
+	w.Settle()
+	res := e2Result{cp: cp, policy: policy,
+		setup: metrics.NewSummary("setup"), handshake: metrics.NewSummary("handshake")}
+	for dd := 1; dd < domains; dd++ {
+		dd := dd
+		w.Sim.Schedule(time.Duration(dd-1)*3*time.Second, func() {
+			w.StartFlow(0, 0, dd, 0, func(fr FlowResult) {
+				if !fr.OK {
+					return
+				}
+				res.okFlows++
+				res.setup.AddDuration(fr.Setup)
+				res.handshake.AddDuration(fr.Handshake)
+				res.rtx += fr.Retransmits
+			})
+		})
+	}
+	w.Sim.RunFor(time.Duration(domains*3+30) * time.Second)
+	return res
+}
+
+// E2HandshakeLatency runs E2 serially and returns its table.
+func E2HandshakeLatency(seed int64, domains int) *metrics.Table {
+	cells, merge := e2Experiment(seed, domains)
+	return merge(runCells("E2", cells, runner.Serial))[0]
 }

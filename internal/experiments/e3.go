@@ -5,66 +5,103 @@ import (
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/runner"
 	"github.com/pcelisp/pcelisp/internal/workload"
 )
 
-// E3MappingWithinDNS quantifies claim (ii): (TDNS + Tmap) / TDNS ~= 1 for
-// the PCE control plane. For every flow we measure when the destination
-// mapping became usable at the source ITR relative to the flow's own DNS
-// resolution, and report the distribution of the ratio.
+// E3 quantifies claim (ii): (TDNS + Tmap) / TDNS ~= 1 for the PCE control
+// plane. For every flow we measure when the destination mapping became
+// usable at the source ITR relative to the flow's own DNS resolution, and
+// report the distribution of the ratio.
 //
 // Workload: flows arrive as a Poisson process from the source domain's
 // hosts toward Zipf-popular destinations, so the mix includes both cold
 // resolutions and DNS-cache hits, as in a live network.
-func E3MappingWithinDNS(seed int64, domains, flows int) (*metrics.Table, map[CP][]metrics.CDFPoint) {
+
+// e3Result is one control plane's ratio distribution.
+type e3Result struct {
+	cp     CP
+	ratios *metrics.Summary
+	atOne  int
+}
+
+// e3Experiment decomposes E3 into one cell per control plane.
+func e3Experiment(seed int64, domains, flows int) ([]Cell, MergeFunc) {
 	if domains < 2 {
 		domains = 6
 	}
 	if flows == 0 {
 		flows = 60
 	}
-	tbl := metrics.NewTable(
-		"E3: mapping readiness vs DNS time, ratio (TDNS+Tmap)/TDNS",
-		"control plane", "flows", "ratio p50", "ratio p95", "ratio max", "flows at 1.0 (%)")
-	cdfs := make(map[CP][]metrics.CDFPoint)
-
-	for _, cp := range []CP{CPALT, CPCONS, CPMSMR, CPNERD, CPPCE} {
-		w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed, HostsPerDomain: 2})
-		w.Settle()
-		rng := rand.New(rand.NewSource(seed + 17))
-		arrivals := workload.NewPoisson(rng, 4)
-		zipf := workload.NewZipf(rng, domains-1, 1.3)
-
-		ratios := metrics.NewSummary("ratio")
-		atOne := 0
-		done := 0
-		var at time.Duration
-		for i := 0; i < flows; i++ {
-			at += arrivals.Next()
-			srcH := i % len(w.In.Domains[0].Hosts)
-			dstD := 1 + zipf.Next()
-			w.Sim.Schedule(at, func() {
-				w.StartFlow(0, srcH, dstD, 0, func(res FlowResult) {
-					done++
-					if res.TDNS <= 0 || res.MappingReady < 0 {
-						return
-					}
-					r := res.Ratio()
-					ratios.Add(r)
-					if r <= 1.0001 {
-						atOne++
-					}
-				})
-			})
-		}
-		w.Sim.RunFor(at + 60*time.Second)
-		tbl.AddRow(string(cp), ratios.Count(),
-			ratios.Quantile(0.5), ratios.P95(), ratios.Max(),
-			100*float64(atOne)/float64(max(ratios.Count(), 1)))
-		cdfs[cp] = ratios.CDF()
+	cells := make([]Cell, len(comparisonCPs))
+	for i, cp := range comparisonCPs {
+		cp := cp
+		cells[i] = Cell{Label: string(cp), CP: cp, Run: func() interface{} {
+			return e3RunCell(cp, seed, domains, flows)
+		}}
 	}
-	tbl.AddNote("ratio 1.0 means the mapping was ready no later than the DNS answer — the paper's target")
-	return tbl, cdfs
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E3: mapping readiness vs DNS time, ratio (TDNS+Tmap)/TDNS",
+			"control plane", "flows", "ratio p50", "ratio p95", "ratio max", "flows at 1.0 (%)")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e3Result)
+			tbl.AddRow(string(c.cp), c.ratios.Count(),
+				c.ratios.Quantile(0.5), c.ratios.P95(), c.ratios.Max(),
+				100*float64(c.atOne)/float64(max(c.ratios.Count(), 1)))
+		}
+		tbl.AddNote("ratio 1.0 means the mapping was ready no later than the DNS answer — the paper's target")
+		return tbl
+	})
+	return cells, merge
+}
+
+// e3RunCell runs the Poisson/Zipf flow mix against one control plane.
+func e3RunCell(cp CP, seed int64, domains, flows int) e3Result {
+	w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed, HostsPerDomain: 2})
+	w.Settle()
+	rng := rand.New(rand.NewSource(seed + 17))
+	arrivals := workload.NewPoisson(rng, 4)
+	zipf := workload.NewZipf(rng, domains-1, 1.3)
+
+	res := e3Result{cp: cp, ratios: metrics.NewSummary("ratio")}
+	var at time.Duration
+	for i := 0; i < flows; i++ {
+		at += arrivals.Next()
+		srcH := i % len(w.In.Domains[0].Hosts)
+		dstD := 1 + zipf.Next()
+		w.Sim.Schedule(at, func() {
+			w.StartFlow(0, srcH, dstD, 0, func(fr FlowResult) {
+				if fr.TDNS <= 0 || fr.MappingReady < 0 {
+					return
+				}
+				r := fr.Ratio()
+				res.ratios.Add(r)
+				if r <= 1.0001 {
+					res.atOne++
+				}
+			})
+		})
+	}
+	w.Sim.RunFor(at + 60*time.Second)
+	return res
+}
+
+// E3MappingWithinDNS runs E3 serially, returning the table and the
+// per-control-plane ratio CDFs.
+func E3MappingWithinDNS(seed int64, domains, flows int) (*metrics.Table, map[CP][]metrics.CDFPoint) {
+	cells, merge := e3Experiment(seed, domains, flows)
+	results := runCells("E3", cells, runner.Serial)
+	cdfs := make(map[CP][]metrics.CDFPoint)
+	for _, r := range results {
+		if c, ok := r.(e3Result); ok {
+			cdfs[c.cp] = c.ratios.CDF()
+		}
+	}
+	return merge(results)[0], cdfs
 }
 
 func max(a, b int) int {

@@ -7,15 +7,15 @@ import (
 	"github.com/pcelisp/pcelisp/internal/metrics"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runner"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 	"github.com/pcelisp/pcelisp/internal/te"
 	"github.com/pcelisp/pcelisp/internal/workload"
 )
 
-// E4TrafficEngineering quantifies claim (iii): the PCE control plane
-// engineers both directions of traffic by dynamically re-pushing
-// mappings, where symmetric LISP is stuck with whatever the first
-// resolution chose.
+// E4 quantifies claim (iii): the PCE control plane engineers both
+// directions of traffic by dynamically re-pushing mappings, where
+// symmetric LISP is stuck with whatever the first resolution chose.
 //
 // Setup: domain 0 is dual-homed with rate-limited providers. Each remote
 // domain runs one bidirectional elephant flow with a domain-0 host.
@@ -24,7 +24,27 @@ import (
 // balancing; the rebalancer re-pushes live mappings, the new source RLOCs
 // steer outbound packets onto provider 1 and tell the remote ETRs to send
 // the inbound direction there too. No flow endpoint notices anything.
-func E4TrafficEngineering(seed int64, remoteDomains int) *metrics.Table {
+//
+// E4's two phases share one evolving world, so it stays a single cell:
+// its parallelism comes from running alongside other experiments' cells.
+
+// e4Experiment wraps the TE world in a one-cell decomposition.
+func e4Experiment(seed int64, remoteDomains int) ([]Cell, MergeFunc) {
+	cells := []Cell{{Label: "PCE TE", Run: func() interface{} {
+		return e4RunCell(seed, remoteDomains)
+	}}}
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		if len(results) == 0 || results[0] == nil {
+			return metrics.NewTable("E4: provider utilization before/after PCE mapping re-push (dual-homed domain)")
+		}
+		return results[0].(*metrics.Table)
+	})
+	return cells, merge
+}
+
+// e4RunCell runs both TE phases and renders the table directly — the
+// phases are sequential by design, so the cell result is the table.
+func e4RunCell(seed int64, remoteDomains int) *metrics.Table {
 	if remoteDomains == 0 {
 		remoteDomains = 4
 	}
@@ -100,4 +120,10 @@ func E4TrafficEngineering(seed int64, remoteDomains int) *metrics.Table {
 	tbl.AddNote("%d bidirectional flows, %.1f Mbps in + %.1f Mbps out each, provider capacity %.0f Mbps",
 		remoteDomains, float64(inboundRate)/1e6, float64(outboundRate)/1e6, float64(capacity)/1e6)
 	return tbl
+}
+
+// E4TrafficEngineering runs E4 and returns its table.
+func E4TrafficEngineering(seed int64, remoteDomains int) *metrics.Table {
+	cells, merge := e4Experiment(seed, remoteDomains)
+	return merge(runCells("E4", cells, runner.Serial))[0]
 }

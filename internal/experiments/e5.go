@@ -5,57 +5,93 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/metrics"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/runner"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
-// E5ControlOverhead compares what each control plane costs: control
-// messages and bytes originated, and mapping state held at ITRs, for the
-// same all-pairs workload.
+// E5 compares what each control plane costs: control messages and bytes
+// originated, and mapping state held at ITRs, for the same all-pairs
+// workload.
 //
 // The structural differences the table exposes: NERD pays a full database
 // at every ITR regardless of traffic; ALT/CONS pay per-resolution
 // overlay hops; MS/MR pays four legs per resolution; PCE-CP pays one
 // in-band encapsulated reply plus local pushes, and per-flow state only
 // for flows that exist.
-func E5ControlOverhead(seed int64, domains int) *metrics.Table {
+
+// e5Result is one control plane's overhead totals.
+type e5Result struct {
+	cp    CP
+	flows int
+	msgs  uint64
+	bytes uint64
+	state int
+}
+
+// e5Experiment decomposes E5 into one cell per control plane.
+func e5Experiment(seed int64, domains int) ([]Cell, MergeFunc) {
 	if domains < 2 {
 		domains = 8
 	}
-	tbl := metrics.NewTable(
-		"E5: control-plane overhead for one cold flow between every domain pair",
-		"control plane", "flows", "ctl msgs", "ctl KB", "msgs/flow", "ITR state entries")
-
-	for _, cp := range []CP{CPALT, CPCONS, CPMSMR, CPNERD, CPPCE} {
-		w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed})
-		w.Settle()
-		baseMsgs, baseBytes := w.ControlTotals() // registration/announce cost
-
-		flows := 0
-		for s := 0; s < domains; s++ {
-			for d := 0; d < domains; d++ {
-				if s == d {
-					continue
-				}
-				s, d := s, d
-				flows++
-				w.Sim.Schedule(time.Duration(flows)*300*time.Millisecond, func() {
-					src := w.In.Domains[s].Hosts[0]
-					dst := w.In.Domains[d].Hosts[0]
-					src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
-						if ok {
-							src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
-						}
-					})
-				})
-			}
-		}
-		w.Sim.RunFor(time.Duration(flows)*300*time.Millisecond + 30*time.Second)
-		msgs, bytes := w.ControlTotals()
-		msgs -= baseMsgs
-		bytes -= baseBytes
-		tbl.AddRow(string(cp), flows, msgs, float64(bytes)/1024,
-			float64(msgs)/float64(flows), w.ITRStateEntries())
+	cells := make([]Cell, len(comparisonCPs))
+	for i, cp := range comparisonCPs {
+		cp := cp
+		cells[i] = Cell{Label: string(cp), CP: cp, Run: func() interface{} {
+			return e5RunCell(cp, seed, domains)
+		}}
 	}
-	tbl.AddNote("message/byte counts exclude initial registration and announcement; state counted after all flows")
-	return tbl
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E5: control-plane overhead for one cold flow between every domain pair",
+			"control plane", "flows", "ctl msgs", "ctl KB", "msgs/flow", "ITR state entries")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e5Result)
+			tbl.AddRow(string(c.cp), c.flows, c.msgs, float64(c.bytes)/1024,
+				float64(c.msgs)/float64(c.flows), c.state)
+		}
+		tbl.AddNote("message/byte counts exclude initial registration and announcement; state counted after all flows")
+		return tbl
+	})
+	return cells, merge
+}
+
+// e5RunCell measures one control plane under the all-pairs cold-flow
+// workload.
+func e5RunCell(cp CP, seed int64, domains int) e5Result {
+	w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed})
+	w.Settle()
+	baseMsgs, baseBytes := w.ControlTotals() // registration/announce cost
+
+	flows := 0
+	for s := 0; s < domains; s++ {
+		for d := 0; d < domains; d++ {
+			if s == d {
+				continue
+			}
+			s, d := s, d
+			flows++
+			w.Sim.Schedule(time.Duration(flows)*300*time.Millisecond, func() {
+				src := w.In.Domains[s].Hosts[0]
+				dst := w.In.Domains[d].Hosts[0]
+				src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+					if ok {
+						src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
+					}
+				})
+			})
+		}
+	}
+	w.Sim.RunFor(time.Duration(flows)*300*time.Millisecond + 30*time.Second)
+	msgs, bytes := w.ControlTotals()
+	return e5Result{cp: cp, flows: flows, msgs: msgs - baseMsgs,
+		bytes: bytes - baseBytes, state: w.ITRStateEntries()}
+}
+
+// E5ControlOverhead runs E5 serially and returns its table.
+func E5ControlOverhead(seed int64, domains int) *metrics.Table {
+	cells, merge := e5Experiment(seed, domains)
+	return merge(runCells("E5", cells, runner.Serial))[0]
 }

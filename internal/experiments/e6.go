@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/core"
@@ -8,104 +9,149 @@ import (
 	"github.com/pcelisp/pcelisp/internal/metrics"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runner"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
-// E6TwoWayResolution measures how long after a flow starts BOTH
-// directions have usable mappings at their tunnel routers — the paper's
-// "two-way mapping resolution" completed by the ETR multicast on the
-// first data packet, versus a pull control plane where the reverse
-// direction pays its own resolution when the first reply packet misses.
+// E6 measures how long after a flow starts BOTH directions have usable
+// mappings at their tunnel routers — the paper's "two-way mapping
+// resolution" completed by the ETR multicast on the first data packet,
+// versus a pull control plane where the reverse direction pays its own
+// resolution when the first reply packet misses.
 //
 // Destination domains use split xTRs (one per provider), so the PCE
 // number includes multicast distribution to the sibling ETR.
-func E6TwoWayResolution(seed int64, trials int) *metrics.Table {
+
+// e6CPs lists the control planes E6 compares, in table order.
+var e6CPs = []CP{CPMSMR, CPPCE}
+
+// e6Result is one trial's readiness times (0 = never completed).
+type e6Result struct {
+	cp                    CP
+	fwdReady, twoWayReady simnet.Time
+}
+
+// e6Experiment decomposes E6 into one cell per (CP, trial): every trial
+// builds its own world, so all trials run concurrently.
+func e6Experiment(seed int64, trials int) ([]Cell, MergeFunc) {
 	if trials == 0 {
 		trials = 5
 	}
-	tbl := metrics.NewTable(
-		"E6: time until two-way mapping resolution completes (flow start = DNS query)",
-		"control plane", "trials", "fwd ready mean", "two-way ready mean", "two-way p95")
-
-	for _, cp := range []CP{CPMSMR, CPPCE} {
-		fwd := metrics.NewSummary("fwd")
-		both := metrics.NewSummary("both")
+	var cells []Cell
+	for _, cp := range e6CPs {
+		cp := cp
 		for trial := 0; trial < trials; trial++ {
-			w := BuildWorld(WorldConfig{
-				CP: cp, Domains: 2, Seed: seed + int64(trial), SplitXTRs: true,
-				MissPolicy: lisp.MissQueue,
-			})
-			w.Settle()
-			d0, d1 := w.In.Domains[0], w.In.Domains[1]
-			src, dst := d0.Hosts[0], d1.Hosts[0]
-			start := w.Sim.Now()
-			fk := lisp.FlowKey{Src: dst.Addr, Dst: src.Addr} // reverse direction
-
-			var fwdReady, twoWayReady simnet.Time
-			if cp == CPPCE {
-				w.PCEs[0].OnEvent = func(ev core.Event) {
-					if ev.Kind == core.EvFlowInstalled && fwdReady == 0 {
-						fwdReady = w.Sim.Now() - start
-					}
+			trial := trial
+			cells = append(cells, Cell{Label: fmt.Sprintf("%s#%d", cp, trial), CP: cp,
+				Run: func() interface{} { return e6RunCell(cp, seed+int64(trial)) }})
+		}
+	}
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E6: time until two-way mapping resolution completes (flow start = DNS query)",
+			"control plane", "trials", "fwd ready mean", "two-way ready mean", "two-way p95")
+		for _, cp := range e6CPs {
+			fwd := metrics.NewSummary("fwd")
+			both := metrics.NewSummary("both")
+			seen := false
+			for _, r := range results {
+				c, ok := r.(e6Result)
+				if !ok || c.cp != cp {
+					continue
 				}
-				// Two-way completion: every destination xTR has the
-				// reverse entry. Poll each reverse-install event.
-				installed := map[string]bool{}
-				w.PCEs[1].OnEvent = func(ev core.Event) {
-					if ev.Kind == core.EvReversePushed || ev.Kind == core.EvReverseInstalled {
-						installed[ev.Node] = true
-						if len(installed) >= len(d1.XTRs) && twoWayReady == 0 {
-							twoWayReady = w.Sim.Now() - start
-						}
-					}
+				seen = true
+				if c.fwdReady > 0 {
+					fwd.AddDuration(c.fwdReady)
+				}
+				if c.twoWayReady > 0 {
+					both.AddDuration(c.twoWayReady)
 				}
 			}
-
-			// Run the flow: DNS, then one data packet each way (an echo).
-			dst.Node.ListenUDP(7000, func(d *simnet.Delivery, udp *packet.UDP) {
-				ip := d.IPv4()
-				dst.Node.SendUDP(dst.Addr, ip.SrcIP, 7000, 7001, packet.Payload("echo"))
-			})
-			src.Node.ListenUDP(7001, func(*simnet.Delivery, *packet.UDP) {})
-			src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
-				if ok {
-					src.Node.SendUDP(src.Addr, addr, 40000, 7000, packet.Payload("ping"))
-				}
-			})
-			w.Sim.RunFor(30 * time.Second)
-
-			if cp == CPMSMR {
-				// Pull CPs: two-way ready when both directions' mappings
-				// resolved at their ITRs.
-				if at, ok := w.MappingReadyAt(dst.Addr); ok {
-					fwdReady = at - start
-				}
-				if at, ok := w.MappingReadyAt(src.Addr); ok {
-					rev := at - start
-					if rev > fwdReady {
-						twoWayReady = rev
-					} else {
-						twoWayReady = fwdReady
-					}
-				}
-			} else {
-				// PCE: ensure the reverse entries really exist.
-				for _, x := range d1.XTRs {
-					if _, ok := x.Flows.Lookup(fk); !ok {
-						twoWayReady = 0
-					}
-				}
+			if !seen {
+				continue
 			}
-			if fwdReady > 0 {
-				fwd.AddDuration(fwdReady)
-			}
-			if twoWayReady > 0 {
-				both.AddDuration(twoWayReady)
+			tbl.AddRow(string(cp), trials,
+				metrics.FormatMs(fwd.Mean()), metrics.FormatMs(both.Mean()), metrics.FormatMs(both.P95()))
+		}
+		tbl.AddNote("destination domains run split xTRs; PCE two-way includes the ETR multicast to the sibling")
+		return tbl
+	})
+	return cells, merge
+}
+
+// e6RunCell runs one trial: a fresh two-domain world, one echo flow, and
+// instrumentation for when each direction's mapping became usable.
+func e6RunCell(cp CP, seed int64) e6Result {
+	w := BuildWorld(WorldConfig{
+		CP: cp, Domains: 2, Seed: seed, SplitXTRs: true,
+		MissPolicy: lisp.MissQueue,
+	})
+	w.Settle()
+	d0, d1 := w.In.Domains[0], w.In.Domains[1]
+	src, dst := d0.Hosts[0], d1.Hosts[0]
+	start := w.Sim.Now()
+	fk := lisp.FlowKey{Src: dst.Addr, Dst: src.Addr} // reverse direction
+
+	var fwdReady, twoWayReady simnet.Time
+	if cp == CPPCE {
+		w.PCEs[0].OnEvent = func(ev core.Event) {
+			if ev.Kind == core.EvFlowInstalled && fwdReady == 0 {
+				fwdReady = w.Sim.Now() - start
 			}
 		}
-		tbl.AddRow(string(cp), trials,
-			metrics.FormatMs(fwd.Mean()), metrics.FormatMs(both.Mean()), metrics.FormatMs(both.P95()))
+		// Two-way completion: every destination xTR has the reverse
+		// entry. Poll each reverse-install event.
+		installed := map[string]bool{}
+		w.PCEs[1].OnEvent = func(ev core.Event) {
+			if ev.Kind == core.EvReversePushed || ev.Kind == core.EvReverseInstalled {
+				installed[ev.Node] = true
+				if len(installed) >= len(d1.XTRs) && twoWayReady == 0 {
+					twoWayReady = w.Sim.Now() - start
+				}
+			}
+		}
 	}
-	tbl.AddNote("destination domains run split xTRs; PCE two-way includes the ETR multicast to the sibling")
-	return tbl
+
+	// Run the flow: DNS, then one data packet each way (an echo).
+	dst.Node.ListenUDP(7000, func(d *simnet.Delivery, udp *packet.UDP) {
+		ip := d.IPv4()
+		dst.Node.SendUDP(dst.Addr, ip.SrcIP, 7000, 7001, packet.Payload("echo"))
+	})
+	src.Node.ListenUDP(7001, func(*simnet.Delivery, *packet.UDP) {})
+	src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+		if ok {
+			src.Node.SendUDP(src.Addr, addr, 40000, 7000, packet.Payload("ping"))
+		}
+	})
+	w.Sim.RunFor(30 * time.Second)
+
+	if cp == CPMSMR {
+		// Pull CPs: two-way ready when both directions' mappings resolved
+		// at their ITRs.
+		if at, ok := w.MappingReadyAt(dst.Addr); ok {
+			fwdReady = at - start
+		}
+		if at, ok := w.MappingReadyAt(src.Addr); ok {
+			rev := at - start
+			if rev > fwdReady {
+				twoWayReady = rev
+			} else {
+				twoWayReady = fwdReady
+			}
+		}
+	} else {
+		// PCE: ensure the reverse entries really exist.
+		for _, x := range d1.XTRs {
+			if _, ok := x.Flows.Lookup(fk); !ok {
+				twoWayReady = 0
+			}
+		}
+	}
+	return e6Result{cp: cp, fwdReady: fwdReady, twoWayReady: twoWayReady}
+}
+
+// E6TwoWayResolution runs E6 serially and returns its table.
+func E6TwoWayResolution(seed int64, trials int) *metrics.Table {
+	cells, merge := e6Experiment(seed, trials)
+	return merge(runCells("E6", cells, runner.Serial))[0]
 }

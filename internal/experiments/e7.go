@@ -1,80 +1,123 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/metrics"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/runner"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
-// E7Scalability sweeps the number of domains and reports how each control
-// plane's latency and state scale: ALT resolution grows with overlay
-// depth and concentrates prefixes at the root; NERD state at every ITR
-// grows with the whole internet; PCE-CP latency stays flat (it rides DNS)
-// and its per-domain state tracks only active destinations.
-func E7Scalability(seed int64, domainCounts []int, sampleFlows int) *metrics.Table {
+// E7 sweeps the number of domains and reports how each control plane's
+// latency and state scale: ALT resolution grows with overlay depth and
+// concentrates prefixes at the root; NERD state at every ITR grows with
+// the whole internet; PCE-CP latency stays flat (it rides DNS) and its
+// per-domain state tracks only active destinations.
+
+// e7CPs lists the control planes E7 sweeps, in table order.
+var e7CPs = []CP{CPALT, CPNERD, CPPCE}
+
+// e7Result is one (CP, domain count) sweep point.
+type e7Result struct {
+	cp       CP
+	domains  int
+	ready    *metrics.Summary
+	rootSize int
+	state    int
+	bytes    uint64
+}
+
+// e7Experiment decomposes the sweep into one cell per (CP, domain count);
+// the biggest worlds no longer serialize behind each other.
+func e7Experiment(seed int64, domainCounts []int, sampleFlows int) ([]Cell, MergeFunc) {
 	if len(domainCounts) == 0 {
 		domainCounts = []int{8, 16, 32}
 	}
 	if sampleFlows == 0 {
 		sampleFlows = 5
 	}
-	tbl := metrics.NewTable(
-		"E7: scaling with the number of domains",
-		"control plane", "domains", "mapping-ready mean", "root/DB prefixes", "ITR state/domain", "ctl KB total")
-
-	for _, cp := range []CP{CPALT, CPNERD, CPPCE} {
+	var cells []Cell
+	for _, cp := range e7CPs {
+		cp := cp
 		for _, n := range domainCounts {
-			w := BuildWorld(WorldConfig{CP: cp, Domains: n, Seed: seed, HostsPerDomain: 1})
-			w.Settle()
-			ready := metrics.NewSummary("ready")
-			for i := 0; i < sampleFlows; i++ {
-				dd := 1 + (i*(n-1))/sampleFlows
-				if dd >= n {
-					dd = n - 1
-				}
-				w.Sim.Schedule(time.Duration(i)*2*time.Second, func() {
-					start := w.Sim.Now()
-					src := w.In.Domains[0].Hosts[0]
-					dst := w.In.Domains[dd].Hosts[0]
-					src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
-						if !ok {
-							return
-						}
-						// Kick resolution with a data packet; readiness is
-						// recorded by the harness instrumentation.
-						src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
-						w.Sim.Schedule(20*time.Second, func() {
-							if at, found := w.MappingReadyAt(dst.Addr); found {
-								d := at - start
-								if d < 0 {
-									d = 0 // ready before the flow began (NERD push)
-								}
-								ready.AddDuration(d)
-							}
-						})
-					})
-				})
-			}
-			w.Sim.RunFor(time.Duration(sampleFlows)*2*time.Second + 30*time.Second)
-
-			rootSize := 0
-			switch {
-			case w.ALT != nil:
-				rootSize = w.ALT.RootTableSize()
-			case w.NERD != nil:
-				rootSize = w.NERD.Authority.DatabaseSize()
-			default:
-				// PCE-CP has no global component; count the source PCE's
-				// learned remote mappings.
-				rootSize = w.PCEs[0].RemoteMappings().Len()
-			}
-			_, bytes := w.ControlTotals()
-			tbl.AddRow(string(cp), n, metrics.FormatMs(ready.Mean()), rootSize,
-				float64(w.ITRStateEntries())/float64(n), float64(bytes)/1024)
+			n := n
+			cells = append(cells, Cell{Label: fmt.Sprintf("%s@%d", cp, n), CP: cp,
+				Run: func() interface{} { return e7RunCell(cp, seed, n, sampleFlows) }})
 		}
 	}
-	tbl.AddNote("mapping-ready = flow start (DNS query) to usable mapping at the source ITR, %d sampled cold flows", sampleFlows)
-	return tbl
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E7: scaling with the number of domains",
+			"control plane", "domains", "mapping-ready mean", "root/DB prefixes", "ITR state/domain", "ctl KB total")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e7Result)
+			tbl.AddRow(string(c.cp), c.domains, metrics.FormatMs(c.ready.Mean()), c.rootSize,
+				float64(c.state)/float64(c.domains), float64(c.bytes)/1024)
+		}
+		tbl.AddNote("mapping-ready = flow start (DNS query) to usable mapping at the source ITR, %d sampled cold flows", sampleFlows)
+		return tbl
+	})
+	return cells, merge
+}
+
+// e7RunCell measures one control plane at one internet size.
+func e7RunCell(cp CP, seed int64, n, sampleFlows int) e7Result {
+	w := BuildWorld(WorldConfig{CP: cp, Domains: n, Seed: seed, HostsPerDomain: 1})
+	w.Settle()
+	ready := metrics.NewSummary("ready")
+	for i := 0; i < sampleFlows; i++ {
+		dd := 1 + (i*(n-1))/sampleFlows
+		if dd >= n {
+			dd = n - 1
+		}
+		w.Sim.Schedule(time.Duration(i)*2*time.Second, func() {
+			start := w.Sim.Now()
+			src := w.In.Domains[0].Hosts[0]
+			dst := w.In.Domains[dd].Hosts[0]
+			src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+				if !ok {
+					return
+				}
+				// Kick resolution with a data packet; readiness is
+				// recorded by the harness instrumentation.
+				src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
+				w.Sim.Schedule(20*time.Second, func() {
+					if at, found := w.MappingReadyAt(dst.Addr); found {
+						d := at - start
+						if d < 0 {
+							d = 0 // ready before the flow began (NERD push)
+						}
+						ready.AddDuration(d)
+					}
+				})
+			})
+		})
+	}
+	w.Sim.RunFor(time.Duration(sampleFlows)*2*time.Second + 30*time.Second)
+
+	rootSize := 0
+	switch {
+	case w.ALT != nil:
+		rootSize = w.ALT.RootTableSize()
+	case w.NERD != nil:
+		rootSize = w.NERD.Authority.DatabaseSize()
+	default:
+		// PCE-CP has no global component; count the source PCE's learned
+		// remote mappings.
+		rootSize = w.PCEs[0].RemoteMappings().Len()
+	}
+	_, bytes := w.ControlTotals()
+	return e7Result{cp: cp, domains: n, ready: ready, rootSize: rootSize,
+		state: w.ITRStateEntries(), bytes: bytes}
+}
+
+// E7Scalability runs E7 serially and returns its table.
+func E7Scalability(seed int64, domainCounts []int, sampleFlows int) *metrics.Table {
+	cells, merge := e7Experiment(seed, domainCounts, sampleFlows)
+	return merge(runCells("E7", cells, runner.Serial))[0]
 }

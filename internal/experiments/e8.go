@@ -1,141 +1,261 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/core"
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/metrics"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/runner"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
-// E8RaceMargin measures the design-choice the PCE architecture hinges on:
-// the mapping push (step 7b) must beat the host's first packet to the
-// ITR. The margin is the time between mapping installation and the SYN's
+// E8a measures the design-choice the PCE architecture hinges on: the
+// mapping push (step 7b) must beat the host's first packet to the ITR.
+// The margin is the time between mapping installation and the SYN's
 // arrival at the ITR; a negative margin would mean a race lost.
-func E8RaceMargin(seed int64, trials int) *metrics.Table {
+
+// e8aResult is one trial's race outcome.
+type e8aResult struct {
+	won    bool
+	margin simnet.Time
+}
+
+// e8aExperiment decomposes the race measurement into one cell per trial.
+func e8aExperiment(seed int64, trials int) ([]Cell, MergeFunc) {
 	if trials == 0 {
 		trials = 10
 	}
-	margins := metrics.NewSummary("margin")
-	lost := 0
+	cells := make([]Cell, trials)
 	for trial := 0; trial < trials; trial++ {
-		w := BuildWorld(WorldConfig{CP: CPPCE, Domains: 2, Seed: seed + int64(trial)})
-		w.Settle()
-		var installAt simnet.Time
-		w.PCEs[0].OnEvent = func(ev core.Event) {
-			if ev.Kind == core.EvFlowInstalled && installAt == 0 {
-				installAt = w.Sim.Now()
-			}
-		}
-		var synAtITR simnet.Time
-		x0 := w.In.Domains[0].XTRs[0]
-		done := false
-		w.StartFlow(0, 0, 1, 0, func(res FlowResult) { done = res.OK })
-		// Sample the SYN arrival via the encapsulation counter: the first
-		// encap after installAt is the SYN.
-		var poll func()
-		poll = func() {
-			if x0.Stats.EncapPackets > 0 && synAtITR == 0 {
-				synAtITR = w.Sim.Now()
-				return
-			}
-			w.Sim.Schedule(100*time.Microsecond, poll)
-		}
-		w.Sim.Schedule(0, poll)
-		w.Sim.RunFor(10 * time.Second)
-		if !done || installAt == 0 || synAtITR == 0 {
-			lost++
-			continue
-		}
-		margin := synAtITR - installAt
-		if margin < 0 {
-			lost++
-			continue
-		}
-		margins.AddDuration(margin)
+		trial := trial
+		cells[trial] = Cell{Label: fmt.Sprintf("race#%d", trial), CP: CPPCE,
+			Run: func() interface{} { return e8aRunCell(seed + int64(trial)) }}
 	}
-	tbl := metrics.NewTable(
-		"E8a: push-vs-first-SYN race margin at the ITR",
-		"trials", "races won", "races lost", "margin min", "margin mean", "margin max")
-	tbl.AddRow(trials, margins.Count(), lost,
-		metrics.FormatMs(margins.Min()), metrics.FormatMs(margins.Mean()), metrics.FormatMs(margins.Max()))
-	tbl.AddNote("the sampling resolution is 0.1ms; a lost race would appear in the 'races lost' column")
-	return tbl
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		margins := metrics.NewSummary("margin")
+		ran, lost := 0, 0
+		for _, r := range results {
+			c, ok := r.(e8aResult)
+			if !ok {
+				continue
+			}
+			ran++
+			if !c.won {
+				lost++
+				continue
+			}
+			margins.AddDuration(c.margin)
+		}
+		tbl := metrics.NewTable(
+			"E8a: push-vs-first-SYN race margin at the ITR",
+			"trials", "races won", "races lost", "margin min", "margin mean", "margin max")
+		if ran > 0 {
+			tbl.AddRow(ran, margins.Count(), lost,
+				metrics.FormatMs(margins.Min()), metrics.FormatMs(margins.Mean()), metrics.FormatMs(margins.Max()))
+		}
+		tbl.AddNote("the sampling resolution is 0.1ms; a lost race would appear in the 'races lost' column")
+		return tbl
+	})
+	return cells, merge
 }
 
-// E8PCEFailureFallback measures graceful degradation: the destination
-// domain has no PCE, so flows fall back to the underlying MS/MR mapping
-// system (with queueing ITRs). The cost is the classic Tmap; nothing
-// breaks.
+// e8aRunCell runs one race trial in a fresh world.
+func e8aRunCell(seed int64) e8aResult {
+	w := BuildWorld(WorldConfig{CP: CPPCE, Domains: 2, Seed: seed})
+	w.Settle()
+	var installAt simnet.Time
+	w.PCEs[0].OnEvent = func(ev core.Event) {
+		if ev.Kind == core.EvFlowInstalled && installAt == 0 {
+			installAt = w.Sim.Now()
+		}
+	}
+	var synAtITR simnet.Time
+	x0 := w.In.Domains[0].XTRs[0]
+	done := false
+	w.StartFlow(0, 0, 1, 0, func(res FlowResult) { done = res.OK })
+	// Sample the SYN arrival via the encapsulation counter: the first
+	// encap after installAt is the SYN.
+	var poll func()
+	poll = func() {
+		if x0.Stats.EncapPackets > 0 && synAtITR == 0 {
+			synAtITR = w.Sim.Now()
+			return
+		}
+		w.Sim.Schedule(100*time.Microsecond, poll)
+	}
+	w.Sim.Schedule(0, poll)
+	w.Sim.RunFor(10 * time.Second)
+	if !done || installAt == 0 || synAtITR == 0 {
+		return e8aResult{}
+	}
+	margin := synAtITR - installAt
+	if margin < 0 {
+		return e8aResult{}
+	}
+	return e8aResult{won: true, margin: margin}
+}
+
+// E8RaceMargin runs E8a serially and returns its table.
+func E8RaceMargin(seed int64, trials int) *metrics.Table {
+	cells, merge := e8aExperiment(seed, trials)
+	return merge(runCells("E8a", cells, runner.Serial))[0]
+}
+
+// E8b measures graceful degradation: the destination domain has no PCE,
+// so flows fall back to the underlying MS/MR mapping system (with
+// queueing ITRs). The cost is the classic Tmap; nothing breaks.
+
+// e8bResult is one deployment's fallback measurement.
+type e8bResult struct {
+	label       string
+	ok          bool
+	setup       simnet.Time
+	pushes      uint64
+	resolutions uint64
+}
+
+// e8bExperiment decomposes the fallback ablation into one cell per
+// deployment shape.
+func e8bExperiment(seed int64) ([]Cell, MergeFunc) {
+	type deployment struct {
+		label      string
+		pceDomains []int
+	}
+	deployments := []deployment{
+		{"PCE both domains", nil},
+		{"PCE source only", []int{0}},
+	}
+	cells := make([]Cell, len(deployments))
+	for i, dep := range deployments {
+		dep := dep
+		cells[i] = Cell{Label: dep.label, CP: CPPCE, Run: func() interface{} {
+			return e8bRunCell(seed, dep.label, dep.pceDomains)
+		}}
+	}
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E8b: setup latency when the destination PCE is absent (fallback to MS/MR)",
+			"deployment", "flow ok", "setup", "PCE pushes", "fallback resolutions")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e8bResult)
+			tbl.AddRow(c.label, c.ok, metrics.FormatMs(float64(c.setup)/float64(time.Millisecond)),
+				c.pushes, c.resolutions)
+		}
+		tbl.AddNote("queue-policy ITRs; with the destination PCE missing, the SYN waits out one MS/MR resolution")
+		return tbl
+	})
+	return cells, merge
+}
+
+// e8bRunCell runs one deployment shape.
+func e8bRunCell(seed int64, label string, pceDomains []int) e8bResult {
+	w := BuildWorld(WorldConfig{
+		CP: CPPCE, Domains: 2, Seed: seed,
+		MissPolicy: lisp.MissQueue, FallbackMSMR: true, PCEDomains: pceDomains,
+	})
+	w.Settle()
+	var res FlowResult
+	w.StartFlow(0, 0, 1, 0, func(r FlowResult) { res = r })
+	w.Sim.RunFor(30 * time.Second)
+	pushes := uint64(0)
+	if w.PCEs[0] != nil {
+		pushes = w.PCEs[0].Stats.MappingPushes
+	}
+	resolutions := uint64(0)
+	for _, d := range w.In.Domains {
+		for _, x := range d.XTRs {
+			resolutions += x.Stats.ResolutionsStarted
+		}
+	}
+	return e8bResult{label: label, ok: res.OK, setup: res.Setup,
+		pushes: pushes, resolutions: resolutions}
+}
+
+// E8PCEFailureFallback runs E8b serially and returns its table.
 func E8PCEFailureFallback(seed int64) *metrics.Table {
-	tbl := metrics.NewTable(
-		"E8b: setup latency when the destination PCE is absent (fallback to MS/MR)",
-		"deployment", "flow ok", "setup", "PCE pushes", "fallback resolutions")
-
-	run := func(label string, pceDomains []int) {
-		w := BuildWorld(WorldConfig{
-			CP: CPPCE, Domains: 2, Seed: seed,
-			MissPolicy: lisp.MissQueue, FallbackMSMR: true, PCEDomains: pceDomains,
-		})
-		w.Settle()
-		var res FlowResult
-		w.StartFlow(0, 0, 1, 0, func(r FlowResult) { res = r })
-		w.Sim.RunFor(30 * time.Second)
-		pushes := uint64(0)
-		if w.PCEs[0] != nil {
-			pushes = w.PCEs[0].Stats.MappingPushes
-		}
-		resolutions := uint64(0)
-		for _, d := range w.In.Domains {
-			for _, x := range d.XTRs {
-				resolutions += x.Stats.ResolutionsStarted
-			}
-		}
-		tbl.AddRow(label, res.OK, metrics.FormatMs(float64(res.Setup)/float64(time.Millisecond)), pushes, resolutions)
-	}
-	run("PCE both domains", nil)
-	run("PCE source only", []int{0})
-	tbl.AddNote("queue-policy ITRs; with the destination PCE missing, the SYN waits out one MS/MR resolution")
-	return tbl
+	cells, merge := e8bExperiment(seed)
+	return merge(runCells("E8b", cells, runner.Serial))[0]
 }
 
-// E8QueueMemory measures the queue-policy palliative's cost the paper
-// alludes to: buffered packets at the ITR during a burst of cold flows.
-func E8QueueMemory(seed int64, burst int) *metrics.Table {
+// E8c measures the queue-policy palliative's cost the paper alludes to:
+// buffered packets at the ITR during a burst of cold flows.
+
+// e8cResult is one control plane's burst buffering counters.
+type e8cResult struct {
+	cp      CP
+	queued  uint64
+	timeout uint64
+	replay  uint64
+}
+
+// e8cExperiment decomposes the burst ablation into one cell per control
+// plane.
+func e8cExperiment(seed int64, burst int) ([]Cell, MergeFunc) {
 	if burst == 0 {
 		burst = 8
 	}
-	tbl := metrics.NewTable(
-		"E8c: ITR buffering under a cold-flow burst (queue-policy ITRs)",
-		"control plane", "burst flows", "packets queued", "queue timeouts", "replayed")
-
-	for _, cp := range []CP{CPMSMR, CPPCE} {
-		domains := burst + 1
-		w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed, MissPolicy: lisp.MissQueue})
-		w.Settle()
-		// All flows start at the same instant: worst-case burst.
-		for dd := 1; dd <= burst; dd++ {
-			dd := dd
-			src := w.In.Domains[0].Hosts[0]
-			dst := w.In.Domains[dd].Hosts[0]
-			src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
-				if !ok {
-					return
-				}
-				for i := 0; i < 4; i++ {
-					i := i
-					w.Sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
-						src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
-					})
-				}
-			})
-		}
-		w.Sim.RunFor(30 * time.Second)
-		x := w.In.Domains[0].XTRs[0]
-		tbl.AddRow(string(cp), burst, x.Stats.QueuedPackets, x.Stats.QueueTimeouts, x.Stats.Replayed)
+	cps := []CP{CPMSMR, CPPCE}
+	cells := make([]Cell, len(cps))
+	for i, cp := range cps {
+		cp := cp
+		cells[i] = Cell{Label: string(cp), CP: cp, Run: func() interface{} {
+			return e8cRunCell(cp, seed, burst)
+		}}
 	}
-	tbl.AddNote("under PCE-CP the mappings precede the packets, so nothing needs buffering")
-	return tbl
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E8c: ITR buffering under a cold-flow burst (queue-policy ITRs)",
+			"control plane", "burst flows", "packets queued", "queue timeouts", "replayed")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e8cResult)
+			tbl.AddRow(string(c.cp), burst, c.queued, c.timeout, c.replay)
+		}
+		tbl.AddNote("under PCE-CP the mappings precede the packets, so nothing needs buffering")
+		return tbl
+	})
+	return cells, merge
+}
+
+// e8cRunCell runs the worst-case cold-flow burst against one control
+// plane.
+func e8cRunCell(cp CP, seed int64, burst int) e8cResult {
+	domains := burst + 1
+	w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed, MissPolicy: lisp.MissQueue})
+	w.Settle()
+	// All flows start at the same instant: worst-case burst.
+	for dd := 1; dd <= burst; dd++ {
+		dd := dd
+		src := w.In.Domains[0].Hosts[0]
+		dst := w.In.Domains[dd].Hosts[0]
+		src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+			if !ok {
+				return
+			}
+			for i := 0; i < 4; i++ {
+				i := i
+				w.Sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+					src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
+				})
+			}
+		})
+	}
+	w.Sim.RunFor(30 * time.Second)
+	x := w.In.Domains[0].XTRs[0]
+	return e8cResult{cp: cp, queued: x.Stats.QueuedPackets,
+		timeout: x.Stats.QueueTimeouts, replay: x.Stats.Replayed}
+}
+
+// E8QueueMemory runs E8c serially and returns its table.
+func E8QueueMemory(seed int64, burst int) *metrics.Table {
+	cells, merge := e8cExperiment(seed, burst)
+	return merge(runCells("E8c", cells, runner.Serial))[0]
 }

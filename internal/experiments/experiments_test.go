@@ -271,8 +271,11 @@ func TestRegistry(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
-		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Build == nil {
 			t.Errorf("incomplete experiment %+v", e)
+		}
+		if len(e.Cells(1, true)) == 0 {
+			t.Errorf("%s: no cells", e.ID)
 		}
 		if seen[e.ID] {
 			t.Errorf("duplicate ID %s", e.ID)

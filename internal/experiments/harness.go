@@ -10,6 +10,13 @@
 // instrumented flows (iterative DNS lookup, TCP handshake with RFC 6298
 // retransmission, then data) while recording when mappings become usable
 // at the ITRs.
+//
+// Execution is organized as a parallel scenario engine: every experiment
+// decomposes into independent cells (one world, one simulation each; see
+// Cell and Experiment.Build), which internal/runner fans across
+// GOMAXPROCS workers. Because results merge in canonical cell order, a
+// parallel run renders byte-identical tables to a serial run of the same
+// seed.
 package experiments
 
 import (
@@ -50,6 +57,10 @@ const (
 
 // AllCPs lists the control planes in canonical table order.
 var AllCPs = []CP{CPPreinstalled, CPALT, CPCONS, CPMSMR, CPNERD, CPPCE}
+
+// comparisonCPs is AllCPs minus the preinstalled reference — the set the
+// overhead and readiness comparisons (E3, E5) sweep.
+var comparisonCPs = []CP{CPALT, CPCONS, CPMSMR, CPNERD, CPPCE}
 
 // authKey authenticates registrations in every deployment.
 var authKey = []byte("pcelisp-experiments")

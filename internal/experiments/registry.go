@@ -4,9 +4,14 @@ import (
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/runner"
 )
 
-// Experiment is one entry of the reproduction's evaluation suite.
+// Experiment is one entry of the reproduction's evaluation suite. An
+// experiment is defined by its cell decomposition: Build returns the
+// independent units of work (one simulated world each) plus the merge
+// that folds their results into paper-style tables. Run and RunWorkers
+// are thin serial-or-parallel dispatchers over that decomposition.
 type Experiment struct {
 	// ID is the experiment identifier ("E1" ... "E8").
 	ID string
@@ -14,9 +19,59 @@ type Experiment struct {
 	Title string
 	// Claim ties it to the paper.
 	Claim string
-	// Run executes the experiment at the given scale (0 = default) and
-	// returns its tables.
-	Run func(seed int64, quick bool) []*metrics.Table
+	// Build returns the experiment's cells in canonical table order at
+	// the given scale (quick = the test-suite settings), and the merge
+	// folding cell results into tables.
+	Build func(seed int64, quick bool) ([]Cell, MergeFunc)
+}
+
+// Cells exposes the experiment's cell decomposition without running it.
+func (e Experiment) Cells(seed int64, quick bool) []Cell {
+	cells, _ := e.Build(seed, quick)
+	return cells
+}
+
+// Run executes the experiment serially and returns its tables — the
+// historical monolithic entry point, kept as a dispatcher over the cells.
+func (e Experiment) Run(seed int64, quick bool) []*metrics.Table {
+	return e.RunWorkers(seed, quick, runner.Serial)
+}
+
+// RunWorkers fans the experiment's independent cells across a worker pool
+// (runner.Auto sizes it to GOMAXPROCS) and merges the results in
+// canonical order. For a given seed the rendered tables are byte-identical
+// to Run's, whatever the worker count.
+func (e Experiment) RunWorkers(seed int64, quick bool, workers int) []*metrics.Table {
+	cells, merge := e.Build(seed, quick)
+	return merge(runCells(e.ID, cells, workers))
+}
+
+// RunCPs is RunWorkers restricted to cells whose control plane is in
+// keep; cells not tied to a CP always run. The merge sees nil results for
+// skipped cells and omits their rows. An empty keep set runs everything.
+func (e Experiment) RunCPs(seed int64, quick bool, workers int, keep []CP) []*metrics.Table {
+	cells, merge := e.Build(seed, quick)
+	if len(keep) == 0 {
+		return merge(runCells(e.ID, cells, workers))
+	}
+	want := make(map[CP]bool, len(keep))
+	for _, cp := range keep {
+		want[cp] = true
+	}
+	var selected []Cell
+	var position []int
+	for i, c := range cells {
+		if c.CP == "" || want[c.CP] {
+			selected = append(selected, c)
+			position = append(position, i)
+		}
+	}
+	values := runCells(e.ID, selected, workers)
+	full := make([]interface{}, len(cells))
+	for i, v := range values {
+		full[position[i]] = v
+	}
+	return merge(full)
 }
 
 // All returns the experiment suite in order.
@@ -26,101 +81,111 @@ func All() []Experiment {
 			ID:    "E1",
 			Title: "Packet loss during mapping resolution",
 			Claim: "claim (i): no drops or queueing during resolution",
-			Run: func(seed int64, quick bool) []*metrics.Table {
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
 				domains := 6
 				if quick {
 					domains = 3
 				}
-				return []*metrics.Table{E1DropsDuringResolution(seed, domains, 10, 20*time.Millisecond)}
+				return e1Experiment(seed, domains, 10, 20*time.Millisecond)
 			},
 		},
 		{
 			ID:    "E2",
 			Title: "TCP connection setup latency",
 			Claim: "weakness W2 / claim (ii): setup inflates by Tmap (or an RTO) without the PCE",
-			Run: func(seed int64, quick bool) []*metrics.Table {
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
 				domains := 6
 				if quick {
 					domains = 3
 				}
-				return []*metrics.Table{E2HandshakeLatency(seed, domains)}
+				return e2Experiment(seed, domains)
 			},
 		},
 		{
 			ID:    "E3",
 			Title: "Mapping readiness within DNS time",
 			Claim: "claim (ii): (TDNS + Tmap)/TDNS ~= 1",
-			Run: func(seed int64, quick bool) []*metrics.Table {
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
 				domains, flows := 6, 60
 				if quick {
 					domains, flows = 3, 15
 				}
-				tbl, _ := E3MappingWithinDNS(seed, domains, flows)
-				return []*metrics.Table{tbl}
+				return e3Experiment(seed, domains, flows)
 			},
 		},
 		{
 			ID:    "E4",
 			Title: "Upstream/downstream traffic engineering",
 			Claim: "claim (iii): both directions engineered by re-pushing mappings",
-			Run: func(seed int64, quick bool) []*metrics.Table {
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
 				remotes := 4
 				if quick {
 					remotes = 2
 				}
-				return []*metrics.Table{E4TrafficEngineering(seed, remotes)}
+				return e4Experiment(seed, remotes)
 			},
 		},
 		{
 			ID:    "E5",
 			Title: "Control-plane overhead",
 			Claim: "comparison against ALT/CONS/NERD/MS-MR message and state cost",
-			Run: func(seed int64, quick bool) []*metrics.Table {
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
 				domains := 8
 				if quick {
 					domains = 4
 				}
-				return []*metrics.Table{E5ControlOverhead(seed, domains)}
+				return e5Experiment(seed, domains)
 			},
 		},
 		{
 			ID:    "E6",
 			Title: "Two-way mapping resolution time",
 			Claim: "ETR multicast completes both directions on the first data packet",
-			Run: func(seed int64, quick bool) []*metrics.Table {
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
 				trials := 5
 				if quick {
 					trials = 2
 				}
-				return []*metrics.Table{E6TwoWayResolution(seed, trials)}
+				return e6Experiment(seed, trials)
 			},
 		},
 		{
 			ID:    "E7",
 			Title: "Scalability with domain count",
 			Claim: "substrate comparison: where each control plane's cost grows",
-			Run: func(seed int64, quick bool) []*metrics.Table {
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
 				counts := []int{8, 16, 32}
 				if quick {
 					counts = []int{4, 8}
 				}
-				return []*metrics.Table{E7Scalability(seed, counts, 5)}
+				return e7Experiment(seed, counts, 5)
 			},
 		},
 		{
 			ID:    "E8",
 			Title: "Robustness ablations",
 			Claim: "race margin, PCE-failure fallback, queue-palliative memory",
-			Run: func(seed int64, quick bool) []*metrics.Table {
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
 				trials, burst := 10, 8
 				if quick {
 					trials, burst = 3, 4
 				}
-				return []*metrics.Table{
-					E8RaceMargin(seed, trials),
-					E8PCEFailureFallback(seed),
-					E8QueueMemory(seed, burst),
+				aCells, aMerge := e8aExperiment(seed, trials)
+				bCells, bMerge := e8bExperiment(seed)
+				cCells, cMerge := e8cExperiment(seed, burst)
+				cells := make([]Cell, 0, len(aCells)+len(bCells)+len(cCells))
+				cells = append(cells, aCells...)
+				cells = append(cells, bCells...)
+				cells = append(cells, cCells...)
+				na, nb := len(aCells), len(bCells)
+				merge := func(results []interface{}) []*metrics.Table {
+					var out []*metrics.Table
+					out = append(out, aMerge(results[:na])...)
+					out = append(out, bMerge(results[na:na+nb])...)
+					out = append(out, cMerge(results[na+nb:])...)
+					return out
 				}
+				return cells, merge
 			},
 		},
 	}

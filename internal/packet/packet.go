@@ -18,6 +18,7 @@ package packet
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Layer represents one decoded protocol header within a packet.
@@ -131,6 +132,44 @@ func NewPacket(data []byte, first Decoder, opts DecodeOptions) *Packet {
 		p.decodeAll()
 	}
 	return p
+}
+
+// packetPool recycles Packet containers (the struct and its layer-slice
+// scratch) across decodes. Decoded layer structs are NOT pooled, so
+// references handlers keep to individual layers stay valid after Release.
+var packetPool = sync.Pool{
+	New: func() interface{} { return &Packet{layers: make([]Layer, 0, 8)} },
+}
+
+// NewPooledPacket is NewPacket drawing the Packet container from an
+// internal pool. The caller owns the packet until Release; afterwards the
+// packet and the slice returned by Layers must not be used. The simulator
+// uses it for per-delivery decoding, where the packet dies with the event.
+func NewPooledPacket(data []byte, first Decoder, opts DecodeOptions) *Packet {
+	if !opts.NoCopy {
+		c := make([]byte, len(data))
+		copy(c, data)
+		data = c
+	}
+	p := packetPool.Get().(*Packet)
+	p.data, p.next, p.rest = data, first, data
+	if !opts.Lazy {
+		p.decodeAll()
+	}
+	return p
+}
+
+// Release resets p and returns it to the decode pool. Individual layer
+// structs obtained from the packet remain valid; only the container and
+// its layer slice are recycled.
+func (p *Packet) Release() {
+	p.data, p.next, p.rest = nil, nil, nil
+	for i := range p.layers {
+		p.layers[i] = nil
+	}
+	p.layers = p.layers[:0]
+	p.network, p.transport, p.application, p.failure = nil, nil, nil, nil
+	packetPool.Put(p)
 }
 
 // Data returns the raw bytes of the packet.

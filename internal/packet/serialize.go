@@ -1,6 +1,9 @@
 package packet
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // SerializeOptions controls how layers serialize themselves.
 type SerializeOptions struct {
@@ -121,16 +124,43 @@ func SerializeLayers(buf SerializeBuffer, opts SerializeOptions, layers ...Seria
 	return nil
 }
 
+// serializeBufferPool recycles serialize buffers across Serialize calls.
+// Buffers return to the pool reset via the existing Clear, so a reused
+// buffer keeps whatever headroom and capacity earlier packets grew it to.
+var serializeBufferPool = sync.Pool{
+	New: func() interface{} { return NewSerializeBuffer() },
+}
+
+// GetSerializeBuffer returns a cleared buffer from the package pool.
+// Callers that encode many packets (the simulator's send paths) should
+// pair it with PutSerializeBuffer instead of allocating fresh buffers.
+func GetSerializeBuffer() SerializeBuffer {
+	return serializeBufferPool.Get().(SerializeBuffer)
+}
+
+// PutSerializeBuffer returns a buffer obtained from GetSerializeBuffer to
+// the pool. The buffer — and any slice obtained from it, including
+// Bytes() — must not be used afterwards.
+func PutSerializeBuffer(b SerializeBuffer) {
+	if b == nil {
+		return
+	}
+	b.Clear()
+	serializeBufferPool.Put(b)
+}
+
 // Serialize is a convenience wrapper returning the encoded bytes of the
 // given layer stack using FixAll options. It panics on error, which can
 // only result from a programming mistake in layer construction — callers
-// building packets from their own structs, not attacker input.
+// building packets from their own structs, not attacker input. The scratch
+// buffer comes from the package pool; only the returned copy allocates.
 func Serialize(layers ...SerializableLayer) []byte {
-	buf := NewSerializeBuffer()
+	buf := GetSerializeBuffer()
 	if err := SerializeLayers(buf, FixAll, layers...); err != nil {
 		panic(err)
 	}
 	out := make([]byte, len(buf.Bytes()))
 	copy(out, buf.Bytes())
+	PutSerializeBuffer(buf)
 	return out
 }

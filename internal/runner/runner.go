@@ -1,0 +1,128 @@
+// Package runner executes independent units of experiment work — cells —
+// across a pool of worker goroutines and returns their results in
+// canonical order.
+//
+// Parallelism here is safe by construction: every cell builds and owns its
+// own simnet.Sim, so cells share no mutable state. The only coordination
+// is the typed Result channel the workers feed; the collector scatters
+// results back into input order, which is what keeps parallel output
+// byte-identical to a serial run of the same cells.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Worker-count sentinels for Run.
+const (
+	// Auto sizes the pool to GOMAXPROCS.
+	Auto = 0
+	// Serial runs every cell on the calling goroutine, in order.
+	Serial = 1
+)
+
+// Cell is one independently runnable unit of work.
+type Cell struct {
+	// Experiment and Label identify the cell for diagnostics ("E5",
+	// "CONS"). Neither affects execution.
+	Experiment string
+	Label      string
+	// Run executes the cell and returns its partial result.
+	Run func() interface{}
+}
+
+// Result pairs a cell's canonical index with what its Run returned.
+type Result struct {
+	// Index is the cell's position in the input slice.
+	Index int
+	// Value is Run's return value (nil if the cell panicked).
+	Value interface{}
+	// Elapsed is the cell's wall-clock execution time.
+	Elapsed time.Duration
+	// Panic holds a value recovered from the cell, or nil. Run re-raises
+	// the first panic (in canonical order) after all cells finish, so
+	// callers normally never see this field set.
+	Panic interface{}
+}
+
+// Run executes cells on `workers` goroutines and returns the results
+// indexed exactly as the cells were given, regardless of completion
+// order. workers <= 0 (Auto) uses GOMAXPROCS; Serial (1) runs inline on
+// the calling goroutine. If any cell panics, Run re-panics with the first
+// panicking cell's value once every cell has finished.
+func Run(cells []Cell, workers int) []Result {
+	out := make([]Result, len(cells))
+	if len(cells) == 0 {
+		return out
+	}
+	if workers <= Auto {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	if workers == Serial {
+		for i := range cells {
+			out[i] = runCell(i, cells[i])
+		}
+	} else {
+		indexes := make(chan int)
+		results := make(chan Result, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range indexes {
+					results <- runCell(i, cells[i])
+				}
+			}()
+		}
+		go func() {
+			for i := range cells {
+				indexes <- i
+			}
+			close(indexes)
+			wg.Wait()
+			close(results)
+		}()
+		for r := range results {
+			out[r.Index] = r
+		}
+	}
+
+	for _, r := range out {
+		if r.Panic != nil {
+			panic(r.Panic)
+		}
+	}
+	return out
+}
+
+// Values projects results onto the plain cell return values, preserving
+// canonical order.
+func Values(results []Result) []interface{} {
+	vals := make([]interface{}, len(results))
+	for i, r := range results {
+		vals[i] = r.Value
+	}
+	return vals
+}
+
+// runCell executes one cell, converting a panic into a Result field so a
+// crashing cell cannot take down sibling workers mid-flight.
+func runCell(i int, c Cell) (r Result) {
+	r.Index = i
+	start := time.Now()
+	defer func() {
+		r.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			r.Panic = p
+		}
+	}()
+	r.Value = c.Run()
+	return r
+}

@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func squareCells(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = Cell{Label: fmt.Sprint(i), Run: func() interface{} { return i * i }}
+	}
+	return cells
+}
+
+// TestCanonicalOrder verifies results come back in input order for every
+// pool size, including pools larger than the cell count.
+func TestCanonicalOrder(t *testing.T) {
+	for _, workers := range []int{Auto, Serial, 2, 3, 64} {
+		results := Run(squareCells(17), workers)
+		if len(results) != 17 {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Index != i || r.Value.(int) != i*i {
+				t.Errorf("workers=%d: result %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+// TestSerialMatchesParallel is the engine's core guarantee: a parallel
+// run's projected values equal the serial run's.
+func TestSerialMatchesParallel(t *testing.T) {
+	serial := Values(Run(squareCells(31), Serial))
+	parallel := Values(Run(squareCells(31), Auto))
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("cell %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestAllCellsRun checks every cell executes exactly once under
+// contention.
+func TestAllCellsRun(t *testing.T) {
+	var ran int64
+	cells := make([]Cell, 100)
+	for i := range cells {
+		cells[i] = Cell{Run: func() interface{} { return atomic.AddInt64(&ran, 1) }}
+	}
+	Run(cells, 8)
+	if ran != 100 {
+		t.Fatalf("ran %d cells, want 100", ran)
+	}
+}
+
+// TestEmpty runs the degenerate empty input.
+func TestEmpty(t *testing.T) {
+	if got := Run(nil, Auto); len(got) != 0 {
+		t.Fatalf("Run(nil) = %v", got)
+	}
+}
+
+// TestPanicPropagates verifies a panicking cell surfaces after all cells
+// complete, and does not kill sibling cells.
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{Serial, 4} {
+		var survivors int64
+		cells := []Cell{
+			{Run: func() interface{} { atomic.AddInt64(&survivors, 1); return nil }},
+			{Run: func() interface{} { panic("cell exploded") }},
+			{Run: func() interface{} { atomic.AddInt64(&survivors, 1); return nil }},
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != "cell exploded" {
+					t.Errorf("workers=%d: recovered %v", workers, p)
+				}
+			}()
+			Run(cells, workers)
+			t.Errorf("workers=%d: Run did not panic", workers)
+		}()
+		if survivors != 2 {
+			t.Errorf("workers=%d: %d surviving cells ran, want 2", workers, survivors)
+		}
+	}
+}

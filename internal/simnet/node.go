@@ -199,12 +199,24 @@ type Delivery struct {
 	pkt *packet.Packet
 }
 
-// Packet returns the lazily decoded packet view of Data.
+// Packet returns the lazily decoded packet view of Data. The view is
+// backed by a pooled container that the node recycles when delivery
+// processing completes, so handlers must not retain it past their
+// callback (individual layer structs remain valid).
 func (d *Delivery) Packet() *packet.Packet {
 	if d.pkt == nil {
-		d.pkt = packet.NewPacket(d.Data, packet.LayerTypeIPv4, packet.LazyNoCopy)
+		d.pkt = packet.NewPooledPacket(d.Data, packet.LayerTypeIPv4, packet.LazyNoCopy)
 	}
 	return d.pkt
+}
+
+// recycle returns the decode scratch to the packet pool once the node has
+// finished processing the delivery.
+func (d *Delivery) recycle() {
+	if d.pkt != nil {
+		d.pkt.Release()
+		d.pkt = nil
+	}
 }
 
 // IPv4 returns the outer IPv4 header, or nil if malformed.
@@ -294,6 +306,7 @@ func (n *Node) receive(data []byte, in *Iface) {
 		return
 	}
 	d := &Delivery{Node: n, In: in, Data: data}
+	defer d.recycle()
 	for _, s := range n.sniffers {
 		if s(d) == SnifferConsume {
 			n.Stats.SnifferConsumed++

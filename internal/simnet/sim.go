@@ -32,6 +32,7 @@ type Time = time.Duration
 type Sim struct {
 	now     Time
 	events  eventHeap
+	free    []*event // recycled event structs; Sim is single-threaded
 	seq     uint64
 	rng     *rand.Rand
 	nodes   map[string]*Node
@@ -68,13 +69,24 @@ func (s *Sim) Schedule(d Time, fn func()) {
 	s.At(s.now+d, fn)
 }
 
-// At runs fn at absolute virtual time t (clamped to now).
+// At runs fn at absolute virtual time t (clamped to now). Event structs
+// are drawn from a per-Sim free list so steady-state scheduling does not
+// allocate.
 func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	var e *event
+	if k := len(s.free); k > 0 {
+		e = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+		e.at, e.seq, e.fn = t, s.seq, fn
+	} else {
+		e = &event{at: t, seq: s.seq, fn: fn}
+	}
+	heap.Push(&s.events, e)
 }
 
 // Stop makes Run return after the current event.
@@ -99,7 +111,12 @@ func (s *Sim) RunUntil(deadline Time) int {
 		}
 		heap.Pop(&s.events)
 		s.now = next.at
-		next.fn()
+		fn := next.fn
+		// Recycle before running fn: the event's fields are consumed, and
+		// fn's own Schedule calls can reuse the struct immediately.
+		next.fn = nil
+		s.free = append(s.free, next)
+		fn()
 		n++
 	}
 	if !s.stopped && s.now < deadline && deadline < 1<<62-1 {

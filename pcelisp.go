@@ -20,8 +20,9 @@
 //     (internal/experiments).
 //
 // Start with examples/quickstart for the paper's Fig. 1 walk-through,
-// cmd/experiments to regenerate the evaluation, and DESIGN.md for the
-// full system inventory and experiment index.
+// cmd/experiments to regenerate the evaluation (serially or fanned
+// across all CPUs with -parallel), README.md for the package map, and
+// EXPERIMENTS.md for the experiment index.
 package pcelisp
 
 import "github.com/pcelisp/pcelisp/internal/experiments"
