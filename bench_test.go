@@ -15,7 +15,11 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/experiments"
 	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/runner"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+	"github.com/pcelisp/pcelisp/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string, workers int) {
@@ -77,6 +81,42 @@ func BenchmarkE8Ablations(b *testing.B) { benchExperiment(b, "E8", runner.Serial
 
 // BenchmarkE8Parallel regenerates the same tables through the worker pool.
 func BenchmarkE8Parallel(b *testing.B) { benchExperiment(b, "E8", runner.Auto) }
+
+// BenchmarkE9CacheScalability regenerates the cache-pressure tables.
+func BenchmarkE9CacheScalability(b *testing.B) { benchExperiment(b, "E9", runner.Serial) }
+
+// BenchmarkE9Parallel regenerates the same tables through the worker pool.
+func BenchmarkE9Parallel(b *testing.B) { benchExperiment(b, "E9", runner.Auto) }
+
+// BenchmarkMapCachePressure measures the raw cache hot path (lookup,
+// insert, evict, wheel) per policy under a skewed key stream — the inner
+// loop every ITR runs per packet.
+func BenchmarkMapCachePressure(b *testing.B) {
+	for _, policy := range lisp.PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			sim := simnet.New(1)
+			factory, _ := lisp.PolicyByName(policy)
+			c := lisp.NewMapCacheWithPolicy(sim, 64, factory(64))
+			locs := []packet.LISPLocator{{Priority: 1, Weight: 100, Reachable: true,
+				Addr: netaddr.AddrFrom4(10, 9, 0, 1)}}
+			prefixes := make([]netaddr.Prefix, 512)
+			eids := make([]netaddr.Addr, 512)
+			for i := range prefixes {
+				prefixes[i] = netaddr.PrefixFrom(netaddr.AddrFrom4(100, byte(1+i/256), byte(i%256), 0), 24)
+				eids[i] = prefixes[i].NthHost(1)
+			}
+			zipf := workload.NewZipf(sim.Rand(), len(prefixes), 1.2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				i := zipf.Next()
+				if _, ok := c.Lookup(eids[i]); !ok {
+					c.Insert(prefixes[i], locs, 60)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkFlowSetupPCE measures one complete PCE flow setup (DNS +
 // push + handshake) on a fresh two-domain world — the end-to-end hot path.

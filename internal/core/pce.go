@@ -32,6 +32,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/dnssim"
@@ -151,7 +152,12 @@ type PCE struct {
 	pushed map[lisp.FlowKey]pushedFlow
 	// lastOuter tracks the last outer source seen per flow at local ETRs,
 	// so an upstream TE shift (new RLOCS) re-triggers the reverse push.
-	lastOuter map[lisp.FlowKey]netaddr.Addr
+	lastOuter map[lisp.FlowKey]outerSeen
+	// maintArmed marks an outstanding maintenance sweep. The sweep prunes
+	// pushed/lastOuter/ETR first-packet state older than MappingTTL and
+	// re-arms only while state remains, so long-running simulations hold
+	// steady memory without keeping the event queue alive forever.
+	maintArmed bool
 
 	// OnEvent, when set, receives control-plane milestones (experiment
 	// instrumentation).
@@ -165,6 +171,13 @@ type pushedFlow struct {
 	src     netaddr.Addr // SrcRLOC in use (the ingress choice)
 	dst     netaddr.Addr // DstRLOC in use
 	expires simnet.Time
+}
+
+// outerSeen is one lastOuter record: the outer source RLOC last observed
+// for a flow and when, so stale records can be aged out.
+type outerSeen struct {
+	src  netaddr.Addr
+	seen simnet.Time
 }
 
 // fetchCtx remembers what a MapFetch was for.
@@ -190,7 +203,7 @@ func New(node *simnet.Node, cfg Config) *PCE {
 		peers:     netaddr.NewTrie[netaddr.Addr](),
 		fetches:   make(map[uint64]fetchCtx),
 		pushed:    make(map[lisp.FlowKey]pushedFlow),
-		lastOuter: make(map[lisp.FlowKey]netaddr.Addr),
+		lastOuter: make(map[lisp.FlowKey]outerSeen),
 	}
 	node.AddSniffer(p.sniff)
 	node.ListenUDP(packet.PortPCECP, p.handleLocalPCECP)
@@ -285,6 +298,7 @@ func (p *PCE) dropPending(qname string, client netaddr.Addr) {
 // first (or re-routed) decapsulated packets.
 func (p *PCE) WireXTR(x *lisp.XTR) {
 	p.xtrs = append(p.xtrs, x)
+	x.SetSeenTTL(p.mappingTTL())
 	node := x.Node()
 	if p.cfg.Group.IsValid() {
 		node.Join(p.cfg.Group)
@@ -329,8 +343,9 @@ func (p *PCE) handleXTRPCECP(x *lisp.XTR, udp *packet.UDP) {
 // ETRs and the PCE database.
 func (p *PCE) onDecap(x *lisp.XTR, info lisp.DecapInfo) {
 	fk := lisp.FlowKey{Src: info.InnerSrc, Dst: info.InnerDst}
-	changed := p.lastOuter[fk] != info.OuterSrc
-	p.lastOuter[fk] = info.OuterSrc
+	changed := p.lastOuter[fk].src != info.OuterSrc
+	p.lastOuter[fk] = outerSeen{src: info.OuterSrc, seen: p.node.Sim().Now()}
+	p.armMaintenance()
 	if !info.First && !changed {
 		return
 	}
@@ -469,6 +484,13 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 	switch msg.Type {
 	case packet.PCECPMapFetch:
 		p.Stats.MapFetches++
+		// A truncated or malformed fetch carries no flow record (the
+		// record's SrcRLOC is the reply target); answering would
+		// dereference nothing and a crash here takes down the whole
+		// domain's control plane.
+		if len(msg.Flows) == 0 || !msg.Flows[0].SrcRLOC.IsValid() {
+			return
+		}
 		locators := p.cfg.Engine.MappingLocators()
 		reply := &packet.PCECP{
 			Version: packet.PCECPVersion, Type: packet.PCECPMapFetchReply,
@@ -486,8 +508,12 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 		p.Stats.ReversePushes++
 		// Database update: remember the flows (metrics only; the PCED
 		// database is consulted by TE tooling).
+		now := p.node.Sim().Now()
 		for _, f := range msg.Flows {
-			p.lastOuter[lisp.FlowKey{Src: f.DstEID, Dst: f.SrcEID}] = f.DstRLOC
+			p.lastOuter[lisp.FlowKey{Src: f.DstEID, Dst: f.SrcEID}] = outerSeen{src: f.DstRLOC, seen: now}
+		}
+		if len(msg.Flows) > 0 {
+			p.armMaintenance()
 		}
 	case packet.PCECPMappingPush:
 		// Multicast copy of our own push (head-end replication excludes
@@ -557,10 +583,56 @@ func (p *PCE) buildFlow(es, ed, ingress netaddr.Addr, entry *lisp.MapEntry) pack
 	p.pushed[fk] = pushedFlow{
 		src:     ingress,
 		dst:     dst,
-		expires: p.node.Sim().Now() + simnet.Time(p.cfg.MappingTTL)*simnet.Time(time.Second),
+		expires: p.node.Sim().Now() + p.mappingTTL(),
 	}
+	p.armMaintenance()
 	return packet.PCEFlowMapping{
 		TTL: p.cfg.MappingTTL, SrcEID: es, DstEID: ed, SrcRLOC: ingress, DstRLOC: dst,
+	}
+}
+
+// mappingTTL returns the configured mapping lifetime as virtual time.
+func (p *PCE) mappingTTL() simnet.Time {
+	return simnet.Time(p.cfg.MappingTTL) * simnet.Time(time.Second)
+}
+
+// armMaintenance schedules one maintenance sweep MappingTTL from now, if
+// none is outstanding.
+func (p *PCE) armMaintenance() {
+	if p.maintArmed {
+		return
+	}
+	p.maintArmed = true
+	p.node.Sim().Schedule(p.mappingTTL(), p.runMaintenance)
+}
+
+// runMaintenance ages out control-plane state tied to expired mappings:
+// pushed flows past their TTL, lastOuter records idle longer than the
+// TTL, and the ETRs' first-packet flow records (pruned by the xTRs' own
+// timers, counted here only for the re-arm decision). Unrefreshed
+// entries live at most 2×MappingTTL — one full sweep interval past their
+// expiry. The sweep re-arms only while state remains, so a drained
+// simulation's event queue still empties.
+func (p *PCE) runMaintenance() {
+	p.maintArmed = false
+	now := p.node.Sim().Now()
+	ttl := p.mappingTTL()
+	for fk, os := range p.lastOuter {
+		if now-os.seen >= ttl {
+			delete(p.lastOuter, fk)
+		}
+	}
+	for fk, pf := range p.pushed {
+		if now >= pf.expires {
+			delete(p.pushed, fk)
+		}
+	}
+	remaining := len(p.lastOuter) + len(p.pushed)
+	for _, x := range p.xtrs {
+		remaining += x.SeenSources()
+	}
+	if remaining > 0 {
+		p.armMaintenance()
 	}
 }
 
@@ -606,8 +678,22 @@ func (p *PCE) sendControl(dst netaddr.Addr, layers ...packet.SerializableLayer) 
 // returns the number of flows whose ingress moved.
 func (p *PCE) Repush() int {
 	now := p.node.Sim().Now()
+	// Walk the pushed flows in sorted key order: the moved flows are
+	// serialized into one PCECP message, and map iteration order must
+	// not leak into wire bytes (determinism guarantee).
+	keys := make([]lisp.FlowKey, 0, len(p.pushed))
+	for fk := range p.pushed {
+		keys = append(keys, fk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
 	var flows []packet.PCEFlowMapping
-	for fk, pf := range p.pushed {
+	for _, fk := range keys {
+		pf := p.pushed[fk]
 		if now >= pf.expires {
 			delete(p.pushed, fk)
 			continue

@@ -401,3 +401,93 @@ func BenchmarkFullPCEFlowSetup(b *testing.B) {
 		}
 	}
 }
+
+// TestMapFetchEmptyFlowsNoPanic is the malformed-message regression: a
+// truncated MapFetch that carries no flow record used to dereference
+// msg.Flows[0] and crash the PCE node. It must be dropped after counting.
+func TestMapFetchEmptyFlowsNoPanic(t *testing.T) {
+	w := newPCEWorld(t, defaultSpec())
+	sim := w.in.Sim
+	msg := &packet.PCECP{
+		Version: packet.PCECPVersion, Type: packet.PCECPMapFetch,
+		Nonce: 42, PCEAddr: w.pces[1].Addr(),
+		// Flows deliberately empty: the reply target is missing.
+	}
+	w.pces[1].Node().SendUDP(w.pces[1].Addr(), w.pces[0].Addr(),
+		packet.PortPCECP, packet.PortPCECP, msg)
+	sim.RunFor(2 * time.Second) // panics here without the guard
+	if w.pces[0].Stats.MapFetches == 0 {
+		t.Fatal("malformed fetch never reached the PCE")
+	}
+	// A fetch with a zero reply target is equally unanswerable.
+	bad := &packet.PCECP{
+		Version: packet.PCECPVersion, Type: packet.PCECPMapFetch,
+		Nonce: 43, PCEAddr: w.pces[1].Addr(),
+		Flows: []packet.PCEFlowMapping{{DstEID: w.in.Domain(0).Hosts[0].Addr}},
+	}
+	w.pces[1].Node().SendUDP(w.pces[1].Addr(), w.pces[0].Addr(),
+		packet.PortPCECP, packet.PortPCECP, bad)
+	sim.RunFor(2 * time.Second)
+	// The PCE is still alive and serving: a real flow works end to end.
+	delivered := false
+	w.in.Domain(1).Hosts[0].Node.ListenUDP(9700, func(*simnet.Delivery, *packet.UDP) { delivered = true })
+	w.in.Domain(0).Hosts[0].DNS.Lookup(w.in.HostName(1, 0), func(a netaddr.Addr, _ simnet.Time, ok bool) {
+		if ok {
+			w.in.Domain(0).Hosts[0].Node.SendUDP(w.in.Domain(0).Hosts[0].Addr, a, 1, 9700, packet.Payload("alive"))
+		}
+	})
+	sim.RunFor(5 * time.Second)
+	if !delivered {
+		t.Fatal("PCE not serving after malformed fetches")
+	}
+}
+
+// TestPCEStateMapsPruned is the unbounded-growth regression: pushed,
+// lastOuter and the ETRs' first-packet records must drain after their
+// mapping TTL passes with no traffic, so long-running simulations hold
+// steady memory.
+func TestPCEStateMapsPruned(t *testing.T) {
+	w := newPCEWorld(t, defaultSpec())
+	sim := w.in.Sim
+	d0, d1 := w.in.Domain(0), w.in.Domain(1)
+	src, dst := d0.Hosts[0], d1.Hosts[0]
+
+	src.DNS.Lookup(dst.Name, func(netaddr.Addr, simnet.Time, bool) {})
+	sim.RunFor(2 * time.Second)
+	dst.Node.ListenUDP(9800, func(*simnet.Delivery, *packet.UDP) {})
+	src.Node.SendUDP(src.Addr, dst.Addr, 1, 9800, packet.Payload("seed state"))
+	sim.RunFor(2 * time.Second)
+
+	if len(w.pces[0].pushed) == 0 {
+		t.Fatal("no pushed-flow state to prune")
+	}
+	if len(w.pces[1].lastOuter) == 0 {
+		t.Fatal("no lastOuter state to prune")
+	}
+	seen := 0
+	for _, x := range d1.XTRs {
+		seen += x.SeenSources()
+	}
+	if seen == 0 {
+		t.Fatal("no first-packet state to prune")
+	}
+
+	// Two maintenance intervals (MappingTTL=300s) of silence: everything
+	// tied to the expired mappings must be gone.
+	sim.RunFor(700 * time.Second)
+	for i, p := range w.pces {
+		if n := len(p.pushed); n != 0 {
+			t.Errorf("pce%d: pushed leaked %d entries", i, n)
+		}
+		if n := len(p.lastOuter); n != 0 {
+			t.Errorf("pce%d: lastOuter leaked %d entries", i, n)
+		}
+	}
+	for _, d := range w.in.Domains {
+		for _, x := range d.XTRs {
+			if n := x.SeenSources(); n != 0 {
+				t.Errorf("%s: seenSources leaked %d entries", x.Node().Name(), n)
+			}
+		}
+	}
+}

@@ -42,7 +42,8 @@ func TestDeterministicTables(t *testing.T) {
 // TestParallelMatchesSerial is the parallel engine's regression guarantee:
 // fanning an experiment's cells across a worker pool renders tables
 // byte-identical to the serial path for the same seed. E1 exercises the
-// per-CP decomposition, E5 the overhead comparison.
+// per-CP decomposition, E5 the overhead comparison, E9 the cache
+// scalability sweep (mixed synthetic and world cells).
 func TestParallelMatchesSerial(t *testing.T) {
 	render := func(tables []*metrics.Table) string {
 		s := ""
@@ -51,7 +52,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 		return s
 	}
-	for _, id := range []string{"E1", "E5"} {
+	for _, id := range []string{"E1", "E5", "E9"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)

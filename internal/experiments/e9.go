@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runner"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+	"github.com/pcelisp/pcelisp/internal/workload"
+)
+
+// E9 measures map-cache scalability, the question Coras et al. (On the
+// Scalability of LISP Mapping Caches) identify as the scaling limit of
+// any pull-or-push LISP control plane: how does the miss rate move with
+// cache size, eviction policy, and control plane under a Zipf-popularity,
+// Poisson-arrival workload?
+//
+// E9a drives a bare MapCache (no network) through a synthetic
+// resolver loop and sweeps capacity × eviction policy, reproducing the
+// Coras-style miss-rate-vs-cache-size curves, with TTL expiry handled by
+// the timing wheel and failed resolutions absorbed by the negative
+// cache. E9b puts the same workload shape on full simulated worlds and
+// sweeps control plane × capacity, reporting where each control plane's
+// ITR state actually lives (prefix cache vs per-flow table) and what
+// cache pressure does to it: pull planes (ALT/CONS/MS-MR) churn their
+// prefix cache, NERD's pushed database stops fitting, and PCE-CP's
+// per-flow entries track only active destinations.
+
+// e9aResult is one (policy, capacity) sweep point of the synthetic cache
+// driver.
+type e9aResult struct {
+	policy     string
+	capacity   int
+	stats      lisp.MapCacheStats
+	workingSet int
+	finalLen   int
+}
+
+// e9aParams sizes the synthetic sweep.
+type e9aParams struct {
+	prefixes   int     // destination population
+	arrivals   int     // total lookups
+	rate       float64 // Poisson arrivals per second
+	skew       float64 // Zipf skew
+	ttl        uint32  // mapping TTL seconds
+	failProb   float64 // resolution failure probability
+	capacities []int
+}
+
+func e9aScale(quick bool) e9aParams {
+	if quick {
+		return e9aParams{prefixes: 128, arrivals: 4000, rate: 200, skew: 1.2,
+			ttl: 15, failProb: 0.02, capacities: []int{8, 16, 32}}
+	}
+	return e9aParams{prefixes: 512, arrivals: 30000, rate: 200, skew: 1.2,
+		ttl: 60, failProb: 0.02, capacities: []int{16, 32, 64, 128}}
+}
+
+// e9aExperiment decomposes the synthetic sweep into one cell per
+// (eviction policy, capacity) point. The cells are not CP-specific, so
+// they run under any control-plane filter.
+func e9aExperiment(seed int64, quick bool) ([]Cell, MergeFunc) {
+	ps := e9aScale(quick)
+	var cells []Cell
+	idx := int64(0)
+	for _, policy := range lisp.PolicyNames() {
+		for _, capacity := range ps.capacities {
+			policy, capacity, cellSeed := policy, capacity, seed*1009+idx
+			idx++
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("%s/cap=%d", policy, capacity),
+				Run:   func() interface{} { return e9aRunCell(cellSeed, policy, capacity, ps) },
+			})
+		}
+	}
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E9a: miss rate vs cache size and eviction policy (synthetic Zipf/Poisson workload)",
+			"policy", "capacity", "lookups", "miss %", "evictions", "expired", "neg hits", "working set", "live at last arrival")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e9aResult)
+			total := c.stats.Hits + c.stats.Misses
+			missPct := 0.0
+			if total > 0 {
+				missPct = 100 * float64(c.stats.Misses) / float64(total)
+			}
+			tbl.AddRow(c.policy, c.capacity, total, missPct, c.stats.Evictions,
+				c.stats.Expired, c.stats.NegativeHits, c.workingSet, c.finalLen)
+		}
+		tbl.AddNote("%d Zipf(s=%.1f) destinations, %d Poisson arrivals at %.0f/s, TTL %ds, %.0f%% resolution failures",
+			ps.prefixes, ps.skew, ps.arrivals, ps.rate, ps.ttl, 100*ps.failProb)
+		tbl.AddNote("expired counts timing-wheel batch retirements plus in-window lazy collections; neg hits are misses answered by the negative cache")
+		return tbl
+	})
+	return cells, merge
+}
+
+// e9aRunCell drives one MapCache configuration through the synthetic
+// workload: every miss starts a 100ms mock resolution (deduplicated, as
+// an ITR would), a slice of which fail and land in the negative cache.
+func e9aRunCell(seed int64, policy string, capacity int, ps e9aParams) e9aResult {
+	sim := simnet.New(seed)
+	factory, ok := lisp.PolicyByName(policy)
+	if !ok {
+		panic("e9: unknown policy " + policy)
+	}
+	cache := lisp.NewMapCacheWithPolicy(sim, capacity, factory(capacity))
+	rng := sim.Rand()
+	zipf := workload.NewZipf(rng, ps.prefixes, ps.skew)
+	poisson := workload.NewPoisson(rng, ps.rate)
+	locators := []packet.LISPLocator{{Priority: 1, Weight: 100, Reachable: true,
+		Addr: netaddr.AddrFrom4(10, 99, 0, 1)}}
+	prefixOf := func(i int) netaddr.Prefix {
+		return netaddr.PrefixFrom(netaddr.AddrFrom4(100, byte(1+i/256), byte(i%256), 0), 24)
+	}
+	touched := make(map[int]bool)
+	resolving := make(map[int]bool)
+	done := 0
+	liveAtEnd := 0
+	var step func()
+	step = func() {
+		if done >= ps.arrivals {
+			return
+		}
+		done++
+		if done == ps.arrivals {
+			// Occupancy while the workload is still hot; once arrivals
+			// stop, the timing wheel (honestly) drains the cache to zero.
+			defer func() { liveAtEnd = cache.Len() }()
+		}
+		i := zipf.Next()
+		touched[i] = true
+		eid := prefixOf(i).NthHost(1)
+		if _, hit := cache.Lookup(eid); !hit {
+			if !resolving[i] && !cache.HasNegative(eid) {
+				resolving[i] = true
+				fail := rng.Float64() < ps.failProb
+				sim.Schedule(100*time.Millisecond, func() {
+					delete(resolving, i)
+					if fail {
+						cache.InsertNegative(eid, 5)
+					} else {
+						cache.Insert(prefixOf(i), locators, ps.ttl)
+					}
+				})
+			}
+		}
+		sim.Schedule(poisson.Next(), step)
+	}
+	sim.Schedule(0, step)
+	sim.Run()
+	return e9aResult{policy: policy, capacity: capacity, stats: cache.Stats,
+		workingSet: len(touched), finalLen: liveAtEnd}
+}
+
+// e9bResult is one (control plane, capacity) sweep point on a full
+// world.
+type e9bResult struct {
+	cp         CP
+	capacity   int
+	cache      lisp.MapCacheStats
+	cacheLen   int
+	flowLen    int
+	workingSet int
+	drops      uint64
+}
+
+// e9bParams sizes the world sweep.
+type e9bParams struct {
+	domains    int
+	arrivals   int
+	rate       float64
+	skew       float64
+	cps        []CP
+	capacities []int // 0 = unbounded baseline
+}
+
+func e9bScale(quick bool) e9bParams {
+	if quick {
+		return e9bParams{domains: 5, arrivals: 24, rate: 2, skew: 1.3,
+			cps: []CP{CPMSMR, CPNERD, CPPCE}, capacities: []int{2, 0}}
+	}
+	return e9bParams{domains: 10, arrivals: 80, rate: 2, skew: 1.3,
+		cps: comparisonCPs, capacities: []int{3, 0}}
+}
+
+// e9bExperiment decomposes the world sweep into one cell per (CP,
+// capacity).
+func e9bExperiment(seed int64, quick bool) ([]Cell, MergeFunc) {
+	ps := e9bScale(quick)
+	var cells []Cell
+	for _, cp := range ps.cps {
+		for _, capacity := range ps.capacities {
+			cp, capacity := cp, capacity
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("%s/cap=%s", cp, capLabel(capacity)), CP: cp,
+				Run: func() interface{} { return e9bRunCell(cp, seed, capacity, ps) },
+			})
+		}
+	}
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E9b: per-control-plane ITR state under cache pressure (Zipf/Poisson flows from one domain)",
+			"control plane", "capacity", "cache miss %", "evictions", "ITR cache", "ITR flows", "working set", "drops")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e9bResult)
+			total := c.cache.Hits + c.cache.Misses
+			missPct := 0.0
+			if total > 0 {
+				missPct = 100 * float64(c.cache.Misses) / float64(total)
+			}
+			tbl.AddRow(string(c.cp), capLabel(c.capacity), missPct, c.cache.Evictions,
+				c.cacheLen, c.flowLen, c.workingSet, c.drops)
+		}
+		tbl.AddNote("%d domains, %d Zipf(s=%.1f) destination draws at %.0f/s Poisson from domain 0; ITR columns are domain 0's xTR after the run",
+			ps.domains, ps.arrivals, ps.skew, ps.rate)
+		tbl.AddNote("working set = distinct destination domains drawn; drops = miss-policy losses (queue overflow/timeout)")
+		return tbl
+	})
+	return cells, merge
+}
+
+func capLabel(capacity int) string {
+	if capacity == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", capacity)
+}
+
+// e9bRunCell runs the Zipf/Poisson flow workload from domain 0 against
+// one control plane at one cache capacity.
+func e9bRunCell(cp CP, seed int64, capacity int, ps e9bParams) e9bResult {
+	w := BuildWorld(WorldConfig{
+		CP: cp, Domains: ps.domains, Seed: seed, HostsPerDomain: 1,
+		MissPolicy: lisp.MissQueue, CacheCapacity: capacity,
+	})
+	w.Settle()
+	// A dedicated deterministic source keeps the workload draw sequence
+	// independent of how much randomness the control plane itself burns.
+	rng := rand.New(rand.NewSource(seed*7919 + int64(capacity)*31 + 17))
+	zipf := workload.NewZipf(rng, ps.domains-1, ps.skew)
+	poisson := workload.NewPoisson(rng, ps.rate)
+	touched := make(map[int]bool)
+	launched := 0
+	src := w.In.Domains[0].Hosts[0]
+	var step func()
+	step = func() {
+		if launched >= ps.arrivals {
+			return
+		}
+		launched++
+		dd := 1 + zipf.Next()
+		touched[dd] = true
+		dst := w.In.Domains[dd].Hosts[0]
+		src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+			if ok {
+				src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
+			}
+		})
+		w.Sim.Schedule(poisson.Next(), step)
+	}
+	w.Sim.Schedule(0, step)
+	// The arrival chain is sequential; 2x the expected duration plus a
+	// drain window covers the Poisson tail.
+	w.Sim.RunFor(time.Duration(float64(ps.arrivals)/ps.rate)*2*time.Second + 30*time.Second)
+
+	x := w.In.Domains[0].XTRs[0]
+	return e9bResult{
+		cp: cp, capacity: capacity,
+		cache: x.Cache.Stats, cacheLen: x.Cache.Len(), flowLen: x.Flows.Len(),
+		workingSet: len(touched), drops: w.ITRDrops(),
+	}
+}
+
+// E9CacheScalability runs E9 serially and returns its tables.
+func E9CacheScalability(seed int64, quick bool) []*metrics.Table {
+	e, _ := ByID("E9")
+	cells, merge := e.Build(seed, quick)
+	return merge(runCells("E9", cells, runner.Serial))
+}

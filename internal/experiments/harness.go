@@ -75,6 +75,11 @@ type WorldConfig struct {
 	Providers      int
 	// MissPolicy applies to every ITR.
 	MissPolicy lisp.MissPolicy
+	// CacheCapacity bounds every ITR map-cache (0 = unbounded) and
+	// CachePolicy selects its eviction policy ("" = LRU) — the cache
+	// pressure axis experiment E9 sweeps.
+	CacheCapacity int
+	CachePolicy   string
 	// Seed drives all randomness.
 	Seed int64
 	// CoreDelayMin/Max bound provider-core delays.
@@ -186,6 +191,8 @@ func BuildWorld(cfg WorldConfig) *World {
 			Hosts:               cfg.HostsPerDomain,
 			Providers:           cfg.Providers,
 			MissPolicy:          cfg.MissPolicy,
+			CacheCapacity:       cfg.CacheCapacity,
+			CachePolicy:         cfg.CachePolicy,
 			SplitXTRs:           cfg.SplitXTRs,
 			ProviderCapacityBps: cfg.CapacityBps,
 		})

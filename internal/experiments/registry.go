@@ -13,7 +13,7 @@ import (
 // that folds their results into paper-style tables. Run and RunWorkers
 // are thin serial-or-parallel dispatchers over that decomposition.
 type Experiment struct {
-	// ID is the experiment identifier ("E1" ... "E8").
+	// ID is the experiment identifier ("E1" ... "E9").
 	ID string
 	// Title describes what it measures.
 	Title string
@@ -183,6 +183,26 @@ func All() []Experiment {
 					out = append(out, aMerge(results[:na])...)
 					out = append(out, bMerge(results[na:na+nb])...)
 					out = append(out, cMerge(results[na+nb:])...)
+					return out
+				}
+				return cells, merge
+			},
+		},
+		{
+			ID:    "E9",
+			Title: "Map-cache scalability under Zipf/Poisson load",
+			Claim: "Coras et al.: miss rate vs cache size is the scaling question; sweep capacity x eviction policy x control plane",
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
+				aCells, aMerge := e9aExperiment(seed, quick)
+				bCells, bMerge := e9bExperiment(seed, quick)
+				cells := make([]Cell, 0, len(aCells)+len(bCells))
+				cells = append(cells, aCells...)
+				cells = append(cells, bCells...)
+				na := len(aCells)
+				merge := func(results []interface{}) []*metrics.Table {
+					var out []*metrics.Table
+					out = append(out, aMerge(results[:na])...)
+					out = append(out, bMerge(results[na:])...)
 					return out
 				}
 				return cells, merge

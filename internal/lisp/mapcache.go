@@ -1,9 +1,10 @@
 // Package lisp implements the LISP data plane of draft-farinacci-lisp-08:
 // Ingress Tunnel Routers (ITRs) that encapsulate EID-addressed packets
 // toward Routing Locators, Egress Tunnel Routers (ETRs) that decapsulate
-// them, the EID-to-RLOC map-cache with TTL ageing and LRU capacity, and
-// the cache-miss policies whose cost the paper's claim (i) is about:
-// dropping or queueing packets while the mapping resolves.
+// them, the EID-to-RLOC map-cache with TTL ageing and pluggable
+// capacity-eviction policies, and the cache-miss policies whose cost the
+// paper's claim (i) is about: dropping or queueing packets while the
+// mapping resolves.
 //
 // The paper's PCE control plane extends the data plane with per-flow
 // mappings — the (ES, ED, RLOCS, RLOCD) tuples of step 7b — which let an
@@ -12,7 +13,6 @@
 package lisp
 
 import (
-	"container/list"
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
@@ -28,6 +28,10 @@ type MapEntry struct {
 	Locators []packet.LISPLocator
 	// Expires is the absolute virtual expiry time (0 = never).
 	Expires simnet.Time
+	// Negative marks a cached resolution failure: the EID is known to be
+	// unresolvable until Expires, so misses must not re-trigger
+	// resolution (the negative-cache half of the scalability subsystem).
+	Negative bool
 }
 
 // Expired reports whether the entry is stale at time now.
@@ -85,78 +89,179 @@ type MapCacheStats struct {
 	Expired   uint64
 	Evictions uint64
 	Inserts   uint64
+	// WheelRetired counts the subset of Expired that the timing wheel
+	// retired in batches (the rest tripped the lazy check in Lookup
+	// inside the sub-granularity window).
+	WheelRetired uint64
+	// NegativeInserts and NegativeHits count the negative cache: failed
+	// resolutions recorded, and lookups answered "known unresolvable".
+	// Negative hits also count as Misses for data-path purposes.
+	NegativeInserts uint64
+	NegativeHits    uint64
 }
 
+// wheelGranularity is the timing-wheel bucket width: expired entries
+// leave the cache within this much virtual time of their TTL.
+const wheelGranularity = simnet.Time(time.Second)
+
 // MapCache is the ITR's EID-to-RLOC cache: longest-prefix-match lookups,
-// TTL expiry against virtual time, and optional LRU capacity. NERD-style
+// TTL expiry against virtual time, and capacity eviction under a
+// pluggable policy (LRU, LFU, 2Q — see EvictionPolicy). NERD-style
 // full-database ITRs use capacity 0 (unbounded); cache-based ITRs use a
 // finite capacity, which is where the paper's miss penalties come from.
+//
+// A timing wheel retires expired entries in O(1) batches, so Len() and
+// the eviction statistics reflect live entries only — no lazy corpses.
+// Failed resolutions can be recorded as negative host entries (see
+// InsertNegative) so repeated misses for a dead EID stop re-triggering
+// resolution storms.
 type MapCache struct {
 	sim      *simnet.Sim
 	trie     *netaddr.Trie[*MapEntry]
+	entries  map[netaddr.Prefix]*MapEntry
 	capacity int
-	lru      *list.List // front = most recent; values are netaddr.Prefix
-	elems    map[netaddr.Prefix]*list.Element
+	policy   EvictionPolicy
+	wheel    *TimingWheel[netaddr.Prefix]
+	// negatives indexes the live negative keys so a positive insert can
+	// purge the covered ones: a stale negative /32 would otherwise
+	// shadow the new mapping via longest-prefix match.
+	negatives map[netaddr.Prefix]struct{}
 
 	// Stats counts cache activity for the experiments.
 	Stats MapCacheStats
 }
 
-// NewMapCache creates a cache; capacity 0 means unbounded.
+// NewMapCache creates an LRU cache; capacity 0 means unbounded.
 func NewMapCache(sim *simnet.Sim, capacity int) *MapCache {
-	return &MapCache{
-		sim:      sim,
-		trie:     netaddr.NewTrie[*MapEntry](),
-		capacity: capacity,
-		lru:      list.New(),
-		elems:    make(map[netaddr.Prefix]*list.Element),
-	}
+	return NewMapCacheWithPolicy(sim, capacity, nil)
 }
+
+// NewMapCacheWithPolicy creates a cache with an explicit eviction policy
+// (nil = LRU); capacity 0 means unbounded.
+func NewMapCacheWithPolicy(sim *simnet.Sim, capacity int, policy EvictionPolicy) *MapCache {
+	if policy == nil {
+		policy = NewLRU()
+	}
+	c := &MapCache{
+		sim:       sim,
+		trie:      netaddr.NewTrie[*MapEntry](),
+		entries:   make(map[netaddr.Prefix]*MapEntry),
+		capacity:  capacity,
+		policy:    policy,
+		negatives: make(map[netaddr.Prefix]struct{}),
+	}
+	c.wheel = NewTimingWheel[netaddr.Prefix](sim, wheelGranularity, c.retireExpired)
+	return c
+}
+
+// Policy returns the eviction policy in use.
+func (c *MapCache) Policy() EvictionPolicy { return c.policy }
 
 // Len returns the number of live entries.
 func (c *MapCache) Len() int { return c.trie.Len() }
 
 // Insert stores a mapping with ttl seconds of life (0 = immortal),
-// evicting the least recently used entry if at capacity.
+// evicting a policy-chosen victim if at capacity.
 func (c *MapCache) Insert(prefix netaddr.Prefix, locators []packet.LISPLocator, ttl uint32) *MapEntry {
 	e := &MapEntry{EIDPrefix: prefix, Locators: locators}
 	if ttl > 0 {
 		e.Expires = c.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
 	}
-	if el, ok := c.elems[prefix]; ok {
-		c.lru.MoveToFront(el)
-	} else {
-		if c.capacity > 0 && c.lru.Len() >= c.capacity {
-			oldest := c.lru.Back()
-			c.removeElement(oldest)
-			c.Stats.Evictions++
-		}
-		c.elems[prefix] = c.lru.PushFront(prefix)
-	}
-	c.trie.Insert(prefix, e)
+	c.insertEntry(prefix, e)
 	c.Stats.Inserts++
 	return e
 }
 
-func (c *MapCache) removeElement(el *list.Element) {
-	p := el.Value.(netaddr.Prefix)
-	c.lru.Remove(el)
-	delete(c.elems, p)
+// InsertNegative records that eid failed to resolve: a host-width
+// negative entry that answers lookups with "known dead" until ttl
+// seconds pass. A zero ttl is a no-op (negative caching disabled).
+func (c *MapCache) InsertNegative(eid netaddr.Addr, ttl uint32) *MapEntry {
+	if ttl == 0 {
+		return nil
+	}
+	e := &MapEntry{
+		EIDPrefix: netaddr.HostPrefix(eid),
+		Negative:  true,
+		Expires:   c.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second),
+	}
+	c.insertEntry(e.EIDPrefix, e)
+	c.Stats.NegativeInserts++
+	return e
+}
+
+// insertEntry places e under key prefix, handling capacity eviction and
+// wheel registration.
+func (c *MapCache) insertEntry(prefix netaddr.Prefix, e *MapEntry) {
+	if _, exists := c.entries[prefix]; exists {
+		c.policy.Touch(prefix)
+	} else {
+		if c.capacity > 0 && len(c.entries) >= c.capacity {
+			if victim, ok := c.policy.Victim(); ok {
+				delete(c.entries, victim)
+				delete(c.negatives, victim)
+				c.trie.Delete(victim)
+				c.Stats.Evictions++
+			}
+		}
+		c.policy.Admit(prefix)
+	}
+	c.entries[prefix] = e
+	c.trie.Insert(prefix, e)
+	if e.Negative {
+		c.negatives[prefix] = struct{}{}
+	} else {
+		delete(c.negatives, prefix)
+		// A fresh positive mapping overrides any negative host entries it
+		// covers; left in place they would shadow it via longest-prefix
+		// match for the rest of their TTL.
+		for np := range c.negatives {
+			if np != prefix && prefix.Contains(np.Addr()) {
+				c.removeKey(np)
+			}
+		}
+	}
+	if e.Expires != 0 {
+		c.wheel.Add(prefix, e.Expires)
+	}
+}
+
+// retireExpired is the timing-wheel flush: drop every bucketed key whose
+// current entry really is expired (refreshed entries are skipped — they
+// are registered again in a later bucket).
+func (c *MapCache) retireExpired(keys []netaddr.Prefix) {
+	now := c.sim.Now()
+	for _, p := range keys {
+		e, ok := c.entries[p]
+		if !ok || !e.Expired(now) {
+			continue
+		}
+		c.removeKey(p)
+		c.Stats.Expired++
+		c.Stats.WheelRetired++
+	}
+}
+
+// removeKey drops the exact key from storage and policy tracking.
+func (c *MapCache) removeKey(p netaddr.Prefix) {
+	delete(c.entries, p)
+	delete(c.negatives, p)
 	c.trie.Delete(p)
+	c.policy.Remove(p)
 }
 
 // Delete removes the exact prefix.
 func (c *MapCache) Delete(prefix netaddr.Prefix) bool {
-	el, ok := c.elems[prefix]
-	if !ok {
+	if _, ok := c.entries[prefix]; !ok {
 		return false
 	}
-	c.removeElement(el)
+	c.removeKey(prefix)
 	return true
 }
 
-// Lookup finds the longest-prefix mapping for eid, handling expiry and
-// LRU touch.
+// Lookup finds the longest-prefix mapping for eid, handling expiry, the
+// negative cache, and the policy touch. Negative entries answer as
+// misses (counted separately in Stats.NegativeHits); use HasNegative to
+// ask whether resolution should be suppressed.
 func (c *MapCache) Lookup(eid netaddr.Addr) (*MapEntry, bool) {
 	e, p, ok := c.trie.Lookup(eid)
 	if !ok {
@@ -166,21 +271,32 @@ func (c *MapCache) Lookup(eid netaddr.Addr) (*MapEntry, bool) {
 	// The trie reports the matched length; recover the exact prefix key.
 	key := netaddr.PrefixFrom(eid, p.Bits())
 	if e.Expired(c.sim.Now()) {
+		// The wheel retires in granularity batches; a lookup inside the
+		// window still observes (and collects) the expired entry.
 		c.Stats.Expired++
 		c.Stats.Misses++
-		if el, found := c.elems[key]; found {
-			c.removeElement(el)
-		}
+		c.removeKey(key)
+		return nil, false
+	}
+	if e.Negative {
+		c.Stats.NegativeHits++
+		c.Stats.Misses++
+		c.policy.Touch(key)
 		return nil, false
 	}
 	c.Stats.Hits++
-	if el, found := c.elems[key]; found {
-		c.lru.MoveToFront(el)
-	}
+	c.policy.Touch(key)
 	return e, true
 }
 
-// Walk visits all entries (including expired ones awaiting lazy eviction).
+// HasNegative reports whether eid is covered by a live negative entry,
+// without touching the statistics.
+func (c *MapCache) HasNegative(eid netaddr.Addr) bool {
+	e, _, ok := c.trie.Lookup(eid)
+	return ok && e.Negative && !e.Expired(c.sim.Now())
+}
+
+// Walk visits all live entries.
 func (c *MapCache) Walk(fn func(netaddr.Prefix, *MapEntry) bool) {
 	c.trie.Walk(func(p netaddr.Prefix, e *MapEntry) bool { return fn(p, e) })
 }
@@ -207,11 +323,14 @@ type FlowEntry struct {
 type FlowTable struct {
 	sim     *simnet.Sim
 	entries map[FlowKey]FlowEntry
+	wheel   *TimingWheel[FlowKey]
 }
 
 // NewFlowTable returns an empty flow table.
 func NewFlowTable(sim *simnet.Sim) *FlowTable {
-	return &FlowTable{sim: sim, entries: make(map[FlowKey]FlowEntry)}
+	t := &FlowTable{sim: sim, entries: make(map[FlowKey]FlowEntry)}
+	t.wheel = NewTimingWheel[FlowKey](sim, wheelGranularity, t.retireExpired)
+	return t
 }
 
 // Insert installs a flow mapping with ttl seconds of life (0 = immortal).
@@ -219,8 +338,21 @@ func (t *FlowTable) Insert(k FlowKey, srcRLOC, dstRLOC netaddr.Addr, ttl uint32)
 	e := FlowEntry{SrcRLOC: srcRLOC, DstRLOC: dstRLOC}
 	if ttl > 0 {
 		e.Expires = t.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
+		t.wheel.Add(k, e.Expires)
 	}
 	t.entries[k] = e
+}
+
+// retireExpired batch-drops expired flow entries so Len stays honest in
+// long-running simulations.
+func (t *FlowTable) retireExpired(keys []FlowKey) {
+	now := t.sim.Now()
+	for _, k := range keys {
+		e, ok := t.entries[k]
+		if ok && e.Expires != 0 && now >= e.Expires {
+			delete(t.entries, k)
+		}
+	}
 }
 
 // Lookup returns the live entry for k.
@@ -239,5 +371,5 @@ func (t *FlowTable) Lookup(k FlowKey) (FlowEntry, bool) {
 // Delete removes the entry for k.
 func (t *FlowTable) Delete(k FlowKey) { delete(t.entries, k) }
 
-// Len returns the number of entries including expired-but-unevicted ones.
+// Len returns the number of live entries.
 func (t *FlowTable) Len() int { return len(t.entries) }

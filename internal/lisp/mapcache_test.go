@@ -200,3 +200,33 @@ func TestFlowTable(t *testing.T) {
 		t.Fatal("delete failed")
 	}
 }
+
+// TestMapCacheExpiredLookupStats exercises the lazy expiry window: an
+// entry whose TTL lapses between timing-wheel buckets is collected by the
+// Lookup that trips over it, incrementing BOTH Expired and Misses.
+func TestMapCacheExpiredLookupStats(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	// Insert off the bucket grid so the entry expires at 10.5s while the
+	// wheel fires at 11s.
+	s.RunFor(500 * time.Millisecond)
+	c.Insert(netaddr.MustParsePrefix("100.2.0.0/16"), []packet.LISPLocator{loc("12.0.0.1", 1, 100)}, 10)
+	s.RunFor(10200 * time.Millisecond) // now 10.7s: expired, wheel not yet fired
+	if _, ok := c.Lookup(netaddr.MustParseAddr("100.2.0.1")); ok {
+		t.Fatal("expired entry must miss")
+	}
+	if c.Stats.Expired != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("expired=%d misses=%d, want both incremented", c.Stats.Expired, c.Stats.Misses)
+	}
+	if c.Stats.WheelRetired != 0 {
+		t.Fatalf("wheelRetired = %d for a lazily collected entry", c.Stats.WheelRetired)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// The wheel bucket firing later must not double count.
+	s.RunFor(time.Second)
+	if c.Stats.Expired != 1 {
+		t.Fatalf("expired double-counted: %d", c.Stats.Expired)
+	}
+}

@@ -1,0 +1,303 @@
+package lisp
+
+import (
+	"container/list"
+	"strings"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// EvictionPolicy decides which map-cache entry to discard when the cache
+// is at capacity. The cache owns the entries (trie + exact-match map);
+// the policy tracks only keys and their recency/frequency bookkeeping.
+// Coras et al. (On the Scalability of LISP Mapping Caches) show that the
+// replacement policy is one of the two knobs — with capacity — that set
+// the miss rate any pull-based LISP control plane pays, so the policy is
+// pluggable and experiment E9 sweeps the implementations against each
+// other.
+//
+// Contract: Admit is called once when a key becomes resident, Touch on
+// every hit of a resident key, Remove when a key leaves residency for any
+// reason other than Victim (delete, TTL retirement). Victim picks the key
+// to evict and drops it from the policy's own residency tracking; the
+// caller removes the entry from storage. All methods must be safe on
+// unknown keys.
+type EvictionPolicy interface {
+	// Name identifies the policy in tables ("lru", "lfu", "2q").
+	Name() string
+	// Admit records that key p became resident.
+	Admit(p netaddr.Prefix)
+	// Touch records a hit on resident key p.
+	Touch(p netaddr.Prefix)
+	// Remove forgets key p entirely.
+	Remove(p netaddr.Prefix)
+	// Victim selects and forgets the key to evict. ok is false when the
+	// policy tracks no resident keys.
+	Victim() (p netaddr.Prefix, ok bool)
+	// Len returns the number of resident keys tracked.
+	Len() int
+}
+
+// PolicyFactory builds a policy sized for a cache capacity (0 =
+// unbounded; such caches never call Victim).
+type PolicyFactory func(capacity int) EvictionPolicy
+
+// PolicyByName resolves a policy name (case-insensitive; "" = "lru").
+func PolicyByName(name string) (PolicyFactory, bool) {
+	switch strings.ToLower(name) {
+	case "", "lru":
+		return func(int) EvictionPolicy { return NewLRU() }, true
+	case "lfu":
+		return func(int) EvictionPolicy { return NewLFU() }, true
+	case "2q":
+		return func(capacity int) EvictionPolicy { return New2Q(capacity) }, true
+	}
+	return nil, false
+}
+
+// PolicyNames lists the built-in policies in canonical table order.
+func PolicyNames() []string { return []string{"lru", "lfu", "2q"} }
+
+// lruPolicy is classic least-recently-used: a recency list where the
+// back is the victim.
+type lruPolicy struct {
+	order *list.List // front = most recent; values are netaddr.Prefix
+	elems map[netaddr.Prefix]*list.Element
+}
+
+// NewLRU returns a least-recently-used policy.
+func NewLRU() EvictionPolicy {
+	return &lruPolicy{order: list.New(), elems: make(map[netaddr.Prefix]*list.Element)}
+}
+
+func (l *lruPolicy) Name() string { return "lru" }
+func (l *lruPolicy) Len() int     { return len(l.elems) }
+
+func (l *lruPolicy) Admit(p netaddr.Prefix) {
+	if el, ok := l.elems[p]; ok {
+		l.order.MoveToFront(el)
+		return
+	}
+	l.elems[p] = l.order.PushFront(p)
+}
+
+func (l *lruPolicy) Touch(p netaddr.Prefix) {
+	if el, ok := l.elems[p]; ok {
+		l.order.MoveToFront(el)
+	}
+}
+
+func (l *lruPolicy) Remove(p netaddr.Prefix) {
+	if el, ok := l.elems[p]; ok {
+		l.order.Remove(el)
+		delete(l.elems, p)
+	}
+}
+
+func (l *lruPolicy) Victim() (netaddr.Prefix, bool) {
+	el := l.order.Back()
+	if el == nil {
+		return netaddr.Prefix{}, false
+	}
+	p := el.Value.(netaddr.Prefix)
+	l.order.Remove(el)
+	delete(l.elems, p)
+	return p, true
+}
+
+// lfuPolicy is O(1) least-frequently-used with LRU tie-breaking inside
+// each frequency bucket (the Ketan/Shah constant-time LFU scheme).
+type lfuPolicy struct {
+	freqs   map[netaddr.Prefix]int
+	buckets map[int]*list.List // freq -> keys, front = most recent
+	elems   map[netaddr.Prefix]*list.Element
+	minFreq int
+}
+
+// NewLFU returns a least-frequently-used policy.
+func NewLFU() EvictionPolicy {
+	return &lfuPolicy{
+		freqs:   make(map[netaddr.Prefix]int),
+		buckets: make(map[int]*list.List),
+		elems:   make(map[netaddr.Prefix]*list.Element),
+	}
+}
+
+func (l *lfuPolicy) Name() string { return "lfu" }
+func (l *lfuPolicy) Len() int     { return len(l.freqs) }
+
+func (l *lfuPolicy) bucket(f int) *list.List {
+	b, ok := l.buckets[f]
+	if !ok {
+		b = list.New()
+		l.buckets[f] = b
+	}
+	return b
+}
+
+func (l *lfuPolicy) detach(p netaddr.Prefix) (int, bool) {
+	f, ok := l.freqs[p]
+	if !ok {
+		return 0, false
+	}
+	b := l.buckets[f]
+	b.Remove(l.elems[p])
+	if b.Len() == 0 {
+		delete(l.buckets, f)
+	}
+	delete(l.freqs, p)
+	delete(l.elems, p)
+	return f, true
+}
+
+func (l *lfuPolicy) attach(p netaddr.Prefix, f int) {
+	l.freqs[p] = f
+	l.elems[p] = l.bucket(f).PushFront(p)
+	if len(l.freqs) == 1 || f < l.minFreq {
+		l.minFreq = f
+	}
+}
+
+func (l *lfuPolicy) Admit(p netaddr.Prefix) {
+	if _, ok := l.freqs[p]; ok {
+		l.Touch(p)
+		return
+	}
+	l.attach(p, 1)
+	l.minFreq = 1
+}
+
+func (l *lfuPolicy) Touch(p netaddr.Prefix) {
+	f, ok := l.detach(p)
+	if !ok {
+		return
+	}
+	l.attach(p, f+1)
+	if l.minFreq == f {
+		if _, stillThere := l.buckets[f]; !stillThere {
+			l.minFreq = f + 1
+		}
+	}
+}
+
+func (l *lfuPolicy) Remove(p netaddr.Prefix) { l.detach(p) }
+
+func (l *lfuPolicy) Victim() (netaddr.Prefix, bool) {
+	if len(l.freqs) == 0 {
+		return netaddr.Prefix{}, false
+	}
+	// Removals can leave minFreq pointing at a drained bucket; scan
+	// upward to the next occupied one (amortized O(1): minFreq only
+	// rises, and Admit resets it to 1).
+	for l.buckets[l.minFreq] == nil {
+		l.minFreq++
+	}
+	el := l.buckets[l.minFreq].Back()
+	p := el.Value.(netaddr.Prefix)
+	l.detach(p)
+	return p, true
+}
+
+// twoQPolicy is the simplified 2Q of Johnson & Shasha (VLDB '94): new
+// keys enter a small FIFO (A1in); keys evicted from it leave a ghost
+// record (A1out, keys only); a re-reference while ghosted promotes the
+// key to the main LRU (Am). One-shot scans wash through A1in without
+// displacing the hot working set in Am.
+type twoQPolicy struct {
+	kin, kout int
+	a1in      *list.List // FIFO of resident keys, front = newest
+	am        *list.List // LRU of resident keys, front = most recent
+	a1out     *list.List // ghost keys (not resident), front = newest
+	resident  map[netaddr.Prefix]*twoQSlot
+	ghost     map[netaddr.Prefix]*list.Element
+}
+
+type twoQSlot struct {
+	in *list.List // which resident list the element lives on
+	el *list.Element
+}
+
+// New2Q returns a 2Q policy tuned for the given cache capacity: Kin =
+// capacity/4 and Kout = capacity/2 (the paper's recommended split), each
+// floored at 1.
+func New2Q(capacity int) EvictionPolicy {
+	kin, kout := capacity/4, capacity/2
+	if kin < 1 {
+		kin = 1
+	}
+	if kout < 1 {
+		kout = 1
+	}
+	return &twoQPolicy{
+		kin: kin, kout: kout,
+		a1in: list.New(), am: list.New(), a1out: list.New(),
+		resident: make(map[netaddr.Prefix]*twoQSlot),
+		ghost:    make(map[netaddr.Prefix]*list.Element),
+	}
+}
+
+func (q *twoQPolicy) Name() string { return "2q" }
+func (q *twoQPolicy) Len() int     { return len(q.resident) }
+
+func (q *twoQPolicy) Admit(p netaddr.Prefix) {
+	if _, ok := q.resident[p]; ok {
+		q.Touch(p)
+		return
+	}
+	if el, ghosted := q.ghost[p]; ghosted {
+		// Second chance: the key proved it gets re-referenced.
+		q.a1out.Remove(el)
+		delete(q.ghost, p)
+		q.resident[p] = &twoQSlot{in: q.am, el: q.am.PushFront(p)}
+		return
+	}
+	q.resident[p] = &twoQSlot{in: q.a1in, el: q.a1in.PushFront(p)}
+}
+
+func (q *twoQPolicy) Touch(p netaddr.Prefix) {
+	s, ok := q.resident[p]
+	if !ok {
+		return
+	}
+	if s.in == q.am {
+		q.am.MoveToFront(s.el)
+	}
+	// Hits inside A1in do not reorder it: A1in is a FIFO by design, so a
+	// burst of correlated references cannot fake hotness.
+}
+
+func (q *twoQPolicy) Remove(p netaddr.Prefix) {
+	if s, ok := q.resident[p]; ok {
+		s.in.Remove(s.el)
+		delete(q.resident, p)
+	}
+	if el, ok := q.ghost[p]; ok {
+		q.a1out.Remove(el)
+		delete(q.ghost, p)
+	}
+}
+
+func (q *twoQPolicy) Victim() (netaddr.Prefix, bool) {
+	if len(q.resident) == 0 {
+		return netaddr.Prefix{}, false
+	}
+	if q.a1in.Len() > q.kin || q.am.Len() == 0 {
+		// Reclaim from the FIFO and remember the key as a ghost.
+		el := q.a1in.Back()
+		p := el.Value.(netaddr.Prefix)
+		q.a1in.Remove(el)
+		delete(q.resident, p)
+		q.ghost[p] = q.a1out.PushFront(p)
+		for q.a1out.Len() > q.kout {
+			old := q.a1out.Back()
+			q.a1out.Remove(old)
+			delete(q.ghost, old.Value.(netaddr.Prefix))
+		}
+		return p, true
+	}
+	el := q.am.Back()
+	p := el.Value.(netaddr.Prefix)
+	q.am.Remove(el)
+	delete(q.resident, p)
+	return p, true
+}

@@ -1,0 +1,251 @@
+package lisp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+func pfx(i int) netaddr.Prefix {
+	return netaddr.PrefixFrom(netaddr.AddrFrom4(100, byte(i), 0, 0), 16)
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range append(PolicyNames(), "", "LRU", "2Q") {
+		f, ok := PolicyByName(name)
+		if !ok {
+			t.Fatalf("PolicyByName(%q) failed", name)
+		}
+		if f(4) == nil {
+			t.Fatalf("factory for %q returned nil", name)
+		}
+	}
+	if _, ok := PolicyByName("clock"); ok {
+		t.Fatal("unknown policy must not resolve")
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCacheWithPolicy(s, 3, NewLFU())
+	locators := []packet.LISPLocator{loc("12.0.0.1", 1, 100)}
+	for i := 1; i <= 3; i++ {
+		c.Insert(pfx(i), locators, 0)
+	}
+	// Hit 1 twice and 3 once; 2 stays at frequency 1 and is the LFU
+	// victim even though 2 was touched more recently than nothing.
+	c.Lookup(pfx(1).NthHost(1))
+	c.Lookup(pfx(1).NthHost(1))
+	c.Lookup(pfx(3).NthHost(1))
+	c.Insert(pfx(4), locators, 0)
+	if _, ok := c.Lookup(pfx(2).NthHost(1)); ok {
+		t.Fatal("least-frequently-used entry 2 must be evicted")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if _, ok := c.Lookup(pfx(i).NthHost(1)); !ok {
+			t.Fatalf("entry %d must survive", i)
+		}
+	}
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+func TestLFUTieBreaksByRecency(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCacheWithPolicy(s, 2, NewLFU())
+	locators := []packet.LISPLocator{loc("12.0.0.1", 1, 100)}
+	c.Insert(pfx(1), locators, 0)
+	c.Insert(pfx(2), locators, 0)
+	// Both at frequency 1; 1 is older within the bucket, so it goes.
+	c.Insert(pfx(3), locators, 0)
+	if _, ok := c.Lookup(pfx(1).NthHost(1)); ok {
+		t.Fatal("oldest same-frequency entry must be evicted")
+	}
+	if _, ok := c.Lookup(pfx(2).NthHost(1)); !ok {
+		t.Fatal("newer same-frequency entry must survive")
+	}
+}
+
+func Test2QScanResistance(t *testing.T) {
+	s := simnet.New(1)
+	capacity := 8
+	c := NewMapCacheWithPolicy(s, capacity, New2Q(capacity))
+	locators := []packet.LISPLocator{loc("12.0.0.1", 1, 100)}
+	// Build a hot set: insert, evict once into the ghost, re-insert to
+	// promote into Am, then keep hitting.
+	hot := []int{1, 2}
+	for _, i := range hot {
+		c.Insert(pfx(i), locators, 0)
+	}
+	// A long one-shot scan floods A1in...
+	for i := 10; i < 10+capacity; i++ {
+		c.Insert(pfx(i), locators, 0)
+	}
+	// ...which ghosts the hot keys; re-inserting promotes them to Am.
+	for _, i := range hot {
+		c.Insert(pfx(i), locators, 0)
+		c.Lookup(pfx(i).NthHost(1))
+	}
+	// Another scan must wash through A1in without displacing Am.
+	for i := 30; i < 30+2*capacity; i++ {
+		c.Insert(pfx(i), locators, 0)
+	}
+	for _, i := range hot {
+		if _, ok := c.Lookup(pfx(i).NthHost(1)); !ok {
+			t.Fatalf("hot entry %d displaced by scan traffic", i)
+		}
+	}
+}
+
+func Test2QVictimPrefersFIFOOverflow(t *testing.T) {
+	q := New2Q(8).(*twoQPolicy) // kin=2, kout=4
+	for i := 1; i <= 4; i++ {
+		q.Admit(pfx(i))
+	}
+	// A1in holds 4 > kin=2: victims come from the FIFO tail (oldest
+	// first) and leave ghosts behind.
+	v, ok := q.Victim()
+	if !ok || v != pfx(1) {
+		t.Fatalf("victim = %v, want %v", v, pfx(1))
+	}
+	if _, ghosted := q.ghost[pfx(1)]; !ghosted {
+		t.Fatal("FIFO victim must be remembered as a ghost")
+	}
+	// Re-admitting a ghost goes straight to Am.
+	q.Admit(pfx(1))
+	if s := q.resident[pfx(1)]; s == nil || s.in != q.am {
+		t.Fatal("ghosted key must be promoted to Am on re-admission")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("resident = %d", q.Len())
+	}
+}
+
+func TestPolicyRemoveIsIdempotent(t *testing.T) {
+	for _, name := range PolicyNames() {
+		f, _ := PolicyByName(name)
+		p := f(4)
+		p.Admit(pfx(1))
+		p.Remove(pfx(1))
+		p.Remove(pfx(1)) // must not panic or corrupt
+		p.Remove(pfx(9)) // unknown key
+		if p.Len() != 0 {
+			t.Fatalf("%s: len = %d after removal", name, p.Len())
+		}
+		if _, ok := p.Victim(); ok {
+			t.Fatalf("%s: victim from empty policy", name)
+		}
+	}
+}
+
+// TestTimingWheelHonestLen is the tentpole property: expired entries
+// leave the cache (and the statistics) in batches without any Lookup
+// tripping over them.
+func TestTimingWheelHonestLen(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	locators := []packet.LISPLocator{loc("12.0.0.1", 1, 100)}
+	for i := 1; i <= 3; i++ {
+		c.Insert(pfx(i), locators, 5)
+	}
+	c.Insert(pfx(9), locators, 0) // immortal
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	s.RunFor(6 * time.Second)
+	if c.Len() != 1 {
+		t.Fatalf("len after TTL = %d, want 1 (no lookups happened)", c.Len())
+	}
+	if c.Stats.Expired != 3 || c.Stats.WheelRetired != 3 {
+		t.Fatalf("expired=%d wheelRetired=%d", c.Stats.Expired, c.Stats.WheelRetired)
+	}
+	if c.Stats.Misses != 0 && c.Stats.Hits != 0 {
+		t.Fatal("wheel retirement must not fake lookup traffic")
+	}
+}
+
+// TestTimingWheelRefreshedEntrySurvives re-inserts before expiry: the
+// stale bucket registration must not kill the refreshed entry.
+func TestTimingWheelRefreshedEntrySurvives(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	locators := []packet.LISPLocator{loc("12.0.0.1", 1, 100)}
+	c.Insert(pfx(1), locators, 5)
+	s.RunFor(3 * time.Second)
+	c.Insert(pfx(1), locators, 60) // TTL refresh
+	s.RunFor(10 * time.Second)     // old bucket fires at t=5s
+	if c.Len() != 1 {
+		t.Fatal("refreshed entry must survive its stale wheel bucket")
+	}
+	if _, ok := c.Lookup(pfx(1).NthHost(1)); !ok {
+		t.Fatal("refreshed entry must still resolve")
+	}
+}
+
+func TestNegativeCache(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	eid := netaddr.MustParseAddr("100.2.0.9")
+	c.InsertNegative(eid, 5)
+	if c.Stats.NegativeInserts != 1 {
+		t.Fatalf("negative inserts = %d", c.Stats.NegativeInserts)
+	}
+	if !c.HasNegative(eid) {
+		t.Fatal("negative entry not visible")
+	}
+	if _, ok := c.Lookup(eid); ok {
+		t.Fatal("negative entry must answer as a miss")
+	}
+	if c.Stats.NegativeHits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	// A sibling EID outside the /32 is not covered.
+	if c.HasNegative(netaddr.MustParseAddr("100.2.0.10")) {
+		t.Fatal("negative host entry must not cover neighbours")
+	}
+	s.RunFor(6 * time.Second)
+	if c.HasNegative(eid) {
+		t.Fatal("negative entry must expire")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after negative expiry", c.Len())
+	}
+	// ttl 0 = disabled.
+	if c.InsertNegative(eid, 0) != nil {
+		t.Fatal("zero-TTL negative insert must be a no-op")
+	}
+}
+
+// TestPositiveInsertPurgesCoveredNegative is the shadowing regression: a
+// negative /32 must not eclipse a later-installed covering positive
+// mapping via longest-prefix match.
+func TestPositiveInsertPurgesCoveredNegative(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	eid := netaddr.MustParseAddr("100.2.0.7")
+	c.InsertNegative(eid, 60)
+	c.Insert(netaddr.MustParsePrefix("100.2.0.0/24"),
+		[]packet.LISPLocator{loc("12.0.0.1", 1, 100)}, 60)
+	if c.HasNegative(eid) {
+		t.Fatal("covered negative entry must be purged by the positive insert")
+	}
+	e, ok := c.Lookup(eid)
+	if !ok || e == nil || e.Negative {
+		t.Fatalf("lookup = %+v, %v; want the covering positive mapping", e, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// An uncovered negative elsewhere survives.
+	other := netaddr.MustParseAddr("100.3.0.7")
+	c.InsertNegative(other, 60)
+	c.Insert(netaddr.MustParsePrefix("100.2.0.0/16"),
+		[]packet.LISPLocator{loc("12.0.0.1", 1, 100)}, 60)
+	if !c.HasNegative(other) {
+		t.Fatal("uncovered negative entry must survive")
+	}
+}

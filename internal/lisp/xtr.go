@@ -36,7 +36,11 @@ func (p MissPolicy) String() string {
 
 // Resolver is the ITR's interface to a mapping system (ALT, CONS, NERD,
 // MS/MR). Resolve must eventually call done exactly once; ok=false means
-// the resolution failed or timed out.
+// the resolution failed. A failure may carry a non-nil entry with
+// Negative set: an authoritative "this EID is unresolvable" answer,
+// which the ITR negative-caches (RFC 2308 style). A nil entry is a
+// transient failure (timeout, loss) and must NOT be negative-cached —
+// the next packet retries.
 type Resolver interface {
 	Resolve(eid netaddr.Addr, done func(entry *MapEntry, ok bool))
 }
@@ -71,6 +75,9 @@ type XTRStats struct {
 	ResolutionsStarted uint64
 	// ResolutionsFailed counts resolutions that came back negative.
 	ResolutionsFailed uint64
+	// ResolutionsSuppressed counts resolutions skipped because the
+	// negative cache already knows the EID is dead.
+	ResolutionsSuppressed uint64
 	// FlowMappingsUsed counts encapsulations that used a per-flow entry.
 	FlowMappingsUsed uint64
 	// NonEIDForwarded counts intercepted packets that were not EID-bound.
@@ -89,6 +96,9 @@ type XTRConfig struct {
 	EIDSpace netaddr.Prefix
 	// CacheCapacity bounds the map-cache (0 = unbounded).
 	CacheCapacity int
+	// CachePolicy names the map-cache eviction policy ("lru", "lfu",
+	// "2q"; "" = LRU). Unknown names panic at install time.
+	CachePolicy string
 	// MissPolicy selects drop vs queue behaviour.
 	MissPolicy MissPolicy
 	// QueueCapPerEID bounds buffered packets per destination EID under
@@ -97,6 +107,10 @@ type XTRConfig struct {
 	// QueueTimeout bounds how long packets wait for a mapping
 	// (default 3s).
 	QueueTimeout simnet.Time
+	// NegativeTTL is the negative-cache lifetime in seconds for failed
+	// resolutions (default 5). DisableNegativeCache turns it off.
+	NegativeTTL          uint32
+	DisableNegativeCache bool
 	// Resolver is the mapping system to consult on cache misses. May be
 	// nil for pure-push control planes (NERD, PCE-CP), in which case
 	// misses follow the policy with no resolution.
@@ -115,14 +129,25 @@ type XTR struct {
 	// Flows is the per-flow table installed by the PCE control plane.
 	Flows *FlowTable
 
-	queue     map[netaddr.Addr][]queuedPacket
-	resolving map[netaddr.Addr]bool
+	queue map[netaddr.Addr][]queuedPacket
+	// queueTimer marks destinations with an outstanding expiry timer:
+	// exactly one per queued EID, re-armed at the head packet's deadline,
+	// instead of one callback per queued packet.
+	queueTimer map[netaddr.Addr]bool
+	resolving  map[netaddr.Addr]bool
 
 	// OnDecap, when set, is invoked for every decapsulated packet. The
 	// PCE control plane hooks it to learn and multicast reverse mappings.
 	OnDecap func(info DecapInfo)
 
-	seenSources map[FlowKey]bool
+	// seenSources records when each (inner src, inner dst) flow was last
+	// seen at this ETR. Entries older than seenTTL are pruned by a
+	// self-disarming timer so long-running simulations hold steady
+	// memory; a pruned flow's next packet counts as First again (its
+	// mapping state has aged out everywhere else too).
+	seenSources map[FlowKey]simnet.Time
+	seenTTL     simnet.Time
+	seenArmed   bool
 
 	// Stats counts activity for the experiments.
 	Stats XTRStats
@@ -143,14 +168,25 @@ func InstallXTR(node *simnet.Node, cfg XTRConfig) *XTR {
 	if cfg.QueueTimeout == 0 {
 		cfg.QueueTimeout = 3 * time.Second
 	}
+	if cfg.NegativeTTL == 0 {
+		cfg.NegativeTTL = 5
+	}
+	if cfg.DisableNegativeCache {
+		cfg.NegativeTTL = 0
+	}
+	factory, ok := PolicyByName(cfg.CachePolicy)
+	if !ok {
+		panic("lisp: unknown cache policy " + cfg.CachePolicy)
+	}
 	x := &XTR{
 		node:        node,
 		cfg:         cfg,
-		Cache:       NewMapCache(node.Sim(), cfg.CacheCapacity),
+		Cache:       NewMapCacheWithPolicy(node.Sim(), cfg.CacheCapacity, factory(cfg.CacheCapacity)),
 		Flows:       NewFlowTable(node.Sim()),
 		queue:       make(map[netaddr.Addr][]queuedPacket),
+		queueTimer:  make(map[netaddr.Addr]bool),
 		resolving:   make(map[netaddr.Addr]bool),
-		seenSources: make(map[FlowKey]bool),
+		seenSources: make(map[FlowKey]simnet.Time),
 	}
 	node.AddSniffer(x.interceptOutbound)
 	node.ListenUDP(packet.PortLISPData, x.decap)
@@ -172,6 +208,41 @@ func (x *XTR) RLOC() netaddr.Addr { return x.cfg.RLOC }
 
 // LocalEIDs returns the site prefix.
 func (x *XTR) LocalEIDs() netaddr.Prefix { return x.cfg.LocalEIDs }
+
+// SetSeenTTL bounds the lifetime of first-packet flow records (0 = keep
+// forever). The PCE control plane ties this to its mapping TTL when it
+// wires the xTR.
+func (x *XTR) SetSeenTTL(ttl simnet.Time) {
+	x.seenTTL = ttl
+	if len(x.seenSources) > 0 {
+		x.armSeenPrune()
+	}
+}
+
+// SeenSources returns the number of tracked first-packet flow records.
+func (x *XTR) SeenSources() int { return len(x.seenSources) }
+
+// armSeenPrune schedules one pruning pass, if pruning is enabled and none
+// is outstanding. The timer re-arms only while records remain, so an idle
+// simulation's event queue still drains.
+func (x *XTR) armSeenPrune() {
+	if x.seenTTL <= 0 || x.seenArmed {
+		return
+	}
+	x.seenArmed = true
+	x.node.Sim().Schedule(x.seenTTL, func() {
+		x.seenArmed = false
+		now := x.node.Sim().Now()
+		for fk, last := range x.seenSources {
+			if now-last >= x.seenTTL {
+				delete(x.seenSources, fk)
+			}
+		}
+		if len(x.seenSources) > 0 {
+			x.armSeenPrune()
+		}
+	})
+}
 
 // interceptOutbound encapsulates packets leaving the site toward remote
 // EIDs. Anything else passes through to normal forwarding.
@@ -222,9 +293,12 @@ func (x *XTR) dropOnMiss(dst netaddr.Addr, data []byte) {
 		if len(q) >= x.cfg.QueueCapPerEID {
 			x.Stats.QueueOverflows++
 		} else {
-			x.queue[dst] = append(q, queuedPacket{data: data, deadline: x.node.Sim().Now() + x.cfg.QueueTimeout})
+			deadline := x.node.Sim().Now() + x.cfg.QueueTimeout
+			x.queue[dst] = append(q, queuedPacket{data: data, deadline: deadline})
 			x.Stats.QueuedPackets++
-			x.scheduleQueueExpiry(dst)
+			if !x.queueTimer[dst] {
+				x.armQueueExpiry(dst, deadline)
+			}
 		}
 	default:
 		x.Stats.CacheMissDrops++
@@ -232,35 +306,62 @@ func (x *XTR) dropOnMiss(dst netaddr.Addr, data []byte) {
 	x.startResolution(dst)
 }
 
-func (x *XTR) scheduleQueueExpiry(dst netaddr.Addr) {
-	x.node.Sim().Schedule(x.cfg.QueueTimeout, func() {
-		now := x.node.Sim().Now()
-		q := x.queue[dst]
-		kept := q[:0]
-		for _, qp := range q {
-			if qp.deadline > now {
-				kept = append(kept, qp)
-			} else {
-				x.Stats.QueueTimeouts++
-			}
-		}
-		if len(kept) == 0 {
-			delete(x.queue, dst)
+// armQueueExpiry schedules the single outstanding expiry timer for dst's
+// queue at the given absolute deadline.
+func (x *XTR) armQueueExpiry(dst netaddr.Addr, at simnet.Time) {
+	x.queueTimer[dst] = true
+	x.node.Sim().At(at, func() { x.expireQueue(dst) })
+}
+
+// expireQueue drops timed-out packets for dst and re-arms the timer at
+// the new head-of-queue deadline if packets remain. Queues are FIFO with
+// a uniform timeout, so the head always holds the earliest deadline.
+func (x *XTR) expireQueue(dst netaddr.Addr) {
+	delete(x.queueTimer, dst)
+	q := x.queue[dst]
+	if len(q) == 0 {
+		delete(x.queue, dst)
+		return
+	}
+	now := x.node.Sim().Now()
+	kept := q[:0]
+	for _, qp := range q {
+		if qp.deadline > now {
+			kept = append(kept, qp)
 		} else {
-			x.queue[dst] = kept
+			x.Stats.QueueTimeouts++
 		}
-	})
+	}
+	if len(kept) == 0 {
+		delete(x.queue, dst)
+		return
+	}
+	x.queue[dst] = kept
+	x.armQueueExpiry(dst, kept[0].deadline)
 }
 
 func (x *XTR) startResolution(dst netaddr.Addr) {
 	if x.cfg.Resolver == nil || x.resolving[dst] {
 		return
 	}
+	if x.Cache.HasNegative(dst) {
+		x.Stats.ResolutionsSuppressed++
+		return
+	}
 	x.resolving[dst] = true
 	x.Stats.ResolutionsStarted++
 	x.cfg.Resolver.Resolve(dst, func(entry *MapEntry, ok bool) {
 		delete(x.resolving, dst)
+		if entry != nil && entry.Negative {
+			// Authoritative "no such EID": cache the negative answer so
+			// repeated misses stop re-triggering resolution.
+			x.Stats.ResolutionsFailed++
+			x.Cache.InsertNegative(dst, x.cfg.NegativeTTL)
+			return
+		}
 		if !ok || entry == nil {
+			// Transient failure (timeout, loss): no negative caching —
+			// the next packet retries, as a real ITR would.
 			x.Stats.ResolutionsFailed++
 			return
 		}
@@ -378,12 +479,13 @@ func (x *XTR) decap(d *simnet.Delivery, udp *packet.UDP) {
 	outerIP := d.IPv4()
 	if x.OnDecap != nil {
 		fk := FlowKey{Src: innerSrc, Dst: innerDst}
-		first := !x.seenSources[fk]
-		x.seenSources[fk] = true
+		_, seen := x.seenSources[fk]
+		x.seenSources[fk] = x.node.Sim().Now()
+		x.armSeenPrune()
 		x.OnDecap(DecapInfo{
 			InnerSrc: innerSrc, InnerDst: innerDst,
 			OuterSrc: outerIP.SrcIP, OuterDst: outerIP.DstIP,
-			First: first,
+			First: !seen,
 		})
 	}
 	cp := make([]byte, len(inner))

@@ -353,3 +353,195 @@ func BenchmarkEncapPath(b *testing.B) {
 		w.sim.Run()
 	}
 }
+
+// TestQueueExpiryTimerCoalesced is the timer-storm regression: however
+// many packets queue for one EID, exactly one expiry timer is
+// outstanding, re-armed at the head-of-queue deadline.
+func TestQueueExpiryTimerCoalesced(t *testing.T) {
+	w := newLISPWorld(t, XTRConfig{MissPolicy: MissQueue, QueueTimeout: time.Second})
+	w.sendData("a")
+	w.sim.RunFor(10 * time.Millisecond)
+	w.sendData("b")
+	w.sim.RunFor(10 * time.Millisecond)
+	w.sendData("c")
+	w.sim.RunFor(10 * time.Millisecond)
+	if w.xtrS.Stats.QueuedPackets != 3 {
+		t.Fatalf("queued = %d", w.xtrS.Stats.QueuedPackets)
+	}
+	if len(w.xtrS.queueTimer) != 1 {
+		t.Fatalf("outstanding queue timers = %d, want 1", len(w.xtrS.queueTimer))
+	}
+	// The staggered deadlines still fire: all three time out.
+	w.sim.RunFor(2 * time.Second)
+	if w.xtrS.Stats.QueueTimeouts != 3 {
+		t.Fatalf("timeouts = %d", w.xtrS.Stats.QueueTimeouts)
+	}
+	if len(w.xtrS.queue) != 0 || len(w.xtrS.queueTimer) != 0 {
+		t.Fatalf("queue=%d timers=%d leaked", len(w.xtrS.queue), len(w.xtrS.queueTimer))
+	}
+}
+
+// TestMissQueueOverflowThenReplay checks the overflow accounting at
+// QueueCapPerEID stays consistent through a late replay: capacity-bounded
+// queueing, overflow drops, then exactly the buffered packets replay.
+func TestMissQueueOverflowThenReplay(t *testing.T) {
+	w := newLISPWorld(t, XTRConfig{MissPolicy: MissQueue, QueueCapPerEID: 2})
+	delivered := 0
+	w.hD.ListenUDP(9000, func(*simnet.Delivery, *packet.UDP) { delivered++ })
+	for i := 0; i < 5; i++ {
+		w.sendData("x")
+	}
+	w.sim.RunFor(10 * time.Millisecond)
+	if w.xtrS.Stats.QueuedPackets != 2 || w.xtrS.Stats.QueueOverflows != 3 {
+		t.Fatalf("queued=%d overflow=%d", w.xtrS.Stats.QueuedPackets, w.xtrS.Stats.QueueOverflows)
+	}
+	w.xtrS.InstallMapping(dMapping())
+	w.sim.Run()
+	if delivered != 2 || w.xtrS.Stats.Replayed != 2 {
+		t.Fatalf("delivered=%d replayed=%d, want the 2 buffered packets only", delivered, w.xtrS.Stats.Replayed)
+	}
+	if w.xtrS.Stats.QueueTimeouts != 0 {
+		t.Fatalf("timeouts = %d", w.xtrS.Stats.QueueTimeouts)
+	}
+}
+
+// TestInstallFlowMultiSourceQueue queues packets from two local sources
+// to one destination EID; a late per-flow install must replay only its
+// own source's packets and keep the rest queued.
+func TestInstallFlowMultiSourceQueue(t *testing.T) {
+	w := newLISPWorld(t, XTRConfig{MissPolicy: MissQueue})
+	otherSrc := netaddr.MustParseAddr("100.1.0.6")
+	var got []string
+	w.hD.ListenUDP(9000, func(d *simnet.Delivery, udp *packet.UDP) {
+		got = append(got, string(udp.LayerPayload()))
+	})
+	w.sendData("from-five")
+	w.hS.SendUDP(otherSrc, w.eidD, 40000, 9000, packet.Payload("from-six"))
+	w.sim.RunFor(50 * time.Millisecond)
+	if w.xtrS.Stats.QueuedPackets != 2 {
+		t.Fatalf("queued = %d", w.xtrS.Stats.QueuedPackets)
+	}
+	// Install the flow for otherSrc only.
+	w.xtrS.InstallFlow(otherSrc, w.eidD, w.xtrS.RLOC(), netaddr.MustParseAddr("12.0.0.1"), 60)
+	w.sim.RunFor(100 * time.Millisecond)
+	if len(got) != 1 || got[0] != "from-six" {
+		t.Fatalf("replayed = %v, want only the matching source's packet", got)
+	}
+	if len(w.xtrS.queue[w.eidD]) != 1 {
+		t.Fatalf("remaining queue = %d, want eidS's packet kept", len(w.xtrS.queue[w.eidD]))
+	}
+	// The prefix mapping then releases the remaining packet.
+	w.xtrS.InstallMapping(dMapping())
+	w.sim.Run()
+	if len(got) != 2 || got[1] != "from-five" {
+		t.Fatalf("final deliveries = %v", got)
+	}
+	if w.xtrS.Stats.Replayed != 2 {
+		t.Fatalf("replayed = %d", w.xtrS.Stats.Replayed)
+	}
+}
+
+// TestNegativeCacheSuppressesResolutionStorm: after an authoritative
+// negative answer, repeated misses inside the negative TTL must not
+// re-trigger the mapping system; after expiry the retry goes through.
+func TestNegativeCacheSuppressesResolutionStorm(t *testing.T) {
+	var w *lispWorld
+	attempts := 0
+	resolver := ResolverFunc(func(eid netaddr.Addr, done func(*MapEntry, bool)) {
+		attempts++
+		fail := attempts == 1
+		w.sim.Schedule(10*time.Millisecond, func() {
+			if fail {
+				// Authoritative negative, as a map-server would answer.
+				done(&MapEntry{EIDPrefix: netaddr.HostPrefix(eid), Negative: true}, false)
+			} else {
+				done(dMapping(), true)
+			}
+		})
+	})
+	w = newLISPWorld(t, XTRConfig{MissPolicy: MissDrop, Resolver: resolver, NegativeTTL: 5})
+	w.sendData("one")
+	w.sim.RunFor(time.Second)
+	if attempts != 1 || w.xtrS.Stats.ResolutionsFailed != 1 {
+		t.Fatalf("attempts=%d failed=%d", attempts, w.xtrS.Stats.ResolutionsFailed)
+	}
+	// Storm of retries inside the negative TTL: all suppressed.
+	for i := 0; i < 10; i++ {
+		w.sendData("retry")
+	}
+	w.sim.RunFor(time.Second)
+	if attempts != 1 {
+		t.Fatalf("negative cache failed to suppress: %d resolutions", attempts)
+	}
+	if w.xtrS.Stats.ResolutionsSuppressed == 0 {
+		t.Fatal("suppressions not counted")
+	}
+	if w.xtrS.Cache.Stats.NegativeHits == 0 {
+		t.Fatal("negative hits not counted")
+	}
+	// After the negative TTL, resolution retries and succeeds.
+	w.sim.RunFor(5 * time.Second)
+	delivered := false
+	w.hD.ListenUDP(9000, func(*simnet.Delivery, *packet.UDP) { delivered = true })
+	w.sendData("after-expiry") // miss, triggers the second resolution
+	w.sim.RunFor(time.Second)
+	w.sendData("now-cached")
+	w.sim.Run()
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want retry after negative expiry", attempts)
+	}
+	if !delivered {
+		t.Fatal("post-retry packet not delivered")
+	}
+}
+
+// TestSeenSourcesPruned: first-packet flow records age out on the seen
+// TTL, and an aged-out flow's next packet counts as First again.
+func TestSeenSourcesPruned(t *testing.T) {
+	w := newLISPWorld(t, XTRConfig{MissPolicy: MissDrop})
+	w.xtrS.InstallMapping(dMapping())
+	w.hD.ListenUDP(9000, func(*simnet.Delivery, *packet.UDP) {})
+	var firsts []bool
+	w.xtrD.OnDecap = func(info DecapInfo) { firsts = append(firsts, info.First) }
+	w.xtrD.SetSeenTTL(30 * time.Second)
+	w.sendData("a")
+	w.sim.RunFor(time.Second)
+	if w.xtrD.SeenSources() != 1 {
+		t.Fatalf("seen sources = %d", w.xtrD.SeenSources())
+	}
+	// Two sweep intervals of silence age the record out.
+	w.sim.RunFor(70 * time.Second)
+	if w.xtrD.SeenSources() != 0 {
+		t.Fatalf("seen sources = %d after TTL, want 0", w.xtrD.SeenSources())
+	}
+	w.sendData("b")
+	w.sim.RunFor(time.Second)
+	if len(firsts) != 2 || !firsts[0] || !firsts[1] {
+		t.Fatalf("firsts = %v, want the aged-out flow to be First again", firsts)
+	}
+}
+
+// TestTransientFailureNotNegativeCached: a timeout-style failure (nil
+// entry) must not poison the negative cache — the next packet retries.
+func TestTransientFailureNotNegativeCached(t *testing.T) {
+	var w *lispWorld
+	attempts := 0
+	resolver := ResolverFunc(func(eid netaddr.Addr, done func(*MapEntry, bool)) {
+		attempts++
+		w.sim.Schedule(10*time.Millisecond, func() { done(nil, false) })
+	})
+	w = newLISPWorld(t, XTRConfig{MissPolicy: MissDrop, Resolver: resolver})
+	w.sendData("one")
+	w.sim.RunFor(time.Second)
+	w.sendData("two")
+	w.sim.RunFor(time.Second)
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want a retry per packet after transient failures", attempts)
+	}
+	if w.xtrS.Cache.Stats.NegativeInserts != 0 {
+		t.Fatal("transient failure must not enter the negative cache")
+	}
+	if w.xtrS.Stats.ResolutionsSuppressed != 0 {
+		t.Fatal("nothing should be suppressed")
+	}
+}

@@ -275,8 +275,11 @@ func (r *Requester) onReply(src netaddr.Addr, m *packet.LISPMapReply) {
 	}
 	delete(r.pending, m.Nonce)
 	if len(m.Records) == 0 || len(m.Records[0].Locators) == 0 {
+		// An authoritative empty reply, not a timeout: hand the ITR a
+		// negative entry so it can negative-cache the answer instead of
+		// re-resolving on every subsequent miss.
 		r.Stats.Negatives++
-		p.done(nil, false)
+		p.done(&lisp.MapEntry{EIDPrefix: netaddr.HostPrefix(p.eid), Negative: true}, false)
 		return
 	}
 	r.Stats.Answers++

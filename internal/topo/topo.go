@@ -64,6 +64,9 @@ type DomainSpec struct {
 	MissPolicy lisp.MissPolicy
 	// CacheCapacity bounds the map-caches (0 = unbounded).
 	CacheCapacity int
+	// CachePolicy names the map-cache eviction policy ("lru", "lfu",
+	// "2q"; "" = LRU).
+	CachePolicy string
 }
 
 // Provider is one upstream attachment of a domain.
@@ -358,6 +361,7 @@ func (in *Internet) buildDomain(spec *Spec, idx int) {
 			LocalEIDs:     d.EIDPrefix,
 			EIDSpace:      EIDSpace,
 			CacheCapacity: ds.CacheCapacity,
+			CachePolicy:   ds.CachePolicy,
 			MissPolicy:    ds.MissPolicy,
 		})
 		d.XTRs = append(d.XTRs, xtr)

@@ -34,6 +34,6 @@ const Version = "1.0.0"
 const Paper = "Castro, German, Masip-Bruin, Yannuzzi, Gagliano, Grampin: " +
 	"Advantages of a PCE-based Control Plane for LISP, CoNEXT 2008"
 
-// Experiments returns the evaluation suite (E1-E8); each entry regenerates
+// Experiments returns the evaluation suite (E1-E9); each entry regenerates
 // one table or figure of EXPERIMENTS.md.
 func Experiments() []experiments.Experiment { return experiments.All() }
