@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, so benchmark baselines can be committed (BENCH_PR3.json) and
+// compared across PRs by machines instead of eyeballs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH.json
+//
+// Lines that are not benchmark results (pkg headers, PASS/ok, cpu info)
+// pass through to stderr untouched, so the tool can sit at the end of a
+// pipe without hiding the raw run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in the emitted JSON.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Bytes/allocs are emitted unconditionally when the -benchmem columns
+	// were present: a measured 0 allocs/op (the scheduler's acceptance
+	// criterion) must be distinguishable from "not measured".
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkSimThroughput-8   300   5170396 ns/op   4084704 B/op   32347 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	doc := Document{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		r := Result{Name: strings.TrimSuffix(m[1], cpuSuffix(m[1]))}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			v, _ := strconv.ParseInt(m[4], 10, 64)
+			r.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseInt(m[5], 10, 64)
+			r.AllocsPerOp = &v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS tag of a benchmark name
+// (empty if absent), so names stay stable across machines. Only a suffix
+// matching this process's GOMAXPROCS is treated as the tag: go test
+// omits it entirely at GOMAXPROCS=1, and a parameterized sub-benchmark
+// name that happens to end in digits ("/cap-1024") must not be mangled.
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n != runtime.GOMAXPROCS(0) {
+		return ""
+	}
+	return name[i:]
+}

@@ -13,6 +13,8 @@
 //	experiments -workers 4     # cap the parallel worker pool
 //	experiments -cps PCE-CP,ALT  # restrict to some control planes
 //	experiments -markdown      # emit GitHub-flavoured tables (EXPERIMENTS.md)
+//	experiments -cpuprofile cpu.out   # profile a real run (go tool pprof)
+//	experiments -memprofile mem.out   # heap profile after the run
 //
 // -parallel distributes each experiment's independent cells (one
 // simulated world each) across GOMAXPROCS goroutines and merges results
@@ -24,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -32,6 +36,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	seed := flag.Int64("seed", 1, "world seed")
 	seeds := flag.String("seeds", "", "comma-separated world seeds (overrides -seed)")
@@ -42,20 +50,50 @@ func main() {
 	listCPs := flag.Bool("list-cps", false, "list control planes and exit")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	all := experiments.All()
 	if *list {
 		for _, e := range all {
 			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return 0
 	}
 	if *listCPs {
 		for _, cp := range experiments.AllCPs {
 			fmt.Println(cp)
 		}
-		return
+		return 0
 	}
 
 	var selected []experiments.Experiment
@@ -94,6 +132,7 @@ func main() {
 			}
 		}
 	}
+	return 0
 }
 
 // parseCPs resolves a comma-separated control-plane filter against the

@@ -57,7 +57,7 @@ func main() {
 		if dstD == srcD {
 			dstD = (dstD + 1) % *domains
 		}
-		w.Sim.Schedule(time.Duration(i)*2*time.Second, func() {
+		w.Sim.ScheduleFunc(time.Duration(i)*2*time.Second, func() {
 			w.StartFlow(srcD, 0, dstD, 0, func(res experiments.FlowResult) {
 				if res.OK {
 					ok++

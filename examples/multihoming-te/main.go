@@ -44,7 +44,7 @@ func main() {
 
 	for i := 0; i < remotes; i++ {
 		i := i
-		w.Sim.Schedule(time.Duration(i)*300*time.Millisecond, func() {
+		w.Sim.ScheduleFunc(time.Duration(i)*300*time.Millisecond, func() {
 			src := d0.Hosts[i]
 			remote := w.In.Domains[i+1].Hosts[0]
 			remote.Node.ListenUDP(7000, func(*simnet.Delivery, *packet.UDP) {})
@@ -54,7 +54,7 @@ func main() {
 					return
 				}
 				src.Node.SendUDP(src.Addr, addr, 40000, 7000, packet.Payload("hello"))
-				w.Sim.Schedule(time.Second, func() {
+				w.Sim.ScheduleFunc(time.Second, func() {
 					workload.NewPump(src.Node, src.Addr, addr, 7000, 900_000, 1000).Start()
 					workload.NewPump(remote.Node, remote.Addr, src.Addr, 7001, 1_200_000, 1000).Start()
 				})

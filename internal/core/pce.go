@@ -236,7 +236,8 @@ func (p *PCE) AttachResolver(r *dnssim.Resolver) {
 		p.pending[qname] = append(p.pending[qname], pendingFlow{
 			client: client, ingress: ingress, born: p.node.Sim().Now(),
 		})
-		p.node.Sim().Schedule(p.cfg.PendingTTL, func() { p.expirePending(qname) })
+		p.node.Sim().ScheduleTimer(p.cfg.PendingTTL, p,
+			simnet.TimerArg{Kind: pceTimerPendingExpire, S: qname})
 	}
 	r.OnAnswer = func(client netaddr.Addr, qname string, addr netaddr.Addr, fromCache bool) {
 		if !fromCache || !p.cfg.EIDPrefix.Contains(client) {
@@ -603,7 +604,26 @@ func (p *PCE) armMaintenance() {
 		return
 	}
 	p.maintArmed = true
-	p.node.Sim().Schedule(p.mappingTTL(), p.runMaintenance)
+	p.node.Sim().ScheduleTimer(p.mappingTTL(), p, simnet.TimerArg{Kind: pceTimerMaintenance})
+}
+
+// The PCE's typed timers, discriminated by TimerArg.Kind.
+const (
+	// pceTimerPendingExpire ages out pending flows for the qname in
+	// TimerArg.S.
+	pceTimerPendingExpire = iota
+	// pceTimerMaintenance runs the periodic state sweep.
+	pceTimerMaintenance
+)
+
+// OnTimer implements simnet.TimerHandler for the PCE's timers.
+func (p *PCE) OnTimer(arg simnet.TimerArg) {
+	switch arg.Kind {
+	case pceTimerPendingExpire:
+		p.expirePending(arg.S)
+	case pceTimerMaintenance:
+		p.runMaintenance()
+	}
 }
 
 // runMaintenance ages out control-plane state tied to expired mappings:

@@ -132,23 +132,29 @@ func (r *Resolver) handleClient(client netaddr.Addr, port uint16, q *packet.DNS)
 
 func (r *Resolver) sendQuery(res *resolution) {
 	res.gen++
-	gen := res.gen
 	r.Stats.Iterations++
 	q := packet.QuestionFor(uint16(res.gen)^uint16(res.steps<<8), res.qname, packet.DNSTypeA)
 	r.node.SendUDP(r.addr, res.server, packet.PortDNS, packet.PortDNS, q)
-	r.node.Sim().Schedule(r.Timeout, func() {
-		cur, ok := r.inflight[res.qname]
-		if !ok || cur != res || res.gen != gen {
-			return // superseded or finished
-		}
-		res.tries++
-		if res.tries > r.MaxRetries {
-			r.fail(res, packet.DNSRCodeServFail)
-			return
-		}
-		r.Stats.Retries++
-		r.sendQuery(res)
-	})
+	r.node.Sim().ScheduleTimer(r.Timeout, r,
+		simnet.TimerArg{P: res, N: int64(res.gen)})
+}
+
+// OnTimer implements simnet.TimerHandler: the per-upstream-query timeout.
+// TimerArg.P holds the resolution, TimerArg.N the generation the timer
+// was armed for; a stale generation means the query was superseded.
+func (r *Resolver) OnTimer(arg simnet.TimerArg) {
+	res := arg.P.(*resolution)
+	cur, ok := r.inflight[res.qname]
+	if !ok || cur != res || res.gen != int(arg.N) {
+		return // superseded or finished
+	}
+	res.tries++
+	if res.tries > r.MaxRetries {
+		r.fail(res, packet.DNSRCodeServFail)
+		return
+	}
+	r.Stats.Retries++
+	r.sendQuery(res)
 }
 
 func (r *Resolver) handleUpstream(msg *packet.DNS) {

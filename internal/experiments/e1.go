@@ -77,7 +77,7 @@ func e1RunCell(cp CP, seed int64, domains, packetsPerFlow int, spacing time.Dura
 	}
 	for dd := 1; dd < domains; dd++ {
 		dd := dd
-		w.Sim.Schedule(time.Duration(dd-1)*500*time.Millisecond, func() {
+		w.Sim.ScheduleFunc(time.Duration(dd-1)*500*time.Millisecond, func() {
 			src := w.In.Domains[0].Hosts[0]
 			dst := w.In.Domains[dd].Hosts[0]
 			src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
@@ -86,7 +86,7 @@ func e1RunCell(cp CP, seed int64, domains, packetsPerFlow int, spacing time.Dura
 				}
 				for i := 0; i < packetsPerFlow; i++ {
 					i := i
-					w.Sim.Schedule(time.Duration(i)*spacing, func() {
+					w.Sim.ScheduleFunc(time.Duration(i)*spacing, func() {
 						src.Node.SendUDP(src.Addr, addr, 40000, uint16(9000+dd),
 							packet.Payload("data"))
 					})

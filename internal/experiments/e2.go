@@ -81,7 +81,7 @@ func e2RunCell(cp CP, policy lisp.MissPolicy, seed int64, domains int) e2Result 
 		setup: metrics.NewSummary("setup"), handshake: metrics.NewSummary("handshake")}
 	for dd := 1; dd < domains; dd++ {
 		dd := dd
-		w.Sim.Schedule(time.Duration(dd-1)*3*time.Second, func() {
+		w.Sim.ScheduleFunc(time.Duration(dd-1)*3*time.Second, func() {
 			w.StartFlow(0, 0, dd, 0, func(fr FlowResult) {
 				if !fr.OK {
 					return

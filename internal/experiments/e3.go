@@ -73,7 +73,7 @@ func e3RunCell(cp CP, seed int64, domains, flows int) e3Result {
 		at += arrivals.Next()
 		srcH := i % len(w.In.Domains[0].Hosts)
 		dstD := 1 + zipf.Next()
-		w.Sim.Schedule(at, func() {
+		w.Sim.ScheduleFunc(at, func() {
 			w.StartFlow(0, srcH, dstD, 0, func(fr FlowResult) {
 				if fr.TDNS <= 0 || fr.MappingReady < 0 {
 					return

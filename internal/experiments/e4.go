@@ -71,7 +71,7 @@ func e4RunCell(seed int64, remoteDomains int) *metrics.Table {
 	// Launch one bidirectional flow per remote domain.
 	for i := 0; i < remoteDomains; i++ {
 		i := i
-		w.Sim.Schedule(time.Duration(i)*200*time.Millisecond, func() {
+		w.Sim.ScheduleFunc(time.Duration(i)*200*time.Millisecond, func() {
 			src := d0.Hosts[i]
 			remote := w.In.Domains[i+1].Hosts[0]
 			remote.Node.ListenUDP(7000, func(*simnet.Delivery, *packet.UDP) {})
@@ -83,7 +83,7 @@ func e4RunCell(seed int64, remoteDomains int) *metrics.Table {
 				// First packet establishes the reverse mapping at the
 				// remote ETRs, then both directions pump.
 				src.Node.SendUDP(src.Addr, addr, 40000, 7000, packet.Payload("hello"))
-				w.Sim.Schedule(time.Second, func() {
+				w.Sim.ScheduleFunc(time.Second, func() {
 					workload.NewPump(src.Node, src.Addr, addr, 7000, outboundRate, 1000).Start()
 					workload.NewPump(remote.Node, remote.Addr, src.Addr, 7001, inboundRate, 1000).Start()
 				})

@@ -73,7 +73,7 @@ func e5RunCell(cp CP, seed int64, domains int) e5Result {
 			}
 			s, d := s, d
 			flows++
-			w.Sim.Schedule(time.Duration(flows)*300*time.Millisecond, func() {
+			w.Sim.ScheduleFunc(time.Duration(flows)*300*time.Millisecond, func() {
 				src := w.In.Domains[s].Hosts[0]
 				dst := w.In.Domains[d].Hosts[0]
 				src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {

@@ -75,7 +75,7 @@ func e7RunCell(cp CP, seed int64, n, sampleFlows int) e7Result {
 		if dd >= n {
 			dd = n - 1
 		}
-		w.Sim.Schedule(time.Duration(i)*2*time.Second, func() {
+		w.Sim.ScheduleFunc(time.Duration(i)*2*time.Second, func() {
 			start := w.Sim.Now()
 			src := w.In.Domains[0].Hosts[0]
 			dst := w.In.Domains[dd].Hosts[0]
@@ -86,7 +86,7 @@ func e7RunCell(cp CP, seed int64, n, sampleFlows int) e7Result {
 				// Kick resolution with a data packet; readiness is
 				// recorded by the harness instrumentation.
 				src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
-				w.Sim.Schedule(20*time.Second, func() {
+				w.Sim.ScheduleFunc(20*time.Second, func() {
 					if at, found := w.MappingReadyAt(dst.Addr); found {
 						d := at - start
 						if d < 0 {

@@ -84,9 +84,9 @@ func e8aRunCell(seed int64) e8aResult {
 			synAtITR = w.Sim.Now()
 			return
 		}
-		w.Sim.Schedule(100*time.Microsecond, poll)
+		w.Sim.ScheduleFunc(100*time.Microsecond, poll)
 	}
-	w.Sim.Schedule(0, poll)
+	w.Sim.ScheduleFunc(0, poll)
 	w.Sim.RunFor(10 * time.Second)
 	if !done || installAt == 0 || synAtITR == 0 {
 		return e8aResult{}
@@ -242,7 +242,7 @@ func e8cRunCell(cp CP, seed int64, burst int) e8cResult {
 			}
 			for i := 0; i < 4; i++ {
 				i := i
-				w.Sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+				w.Sim.ScheduleFunc(time.Duration(i)*10*time.Millisecond, func() {
 					src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
 				})
 			}

@@ -143,7 +143,7 @@ func e9aRunCell(seed int64, policy string, capacity int, ps e9aParams) e9aResult
 			if !resolving[i] && !cache.HasNegative(eid) {
 				resolving[i] = true
 				fail := rng.Float64() < ps.failProb
-				sim.Schedule(100*time.Millisecond, func() {
+				sim.ScheduleFunc(100*time.Millisecond, func() {
 					delete(resolving, i)
 					if fail {
 						cache.InsertNegative(eid, 5)
@@ -153,9 +153,9 @@ func e9aRunCell(seed int64, policy string, capacity int, ps e9aParams) e9aResult
 				})
 			}
 		}
-		sim.Schedule(poisson.Next(), step)
+		sim.ScheduleFunc(poisson.Next(), step)
 	}
-	sim.Schedule(0, step)
+	sim.ScheduleFunc(0, step)
 	sim.Run()
 	return e9aResult{policy: policy, capacity: capacity, stats: cache.Stats,
 		workingSet: len(touched), finalLen: liveAtEnd}
@@ -268,9 +268,9 @@ func e9bRunCell(cp CP, seed int64, capacity int, ps e9bParams) e9bResult {
 				src.Node.SendUDP(src.Addr, addr, 40000, 9000, nil)
 			}
 		})
-		w.Sim.Schedule(poisson.Next(), step)
+		w.Sim.ScheduleFunc(poisson.Next(), step)
 	}
-	w.Sim.Schedule(0, step)
+	w.Sim.ScheduleFunc(0, step)
 	// The arrival chain is sequential; 2x the expected duration plus a
 	// drain window covers the Poisson tail.
 	w.Sim.RunFor(time.Duration(float64(ps.arrivals)/ps.rate)*2*time.Second + 30*time.Second)

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// TestSchedulerEnginesProduceIdenticalTables is the end-to-end ordering
+// guarantee for the timing-wheel event core: whole experiments rendered
+// under the production wheel must be byte-identical to the golden output
+// of the reference heap scheduler. E1 exercises the DNS + handshake +
+// miss-policy machinery across every control plane; E9 exercises the
+// cache TTL wheel, Zipf/Poisson generators and capacity sweeps.
+func TestSchedulerEnginesProduceIdenticalTables(t *testing.T) {
+	render := func(engine simnet.Engine, id string) string {
+		prev := simnet.SetDefaultEngine(engine)
+		defer simnet.SetDefaultEngine(prev)
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		s := ""
+		for _, tbl := range e.Run(11, true) {
+			s += tbl.String()
+		}
+		return s
+	}
+	for _, id := range []string{"E1", "E9"} {
+		golden := render(simnet.EngineHeap, id)
+		wheel := render(simnet.EngineWheel, id)
+		if golden == "" {
+			t.Fatalf("%s: reference run rendered nothing", id)
+		}
+		if golden != wheel {
+			t.Errorf("%s: wheel output diverged from reference-heap golden:\n%s\nvs\n%s",
+				id, wheel, golden)
+		}
+	}
+}

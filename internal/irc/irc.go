@@ -179,8 +179,11 @@ func (e *Engine) Start() {
 func (e *Engine) sampleAndRecompute() {
 	e.Sample()
 	e.recompute()
-	e.sim.Schedule(e.SampleInterval, func() { e.sampleAndRecompute() })
+	e.sim.ScheduleTimer(e.SampleInterval, e, simnet.TimerArg{})
 }
+
+// OnTimer implements simnet.TimerHandler: the background sampling tick.
+func (e *Engine) OnTimer(simnet.TimerArg) { e.sampleAndRecompute() }
 
 // Sample reads link counters once and updates utilization estimates.
 func (e *Engine) Sample() {

@@ -127,9 +127,9 @@ func TestEngineUtilizationSampling(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			dom.SendUDP(providers[0].RLOC, netaddr.MustParseAddr("10.0.0.2"), 1, 2, packet.Payload(payload))
 		}
-		s.Schedule(time.Second, pump)
+		s.ScheduleFunc(time.Second, pump)
 	}
-	s.Schedule(0, pump)
+	s.ScheduleFunc(0, pump)
 	s.RunUntil(10 * time.Second)
 	st := e.Snapshot()
 	if st[0].EgressUtil < 0.4 || st[0].EgressUtil > 0.65 {

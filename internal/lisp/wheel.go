@@ -49,13 +49,16 @@ func (w *TimingWheel[K]) Add(k K, expires simnet.Time) {
 		return
 	}
 	w.buckets[b] = []K{k}
-	w.sim.At(simnet.Time(b)*w.granularity, func() {
-		keys := w.buckets[b]
-		delete(w.buckets, b)
-		if len(keys) > 0 {
-			w.flush(keys)
-		}
-	})
+	w.sim.TimerAt(simnet.Time(b)*w.granularity, w, simnet.TimerArg{N: b})
+}
+
+// OnTimer flushes the bucket named by arg.N when its deadline passes.
+func (w *TimingWheel[K]) OnTimer(arg simnet.TimerArg) {
+	keys := w.buckets[arg.N]
+	delete(w.buckets, arg.N)
+	if len(keys) > 0 {
+		w.flush(keys)
+	}
 }
 
 // PendingBuckets returns the number of scheduled, unflushed buckets.

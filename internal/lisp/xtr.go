@@ -149,6 +149,16 @@ type XTR struct {
 	seenTTL     simnet.Time
 	seenArmed   bool
 
+	// Serialization scratch reused across encaps: the Sim is single-
+	// threaded and packet.Serialize copies everything into its output
+	// buffer, so rebuilding the outer headers in place avoids four heap
+	// allocations per encapsulated packet.
+	encIP      packet.IPv4
+	encUDP     packet.UDP
+	encLISP    packet.LISP
+	encPayload packet.Payload
+	encLayers  [4]packet.SerializableLayer
+
 	// Stats counts activity for the experiments.
 	Stats XTRStats
 }
@@ -222,6 +232,25 @@ func (x *XTR) SetSeenTTL(ttl simnet.Time) {
 // SeenSources returns the number of tracked first-packet flow records.
 func (x *XTR) SeenSources() int { return len(x.seenSources) }
 
+// The XTR's typed timers, discriminated by TimerArg.Kind.
+const (
+	// xtrTimerSeenPrune ages out first-packet flow records.
+	xtrTimerSeenPrune = iota
+	// xtrTimerQueueExpiry drops timed-out miss-queue packets for the EID
+	// in TimerArg.N.
+	xtrTimerQueueExpiry
+)
+
+// OnTimer implements simnet.TimerHandler for the xTR's timers.
+func (x *XTR) OnTimer(arg simnet.TimerArg) {
+	switch arg.Kind {
+	case xtrTimerSeenPrune:
+		x.pruneSeen()
+	case xtrTimerQueueExpiry:
+		x.expireQueue(netaddr.Addr(arg.N))
+	}
+}
+
 // armSeenPrune schedules one pruning pass, if pruning is enabled and none
 // is outstanding. The timer re-arms only while records remain, so an idle
 // simulation's event queue still drains.
@@ -230,18 +259,22 @@ func (x *XTR) armSeenPrune() {
 		return
 	}
 	x.seenArmed = true
-	x.node.Sim().Schedule(x.seenTTL, func() {
-		x.seenArmed = false
-		now := x.node.Sim().Now()
-		for fk, last := range x.seenSources {
-			if now-last >= x.seenTTL {
-				delete(x.seenSources, fk)
-			}
+	x.node.Sim().ScheduleTimer(x.seenTTL, x, simnet.TimerArg{Kind: xtrTimerSeenPrune})
+}
+
+// pruneSeen drops first-packet flow records older than seenTTL, re-arming
+// while any remain.
+func (x *XTR) pruneSeen() {
+	x.seenArmed = false
+	now := x.node.Sim().Now()
+	for fk, last := range x.seenSources {
+		if now-last >= x.seenTTL {
+			delete(x.seenSources, fk)
 		}
-		if len(x.seenSources) > 0 {
-			x.armSeenPrune()
-		}
-	})
+	}
+	if len(x.seenSources) > 0 {
+		x.armSeenPrune()
+	}
 }
 
 // interceptOutbound encapsulates packets leaving the site toward remote
@@ -310,7 +343,7 @@ func (x *XTR) dropOnMiss(dst netaddr.Addr, data []byte) {
 // queue at the given absolute deadline.
 func (x *XTR) armQueueExpiry(dst netaddr.Addr, at simnet.Time) {
 	x.queueTimer[dst] = true
-	x.node.Sim().At(at, func() { x.expireQueue(dst) })
+	x.node.Sim().TimerAt(at, x, simnet.TimerArg{Kind: xtrTimerQueueExpiry, N: int64(dst)})
 }
 
 // expireQueue drops timed-out packets for dst and re-arms the timer at
@@ -436,14 +469,16 @@ func (x *XTR) InstallFlow(srcEID, dstEID, srcRLOC, dstRLOC netaddr.Addr, ttl uin
 // independent one-way tunnels).
 func (x *XTR) encap(srcRLOC, dstRLOC netaddr.Addr, inner []byte) {
 	x.Stats.EncapPackets++
-	outerIP := &packet.IPv4{
+	x.encIP = packet.IPv4{
 		TTL: packet.DefaultTTL, Protocol: packet.IPProtocolUDP,
 		SrcIP: srcRLOC, DstIP: dstRLOC,
 	}
-	outerUDP := &packet.UDP{SrcPort: packet.PortLISPData, DstPort: packet.PortLISPData}
-	outerUDP.SetNetworkLayerForChecksum(outerIP)
-	hdr := &packet.LISP{NonceP: true, Nonce: uint32(x.node.Sim().Rand().Uint32()) & 0xffffff}
-	data := packet.Serialize(outerIP, outerUDP, hdr, packet.Payload(inner))
+	x.encUDP = packet.UDP{SrcPort: packet.PortLISPData, DstPort: packet.PortLISPData}
+	x.encUDP.SetNetworkLayerForChecksum(&x.encIP)
+	x.encLISP = packet.LISP{NonceP: true, Nonce: uint32(x.node.Sim().Rand().Uint32()) & 0xffffff}
+	x.encPayload = packet.Payload(inner)
+	x.encLayers = [4]packet.SerializableLayer{&x.encIP, &x.encUDP, &x.encLISP, &x.encPayload}
+	data := packet.Serialize(x.encLayers[:]...)
 	if out := x.node.IfaceByAddr(srcRLOC); out != nil {
 		x.node.SendVia(out, data)
 		return

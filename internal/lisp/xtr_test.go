@@ -188,7 +188,7 @@ func TestResolverIntegration(t *testing.T) {
 	resolveDelay := 150 * time.Millisecond
 	var w *lispWorld
 	resolver := ResolverFunc(func(eid netaddr.Addr, done func(*MapEntry, bool)) {
-		w.sim.Schedule(resolveDelay, func() { done(dMapping(), true) })
+		w.sim.ScheduleFunc(resolveDelay, func() { done(dMapping(), true) })
 	})
 	w = newLISPWorld(t, XTRConfig{MissPolicy: MissDrop, Resolver: resolver})
 	delivered := 0
@@ -213,7 +213,7 @@ func TestResolverIntegration(t *testing.T) {
 func TestResolverFailureCounted(t *testing.T) {
 	var w *lispWorld
 	resolver := ResolverFunc(func(eid netaddr.Addr, done func(*MapEntry, bool)) {
-		w.sim.Schedule(10*time.Millisecond, func() { done(nil, false) })
+		w.sim.ScheduleFunc(10*time.Millisecond, func() { done(nil, false) })
 	})
 	w = newLISPWorld(t, XTRConfig{MissPolicy: MissDrop, Resolver: resolver})
 	w.sendData("x")
@@ -450,7 +450,7 @@ func TestNegativeCacheSuppressesResolutionStorm(t *testing.T) {
 	resolver := ResolverFunc(func(eid netaddr.Addr, done func(*MapEntry, bool)) {
 		attempts++
 		fail := attempts == 1
-		w.sim.Schedule(10*time.Millisecond, func() {
+		w.sim.ScheduleFunc(10*time.Millisecond, func() {
 			if fail {
 				// Authoritative negative, as a map-server would answer.
 				done(&MapEntry{EIDPrefix: netaddr.HostPrefix(eid), Negative: true}, false)
@@ -528,7 +528,7 @@ func TestTransientFailureNotNegativeCached(t *testing.T) {
 	attempts := 0
 	resolver := ResolverFunc(func(eid netaddr.Addr, done func(*MapEntry, bool)) {
 		attempts++
-		w.sim.Schedule(10*time.Millisecond, func() { done(nil, false) })
+		w.sim.ScheduleFunc(10*time.Millisecond, func() { done(nil, false) })
 	})
 	w = newLISPWorld(t, XTRConfig{MissPolicy: MissDrop, Resolver: resolver})
 	w.sendData("one")

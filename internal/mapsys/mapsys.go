@@ -251,21 +251,30 @@ func (r *Requester) sendAttempt(nonce uint64, p *pendingResolve) {
 	} else {
 		r.agent.Send(target, req)
 	}
-	r.agent.node.Sim().Schedule(r.Timeout, func() {
-		cur, ok := r.pending[nonce]
-		if !ok || cur != p || p.gen != gen {
-			return
-		}
-		p.tries++
-		if p.tries > r.MaxRetries {
-			delete(r.pending, nonce)
-			r.Stats.Timeouts++
-			p.done(nil, false)
-			return
-		}
-		r.Stats.Retries++
-		r.sendAttempt(nonce, p)
-	})
+	r.agent.node.Sim().ScheduleTimer(r.Timeout, r,
+		simnet.TimerArg{P: p, N: int64(nonce), Kind: int32(gen)})
+}
+
+// OnTimer implements simnet.TimerHandler: the per-attempt Map-Request
+// timeout. TimerArg.P holds the pending resolve, N its nonce and Kind the
+// generation the timer was armed for (the requester has a single timer,
+// so Kind is free to carry it).
+func (r *Requester) OnTimer(arg simnet.TimerArg) {
+	p := arg.P.(*pendingResolve)
+	nonce := uint64(arg.N)
+	cur, ok := r.pending[nonce]
+	if !ok || cur != p || p.gen != int(arg.Kind) {
+		return
+	}
+	p.tries++
+	if p.tries > r.MaxRetries {
+		delete(r.pending, nonce)
+		r.Stats.Timeouts++
+		p.done(nil, false)
+		return
+	}
+	r.Stats.Retries++
+	r.sendAttempt(nonce, p)
 }
 
 func (r *Requester) onReply(src netaddr.Addr, m *packet.LISPMapReply) {

@@ -166,7 +166,7 @@ func (m *MSMR) ControlTotals() ControlStats {
 func (m *MSMR) AttachSite(site *Site) lisp.Resolver {
 	agent := m.agentFor(site.Node, site.Addr)
 	ETRResponder(agent, site)
-	m.register(agent, site)
+	m.register(&registration{agent: agent, site: site})
 
 	req := NewRequester(agent)
 	req.ECM = true
@@ -184,18 +184,32 @@ func (m *MSMR) agentFor(node *simnet.Node, addr netaddr.Addr) *ControlAgent {
 	return a
 }
 
-func (m *MSMR) register(agent *ControlAgent, site *Site) {
+func (m *MSMR) register(reg *registration) {
+	agent, site := reg.agent, reg.site
 	key := site.AuthKey
 	if key == nil {
 		key = m.authKey
 	}
-	reg := &packet.LISPMapRegister{
+	msg := &packet.LISPMapRegister{
 		ProxyReply: false, WantNotify: false,
 		Nonce:   agent.node.Sim().Rand().Uint64(),
 		KeyID:   1,
 		AuthKey: key,
 		Records: []packet.LISPMapRecord{site.Record()},
 	}
-	agent.Send(m.MS.Addr(), reg)
-	agent.node.Sim().Schedule(m.RegisterInterval, func() { m.register(agent, site) })
+	agent.Send(m.MS.Addr(), msg)
+	agent.node.Sim().ScheduleTimer(m.RegisterInterval, m, simnet.TimerArg{P: reg})
+}
+
+// registration carries one ETR's periodic re-registration context
+// through the typed register timer. Allocated once per attached site and
+// reused by every re-arm.
+type registration struct {
+	agent *ControlAgent
+	site  *Site
+}
+
+// OnTimer implements simnet.TimerHandler: the periodic re-registration.
+func (m *MSMR) OnTimer(arg simnet.TimerArg) {
+	m.register(arg.P.(*registration))
 }

@@ -144,9 +144,12 @@ type NERDPollerStats struct {
 func NewNERDPoller(agent *ControlAgent, xtr *lisp.XTR, authority netaddr.Addr, firstDelay, interval simnet.Time) *NERDPoller {
 	p := &NERDPoller{agent: agent, xtr: xtr, authority: authority, interval: interval}
 	agent.OnMapReply = p.onReply
-	agent.node.Sim().Schedule(firstDelay, func() { p.poll() })
+	agent.node.Sim().ScheduleTimer(firstDelay, p, simnet.TimerArg{})
 	return p
 }
+
+// OnTimer implements simnet.TimerHandler: the periodic database poll.
+func (p *NERDPoller) OnTimer(simnet.TimerArg) { p.poll() }
 
 // Version returns the last database version seen.
 func (p *NERDPoller) Version() uint64 { return p.version }
@@ -159,7 +162,7 @@ func (p *NERDPoller) poll() {
 		EIDPrefixes: []netaddr.Prefix{netaddr.PrefixFrom(0, 0)},
 	}
 	p.agent.Send(p.authority, req)
-	p.agent.node.Sim().Schedule(p.interval, func() { p.poll() })
+	p.agent.node.Sim().ScheduleTimer(p.interval, p, simnet.TimerArg{})
 }
 
 func (p *NERDPoller) onReply(src netaddr.Addr, m *packet.LISPMapReply) {

@@ -1,0 +1,189 @@
+package simnet
+
+// EventKind discriminates the fixed set of things the simulator can
+// schedule. Events are plain structs dispatched through a switch, not
+// closures: scheduling one copies a fixed-size value into the scheduler's
+// slot storage, so the steady-state hot path (packet delivery, protocol
+// timers) allocates nothing.
+type EventKind uint8
+
+const (
+	evNone EventKind = iota
+	// evTimer fires a typed timer: h.OnTimer(arg).
+	evTimer
+	// evArrive delivers packet bytes arriving at iface's node from the
+	// wire (the tail of Iface.transmit).
+	evArrive
+	// evDeliver loops locally originated packet bytes back into node's
+	// receive path without touching a link.
+	evDeliver
+)
+
+// TimerHandler is the typed-timer callback. A component implements it
+// once and discriminates its own timers via TimerArg.Kind, so arming a
+// timer stores an interface pair (type, receiver pointer) instead of
+// allocating a fresh closure per event.
+type TimerHandler interface {
+	OnTimer(arg TimerArg)
+}
+
+// TimerArg is the fixed-size argument block carried by a typed timer.
+// All fields are optional; their meaning belongs to the handler.
+//
+// P must only hold pointer-shaped values (pointers, funcs, maps): those
+// are stored directly in the interface word, keeping ScheduleTimer
+// allocation-free. Boxing a plain struct or int into P would allocate.
+type TimerArg struct {
+	// Kind discriminates between a handler's different timers. A handler
+	// with a single timer may reuse it as a second small numeric payload
+	// (a generation counter, say).
+	Kind int32
+	// N is a numeric payload (an address, a bucket index, a nonce...).
+	N int64
+	// S is a string payload (a DNS qname...). String headers copy without
+	// allocating.
+	S string
+	// P is a pointer payload (a pending-request struct...).
+	P any
+}
+
+// event is one scheduled occurrence. Events are stored by value in the
+// scheduler's slot slices and lane; they are copied, never shared, so no
+// per-event allocation happens in steady state. The struct is kept as
+// small as possible — it is memmoved on every insert, cascade and pop —
+// which is why the arrival interface travels as an index into the node's
+// iface list rather than a second pointer.
+type event struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among same-time events
+	kind  EventKind
+	ifIdx uint16 // evArrive: index of the arrival iface in node.ifaces
+	node  *Node  // evArrive/evDeliver: receiving node
+	data  []byte // evArrive/evDeliver: packet bytes
+	h     TimerHandler
+	arg   TimerArg
+}
+
+// eventLess orders events by (time, scheduling sequence): the exact FIFO
+// contract every scheduler implementation must preserve.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// funcTimer adapts a plain closure to TimerHandler for the ScheduleFunc
+// compatibility shim. Func values are pointer-shaped, so the interface
+// conversion itself does not allocate (the closure, if it captures, does
+// — which is exactly why hot paths use typed events instead).
+type funcTimer func()
+
+// OnTimer implements TimerHandler.
+func (f funcTimer) OnTimer(TimerArg) { f() }
+
+// dispatch executes one event. Called by the run loop with s.now already
+// advanced to e.at.
+func (s *Sim) dispatch(e *event) {
+	switch e.kind {
+	case evArrive:
+		e.node.receive(e.data, e.node.ifaces[e.ifIdx])
+	case evDeliver:
+		e.node.receive(e.data, nil)
+	case evTimer:
+		e.h.OnTimer(e.arg)
+	}
+}
+
+// scheduler is the event-queue contract shared by the production timing
+// wheel and the reference heap. Implementations must pop events in exact
+// (at, seq) order.
+type scheduler interface {
+	// schedule copies *e into the queue.
+	schedule(e *event)
+	// peek returns the next event, or nil when the queue is empty. The
+	// pointer is only valid until the next schedule or pop call: callers
+	// copy the value out before executing it.
+	peek() *event
+	// pop discards the event last returned by peek.
+	pop()
+	// pending returns the number of queued events.
+	pending() int
+}
+
+// Compile-time checks that both engines honor the scheduler contract
+// (Sim dispatches on the concrete types, so nothing else asserts this).
+var (
+	_ scheduler = (*wheelSched)(nil)
+	_ scheduler = (*refSched)(nil)
+)
+
+// eventHeap is a hand-rolled binary min-heap of events ordered by
+// (at, seq). It backs the reference scheduler and the wheel's far-horizon
+// overflow. container/heap is avoided deliberately: its interface{}
+// methods force boxing on every push.
+type eventHeap []event
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, *e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&q[i], &q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) popMin() event {
+	q := *h
+	n := len(q) - 1
+	min := q[0]
+	q[0] = q[n]
+	q[n] = event{} // drop references for GC
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(&q[l], &q[small]) {
+			small = l
+		}
+		if r < n && eventLess(&q[r], &q[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return min
+}
+
+// refSched is the reference scheduler: the straight binary heap the
+// simulator shipped with originally. It is kept as the executable
+// specification of event ordering — the differential tests replay random
+// workloads through it and the timing wheel and demand identical
+// execution order — and as the golden engine for experiment-output
+// comparison tests.
+type refSched struct {
+	h eventHeap
+}
+
+func (r *refSched) schedule(e *event) { r.h.push(e) }
+
+func (r *refSched) peek() *event {
+	if len(r.h) == 0 {
+		return nil
+	}
+	return &r.h[0]
+}
+
+func (r *refSched) pop() { r.h.popMin() }
+
+func (r *refSched) pending() int { return len(r.h) }

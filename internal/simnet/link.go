@@ -38,6 +38,7 @@ type Iface struct {
 	peer *Iface
 	addr netaddr.Addr
 	name string
+	idx  uint16 // position in node.ifaces, for compact arrival events
 }
 
 // Node returns the owning node.
@@ -115,8 +116,8 @@ func ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
 	if a.sim != b.sim {
 		panic("simnet: Connect across simulations")
 	}
-	ia := &Iface{node: a, dir: &linkDir{cfg: ab}, name: a.name + ":" + b.name}
-	ib := &Iface{node: b, dir: &linkDir{cfg: ba}, name: b.name + ":" + a.name}
+	ia := &Iface{node: a, dir: &linkDir{cfg: ab}, name: a.name + ":" + b.name, idx: uint16(len(a.ifaces))}
+	ib := &Iface{node: b, dir: &linkDir{cfg: ba}, name: b.name + ":" + a.name, idx: uint16(len(b.ifaces))}
 	ia.peer, ib.peer = ib, ia
 	a.ifaces = append(a.ifaces, ia)
 	b.ifaces = append(b.ifaces, ib)
@@ -157,6 +158,5 @@ func (i *Iface) transmit(data []byte) {
 		return
 	}
 	arrival := d.busyUntil + d.cfg.Delay
-	to := i.peer
-	sim.At(arrival, func() { to.node.receive(data, to) })
+	sim.scheduleArrival(arrival, i.peer, data)
 }

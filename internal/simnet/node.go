@@ -65,6 +65,12 @@ type Node struct {
 	local    LocalHandler
 	joined   []netaddr.Addr
 
+	// rcache is a small direct-mapped memo of recent LookupRoute results:
+	// forwarding is per-packet and destinations repeat heavily, while the
+	// routing table almost never changes. Invalidated wholesale by
+	// AddRoute.
+	rcache [routeCacheSize]routeCacheEntry
+
 	// Stats exposes packet counters for experiments.
 	Stats NodeStats
 }
@@ -132,12 +138,23 @@ func (n *Node) SendVia(out *Iface, data []byte) {
 // Ifaces returns the node's interfaces in creation order.
 func (n *Node) Ifaces() []*Iface { return n.ifaces }
 
+// routeCacheSize is the number of direct-mapped LookupRoute memo slots.
+const routeCacheSize = 8
+
+type routeCacheEntry struct {
+	dst   netaddr.Addr
+	route Route
+	ok    bool
+	valid bool
+}
+
 // AddRoute installs a forwarding entry.
 func (n *Node) AddRoute(p netaddr.Prefix, out *Iface) {
 	if out == nil || out.node != n {
 		panic(fmt.Sprintf("simnet: node %s: route %v via foreign interface", n.name, p))
 	}
 	n.routes.Insert(p, Route{Iface: out})
+	n.rcache = [routeCacheSize]routeCacheEntry{}
 }
 
 // SetDefaultRoute installs 0.0.0.0/0 via out.
@@ -147,7 +164,12 @@ func (n *Node) SetDefaultRoute(out *Iface) {
 
 // LookupRoute returns the forwarding entry for dst.
 func (n *Node) LookupRoute(dst netaddr.Addr) (Route, bool) {
+	c := &n.rcache[uint32(dst)&(routeCacheSize-1)]
+	if c.valid && c.dst == dst {
+		return c.route, c.ok
+	}
 	r, _, ok := n.routes.Lookup(dst)
+	*c = routeCacheEntry{dst: dst, route: r, ok: ok, valid: true}
 	return r, ok
 }
 
@@ -171,10 +193,13 @@ func (n *Node) ListenUDP(port uint16, h UDPHandler) {
 // packets that no UDP port handler consumed.
 func (n *Node) SetLocalHandler(h LocalHandler) { n.local = h }
 
-// Join subscribes the node to a multicast group.
+// Join subscribes the node to a multicast group. Joining twice is a safe
+// no-op on both the group membership and the node's own joined list.
 func (n *Node) Join(g netaddr.Addr) {
 	n.sim.JoinGroup(g, n)
-	n.joined = append(n.joined, g)
+	if !n.inGroup(g) {
+		n.joined = append(n.joined, g)
+	}
 }
 
 func (n *Node) inGroup(g netaddr.Addr) bool {
@@ -187,7 +212,11 @@ func (n *Node) inGroup(g netaddr.Addr) bool {
 }
 
 // Delivery is a packet being processed at a node, handed to sniffers and
-// handlers. The embedded lazy Packet decodes layers on demand.
+// handlers. The embedded lazy Packet decodes layers on demand. Delivery
+// structs are drawn from a per-Sim free list and recycled when the node
+// finishes processing, so handlers must not retain a Delivery (or its
+// Packet view) past their callback; the Data bytes themselves may be
+// kept.
 type Delivery struct {
 	// Node is the node processing the packet.
 	Node *Node
@@ -282,7 +311,7 @@ func (n *Node) dispatch(dst netaddr.Addr, data []byte, in *Iface) error {
 	if n.HasAddr(dst) {
 		// Local destination: deliver through the event queue so handler
 		// reentrancy cannot occur.
-		n.sim.Schedule(0, func() { n.receive(data, nil) })
+		n.sim.scheduleLoopback(n, data)
 		return nil
 	}
 	r, ok := n.LookupRoute(dst)
@@ -305,8 +334,9 @@ func (n *Node) receive(data []byte, in *Iface) {
 		n.sim.trace(TraceDrop, n.name, "malformed", data)
 		return
 	}
-	d := &Delivery{Node: n, In: in, Data: data}
-	defer d.recycle()
+	d := n.sim.getDelivery()
+	d.Node, d.In, d.Data = n, in, data
+	defer n.sim.putDelivery(d)
 	for _, s := range n.sniffers {
 		if s(d) == SnifferConsume {
 			n.Stats.SnifferConsumed++

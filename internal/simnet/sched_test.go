@@ -1,0 +1,234 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// diffRunner replays a pre-generated random workload script through a
+// Sim, logging execution order. The same script drives the wheel and the
+// reference heap; the logs must match exactly.
+type diffRunner struct {
+	sim       *Sim
+	script    []diffStep
+	log       []string
+	scheduled int
+	budget    int
+}
+
+type diffStep struct {
+	delay    Time
+	children []int
+}
+
+func (d *diffRunner) OnTimer(arg TimerArg) {
+	id := int(arg.N)
+	d.log = append(d.log, fmt.Sprintf("%d@%d", id, d.sim.Now()))
+	for _, c := range d.script[id].children {
+		if d.scheduled >= d.budget {
+			return
+		}
+		d.scheduled++
+		d.sim.ScheduleTimer(d.script[c].delay, d, TimerArg{N: int64(c)})
+	}
+}
+
+// diffDelays is the quantized delay palette for the differential test:
+// it deliberately mixes zero delays, sub-tick offsets, same-slot
+// collisions, every wheel level, and the far-horizon heap.
+var diffDelays = []Time{
+	0, 0, 0, // same-instant FIFO ties
+	1, 1000, // sub-tick
+	65536, 65537, // one tick
+	90 * time.Microsecond,
+	3 * time.Millisecond,                    // level 0
+	700 * time.Millisecond, 2 * time.Second, // level 1
+	40 * time.Second, 9 * time.Minute, // level 2
+	25 * time.Minute, 3 * time.Hour, // far heap
+}
+
+// genScript builds a random workload: each step fires after a quantized
+// delay and schedules up to three later steps.
+func genScript(rng *rand.Rand, n int) []diffStep {
+	script := make([]diffStep, n)
+	for i := range script {
+		script[i].delay = diffDelays[rng.Intn(len(diffDelays))]
+		for k := rng.Intn(4); k > 0 && i+1 < n; k-- {
+			script[i].children = append(script[i].children, i+1+rng.Intn(n-i-1))
+		}
+	}
+	return script
+}
+
+// TestWheelMatchesReferenceHeap is the ordering guarantee behind every
+// experiment table: random workloads replayed through the timing wheel
+// and the reference heap must execute in the identical order, under
+// identical RunUntil slicing.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		script := genScript(rng, 80)
+		roots := make([]int, 1+rng.Intn(6))
+		for i := range roots {
+			roots[i] = rng.Intn(len(script))
+		}
+		slices := make([]Time, 1+rng.Intn(5))
+		for i := range slices {
+			slices[i] = diffDelays[rng.Intn(len(diffDelays))] + Time(rng.Intn(1000))
+		}
+
+		run := func(engine Engine) ([]string, int) {
+			sim := NewWithEngine(7, engine)
+			d := &diffRunner{sim: sim, script: script, budget: 5000}
+			for _, r := range roots {
+				d.scheduled++
+				sim.ScheduleTimer(script[r].delay, d, TimerArg{N: int64(r)})
+			}
+			n := 0
+			// Random RunUntil slicing exercises deadline clock advances
+			// and scheduling after them.
+			deadline := Time(0)
+			for i, s := range slices {
+				deadline += s
+				n += sim.RunUntil(deadline)
+				// Post-advance roots land relative to the advanced clock.
+				extra := roots[i%len(roots)]
+				d.scheduled++
+				sim.ScheduleTimer(script[extra].delay, d, TimerArg{N: int64(extra)})
+			}
+			n += sim.Run()
+			return d.log, n
+		}
+
+		wheelLog, wheelN := run(EngineWheel)
+		heapLog, heapN := run(EngineHeap)
+		if wheelN != heapN {
+			t.Fatalf("trial %d: event counts diverged: wheel=%d heap=%d", trial, wheelN, heapN)
+		}
+		if len(wheelLog) != len(heapLog) {
+			t.Fatalf("trial %d: log lengths diverged: wheel=%d heap=%d", trial, len(wheelLog), len(heapLog))
+		}
+		for i := range wheelLog {
+			if wheelLog[i] != heapLog[i] {
+				t.Fatalf("trial %d: execution order diverged at %d: wheel=%s heap=%s",
+					trial, i, wheelLog[i], heapLog[i])
+			}
+		}
+	}
+}
+
+// orderRecorder appends its N payload on fire.
+type orderRecorder struct {
+	got []int64
+}
+
+func (o *orderRecorder) OnTimer(arg TimerArg) { o.got = append(o.got, arg.N) }
+
+// TestWheelFarHorizon exercises events beyond the level-2 window: they
+// must wait in the far heap, rebase the wheel when reached, and fire in
+// order.
+func TestWheelFarHorizon(t *testing.T) {
+	s := New(1)
+	rec := &orderRecorder{}
+	s.ScheduleTimer(5*time.Hour, rec, TimerArg{N: 3})
+	s.ScheduleTimer(30*time.Minute, rec, TimerArg{N: 2})
+	s.ScheduleTimer(time.Millisecond, rec, TimerArg{N: 1})
+	s.ScheduleTimer(5*time.Hour, rec, TimerArg{N: 4}) // same instant, later seq
+	if s.Pending() != 4 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	if n := s.Run(); n != 4 {
+		t.Fatalf("processed %d events", n)
+	}
+	want := []int64{1, 2, 3, 4}
+	for i, w := range want {
+		if rec.got[i] != w {
+			t.Fatalf("order = %v, want %v", rec.got, want)
+		}
+	}
+	if s.Now() != 5*time.Hour {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+// TestWheelBurstFIFO schedules a large same-instant burst and checks
+// strict scheduling order — the property the miss-queue and multicast
+// sync logic depend on.
+func TestWheelBurstFIFO(t *testing.T) {
+	s := New(1)
+	rec := &orderRecorder{}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		s.ScheduleTimer(time.Second, rec, TimerArg{N: int64(i)})
+	}
+	s.Run()
+	if len(rec.got) != n {
+		t.Fatalf("fired %d of %d", len(rec.got), n)
+	}
+	for i := 0; i < n; i++ {
+		if rec.got[i] != int64(i) {
+			t.Fatalf("burst order broken at %d: got %d", i, rec.got[i])
+		}
+	}
+}
+
+// chainTimer reschedules itself until its counter drains, crossing many
+// slot and level boundaries.
+type chainTimer struct {
+	s    *Sim
+	step Time
+	left int
+}
+
+func (c *chainTimer) OnTimer(TimerArg) {
+	if c.left > 0 {
+		c.left--
+		c.s.ScheduleTimer(c.step, c, TimerArg{})
+	}
+}
+
+// TestWheelCascadeChain walks a self-rescheduling timer across level-0
+// and level-1 boundaries and checks the clock lands exactly where the
+// arithmetic says.
+func TestWheelCascadeChain(t *testing.T) {
+	for _, step := range []Time{time.Microsecond, 100 * time.Microsecond, 17 * time.Millisecond, 5 * time.Second} {
+		s := New(1)
+		c := &chainTimer{s: s, step: step, left: 300}
+		s.ScheduleTimer(0, c, TimerArg{})
+		n := s.Run()
+		if n != 301 {
+			t.Fatalf("step %v: processed %d events", step, n)
+		}
+		if s.Now() != 300*step {
+			t.Fatalf("step %v: Now = %v, want %v", step, s.Now(), 300*step)
+		}
+	}
+}
+
+// TestWheelScheduleAfterDeadlineAdvance schedules after RunUntil advanced
+// the clock into unexplored wheel territory — the stale-base regression
+// case.
+func TestWheelScheduleAfterDeadlineAdvance(t *testing.T) {
+	s := New(1)
+	rec := &orderRecorder{}
+	s.ScheduleTimer(20*time.Minute, rec, TimerArg{N: 99}) // far heap
+	s.RunUntil(10 * time.Minute)                          // advances clock, fires nothing
+	if len(rec.got) != 0 || s.Now() != 10*time.Minute {
+		t.Fatalf("premature fire or wrong clock: %v at %v", rec.got, s.Now())
+	}
+	// New events relative to the advanced clock, earlier than the far one.
+	s.ScheduleTimer(time.Millisecond, rec, TimerArg{N: 1})
+	s.ScheduleTimer(3*time.Minute, rec, TimerArg{N: 2})
+	s.Run()
+	want := []int64{1, 2, 99}
+	if len(rec.got) != 3 {
+		t.Fatalf("fired %v", rec.got)
+	}
+	for i, w := range want {
+		if rec.got[i] != w {
+			t.Fatalf("order = %v, want %v", rec.got, want)
+		}
+	}
+}

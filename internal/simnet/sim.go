@@ -9,13 +9,21 @@
 // format, which is what lets the same control-plane code run over real UDP
 // sockets in internal/wire.
 //
+// The event core is closure-free: packet hops and protocol timers are
+// typed events (EventKind plus a fixed-size argument block) stored by
+// value in a hierarchical timing wheel, so steady-state scheduling
+// allocates nothing. ScheduleFunc/AtFunc remain as a compatibility shim
+// for tests and cold-path scenario scripting, at the cost of one closure
+// allocation per call.
+//
 // Determinism: all behaviour derives from the scenario seed via Rand();
 // events scheduled for the same instant fire in scheduling order. Two runs
-// of the same scenario produce byte-identical metric output.
+// of the same scenario produce byte-identical metric output, and the
+// production timing wheel is differentially tested against the reference
+// heap scheduler to execute in the identical order.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -26,13 +34,46 @@ import (
 // Time is virtual time since simulation start.
 type Time = time.Duration
 
+// Engine selects the event-queue implementation backing a Sim.
+type Engine int
+
+const (
+	// EngineWheel is the production scheduler: a hierarchical timing
+	// wheel with a sorted near-future lane and a far-horizon heap.
+	EngineWheel Engine = iota
+	// EngineHeap is the reference binary-heap scheduler kept as the
+	// executable ordering specification. It is slower and exists for
+	// differential and golden-output testing.
+	EngineHeap
+)
+
+// defaultEngine backs New. Overridable (SetDefaultEngine) so integration
+// tests can rebuild whole experiment worlds on the reference heap and
+// compare output bytes against the wheel.
+var defaultEngine = EngineWheel
+
+// SetDefaultEngine sets the scheduler used by subsequent New calls and
+// returns the previous setting. Not safe to call concurrently with
+// simulation construction; intended for test setup.
+func SetDefaultEngine(e Engine) Engine {
+	prev := defaultEngine
+	defaultEngine = e
+	return prev
+}
+
 // Sim is a discrete-event simulation instance. Sim is not safe for
 // concurrent use: the event loop is strictly single-threaded, which is
 // what makes runs reproducible.
 type Sim struct {
-	now     Time
-	events  eventHeap
-	free    []*event // recycled event structs; Sim is single-threaded
+	now Time
+	// wheel is the production scheduler. ref, when non-nil, replaces it
+	// with the reference heap (EngineHeap). Dispatch is a nil-check on
+	// concrete types rather than an interface call: passing *event
+	// through an interface would force every event to escape to the
+	// heap, which is exactly what the typed-event design exists to
+	// avoid.
+	wheel   *wheelSched
+	ref     *refSched
 	seq     uint64
 	rng     *rand.Rand
 	nodes   map[string]*Node
@@ -40,19 +81,57 @@ type Sim struct {
 	groups  map[netaddr.Addr][]*Node
 	stopped bool
 
+	// freeDeliveries recycles Delivery scratch between packet receives;
+	// Sim is single-threaded, so a plain stack suffices.
+	freeDeliveries []*Delivery
+
 	// Trace, when non-nil, receives a TraceEvent for every packet
 	// milestone. Used by examples/quickstart to print the steps 1-8
 	// timeline, and by tests to assert paths.
 	Trace func(ev TraceEvent)
 }
 
-// New creates a simulation seeded for deterministic randomness.
-func New(seed int64) *Sim {
-	return &Sim{
+// New creates a simulation seeded for deterministic randomness, using the
+// default scheduler engine.
+func New(seed int64) *Sim { return NewWithEngine(seed, defaultEngine) }
+
+// NewWithEngine creates a simulation on an explicit scheduler engine.
+func NewWithEngine(seed int64, engine Engine) *Sim {
+	s := &Sim{
 		rng:    rand.New(rand.NewSource(seed)),
 		nodes:  make(map[string]*Node),
 		groups: make(map[netaddr.Addr][]*Node),
 	}
+	if engine == EngineHeap {
+		s.ref = &refSched{}
+	} else {
+		s.wheel = newWheelSched()
+	}
+	return s
+}
+
+// enqueue routes one event to the active scheduler.
+func (s *Sim) enqueue(e *event) {
+	if s.ref != nil {
+		s.ref.schedule(e)
+		return
+	}
+	s.wheel.schedule(e)
+}
+
+func (s *Sim) peekEvent() *event {
+	if s.ref != nil {
+		return s.ref.peek()
+	}
+	return s.wheel.peek()
+}
+
+func (s *Sim) popEvent() {
+	if s.ref != nil {
+		s.ref.pop()
+		return
+	}
+	s.wheel.pop()
 }
 
 // Now returns the current virtual time.
@@ -61,32 +140,61 @@ func (s *Sim) Now() Time { return s.now }
 // Rand returns the simulation's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// Schedule runs fn after delay d (clamped to >= 0).
-func (s *Sim) Schedule(d Time, fn func()) {
+// ScheduleTimer arms a typed timer firing h.OnTimer(arg) after delay d
+// (clamped to >= 0). This is the allocation-free way to schedule work:
+// the handler is an interface pair and arg a fixed-size value, both
+// copied into the scheduler's slot storage.
+func (s *Sim) ScheduleTimer(d Time, h TimerHandler, arg TimerArg) {
 	if d < 0 {
 		d = 0
 	}
-	s.At(s.now+d, fn)
+	s.TimerAt(s.now+d, h, arg)
 }
 
-// At runs fn at absolute virtual time t (clamped to now). Event structs
-// are drawn from a per-Sim free list so steady-state scheduling does not
-// allocate.
-func (s *Sim) At(t Time, fn func()) {
+// TimerAt arms a typed timer at absolute virtual time t (clamped to now).
+func (s *Sim) TimerAt(t Time, h TimerHandler, arg TimerArg) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	var e *event
-	if k := len(s.free); k > 0 {
-		e = s.free[k-1]
-		s.free[k-1] = nil
-		s.free = s.free[:k-1]
-		e.at, e.seq, e.fn = t, s.seq, fn
-	} else {
-		e = &event{at: t, seq: s.seq, fn: fn}
+	e := event{at: t, seq: s.seq, kind: evTimer, h: h, arg: arg}
+	s.enqueue(&e)
+}
+
+// ScheduleFunc runs fn after delay d (clamped to >= 0). Compatibility
+// shim for tests and cold-path scenario scripting: each call allocates
+// the closure it captures. Hot paths use ScheduleTimer with a typed
+// handler instead.
+func (s *Sim) ScheduleFunc(d Time, fn func()) {
+	if d < 0 {
+		d = 0
 	}
-	heap.Push(&s.events, e)
+	s.AtFunc(s.now+d, fn)
+}
+
+// AtFunc runs fn at absolute virtual time t (clamped to now). See
+// ScheduleFunc for the allocation caveat.
+func (s *Sim) AtFunc(t Time, fn func()) {
+	s.TimerAt(t, funcTimer(fn), TimerArg{})
+}
+
+// scheduleArrival enqueues a packet arriving at to's node at absolute
+// time t — the typed tail of Iface.transmit.
+func (s *Sim) scheduleArrival(t Time, to *Iface, data []byte) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := event{at: t, seq: s.seq, kind: evArrive, node: to.node, ifIdx: to.idx, data: data}
+	s.enqueue(&e)
+}
+
+// scheduleLoopback enqueues local delivery of a locally originated packet
+// through the event queue, so handler reentrancy cannot occur.
+func (s *Sim) scheduleLoopback(n *Node, data []byte) {
+	s.seq++
+	e := event{at: s.now, seq: s.seq, kind: evDeliver, node: n, data: data}
+	s.enqueue(&e)
 }
 
 // Stop makes Run return after the current event.
@@ -104,19 +212,17 @@ func (s *Sim) RunFor(d Time) int { return s.RunUntil(s.now + d) }
 func (s *Sim) RunUntil(deadline Time) int {
 	s.stopped = false
 	n := 0
-	for !s.stopped && len(s.events) > 0 {
-		next := s.events[0]
-		if next.at > deadline {
+	for !s.stopped {
+		next := s.peekEvent()
+		if next == nil || next.at > deadline {
 			break
 		}
-		heap.Pop(&s.events)
-		s.now = next.at
-		fn := next.fn
-		// Recycle before running fn: the event's fields are consumed, and
-		// fn's own Schedule calls can reuse the struct immediately.
-		next.fn = nil
-		s.free = append(s.free, next)
-		fn()
+		// Copy out before pop: the slot storage is recycled immediately,
+		// and the event's own scheduling can reuse it.
+		e := *next
+		s.popEvent()
+		s.now = e.at
+		s.dispatch(&e)
 		n++
 	}
 	if !s.stopped && s.now < deadline && deadline < 1<<62-1 {
@@ -126,7 +232,31 @@ func (s *Sim) RunUntil(deadline Time) int {
 }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int {
+	if s.ref != nil {
+		return s.ref.pending()
+	}
+	return s.wheel.pending()
+}
+
+// getDelivery draws Delivery scratch from the free list.
+func (s *Sim) getDelivery() *Delivery {
+	if k := len(s.freeDeliveries); k > 0 {
+		d := s.freeDeliveries[k-1]
+		s.freeDeliveries[k-1] = nil
+		s.freeDeliveries = s.freeDeliveries[:k-1]
+		return d
+	}
+	return &Delivery{}
+}
+
+// putDelivery recycles Delivery scratch once the node finished processing
+// it. Handlers must not retain the Delivery past their callback.
+func (s *Sim) putDelivery(d *Delivery) {
+	d.recycle()
+	*d = Delivery{}
+	s.freeDeliveries = append(s.freeDeliveries, d)
+}
 
 // NewNode creates and registers a named node. Names must be unique; the
 // topology builders guarantee this, so duplicates panic.
@@ -153,10 +283,12 @@ func (s *Sim) Node(name string) *Node { return s.nodes[name] }
 func (s *Sim) Nodes() []*Node { return s.order }
 
 // JoinGroup subscribes n to multicast group g (must be 224.0.0.0/4).
-// Delivery is head-end replication: the sending node unicasts one copy
-// toward each member, patching the outer destination — behaviourally
-// equivalent to intra-domain multicast for the ETR synchronization the
-// paper uses, without modelling multicast routing state.
+// Joining is idempotent: a node already in the group is not added again,
+// so a double join cannot cause double delivery. Delivery is head-end
+// replication: the sending node unicasts one copy toward each member,
+// patching the outer destination — behaviourally equivalent to
+// intra-domain multicast for the ETR synchronization the paper uses,
+// without modelling multicast routing state.
 func (s *Sim) JoinGroup(g netaddr.Addr, n *Node) {
 	if !g.IsMulticast() {
 		panic(fmt.Sprintf("simnet: %v is not a multicast group", g))
@@ -169,7 +301,8 @@ func (s *Sim) JoinGroup(g netaddr.Addr, n *Node) {
 	s.groups[g] = append(s.groups[g], n)
 }
 
-// LeaveGroup removes n from group g.
+// LeaveGroup removes n from group g. Leaving a group the node never
+// joined (or leaving twice) is a safe no-op.
 func (s *Sim) LeaveGroup(g netaddr.Addr, n *Node) {
 	members := s.groups[g]
 	for i, m := range members {
@@ -182,33 +315,6 @@ func (s *Sim) LeaveGroup(g netaddr.Addr, n *Node) {
 
 // GroupMembers returns the members of g in join order.
 func (s *Sim) GroupMembers(g netaddr.Addr) []*Node { return s.groups[g] }
-
-// event is one scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among same-time events
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
 
 // TraceEventKind classifies trace events.
 type TraceEventKind int

@@ -11,11 +11,11 @@ import (
 func TestEventOrdering(t *testing.T) {
 	s := New(1)
 	var got []int
-	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
-	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
-	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.ScheduleFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	s.ScheduleFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	s.ScheduleFunc(20*time.Millisecond, func() { got = append(got, 2) })
 	// Same-time events fire in scheduling order, before later ones.
-	s.Schedule(20*time.Millisecond, func() { got = append(got, 4) })
+	s.ScheduleFunc(20*time.Millisecond, func() { got = append(got, 4) })
 	n := s.Run()
 	if n != 4 {
 		t.Fatalf("processed %d events", n)
@@ -34,9 +34,9 @@ func TestEventOrdering(t *testing.T) {
 func TestSameTimeFIFOWithinEvent(t *testing.T) {
 	s := New(1)
 	var got []int
-	s.Schedule(0, func() {
-		s.Schedule(0, func() { got = append(got, 1) })
-		s.Schedule(0, func() { got = append(got, 2) })
+	s.ScheduleFunc(0, func() {
+		s.ScheduleFunc(0, func() { got = append(got, 1) })
+		s.ScheduleFunc(0, func() { got = append(got, 2) })
 	})
 	s.Run()
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
@@ -47,7 +47,7 @@ func TestSameTimeFIFOWithinEvent(t *testing.T) {
 func TestRunUntilAdvancesClock(t *testing.T) {
 	s := New(1)
 	fired := false
-	s.Schedule(100*time.Millisecond, func() { fired = true })
+	s.ScheduleFunc(100*time.Millisecond, func() { fired = true })
 	s.RunUntil(50 * time.Millisecond)
 	if fired {
 		t.Fatal("event fired early")
@@ -67,8 +67,8 @@ func TestRunUntilAdvancesClock(t *testing.T) {
 func TestStop(t *testing.T) {
 	s := New(1)
 	n := 0
-	s.Schedule(1, func() { n++; s.Stop() })
-	s.Schedule(2, func() { n++ })
+	s.ScheduleFunc(1, func() { n++; s.Stop() })
+	s.ScheduleFunc(2, func() { n++ })
 	s.Run()
 	if n != 1 {
 		t.Fatalf("Stop did not halt the loop: n=%d", n)
@@ -84,7 +84,7 @@ func TestNegativeDelayClamped(t *testing.T) {
 	s := New(1)
 	s.RunUntil(10 * time.Millisecond)
 	fired := Time(-1)
-	s.Schedule(-5*time.Millisecond, func() { fired = s.Now() })
+	s.ScheduleFunc(-5*time.Millisecond, func() { fired = s.Now() })
 	s.Run()
 	if fired != 10*time.Millisecond {
 		t.Fatalf("clamped event fired at %v", fired)
@@ -432,6 +432,63 @@ func TestJoinGroupValidation(t *testing.T) {
 	n.Join(netaddr.MustParseAddr("10.0.0.1"))
 }
 
+// TestJoinGroupDuplicateDelivery is the double-join regression test: a
+// node joining the same group twice must receive exactly one copy of
+// each multicast, and the membership list must hold it once.
+func TestJoinGroupDuplicateDelivery(t *testing.T) {
+	s := New(1)
+	group := netaddr.MustParseAddr("239.1.1.1")
+	hub := s.NewNode("hub")
+	src := s.NewNode("src")
+	dst := s.NewNode("dst")
+	for i, m := range []*Node{src, dst} {
+		l := Connect(m, hub, LinkConfig{Delay: time.Millisecond})
+		l.A().SetAddr(netaddr.AddrFrom4(10, 0, byte(i), 1))
+		l.B().SetAddr(netaddr.AddrFrom4(10, 0, byte(i), 2))
+		m.SetDefaultRoute(l.A())
+		hub.AddRoute(netaddr.PrefixFrom(netaddr.AddrFrom4(10, 0, byte(i), 0), 24), l.B())
+	}
+	src.Join(group)
+	dst.Join(group)
+	dst.Join(group) // double join must not cause double delivery
+	dst.Join(group)
+	if got := len(s.GroupMembers(group)); got != 2 {
+		t.Fatalf("members = %d, want 2", got)
+	}
+	if got := len(dst.joined); got != 1 {
+		t.Fatalf("dst.joined has %d entries, want 1", got)
+	}
+	delivered := 0
+	dst.ListenUDP(4344, func(d *Delivery, udp *packet.UDP) { delivered++ })
+	if err := src.SendUDP(src.PrimaryAddr(), group, 4344, 4344, packet.Payload("once")); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d copies after double join, want 1", delivered)
+	}
+}
+
+// TestLeaveGroupNonMember checks LeaveGroup is a safe no-op for nodes
+// that never joined (and for repeated leaves).
+func TestLeaveGroupNonMember(t *testing.T) {
+	s := New(1)
+	g := netaddr.MustParseAddr("239.0.0.2")
+	member := s.NewNode("member")
+	stranger := s.NewNode("stranger")
+	s.JoinGroup(g, member)
+	s.LeaveGroup(g, stranger) // never joined
+	if m := s.GroupMembers(g); len(m) != 1 || m[0] != member {
+		t.Fatalf("members after stranger leave = %v", m)
+	}
+	s.LeaveGroup(g, member)
+	s.LeaveGroup(g, member) // double leave
+	if m := s.GroupMembers(g); len(m) != 0 {
+		t.Fatalf("members after double leave = %v", m)
+	}
+	s.LeaveGroup(netaddr.MustParseAddr("239.9.9.9"), member) // unknown group
+}
+
 func TestLeaveGroup(t *testing.T) {
 	s := New(1)
 	g := netaddr.MustParseAddr("239.0.0.1")
@@ -490,20 +547,60 @@ func TestDuplicateUDPPortPanics(t *testing.T) {
 	n.ListenUDP(53, func(*Delivery, *packet.UDP) {})
 }
 
-func BenchmarkEventLoop(b *testing.B) {
+// argRecorder logs every TimerArg it receives.
+type argRecorder struct {
+	got []TimerArg
+	at  []Time
+	s   *Sim
+}
+
+func (a *argRecorder) OnTimer(arg TimerArg) {
+	a.got = append(a.got, arg)
+	a.at = append(a.at, a.s.Now())
+}
+
+// TestTypedTimers covers the typed-event API directly: argument
+// fidelity, negative-delay clamping and absolute scheduling.
+func TestTypedTimers(t *testing.T) {
 	s := New(1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	var step func()
-	n := 0
-	step = func() {
-		if n < b.N {
-			n++
-			s.Schedule(time.Microsecond, step)
-		}
-	}
-	s.Schedule(0, step)
+	rec := &argRecorder{s: s}
+	type payload struct{ x int }
+	p := &payload{x: 42}
+	s.ScheduleTimer(10*time.Millisecond, rec, TimerArg{Kind: 2, N: 7, S: "qname", P: p})
+	s.ScheduleTimer(-time.Second, rec, TimerArg{Kind: 1}) // clamped to now
+	s.TimerAt(5*time.Millisecond, rec, TimerArg{Kind: 3})
 	s.Run()
+	if len(rec.got) != 3 {
+		t.Fatalf("fired %d timers", len(rec.got))
+	}
+	if rec.got[0].Kind != 1 || rec.at[0] != 0 {
+		t.Fatalf("negative delay not clamped: %+v at %v", rec.got[0], rec.at[0])
+	}
+	if rec.got[1].Kind != 3 || rec.at[1] != 5*time.Millisecond {
+		t.Fatalf("TimerAt misfired: %+v at %v", rec.got[1], rec.at[1])
+	}
+	last := rec.got[2]
+	if last.Kind != 2 || last.N != 7 || last.S != "qname" || last.P.(*payload) != p {
+		t.Fatalf("TimerArg mangled: %+v", last)
+	}
+	if rec.at[2] != 10*time.Millisecond {
+		t.Fatalf("delayed timer at %v", rec.at[2])
+	}
+}
+
+// TestFuncShimInterleavesWithTyped checks the ScheduleFunc shim and
+// typed timers share one (time, seq) order.
+func TestFuncShimInterleavesWithTyped(t *testing.T) {
+	s := New(1)
+	var order []int
+	rec := funcTimer(func() { order = append(order, 2) })
+	s.ScheduleFunc(time.Millisecond, func() { order = append(order, 1) })
+	s.ScheduleTimer(time.Millisecond, rec, TimerArg{})
+	s.ScheduleFunc(time.Millisecond, func() { order = append(order, 3) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
 }
 
 func BenchmarkOneHopPacket(b *testing.B) {

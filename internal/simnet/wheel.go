@@ -1,0 +1,272 @@
+package simnet
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// wheelSched is the production scheduler: a three-level hierarchical
+// timing wheel with a sorted near-future lane and a heap fallback for
+// far-horizon events.
+//
+// Layout. Virtual time is bucketed into ticks of 2^tickShift ns (~65µs).
+// Level 0 holds one slice per tick for the next 256 ticks (~16.8ms),
+// level 1 one slice per 256 ticks (~4.3s total), level 2 one slice per
+// 65536 ticks (~18.3 minutes total). Events beyond the level-2 horizon
+// wait in a min-heap and are folded into the wheel when the levels drain
+// into their range. Scheduling is O(1): compute the level window by
+// comparing the event's tick against the three bases, append to the slot,
+// set an occupancy bit.
+//
+// The lane. Execution pulls the earliest occupied level-0 slot into the
+// lane, sorts it once by (at, seq), and serves events from the front.
+// New events landing at or before the lane's tick — the extremely common
+// "schedule for now" pattern — are inserted in sorted position directly,
+// so ordering stays exact without re-sorting. When the lane and level 0
+// drain, the next occupied level-1 slot cascades into level 0 (and
+// level 2 into level 1), preserving O(1) amortized work per event.
+//
+// Ordering. Events execute in exactly (at, seq) order — byte-identical
+// to the reference heap, which the differential tests in sched_test.go
+// enforce. The key invariants:
+//
+//   - lane events all have tick <= laneTick; every other queued event has
+//     tick > laneTick (insertion routes tick <= laneTick into the lane).
+//   - level bases are aligned and nested: l0base is inside the l1 window,
+//     l1base inside the l2 window; a tick belongs to the lowest level
+//     whose window contains it.
+//   - the far heap only holds ticks beyond the l2 window, and l2base only
+//     moves when every level is empty, so no wheel event can tie with a
+//     far event.
+type wheelSched struct {
+	lane     []event
+	laneIdx  int
+	laneTick int64 // tick of the last slot pulled into the lane; -1 initially
+
+	l0base int64 // first tick of the level-0 window (aligned to 1<<slotBits)
+	l1base int64 // aligned to 1<<(2*slotBits)
+	l2base int64 // aligned to 1<<(3*slotBits)
+	cur0   int   // scan cursors: lowest slot index that may be occupied
+	cur1   int
+	cur2   int
+
+	slots0 [wheelSlots][]event
+	slots1 [wheelSlots][]event
+	slots2 [wheelSlots][]event
+	occ0   [wheelSlots / 64]uint64
+	occ1   [wheelSlots / 64]uint64
+	occ2   [wheelSlots / 64]uint64
+	n0     int
+	n1     int
+	n2     int
+
+	far   eventHeap // beyond the level-2 horizon
+	count int
+}
+
+const (
+	// tickShift sets the level-0 granularity: 2^16 ns ≈ 65.5µs per tick,
+	// fine enough that sub-tick collisions stay small (they cost one
+	// sorted insert or one slot sort) and coarse enough that a multi-
+	// minute simulation fits the wheel without cascade storms.
+	tickShift  = 16
+	slotBits   = 8
+	wheelSlots = 1 << slotBits
+	slotMask   = wheelSlots - 1
+
+	l0span = int64(1) << slotBits       // ticks covered by level 0
+	l1span = int64(1) << (2 * slotBits) // ticks covered by level 1
+	l2span = int64(1) << (3 * slotBits) // ticks covered by level 2
+)
+
+func newWheelSched() *wheelSched {
+	return &wheelSched{laneTick: -1}
+}
+
+func tickOf(t Time) int64 { return int64(t) >> tickShift }
+
+func (w *wheelSched) schedule(e *event) {
+	w.count++
+	w.insert(e)
+}
+
+// insert routes one event to the lane, a wheel slot, or the far heap.
+// Split from schedule so cascades can reuse it without touching count.
+func (w *wheelSched) insert(e *event) {
+	tick := tickOf(e.at)
+	if tick <= w.laneTick {
+		w.laneInsert(e)
+		return
+	}
+	switch {
+	case tick < w.l0base+l0span:
+		i := int(tick & slotMask)
+		w.slots0[i] = append(w.slots0[i], *e)
+		w.occ0[i>>6] |= 1 << (i & 63)
+		w.n0++
+	case tick < w.l1base+l1span:
+		i := int((tick >> slotBits) & slotMask)
+		w.slots1[i] = append(w.slots1[i], *e)
+		w.occ1[i>>6] |= 1 << (i & 63)
+		w.n1++
+	case tick < w.l2base+l2span:
+		i := int((tick >> (2 * slotBits)) & slotMask)
+		w.slots2[i] = append(w.slots2[i], *e)
+		w.occ2[i>>6] |= 1 << (i & 63)
+		w.n2++
+	default:
+		w.far.push(e)
+	}
+}
+
+// laneInsert places e into the sorted lane at its (at, seq) position.
+// Events scheduled "for now" from inside a running event land at the tail
+// of their same-time run, so the usual cost is an append; only an event
+// racing ahead of queued later-time work pays a copy.
+func (w *wheelSched) laneInsert(e *event) {
+	lo, hi := w.laneIdx, len(w.lane)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventLess(&w.lane[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.lane = append(w.lane, event{})
+	copy(w.lane[lo+1:], w.lane[lo:])
+	w.lane[lo] = *e
+}
+
+func (w *wheelSched) peek() *event {
+	for w.laneIdx >= len(w.lane) {
+		if !w.refill() {
+			return nil
+		}
+	}
+	return &w.lane[w.laneIdx]
+}
+
+func (w *wheelSched) pop() {
+	w.laneIdx++
+	w.count--
+	if w.laneIdx == len(w.lane) {
+		// Drained: drop data/handler references in one bulk clear and
+		// reset in place, so a self-rescheduling timer reuses the same
+		// backing array instead of growing it forever.
+		clear(w.lane)
+		w.lane = w.lane[:0]
+		w.laneIdx = 0
+	}
+}
+
+func (w *wheelSched) pending() int { return w.count }
+
+// refill pulls the next occupied level-0 slot into the lane, cascading
+// higher levels and the far heap downward as their windows are reached.
+// It returns false when nothing is queued anywhere.
+func (w *wheelSched) refill() bool {
+	w.lane = w.lane[:0]
+	w.laneIdx = 0
+	for {
+		if w.n0 > 0 {
+			if i, ok := nextOccupied(&w.occ0, w.cur0); ok {
+				s := w.slots0[i]
+				w.lane = append(w.lane, s...)
+				clear(s)
+				w.slots0[i] = s[:0]
+				w.occ0[i>>6] &^= 1 << (i & 63)
+				w.n0 -= len(w.lane)
+				w.cur0 = i + 1
+				w.laneTick = w.l0base + int64(i)
+				if len(w.lane) > 1 {
+					slices.SortFunc(w.lane, func(a, b event) int {
+						if eventLess(&a, &b) {
+							return -1
+						}
+						return 1
+					})
+				}
+				return true
+			}
+		}
+		if w.n1 > 0 {
+			if j, ok := nextOccupied(&w.occ1, w.cur1); ok {
+				w.cascade(&w.slots1[j], &w.n1, func(e *event) {
+					i := int(tickOf(e.at) & slotMask)
+					w.slots0[i] = append(w.slots0[i], *e)
+					w.occ0[i>>6] |= 1 << (i & 63)
+					w.n0++
+				})
+				w.occ1[j>>6] &^= 1 << (j & 63)
+				w.l0base = w.l1base + int64(j)<<slotBits
+				w.cur0 = 0
+				w.cur1 = j + 1
+				continue
+			}
+		}
+		if w.n2 > 0 {
+			if k, ok := nextOccupied(&w.occ2, w.cur2); ok {
+				w.cascade(&w.slots2[k], &w.n2, func(e *event) {
+					i := int((tickOf(e.at) >> slotBits) & slotMask)
+					w.slots1[i] = append(w.slots1[i], *e)
+					w.occ1[i>>6] |= 1 << (i & 63)
+					w.n1++
+				})
+				w.occ2[k>>6] &^= 1 << (k & 63)
+				w.l1base = w.l2base + int64(k)<<(2*slotBits)
+				w.cur1 = 0
+				w.cur2 = k + 1
+				continue
+			}
+		}
+		if len(w.far) > 0 {
+			// Every level is empty: rebase the wheel at the earliest far
+			// event and fold everything inside the new horizon back in.
+			tick := tickOf(w.far[0].at)
+			w.l2base = tick &^ (l2span - 1)
+			w.l1base = tick &^ (l1span - 1)
+			w.l0base = tick &^ (l0span - 1)
+			w.cur0, w.cur1, w.cur2 = 0, 0, 0
+			horizon := w.l2base + l2span
+			for len(w.far) > 0 && tickOf(w.far[0].at) < horizon {
+				e := w.far.popMin()
+				w.insert(&e)
+			}
+			continue
+		}
+		return false
+	}
+}
+
+// cascade drains one higher-level slot through put, clearing the slot and
+// adjusting its level's count.
+func (w *wheelSched) cascade(slot *[]event, n *int, put func(e *event)) {
+	s := *slot
+	for i := range s {
+		put(&s[i])
+	}
+	*n -= len(s)
+	clear(s)
+	*slot = s[:0]
+}
+
+// nextOccupied scans the occupancy bitmap for the lowest set bit at index
+// >= from, in O(words) with TrailingZeros.
+func nextOccupied(bm *[wheelSlots / 64]uint64, from int) (int, bool) {
+	if from >= wheelSlots {
+		return 0, false
+	}
+	word := from >> 6
+	cur := bm[word] &^ ((1 << (from & 63)) - 1)
+	for {
+		if cur != 0 {
+			return word<<6 + bits.TrailingZeros64(cur), true
+		}
+		word++
+		if word >= len(bm) {
+			return 0, false
+		}
+		cur = bm[word]
+	}
+}

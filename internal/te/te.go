@@ -77,8 +77,11 @@ func (t *Tracker) sample() {
 		l.lastTx, l.lastRx = tx, rx
 	}
 	t.samples++
-	t.sim.Schedule(t.Interval, func() { t.sample() })
+	t.sim.ScheduleTimer(t.Interval, t, simnet.TimerArg{})
 }
+
+// OnTimer implements simnet.TimerHandler: the periodic utilization sample.
+func (t *Tracker) OnTimer(simnet.TimerArg) { t.sample() }
 
 // LastEgress returns the latest egress utilizations in Add order.
 func (t *Tracker) LastEgress() []float64 {
@@ -133,6 +136,7 @@ type RebalancerStats struct {
 type Rebalancer struct {
 	engine *irc.Engine
 	target Repusher
+	sim    *simnet.Sim // set by Start
 
 	// Threshold is the max-min utilization spread that triggers a
 	// rebalance (default 0.2).
@@ -154,12 +158,14 @@ func NewRebalancer(engine *irc.Engine, target Repusher) *Rebalancer {
 
 // Start begins periodic checks (keeps the event queue alive forever).
 func (r *Rebalancer) Start(sim *simnet.Sim) {
-	var tick func()
-	tick = func() {
-		r.Check()
-		sim.Schedule(r.Interval, tick)
-	}
-	sim.Schedule(r.Interval, tick)
+	r.sim = sim
+	sim.ScheduleTimer(r.Interval, r, simnet.TimerArg{})
+}
+
+// OnTimer implements simnet.TimerHandler: the periodic imbalance check.
+func (r *Rebalancer) OnTimer(simnet.TimerArg) {
+	r.Check()
+	r.sim.ScheduleTimer(r.Interval, r, simnet.TimerArg{})
 }
 
 // Check inspects the imbalance once and re-pushes if above threshold. It

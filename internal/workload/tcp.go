@@ -51,6 +51,17 @@ type TCPHost struct {
 	conns     map[connKey]*tcpConn
 	nextPort  uint16
 
+	// Serialization scratch reused across segments: the Sim is single-
+	// threaded and packet.Serialize copies everything into its output
+	// buffer, so rebuilding headers in place avoids per-segment
+	// allocations on the data hot path.
+	synScratch packet.TCP
+	segScratch packet.TCP
+	ipScratch  packet.IPv4
+	payScratch packet.Payload
+	layScratch [3]packet.SerializableLayer
+	payload    []byte // zero-filled data payload, grown on demand
+
 	// Stats counts activity.
 	Stats TCPHostStats
 }
@@ -109,46 +120,59 @@ func (h *TCPHost) Connect(addr netaddr.Addr, port uint16, onOpen func(ConnResult
 
 func (h *TCPHost) sendSyn(c *tcpConn) {
 	c.gen++
-	gen := c.gen
 	c.synSentAt = h.node.Sim().Now()
 	h.Stats.SynSent++
-	h.sendSegment(c.key.peer, c.key.local, c.key.remote, &packet.TCP{SYN: true, Seq: 1}, nil)
+	h.synScratch = packet.TCP{SYN: true, Seq: 1}
+	h.sendSegment(c.key.peer, c.key.local, c.key.remote, &h.synScratch, nil)
 	rto := h.InitialRTO << uint(c.retries) // exponential backoff
-	h.node.Sim().Schedule(rto, func() {
-		cur, ok := h.conns[c.key]
-		if !ok || cur != c || c.established || c.gen != gen {
-			return
-		}
-		c.retries++
-		if c.retries > h.MaxSynRetries {
-			delete(h.conns, c.key)
-			h.Stats.Aborted++
-			c.onOpen(ConnResult{OK: false, Elapsed: h.node.Sim().Now() - c.started, Retransmits: c.retries - 1})
-			return
-		}
-		h.Stats.SynRetransmits++
-		h.sendSyn(c)
-	})
+	h.node.Sim().ScheduleTimer(rto, h, simnet.TimerArg{P: c, N: int64(c.gen)})
+}
+
+// OnTimer implements simnet.TimerHandler: the SYN retransmission timeout.
+// TimerArg.P holds the connection, TimerArg.N the generation the timer
+// was armed for; a stale generation means the SYN was already superseded.
+func (h *TCPHost) OnTimer(arg simnet.TimerArg) {
+	c := arg.P.(*tcpConn)
+	cur, ok := h.conns[c.key]
+	if !ok || cur != c || c.established || c.gen != int(arg.N) {
+		return
+	}
+	c.retries++
+	if c.retries > h.MaxSynRetries {
+		delete(h.conns, c.key)
+		h.Stats.Aborted++
+		c.onOpen(ConnResult{OK: false, Elapsed: h.node.Sim().Now() - c.started, Retransmits: c.retries - 1})
+		return
+	}
+	h.Stats.SynRetransmits++
+	h.sendSyn(c)
 }
 
 // SendData transmits n data segments of segSize bytes on an established
 // connection path (fire-and-forget; the receiver counts them).
 func (h *TCPHost) SendData(peer netaddr.Addr, localPort, remotePort uint16, n, segSize int) {
-	payload := make([]byte, segSize)
+	if cap(h.payload) < segSize {
+		h.payload = make([]byte, segSize)
+	}
+	payload := h.payload[:segSize]
 	for i := 0; i < n; i++ {
 		h.Stats.DataSegments++
-		h.sendSegment(peer, localPort, remotePort, &packet.TCP{ACK: true, PSH: true, Seq: uint32(2 + i)}, payload)
+		h.segScratch = packet.TCP{ACK: true, PSH: true, Seq: uint32(2 + i)}
+		h.sendSegment(peer, localPort, remotePort, &h.segScratch, payload)
 	}
 }
 
 func (h *TCPHost) sendSegment(dst netaddr.Addr, sport, dport uint16, seg *packet.TCP, payload []byte) {
-	ip := &packet.IPv4{TTL: packet.DefaultTTL, Protocol: packet.IPProtocolTCP, SrcIP: h.addr, DstIP: dst}
+	h.ipScratch = packet.IPv4{TTL: packet.DefaultTTL, Protocol: packet.IPProtocolTCP, SrcIP: h.addr, DstIP: dst}
 	seg.SrcPort, seg.DstPort = sport, dport
 	seg.Window = 65535
-	seg.SetNetworkLayerForChecksum(ip)
-	layers := []packet.SerializableLayer{ip, seg}
+	seg.SetNetworkLayerForChecksum(&h.ipScratch)
+	layers := h.layScratch[:2]
+	layers[0], layers[1] = &h.ipScratch, seg
 	if len(payload) > 0 {
-		layers = append(layers, packet.Payload(payload))
+		h.payScratch = packet.Payload(payload)
+		layers = h.layScratch[:3]
+		layers[2] = &h.payScratch
 	}
 	h.node.Send(packet.Serialize(layers...))
 }
@@ -166,7 +190,8 @@ func (h *TCPHost) handle(d *simnet.Delivery) bool {
 			return true // silently ignore; RSTs add nothing to the claims
 		}
 		h.Stats.SynAckSent++
-		h.sendSegment(src, seg.DstPort, seg.SrcPort, &packet.TCP{SYN: true, ACK: true, Seq: 1, Ack: seg.Seq + 1}, nil)
+		h.segScratch = packet.TCP{SYN: true, ACK: true, Seq: 1, Ack: seg.Seq + 1}
+		h.sendSegment(src, seg.DstPort, seg.SrcPort, &h.segScratch, nil)
 	case seg.SYN && seg.ACK:
 		key := connKey{peer: src, local: seg.DstPort, remote: seg.SrcPort}
 		c, ok := h.conns[key]
@@ -175,7 +200,8 @@ func (h *TCPHost) handle(d *simnet.Delivery) bool {
 		}
 		c.established = true
 		h.Stats.Established++
-		h.sendSegment(src, seg.DstPort, seg.SrcPort, &packet.TCP{ACK: true, Seq: 2, Ack: seg.Seq + 1}, nil)
+		h.segScratch = packet.TCP{ACK: true, Seq: 2, Ack: seg.Seq + 1}
+		h.sendSegment(src, seg.DstPort, seg.SrcPort, &h.segScratch, nil)
 		c.onOpen(ConnResult{
 			OK:          true,
 			Elapsed:     h.node.Sim().Now() - c.started,
@@ -233,8 +259,11 @@ func (p *Pump) tick() {
 	}
 	p.Sent++
 	p.node.SendUDP(p.src, p.dst, 40000, p.dport, packet.Payload(p.payload))
-	p.node.Sim().Schedule(p.period, func() { p.tick() })
+	p.node.Sim().ScheduleTimer(p.period, p, simnet.TimerArg{})
 }
+
+// OnTimer implements simnet.TimerHandler: the generator tick.
+func (p *Pump) OnTimer(simnet.TimerArg) { p.tick() }
 
 // Stop halts the pump at the next tick.
 func (p *Pump) Stop() { p.stopped = true }

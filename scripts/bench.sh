@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository benchmark suite and emit a JSON baseline.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME        -benchtime for the heavy experiment benches in the
+#                    root package (default 300x: stable ns/op without
+#                    taking minutes)
+#   MICRO_BENCHTIME  -benchtime for the internal/... microbenches
+#                    (default 200000x: they are nanosecond-scale)
+#   BENCH            benchmark filter regex (default: all)
+#
+# The JSON (see cmd/benchjson) records ns/op, B/op and allocs/op per
+# benchmark; BENCH_PR3.json in the repository root is the committed
+# baseline for the PR 3 event-core rewrite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR3.json}"
+BENCHTIME="${BENCHTIME:-300x}"
+MICRO_BENCHTIME="${MICRO_BENCHTIME:-200000x}"
+BENCH="${BENCH:-.}"
+
+{
+  go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem .
+  go test -run '^$' -bench "$BENCH" -benchtime "$MICRO_BENCHTIME" -benchmem ./internal/...
+} | go run ./cmd/benchjson -o "$OUT"
+echo "wrote $OUT" >&2
