@@ -88,6 +88,13 @@ func BenchmarkE9CacheScalability(b *testing.B) { benchExperiment(b, "E9", runner
 // BenchmarkE9Parallel regenerates the same tables through the worker pool.
 func BenchmarkE9Parallel(b *testing.B) { benchExperiment(b, "E9", runner.Auto) }
 
+// BenchmarkE10FailureReconvergence regenerates the failure-injection
+// sweep (RLOC probing, site watches, scripted FailurePlans).
+func BenchmarkE10FailureReconvergence(b *testing.B) { benchExperiment(b, "E10", runner.Serial) }
+
+// BenchmarkE10Parallel regenerates the same sweep through the worker pool.
+func BenchmarkE10Parallel(b *testing.B) { benchExperiment(b, "E10", runner.Auto) }
+
 // BenchmarkMapCachePressure measures the raw cache hot path (lookup,
 // insert, evict, wheel) per policy under a skewed key stream — the inner
 // loop every ITR runs per packet.
@@ -156,4 +163,27 @@ func BenchmarkSimThroughput(b *testing.B) {
 		w.Sim.Run()
 	}
 	_ = src
+}
+
+// BenchmarkSimThroughputProbing is BenchmarkSimThroughput with RLOC
+// probing enabled at every xTR: the probe timers ride the typed-event
+// scheduler, so per-packet cost must stay flat with liveness on. The
+// probing world runs bounded windows (probe timers re-arm forever, so
+// Run() would never return).
+func BenchmarkSimThroughputProbing(b *testing.B) {
+	w := experiments.BuildWorld(experiments.WorldConfig{
+		CP: experiments.CPPreinstalled, Domains: 2, Seed: 1,
+	})
+	w.Settle()
+	w.EnableProbing(lisp.ProbeConfig{Interval: time.Second})
+	dst := w.In.Domains[1].Hosts[0]
+	w.TCP[1][0].Listen(9999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1000; j++ {
+			w.TCP[0][0].SendData(dst.Addr, 40000, 9999, 1, 512)
+		}
+		w.Sim.RunFor(2 * time.Second)
+	}
 }

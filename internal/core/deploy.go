@@ -28,6 +28,14 @@ func (p *PCE) Engine() *irc.Engine { return p.cfg.Engine }
 // sampling is NOT started — call pce.Engine().Start() when the scenario
 // needs live utilization tracking (it keeps the event queue busy forever).
 func DeployDomain(d *topo.Domain, policy irc.Policy) *PCE {
+	return DeployDomainTTL(d, policy, 0)
+}
+
+// DeployDomainTTL is DeployDomain with an explicit mapping TTL in
+// seconds (0 = the 300s default) — the knob the failure experiments
+// sweep to give pull-based control planes a finite reconvergence
+// horizon to compare against.
+func DeployDomainTTL(d *topo.Domain, policy irc.Policy, mappingTTL uint32) *PCE {
 	providers := make([]*irc.Provider, len(d.Providers))
 	for i, prov := range d.Providers {
 		providers[i] = &irc.Provider{
@@ -40,15 +48,21 @@ func DeployDomain(d *topo.Domain, policy irc.Policy) *PCE {
 	}
 	engine := irc.NewEngine(d.PCENode.Sim(), providers, policy)
 	pce := New(d.PCENode, Config{
-		Addr:      d.PCEAddr,
-		EIDPrefix: d.EIDPrefix,
-		DNSAddr:   d.Resolver.Addr(),
-		Engine:    engine,
-		Group:     d.Group,
+		Addr:       d.PCEAddr,
+		EIDPrefix:  d.EIDPrefix,
+		DNSAddr:    d.Resolver.Addr(),
+		Engine:     engine,
+		Group:      d.Group,
+		MappingTTL: mappingTTL,
 	})
 	pce.AttachResolver(d.Resolver)
 	for _, x := range d.XTRs {
 		pce.WireXTR(x)
+	}
+	// Register the provider egress watches with the owning xTRs so a
+	// later EnableProbing reports local link failures back to the PCE.
+	for _, prov := range d.Providers {
+		prov.XTR.WatchEgress(prov.RLOC)
 	}
 	return pce
 }

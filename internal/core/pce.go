@@ -94,6 +94,12 @@ type Stats struct {
 	// by this PCE (experiment E5).
 	TxControlMessages uint64
 	TxControlBytes    uint64
+	// ReachabilityReports counts probe-state and egress-state reports
+	// consumed from the wired xTRs (the failure-injection subsystem).
+	ReachabilityReports uint64
+	// FailoverRepushes counts Repush rounds triggered by a reachability
+	// report that actually moved flows.
+	FailoverRepushes uint64
 }
 
 // EventKind classifies PCE events for the OnEvent hook.
@@ -309,6 +315,42 @@ func (p *PCE) WireXTR(x *lisp.XTR) {
 	})
 	x.OnDecap = func(info lisp.DecapInfo) {
 		p.onDecap(x, info)
+	}
+	// Reachability consumption: when the xTR's prober flips a remote
+	// locator or observes a local egress transition, recompute locator
+	// sets and re-push the affected flows — the reaction pull-based
+	// control planes can only have after TTL expiry.
+	x.OnReachability = func(rloc netaddr.Addr, up bool) {
+		p.onReachability(x, rloc, up, false)
+	}
+	x.OnEgressState = func(rloc netaddr.Addr, up bool) {
+		p.onReachability(x, rloc, up, true)
+	}
+}
+
+// onReachability consumes one xTR liveness report. Local egress
+// transitions feed the IRC engine (recomputing the advertised and
+// ingress locator sets); remote locator transitions flip the R bits in
+// the PCES database and every sibling ITR's cache. Both end in a Repush
+// so live flows move off (or back onto) the affected RLOC immediately.
+func (p *PCE) onReachability(from *lisp.XTR, rloc netaddr.Addr, up bool, local bool) {
+	p.Stats.ReachabilityReports++
+	if local {
+		for i, prov := range p.cfg.Engine.Providers() {
+			if prov.RLOC == rloc {
+				p.cfg.Engine.SetProviderUp(i, up)
+			}
+		}
+	} else {
+		p.remote.SetLocatorReachable(rloc, up)
+		for _, x := range p.xtrs {
+			if x != from {
+				x.Cache.SetLocatorReachable(rloc, up)
+			}
+		}
+	}
+	if p.Repush() > 0 {
+		p.Stats.FailoverRepushes++
 	}
 }
 
@@ -692,10 +734,12 @@ func (p *PCE) sendControl(dst netaddr.Addr, layers ...packet.SerializableLayer) 
 	p.node.Send(data)
 }
 
-// Repush recomputes the ingress RLOC of every live pushed flow with the
-// current IRC state and re-pushes the changed ones — the paper's dynamic
-// management of mappings ("move part of its internal traffic"). It
-// returns the number of flows whose ingress moved.
+// Repush recomputes every live pushed flow against the current control
+// state — the ingress RLOC from the IRC engine, the destination RLOC
+// from the (reachability-updated) PCES database — and re-pushes the
+// changed ones. This is both the paper's dynamic mapping management
+// ("move part of its internal traffic") and the failover reaction to a
+// probe-detected locator loss. It returns the number of flows moved.
 func (p *PCE) Repush() int {
 	now := p.node.Sim().Now()
 	// Walk the pushed flows in sorted key order: the moved flows are
@@ -720,14 +764,23 @@ func (p *PCE) Repush() int {
 		}
 		h := packet.NewFlow(packet.NewIPv4Endpoint(fk.Src), packet.NewIPv4Endpoint(fk.Dst)).FastHash()
 		ingress, ok := p.cfg.Engine.IngressRLOC(h)
-		if !ok || ingress == pf.src {
+		if !ok {
+			ingress = pf.src // engine has no usable provider: keep
+		}
+		dst := pf.dst
+		if entry, ok := p.remote.Lookup(fk.Dst); ok {
+			if loc, usable := entry.SelectLocator(h); usable {
+				dst = loc.Addr
+			}
+		}
+		if ingress == pf.src && dst == pf.dst {
 			continue // nothing to move for this flow
 		}
-		pf.src = ingress
+		pf.src, pf.dst = ingress, dst
 		p.pushed[fk] = pf
 		flows = append(flows, packet.PCEFlowMapping{
 			TTL: p.cfg.MappingTTL, SrcEID: fk.Src, DstEID: fk.Dst,
-			SrcRLOC: ingress, DstRLOC: pf.dst,
+			SrcRLOC: ingress, DstRLOC: dst,
 		})
 	}
 	if len(flows) > 0 {

@@ -43,7 +43,8 @@ func TestDeterministicTables(t *testing.T) {
 // fanning an experiment's cells across a worker pool renders tables
 // byte-identical to the serial path for the same seed. E1 exercises the
 // per-CP decomposition, E5 the overhead comparison, E9 the cache
-// scalability sweep (mixed synthetic and world cells).
+// scalability sweep (mixed synthetic and world cells), E10 the
+// failure-injection sweep (probing, watches and scripted FailurePlans).
 func TestParallelMatchesSerial(t *testing.T) {
 	render := func(tables []*metrics.Table) string {
 		s := ""
@@ -52,7 +53,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 		return s
 	}
-	for _, id := range []string{"E1", "E5", "E9"} {
+	for _, id := range []string{"E1", "E5", "E9", "E10"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)

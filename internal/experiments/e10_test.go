@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestE10PCEBeatsPullOnProviderCut encodes the experiment's acceptance
+// criterion: in the provider-cut scenario the PCE control plane must
+// show strictly lower reconvergence time and strictly fewer blackholed
+// packets than every pull-based control plane.
+func TestE10PCEBeatsPullOnProviderCut(t *testing.T) {
+	ps := e10Scale(true)
+	pce := e10RunCell(CPPCE, "provider-cut", 1, ps)
+	if pce.blackholed == 0 {
+		t.Fatal("suspicious: the cut blackholed nothing under PCE-CP (did the failure land?)")
+	}
+	for _, cp := range []CP{CPALT, CPCONS, CPMSMR} {
+		pull := e10RunCell(cp, "provider-cut", 1, ps)
+		if pce.reconv >= pull.reconv {
+			t.Errorf("%s: PCE reconvergence %v not strictly below %v", cp, pce.reconv, pull.reconv)
+		}
+		if pce.blackholed >= pull.blackholed {
+			t.Errorf("%s: PCE blackholed %d not strictly below %d", cp, pce.blackholed, pull.blackholed)
+		}
+	}
+}
+
+// TestE10ProbingOnlyUnderPCE: the probing advantage must come from the
+// PCE cells alone — pull cells spend no probe messages.
+func TestE10ProbingOnlyUnderPCE(t *testing.T) {
+	ps := e10Scale(true)
+	if r := e10RunCell(CPMSMR, "provider-cut", 1, ps); r.probeMsgs != 0 {
+		t.Fatalf("MS/MR cell sent %d probe messages", r.probeMsgs)
+	}
+	if r := e10RunCell(CPPCE, "provider-cut", 1, ps); r.probeMsgs == 0 {
+		t.Fatal("PCE cell sent no probe messages")
+	}
+}
+
+// TestE10EveryCPSurvivesEveryScenario smoke-runs the full grid at quick
+// scale: every cell must send and deliver something (no world wiring
+// panics, no totally dead flows outside the expected blackhole windows).
+func TestE10EveryCPSurvivesEveryScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full E10 grid")
+	}
+	ps := e10Scale(true)
+	for _, sc := range e10Scenarios {
+		for _, cp := range AllCPs {
+			r := e10RunCell(cp, sc.key, 7, ps)
+			if r.sent == 0 {
+				t.Errorf("%s/%s: nothing sent", sc.key, cp)
+			}
+			if r.delivered == 0 {
+				t.Errorf("%s/%s: nothing delivered", sc.key, cp)
+			}
+			if r.sent != r.delivered+r.preFail+r.blackholed {
+				t.Errorf("%s/%s: accounting broken: %+v", sc.key, cp, r)
+			}
+		}
+	}
+}

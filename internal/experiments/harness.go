@@ -98,6 +98,18 @@ type WorldConfig struct {
 	FallbackMSMR bool
 	// DNSRecordTTL overrides host record TTLs.
 	DNSRecordTTL uint32
+	// MappingTTL overrides the mapping lifetime in seconds for every
+	// control plane (0 = the 300s default): site record TTLs for the
+	// pull planes, push TTLs for the PCE. The failure experiment E10
+	// shortens it to give pull-based reconvergence a finite horizon.
+	MappingTTL uint32
+	// NERDPoll overrides the NERD authority poll interval (0 = 60s).
+	NERDPoll time.Duration
+	// WatchSites starts a mapsys.LocatorWatch per baseline/NERD site,
+	// flipping advertised R bits from provider link state and refreshing
+	// the mapping system (keeps the event queue alive forever; use
+	// bounded run windows).
+	WatchSites bool
 }
 
 func (c *WorldConfig) fill() {
@@ -136,6 +148,11 @@ type World struct {
 	// TCP holds per-domain, per-host TCP endpoints; every host listens on
 	// port 80.
 	TCP [][]*workload.TCPHost
+
+	// Sites holds the per-domain mapping-system site records under the
+	// baseline and NERD control planes (nil entries otherwise) — the
+	// failure experiments mutate their locator R bits through watches.
+	Sites []*mapsys.Site
 
 	// mappingReady records, per destination EID, when a usable mapping
 	// first became installable at a source ITR (resolver completion or
@@ -201,6 +218,7 @@ func BuildWorld(cfg WorldConfig) *World {
 	w := &World{
 		Cfg: cfg, In: in, Sim: in.Sim,
 		PCEs:         make([]*core.PCE, cfg.Domains),
+		Sites:        make([]*mapsys.Site, cfg.Domains),
 		mappingReady: make(map[netaddr.Addr]simnet.Time),
 		prefixReady:  netaddr.NewTrie[simnet.Time](),
 	}
@@ -213,6 +231,11 @@ func BuildWorld(cfg WorldConfig) *World {
 		w.attachBaseline(w.ALT)
 	case CPCONS:
 		w.CONS = mapsys.BuildCONS(in.Sim, overlayConfigFor(cfg, in))
+		if cfg.MappingTTL > 0 {
+			// Overlay answer caches must not outlive the site TTL, or a
+			// re-resolution after expiry gets the stale cached record.
+			w.CONS.CacheTTL = time.Duration(cfg.MappingTTL) * time.Second
+		}
 		w.attachBaseline(w.CONS)
 	case CPMSMR:
 		w.MSMR = w.buildMSMR()
@@ -221,9 +244,19 @@ func BuildWorld(cfg WorldConfig) *World {
 		authNode, authAddr := w.addInfraNode("nerd-authority", 50, 15*time.Millisecond)
 		authority := mapsys.NewNERD(authNode, authAddr, authKey)
 		authority.PollInterval = 60 * time.Second
+		if cfg.NERDPoll > 0 {
+			authority.PollInterval = cfg.NERDPoll
+		}
 		w.NERD = mapsys.NewNERDSystem(authority, authKey)
 		for _, d := range in.Domains {
-			w.NERD.AttachSite(siteFor(d))
+			// NERD records are database rows, not cache entries: they
+			// live until a version update replaces them, so the record
+			// TTL is immortal and staleness is bounded by polling.
+			site := siteFor(d, 0)
+			site.TTL = 0
+			w.Sites[d.Index] = site
+			w.NERD.AttachSite(site)
+			w.watchSite(w.NERD, d, site)
 			for _, x := range d.XTRs {
 				p := w.NERD.WireXTR(x)
 				p.OnInstall = func(prefix netaddr.Prefix) {
@@ -245,7 +278,7 @@ func BuildWorld(cfg WorldConfig) *World {
 			}
 		}
 		for _, i := range deployOn {
-			pce := core.DeployDomain(in.Domains[i], cfg.Policy)
+			pce := core.DeployDomainTTL(in.Domains[i], cfg.Policy, cfg.MappingTTL)
 			pce.OnEvent = w.pceEvent
 			w.PCEs[i] = pce
 		}
@@ -288,8 +321,9 @@ func overlayConfigFor(cfg WorldConfig, in *topo.Internet) mapsys.OverlayConfig {
 }
 
 // siteFor converts a topo domain to a mapping-system site with all
-// providers as equal-priority locators.
-func siteFor(d *topo.Domain) *mapsys.Site {
+// providers as equal-priority locators. ttl overrides the 300s record
+// default when non-zero.
+func siteFor(d *topo.Domain, ttl uint32) *mapsys.Site {
 	locs := make([]packet.LISPLocator, len(d.Providers))
 	for i, p := range d.Providers {
 		locs[i] = packet.LISPLocator{
@@ -297,12 +331,15 @@ func siteFor(d *topo.Domain) *mapsys.Site {
 			Reachable: true, Addr: p.RLOC,
 		}
 	}
+	if ttl == 0 {
+		ttl = 300
+	}
 	return &mapsys.Site{
 		Prefix:   d.EIDPrefix,
 		Locators: locs,
 		Node:     d.XTRs[0].Node(),
 		Addr:     d.XTRs[0].RLOC(),
-		TTL:      300,
+		TTL:      ttl,
 		AuthKey:  authKey,
 	}
 }
@@ -310,7 +347,10 @@ func siteFor(d *topo.Domain) *mapsys.Site {
 // attachBaseline wires a pull-based mapping system into every domain.
 func (w *World) attachBaseline(sys mapsys.System) {
 	for _, d := range w.In.Domains {
-		resolver := sys.AttachSite(siteFor(d))
+		site := siteFor(d, w.Cfg.MappingTTL)
+		w.Sites[d.Index] = site
+		resolver := sys.AttachSite(site)
+		w.watchSite(sys, d, site)
 		if resolver == nil {
 			continue
 		}
@@ -319,6 +359,43 @@ func (w *World) attachBaseline(sys mapsys.System) {
 			x.SetResolver(timed)
 		}
 	}
+}
+
+// watchSite starts the site's locator watch when the world asks for one:
+// the domain's border sees its own provider links die and re-announces
+// the pruned locator set — remote caches still wait out their TTLs.
+func (w *World) watchSite(sys mapsys.System, d *topo.Domain, site *mapsys.Site) {
+	if !w.Cfg.WatchSites {
+		return
+	}
+	ifaces := make([]*simnet.Iface, len(d.Providers))
+	for i, p := range d.Providers {
+		ifaces[i] = p.EgressIface
+	}
+	mapsys.WatchSiteLocators(w.Sim, site, ifaces, func() { sys.RefreshSite(site) }).Start()
+}
+
+// EnableProbing turns on RLOC probing at every xTR — the PCE control
+// plane's liveness layer for experiment E10 (its reports reach the PCEs
+// through the hooks DeployDomain wired).
+func (w *World) EnableProbing(cfg lisp.ProbeConfig) {
+	for _, d := range w.In.Domains {
+		for _, x := range d.XTRs {
+			x.EnableProbing(cfg)
+		}
+	}
+}
+
+// ProbeMessages sums probe control messages (probes and echoes) across
+// all xTRs — the probing contribution to control overhead.
+func (w *World) ProbeMessages() uint64 {
+	var total uint64
+	for _, d := range w.In.Domains {
+		for _, x := range d.XTRs {
+			total += x.Stats.ProbesSent + x.Stats.ProbeRepliesSent
+		}
+	}
+	return total
 }
 
 func (w *World) buildMSMR() *mapsys.MSMR {

@@ -208,6 +208,14 @@ func All() []Experiment {
 				return cells, merge
 			},
 		},
+		{
+			ID:    "E10",
+			Title: "Failure injection and reconvergence",
+			Claim: "probe-fed mapping pushes reconverge in seconds; pull caches blackhole until TTL expiry",
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
+				return e10Experiment(seed, quick)
+			},
+		},
 	}
 }
 

@@ -194,6 +194,10 @@ func (e *Engine) Sample() {
 		if p.Egress == nil || p.CapacityBps == 0 {
 			continue
 		}
+		// Offered load on purpose (TxBytes, not DeliveredBytes): the
+		// engine ranks providers by pressure on the link, and offered
+		// load is the overload signal — goodput saturates at capacity.
+		// The te.Tracker reads goodput for the experiment figures.
 		tx := p.Egress.Counters().TxBytes
 		rx := p.Egress.Peer().Counters().TxBytes
 		if e.Stats.Samples > 1 {

@@ -24,7 +24,9 @@ import (
 type MapEntry struct {
 	// EIDPrefix is the covered EID range.
 	EIDPrefix netaddr.Prefix
-	// Locators is the RLOC set with priorities and weights.
+	// Locators is the RLOC set with priorities and weights. Mutate it
+	// only through SetLocatorReachable (or invalidate the selection
+	// cache by hand); SelectLocator memoizes the usable priority level.
 	Locators []packet.LISPLocator
 	// Expires is the absolute virtual expiry time (0 = never).
 	Expires simnet.Time
@@ -32,6 +34,18 @@ type MapEntry struct {
 	// unresolvable until Expires, so misses must not re-trigger
 	// resolution (the negative-cache half of the scalability subsystem).
 	Negative bool
+
+	// Selection memo: the usable best priority level and its total
+	// weight, computed in one pass over Locators and reused by every
+	// SelectLocator call on the encap hot path until a locator mutation
+	// invalidates it. selPrio is -1 when no locator is usable.
+	selPrio  int16
+	selTotal uint32
+	selValid bool
+	// ownLocators marks that Locators is a private copy: builders share
+	// locator slices across entries, so the first reachability flip
+	// copies on write instead of mutating a sibling's view.
+	ownLocators bool
 }
 
 // Expired reports whether the entry is stale at time now.
@@ -39,43 +53,80 @@ func (e *MapEntry) Expired(now simnet.Time) bool {
 	return e.Expires != 0 && now >= e.Expires
 }
 
-// SelectLocator picks an RLOC for a flow: the lowest priority level, then
-// weighted selection among that level keyed by the flow hash, so a flow
-// sticks to one locator while aggregate traffic splits by weight.
-func (e *MapEntry) SelectLocator(flowHash uint64) (packet.LISPLocator, bool) {
-	bestPrio := -1
-	for _, l := range e.Locators {
+// locWeight is the locator's effective weight (zero counts as one, so a
+// weightless locator still receives traffic).
+func locWeight(l *packet.LISPLocator) uint32 {
+	if l.Weight == 0 {
+		return 1
+	}
+	return uint32(l.Weight)
+}
+
+// refreshSelection recomputes the selection memo in a single pass.
+func (e *MapEntry) refreshSelection() {
+	e.selPrio, e.selTotal = -1, 0
+	for i := range e.Locators {
+		l := &e.Locators[i]
 		if l.Priority == 255 || !l.Reachable {
 			continue
 		}
-		if bestPrio < 0 || int(l.Priority) < bestPrio {
-			bestPrio = int(l.Priority)
+		p := int16(l.Priority)
+		switch {
+		case e.selPrio < 0 || p < e.selPrio:
+			e.selPrio, e.selTotal = p, locWeight(l)
+		case p == e.selPrio:
+			e.selTotal += locWeight(l)
 		}
 	}
-	if bestPrio < 0 {
-		return packet.LISPLocator{}, false
-	}
-	var total uint32
-	for _, l := range e.Locators {
-		if int(l.Priority) == bestPrio && l.Reachable {
-			w := uint32(l.Weight)
-			if w == 0 {
-				w = 1
-			}
-			total += w
-		}
-	}
-	target := uint32(flowHash % uint64(total))
-	for _, l := range e.Locators {
-		if int(l.Priority) != bestPrio || !l.Reachable {
+	e.selValid = true
+}
+
+// SetLocatorReachable flips the R bit of every locator with the given
+// address, copying the locator slice on first write (builders share
+// slices across entries) and invalidating the selection memo. It
+// reports whether anything changed.
+func (e *MapEntry) SetLocatorReachable(addr netaddr.Addr, up bool) bool {
+	changed := false
+	for i := range e.Locators {
+		if e.Locators[i].Addr != addr || e.Locators[i].Reachable == up {
 			continue
 		}
-		w := uint32(l.Weight)
-		if w == 0 {
-			w = 1
+		if !changed && !e.ownLocators {
+			cp := make([]packet.LISPLocator, len(e.Locators))
+			copy(cp, e.Locators)
+			e.Locators = cp
+			e.ownLocators = true
 		}
+		e.Locators[i].Reachable = up
+		changed = true
+	}
+	if changed {
+		e.selValid = false
+	}
+	return changed
+}
+
+// SelectLocator picks an RLOC for a flow: the lowest priority level, then
+// weighted selection among that level keyed by the flow hash, so a flow
+// sticks to one locator while aggregate traffic splits by weight. The
+// priority level and weight total come from a memo maintained across
+// calls, so the per-packet cost is a single scan of the locator set.
+func (e *MapEntry) SelectLocator(flowHash uint64) (packet.LISPLocator, bool) {
+	if !e.selValid {
+		e.refreshSelection()
+	}
+	if e.selPrio < 0 {
+		return packet.LISPLocator{}, false
+	}
+	target := uint32(flowHash % uint64(e.selTotal))
+	for i := range e.Locators {
+		l := &e.Locators[i]
+		if int16(l.Priority) != e.selPrio || !l.Reachable {
+			continue
+		}
+		w := locWeight(l)
 		if target < w {
-			return l, true
+			return *l, true
 		}
 		target -= w
 	}
@@ -299,6 +350,19 @@ func (c *MapCache) HasNegative(eid netaddr.Addr) bool {
 // Walk visits all live entries.
 func (c *MapCache) Walk(fn func(netaddr.Prefix, *MapEntry) bool) {
 	c.trie.Walk(func(p netaddr.Prefix, e *MapEntry) bool { return fn(p, e) })
+}
+
+// SetLocatorReachable flips the R bit of the given RLOC in every cached
+// entry that lists it — how probe-driven liveness reaches the data
+// plane. It returns the number of entries changed.
+func (c *MapCache) SetLocatorReachable(addr netaddr.Addr, up bool) int {
+	changed := 0
+	for _, e := range c.entries {
+		if e.SetLocatorReachable(addr, up) {
+			changed++
+		}
+	}
+	return changed
 }
 
 // FlowKey identifies a unidirectional flow by its EID pair.

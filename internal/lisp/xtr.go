@@ -82,6 +82,22 @@ type XTRStats struct {
 	FlowMappingsUsed uint64
 	// NonEIDForwarded counts intercepted packets that were not EID-bound.
 	NonEIDForwarded uint64
+
+	// RLOC-probing activity (see probe.go). ProbesSent / ProbeRepliesSent
+	// are the prober's control-overhead contribution.
+	ProbesSent       uint64
+	ProbeRepliesSent uint64
+	ProbeAcks        uint64
+	ProbeTimeouts    uint64
+	// ProbesSkipped counts probe rounds withheld because the local
+	// egress toward the target was down.
+	ProbesSkipped uint64
+	// LocatorDowns / LocatorUps count hysteresis transitions.
+	LocatorDowns uint64
+	LocatorUps   uint64
+	// EgressDowns / EgressUps count local egress-watch transitions.
+	EgressDowns uint64
+	EgressUps   uint64
 }
 
 // XTRConfig configures a tunnel router.
@@ -139,6 +155,21 @@ type XTR struct {
 	// OnDecap, when set, is invoked for every decapsulated packet. The
 	// PCE control plane hooks it to learn and multicast reverse mappings.
 	OnDecap func(info DecapInfo)
+
+	// OnReachability, when set, receives probe-driven remote locator
+	// transitions (see EnableProbing); the cache's Reachable bits are
+	// already flipped when it fires.
+	OnReachability func(rloc netaddr.Addr, up bool)
+	// OnEgressState, when set, receives local egress interface
+	// transitions for RLOCs registered with WatchEgress.
+	OnEgressState func(rloc netaddr.Addr, up bool)
+
+	// RLOC probing state (see probe.go).
+	probing      bool
+	probeCfg     ProbeConfig
+	probes       map[netaddr.Addr]*probeState
+	probeTargets []netaddr.Addr // per-tick scratch, reused
+	egress       []egressWatch
 
 	// seenSources records when each (inner src, inner dst) flow was last
 	// seen at this ETR. Entries older than seenTTL are pruned by a
@@ -239,6 +270,8 @@ const (
 	// xtrTimerQueueExpiry drops timed-out miss-queue packets for the EID
 	// in TimerArg.N.
 	xtrTimerQueueExpiry
+	// xtrTimerProbeTick runs one RLOC-probing round (probe.go).
+	xtrTimerProbeTick
 )
 
 // OnTimer implements simnet.TimerHandler for the xTR's timers.
@@ -248,6 +281,8 @@ func (x *XTR) OnTimer(arg simnet.TimerArg) {
 		x.pruneSeen()
 	case xtrTimerQueueExpiry:
 		x.expireQueue(netaddr.Addr(arg.N))
+	case xtrTimerProbeTick:
+		x.probeTick()
 	}
 }
 

@@ -84,6 +84,11 @@ func (a *ALT) AttachSite(site *Site) lisp.Resolver {
 	return req
 }
 
+// RefreshSite implements System. ALT ETRs answer from the live site
+// record, so a changed record needs no re-announcement (the overlay
+// carries reachability, not locator sets).
+func (a *ALT) RefreshSite(*Site) {}
+
 // RootTableSize returns the number of prefixes held at the overlay root —
 // the state concentration the scalability experiment tracks.
 func (a *ALT) RootTableSize() int { return a.tree.tableSize(0) }

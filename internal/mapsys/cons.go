@@ -20,6 +20,7 @@ type CONS struct {
 	tree       *overlayTree
 	byOverlay  map[*overlayRouter]*consRouter
 	siteAgents []*ControlAgent
+	siteCARs   map[*Site]*consRouter
 
 	// CacheTTL bounds intermediate answer caching (default 60s).
 	CacheTTL simnet.Time
@@ -60,6 +61,7 @@ func BuildCONS(sim *simnet.Sim, cfg OverlayConfig) *CONS {
 	c := &CONS{
 		tree:      t,
 		byOverlay: make(map[*overlayRouter]*consRouter),
+		siteCARs:  make(map[*Site]*consRouter),
 		CacheTTL:  60 * time.Second,
 	}
 	for _, r := range t.routers {
@@ -136,6 +138,7 @@ func (c *CONS) Name() string { return "CONS" }
 func (c *CONS) AttachSite(site *Site) lisp.Resolver {
 	leaf := c.tree.attachSite(site)
 	cr := c.byOverlay[leaf]
+	c.siteCARs[site] = cr
 	cr.db.Insert(site.Prefix, site.Record())
 	// Ancestors learn to route the prefix down to this CAR, which answers
 	// from its database; the CAR itself keeps no table entry (the db
@@ -154,6 +157,16 @@ func (c *CONS) AttachSite(site *Site) lisp.Resolver {
 	carAddr := leaf.addr
 	req.Target = func(netaddr.Addr) netaddr.Addr { return carAddr }
 	return req
+}
+
+// RefreshSite implements System: the CAR database holds a snapshot of
+// the site record (Site.Record copies the locator set), so a changed
+// record must be re-inserted. Intermediate answer caches keep serving
+// the stale copy until CacheTTL — CONS's own extra reconvergence lag.
+func (c *CONS) RefreshSite(site *Site) {
+	if cr, ok := c.siteCARs[site]; ok {
+		cr.db.Insert(site.Prefix, site.Record())
+	}
 }
 
 // RootTableSize returns the prefix count at the overlay root.

@@ -40,10 +40,15 @@ type Site struct {
 	AuthKey []byte
 }
 
-// Record returns the site's mapping record.
+// Record returns the site's mapping record with a snapshot of the
+// locator set: stored copies (CONS CAR databases, the NERD authority)
+// must not change retroactively when a LocatorWatch later flips the
+// live site's R bits — re-publication goes through RefreshSite.
 func (s *Site) Record() packet.LISPMapRecord {
+	locs := make([]packet.LISPLocator, len(s.Locators))
+	copy(locs, s.Locators)
 	return packet.LISPMapRecord{
-		TTL: s.TTL, EIDPrefix: s.Prefix, Authoritative: true, Locators: s.Locators,
+		TTL: s.TTL, EIDPrefix: s.Prefix, Authoritative: true, Locators: locs,
 	}
 }
 
@@ -326,6 +331,74 @@ type System interface {
 	// AttachSite registers a site and returns the lisp.Resolver its ITRs
 	// should use (nil for pure-push systems whose ITRs never resolve).
 	AttachSite(site *Site) lisp.Resolver
+	// RefreshSite re-announces an attached site after its record changed
+	// (a locator's R bit flipped, say). Systems answering live from the
+	// site struct (ALT, MS/MR's ETR) need no message, ones holding
+	// copies (CONS CARs, the NERD authority) re-publish. Refreshing
+	// updates only the system's own state: remote ITR caches still hold
+	// the old record until TTL expiry — the pull-based reconvergence
+	// delay the paper's control plane avoids.
+	RefreshSite(site *Site)
+}
+
+// LocatorWatch drives a site's advertised locator R bits from interface
+// state: each tick it checks the interface carrying each locator, flips
+// the site record on transitions and calls Refresh so the mapping
+// system re-publishes. This is the site-local half of failure handling
+// every control plane gets for free (a border router sees its own link
+// die); the difference under test is how long *remote* caches keep the
+// stale record.
+type LocatorWatch struct {
+	sim    *simnet.Sim
+	site   *Site
+	ifaces []*simnet.Iface // parallel to site.Locators; nil entries skipped
+	// Refresh, when non-nil, runs after any flip (normally
+	// System.RefreshSite).
+	Refresh func()
+	// Interval is the check period (default 1s).
+	Interval simnet.Time
+	started  bool
+
+	// Changes counts R-bit flips (observability for experiments).
+	Changes uint64
+}
+
+// WatchSiteLocators builds a watch binding site.Locators[i] to ifaces[i].
+func WatchSiteLocators(sim *simnet.Sim, site *Site, ifaces []*simnet.Iface, refresh func()) *LocatorWatch {
+	if len(ifaces) != len(site.Locators) {
+		panic("mapsys: locator watch needs one iface per locator")
+	}
+	return &LocatorWatch{sim: sim, site: site, ifaces: ifaces, Refresh: refresh, Interval: time.Second}
+}
+
+// Start begins periodic checks (keeps the event queue alive forever; run
+// the simulation with bounded windows).
+func (lw *LocatorWatch) Start() {
+	if lw.started {
+		return
+	}
+	lw.started = true
+	lw.sim.ScheduleTimer(lw.Interval, lw, simnet.TimerArg{})
+}
+
+// OnTimer implements simnet.TimerHandler: one state check.
+func (lw *LocatorWatch) OnTimer(simnet.TimerArg) {
+	changed := false
+	for i, ifc := range lw.ifaces {
+		if ifc == nil {
+			continue
+		}
+		up := ifc.LinkUp()
+		if lw.site.Locators[i].Reachable != up {
+			lw.site.Locators[i].Reachable = up
+			lw.Changes++
+			changed = true
+		}
+	}
+	if changed && lw.Refresh != nil {
+		lw.Refresh()
+	}
+	lw.sim.ScheduleTimer(lw.Interval, lw, simnet.TimerArg{})
 }
 
 // ErrNoSite is returned by deployments asked about an unknown EID.

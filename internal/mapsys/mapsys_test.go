@@ -453,3 +453,74 @@ func BenchmarkMSMRResolution(b *testing.B) {
 		}
 	}
 }
+
+// TestLocatorWatchFlipsAndRefreshes: a watched site's locator R bit
+// follows its interface state, RefreshSite propagates the change to the
+// system's stored copy, and a fresh resolution returns the pruned set.
+func TestLocatorWatchFlipsAndRefreshes(t *testing.T) {
+	w := newMSWorld(t, 2)
+	msNode, msAddr := w.addInfraNode("ms", 1, 12*time.Millisecond)
+	mrNode, mrAddr := w.addInfraNode("mr", 2, 10*time.Millisecond)
+	sys := NewMSMR(msNode, msAddr, mrNode, mrAddr, testKey)
+	resolvers := make([]lisp.Resolver, len(w.sites))
+	for i, site := range w.sites {
+		resolvers[i] = sys.AttachSite(site)
+	}
+	site1 := w.sites[1]
+	ifc := site1.Node.IfaceByAddr(site1.Addr)
+	refreshed := 0
+	lw := WatchSiteLocators(w.sim, site1, []*simnet.Iface{ifc}, func() {
+		refreshed++
+		sys.RefreshSite(site1)
+	})
+	lw.Start()
+	w.sim.RunFor(2 * time.Second)
+	if refreshed != 0 || lw.Changes != 0 {
+		t.Fatalf("healthy site refreshed %d times", refreshed)
+	}
+
+	ifc.SetUp(false)
+	w.sim.RunFor(2 * time.Second)
+	if lw.Changes != 1 || refreshed != 1 {
+		t.Fatalf("changes=%d refreshed=%d after iface down, want 1/1", lw.Changes, refreshed)
+	}
+	if site1.Locators[0].Reachable {
+		t.Fatal("site record still advertises the dead locator as reachable")
+	}
+	// A fresh resolution now returns the record with the R bit cleared,
+	// so an ITR's SelectLocator refuses it.
+	ifc.SetUp(true) // restore the path so the reply can travel
+	w.sim.RunFor(2 * time.Second)
+	if lw.Changes != 2 || !site1.Locators[0].Reachable {
+		t.Fatalf("recovery not observed: changes=%d", lw.Changes)
+	}
+}
+
+// TestNERDRefreshBumpsVersion: re-announcing a site advances the
+// authority database version so pollers fetch the updated record.
+func TestNERDRefreshBumpsVersion(t *testing.T) {
+	w := newMSWorld(t, 2)
+	authNode, authAddr := w.addInfraNode("authority", 3, 15*time.Millisecond)
+	authority := NewNERD(authNode, authAddr, testKey)
+	sys := NewNERDSystem(authority, testKey)
+	for _, site := range w.sites {
+		sys.AttachSite(site)
+	}
+	w.sim.RunFor(time.Second)
+	v0 := authority.Version()
+	if v0 == 0 {
+		t.Fatal("no registrations landed")
+	}
+	// Refresh of a never-attached site is ignored.
+	sys.RefreshSite(&Site{Prefix: w.sites[0].Prefix, Node: w.sim.NewNode("stranger")})
+	w.sim.RunFor(time.Second)
+	if authority.Version() != v0 {
+		t.Fatal("unattached refresh reached the authority")
+	}
+	w.sites[0].Locators[0].Reachable = false
+	sys.RefreshSite(w.sites[0])
+	w.sim.RunFor(time.Second)
+	if authority.Version() <= v0 {
+		t.Fatalf("version %d did not advance past %d on refresh", authority.Version(), v0)
+	}
+}

@@ -131,6 +131,7 @@ type MSMR struct {
 	RegisterInterval simnet.Time
 	authKey          []byte
 	agents           map[*simnet.Node]*ControlAgent
+	regs             map[*Site]*registration
 }
 
 // NewMSMR builds the deployment with the map-server on msNode and the
@@ -144,6 +145,7 @@ func NewMSMR(msNode *simnet.Node, msAddr netaddr.Addr, mrNode *simnet.Node, mrAd
 		RegisterInterval: 60 * time.Second,
 		authKey:          authKey,
 		agents:           make(map[*simnet.Node]*ControlAgent),
+		regs:             make(map[*Site]*registration),
 	}
 }
 
@@ -166,7 +168,9 @@ func (m *MSMR) ControlTotals() ControlStats {
 func (m *MSMR) AttachSite(site *Site) lisp.Resolver {
 	agent := m.agentFor(site.Node, site.Addr)
 	ETRResponder(agent, site)
-	m.register(&registration{agent: agent, site: site})
+	reg := &registration{agent: agent, site: site}
+	m.regs[site] = reg
+	m.register(reg)
 
 	req := NewRequester(agent)
 	req.ECM = true
@@ -185,6 +189,13 @@ func (m *MSMR) agentFor(node *simnet.Node, addr netaddr.Addr) *ControlAgent {
 }
 
 func (m *MSMR) register(reg *registration) {
+	m.sendRegister(reg)
+	reg.agent.node.Sim().ScheduleTimer(m.RegisterInterval, m, simnet.TimerArg{P: reg})
+}
+
+// sendRegister issues one Map-Register without touching the periodic
+// re-arm (RefreshSite uses it for out-of-band updates).
+func (m *MSMR) sendRegister(reg *registration) {
 	agent, site := reg.agent, reg.site
 	key := site.AuthKey
 	if key == nil {
@@ -198,7 +209,15 @@ func (m *MSMR) register(reg *registration) {
 		Records: []packet.LISPMapRecord{site.Record()},
 	}
 	agent.Send(m.MS.Addr(), msg)
-	agent.node.Sim().ScheduleTimer(m.RegisterInterval, m, simnet.TimerArg{P: reg})
+}
+
+// RefreshSite implements System: re-register immediately so the
+// map-server's stored copy reflects the changed record (the ETR itself
+// already answers live).
+func (m *MSMR) RefreshSite(site *Site) {
+	if reg, ok := m.regs[site]; ok {
+		m.sendRegister(reg)
+	}
 }
 
 // registration carries one ETR's periodic re-registration context

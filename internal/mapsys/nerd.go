@@ -238,6 +238,16 @@ func (s *NERDSystem) AttachSite(site *Site) lisp.Resolver {
 	return nil
 }
 
+// RefreshSite implements System: re-register the site's record with the
+// authority, bumping the database version so every poller picks up the
+// change on its next delta poll — NERD's reconvergence horizon.
+func (s *NERDSystem) RefreshSite(site *Site) {
+	if _, ok := s.agents[site.Node]; !ok {
+		return // never attached
+	}
+	s.AttachSite(site)
+}
+
 // WireXTR starts the delta poller feeding the xTR's map-cache.
 func (s *NERDSystem) WireXTR(xtr *lisp.XTR) *NERDPoller {
 	node := xtr.Node()

@@ -126,6 +126,11 @@ const (
 	// PortPCECP is the paper's "special transport port P" listened on by
 	// PCES for encapsulated DNS replies, and reused for mapping pushes.
 	PortPCECP = 4344
+	// PortRLOCProbe carries xTR RLOC-liveness probes (Map-Request with
+	// the P bit) and their Map-Reply echoes. A dedicated port keeps the
+	// prober off 4342, which mapping-system control agents own on the
+	// same nodes.
+	PortRLOCProbe = 4345
 )
 
 var (

@@ -87,8 +87,25 @@ func (f funcTimer) OnTimer(TimerArg) { f() }
 func (s *Sim) dispatch(e *event) {
 	switch e.kind {
 	case evArrive:
-		e.node.receive(e.data, e.node.ifaces[e.ifIdx])
+		in := e.node.ifaces[e.ifIdx]
+		if in.down || e.node.failed {
+			// The frame was in flight when the receiving side went down:
+			// a cut loses what the wire was carrying.
+			in.dir.counters.AdminDrops++
+			s.trace(TraceDrop, e.node.name, "iface down on "+in.name, e.data)
+			return
+		}
+		// The frame made it across: goodput accounting on the direction
+		// that carried it (the peer's transmit direction).
+		c := &in.peer.dir.counters
+		c.DeliveredPackets++
+		c.DeliveredBytes += uint64(len(e.data))
+		e.node.receive(e.data, in)
 	case evDeliver:
+		if e.node.failed {
+			s.trace(TraceDrop, e.node.name, "node failed", e.data)
+			return
+		}
 		e.node.receive(e.data, nil)
 	case evTimer:
 		e.h.OnTimer(e.arg)

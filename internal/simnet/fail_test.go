@@ -1,0 +1,247 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/packet"
+)
+
+// TestIfaceDownDropsQueuedFrames: frames handed to a downed interface
+// are dropped and counted in AdminDrops, without touching the offered-
+// load counters; recovery carries traffic again.
+func TestIfaceDownDropsQueuedFrames(t *testing.T) {
+	s := New(1)
+	a, b, l := twoNodes(s, LinkConfig{Delay: time.Millisecond})
+	delivered := 0
+	b.ListenUDP(7, func(*Delivery, *packet.UDP) { delivered++ })
+
+	l.A().SetUp(false)
+	if l.A().Up() {
+		t.Fatal("iface still up after SetUp(false)")
+	}
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload("x"))
+	s.Run()
+	c := l.A().Counters()
+	if delivered != 0 || c.AdminDrops != 1 {
+		t.Fatalf("delivered=%d adminDrops=%d, want 0/1", delivered, c.AdminDrops)
+	}
+	if c.TxPackets != 0 || c.DeliveredPackets != 0 {
+		t.Fatalf("downed iface counted offered load: %+v", c)
+	}
+
+	l.A().SetUp(true)
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload("x"))
+	s.Run()
+	c = l.A().Counters()
+	if delivered != 1 || c.TxPackets != 1 || c.DeliveredPackets != 1 {
+		t.Fatalf("recovery failed: delivered=%d counters=%+v", delivered, c)
+	}
+}
+
+// TestLinkCutLosesInFlightFrames: a frame already propagating when the
+// link goes down is lost on arrival and counted at the downed receiver.
+func TestLinkCutLosesInFlightFrames(t *testing.T) {
+	s := New(1)
+	a, b, l := twoNodes(s, LinkConfig{Delay: 10 * time.Millisecond})
+	delivered := 0
+	b.ListenUDP(7, func(*Delivery, *packet.UDP) { delivered++ })
+
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload("x"))
+	s.ScheduleFunc(5*time.Millisecond, func() { l.SetDown() })
+	s.Run()
+	if delivered != 0 {
+		t.Fatal("in-flight frame survived a link cut")
+	}
+	// The transmit side counted it as offered, the receive side as an
+	// admin drop, and nobody as delivered.
+	if c := l.A().Counters(); c.TxPackets != 1 || c.DeliveredPackets != 0 {
+		t.Fatalf("A counters: %+v", c)
+	}
+	if c := l.B().Counters(); c.AdminDrops != 1 {
+		t.Fatalf("B counters: %+v", c)
+	}
+}
+
+// TestNodeFailRecover: a failed node sends, forwards and delivers
+// nothing; after recovery it behaves normally.
+func TestNodeFailRecover(t *testing.T) {
+	s := New(1)
+	a, b, _ := twoNodes(s, LinkConfig{Delay: time.Millisecond})
+	delivered := 0
+	b.ListenUDP(7, func(*Delivery, *packet.UDP) { delivered++ })
+
+	b.Fail()
+	if !b.Failed() {
+		t.Fatal("Failed() false after Fail")
+	}
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload("x"))
+	s.Run()
+	if delivered != 0 {
+		t.Fatal("failed node delivered a packet")
+	}
+	// A failed node's own sends vanish too.
+	b.SendUDP(b.PrimaryAddr(), a.PrimaryAddr(), 1, 7, packet.Payload("x"))
+	s.Run()
+	if a.Stats.DeliveredLocal != 0 {
+		t.Fatal("failed node transmitted")
+	}
+
+	b.Recover()
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload("x"))
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered=%d after recovery, want 1", delivered)
+	}
+}
+
+// TestDeliveredBytesExcludeRandomLoss is the offered-vs-goodput
+// regression: with Loss=1.0 every frame is still counted as offered
+// (TxBytes) but none as delivered, so utilization trackers reading
+// DeliveredBytes report zero goodput.
+func TestDeliveredBytesExcludeRandomLoss(t *testing.T) {
+	s := New(1)
+	a, b, l := twoNodes(s, LinkConfig{Delay: time.Millisecond, Loss: 1.0})
+	b.ListenUDP(7, func(*Delivery, *packet.UDP) {})
+	for i := 0; i < 10; i++ {
+		a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload("x"))
+	}
+	s.Run()
+	c := l.A().Counters()
+	if c.TxPackets != 10 || c.RandomLoss != 10 {
+		t.Fatalf("offered-load counters: %+v", c)
+	}
+	if c.TxBytes == 0 {
+		t.Fatal("TxBytes empty")
+	}
+	if c.DeliveredPackets != 0 || c.DeliveredBytes != 0 {
+		t.Fatalf("lost frames counted as delivered: %+v", c)
+	}
+}
+
+// TestQueueBoundaryExactFill is the queue-overflow comparison
+// regression: a packet exactly filling the queue is accepted, and a
+// fractional backlog must not be truncated before the comparison (the
+// old int() cast admitted packets overfilling the queue by a byte).
+func TestQueueBoundaryExactFill(t *testing.T) {
+	s := New(1)
+	// 1 MB/s: a 1000-byte packet serializes in exactly 1ms.
+	a, b, l := twoNodes(s, LinkConfig{Delay: time.Millisecond, RateBps: 8_000_000, QueueBytes: 1500})
+	delivered := 0
+	b.ListenUDP(7, func(*Delivery, *packet.UDP) { delivered++ })
+	pkt := func(total int) packet.Payload {
+		return packet.Payload(make([]byte, total-packet.IPv4HeaderLen-packet.UDPHeaderLen))
+	}
+
+	// 1000B in flight, backlog 999.5B at t=500ns; a 501B packet would
+	// make 1500.5B — over the 1500B queue, so it must drop even though
+	// int(999.5)+501 == 1500 passes the truncated comparison.
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, pkt(1000))
+	s.ScheduleFunc(500*time.Nanosecond, func() {
+		a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, pkt(501))
+	})
+	s.Run()
+	if c := l.A().Counters(); c.QueueDrops != 1 {
+		t.Fatalf("fractional overfill admitted: %+v", c)
+	}
+
+	// Exact fill is still accepted: 1000B in flight, backlog exactly
+	// 500B halfway through, plus a 1000B packet = 1500B = QueueBytes.
+	s2 := New(1)
+	a2, b2, l2 := twoNodes(s2, LinkConfig{Delay: time.Millisecond, RateBps: 8_000_000, QueueBytes: 1500})
+	got := 0
+	b2.ListenUDP(7, func(*Delivery, *packet.UDP) { got++ })
+	a2.SendUDP(a2.PrimaryAddr(), b2.PrimaryAddr(), 1, 7, pkt(1000))
+	s2.ScheduleFunc(500*time.Microsecond, func() {
+		a2.SendUDP(a2.PrimaryAddr(), b2.PrimaryAddr(), 1, 7, pkt(1000))
+	})
+	s2.Run()
+	if c := l2.A().Counters(); c.QueueDrops != 0 || got != 2 {
+		t.Fatalf("exact fill rejected: drops=%d delivered=%d", c.QueueDrops, got)
+	}
+}
+
+// TestMidSimConfigChangeKeepsBusyUntil: degrading a live link with
+// SetConfig/SetLoss leaves the in-flight serialization state intact —
+// the frame being transmitted finishes at the old rate, the next one
+// queues behind it at the new rate and new loss.
+func TestMidSimConfigChangeKeepsBusyUntil(t *testing.T) {
+	s := New(1)
+	// 8000 bps: a 100-byte packet serializes in 100ms.
+	a, b, l := twoNodes(s, LinkConfig{Delay: 10 * time.Millisecond, RateBps: 8000})
+	var times []Time
+	b.ListenUDP(7, func(*Delivery, *packet.UDP) { times = append(times, s.Now()) })
+	payload := packet.Payload(make([]byte, 100-packet.IPv4HeaderLen-packet.UDPHeaderLen))
+
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, payload)
+	// Mid-serialization, double the rate and send a second packet: it
+	// starts after the first finishes (t=100ms) and serializes in 50ms.
+	s.ScheduleFunc(40*time.Millisecond, func() {
+		cfg := l.A().Config()
+		cfg.RateBps = 16000
+		l.A().SetConfig(cfg)
+		a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, payload)
+	})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d packets", len(times))
+	}
+	if times[0] != 110*time.Millisecond {
+		t.Fatalf("first delivery at %v, want 110ms", times[0])
+	}
+	if times[1] != 160*time.Millisecond {
+		t.Fatalf("second delivery at %v, want 160ms (100ms busyUntil + 50ms at new rate + 10ms delay)", times[1])
+	}
+
+	// SetLoss mid-simulation applies to subsequent transmits only: the
+	// already-scheduled arrivals above were unaffected, new ones vanish.
+	l.SetLoss(1.0)
+	a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, payload)
+	s.Run()
+	if len(times) != 2 {
+		t.Fatal("packet survived Loss=1.0 installed mid-simulation")
+	}
+	if l.A().Counters().RandomLoss != 1 {
+		t.Fatalf("counters: %+v", l.A().Counters())
+	}
+}
+
+// TestFailurePlanScript: a scripted cut/recover sequence fires at its
+// absolute times through typed timers.
+func TestFailurePlanScript(t *testing.T) {
+	s := New(1)
+	a, b, l := twoNodes(s, LinkConfig{Delay: time.Millisecond})
+	var deliveredAt []Time
+	b.ListenUDP(7, func(*Delivery, *packet.UDP) { deliveredAt = append(deliveredAt, s.Now()) })
+
+	plan := NewFailurePlan(s)
+	plan.LinkDown(10*time.Millisecond, l).
+		LinkUp(30*time.Millisecond, l).
+		SetLoss(50*time.Millisecond, l, 1.0).
+		SetLoss(70*time.Millisecond, l, 0).
+		NodeFail(90*time.Millisecond, b).
+		NodeRecover(110*time.Millisecond, b)
+	plan.Schedule()
+
+	// One probe packet every 20ms starting at 5ms: the ones at 25ms
+	// (link down), 65ms (full loss) and 105ms (node failed) die.
+	for i := 0; i < 6; i++ {
+		at := time.Duration(5+20*i) * time.Millisecond
+		s.AtFunc(at, func() {
+			a.SendUDP(a.PrimaryAddr(), b.PrimaryAddr(), 1, 7, packet.Payload("x"))
+		})
+	}
+	s.Run()
+	if plan.Fired != 6 {
+		t.Fatalf("plan fired %d of 6 events", plan.Fired)
+	}
+	want := []Time{6 * time.Millisecond, 46 * time.Millisecond, 86 * time.Millisecond}
+	if len(deliveredAt) != len(want) {
+		t.Fatalf("deliveries at %v, want %v", deliveredAt, want)
+	}
+	for i := range want {
+		if deliveredAt[i] != want[i] {
+			t.Fatalf("deliveries at %v, want %v", deliveredAt, want)
+		}
+	}
+}

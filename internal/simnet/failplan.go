@@ -1,0 +1,161 @@
+package simnet
+
+// FailureOp is one kind of scripted failure or recovery action.
+type FailureOp uint8
+
+// The failure-plan operations.
+const (
+	// OpIfaceDown / OpIfaceUp toggle one interface's admin state.
+	OpIfaceDown FailureOp = iota
+	OpIfaceUp
+	// OpLinkDown / OpLinkUp cut and restore a whole link (both ends).
+	OpLinkDown
+	OpLinkUp
+	// OpNodeFail / OpNodeRecover crash and restore a node.
+	OpNodeFail
+	OpNodeRecover
+	// OpSetLoss sets the loss probability on both directions of a link —
+	// the brown-out injection.
+	OpSetLoss
+)
+
+// String names the operation.
+func (op FailureOp) String() string {
+	switch op {
+	case OpIfaceDown:
+		return "iface-down"
+	case OpIfaceUp:
+		return "iface-up"
+	case OpLinkDown:
+		return "link-down"
+	case OpLinkUp:
+		return "link-up"
+	case OpNodeFail:
+		return "node-fail"
+	case OpNodeRecover:
+		return "node-recover"
+	case OpSetLoss:
+		return "set-loss"
+	default:
+		return "?"
+	}
+}
+
+// FailureEvent is one scheduled action of a FailurePlan. Exactly one of
+// Iface, Link or Node is consulted, depending on Op.
+type FailureEvent struct {
+	// At is the absolute virtual time the action fires.
+	At Time
+	// Op selects the action.
+	Op FailureOp
+	// Iface is the target of OpIfaceDown/OpIfaceUp.
+	Iface *Iface
+	// Link is the target of OpLinkDown/OpLinkUp/OpSetLoss.
+	Link *Link
+	// Node is the target of OpNodeFail/OpNodeRecover.
+	Node *Node
+	// Loss is the probability installed by OpSetLoss.
+	Loss float64
+}
+
+// FailurePlan is a scripted sequence of failure and recovery events:
+// link cuts, interface flaps, node crashes and loss brown-outs, each at
+// an absolute virtual time. Build the plan with the fluent helpers, then
+// call Schedule once; every event rides its own typed timer, so a plan
+// adds nothing to the steady-state allocation profile.
+type FailurePlan struct {
+	sim       *Sim
+	events    []FailureEvent
+	scheduled bool
+
+	// Fired counts executed events (observability for experiments).
+	Fired int
+}
+
+// NewFailurePlan builds an empty plan bound to sim.
+func NewFailurePlan(sim *Sim) *FailurePlan {
+	return &FailurePlan{sim: sim}
+}
+
+// Add appends a raw event. The fluent helpers below cover the common
+// cases.
+func (p *FailurePlan) Add(ev FailureEvent) *FailurePlan {
+	if p.scheduled {
+		panic("simnet: FailurePlan modified after Schedule")
+	}
+	p.events = append(p.events, ev)
+	return p
+}
+
+// IfaceDown schedules an admin-down of one interface at time at.
+func (p *FailurePlan) IfaceDown(at Time, i *Iface) *FailurePlan {
+	return p.Add(FailureEvent{At: at, Op: OpIfaceDown, Iface: i})
+}
+
+// IfaceUp schedules the interface's recovery.
+func (p *FailurePlan) IfaceUp(at Time, i *Iface) *FailurePlan {
+	return p.Add(FailureEvent{At: at, Op: OpIfaceUp, Iface: i})
+}
+
+// LinkDown schedules a full link cut (both directions) at time at.
+func (p *FailurePlan) LinkDown(at Time, l *Link) *FailurePlan {
+	return p.Add(FailureEvent{At: at, Op: OpLinkDown, Link: l})
+}
+
+// LinkUp schedules the link's restoration.
+func (p *FailurePlan) LinkUp(at Time, l *Link) *FailurePlan {
+	return p.Add(FailureEvent{At: at, Op: OpLinkUp, Link: l})
+}
+
+// NodeFail schedules a node crash at time at.
+func (p *FailurePlan) NodeFail(at Time, n *Node) *FailurePlan {
+	return p.Add(FailureEvent{At: at, Op: OpNodeFail, Node: n})
+}
+
+// NodeRecover schedules the node's recovery.
+func (p *FailurePlan) NodeRecover(at Time, n *Node) *FailurePlan {
+	return p.Add(FailureEvent{At: at, Op: OpNodeRecover, Node: n})
+}
+
+// SetLoss schedules a loss-probability change on both directions of l —
+// pair a high-loss event with a zero-loss one to script a brown-out.
+func (p *FailurePlan) SetLoss(at Time, l *Link, loss float64) *FailurePlan {
+	return p.Add(FailureEvent{At: at, Op: OpSetLoss, Link: l, Loss: loss})
+}
+
+// Schedule arms one typed timer per event. Calling it twice panics: a
+// plan is a one-shot script.
+func (p *FailurePlan) Schedule() {
+	if p.scheduled {
+		panic("simnet: FailurePlan scheduled twice")
+	}
+	p.scheduled = true
+	for i := range p.events {
+		p.sim.TimerAt(p.events[i].At, p, TimerArg{N: int64(i)})
+	}
+}
+
+// Events returns the scripted events in insertion order.
+func (p *FailurePlan) Events() []FailureEvent { return p.events }
+
+// OnTimer implements TimerHandler: execute the event indexed by arg.N.
+func (p *FailurePlan) OnTimer(arg TimerArg) {
+	ev := &p.events[arg.N]
+	p.Fired++
+	switch ev.Op {
+	case OpIfaceDown:
+		ev.Iface.SetUp(false)
+	case OpIfaceUp:
+		ev.Iface.SetUp(true)
+	case OpLinkDown:
+		ev.Link.SetDown()
+	case OpLinkUp:
+		ev.Link.SetUp()
+	case OpNodeFail:
+		ev.Node.Fail()
+	case OpNodeRecover:
+		ev.Node.Recover()
+	case OpSetLoss:
+		ev.Link.SetLoss(ev.Loss)
+	}
+}

@@ -23,12 +23,24 @@ type LinkConfig struct {
 
 // LinkCounters accumulates per-direction statistics.
 type LinkCounters struct {
-	// TxPackets and TxBytes count traffic put on the wire.
+	// TxPackets and TxBytes count traffic put on the wire — the offered
+	// load, including frames the Loss probability destroys after
+	// serialization.
 	TxPackets, TxBytes uint64
+	// DeliveredPackets and DeliveredBytes count frames that actually
+	// reached the peer node — the goodput. They exclude random loss,
+	// frames sent while either end was administratively down, and frames
+	// arriving at a failed node. Utilization trackers read these.
+	DeliveredPackets, DeliveredBytes uint64
 	// QueueDrops counts tail drops at the transmit queue.
 	QueueDrops uint64
 	// RandomLoss counts packets lost to the Loss probability.
 	RandomLoss uint64
+	// AdminDrops counts frames destroyed by failure state at this
+	// interface: handed to it for transmit while it (or its node) was
+	// down, or arriving at it while down — the queued-frame semantics of
+	// a link cut.
+	AdminDrops uint64
 }
 
 // Iface is a node's attachment to one end of a link.
@@ -39,6 +51,7 @@ type Iface struct {
 	addr netaddr.Addr
 	name string
 	idx  uint16 // position in node.ifaces, for compact arrival events
+	down bool   // administratively down: neither transmits nor receives
 }
 
 // Node returns the owning node.
@@ -60,6 +73,22 @@ func (i *Iface) SetAddr(a netaddr.Addr) *Iface {
 
 // Name returns "node:peer" for diagnostics.
 func (i *Iface) Name() string { return i.name }
+
+// SetUp sets the interface's administrative state. A downed interface
+// neither transmits nor receives: frames handed to it are dropped and
+// counted in AdminDrops, and frames already in flight toward it are
+// dropped on arrival (a cut loses what the wire was carrying). Bringing
+// an interface back up does not resurrect anything.
+func (i *Iface) SetUp(up bool) { i.down = !up }
+
+// Up reports whether the interface can carry traffic: administratively
+// up on a node that has not failed.
+func (i *Iface) Up() bool { return !i.down && !i.node.failed }
+
+// LinkUp reports whether the whole attachment is usable end to end:
+// this interface and its peer are both up. This is the predicate
+// liveness watches share — refine it here, not at call sites.
+func (i *Iface) LinkUp() bool { return i.Up() && i.peer.Up() }
 
 // Config returns the transmit-direction link configuration.
 func (i *Iface) Config() LinkConfig { return i.dir.cfg }
@@ -104,6 +133,19 @@ func (l *Link) SetLoss(p float64) {
 	l.b.dir.cfg.Loss = p
 }
 
+// SetDown cuts the link: both interfaces go administratively down, so
+// nothing new enters the wire and in-flight frames are lost on arrival.
+func (l *Link) SetDown() {
+	l.a.SetUp(false)
+	l.b.SetUp(false)
+}
+
+// SetUp restores both interfaces after a SetDown.
+func (l *Link) SetUp() {
+	l.a.SetUp(true)
+	l.b.SetUp(true)
+}
+
 // Connect creates a link between two nodes with the same configuration in
 // both directions, returning the new link.
 func Connect(a, b *Node, cfg LinkConfig) *Link {
@@ -130,11 +172,19 @@ func ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
 func (i *Iface) transmit(data []byte) {
 	sim := i.node.sim
 	d := i.dir
+	if i.down || i.node.failed {
+		d.counters.AdminDrops++
+		sim.trace(TraceDrop, i.node.name, fmt.Sprintf("iface down on %s", i.name), data)
+		return
+	}
 	now := sim.Now()
 
 	if d.cfg.QueueBytes > 0 && d.cfg.RateBps > 0 {
+		// Compare in float64: truncating the backlog before adding the
+		// frame admits packets that overfill the queue by up to a byte. A
+		// frame that exactly fills the queue is still accepted.
 		backlog := float64(d.busyUntil-now) / float64(time.Second) * float64(d.cfg.RateBps) / 8
-		if backlog > 0 && int(backlog)+len(data) > d.cfg.QueueBytes {
+		if backlog > 0 && backlog+float64(len(data)) > float64(d.cfg.QueueBytes) {
 			d.counters.QueueDrops++
 			sim.trace(TraceDrop, i.node.name, fmt.Sprintf("queue overflow on %s", i.name), data)
 			return

@@ -71,6 +71,11 @@ type Node struct {
 	// AddRoute.
 	rcache [routeCacheSize]routeCacheEntry
 
+	// failed marks a crashed node: it neither sends, forwards, delivers
+	// nor answers until Recover. Timers still fire (the process state is
+	// what failed, not the handlers' bookkeeping).
+	failed bool
+
 	// Stats exposes packet counters for experiments.
 	Stats NodeStats
 }
@@ -83,6 +88,17 @@ func (n *Node) Name() string { return n.name }
 
 // String returns the node's name.
 func (n *Node) String() string { return n.name }
+
+// Fail crashes the node: every packet it would send, forward or deliver
+// is dropped until Recover. Interfaces keep their own administrative
+// state, so a recovered node comes back with the same link config.
+func (n *Node) Fail() { n.failed = true }
+
+// Recover restores a failed node.
+func (n *Node) Recover() { n.failed = false }
+
+// Failed reports whether the node is currently failed.
+func (n *Node) Failed() bool { return n.failed }
 
 // AddAddr assigns a host address not bound to any interface (loopback
 // style). The first address added — by AddAddr or Iface.SetAddr — becomes
@@ -264,6 +280,10 @@ func (d *Delivery) IPv4() *packet.IPv4 {
 // of data. Multicast destinations are head-end replicated to all group
 // members except the sender.
 func (n *Node) Send(data []byte) error {
+	if n.failed {
+		n.sim.trace(TraceDrop, n.name, "node failed", data)
+		return nil
+	}
 	dst, ok := packet.PeekIPv4Dst(data)
 	if !ok {
 		n.Stats.Malformed++

@@ -68,8 +68,11 @@ func (t *Tracker) sample() {
 	dt := float64(t.Interval) / float64(time.Second)
 	now := t.sim.Now()
 	for i, l := range t.links {
-		tx := l.Iface.Counters().TxBytes
-		rx := l.Iface.Peer().Counters().TxBytes
+		// Goodput, not offered load: DeliveredBytes excludes frames the
+		// link destroyed (random loss, admin-down), so a lossy provider
+		// reads as carrying less traffic, not more.
+		tx := l.Iface.Counters().DeliveredBytes
+		rx := l.Iface.Peer().Counters().DeliveredBytes
 		if t.samples > 0 && l.CapacityBps > 0 {
 			t.Egress[i].Add(now, float64(tx-l.lastTx)*8/dt/float64(l.CapacityBps))
 			t.Ingress[i].Add(now, float64(rx-l.lastRx)*8/dt/float64(l.CapacityBps))

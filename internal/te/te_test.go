@@ -85,6 +85,33 @@ type fakeRepusher struct{ calls, moved int }
 
 func (f *fakeRepusher) Repush() int { f.calls++; return f.moved }
 
+// TestTrackerMeasuresGoodputNotOfferedLoad is the delivered-bytes
+// regression: with Loss=1.0 every frame is offered to the wire but none
+// arrives, and the tracker must report zero utilization (the old TxBytes
+// sampling reported ~50% — offered load, not goodput).
+func TestTrackerMeasuresGoodputNotOfferedLoad(t *testing.T) {
+	w := newTEWorld(t)
+	ifA := w.providers[0].Egress
+	cfg := ifA.Config()
+	cfg.Loss = 1.0
+	ifA.SetConfig(cfg)
+
+	tr := NewTracker(w.sim)
+	for _, p := range w.providers {
+		tr.Add(p.Name, p.Egress, p.CapacityBps)
+	}
+	tr.Start()
+	pump := workload.NewPump(w.dom, w.providers[0].RLOC, netaddr.AddrFrom4(10, 0, 0, 2), 9, 400_000, 1000)
+	pump.Start()
+	w.sim.RunUntil(10 * time.Second)
+	if util := tr.LastEgress()[0]; util != 0 {
+		t.Fatalf("provider A util = %v on a fully lossy link, want 0 (offered load leaked in)", util)
+	}
+	if c := ifA.Counters(); c.TxBytes == 0 || c.DeliveredBytes != 0 {
+		t.Fatalf("counters inconsistent with Loss=1.0: %+v", c)
+	}
+}
+
 func TestRebalancerTriggersOnImbalance(t *testing.T) {
 	w := newTEWorld(t)
 	engine := irc.NewEngine(w.sim, w.providers, irc.LoadBalance{})

@@ -82,6 +82,9 @@ type Provider struct {
 	// EgressIface is the xTR-side interface of the customer link (feed
 	// for utilization monitoring).
 	EgressIface *simnet.Iface
+	// Link is the xTR-provider customer link and CoreLink the
+	// provider-core transit link — the failure-injection cut points.
+	Link, CoreLink *simnet.Link
 	// CoreDelay is the drawn provider-core delay.
 	CoreDelay time.Duration
 	// CapacityBps echoes the spec.
@@ -349,6 +352,8 @@ func (in *Internet) buildDomain(spec *Spec, idx int) {
 			Node:        provNode,
 			RLOC:        rloc,
 			EgressIface: le.A(),
+			Link:        le,
+			CoreLink:    lc,
 			CoreDelay:   coreDelay,
 			CapacityBps: ds.ProviderCapacityBps,
 		})
