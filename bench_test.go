@@ -19,6 +19,7 @@ import (
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/runner"
 	"github.com/pcelisp/pcelisp/internal/simnet"
+	"github.com/pcelisp/pcelisp/internal/teopt"
 	"github.com/pcelisp/pcelisp/internal/workload"
 )
 
@@ -95,6 +96,13 @@ func BenchmarkE10FailureReconvergence(b *testing.B) { benchExperiment(b, "E10", 
 // BenchmarkE10Parallel regenerates the same sweep through the worker pool.
 func BenchmarkE10Parallel(b *testing.B) { benchExperiment(b, "E10", runner.Auto) }
 
+// BenchmarkE11InboundTE regenerates the closed-loop congestion sweep
+// (telemetry streams, TE optimizer, weight-update dissemination).
+func BenchmarkE11InboundTE(b *testing.B) { benchExperiment(b, "E11", runner.Serial) }
+
+// BenchmarkE11Parallel regenerates the same sweep through the worker pool.
+func BenchmarkE11Parallel(b *testing.B) { benchExperiment(b, "E11", runner.Auto) }
+
 // BenchmarkMapCachePressure measures the raw cache hot path (lookup,
 // insert, evict, wheel) per policy under a skewed key stream — the inner
 // loop every ITR runs per packet.
@@ -165,6 +173,20 @@ func BenchmarkSimThroughput(b *testing.B) {
 	_ = src
 }
 
+// BenchmarkTEOptimizerSolve measures the raw min-max weight solver on an
+// 8-provider site — the PCE-side cost of one optimization tick.
+func BenchmarkTEOptimizerSolve(b *testing.B) {
+	load := []float64{3.1e6, 0.4e6, 2.8e6, 1.9e6, 0, 3.9e6, 0.7e6, 2.2e6}
+	caps := []float64{4e6, 4e6, 2e6, 2e6, 4e6, 4e6, 1e6, 2e6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := teopt.Solve(load, caps, 100)
+		if len(w) != len(caps) {
+			b.Fatal("solver lost links")
+		}
+	}
+}
+
 // BenchmarkSimThroughputProbing is BenchmarkSimThroughput with RLOC
 // probing enabled at every xTR: the probe timers ride the typed-event
 // scheduler, so per-packet cost must stay flat with liveness on. The
@@ -185,5 +207,39 @@ func BenchmarkSimThroughputProbing(b *testing.B) {
 			w.TCP[0][0].SendData(dst.Addr, 40000, 9999, 1, 512)
 		}
 		w.Sim.RunFor(2 * time.Second)
+	}
+}
+
+// BenchmarkSimThroughputTelemetry is BenchmarkSimThroughputProbing with
+// link-load telemetry streaming on top of probing at the source domain's
+// xTR: the full liveness-plus-TE sensing stack must keep per-packet cost
+// flat — the telemetry is one datagram per interval, not per-packet
+// work.
+func BenchmarkSimThroughputTelemetry(b *testing.B) {
+	w := experiments.BuildWorld(experiments.WorldConfig{
+		CP: experiments.CPPreinstalled, Domains: 2, Seed: 1,
+	})
+	w.Settle()
+	w.EnableProbing(lisp.ProbeConfig{Interval: time.Second})
+	d0 := w.In.Domains[0]
+	links := make([]lisp.TelemetryLink, len(d0.Providers))
+	for i, p := range d0.Providers {
+		links[i] = lisp.TelemetryLink{RLOC: p.RLOC, Iface: p.EgressIface, CapacityBps: 4_000_000}
+	}
+	d0.XTRs[0].EnableTelemetry(lisp.TelemetryConfig{
+		Collector: d0.PCEAddr, Interval: time.Second, Links: links,
+	})
+	dst := w.In.Domains[1].Hosts[0]
+	w.TCP[1][0].Listen(9999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1000; j++ {
+			w.TCP[0][0].SendData(dst.Addr, 40000, 9999, 1, 512)
+		}
+		w.Sim.RunFor(2 * time.Second)
+	}
+	if d0.XTRs[0].Stats.TelemetryReports == 0 {
+		b.Fatal("telemetry never streamed")
 	}
 }

@@ -100,6 +100,18 @@ type Stats struct {
 	// FailoverRepushes counts Repush rounds triggered by a reachability
 	// report that actually moved flows.
 	FailoverRepushes uint64
+	// LoadReports counts xTR telemetry messages consumed (the inbound TE
+	// optimizer's input).
+	LoadReports uint64
+	// WeightUpdatesSent counts MappingUpdate announcements to subscriber
+	// PCEs after the optimizer changed locator weights.
+	WeightUpdatesSent uint64
+	// WeightUpdatesReceived counts MappingUpdate messages consumed from
+	// remote PCEs (each triggers a Repush of affected flows).
+	WeightUpdatesReceived uint64
+	// WeightRepushes counts Repush rounds triggered by a received
+	// MappingUpdate that actually moved flows.
+	WeightRepushes uint64
 }
 
 // EventKind classifies PCE events for the OnEvent hook.
@@ -159,15 +171,25 @@ type PCE struct {
 	// lastOuter tracks the last outer source seen per flow at local ETRs,
 	// so an upstream TE shift (new RLOCS) re-triggers the reverse push.
 	lastOuter map[lisp.FlowKey]outerSeen
+	// subscribers tracks, per remote DNSS address, when this PCED last
+	// handed out its own mapping toward it — the audience for unsolicited
+	// MappingUpdate announcements when the TE optimizer changes locator
+	// weights. Entries idle longer than the mapping TTL are pruned by the
+	// maintenance sweep (the remote copy has expired anyway).
+	subscribers map[netaddr.Addr]simnet.Time
 	// maintArmed marks an outstanding maintenance sweep. The sweep prunes
-	// pushed/lastOuter/ETR first-packet state older than MappingTTL and
-	// re-arms only while state remains, so long-running simulations hold
-	// steady memory without keeping the event queue alive forever.
+	// pushed/lastOuter/subscriber/ETR first-packet state older than
+	// MappingTTL and re-arms only while state remains, so long-running
+	// simulations hold steady memory without keeping the event queue
+	// alive forever.
 	maintArmed bool
 
 	// OnEvent, when set, receives control-plane milestones (experiment
 	// instrumentation).
 	OnEvent func(Event)
+	// OnLoadReport, when set, receives xTR link-load telemetry — the
+	// inbound TE optimizer consumes it.
+	OnLoadReport func(src netaddr.Addr, loads []packet.PCELoadRecord)
 
 	// Stats counts PCE activity.
 	Stats Stats
@@ -202,14 +224,15 @@ func New(node *simnet.Node, cfg Config) *PCE {
 		cfg.PendingTTL = 10 * time.Second
 	}
 	p := &PCE{
-		node:      node,
-		cfg:       cfg,
-		pending:   make(map[string][]pendingFlow),
-		remote:    lisp.NewMapCache(node.Sim(), 0),
-		peers:     netaddr.NewTrie[netaddr.Addr](),
-		fetches:   make(map[uint64]fetchCtx),
-		pushed:    make(map[lisp.FlowKey]pushedFlow),
-		lastOuter: make(map[lisp.FlowKey]outerSeen),
+		node:        node,
+		cfg:         cfg,
+		pending:     make(map[string][]pendingFlow),
+		remote:      lisp.NewMapCache(node.Sim(), 0),
+		peers:       netaddr.NewTrie[netaddr.Addr](),
+		fetches:     make(map[uint64]fetchCtx),
+		pushed:      make(map[lisp.FlowKey]pushedFlow),
+		lastOuter:   make(map[lisp.FlowKey]outerSeen),
+		subscribers: make(map[netaddr.Addr]simnet.Time),
 	}
 	node.AddSniffer(p.sniff)
 	node.ListenUDP(packet.PortPCECP, p.handleLocalPCECP)
@@ -463,6 +486,7 @@ func (p *PCE) maybeEncapReply(ip *packet.IPv4, udp *packet.UDP) simnet.SnifferVe
 	}
 	p.Stats.EncapRepliesSent++
 	p.emit(Event{Kind: EvEncapReplySent, DstEID: ed})
+	p.addSubscriber(ip.DstIP)
 	msg := &packet.PCECP{
 		Version: packet.PCECPVersion, Type: packet.PCECPEncapDNSReply,
 		Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
@@ -513,6 +537,18 @@ func (p *PCE) handlePortP(payload []byte) bool {
 		p.Stats.MapFetchReplies++
 		p.pushFlowsFor(ctx.qname, ctx.ed)
 		return true
+	case packet.PCECPMappingUpdate:
+		// A remote TE optimizer changed its locator weights: refresh the
+		// PCES database and the ITR caches, then re-push every live flow
+		// whose engineered RLOC pair moved — the one-RTT reaction that
+		// pull planes only get at TTL expiry.
+		p.Stats.WeightUpdatesReceived++
+		p.learnMappings(msg)
+		p.push(nil, msg.Prefixes)
+		if p.Repush() > 0 {
+			p.Stats.WeightRepushes++
+		}
+		return true
 	}
 	return false
 }
@@ -546,6 +582,7 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 		}
 		// The reply goes to the querying PCES "toward its DNSS" like the
 		// encapsulated replies, so the same interception path handles it.
+		p.addSubscriber(msg.Flows[0].SrcRLOC)
 		p.sendControl(msg.Flows[0].SrcRLOC, reply)
 	case packet.PCECPReverseMapPush:
 		p.Stats.ReversePushes++
@@ -558,11 +595,77 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 		if len(msg.Flows) > 0 {
 			p.armMaintenance()
 		}
+	case packet.PCECPLoadReport:
+		p.Stats.LoadReports++
+		if p.OnLoadReport != nil {
+			p.OnLoadReport(d.IPv4().SrcIP, msg.Loads)
+		}
 	case packet.PCECPMappingPush:
 		// Multicast copy of our own push (head-end replication excludes
 		// the sender, so this only happens for pushes from sibling PCEs
 		// in shared-group deployments); nothing to do.
 	}
+}
+
+// addSubscriber remembers a remote DNSS that received this domain's
+// mapping, refreshing its announcement lease.
+func (p *PCE) addSubscriber(dnss netaddr.Addr) {
+	if !dnss.IsValid() {
+		return
+	}
+	p.subscribers[dnss] = p.node.Sim().Now()
+	p.armMaintenance()
+}
+
+// Subscribers returns the number of live announcement targets.
+func (p *PCE) Subscribers() int { return len(p.subscribers) }
+
+// ApplyProviderWeights installs a new locator priority/weight vector,
+// indexed by provider: the IRC engine's policy is replaced by the
+// explicit table (recomputing the advertised and ingress locator sets),
+// the update is announced to every subscriber PCE, and live local flows
+// are re-pushed so the outbound ingress choice follows too. This is the
+// actuator of the closed-loop inbound TE optimizer. It returns the
+// number of subscribers notified.
+func (p *PCE) ApplyProviderWeights(weights []uint8) int {
+	choices := make([]irc.Choice, len(weights))
+	for i, w := range weights {
+		choices[i] = irc.Choice{Index: i, Priority: 1, Weight: w}
+	}
+	p.cfg.Engine.SetPolicy(irc.WeightTable{Choices: choices})
+	n := p.AnnounceMappingUpdate()
+	p.Repush()
+	return n
+}
+
+// AnnounceMappingUpdate pushes the current advertised mapping to every
+// subscriber PCE as an unsolicited PCECPMappingUpdate. Subscribers are
+// walked in sorted address order so the transmission order (and thus
+// every downstream byte) is deterministic.
+func (p *PCE) AnnounceMappingUpdate() int {
+	locators := p.cfg.Engine.MappingLocators()
+	if len(locators) == 0 || len(p.subscribers) == 0 {
+		return 0
+	}
+	targets := make([]netaddr.Addr, 0, len(p.subscribers))
+	for dnss := range p.subscribers {
+		targets = append(targets, dnss)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	now := p.node.Sim().Now()
+	for _, dnss := range targets {
+		msg := &packet.PCECP{
+			Version: packet.PCECPVersion, Type: packet.PCECPMappingUpdate,
+			Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
+			Prefixes: []packet.PCEPrefixMapping{{
+				Prefix: p.cfg.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: locators,
+			}},
+		}
+		p.Stats.WeightUpdatesSent++
+		p.subscribers[dnss] = now
+		p.sendControl(dnss, msg)
+	}
+	return len(targets)
 }
 
 // sendMapFetch issues the cache-hit fallback query toward a known PCED.
@@ -670,7 +773,8 @@ func (p *PCE) OnTimer(arg simnet.TimerArg) {
 
 // runMaintenance ages out control-plane state tied to expired mappings:
 // pushed flows past their TTL, lastOuter records idle longer than the
-// TTL, and the ETRs' first-packet flow records (pruned by the xTRs' own
+// TTL, announcement subscribers whose copy of our mapping has expired,
+// and the ETRs' first-packet flow records (pruned by the xTRs' own
 // timers, counted here only for the re-arm decision). Unrefreshed
 // entries live at most 2×MappingTTL — one full sweep interval past their
 // expiry. The sweep re-arms only while state remains, so a drained
@@ -689,7 +793,12 @@ func (p *PCE) runMaintenance() {
 			delete(p.pushed, fk)
 		}
 	}
-	remaining := len(p.lastOuter) + len(p.pushed)
+	for dnss, seen := range p.subscribers {
+		if now-seen >= ttl {
+			delete(p.subscribers, dnss)
+		}
+	}
+	remaining := len(p.lastOuter) + len(p.pushed) + len(p.subscribers)
 	for _, x := range p.xtrs {
 		remaining += x.SeenSources()
 	}

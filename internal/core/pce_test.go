@@ -491,3 +491,92 @@ func TestPCEStateMapsPruned(t *testing.T) {
 		}
 	}
 }
+
+// TestWeightUpdateMovesRemoteFlows drives the closed-loop TE actuator
+// end to end: the destination PCE changes its locator weights, announces
+// a MappingUpdate to its subscriber PCEs, and the source PCE re-pushes
+// the live flow onto the new locator within one exchange — no TTL waits.
+func TestWeightUpdateMovesRemoteFlows(t *testing.T) {
+	// d1 pins its mapping to provider 0, so the flow's initial DstRLOC is
+	// deterministic.
+	w := newPCEWorld(t, defaultSpec(), irc.MinLatency{}, irc.Pinned{Index: 0})
+	sim := w.in.Sim
+	d0, d1 := w.in.Domain(0), w.in.Domain(1)
+	src, dst := d0.Hosts[0], d1.Hosts[0]
+
+	src.DNS.Lookup(dst.Name, func(netaddr.Addr, simnet.Time, bool) {})
+	sim.RunFor(2 * time.Second)
+	fk := lisp.FlowKey{Src: src.Addr, Dst: dst.Addr}
+	fe, ok := d0.XTRs[0].Flows.Lookup(fk)
+	if !ok || fe.DstRLOC != d1.Providers[0].RLOC {
+		t.Fatalf("initial flow = %+v, %v", fe, ok)
+	}
+	if w.pces[1].Subscribers() == 0 {
+		t.Fatal("destination PCE recorded no subscribers despite answering a lookup")
+	}
+
+	// TE action at the destination: tilt (nearly) all inbound weight onto
+	// provider 1 and push the update.
+	if n := w.pces[1].ApplyProviderWeights([]uint8{1, 255}); n == 0 {
+		t.Fatal("ApplyProviderWeights announced to no subscribers")
+	}
+	sim.RunFor(time.Second)
+
+	if got := w.pces[0].Stats.WeightUpdatesReceived; got != 1 {
+		t.Fatalf("source PCE consumed %d weight updates", got)
+	}
+	if got := w.pces[0].Stats.WeightRepushes; got != 1 {
+		t.Fatalf("weight repushes = %d", got)
+	}
+	fe, ok = d0.XTRs[0].Flows.Lookup(fk)
+	if !ok || fe.DstRLOC != d1.Providers[1].RLOC {
+		t.Fatalf("flow after weight update = %+v, %v (want DstRLOC %v)", fe, ok, d1.Providers[1].RLOC)
+	}
+	// The prefix-granularity state moved too: the source ITR cache holds
+	// the updated vector for future flows.
+	e, ok := d0.XTRs[0].Cache.Lookup(dst.Addr)
+	if !ok || len(e.Locators) != 2 || e.Locators[1].Weight != 255 {
+		t.Fatalf("cache entry after update = %+v, %v", e, ok)
+	}
+
+	// Subscribers are leased state: after a mapping lifetime of silence
+	// the maintenance sweep must drop them.
+	sim.RunFor(700 * time.Second)
+	if n := w.pces[1].Subscribers(); n != 0 {
+		t.Fatalf("subscribers leaked %d entries", n)
+	}
+}
+
+// TestLoadReportReachesHook wires an xTR telemetry stream to the PCE and
+// checks the OnLoadReport hook sees the samples.
+func TestLoadReportReachesHook(t *testing.T) {
+	w := newPCEWorld(t, defaultSpec())
+	sim := w.in.Sim
+	d0 := w.in.Domain(0)
+	var got []packet.PCELoadRecord
+	w.pces[0].OnLoadReport = func(_ netaddr.Addr, loads []packet.PCELoadRecord) {
+		got = append(got, loads...)
+	}
+	links := make([]lisp.TelemetryLink, len(d0.Providers))
+	for i, p := range d0.Providers {
+		links[i] = lisp.TelemetryLink{RLOC: p.RLOC, Iface: p.EgressIface, CapacityBps: 4_000_000}
+	}
+	d0.XTRs[0].EnableTelemetry(lisp.TelemetryConfig{
+		Collector: d0.PCEAddr, Interval: time.Second, Links: links,
+	})
+	sim.RunFor(3500 * time.Millisecond)
+	if len(got) < 4 {
+		t.Fatalf("hook saw %d load records, want one per link per interval", len(got))
+	}
+	if w.pces[0].Stats.LoadReports == 0 {
+		t.Fatal("LoadReports stat not counted")
+	}
+	if d0.XTRs[0].Stats.TelemetryReports == 0 {
+		t.Fatal("xTR telemetry stats not counted")
+	}
+	for _, lr := range got {
+		if lr.CapacityBps != 4_000_000 || lr.WindowMs != 1000 {
+			t.Fatalf("record = %+v", lr)
+		}
+	}
+}

@@ -44,7 +44,9 @@ func TestDeterministicTables(t *testing.T) {
 // byte-identical to the serial path for the same seed. E1 exercises the
 // per-CP decomposition, E5 the overhead comparison, E9 the cache
 // scalability sweep (mixed synthetic and world cells), E10 the
-// failure-injection sweep (probing, watches and scripted FailurePlans).
+// failure-injection sweep (probing, watches and scripted FailurePlans),
+// E11 the congestion sweep (telemetry, the TE optimizer's weight pushes
+// and the per-CP dissemination paths).
 func TestParallelMatchesSerial(t *testing.T) {
 	render := func(tables []*metrics.Table) string {
 		s := ""
@@ -53,7 +55,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 		return s
 	}
-	for _, id := range []string{"E1", "E5", "E9", "E10"} {
+	for _, id := range []string{"E1", "E5", "E9", "E10", "E11"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)

@@ -110,6 +110,12 @@ type WorldConfig struct {
 	// the mapping system (keeps the event queue alive forever; use
 	// bounded run windows).
 	WatchSites bool
+	// SiteWeights sets the initial advertised locator weights, indexed
+	// by provider (nil = the equal split). It shapes the starting
+	// traffic split every control plane announces — the congestion
+	// experiment E11 starts some scenarios from a deliberately skewed
+	// vector.
+	SiteWeights []uint8
 }
 
 func (c *WorldConfig) fill() {
@@ -252,7 +258,7 @@ func BuildWorld(cfg WorldConfig) *World {
 			// NERD records are database rows, not cache entries: they
 			// live until a version update replaces them, so the record
 			// TTL is immortal and staleness is bounded by polling.
-			site := siteFor(d, 0)
+			site := siteFor(d, 0, cfg.SiteWeights)
 			site.TTL = 0
 			w.Sites[d.Index] = site
 			w.NERD.AttachSite(site)
@@ -321,13 +327,13 @@ func overlayConfigFor(cfg WorldConfig, in *topo.Internet) mapsys.OverlayConfig {
 }
 
 // siteFor converts a topo domain to a mapping-system site with all
-// providers as equal-priority locators. ttl overrides the 300s record
-// default when non-zero.
-func siteFor(d *topo.Domain, ttl uint32) *mapsys.Site {
+// providers as equal-priority locators, weighted by weights (nil = the
+// equal split). ttl overrides the 300s record default when non-zero.
+func siteFor(d *topo.Domain, ttl uint32, weights []uint8) *mapsys.Site {
 	locs := make([]packet.LISPLocator, len(d.Providers))
 	for i, p := range d.Providers {
 		locs[i] = packet.LISPLocator{
-			Priority: 1, Weight: uint8(100 / len(d.Providers)),
+			Priority: 1, Weight: siteWeight(weights, i, len(d.Providers)),
 			Reachable: true, Addr: p.RLOC,
 		}
 	}
@@ -344,10 +350,19 @@ func siteFor(d *topo.Domain, ttl uint32) *mapsys.Site {
 	}
 }
 
+// siteWeight returns the i-th initial locator weight: the configured
+// vector when one is set, the historical equal split otherwise.
+func siteWeight(weights []uint8, i, n int) uint8 {
+	if i < len(weights) {
+		return weights[i]
+	}
+	return uint8(100 / n)
+}
+
 // attachBaseline wires a pull-based mapping system into every domain.
 func (w *World) attachBaseline(sys mapsys.System) {
 	for _, d := range w.In.Domains {
-		site := siteFor(d, w.Cfg.MappingTTL)
+		site := siteFor(d, w.Cfg.MappingTTL, w.Cfg.SiteWeights)
 		w.Sites[d.Index] = site
 		resolver := sys.AttachSite(site)
 		w.watchSite(sys, d, site)
@@ -384,6 +399,34 @@ func (w *World) EnableProbing(cfg lisp.ProbeConfig) {
 			x.EnableProbing(cfg)
 		}
 	}
+}
+
+// MapSystem returns the deployed pull-based mapping system, if any —
+// the handle TE tooling needs to RefreshSite after a weight change.
+func (w *World) MapSystem() mapsys.System {
+	switch {
+	case w.ALT != nil:
+		return w.ALT
+	case w.CONS != nil:
+		return w.CONS
+	case w.MSMR != nil:
+		return w.MSMR
+	case w.NERD != nil:
+		return w.NERD
+	}
+	return nil
+}
+
+// TelemetryMessages sums link-load telemetry reports across all xTRs —
+// the telemetry contribution to control overhead.
+func (w *World) TelemetryMessages() uint64 {
+	var total uint64
+	for _, d := range w.In.Domains {
+		for _, x := range d.XTRs {
+			total += x.Stats.TelemetryReports
+		}
+	}
+	return total
 }
 
 // ProbeMessages sums probe control messages (probes and echoes) across
@@ -424,7 +467,7 @@ func (w *World) preinstallAll() {
 			}
 			locs := make([]packet.LISPLocator, len(dst.Providers))
 			for i, p := range dst.Providers {
-				locs[i] = packet.LISPLocator{Priority: 1, Weight: uint8(100 / len(dst.Providers)), Reachable: true, Addr: p.RLOC}
+				locs[i] = packet.LISPLocator{Priority: 1, Weight: siteWeight(w.Cfg.SiteWeights, i, len(dst.Providers)), Reachable: true, Addr: p.RLOC}
 			}
 			for _, x := range src.XTRs {
 				x.Cache.Insert(dst.EIDPrefix, locs, 0)

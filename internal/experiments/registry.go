@@ -216,6 +216,14 @@ func All() []Experiment {
 				return e10Experiment(seed, quick)
 			},
 		},
+		{
+			ID:    "E11",
+			Title: "Closed-loop inbound TE under congestion",
+			Claim: "load-driven weight recomputation reaches remote encapsulators in one RTT via mapping pushes; pull planes wait out TTLs",
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
+				return e11Experiment(seed, quick)
+			},
+		},
 	}
 }
 

@@ -125,6 +125,34 @@ func (EqualSplit) Rank(providers []ProviderState) []Choice {
 	return equalSplit(providers)
 }
 
+// WeightTable announces an explicit priority/weight vector, indexed by
+// provider — how the closed-loop TE optimizer's solved splits drive the
+// engine. Choices for providers that are currently down are dropped (the
+// engine pre-filters them from the snapshot); an empty survivor set
+// falls back to the engine's equal split.
+type WeightTable struct {
+	// Choices is the vector to announce, in the desired order.
+	Choices []Choice
+}
+
+// Name implements Policy.
+func (WeightTable) Name() string { return "weight-table" }
+
+// Rank implements Policy.
+func (t WeightTable) Rank(providers []ProviderState) []Choice {
+	up := make(map[int]bool, len(providers))
+	for _, p := range providers {
+		up[p.Index] = true
+	}
+	out := make([]Choice, 0, len(t.Choices))
+	for _, c := range t.Choices {
+		if up[c.Index] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // Pinned always selects one provider — how the symmetric-LISP baseline
 // behaves when the ITR is fixed (claim iii's foil).
 type Pinned struct {

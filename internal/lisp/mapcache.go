@@ -106,6 +106,25 @@ func (e *MapEntry) SetLocatorReachable(addr netaddr.Addr, up bool) bool {
 	return changed
 }
 
+// InvalidateSelection discards the memoized selection state. Callers
+// that mutate Locators in place (rather than through SetLocatorReachable
+// or SetLocators) must call it, or SelectLocator keeps splitting traffic
+// by the priority level and weight total of the old vector.
+func (e *MapEntry) InvalidateSelection() { e.selValid = false }
+
+// SetLocators replaces the locator vector of a live entry in place —
+// for callers that hold the *MapEntry (a PCE database, TE tooling)
+// rather than re-inserting through a cache. The entry takes ownership
+// of locs and the selection memo is invalidated, so the next
+// SelectLocator call splits flows by the new priorities and weights.
+// (Replacement via MapCache.Insert is equally memo-safe: a fresh entry
+// carries a fresh memo.)
+func (e *MapEntry) SetLocators(locs []packet.LISPLocator) {
+	e.Locators = locs
+	e.ownLocators = true
+	e.selValid = false
+}
+
 // SelectLocator picks an RLOC for a flow: the lowest priority level, then
 // weighted selection among that level keyed by the flow hash, so a flow
 // sticks to one locator while aggregate traffic splits by weight. The
@@ -350,6 +369,22 @@ func (c *MapCache) HasNegative(eid netaddr.Addr) bool {
 // Walk visits all live entries.
 func (c *MapCache) Walk(fn func(netaddr.Prefix, *MapEntry) bool) {
 	c.trie.Walk(func(p netaddr.Prefix, e *MapEntry) bool { return fn(p, e) })
+}
+
+// UpdateLocators replaces the locator vector of the entry stored under
+// exactly prefix, keeping its identity, expiry, policy state and wheel
+// registration — an in-place weight update for callers that must not
+// reset the record's TTL (pushed updates that carry a TTL re-insert
+// through Insert instead). The selection memo is invalidated so
+// mid-flow updates take effect on the next packet. It reports whether
+// the prefix was present (negative entries are left alone).
+func (c *MapCache) UpdateLocators(prefix netaddr.Prefix, locs []packet.LISPLocator) bool {
+	e, ok := c.entries[prefix]
+	if !ok || e.Negative {
+		return false
+	}
+	e.SetLocators(locs)
+	return true
 }
 
 // SetLocatorReachable flips the R bit of the given RLOC in every cached

@@ -230,3 +230,105 @@ func TestMapCacheExpiredLookupStats(t *testing.T) {
 		t.Fatalf("expired double-counted: %d", c.Stats.Expired)
 	}
 }
+
+// TestSetLocatorsInvalidatesSelection is the weight-update regression
+// test: SelectLocator memoizes the usable priority level and its weight
+// total, so a pushed mapping update that changes Priority/Weight must
+// invalidate the memo or every later call keeps splitting flows by the
+// old vector.
+func TestSetLocatorsInvalidatesSelection(t *testing.T) {
+	e := &MapEntry{Locators: []packet.LISPLocator{
+		loc("12.0.0.1", 1, 90),
+		loc("12.0.0.2", 1, 10),
+	}}
+	// Prime the memo and find a flow hash that rides the second locator
+	// under the 90/10 split (target in [90,100)).
+	var h uint64
+	for h = 0; h < 1000; h++ {
+		if l, ok := e.SelectLocator(h); ok && l.Addr == netaddr.MustParseAddr("12.0.0.2") {
+			break
+		}
+	}
+	// Flip the split: the same flow must now land on the first locator
+	// (its target is >= 90, and the first locator now owns [0,90) of a
+	// differently-shaped space... the point is the memo must refresh).
+	e.SetLocators([]packet.LISPLocator{
+		loc("12.0.0.1", 1, 10),
+		loc("12.0.0.2", 1, 90),
+	})
+	fresh := &MapEntry{Locators: e.Locators}
+	for hh := uint64(0); hh < 200; hh++ {
+		a, aok := e.SelectLocator(hh)
+		b, bok := fresh.SelectLocator(hh)
+		if aok != bok || a.Addr != b.Addr || a.Weight != b.Weight {
+			t.Fatalf("hash %d: updated entry selects %+v, fresh entry %+v — stale memo", hh, a, b)
+		}
+	}
+}
+
+// TestSetLocatorsPriorityChangeTakesEffect flips the priority level —
+// the memoized selPrio — mid-entry and checks the new best level wins.
+func TestSetLocatorsPriorityChangeTakesEffect(t *testing.T) {
+	primary := netaddr.MustParseAddr("12.0.0.1")
+	backup := netaddr.MustParseAddr("12.0.0.2")
+	e := &MapEntry{Locators: []packet.LISPLocator{
+		loc("12.0.0.1", 1, 100),
+		loc("12.0.0.2", 2, 100),
+	}}
+	if l, _ := e.SelectLocator(7); l.Addr != primary {
+		t.Fatalf("selected %v, want the priority-1 locator", l.Addr)
+	}
+	// Demote the primary below the backup.
+	e.SetLocators([]packet.LISPLocator{
+		loc("12.0.0.1", 3, 100),
+		loc("12.0.0.2", 2, 100),
+	})
+	if l, _ := e.SelectLocator(7); l.Addr != backup {
+		t.Fatalf("selected %v after demotion, want the priority-2 locator", l.Addr)
+	}
+}
+
+// TestUpdateLocatorsMidFlow drives the cache-level path a pushed weight
+// update takes: the entry keeps its identity, TTL and policy state but
+// the very next SelectLocator must use the new split.
+func TestUpdateLocatorsMidFlow(t *testing.T) {
+	s := simnet.New(1)
+	c := NewMapCache(s, 0)
+	p := netaddr.MustParsePrefix("100.2.0.0/16")
+	c.Insert(p, []packet.LISPLocator{loc("12.0.0.1", 1, 100), loc("12.0.0.2", 1, 0)}, 60)
+
+	// Mid-flow: every lookup+select rides locator 1 (weight 100 vs the
+	// zero weight's implicit 1).
+	e, _ := c.Lookup(netaddr.MustParseAddr("100.2.3.4"))
+	picks := func(entry *MapEntry, addr string) int {
+		n := 0
+		for h := uint64(0); h < 100; h++ {
+			if l, ok := entry.SelectLocator(h); ok && l.Addr == netaddr.MustParseAddr(addr) {
+				n++
+			}
+		}
+		return n
+	}
+	if n := picks(e, "12.0.0.1"); n < 95 {
+		t.Fatalf("pre-update split broken: locator 1 got %d/100", n)
+	}
+	if !c.UpdateLocators(p, []packet.LISPLocator{loc("12.0.0.1", 1, 0), loc("12.0.0.2", 1, 100)}) {
+		t.Fatal("UpdateLocators missed the live prefix")
+	}
+	// Same entry object, new split, no lazy staleness.
+	e2, ok := c.Lookup(netaddr.MustParseAddr("100.2.3.4"))
+	if !ok || e2 != e {
+		t.Fatalf("update must mutate the live entry, got %p vs %p", e2, e)
+	}
+	if n := picks(e2, "12.0.0.2"); n < 95 {
+		t.Fatalf("post-update split stale: locator 2 got %d/100", n)
+	}
+	if c.UpdateLocators(netaddr.MustParsePrefix("100.9.0.0/16"), nil) {
+		t.Fatal("UpdateLocators invented a prefix")
+	}
+	// The TTL survives the update: entry still expires on schedule.
+	s.RunFor(61 * time.Second)
+	if _, ok := c.Lookup(netaddr.MustParseAddr("100.2.3.4")); ok {
+		t.Fatal("updated entry must keep its original expiry")
+	}
+}

@@ -98,6 +98,12 @@ type XTRStats struct {
 	// EgressDowns / EgressUps count local egress-watch transitions.
 	EgressDowns uint64
 	EgressUps   uint64
+
+	// TelemetryReports / TelemetryBytes count link-load reports streamed
+	// to the TE collector (telemetry.go) — the telemetry contribution to
+	// control overhead.
+	TelemetryReports uint64
+	TelemetryBytes   uint64
 }
 
 // XTRConfig configures a tunnel router.
@@ -170,6 +176,9 @@ type XTR struct {
 	probes       map[netaddr.Addr]*probeState
 	probeTargets []netaddr.Addr // per-tick scratch, reused
 	egress       []egressWatch
+
+	// Link-load telemetry state (see telemetry.go); nil while disabled.
+	telemetry *TelemetryConfig
 
 	// seenSources records when each (inner src, inner dst) flow was last
 	// seen at this ETR. Entries older than seenTTL are pruned by a
@@ -272,6 +281,9 @@ const (
 	xtrTimerQueueExpiry
 	// xtrTimerProbeTick runs one RLOC-probing round (probe.go).
 	xtrTimerProbeTick
+	// xtrTimerTelemetry samples link loads and ships one report
+	// (telemetry.go).
+	xtrTimerTelemetry
 )
 
 // OnTimer implements simnet.TimerHandler for the xTR's timers.
@@ -283,6 +295,8 @@ func (x *XTR) OnTimer(arg simnet.TimerArg) {
 		x.expireQueue(netaddr.Addr(arg.N))
 	case xtrTimerProbeTick:
 		x.probeTick()
+	case xtrTimerTelemetry:
+		x.telemetryTick()
 	}
 }
 

@@ -31,6 +31,16 @@ const (
 	PCECPMapFetch PCECPType = 5
 	// PCECPMapFetchReply answers a PCECPMapFetch.
 	PCECPMapFetchReply PCECPType = 6
+	// PCECPLoadReport is xTR-to-PCE telemetry: per-provider-link goodput
+	// counters sampled over a reporting window, the input of the PCE's
+	// closed-loop inbound TE optimizer.
+	PCECPLoadReport PCECPType = 7
+	// PCECPMappingUpdate is an unsolicited PCED-to-PCES prefix mapping
+	// refresh: after the TE optimizer changes locator priorities/weights,
+	// the destination PCE pushes the new vector to every PCE that learned
+	// the old one, which re-pushes affected live flows within one RTT —
+	// the reaction pull-based planes only get at TTL expiry.
+	PCECPMappingUpdate PCECPType = 8
 )
 
 // String names the message type.
@@ -48,6 +58,10 @@ func (t PCECPType) String() string {
 		return "MapFetch"
 	case PCECPMapFetchReply:
 		return "MapFetchReply"
+	case PCECPLoadReport:
+		return "LoadReport"
+	case PCECPMappingUpdate:
+		return "MappingUpdate"
 	default:
 		return fmt.Sprintf("PCECPType(%d)", uint8(t))
 	}
@@ -81,11 +95,32 @@ type PCEPrefixMapping struct {
 	Locators []LISPLocator
 }
 
+// PCELoadRecord is one provider link's telemetry sample: the goodput
+// carried in each direction during the reporting window, plus the link's
+// provisioned capacity so the collector can normalize to utilization
+// without holding per-link configuration.
+type PCELoadRecord struct {
+	// RLOC identifies the provider link by its locator address.
+	RLOC netaddr.Addr
+	// OutBytes and InBytes are the delivered (goodput) byte counts in the
+	// egress and ingress directions over the window.
+	OutBytes, InBytes uint64
+	// CapacityBps is the link's provisioned capacity.
+	CapacityBps uint64
+	// WindowMs is the sampling window in milliseconds.
+	WindowMs uint32
+}
+
 // Record kind tags on the wire.
 const (
 	pceKindPrefix = 1
 	pceKindFlow   = 2
+	pceKindLoad   = 3
 )
+
+// pceLoadRecordLen is the on-wire size of one load record (kind byte,
+// pad, RLOC, out, in, capacity, window).
+const pceLoadRecordLen = 2 + 4 + 8 + 8 + 8 + 4
 
 // PCECPHeaderLen is the fixed PCE-CP message header size.
 const PCECPHeaderLen = 16
@@ -121,6 +156,8 @@ type PCECP struct {
 	Prefixes []PCEPrefixMapping
 	// Flows carries flow-granularity mappings.
 	Flows []PCEFlowMapping
+	// Loads carries telemetry samples (PCECPLoadReport).
+	Loads []PCELoadRecord
 }
 
 // PCECPVersion is the current protocol version.
@@ -131,7 +168,7 @@ func (*PCECP) LayerType() LayerType { return LayerTypePCECP }
 
 // SerializeTo implements SerializableLayer.
 func (m *PCECP) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
-	n := len(m.Prefixes) + len(m.Flows)
+	n := len(m.Prefixes) + len(m.Flows) + len(m.Loads)
 	if n > 0xffff {
 		return fmt.Errorf("PCECP: %d records (max 65535)", n)
 	}
@@ -158,6 +195,14 @@ func (m *PCECP) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
 		enc = fm.DstEID.AppendBytes(enc)
 		enc = fm.SrcRLOC.AppendBytes(enc)
 		enc = fm.DstRLOC.AppendBytes(enc)
+	}
+	for _, lr := range m.Loads {
+		enc = append(enc, pceKindLoad, 0)
+		enc = lr.RLOC.AppendBytes(enc)
+		enc = appendUint64(enc, lr.OutBytes)
+		enc = appendUint64(enc, lr.InBytes)
+		enc = appendUint64(enc, lr.CapacityBps)
+		enc = append(enc, byte(lr.WindowMs>>24), byte(lr.WindowMs>>16), byte(lr.WindowMs>>8), byte(lr.WindowMs))
 	}
 	out, err := b.PrependBytes(len(enc))
 	if err != nil {
@@ -223,6 +268,18 @@ func decodePCECP(data []byte, p PacketBuilder) error {
 				DstRLOC: netaddr.AddrFromBytes(data[off+18 : off+22]),
 			})
 			off += 22
+		case pceKindLoad:
+			if off+pceLoadRecordLen > len(data) {
+				return fmt.Errorf("PCECP: load record %d truncated", i)
+			}
+			m.Loads = append(m.Loads, PCELoadRecord{
+				RLOC:        netaddr.AddrFromBytes(data[off+2 : off+6]),
+				OutBytes:    readUint64(data[off+6:]),
+				InBytes:     readUint64(data[off+14:]),
+				CapacityBps: readUint64(data[off+22:]),
+				WindowMs:    uint32(data[off+30])<<24 | uint32(data[off+31])<<16 | uint32(data[off+32])<<8 | uint32(data[off+33]),
+			})
+			off += pceLoadRecordLen
 		default:
 			return fmt.Errorf("PCECP: record %d has unknown kind %d", i, data[off])
 		}

@@ -1,0 +1,168 @@
+package packet
+
+import (
+	"testing"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// TestPCECPTelemetryRoundTrip covers the closed-loop TE wire additions:
+// a LoadReport full of link samples and a MappingUpdate carrying the
+// recomputed weight vector.
+func TestPCECPTelemetryRoundTrip(t *testing.T) {
+	report := &PCECP{
+		Version: PCECPVersion, Type: PCECPLoadReport, Nonce: 0x1122334455667788,
+		Loads: []PCELoadRecord{
+			{RLOC: rlocS, OutBytes: 123456789, InBytes: 987654321012, CapacityBps: 4_000_000, WindowMs: 1000},
+			{RLOC: rlocD, OutBytes: 0, InBytes: 1, CapacityBps: 10_000_000_000, WindowMs: 250},
+		},
+	}
+	p := NewPacket(Serialize(report), LayerTypePCECP, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypePCECP).(*PCECP)
+	if out.Type != PCECPLoadReport || len(out.Loads) != 2 {
+		t.Fatalf("decoded = %+v", out)
+	}
+	for i, want := range report.Loads {
+		if out.Loads[i] != want {
+			t.Fatalf("load %d = %+v, want %+v", i, out.Loads[i], want)
+		}
+	}
+	if out.Type.String() != "LoadReport" {
+		t.Fatalf("String() = %q", out.Type.String())
+	}
+
+	update := &PCECP{
+		Version: PCECPVersion, Type: PCECPMappingUpdate, Nonce: 7, PCEAddr: pceD,
+		Prefixes: []PCEPrefixMapping{{
+			Prefix: netaddr.MustParsePrefix("12.1.0.0/16"), TTL: 300,
+			Locators: []LISPLocator{
+				{Priority: 1, Weight: 66, Reachable: true, Addr: rlocS},
+				{Priority: 1, Weight: 34, Reachable: true, Addr: rlocD},
+			},
+		}},
+	}
+	p = NewPacket(Serialize(update), LayerTypePCECP, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	got := p.Layer(LayerTypePCECP).(*PCECP)
+	if got.Type != PCECPMappingUpdate || got.Type.String() != "MappingUpdate" {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if len(got.Prefixes) != 1 || got.Prefixes[0].Locators[0].Weight != 66 || got.Prefixes[0].Locators[1].Weight != 34 {
+		t.Fatalf("weights lost: %+v", got.Prefixes)
+	}
+}
+
+// TestPCECPMixedRecordKinds round-trips a message carrying all three
+// record kinds at once — the decoder walks one shared record count.
+func TestPCECPMixedRecordKinds(t *testing.T) {
+	msg := &PCECP{
+		Version: PCECPVersion, Type: PCECPMappingPush, Nonce: 9, PCEAddr: pceD,
+		Prefixes: []PCEPrefixMapping{{
+			Prefix: netaddr.MustParsePrefix("12.1.0.0/16"), TTL: 60,
+			Locators: []LISPLocator{{Priority: 1, Weight: 100, Reachable: true, Addr: rlocD}},
+		}},
+		Flows: []PCEFlowMapping{{TTL: 60, SrcEID: es, DstEID: ed, SrcRLOC: rlocS, DstRLOC: rlocD}},
+		Loads: []PCELoadRecord{{RLOC: rlocS, OutBytes: 5, InBytes: 6, CapacityBps: 7, WindowMs: 8}},
+	}
+	p := NewPacket(Serialize(msg), LayerTypePCECP, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	out := p.Layer(LayerTypePCECP).(*PCECP)
+	if len(out.Prefixes) != 1 || len(out.Flows) != 1 || len(out.Loads) != 1 {
+		t.Fatalf("records lost: %+v", out)
+	}
+}
+
+// truncationCases builds one valid serialized message per wire codec in
+// the package: every PCECP message shape and every LISP control message,
+// plus a DNS reply.
+func truncationCases(t *testing.T) map[string][]byte {
+	t.Helper()
+	locs := []LISPLocator{
+		{Priority: 1, Weight: 60, Reachable: true, Addr: rlocS},
+		{Priority: 1, Weight: 40, Reachable: true, Addr: rlocD},
+	}
+	record := LISPMapRecord{TTL: 300, EIDPrefix: netaddr.MustParsePrefix("12.1.0.0/16"), Authoritative: true, Locators: locs}
+	dns := &DNS{
+		ID: 1, QR: true, AA: true,
+		Questions: []DNSQuestion{{Name: "h.example", Type: DNSTypeA, Class: DNSClassIN}},
+		Answers:   []DNSResourceRecord{{Name: "h.example", Type: DNSTypeA, Class: DNSClassIN, TTL: 60, IP: ed}},
+	}
+	cases := map[string][]byte{
+		"PCECP/EncapDNSReply": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPEncapDNSReply, Nonce: 1, PCEAddr: pceD,
+			Prefixes: []PCEPrefixMapping{{Prefix: netaddr.MustParsePrefix("12.1.0.0/16"), TTL: 300, Locators: locs}},
+		}, dns),
+		"PCECP/MappingPush": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPMappingPush, Nonce: 2, PCEAddr: pceD,
+			Flows: []PCEFlowMapping{{TTL: 60, SrcEID: es, DstEID: ed, SrcRLOC: rlocS, DstRLOC: rlocD}},
+		}),
+		"PCECP/ReverseMapPush": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPReverseMapPush, Nonce: 3, PCEAddr: pceD,
+			Flows: []PCEFlowMapping{{TTL: 60, SrcEID: ed, DstEID: es, SrcRLOC: rlocD, DstRLOC: rlocS}},
+		}),
+		"PCECP/MappingAck": Serialize(&PCECP{Version: PCECPVersion, Type: PCECPMappingAck, Nonce: 4}),
+		"PCECP/MapFetch": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPMapFetch, Nonce: 5, PCEAddr: pceD,
+			Flows: []PCEFlowMapping{{DstEID: ed, SrcRLOC: dnsS}},
+		}),
+		"PCECP/MapFetchReply": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPMapFetchReply, Nonce: 6, PCEAddr: pceD,
+			Prefixes: []PCEPrefixMapping{{Prefix: netaddr.MustParsePrefix("12.1.0.0/16"), TTL: 300, Locators: locs}},
+		}),
+		"PCECP/LoadReport": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPLoadReport, Nonce: 7,
+			Loads: []PCELoadRecord{{RLOC: rlocS, OutBytes: 1, InBytes: 2, CapacityBps: 3, WindowMs: 4}},
+		}),
+		"PCECP/MappingUpdate": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPMappingUpdate, Nonce: 8, PCEAddr: pceD,
+			Prefixes: []PCEPrefixMapping{{Prefix: netaddr.MustParsePrefix("12.1.0.0/16"), TTL: 300, Locators: locs}},
+		}),
+		"LISP/MapRequest": Serialize(&LISPMapRequest{
+			Nonce: 9, Probe: true, ITRRLOCs: []netaddr.Addr{rlocS},
+			EIDPrefixes: []netaddr.Prefix{netaddr.HostPrefix(ed)},
+		}),
+		"LISP/MapReply":    Serialize(&LISPMapReply{Nonce: 10, Records: []LISPMapRecord{record}}),
+		"LISP/MapRegister": Serialize(&LISPMapRegister{Nonce: 11, WantNotify: true, AuthData: []byte("k"), Records: []LISPMapRecord{record}}),
+		"LISP/MapNotify":   Serialize(&LISPMapNotify{LISPMapRegister: LISPMapRegister{Nonce: 12, AuthData: []byte("k"), Records: []LISPMapRecord{record}}}),
+		"DNS/reply":        Serialize(dns),
+	}
+	return cases
+}
+
+// TestTruncatedDecodesDoNotPanic is the fuzz-style robustness pass: a
+// decoder fed any prefix of a valid message may reject it, but must
+// never panic or accept records past the cut.
+func TestTruncatedDecodesDoNotPanic(t *testing.T) {
+	first := func(name string) Decoder {
+		if name[0] == 'P' {
+			return LayerTypePCECP
+		}
+		if name[0] == 'D' {
+			return LayerTypeDNS
+		}
+		return LayerTypeLISPControl
+	}
+	for name, data := range truncationCases(t) {
+		for cut := 0; cut <= len(data); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s truncated to %d/%d bytes panicked: %v", name, cut, len(data), r)
+					}
+				}()
+				p := NewPacket(data[:cut], first(name), NoCopy)
+				_ = p.String()
+				if cut == len(data) && p.ErrorLayer() != nil {
+					t.Fatalf("%s full message failed to decode: %v", name, p.ErrorLayer().Error())
+				}
+			}()
+		}
+	}
+}

@@ -25,6 +25,11 @@ type TrackedLink struct {
 
 	lastTx uint64
 	lastRx uint64
+	// primed marks that lastTx/lastRx hold a real snapshot. A link added
+	// after Start() joins with primed=false, so its first sample only
+	// snapshots the counters instead of charging the whole cumulative
+	// count to one interval.
+	primed bool
 }
 
 // Tracker samples link utilizations into time series.
@@ -73,11 +78,14 @@ func (t *Tracker) sample() {
 		// reads as carrying less traffic, not more.
 		tx := l.Iface.Counters().DeliveredBytes
 		rx := l.Iface.Peer().Counters().DeliveredBytes
-		if t.samples > 0 && l.CapacityBps > 0 {
+		// Priming is per link, not per tracker: a link registered while
+		// the sampler is already live must not book its entire cumulative
+		// counter as one interval's traffic.
+		if l.primed && l.CapacityBps > 0 {
 			t.Egress[i].Add(now, float64(tx-l.lastTx)*8/dt/float64(l.CapacityBps))
 			t.Ingress[i].Add(now, float64(rx-l.lastRx)*8/dt/float64(l.CapacityBps))
 		}
-		l.lastTx, l.lastRx = tx, rx
+		l.lastTx, l.lastRx, l.primed = tx, rx, true
 	}
 	t.samples++
 	t.sim.ScheduleTimer(t.Interval, t, simnet.TimerArg{})

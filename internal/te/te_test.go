@@ -176,3 +176,43 @@ func TestRebalancerIngressMode(t *testing.T) {
 		t.Fatal("ingress imbalance must trigger in ingress mode")
 	}
 }
+
+// TestTrackerAddAfterStart is the live-registration regression: a link
+// added while the sampling timer is already running used to have its
+// entire cumulative byte counter charged to its first interval (the
+// priming gate was tracker-global, not per-link), producing an absurd
+// utilization spike. The late link must prime silently and then report
+// sane values.
+func TestTrackerAddAfterStart(t *testing.T) {
+	w := newTEWorld(t)
+	tr := NewTracker(w.sim)
+	tr.Add(w.providers[0].Name, w.providers[0].Egress, w.providers[0].CapacityBps)
+	tr.Start()
+	// Load both providers from t=0 so provider B accumulates counters
+	// before it is ever tracked.
+	workload.NewPump(w.dom, w.providers[0].RLOC, netaddr.AddrFrom4(10, 0, 0, 2), 9, 400_000, 1000).Start()
+	workload.NewPump(w.dom, w.providers[1].RLOC, netaddr.AddrFrom4(10, 1, 0, 2), 9, 400_000, 1000).Start()
+	w.sim.RunUntil(10 * time.Second)
+
+	tr.Add(w.providers[1].Name, w.providers[1].Egress, w.providers[1].CapacityBps)
+	w.sim.RunUntil(15 * time.Second)
+
+	bSeries := tr.Egress[1]
+	if len(bSeries.Points) == 0 {
+		t.Fatal("late link never sampled")
+	}
+	// Every emitted point must be a per-interval rate (~0.5), not the
+	// 10 seconds of backlog (~5.0) the unprimed subtraction produced.
+	for _, pt := range bSeries.Points {
+		if pt.Value > 1.0 {
+			t.Fatalf("late link booked %v utilization at %v — cumulative counter charged to one interval", pt.Value, pt.At)
+		}
+	}
+	if u := tr.LastEgress()[1]; u < 0.4 || u > 0.6 {
+		t.Fatalf("late link util = %v, want ~0.5", u)
+	}
+	// The early link's series is longer: it was sampled the whole time.
+	if len(tr.Egress[0].Points) <= len(bSeries.Points) {
+		t.Fatalf("series lengths %d vs %d", len(tr.Egress[0].Points), len(bSeries.Points))
+	}
+}
