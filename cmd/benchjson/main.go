@@ -1,14 +1,21 @@
 // Command benchjson converts `go test -bench` output into a stable JSON
-// document, so benchmark baselines can be committed (BENCH_PR3.json) and
+// document, so benchmark baselines can be committed (BENCH_PR6.json) and
 // compared across PRs by machines instead of eyeballs.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH.json
+//	go run ./cmd/benchjson -diff [-tolerance 0.05] [-metric all|ns|allocs] old.json new.json
 //
-// Lines that are not benchmark results (pkg headers, PASS/ok, cpu info)
-// pass through to stderr untouched, so the tool can sit at the end of a
-// pipe without hiding the raw run.
+// In convert mode, lines that are not benchmark results (pkg headers,
+// PASS/ok, cpu info) pass through to stderr untouched, so the tool can
+// sit at the end of a pipe without hiding the raw run.
+//
+// In diff mode, the tool compares every benchmark present in both files
+// and exits nonzero if any regressed by more than the tolerance. ns/op
+// only compares meaningfully between runs on the same machine; allocs/op
+// is deterministic and compares across machines, which is what the CI
+// gate checks (-metric allocs) against the committed baseline.
 package main
 
 import (
@@ -50,7 +57,18 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:
 
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
+	diff := flag.Bool("diff", false, "compare two JSON baselines: benchjson -diff [flags] old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.05, "relative regression allowed in diff mode (0.05 = 5%)")
+	metric := flag.String("metric", "all", "which metrics gate the diff: all, ns or allocs")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files (flags go before them): benchjson -diff [flags] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *tolerance, *metric))
+	}
 
 	doc := Document{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -102,6 +120,81 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runDiff compares two baselines and returns the process exit code: 0
+// when nothing regressed past the tolerance, 1 otherwise. Benchmarks
+// appearing in only one file are reported but never fail the gate — new
+// benchmarks and retired ones are normal across PRs.
+func runDiff(oldPath, newPath string, tolerance float64, metric string) int {
+	if metric != "all" && metric != "ns" && metric != "allocs" {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -metric %q (want all, ns or allocs)\n", metric)
+		return 2
+	}
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldBy := make(map[string]Result, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	regressions := 0
+	compared := 0
+	for _, n := range newDoc.Benchmarks {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Printf("new       %-50s (no baseline)\n", n.Name)
+			continue
+		}
+		delete(oldBy, n.Name)
+		compared++
+		if (metric == "all" || metric == "ns") && o.NsPerOp > 0 {
+			rel := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+			if rel > tolerance {
+				fmt.Printf("REGRESSED %-50s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
+					n.Name, o.NsPerOp, n.NsPerOp, rel*100)
+				regressions++
+			}
+		}
+		if (metric == "all" || metric == "allocs") && o.AllocsPerOp != nil && n.AllocsPerOp != nil && *o.AllocsPerOp > 0 {
+			rel := float64(*n.AllocsPerOp-*o.AllocsPerOp) / float64(*o.AllocsPerOp)
+			if rel > tolerance {
+				fmt.Printf("REGRESSED %-50s allocs/op %9d -> %9d (%+.1f%%)\n",
+					n.Name, *o.AllocsPerOp, *n.AllocsPerOp, rel*100)
+				regressions++
+			}
+		}
+	}
+	for name := range oldBy {
+		fmt.Printf("removed   %-50s (in baseline only)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson: %d regression(s) past %.0f%% across %d compared benchmarks\n",
+			regressions, tolerance*100, compared)
+		return 1
+	}
+	fmt.Printf("benchjson: no regressions past %.0f%% across %d compared benchmarks\n",
+		tolerance*100, compared)
+	return 0
+}
+
+func loadDoc(path string) (Document, error) {
+	var d Document
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("%s: %v", path, err)
+	}
+	return d, nil
 }
 
 // cpuSuffix returns the trailing "-N" GOMAXPROCS tag of a benchmark name

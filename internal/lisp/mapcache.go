@@ -42,6 +42,10 @@ type MapEntry struct {
 	selPrio  int16
 	selTotal uint32
 	selValid bool
+	// gen counts locator mutations: it is bumped exactly where selValid
+	// is cleared, so anything that pinned a locator choice (the xTR's
+	// established-flow fast path) can detect staleness with one compare.
+	gen uint32
 	// ownLocators marks that Locators is a private copy: builders share
 	// locator slices across entries, so the first reachability flip
 	// copies on write instead of mutating a sibling's view.
@@ -102,6 +106,7 @@ func (e *MapEntry) SetLocatorReachable(addr netaddr.Addr, up bool) bool {
 	}
 	if changed {
 		e.selValid = false
+		e.gen++
 	}
 	return changed
 }
@@ -110,7 +115,7 @@ func (e *MapEntry) SetLocatorReachable(addr netaddr.Addr, up bool) bool {
 // that mutate Locators in place (rather than through SetLocatorReachable
 // or SetLocators) must call it, or SelectLocator keeps splitting traffic
 // by the priority level and weight total of the old vector.
-func (e *MapEntry) InvalidateSelection() { e.selValid = false }
+func (e *MapEntry) InvalidateSelection() { e.selValid = false; e.gen++ }
 
 // SetLocators replaces the locator vector of a live entry in place —
 // for callers that hold the *MapEntry (a PCE database, TE tooling)
@@ -123,6 +128,7 @@ func (e *MapEntry) SetLocators(locs []packet.LISPLocator) {
 	e.Locators = locs
 	e.ownLocators = true
 	e.selValid = false
+	e.gen++
 }
 
 // SelectLocator picks an RLOC for a flow: the lowest priority level, then
@@ -418,16 +424,32 @@ type FlowEntry struct {
 	Expires simnet.Time
 }
 
-// FlowTable holds per-flow mappings with TTL expiry.
+// flowFast is the established-flow fast-path state for one dense slot:
+// the lazily built outer-header template (nil until the first packet) and
+// the cached egress interface for its source RLOC (SrcRLOC/DstRLOC are
+// immutable for a slot's lifetime — Insert over an existing key resets
+// the slot).
+type flowFast struct {
+	tmpl *packet.EncapTemplate
+	out  *simnet.Iface
+}
+
+// FlowTable holds per-flow mappings with TTL expiry. Entries live in
+// dense parallel slices (struct-of-arrays) indexed through a FlowKey map,
+// so the encap hot path reads contiguous memory and the fast-path encap
+// state rides in a parallel lane instead of fattening every entry.
 type FlowTable struct {
-	sim     *simnet.Sim
-	entries map[FlowKey]FlowEntry
-	wheel   *TimingWheel[FlowKey]
+	sim   *simnet.Sim
+	index map[FlowKey]int32
+	keys  []FlowKey
+	vals  []FlowEntry
+	fast  []flowFast
+	wheel *TimingWheel[FlowKey]
 }
 
 // NewFlowTable returns an empty flow table.
 func NewFlowTable(sim *simnet.Sim) *FlowTable {
-	t := &FlowTable{sim: sim, entries: make(map[FlowKey]FlowEntry)}
+	t := &FlowTable{sim: sim, index: make(map[FlowKey]int32)}
 	t.wheel = NewTimingWheel[FlowKey](sim, wheelGranularity, t.retireExpired)
 	return t
 }
@@ -439,7 +461,30 @@ func (t *FlowTable) Insert(k FlowKey, srcRLOC, dstRLOC netaddr.Addr, ttl uint32)
 		e.Expires = t.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
 		t.wheel.Add(k, e.Expires)
 	}
-	t.entries[k] = e
+	if i, ok := t.index[k]; ok {
+		t.vals[i] = e
+		t.fast[i] = flowFast{} // RLOCs may have changed
+		return
+	}
+	t.index[k] = int32(len(t.vals))
+	t.keys = append(t.keys, k)
+	t.vals = append(t.vals, e)
+	t.fast = append(t.fast, flowFast{})
+}
+
+// remove drops slot i, keeping the slices dense by moving the last slot
+// into the hole and re-indexing it.
+func (t *FlowTable) remove(i int32) {
+	last := int32(len(t.vals) - 1)
+	delete(t.index, t.keys[i])
+	if i != last {
+		t.keys[i], t.vals[i], t.fast[i] = t.keys[last], t.vals[last], t.fast[last]
+		t.index[t.keys[i]] = i
+	}
+	t.keys = t.keys[:last]
+	t.vals = t.vals[:last]
+	t.fast[last] = flowFast{}
+	t.fast = t.fast[:last]
 }
 
 // retireExpired batch-drops expired flow entries so Len stays honest in
@@ -447,28 +492,44 @@ func (t *FlowTable) Insert(k FlowKey, srcRLOC, dstRLOC netaddr.Addr, ttl uint32)
 func (t *FlowTable) retireExpired(keys []FlowKey) {
 	now := t.sim.Now()
 	for _, k := range keys {
-		e, ok := t.entries[k]
-		if ok && e.Expires != 0 && now >= e.Expires {
-			delete(t.entries, k)
+		if i, ok := t.index[k]; ok {
+			e := &t.vals[i]
+			if e.Expires != 0 && now >= e.Expires {
+				t.remove(i)
+			}
 		}
 	}
 }
 
+// lookupSlot returns the dense slot of the live entry for k. The slot is
+// only valid until the next table mutation.
+func (t *FlowTable) lookupSlot(k FlowKey) (int32, bool) {
+	i, ok := t.index[k]
+	if !ok {
+		return 0, false
+	}
+	if e := &t.vals[i]; e.Expires != 0 && t.sim.Now() >= e.Expires {
+		t.remove(i)
+		return 0, false
+	}
+	return i, true
+}
+
 // Lookup returns the live entry for k.
 func (t *FlowTable) Lookup(k FlowKey) (FlowEntry, bool) {
-	e, ok := t.entries[k]
+	i, ok := t.lookupSlot(k)
 	if !ok {
 		return FlowEntry{}, false
 	}
-	if e.Expires != 0 && t.sim.Now() >= e.Expires {
-		delete(t.entries, k)
-		return FlowEntry{}, false
-	}
-	return e, true
+	return t.vals[i], true
 }
 
 // Delete removes the entry for k.
-func (t *FlowTable) Delete(k FlowKey) { delete(t.entries, k) }
+func (t *FlowTable) Delete(k FlowKey) {
+	if i, ok := t.index[k]; ok {
+		t.remove(i)
+	}
+}
 
 // Len returns the number of live entries.
-func (t *FlowTable) Len() int { return len(t.entries) }
+func (t *FlowTable) Len() int { return len(t.vals) }

@@ -199,6 +199,21 @@ type XTR struct {
 	encPayload packet.Payload
 	encLayers  [4]packet.SerializableLayer
 
+	// pins is the established-flow fast path for cache-driven encap: per
+	// flow, the map-cache entry, its locator-mutation generation, the
+	// pre-serialized outer-header template for the selected locator and
+	// the cached egress interface. A pin is used only while the entry
+	// pointer and generation still match, so reachability flips,
+	// InvalidateSelection, SetLocators and entry replacement all force a
+	// packet back through SelectLocator and re-pin. Bounded by
+	// maxFlowPins with wholesale reset.
+	pins map[FlowKey]flowPin
+
+	// disableFastPath forces every packet through the slow (full
+	// serialization) encap path. Tests flip it to differentially verify
+	// that the template fast path is byte-identical.
+	disableFastPath bool
+
 	// Stats counts activity for the experiments.
 	Stats XTRStats
 }
@@ -207,6 +222,19 @@ type queuedPacket struct {
 	data     []byte
 	deadline simnet.Time
 }
+
+// flowPin is one established flow's pinned encap state.
+type flowPin struct {
+	entry *MapEntry
+	gen   uint32
+	tmpl  *packet.EncapTemplate
+	out   *simnet.Iface // egress for the source RLOC; nil = routed Send
+}
+
+// maxFlowPins bounds the pin map; reaching it resets the map wholesale
+// (every flow then re-pins on its next packet), trading a rare hiccup for
+// bounded memory in million-flow worlds.
+const maxFlowPins = 8192
 
 // InstallXTR attaches LISP tunnel-router behaviour to node: a sniffer
 // intercepts outbound EID-destined packets for encapsulation, and a UDP
@@ -237,9 +265,10 @@ func InstallXTR(node *simnet.Node, cfg XTRConfig) *XTR {
 		queueTimer:  make(map[netaddr.Addr]bool),
 		resolving:   make(map[netaddr.Addr]bool),
 		seenSources: make(map[FlowKey]simnet.Time),
+		pins:        make(map[FlowKey]flowPin),
 	}
 	node.AddSniffer(x.interceptOutbound)
-	node.ListenUDP(packet.PortLISPData, x.decap)
+	node.ListenUDPRaw(packet.PortLISPData, x.decap)
 	return x
 }
 
@@ -347,24 +376,80 @@ func (x *XTR) interceptOutbound(d *simnet.Delivery) simnet.SnifferVerdict {
 }
 
 func (x *XTR) handleOutbound(src, dst netaddr.Addr, data []byte) {
+	fk := FlowKey{Src: src, Dst: dst}
 	// Per-flow mapping (PCE 4-tuple) takes precedence: it carries the
-	// engineered source RLOC.
-	if fe, ok := x.Flows.Lookup(FlowKey{Src: src, Dst: dst}); ok {
+	// engineered source RLOC. The RLOC pair is immutable for a slot's
+	// lifetime, so its outer-header template needs no invalidation — it
+	// is built on the first packet and reused until the slot dies.
+	if i, ok := x.Flows.lookupSlot(fk); ok {
 		x.Stats.FlowMappingsUsed++
-		x.encap(fe.SrcRLOC, fe.DstRLOC, data)
+		if x.disableFastPath {
+			fe := &x.Flows.vals[i]
+			x.encap(fe.SrcRLOC, fe.DstRLOC, data)
+			return
+		}
+		f := &x.Flows.fast[i]
+		if f.tmpl == nil {
+			fe := &x.Flows.vals[i]
+			f.tmpl = packet.NewEncapTemplate(fe.SrcRLOC, fe.DstRLOC, packet.PortLISPData, packet.PortLISPData)
+			f.out = x.node.IfaceByAddr(fe.SrcRLOC)
+		}
+		x.encapFast(f.tmpl, f.out, data)
 		return
 	}
 	if e, ok := x.Cache.Lookup(dst); ok {
+		// Established-flow fast path: while the entry and its locator
+		// generation match the pin, SelectLocator would return the same
+		// locator (the memo is deterministic per flow hash), so the pinned
+		// template produces bit-identical packets to the slow path.
+		if !x.disableFastPath {
+			if p, ok := x.pins[fk]; ok && p.entry == e && p.gen == e.gen {
+				x.encapFast(p.tmpl, p.out, data)
+				return
+			}
+		}
 		h := packet.NewFlow(packet.NewIPv4Endpoint(src), packet.NewIPv4Endpoint(dst)).FastHash()
 		loc, usable := e.SelectLocator(h)
 		if !usable {
+			delete(x.pins, fk)
 			x.dropOnMiss(dst, data)
 			return
+		}
+		if !x.disableFastPath {
+			x.pinFlow(fk, e, loc.Addr)
 		}
 		x.encap(x.cfg.RLOC, loc.Addr, data)
 		return
 	}
 	x.dropOnMiss(dst, data)
+}
+
+// pinFlow records the flow's encap choice for the fast path.
+func (x *XTR) pinFlow(fk FlowKey, e *MapEntry, dstRLOC netaddr.Addr) {
+	if len(x.pins) >= maxFlowPins {
+		clear(x.pins)
+	}
+	x.pins[fk] = flowPin{
+		entry: e,
+		gen:   e.gen,
+		tmpl:  packet.NewEncapTemplate(x.cfg.RLOC, dstRLOC, packet.PortLISPData, packet.PortLISPData),
+		out:   x.node.IfaceByAddr(x.cfg.RLOC),
+	}
+}
+
+// encapFast is the template encap: copy the pinned outer header, patch
+// lengths, checksums and a fresh nonce, and steer out the pinned egress.
+// It consumes exactly one Rand draw per packet, like the slow path, so
+// runs with and without established pins stay byte-identical.
+func (x *XTR) encapFast(t *packet.EncapTemplate, out *simnet.Iface, inner []byte) {
+	x.Stats.EncapPackets++
+	nonce := uint32(x.node.Sim().Rand().Uint32()) & 0xffffff
+	data := t.Encap(inner, nonce)
+	if out != nil {
+		x.node.SendVia(out, data)
+		return
+	}
+	x.node.Send(data)
 }
 
 // dropOnMiss applies the miss policy and triggers resolution.
@@ -547,9 +632,10 @@ type DecapInfo struct {
 
 // decap handles inbound tunneled packets on UDP 4341: strip the outer
 // headers, learn the reverse mapping, forward the inner packet into the
-// site.
-func (x *XTR) decap(d *simnet.Delivery, udp *packet.UDP) {
-	payload := udp.LayerPayload()
+// site. It is registered as a raw UDP handler, so the per-packet hot path
+// never decodes outer layer structs — the outer addresses it needs are
+// peeked straight from the wire bytes.
+func (x *XTR) decap(d *simnet.Delivery, payload []byte) {
 	if len(payload) < packet.LISPHeaderLen {
 		return
 	}
@@ -560,19 +646,24 @@ func (x *XTR) decap(d *simnet.Delivery, udp *packet.UDP) {
 	}
 	x.Stats.DecapPackets++
 	innerSrc, _ := packet.PeekIPv4Src(inner)
-	outerIP := d.IPv4()
 	if x.OnDecap != nil {
+		outerSrc, _ := packet.PeekIPv4Src(d.Data)
+		outerDst, _ := packet.PeekIPv4Dst(d.Data)
 		fk := FlowKey{Src: innerSrc, Dst: innerDst}
 		_, seen := x.seenSources[fk]
 		x.seenSources[fk] = x.node.Sim().Now()
 		x.armSeenPrune()
 		x.OnDecap(DecapInfo{
 			InnerSrc: innerSrc, InnerDst: innerDst,
-			OuterSrc: outerIP.SrcIP, OuterDst: outerIP.DstIP,
+			OuterSrc: outerSrc, OuterDst: outerDst,
 			First: !seen,
 		})
 	}
-	cp := make([]byte, len(inner))
-	copy(cp, inner)
-	x.node.Send(cp)
+	// Send the inner bytes in place: they alias the delivered outer
+	// packet, but nothing re-reads the outer bytes after decap, and the
+	// Delivery contract lets handlers keep Data bytes (only the Delivery
+	// and its decoded view are recycled). The forwarding path's in-place
+	// TTL patch touches bytes nobody else reads, so the copy the original
+	// implementation made bought nothing.
+	x.node.Send(inner)
 }

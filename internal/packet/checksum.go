@@ -1,6 +1,10 @@
 package packet
 
-import "github.com/pcelisp/pcelisp/internal/netaddr"
+import (
+	"encoding/binary"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
 
 // Checksum computes the RFC 1071 Internet checksum over data.
 func Checksum(data []byte) uint16 {
@@ -8,15 +12,31 @@ func Checksum(data []byte) uint16 {
 }
 
 // sumBytes adds data to a running 32-bit ones-complement accumulator.
+// It consumes 8 bytes per step in a 64-bit accumulator: ones-complement
+// addition is associative, so summing big-endian 32-bit words and folding
+// the carries afterwards is congruent (mod 0xffff) to the word-at-a-time
+// definition.
 func sumBytes(sum uint32, data []byte) uint32 {
-	n := len(data)
-	for i := 0; i+1 < n; i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	s := uint64(sum)
+	for len(data) >= 8 {
+		s += uint64(binary.BigEndian.Uint32(data)) + uint64(binary.BigEndian.Uint32(data[4:]))
+		data = data[8:]
 	}
-	if n%2 == 1 {
-		sum += uint32(data[n-1]) << 8
+	if len(data) >= 4 {
+		s += uint64(binary.BigEndian.Uint32(data))
+		data = data[4:]
 	}
-	return sum
+	if len(data) >= 2 {
+		s += uint64(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		s += uint64(data[0]) << 8
+	}
+	for s>>32 != 0 {
+		s = s&0xffffffff + s>>32
+	}
+	return uint32(s)
 }
 
 func finishChecksum(sum uint32) uint16 {

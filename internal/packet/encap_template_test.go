@@ -1,0 +1,81 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// slowEncap is the reference path: full layer-by-layer serialization.
+func slowEncap(src, dst netaddr.Addr, sport, dport uint16, nonce uint32, inner []byte) []byte {
+	ip := &IPv4{TTL: DefaultTTL, Protocol: IPProtocolUDP, SrcIP: src, DstIP: dst}
+	udp := &UDP{SrcPort: sport, DstPort: dport}
+	udp.SetNetworkLayerForChecksum(ip)
+	lisp := &LISP{NonceP: true, Nonce: nonce & 0xffffff}
+	pay := Payload(inner)
+	return Serialize(ip, udp, lisp, &pay)
+}
+
+// TestEncapTemplateMatchesSerialize pins the bit-identity contract: the
+// patched template must reproduce the full serialization exactly, across
+// odd/even inner lengths, nonce extremes and checksum corner cases.
+func TestEncapTemplateMatchesSerialize(t *testing.T) {
+	src := netaddr.MustParseAddr("10.0.0.1")
+	dst := netaddr.MustParseAddr("12.0.0.1")
+	inner := make([]byte, 1500)
+	for i := range inner {
+		inner[i] = byte(i*31 + 7)
+	}
+	tmpl := NewEncapTemplate(src, dst, PortLISPData, PortLISPData)
+	for _, n := range []int{0, 1, 2, 19, 20, 63, 64, 512, 513, 1499, 1500} {
+		for _, nonce := range []uint32{0, 1, 0x00ff00, 0xabcdef, 0xffffff} {
+			want := slowEncap(src, dst, PortLISPData, PortLISPData, nonce, inner[:n])
+			got := tmpl.Encap(inner[:n], nonce)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("inner=%d nonce=%06x: template output diverges\n got %x\nwant %x", n, nonce, got, want)
+			}
+		}
+	}
+}
+
+// TestEncapTemplateChecksumZeroRule exercises the UDP 0 -> 0xffff rule by
+// brute-forcing an inner payload whose datagram checksum lands on zero.
+func TestEncapTemplateChecksumZeroRule(t *testing.T) {
+	src := netaddr.MustParseAddr("10.0.0.1")
+	dst := netaddr.MustParseAddr("12.0.0.1")
+	tmpl := NewEncapTemplate(src, dst, PortLISPData, PortLISPData)
+	inner := make([]byte, 2)
+	found := false
+	for v := 0; v < 1<<16; v++ {
+		inner[0], inner[1] = byte(v>>8), byte(v)
+		got := tmpl.Encap(inner, 0x123456)
+		if got[26] == 0xff && got[27] == 0xff {
+			found = true
+		}
+		want := slowEncap(src, dst, PortLISPData, PortLISPData, 0x123456, inner)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("inner=%x: template output diverges", inner)
+		}
+	}
+	if !found {
+		t.Fatal("no payload exercised the 0xffff checksum rule")
+	}
+}
+
+// TestEncapTemplateSingleAlloc pins the fast path's allocation budget:
+// one output buffer per packet, nothing else.
+func TestEncapTemplateSingleAlloc(t *testing.T) {
+	src := netaddr.MustParseAddr("10.0.0.1")
+	dst := netaddr.MustParseAddr("12.0.0.1")
+	tmpl := NewEncapTemplate(src, dst, PortLISPData, PortLISPData)
+	inner := make([]byte, 512)
+	var sink []byte
+	per := testing.AllocsPerRun(200, func() {
+		sink = tmpl.Encap(inner, 0x42)
+	})
+	_ = sink
+	if per != 1 {
+		t.Fatalf("EncapTemplate.Encap allocates %.1f per packet, want 1", per)
+	}
+}

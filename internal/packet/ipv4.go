@@ -189,6 +189,64 @@ func PeekIPv4Src(data []byte) (netaddr.Addr, bool) {
 	return netaddr.AddrFromBytes(data[12:16]), true
 }
 
+// PeekUDPPayload extracts the UDP ports and payload from raw IPv4/UDP
+// packet bytes without building layer structs, applying exactly the
+// validation the IPv4 and UDP decoders would. ok is false when the bytes
+// are not a well-formed IPv4/UDP datagram; callers must then fall back to
+// the decoding path so malformed traffic is accounted identically.
+func PeekUDPPayload(data []byte) (src, dst uint16, payload []byte, ok bool) {
+	if len(data) < IPv4HeaderLen || data[0]>>4 != 4 {
+		return 0, 0, nil, false
+	}
+	hl := int(data[0]&0x0f) * 4
+	totalLen := int(data[2])<<8 | int(data[3])
+	if hl < IPv4HeaderLen || totalLen < hl || totalLen > len(data) {
+		return 0, 0, nil, false
+	}
+	if IPProtocol(data[9]) != IPProtocolUDP {
+		return 0, 0, nil, false
+	}
+	dgram := data[hl:totalLen]
+	if len(dgram) < UDPHeaderLen {
+		return 0, 0, nil, false
+	}
+	udpLen := int(dgram[4])<<8 | int(dgram[5])
+	if udpLen < UDPHeaderLen || udpLen > len(dgram) {
+		return 0, 0, nil, false
+	}
+	return uint16(dgram[0])<<8 | uint16(dgram[1]),
+		uint16(dgram[2])<<8 | uint16(dgram[3]),
+		dgram[UDPHeaderLen:udpLen], true
+}
+
+// PeekTCPSegment extracts the TCP flag byte and payload length from raw
+// IPv4/TCP packet bytes without building layer structs, applying the same
+// validation as the IPv4 and TCP decoders. End-host data hot paths use it
+// to count established-flow segments without decoding; anything that
+// fails validation (or needs the full header) goes through the decoder.
+func PeekTCPSegment(data []byte) (flags byte, payloadLen int, ok bool) {
+	if len(data) < IPv4HeaderLen || data[0]>>4 != 4 {
+		return 0, 0, false
+	}
+	hl := int(data[0]&0x0f) * 4
+	totalLen := int(data[2])<<8 | int(data[3])
+	if hl < IPv4HeaderLen || totalLen < hl || totalLen > len(data) {
+		return 0, 0, false
+	}
+	if IPProtocol(data[9]) != IPProtocolTCP {
+		return 0, 0, false
+	}
+	seg := data[hl:totalLen]
+	if len(seg) < TCPHeaderLen {
+		return 0, 0, false
+	}
+	doff := int(seg[12]>>4) * 4
+	if doff < TCPHeaderLen || doff > len(seg) {
+		return 0, 0, false
+	}
+	return seg[13], len(seg) - doff, true
+}
+
 // PatchIPv4TTL decrements the TTL in place and fixes the checksum
 // incrementally (RFC 1624). It reports false when the TTL is already 0.
 func PatchIPv4TTL(data []byte) bool {

@@ -3,6 +3,7 @@ package packet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // LayerType identifies a protocol layer. Types below 1000 are reserved for
@@ -47,10 +48,32 @@ type LayerTypeMetadata struct {
 	Decoder Decoder
 }
 
+// The layer-type registry is copy-on-write: readers load an immutable map
+// through one atomic pointer (registration clones and republishes), so the
+// per-layer decode hot path pays no lock at all. Registration is rare —
+// init time and test setup — so cloning is free in practice.
 var (
-	layerTypeMu   sync.RWMutex
-	layerTypeMeta = map[LayerType]LayerTypeMetadata{}
+	layerTypeMu   sync.Mutex // serializes writers only
+	layerTypeMeta atomic.Pointer[map[LayerType]LayerTypeMetadata]
 )
+
+// loadLayerTypes tolerates the nil before first publication: package-level
+// RegisterLayerType calls in other files run before this file's init.
+func loadLayerTypes() map[LayerType]LayerTypeMetadata {
+	if p := layerTypeMeta.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func cloneLayerTypes() map[LayerType]LayerTypeMetadata {
+	old := loadLayerTypes()
+	m := make(map[LayerType]LayerTypeMetadata, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	return m
+}
 
 // RegisterLayerType registers a new layer type with its metadata. It
 // panics if the type number is already taken, since that is a programming
@@ -59,10 +82,12 @@ func RegisterLayerType(num int, meta LayerTypeMetadata) LayerType {
 	t := LayerType(num)
 	layerTypeMu.Lock()
 	defer layerTypeMu.Unlock()
-	if _, dup := layerTypeMeta[t]; dup {
+	m := cloneLayerTypes()
+	if _, dup := m[t]; dup {
 		panic(fmt.Sprintf("packet: layer type %d registered twice", num))
 	}
-	layerTypeMeta[t] = meta
+	m[t] = meta
+	layerTypeMeta.Store(&m)
 	return t
 }
 
@@ -72,15 +97,15 @@ func OverrideLayerType(num int, meta LayerTypeMetadata) LayerType {
 	t := LayerType(num)
 	layerTypeMu.Lock()
 	defer layerTypeMu.Unlock()
-	layerTypeMeta[t] = meta
+	m := cloneLayerTypes()
+	m[t] = meta
+	layerTypeMeta.Store(&m)
 	return t
 }
 
 // String returns the registered name of t.
 func (t LayerType) String() string {
-	layerTypeMu.RLock()
-	meta, ok := layerTypeMeta[t]
-	layerTypeMu.RUnlock()
+	meta, ok := loadLayerTypes()[t]
 	if !ok {
 		return fmt.Sprintf("LayerType(%d)", int(t))
 	}
@@ -90,9 +115,7 @@ func (t LayerType) String() string {
 // Decode implements Decoder by delegating to the registered decoder for t,
 // so LayerTypes can be used directly as NextDecoder arguments.
 func (t LayerType) Decode(data []byte, p PacketBuilder) error {
-	layerTypeMu.RLock()
-	meta, ok := layerTypeMeta[t]
-	layerTypeMu.RUnlock()
+	meta, ok := loadLayerTypes()[t]
 	if !ok || meta.Decoder == nil {
 		return fmt.Errorf("packet: no decoder registered for %v", t)
 	}
@@ -100,7 +123,12 @@ func (t LayerType) Decode(data []byte, p PacketBuilder) error {
 }
 
 func init() {
-	for t, m := range map[LayerType]LayerTypeMetadata{
+	// Merge under the writer lock: sibling files' package-level
+	// RegisterLayerType calls may already have published entries.
+	layerTypeMu.Lock()
+	defer layerTypeMu.Unlock()
+	m := cloneLayerTypes()
+	for t, meta := range map[LayerType]LayerTypeMetadata{
 		LayerTypeDecodeFailure: {Name: "DecodeFailure"},
 		LayerTypePayload:       {Name: "Payload", Decoder: DecodeFunc(decodePayload)},
 		LayerTypeIPv4:          {Name: "IPv4", Decoder: DecodeFunc(decodeIPv4)},
@@ -111,8 +139,9 @@ func init() {
 		LayerTypeLISPControl:   {Name: "LISPControl", Decoder: DecodeFunc(decodeLISPControl)},
 		LayerTypePCECP:         {Name: "PCECP", Decoder: DecodeFunc(decodePCECP)},
 	} {
-		layerTypeMeta[t] = m
+		m[t] = meta
 	}
+	layerTypeMeta.Store(&m)
 }
 
 // UDP port numbers with registered meanings in this codebase.
@@ -133,31 +162,44 @@ const (
 	PortRLOCProbe = 4345
 )
 
+// The port registry is copy-on-write like the layer-type registry above:
+// udpPortLayerType runs once per decoded UDP header, so its read path is a
+// single atomic load plus map lookups on an immutable map.
 var (
-	udpPortMu    sync.RWMutex
-	udpPortTypes = map[uint16]LayerType{
+	udpPortMu    sync.Mutex // serializes writers only
+	udpPortTypes atomic.Pointer[map[uint16]LayerType]
+)
+
+func init() {
+	m := map[uint16]LayerType{
 		PortDNS:         LayerTypeDNS,
 		PortLISPData:    LayerTypeLISP,
 		PortLISPControl: LayerTypeLISPControl,
 		PortPCECP:       LayerTypePCECP,
 	}
-)
+	udpPortTypes.Store(&m)
+}
 
 // RegisterUDPPortLayerType maps a UDP port (source or destination) to the
 // layer type used to decode its payload.
 func RegisterUDPPortLayerType(port uint16, t LayerType) {
 	udpPortMu.Lock()
-	udpPortTypes[port] = t
-	udpPortMu.Unlock()
+	defer udpPortMu.Unlock()
+	old := *udpPortTypes.Load()
+	m := make(map[uint16]LayerType, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[port] = t
+	udpPortTypes.Store(&m)
 }
 
 func udpPortLayerType(src, dst uint16) Decoder {
-	udpPortMu.RLock()
-	defer udpPortMu.RUnlock()
-	if t, ok := udpPortTypes[dst]; ok {
+	ports := *udpPortTypes.Load()
+	if t, ok := ports[dst]; ok {
 		return t
 	}
-	if t, ok := udpPortTypes[src]; ok {
+	if t, ok := ports[src]; ok {
 		return t
 	}
 	return LayerTypePayload

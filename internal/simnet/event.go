@@ -11,8 +11,10 @@ const (
 	evNone EventKind = iota
 	// evTimer fires a typed timer: h.OnTimer(arg).
 	evTimer
-	// evArrive delivers packet bytes arriving at iface's node from the
-	// wire (the tail of Iface.transmit).
+	// evArrive drains the pending arrival batch of one iface: every frame
+	// queued with an arrival time <= now is delivered FIFO by a single
+	// event, amortizing scheduler traffic across a link's per-tick burst
+	// (the tail of Iface.transmit).
 	evArrive
 	// evDeliver loops locally originated packet bytes back into node's
 	// receive path without touching a link.
@@ -57,9 +59,9 @@ type event struct {
 	at    Time
 	seq   uint64 // tie-break: FIFO among same-time events
 	kind  EventKind
-	ifIdx uint16 // evArrive: index of the arrival iface in node.ifaces
+	ifIdx uint16 // evArrive: index of the drained iface in node.ifaces
 	node  *Node  // evArrive/evDeliver: receiving node
-	data  []byte // evArrive/evDeliver: packet bytes
+	data  []byte // evDeliver: packet bytes (evArrive frames ride the batch)
 	h     TimerHandler
 	arg   TimerArg
 }
@@ -87,20 +89,7 @@ func (f funcTimer) OnTimer(TimerArg) { f() }
 func (s *Sim) dispatch(e *event) {
 	switch e.kind {
 	case evArrive:
-		in := e.node.ifaces[e.ifIdx]
-		if in.down || e.node.failed {
-			// The frame was in flight when the receiving side went down:
-			// a cut loses what the wire was carrying.
-			in.dir.counters.AdminDrops++
-			s.trace(TraceDrop, e.node.name, "iface down on "+in.name, e.data)
-			return
-		}
-		// The frame made it across: goodput accounting on the direction
-		// that carried it (the peer's transmit direction).
-		c := &in.peer.dir.counters
-		c.DeliveredPackets++
-		c.DeliveredBytes += uint64(len(e.data))
-		e.node.receive(e.data, in)
+		s.drainArrivals(e.node.ifaces[e.ifIdx])
 	case evDeliver:
 		if e.node.failed {
 			s.trace(TraceDrop, e.node.name, "node failed", e.data)
@@ -109,6 +98,53 @@ func (s *Sim) dispatch(e *event) {
 		e.node.receive(e.data, nil)
 	case evTimer:
 		e.h.OnTimer(e.arg)
+	}
+}
+
+// drainArrivals delivers every batched frame whose arrival time has been
+// reached, in FIFO order, replicating the exact per-frame semantics the
+// one-event-per-packet design had: a frame arriving while the receiving
+// side is down is destroyed and counted in AdminDrops (a cut loses what
+// the wire was carrying); a delivered frame books goodput on the
+// direction that carried it (the peer's transmit direction).
+//
+// Reentrancy: delivering a frame can transmit new frames onto this very
+// iface (zero-delay forwarding loops), growing arrQ mid-loop — the head
+// and length are re-read each iteration, and same-instant appends are
+// drained inline (TTL decrements bound the loop). Spurious drains (a
+// Delay lowered mid-flight arms a second, earlier drain for the same
+// batch) fall through harmlessly and re-arm for whatever head remains.
+func (s *Sim) drainArrivals(in *Iface) {
+	in.drainArmed = false
+	for in.arrHead < len(in.arrQ) && in.arrQ[in.arrHead].at <= s.now {
+		data := in.arrQ[in.arrHead].data
+		in.arrQ[in.arrHead].data = nil // drop the reference for GC
+		in.arrHead++
+		if in.down || in.node.failed {
+			s.dirs[in.dirIdx].counters.AdminDrops++
+			if s.Trace != nil {
+				s.trace(TraceDrop, in.node.name, "iface down on "+in.name, data)
+			}
+			continue
+		}
+		c := &s.dirs[in.peer.dirIdx].counters
+		c.DeliveredPackets++
+		c.DeliveredBytes += uint64(len(data))
+		in.node.receive(data, in)
+	}
+	if in.arrHead == len(in.arrQ) {
+		in.arrQ = in.arrQ[:0]
+		in.arrHead = 0
+		return
+	}
+	// Future frames remain: keep exactly one drain armed at the head time
+	// (unless a reentrant scheduleArrival already armed one).
+	if !in.drainArmed {
+		in.drainArmed = true
+		in.drainAt = in.arrQ[in.arrHead].at
+		s.seq++
+		e := event{at: in.drainAt, seq: s.seq, kind: evArrive, node: in.node, ifIdx: in.idx}
+		s.enqueue(&e)
 	}
 }
 

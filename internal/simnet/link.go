@@ -46,13 +46,39 @@ type LinkCounters struct {
 // Iface is a node's attachment to one end of a link.
 type Iface struct {
 	node *Node
-	dir  *linkDir // transmit direction: this iface -> peer
 	peer *Iface
 	addr netaddr.Addr
 	name string
-	idx  uint16 // position in node.ifaces, for compact arrival events
-	down bool   // administratively down: neither transmits nor receives
+	// dirIdx locates the transmit direction (this iface -> peer) in the
+	// Sim's linkDir arena. Directions live in one contiguous slice so the
+	// per-tick counter walks (TE sampling, drains) touch adjacent memory;
+	// the arena grows on Connect, so the slot is always accessed by index,
+	// never through a stored pointer.
+	dirIdx int32
+	idx    uint16 // position in node.ifaces, for compact arrival events
+	down   bool   // administratively down: neither transmits nor receives
+
+	// Pending arrival batch: frames in flight toward this iface, sorted by
+	// arrival time (FIFO within a time). One drain event in the scheduler
+	// covers the whole batch instead of one event per frame; drainArmed /
+	// drainAt track the earliest armed drain so scheduleArrival knows when
+	// a new one is needed.
+	arrQ       []arrFrame
+	arrHead    int
+	drainArmed bool
+	drainAt    Time
 }
+
+// arrFrame is one in-flight frame in an interface's arrival batch.
+type arrFrame struct {
+	at   Time
+	data []byte
+}
+
+// dir returns the transmit direction. The pointer aims into the Sim's
+// arena and is invalidated by the next Connect — use it immediately, never
+// store it.
+func (i *Iface) dir() *linkDir { return &i.node.sim.dirs[i.dirIdx] }
 
 // Node returns the owning node.
 func (i *Iface) Node() *Node { return i.node }
@@ -91,22 +117,23 @@ func (i *Iface) Up() bool { return !i.down && !i.node.failed }
 func (i *Iface) LinkUp() bool { return i.Up() && i.peer.Up() }
 
 // Config returns the transmit-direction link configuration.
-func (i *Iface) Config() LinkConfig { return i.dir.cfg }
+func (i *Iface) Config() LinkConfig { return i.dir().cfg }
 
 // SetConfig replaces the transmit-direction configuration (used by
 // failure-injection tests to degrade a live link).
-func (i *Iface) SetConfig(cfg LinkConfig) { i.dir.cfg = cfg }
+func (i *Iface) SetConfig(cfg LinkConfig) { i.dir().cfg = cfg }
 
 // Counters returns a snapshot of the transmit-direction counters.
-func (i *Iface) Counters() LinkCounters { return i.dir.counters }
+func (i *Iface) Counters() LinkCounters { return i.dir().counters }
 
 // QueueDepth returns the current transmit backlog in bytes.
 func (i *Iface) QueueDepth() int {
 	now := i.node.sim.Now()
-	if i.dir.busyUntil <= now || i.dir.cfg.RateBps == 0 {
+	d := i.dir()
+	if d.busyUntil <= now || d.cfg.RateBps == 0 {
 		return 0
 	}
-	return int(float64(i.dir.busyUntil-now) / float64(time.Second) * float64(i.dir.cfg.RateBps) / 8)
+	return int(float64(d.busyUntil-now) / float64(time.Second) * float64(d.cfg.RateBps) / 8)
 }
 
 // linkDir is one direction of a link.
@@ -129,8 +156,8 @@ func (l *Link) B() *Iface { return l.b }
 
 // SetLoss sets the loss probability on both directions.
 func (l *Link) SetLoss(p float64) {
-	l.a.dir.cfg.Loss = p
-	l.b.dir.cfg.Loss = p
+	l.a.dir().cfg.Loss = p
+	l.b.dir().cfg.Loss = p
 }
 
 // SetDown cuts the link: both interfaces go administratively down, so
@@ -158,8 +185,11 @@ func ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
 	if a.sim != b.sim {
 		panic("simnet: Connect across simulations")
 	}
-	ia := &Iface{node: a, dir: &linkDir{cfg: ab}, name: a.name + ":" + b.name, idx: uint16(len(a.ifaces))}
-	ib := &Iface{node: b, dir: &linkDir{cfg: ba}, name: b.name + ":" + a.name, idx: uint16(len(b.ifaces))}
+	sim := a.sim
+	dirIdx := int32(len(sim.dirs))
+	sim.dirs = append(sim.dirs, linkDir{cfg: ab}, linkDir{cfg: ba})
+	ia := &Iface{node: a, dirIdx: dirIdx, name: a.name + ":" + b.name, idx: uint16(len(a.ifaces))}
+	ib := &Iface{node: b, dirIdx: dirIdx + 1, name: b.name + ":" + a.name, idx: uint16(len(b.ifaces))}
 	ia.peer, ib.peer = ib, ia
 	a.ifaces = append(a.ifaces, ia)
 	b.ifaces = append(b.ifaces, ib)
@@ -171,10 +201,12 @@ func ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
 // backlog, then propagation, then delivery to the peer node.
 func (i *Iface) transmit(data []byte) {
 	sim := i.node.sim
-	d := i.dir
+	d := i.dir()
 	if i.down || i.node.failed {
 		d.counters.AdminDrops++
-		sim.trace(TraceDrop, i.node.name, fmt.Sprintf("iface down on %s", i.name), data)
+		if sim.Trace != nil {
+			sim.trace(TraceDrop, i.node.name, fmt.Sprintf("iface down on %s", i.name), data)
+		}
 		return
 	}
 	now := sim.Now()
@@ -186,7 +218,9 @@ func (i *Iface) transmit(data []byte) {
 		backlog := float64(d.busyUntil-now) / float64(time.Second) * float64(d.cfg.RateBps) / 8
 		if backlog > 0 && backlog+float64(len(data)) > float64(d.cfg.QueueBytes) {
 			d.counters.QueueDrops++
-			sim.trace(TraceDrop, i.node.name, fmt.Sprintf("queue overflow on %s", i.name), data)
+			if sim.Trace != nil {
+				sim.trace(TraceDrop, i.node.name, fmt.Sprintf("queue overflow on %s", i.name), data)
+			}
 			return
 		}
 	}
@@ -204,7 +238,9 @@ func (i *Iface) transmit(data []byte) {
 
 	if d.cfg.Loss > 0 && sim.Rand().Float64() < d.cfg.Loss {
 		d.counters.RandomLoss++
-		sim.trace(TraceDrop, i.node.name, fmt.Sprintf("random loss on %s", i.name), data)
+		if sim.Trace != nil {
+			sim.trace(TraceDrop, i.node.name, fmt.Sprintf("random loss on %s", i.name), data)
+		}
 		return
 	}
 	arrival := d.busyUntil + d.cfg.Delay

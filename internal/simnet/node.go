@@ -33,6 +33,12 @@ type Sniffer func(d *Delivery) SnifferVerdict
 // UDPHandler consumes a locally delivered UDP datagram.
 type UDPHandler func(d *Delivery, udp *packet.UDP)
 
+// RawUDPHandler consumes a locally delivered UDP datagram as raw payload
+// bytes, without the node decoding layer structs first. Data-plane hot
+// paths (LISP decap) register these; handlers that want the decoded view
+// can still call d.Packet().
+type RawUDPHandler func(d *Delivery, payload []byte)
+
 // LocalHandler consumes locally delivered packets that no UDP handler
 // claimed (e.g. TCP segments at end-hosts). Returning false counts the
 // packet as unhandled.
@@ -62,6 +68,7 @@ type Node struct {
 	routes   *netaddr.Trie[Route]
 	sniffers []Sniffer
 	udp      map[uint16]UDPHandler
+	rawUDP   map[uint16]RawUDPHandler
 	local    LocalHandler
 	joined   []netaddr.Addr
 
@@ -202,7 +209,30 @@ func (n *Node) ListenUDP(port uint16, h UDPHandler) {
 	if _, dup := n.udp[port]; dup {
 		panic(fmt.Sprintf("simnet: node %s: UDP port %d bound twice", n.name, port))
 	}
+	if _, dup := n.rawUDP[port]; dup {
+		panic(fmt.Sprintf("simnet: node %s: UDP port %d bound twice", n.name, port))
+	}
 	n.udp[port] = h
+}
+
+// ListenUDPRaw installs a raw handler for locally addressed UDP datagrams
+// with the given destination port: the node validates the IPv4/UDP
+// framing by peeking the wire bytes and hands the handler the payload
+// slice directly, skipping layer-struct decoding entirely. One handler
+// per port, shared with the ListenUDP namespace. Datagrams that fail the
+// peek validation fall through to the decoding path, so malformed traffic
+// is accounted exactly as before.
+func (n *Node) ListenUDPRaw(port uint16, h RawUDPHandler) {
+	if _, dup := n.udp[port]; dup {
+		panic(fmt.Sprintf("simnet: node %s: UDP port %d bound twice", n.name, port))
+	}
+	if _, dup := n.rawUDP[port]; dup {
+		panic(fmt.Sprintf("simnet: node %s: UDP port %d bound twice", n.name, port))
+	}
+	if n.rawUDP == nil {
+		n.rawUDP = map[uint16]RawUDPHandler{}
+	}
+	n.rawUDP[port] = h
 }
 
 // SetLocalHandler installs the fallback handler for locally addressed
@@ -337,7 +367,9 @@ func (n *Node) dispatch(dst netaddr.Addr, data []byte, in *Iface) error {
 	r, ok := n.LookupRoute(dst)
 	if !ok {
 		n.Stats.NoRoute++
-		n.sim.trace(TraceDrop, n.name, "no route to "+dst.String(), data)
+		if n.sim.Trace != nil {
+			n.sim.trace(TraceDrop, n.name, "no route to "+dst.String(), data)
+		}
 		return nil
 	}
 	r.Iface.transmit(data)
@@ -373,6 +405,14 @@ func (n *Node) receive(data []byte, in *Iface) {
 func (n *Node) deliverLocal(d *Delivery) {
 	n.Stats.DeliveredLocal++
 	n.sim.trace(TraceDeliver, n.name, "", d.Data)
+	if len(n.rawUDP) != 0 {
+		if _, dport, payload, ok := packet.PeekUDPPayload(d.Data); ok {
+			if h, ok := n.rawUDP[dport]; ok {
+				h(d, payload)
+				return
+			}
+		}
+	}
 	ip := d.IPv4()
 	if ip == nil {
 		n.Stats.Malformed++
@@ -406,7 +446,9 @@ func (n *Node) forward(dst netaddr.Addr, data []byte) {
 	r, ok := n.LookupRoute(dst)
 	if !ok {
 		n.Stats.NoRoute++
-		n.sim.trace(TraceDrop, n.name, "no route to "+dst.String(), data)
+		if n.sim.Trace != nil {
+			n.sim.trace(TraceDrop, n.name, "no route to "+dst.String(), data)
+		}
 		return
 	}
 	n.Stats.Forwarded++

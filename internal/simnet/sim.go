@@ -81,6 +81,13 @@ type Sim struct {
 	groups  map[netaddr.Addr][]*Node
 	stopped bool
 
+	// dirs is the link-direction arena: every Connect appends its two
+	// directions here, and Ifaces hold indexes into it. Keeping the hot
+	// per-link state (config, busy horizon, counters) in one contiguous
+	// slice makes the per-tick counter walks cache-friendly and spares an
+	// allocation per direction.
+	dirs []linkDir
+
 	// freeDeliveries recycles Delivery scratch between packet receives;
 	// Sim is single-threaded, so a plain stack suffices.
 	freeDeliveries []*Delivery
@@ -178,15 +185,38 @@ func (s *Sim) AtFunc(t Time, fn func()) {
 	s.TimerAt(t, funcTimer(fn), TimerArg{})
 }
 
-// scheduleArrival enqueues a packet arriving at to's node at absolute
-// time t — the typed tail of Iface.transmit.
+// scheduleArrival appends a frame arriving at to's node at absolute time
+// t to the interface's pending batch — the typed tail of Iface.transmit.
+// One drain event per batch replaces one event per frame: the common case
+// (arrival times per direction are monotone non-decreasing) is a plain
+// append plus, at most, arming a drain; only a Delay lowered mid-flight
+// pays a sorted insert.
 func (s *Sim) scheduleArrival(t Time, to *Iface, data []byte) {
 	if t < s.now {
 		t = s.now
 	}
-	s.seq++
-	e := event{at: t, seq: s.seq, kind: evArrive, node: to.node, ifIdx: to.idx, data: data}
-	s.enqueue(&e)
+	q := to.arrQ
+	if n := len(q); n > to.arrHead && q[n-1].at > t {
+		// Rare out-of-order arrival: keep the batch sorted by time, FIFO
+		// within a time (insert after any equal-time frames).
+		i := n
+		for i > to.arrHead && q[i-1].at > t {
+			i--
+		}
+		q = append(q, arrFrame{})
+		copy(q[i+1:], q[i:n])
+		q[i] = arrFrame{at: t, data: data}
+		to.arrQ = q
+	} else {
+		to.arrQ = append(q, arrFrame{at: t, data: data})
+	}
+	if !to.drainArmed || t < to.drainAt {
+		to.drainArmed = true
+		to.drainAt = t
+		s.seq++
+		e := event{at: t, seq: s.seq, kind: evArrive, node: to.node, ifIdx: to.idx}
+		s.enqueue(&e)
+	}
 }
 
 // scheduleLoopback enqueues local delivery of a locally originated packet

@@ -22,23 +22,27 @@ type TrackedLink struct {
 	Iface *simnet.Iface
 	// CapacityBps normalizes byte counts to utilization.
 	CapacityBps int64
-
-	lastTx uint64
-	lastRx uint64
-	// primed marks that lastTx/lastRx hold a real snapshot. A link added
-	// after Start() joins with primed=false, so its first sample only
-	// snapshots the counters instead of charging the whole cumulative
-	// count to one interval.
-	primed bool
 }
 
-// Tracker samples link utilizations into time series.
+// Tracker samples link utilizations into time series. The per-tick hot
+// state lives in parallel slices indexed by the link's Add order (a
+// struct-of-arrays layout), so the sampling loop walks contiguous memory
+// instead of chasing one heap object per link.
 type Tracker struct {
 	sim *simnet.Sim
 	// Interval is the sampling period (default 1s).
 	Interval simnet.Time
 
-	links []*TrackedLink
+	links []TrackedLink
+	// lastTx / lastRx are the previous DeliveredBytes snapshots, parallel
+	// to links.
+	lastTx []uint64
+	lastRx []uint64
+	// primed marks that lastTx/lastRx hold a real snapshot. A link added
+	// after Start() joins with primed=false, so its first sample only
+	// snapshots the counters instead of charging the whole cumulative
+	// count to one interval.
+	primed []bool
 	// Egress and Ingress hold one series per tracked link, in Add order.
 	Egress  []*metrics.Series
 	Ingress []*metrics.Series
@@ -54,7 +58,10 @@ func NewTracker(sim *simnet.Sim) *Tracker {
 
 // Add registers a link to track.
 func (t *Tracker) Add(name string, iface *simnet.Iface, capacityBps int64) {
-	t.links = append(t.links, &TrackedLink{Name: name, Iface: iface, CapacityBps: capacityBps})
+	t.links = append(t.links, TrackedLink{Name: name, Iface: iface, CapacityBps: capacityBps})
+	t.lastTx = append(t.lastTx, 0)
+	t.lastRx = append(t.lastRx, 0)
+	t.primed = append(t.primed, false)
 	t.Egress = append(t.Egress, metrics.NewSeries(name+"/egress"))
 	t.Ingress = append(t.Ingress, metrics.NewSeries(name+"/ingress"))
 }
@@ -72,7 +79,8 @@ func (t *Tracker) Start() {
 func (t *Tracker) sample() {
 	dt := float64(t.Interval) / float64(time.Second)
 	now := t.sim.Now()
-	for i, l := range t.links {
+	for i := range t.links {
+		l := &t.links[i]
 		// Goodput, not offered load: DeliveredBytes excludes frames the
 		// link destroyed (random loss, admin-down), so a lossy provider
 		// reads as carrying less traffic, not more.
@@ -81,11 +89,11 @@ func (t *Tracker) sample() {
 		// Priming is per link, not per tracker: a link registered while
 		// the sampler is already live must not book its entire cumulative
 		// counter as one interval's traffic.
-		if l.primed && l.CapacityBps > 0 {
-			t.Egress[i].Add(now, float64(tx-l.lastTx)*8/dt/float64(l.CapacityBps))
-			t.Ingress[i].Add(now, float64(rx-l.lastRx)*8/dt/float64(l.CapacityBps))
+		if t.primed[i] && l.CapacityBps > 0 {
+			t.Egress[i].Add(now, float64(tx-t.lastTx[i])*8/dt/float64(l.CapacityBps))
+			t.Ingress[i].Add(now, float64(rx-t.lastRx[i])*8/dt/float64(l.CapacityBps))
 		}
-		l.lastTx, l.lastRx, l.primed = tx, rx, true
+		t.lastTx[i], t.lastRx[i], t.primed[i] = tx, rx, true
 	}
 	t.samples++
 	t.sim.ScheduleTimer(t.Interval, t, simnet.TimerArg{})

@@ -178,6 +178,17 @@ func (h *TCPHost) sendSegment(dst netaddr.Addr, sport, dport uint16, seg *packet
 }
 
 func (h *TCPHost) handle(d *simnet.Delivery) bool {
+	// Established-flow fast path: a data segment (ACK set, SYN clear,
+	// payload present) only needs counting, so peek the wire bytes and
+	// skip layer decoding. Handshake segments and anything the peek
+	// cannot validate fall through to the full decoder below, which
+	// behaves exactly as before.
+	if flags, payloadLen, ok := packet.PeekTCPSegment(d.Data); ok {
+		if flags&0x02 == 0 && flags&0x10 != 0 && payloadLen > 0 {
+			h.Stats.DataReceived++
+			return true
+		}
+	}
 	l := d.Packet().Layer(packet.LayerTypeTCP)
 	if l == nil {
 		return false

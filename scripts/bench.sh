@@ -13,18 +13,25 @@
 #   BENCH            benchmark filter regex (default: all)
 #
 # The JSON (see cmd/benchjson) records ns/op, B/op and allocs/op per
-# benchmark; BENCH_PR3.json in the repository root is the committed
-# baseline for the PR 3 event-core rewrite.
+# benchmark; BENCH_PR6.json in the repository root is the committed
+# baseline for the PR 6 batched data plane (BENCH_PR3.json is the
+# previous baseline, kept for the perf trajectory in EXPERIMENTS.md).
+#
+# To check a change for regressions against the committed baseline
+# (same-machine numbers, so ns/op comparisons are meaningful):
+#
+#   scripts/bench.sh /tmp/new.json
+#   go run ./cmd/benchjson -diff -tolerance 0.05 BENCH_PR6.json /tmp/new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR6.json}"
 BENCHTIME="${BENCHTIME:-300x}"
 MICRO_BENCHTIME="${MICRO_BENCHTIME:-200000x}"
 BENCH="${BENCH:-.}"
 
 {
-  go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem .
-  go test -run '^$' -bench "$BENCH" -benchtime "$MICRO_BENCHTIME" -benchmem ./internal/...
+  go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem -timeout 30m .
+  go test -run '^$' -bench "$BENCH" -benchtime "$MICRO_BENCHTIME" -benchmem -timeout 30m ./internal/...
 } | go run ./cmd/benchjson -o "$OUT"
 echo "wrote $OUT" >&2
