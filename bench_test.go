@@ -10,6 +10,7 @@ package pcelisp
 // pair shows the scenario engine's speedup on the current machine.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -171,6 +172,29 @@ func BenchmarkSimThroughput(b *testing.B) {
 		w.Sim.Run()
 	}
 	_ = src
+}
+
+// BenchmarkSimThroughputSharded measures the lock-step sharded engine on
+// the E12 scale world (quick size: 8 ITR sites resolving against a
+// central trie-backed database over a 3-point capacity sweep), with the
+// one logical world partitioned across 1 or 4 shards. The outputs are
+// byte-identical by construction; only wall-clock may differ. Shards run
+// on the process-wide worker pool, so the 4-shard variant only shows a
+// speedup on a 4+ core machine — on fewer cores the epoch barriers are
+// pure overhead and shards=1 is the relevant baseline.
+func BenchmarkSimThroughputSharded(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			defer experiments.SetWorldShards(experiments.SetWorldShards(shards))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tbl := experiments.E12ScaleSweep(int64(i)+1, true)
+				if len(tbl.Rows()) == 0 {
+					b.Fatal("E12 produced no results")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTEOptimizerSolve measures the raw min-max weight solver on an

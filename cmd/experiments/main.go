@@ -1,5 +1,5 @@
 // Command experiments regenerates the reproduction's evaluation: every
-// table of EXPERIMENTS.md's experiment index (E1-E11), printed in paper
+// table of EXPERIMENTS.md's experiment index (E1-E12), printed in paper
 // style.
 //
 // Usage:
@@ -11,6 +11,7 @@
 //	experiments -seeds 1,2,3   # repeat the suite under several seeds
 //	experiments -parallel      # fan independent cells across all CPUs
 //	experiments -workers 4     # cap the parallel worker pool
+//	experiments -shards 4      # partition each world across 4 lock-step shards
 //	experiments -cps PCE-CP,ALT  # restrict to some control planes
 //	experiments -markdown      # emit GitHub-flavoured tables (EXPERIMENTS.md)
 //	experiments -cpuprofile cpu.out   # profile a real run (go tool pprof)
@@ -20,6 +21,12 @@
 // simulated world each) across GOMAXPROCS goroutines and merges results
 // in canonical order, so its output is byte-identical to the serial run
 // for the same seeds.
+//
+// -shards instead parallelizes *inside* each cell: one logical world is
+// partitioned into N per-shard event queues advancing in conservative
+// lock-step epochs. Output is byte-identical for any shard count; the
+// flag only changes how the simulation is scheduled across cores, which
+// is what makes the E12-scale worlds tractable.
 package main
 
 import (
@@ -48,6 +55,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 	cps := flag.String("cps", "", "comma-separated control planes to keep (default: all; see -list-cps)")
 	listCPs := flag.Bool("list-cps", false, "list control planes and exit")
+	shards := flag.Int("shards", 1, "partition each world across N lock-step shards (output is byte-identical for any N)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -112,6 +120,7 @@ func run() int {
 
 	keep := parseCPs(*cps)
 	seedList := parseSeeds(*seeds, *seed)
+	experiments.SetWorldShards(*shards)
 	poolSize := runner.Serial
 	if *parallel || *workers > 1 {
 		poolSize = *workers // 0 = runner.Auto = GOMAXPROCS

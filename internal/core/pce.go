@@ -171,12 +171,15 @@ type PCE struct {
 	// lastOuter tracks the last outer source seen per flow at local ETRs,
 	// so an upstream TE shift (new RLOCS) re-triggers the reverse push.
 	lastOuter map[lisp.FlowKey]outerSeen
-	// subscribers tracks, per remote DNSS address, when this PCED last
-	// handed out its own mapping toward it — the audience for unsolicited
-	// MappingUpdate announcements when the TE optimizer changes locator
-	// weights. Entries idle longer than the mapping TTL are pruned by the
-	// maintenance sweep (the remote copy has expired anyway).
-	subscribers map[netaddr.Addr]simnet.Time
+	// subscribers tracks, per remote DNSS address (as a host prefix), when
+	// this PCED last handed out its own mapping toward it — the audience
+	// for unsolicited MappingUpdate announcements when the TE optimizer
+	// changes locator weights. Entries idle longer than the mapping TTL
+	// are pruned by the maintenance sweep (the remote copy has expired
+	// anyway). A trie rather than a map: its walk yields addresses in
+	// ascending order, so announcement fan-out needs no sort to be
+	// deterministic.
+	subscribers *netaddr.Trie[simnet.Time]
 	// maintArmed marks an outstanding maintenance sweep. The sweep prunes
 	// pushed/lastOuter/subscriber/ETR first-packet state older than
 	// MappingTTL and re-arms only while state remains, so long-running
@@ -232,7 +235,7 @@ func New(node *simnet.Node, cfg Config) *PCE {
 		fetches:     make(map[uint64]fetchCtx),
 		pushed:      make(map[lisp.FlowKey]pushedFlow),
 		lastOuter:   make(map[lisp.FlowKey]outerSeen),
-		subscribers: make(map[netaddr.Addr]simnet.Time),
+		subscribers: netaddr.NewTrie[simnet.Time](),
 	}
 	node.AddSniffer(p.sniff)
 	node.ListenUDP(packet.PortPCECP, p.handleLocalPCECP)
@@ -613,12 +616,12 @@ func (p *PCE) addSubscriber(dnss netaddr.Addr) {
 	if !dnss.IsValid() {
 		return
 	}
-	p.subscribers[dnss] = p.node.Sim().Now()
+	p.subscribers.Insert(netaddr.HostPrefix(dnss), p.node.Sim().Now())
 	p.armMaintenance()
 }
 
 // Subscribers returns the number of live announcement targets.
-func (p *PCE) Subscribers() int { return len(p.subscribers) }
+func (p *PCE) Subscribers() int { return p.subscribers.Len() }
 
 // ApplyProviderWeights installs a new locator priority/weight vector,
 // indexed by provider: the IRC engine's policy is replaced by the
@@ -639,19 +642,19 @@ func (p *PCE) ApplyProviderWeights(weights []uint8) int {
 }
 
 // AnnounceMappingUpdate pushes the current advertised mapping to every
-// subscriber PCE as an unsolicited PCECPMappingUpdate. Subscribers are
-// walked in sorted address order so the transmission order (and thus
-// every downstream byte) is deterministic.
+// subscriber PCE as an unsolicited PCECPMappingUpdate. The subscriber
+// trie walks in ascending address order, so the transmission order (and
+// thus every downstream byte) is deterministic without sorting.
 func (p *PCE) AnnounceMappingUpdate() int {
 	locators := p.cfg.Engine.MappingLocators()
-	if len(locators) == 0 || len(p.subscribers) == 0 {
+	if len(locators) == 0 || p.subscribers.Len() == 0 {
 		return 0
 	}
-	targets := make([]netaddr.Addr, 0, len(p.subscribers))
-	for dnss := range p.subscribers {
-		targets = append(targets, dnss)
-	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	targets := make([]netaddr.Addr, 0, p.subscribers.Len())
+	p.subscribers.Walk(func(np netaddr.Prefix, _ simnet.Time) bool {
+		targets = append(targets, np.Addr())
+		return true
+	})
 	now := p.node.Sim().Now()
 	for _, dnss := range targets {
 		msg := &packet.PCECP{
@@ -662,7 +665,7 @@ func (p *PCE) AnnounceMappingUpdate() int {
 			}},
 		}
 		p.Stats.WeightUpdatesSent++
-		p.subscribers[dnss] = now
+		p.subscribers.Insert(netaddr.HostPrefix(dnss), now)
 		p.sendControl(dnss, msg)
 	}
 	return len(targets)
@@ -793,12 +796,17 @@ func (p *PCE) runMaintenance() {
 			delete(p.pushed, fk)
 		}
 	}
-	for dnss, seen := range p.subscribers {
+	var idle []netaddr.Prefix
+	p.subscribers.Walk(func(np netaddr.Prefix, seen simnet.Time) bool {
 		if now-seen >= ttl {
-			delete(p.subscribers, dnss)
+			idle = append(idle, np)
 		}
+		return true
+	})
+	for _, np := range idle {
+		p.subscribers.Delete(np)
 	}
-	remaining := len(p.lastOuter) + len(p.pushed) + len(p.subscribers)
+	remaining := len(p.lastOuter) + len(p.pushed) + p.subscribers.Len()
 	for _, x := range p.xtrs {
 		remaining += x.SeenSources()
 	}

@@ -71,6 +71,57 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestShardByteIdentity is the sharded engine's core guarantee: one
+// logical world partitioned over any number of lock-step shards renders
+// byte-identical experiment tables. E1 exercises the per-CP cold-flow
+// worlds, E9 the cache sweeps, E10 scripted failures (split cut-link
+// timers), E11 the TE loop (telemetry, barrier snapshots, remote
+// launches), and E12 the purpose-built scale world.
+func TestShardByteIdentity(t *testing.T) {
+	defer SetWorldShards(SetWorldShards(1))
+	render := func(tables []*metrics.Table) string {
+		s := ""
+		for _, tbl := range tables {
+			s += tbl.String()
+		}
+		return s
+	}
+	counts := []int{2, 4, 8}
+	if testing.Short() {
+		counts = []int{2}
+	}
+	for _, id := range []string{"E1", "E9", "E10", "E11", "E12"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		SetWorldShards(1)
+		base := render(e.Run(11, true))
+		for _, n := range counts {
+			SetWorldShards(n)
+			out := render(e.Run(11, true))
+			if out != base {
+				t.Errorf("%s: %d-shard output diverged from 1 shard:\n%s\nvs\n%s",
+					id, n, out, base)
+			}
+		}
+	}
+}
+
+// TestScaleSmoke drives the E12 scale world end to end at a small size —
+// the short-mode CI job runs it under the race detector with two shards.
+func TestScaleSmoke(t *testing.T) {
+	defer SetWorldShards(SetWorldShards(2))
+	ps := e12Scale(true)
+	res := e12RunCell(3, 64, ps)
+	if got, want := res.stats.Hits+res.stats.Misses, uint64(ps.sites*ps.perSite); got != want {
+		t.Fatalf("lookups = %d, want %d", got, want)
+	}
+	if res.stats.Misses == 0 || res.resolved == 0 {
+		t.Fatalf("no misses resolved: %+v", res)
+	}
+}
+
 // TestSeedSensitivity guards against accidentally ignoring the seed:
 // different seeds must change something measurable (core delays are
 // drawn from the seed).

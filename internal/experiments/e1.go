@@ -68,15 +68,21 @@ func e1Experiment(seed int64, domains, packetsPerFlow int, spacing time.Duration
 func e1RunCell(cp CP, seed int64, domains, packetsPerFlow int, spacing time.Duration) e1Result {
 	w := BuildWorld(WorldConfig{CP: cp, Domains: domains, Seed: seed})
 	w.Settle()
-	delivered := 0
+	// One arrival counter per destination domain: each is written only by
+	// the shard hosting that domain, so counting is race-free and the sum
+	// (taken after the final barrier) is partition-independent.
+	deliveredBy := make([]int, domains)
 	for dd := 1; dd < domains; dd++ {
+		dd := dd
 		port := uint16(9000 + dd)
 		w.In.Domains[dd].Hosts[0].Node.ListenUDP(port, func(*simnet.Delivery, *packet.UDP) {
-			delivered++
+			deliveredBy[dd]++
 		})
 	}
 	for dd := 1; dd < domains; dd++ {
 		dd := dd
+		// Launch closures touch only shard-0 state (the source host and
+		// its DNS chain), so they schedule on shard 0 directly.
 		w.Sim.ScheduleFunc(time.Duration(dd-1)*500*time.Millisecond, func() {
 			src := w.In.Domains[0].Hosts[0]
 			dst := w.In.Domains[dd].Hosts[0]
@@ -94,8 +100,12 @@ func e1RunCell(cp CP, seed int64, domains, packetsPerFlow int, spacing time.Dura
 			})
 		})
 	}
-	w.Sim.RunFor(time.Duration(domains) * time.Second)
+	w.RunFor(time.Duration(domains) * time.Second)
 
+	delivered := 0
+	for _, n := range deliveredBy {
+		delivered += n
+	}
 	flows := domains - 1
 	return e1Result{cp: cp, flows: flows, sent: flows * packetsPerFlow,
 		delivered: delivered, drops: w.ITRDrops()}

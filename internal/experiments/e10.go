@@ -155,11 +155,14 @@ func e10RunCell(cp CP, scenario string, seed int64, ps e10Params) e10Result {
 	d0, d1 := w.In.Domains[0], w.In.Domains[1]
 	src, dst := d0.Hosts[0], d1.Hosts[0]
 
+	// The listener runs on the destination's shard, so it must read that
+	// shard's clock; the map is only read back after the run.
+	dstSim := dst.Node.Sim()
 	recvAt := make(map[uint64]simnet.Time)
 	dst.Node.ListenUDP(e10Port, func(d *simnet.Delivery, udp *packet.UDP) {
 		p := udp.LayerPayload()
 		if len(p) >= 8 {
-			recvAt[binary.BigEndian.Uint64(p)] = w.Sim.Now()
+			recvAt[binary.BigEndian.Uint64(p)] = dstSim.Now()
 		}
 	})
 
@@ -174,9 +177,11 @@ func e10RunCell(cp CP, scenario string, seed int64, ps e10Params) e10Result {
 	})
 
 	// Just before Tfail, inspect which RLOCs the flow rides and script
-	// the failure against them.
+	// the failure against them. The inspection is a world-wide snapshot,
+	// so it runs at a global barrier: every shard quiescent, and the
+	// FailurePlan free to arm timers on whichever shards own the targets.
 	var ctl0, probe0 uint64
-	w.Sim.AtFunc(ps.tFail-50*time.Millisecond, func() {
+	w.At(ps.tFail-50*time.Millisecond, func() {
 		srcRLOC, dstRLOC := e10FlowRLOCs(w, src.Addr, dst.Addr)
 		plan := simnet.NewFailurePlan(w.Sim)
 		switch scenario {
@@ -203,7 +208,7 @@ func e10RunCell(cp CP, scenario string, seed int64, ps e10Params) e10Result {
 		msgs, _ := w.ControlTotals()
 		ctl0, probe0 = msgs, w.ProbeMessages()
 	})
-	w.Sim.RunUntil(ps.tEnd)
+	w.RunUntil(ps.tEnd)
 
 	res := e10Result{cp: cp, scenario: scenario, sent: len(sender.sentAt)}
 	lastLoss := simnet.Time(-1)

@@ -420,10 +420,13 @@ func e11RunCell(cp CP, scenario string, seed int64, ps e11Params) e11Result {
 			flows = append(flows, &e11Flow{src: w.In.Domains[r].Hosts[h], dst: d0.Hosts[h]})
 		}
 	}
+	// Launch timers, pump starts and pump stops all mutate source-host
+	// state, so each is armed on the shard owning that source domain
+	// (arming is safe here: the world is quiescent before RunUntil).
 	for j, f := range flows {
 		j, f := j, f
 		rate := e11BaseRate(scenario, ps, j, len(flows))
-		w.Sim.ScheduleFunc(2*time.Second+simnet.Time(j)*ps.flowStep, func() {
+		f.src.Node.Sim().ScheduleFunc(2*time.Second+simnet.Time(j)*ps.flowStep, func() {
 			f.src.DNS.Lookup(f.dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
 				if !ok {
 					return
@@ -439,7 +442,7 @@ func e11RunCell(cp CP, scenario string, seed int64, ps e11Params) e11Result {
 	case "flash-crowd":
 		for i := 0; i < ps.flashFlows; i++ {
 			f := flows[i%len(flows)]
-			w.Sim.AtFunc(ps.tEvent+simnet.Time(i)*ps.flashStep, func() {
+			f.src.Node.Sim().AtFunc(ps.tEvent+simnet.Time(i)*ps.flashStep, func() {
 				f.startPump(ps, ps.flashRate)
 			})
 		}
@@ -452,19 +455,20 @@ func e11RunCell(cp CP, scenario string, seed int64, ps e11Params) e11Result {
 			down := ps.tEvent + simnet.Time(2*ps.waves-k)*ps.wavePeriod
 			for j := k; j < len(flows); j += ps.waves {
 				f := flows[j]
-				w.Sim.AtFunc(up, func() { f.startPump(ps, ps.waveRate) })
-				w.Sim.AtFunc(down, func() { f.stopLastPump() })
+				f.src.Node.Sim().AtFunc(up, func() { f.startPump(ps, ps.waveRate) })
+				f.src.Node.Sim().AtFunc(down, func() { f.stopLastPump() })
 			}
 		}
 	}
 
-	// Control-overhead baseline at the event instant.
+	// Control-overhead baseline at the event instant — a world-wide
+	// snapshot, so it reads at a global barrier.
 	var ctl0, tel0 uint64
-	w.Sim.AtFunc(ps.tEvent, func() {
+	w.At(ps.tEvent, func() {
 		ctl0, _ = w.ControlTotals()
 		tel0 = w.TelemetryMessages()
 	})
-	w.Sim.RunUntil(ps.tEnd)
+	w.RunUntil(ps.tEnd)
 
 	res := e11Result{cp: cp, scenario: scenario}
 	res.peak = mon.peak

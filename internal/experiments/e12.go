@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runner"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+	"github.com/pcelisp/pcelisp/internal/workload"
+)
+
+// E12 exercises the sharded engine at internet scale: the miss-rate-vs-
+// cache-capacity power law of Coras et al. measured on a world too large
+// for the full per-domain topology builder — up to 100k EID prefixes
+// ("domains") and 1M EIDs. A fixed set of ITR sites, spread round-robin
+// over the shards, runs independent Zipf/Poisson lookup workloads
+// against LRU map-caches; misses resolve over the network against one
+// central trie-backed mapping database. Under a Zipf(s) popularity
+// distribution the steady-state miss rate falls as a power of the cache
+// capacity; the merge fits the log-log slope across the capacity sweep.
+//
+// The construction is shard-invariant by design: each site's draw
+// sequence comes from its own seeded rng, the resolver is stateless
+// (trie reads only), and every site's access link has a distinct
+// propagation delay, so no two sites' events contend at the same
+// instant. Any shard count — including one — produces byte-identical
+// tables.
+
+// e12ReqPort and e12RespPort carry the map-request/map-reply exchange.
+const (
+	e12ReqPort  = 7300
+	e12RespPort = 7301
+)
+
+// e12Params sizes the sweep.
+type e12Params struct {
+	prefixes int     // EID-prefix population ("domains")
+	eidsPer  int     // EIDs drawn per prefix (population = prefixes * eidsPer)
+	sites    int     // ITR sites, spread round-robin over shards
+	perSite  int     // lookups per site
+	rate     float64 // per-site Poisson lookup rate, per second
+	skew     float64 // Zipf skew
+	ttl      uint32  // mapping TTL seconds
+
+	capacities []int
+}
+
+func e12Scale(quick bool) e12Params {
+	if quick {
+		return e12Params{prefixes: 1000, eidsPer: 4, sites: 8, perSite: 400,
+			rate: 50, skew: 1.3, ttl: 30, capacities: []int{16, 64, 256}}
+	}
+	// 100k prefixes x 10 EIDs = 1M EIDs; 32 sites x 31250 = 1M lookups
+	// per capacity point.
+	return e12Params{prefixes: 100_000, eidsPer: 10, sites: 32, perSite: 31_250,
+		rate: 200, skew: 1.3, ttl: 120, capacities: []int{64, 256, 1024, 4096, 16384}}
+}
+
+// e12Prefix returns prefix i: a /28 under 100.0.0.0/8, 16 addresses
+// apart, so 100k prefixes stay disjoint and longest-prefix lookups have
+// real work to do.
+func e12Prefix(i int) netaddr.Prefix {
+	base := uint32(100) << 24
+	return netaddr.PrefixFrom(netaddr.Addr(base+uint32(i)*16), 28)
+}
+
+// e12Result is one capacity point.
+type e12Result struct {
+	capacity int
+	stats    lisp.MapCacheStats
+	resolved uint64 // map-replies installed across all sites
+	liveLen  int    // summed cache occupancy at the last arrival
+}
+
+// e12Site is one ITR site: a node on some shard, its LRU map-cache, its
+// private workload draws, and the in-flight resolution set.
+type e12Site struct {
+	sim       *simnet.Sim
+	node      *simnet.Node
+	addr      netaddr.Addr
+	cache     *lisp.MapCache
+	rng       *rand.Rand
+	zipf      *workload.Zipf
+	poisson   *workload.Poisson
+	resolving map[netaddr.Prefix]bool
+	resolver  netaddr.Addr
+	eidsPer   int
+	ttl       uint32
+	left      int
+	resolved  uint64
+	liveLen   int
+}
+
+// step is one Poisson arrival: draw a destination EID, look it up, and
+// on a cold miss send a map-request toward the central resolver.
+func (s *e12Site) step() {
+	if s.left == 0 {
+		return
+	}
+	s.left--
+	i := s.zipf.Next()
+	p := e12Prefix(i)
+	eid := p.NthHost(1 + s.rng.Intn(s.eidsPer))
+	if _, hit := s.cache.Lookup(eid); !hit && !s.resolving[p] {
+		s.resolving[p] = true
+		var req [4]byte
+		eid.PutBytes(req[:])
+		s.node.SendUDP(s.addr, s.resolver, e12RespPort, e12ReqPort, packet.Payload(req[:]))
+	}
+	if s.left == 0 {
+		// Occupancy while the workload is still hot; once arrivals stop
+		// the timing wheel drains the cache to zero.
+		s.liveLen = s.cache.Len()
+		return
+	}
+	s.sim.ScheduleFunc(s.poisson.Next(), s.step)
+}
+
+// onReply installs the mapping carried by a map-reply.
+func (s *e12Site) onReply(_ *simnet.Delivery, udp *packet.UDP) {
+	pl := udp.LayerPayload()
+	if len(pl) < 9 {
+		return
+	}
+	p := netaddr.PrefixFrom(netaddr.AddrFromBytes(pl[:4]), int(pl[4]))
+	locs := []packet.LISPLocator{{Priority: 1, Weight: 100, Reachable: true,
+		Addr: netaddr.AddrFromBytes(pl[5:9])}}
+	s.cache.Insert(p, locs, s.ttl)
+	delete(s.resolving, p)
+	s.resolved++
+}
+
+// e12RunCell runs one capacity point: a sharded mini-internet with
+// ps.sites ITR sites resolving against one trie-backed database.
+func e12RunCell(seed int64, capacity int, ps e12Params) e12Result {
+	ss := simnet.NewSharded(seed, worldShards)
+	sim0 := ss.Shard(0)
+
+	// The central mapping system: one node on shard 0 holding the full
+	// EID->RLOC database in a trie. One locator slice is shared by every
+	// record (entries copy on write, and E12 never flips reachability).
+	resolver := sim0.NewNode("e12-resolver")
+	resolverAddr := netaddr.AddrFrom4(10, 0, 0, 1)
+	resolver.AddAddr(resolverAddr)
+	db := netaddr.NewTrie[netaddr.Addr]()
+	for i := 0; i < ps.prefixes; i++ {
+		db.Insert(e12Prefix(i), netaddr.AddrFrom4(10, 1, byte(i>>8), byte(i)))
+	}
+
+	sites := make([]*e12Site, ps.sites)
+	for j := 0; j < ps.sites; j++ {
+		sim := ss.Shard(j % ss.NumShards())
+		node := sim.NewNode(fmt.Sprintf("e12-site-%d", j))
+		s := &e12Site{
+			sim: sim, node: node, addr: netaddr.AddrFrom4(10, 2, byte(j), 1),
+			cache:     lisp.NewMapCache(sim, capacity),
+			rng:       rand.New(rand.NewSource(seed*1_000_003 + int64(j)*7919)),
+			resolving: make(map[netaddr.Prefix]bool),
+			resolver:  resolverAddr, eidsPer: ps.eidsPer, ttl: ps.ttl,
+			left: ps.perSite,
+		}
+		s.zipf = workload.NewZipf(s.rng, ps.prefixes, ps.skew)
+		s.poisson = workload.NewPoisson(s.rng, ps.rate)
+		// A distinct per-site propagation delay keeps any two sites'
+		// request/reply events off the same instant — the construction
+		// that makes the run shard-invariant without global ordering.
+		delay := 15*time.Millisecond + simnet.Time(j)*37*time.Microsecond
+		link := simnet.Connect(node, resolver, simnet.LinkConfig{Delay: delay})
+		link.A().SetAddr(s.addr)
+		link.B().SetAddr(netaddr.AddrFrom4(10, 3, byte(j), 1))
+		node.SetDefaultRoute(link.A())
+		resolver.AddRoute(netaddr.HostPrefix(s.addr), link.B())
+		node.ListenUDP(e12RespPort, s.onReply)
+		sites[j] = s
+		s.sim.ScheduleFunc(0, s.step)
+	}
+
+	// The resolver answers every map-request from the trie: stateless,
+	// so concurrent requests from different shards cannot interact.
+	resolver.ListenUDP(e12ReqPort, func(d *simnet.Delivery, udp *packet.UDP) {
+		pl := udp.LayerPayload()
+		if len(pl) < 4 {
+			return
+		}
+		eid := netaddr.AddrFromBytes(pl[:4])
+		loc, p, ok := db.Lookup(eid)
+		if !ok {
+			return
+		}
+		var resp [9]byte
+		p.Addr().PutBytes(resp[:4])
+		resp[4] = byte(p.Bits())
+		loc.PutBytes(resp[5:9])
+		ip := d.IPv4()
+		resolver.SendUDP(resolverAddr, ip.SrcIP, e12ReqPort, e12RespPort, packet.Payload(resp[:]))
+	})
+
+	ss.Run()
+
+	// Fold per-site counters in site order — the partition-independent
+	// reduction.
+	res := e12Result{capacity: capacity}
+	for _, s := range sites {
+		st := s.cache.Stats
+		res.stats.Hits += st.Hits
+		res.stats.Misses += st.Misses
+		res.stats.Expired += st.Expired
+		res.stats.Evictions += st.Evictions
+		res.stats.Inserts += st.Inserts
+		res.resolved += s.resolved
+		res.liveLen += s.liveLen
+	}
+	return res
+}
+
+// e12Experiment decomposes the sweep into one cell per capacity.
+func e12Experiment(seed int64, quick bool) ([]Cell, MergeFunc) {
+	ps := e12Scale(quick)
+	cells := make([]Cell, len(ps.capacities))
+	for i, capacity := range ps.capacities {
+		capacity := capacity
+		cells[i] = Cell{
+			Label: fmt.Sprintf("cap=%d", capacity),
+			Run:   func() interface{} { return e12RunCell(seed, capacity, ps) },
+		}
+	}
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			fmt.Sprintf("E12: miss rate vs cache capacity at scale (%d prefixes, %d EIDs, %d ITR sites)",
+				ps.prefixes, ps.prefixes*ps.eidsPer, ps.sites),
+			"capacity", "lookups", "miss %", "resolved", "evictions", "live at last arrival")
+		type pt struct{ c, m float64 }
+		var pts []pt
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e12Result)
+			total := c.stats.Hits + c.stats.Misses
+			missPct := 0.0
+			if total > 0 {
+				missPct = 100 * float64(c.stats.Misses) / float64(total)
+			}
+			// Only capacity-limited points (evictions happened) belong to
+			// the power-law fit: once the per-site working set fits, the
+			// miss rate sits on the TTL-driven compulsory-miss floor and
+			// no longer depends on capacity.
+			if missPct > 0 && c.stats.Evictions > 0 {
+				pts = append(pts, pt{c: float64(c.capacity), m: missPct / 100})
+			}
+			tbl.AddRow(c.capacity, total, missPct, c.resolved, c.stats.Evictions, c.liveLen)
+		}
+		tbl.AddNote("Zipf(s=%.1f) destination popularity, %d Poisson lookups/site at %.0f/s, LRU caches, TTL %ds",
+			ps.skew, ps.perSite, ps.rate, ps.ttl)
+		// Fit miss ~ capacity^b in log-log space (least squares) over the
+		// capacity-limited points: the Coras power law; b should be
+		// negative and roughly constant across the sweep's straight
+		// section. Rows without evictions sit on the compulsory floor.
+		if len(pts) >= 2 {
+			var sx, sy, sxx, sxy float64
+			for _, p := range pts {
+				x, y := math.Log(p.c), math.Log(p.m)
+				sx += x
+				sy += y
+				sxx += x * x
+				sxy += x * y
+			}
+			n := float64(len(pts))
+			b := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+			tbl.AddNote("fitted power law: miss rate ~ capacity^%.3f over the %d capacity-limited points", b, len(pts))
+		}
+		return tbl
+	})
+	return cells, merge
+}
+
+// E12ScaleSweep runs E12 serially and returns its table.
+func E12ScaleSweep(seed int64, quick bool) *metrics.Table {
+	cells, merge := e12Experiment(seed, quick)
+	return merge(runCells("E12", cells, runner.Serial))[0]
+}

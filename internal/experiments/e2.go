@@ -93,7 +93,7 @@ func e2RunCell(cp CP, policy lisp.MissPolicy, seed int64, domains int) e2Result 
 			})
 		})
 	}
-	w.Sim.RunFor(time.Duration(domains*3+30) * time.Second)
+	w.RunFor(time.Duration(domains*3+30) * time.Second)
 	return res
 }
 

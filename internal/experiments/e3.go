@@ -86,7 +86,7 @@ func e3RunCell(cp CP, seed int64, domains, flows int) e3Result {
 			})
 		})
 	}
-	w.Sim.RunFor(at + 60*time.Second)
+	w.RunFor(at + 60*time.Second)
 	return res
 }
 

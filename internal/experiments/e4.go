@@ -68,31 +68,45 @@ func e4RunCell(seed int64, remoteDomains int) *metrics.Table {
 	}
 	tracker.Start()
 
-	// Launch one bidirectional flow per remote domain.
+	// Launch one bidirectional flow per remote domain. Listeners are
+	// registered before the run (each node's state belongs to its own
+	// shard), and the remote's inbound pump is started by the remote shard
+	// itself when the first packet arrives — a shard-0 callback may not
+	// mutate remote-domain state mid-run.
 	for i := 0; i < remoteDomains; i++ {
 		i := i
+		src := d0.Hosts[i]
+		remote := w.In.Domains[i+1].Hosts[0]
+		src.Node.ListenUDP(7001, func(*simnet.Delivery, *packet.UDP) {})
+		remoteSim := remote.Node.Sim()
+		started := false
+		remote.Node.ListenUDP(7000, func(*simnet.Delivery, *packet.UDP) {
+			if started {
+				return
+			}
+			started = true
+			// The first packet established the reverse mapping at the
+			// remote ETRs; pump the inbound direction after the same
+			// settling delay as the outbound one.
+			remoteSim.ScheduleFunc(time.Second, func() {
+				workload.NewPump(remote.Node, remote.Addr, src.Addr, 7001, inboundRate, 1000).Start()
+			})
+		})
 		w.Sim.ScheduleFunc(time.Duration(i)*200*time.Millisecond, func() {
-			src := d0.Hosts[i]
-			remote := w.In.Domains[i+1].Hosts[0]
-			remote.Node.ListenUDP(7000, func(*simnet.Delivery, *packet.UDP) {})
-			src.Node.ListenUDP(7001, func(*simnet.Delivery, *packet.UDP) {})
 			src.DNS.Lookup(remote.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
 				if !ok {
 					return
 				}
-				// First packet establishes the reverse mapping at the
-				// remote ETRs, then both directions pump.
 				src.Node.SendUDP(src.Addr, addr, 40000, 7000, packet.Payload("hello"))
 				w.Sim.ScheduleFunc(time.Second, func() {
 					workload.NewPump(src.Node, src.Addr, addr, 7000, outboundRate, 1000).Start()
-					workload.NewPump(remote.Node, remote.Addr, src.Addr, 7001, inboundRate, 1000).Start()
 				})
 			})
 		})
 	}
 
 	// Phase 1: pinned, 20 seconds.
-	w.Sim.RunUntil(20 * time.Second)
+	w.RunUntil(20 * time.Second)
 	p1Eg := tracker.LastEgress()
 	p1In := tracker.LastIngress()
 	p1JainEg, p1JainIn := tracker.JainEgress(), tracker.JainIngress()
@@ -107,7 +121,7 @@ func e4RunCell(seed int64, remoteDomains int) *metrics.Table {
 	rb.Threshold = 0.35
 	rb.Interval = 2 * time.Second
 	rb.Start(w.Sim)
-	w.Sim.RunUntil(60 * time.Second)
+	w.RunUntil(60 * time.Second)
 	p2Eg := tracker.LastEgress()
 	p2In := tracker.LastIngress()
 	p2JainEg, p2JainIn := tracker.JainEgress(), tracker.JainIngress()

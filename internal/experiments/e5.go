@@ -73,7 +73,9 @@ func e5RunCell(cp CP, seed int64, domains int) e5Result {
 			}
 			s, d := s, d
 			flows++
-			w.Sim.ScheduleFunc(time.Duration(flows)*300*time.Millisecond, func() {
+			// The launch mutates the source host, so it is armed on the
+			// shard owning domain s (safe pre-run: the world is quiescent).
+			w.SimOf(s).ScheduleFunc(time.Duration(flows)*300*time.Millisecond, func() {
 				src := w.In.Domains[s].Hosts[0]
 				dst := w.In.Domains[d].Hosts[0]
 				src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
@@ -84,7 +86,7 @@ func e5RunCell(cp CP, seed int64, domains int) e5Result {
 			})
 		}
 	}
-	w.Sim.RunFor(time.Duration(flows)*300*time.Millisecond + 30*time.Second)
+	w.RunFor(time.Duration(flows)*300*time.Millisecond + 30*time.Second)
 	msgs, bytes := w.ControlTotals()
 	return e5Result{cp: cp, flows: flows, msgs: msgs - baseMsgs,
 		bytes: bytes - baseBytes, state: w.ITRStateEntries()}

@@ -100,13 +100,15 @@ func e6RunCell(cp CP, seed int64) e6Result {
 			}
 		}
 		// Two-way completion: every destination xTR has the reverse
-		// entry. Poll each reverse-install event.
+		// entry. Poll each reverse-install event. PCE 1 lives on domain
+		// 1's shard, so its callback reads that shard's clock.
+		sim1 := w.SimOf(1)
 		installed := map[string]bool{}
 		w.PCEs[1].OnEvent = func(ev core.Event) {
 			if ev.Kind == core.EvReversePushed || ev.Kind == core.EvReverseInstalled {
 				installed[ev.Node] = true
 				if len(installed) >= len(d1.XTRs) && twoWayReady == 0 {
-					twoWayReady = w.Sim.Now() - start
+					twoWayReady = sim1.Now() - start
 				}
 			}
 		}
@@ -123,7 +125,7 @@ func e6RunCell(cp CP, seed int64) e6Result {
 			src.Node.SendUDP(src.Addr, addr, 40000, 7000, packet.Payload("ping"))
 		}
 	})
-	w.Sim.RunFor(30 * time.Second)
+	w.RunFor(30 * time.Second)
 
 	if cp == CPMSMR {
 		// Pull CPs: two-way ready when both directions' mappings resolved

@@ -98,7 +98,7 @@ func e7RunCell(cp CP, seed int64, n, sampleFlows int) e7Result {
 			})
 		})
 	}
-	w.Sim.RunFor(time.Duration(sampleFlows)*2*time.Second + 30*time.Second)
+	w.RunFor(time.Duration(sampleFlows)*2*time.Second + 30*time.Second)
 
 	rootSize := 0
 	switch {

@@ -87,7 +87,7 @@ func e8aRunCell(seed int64) e8aResult {
 		w.Sim.ScheduleFunc(100*time.Microsecond, poll)
 	}
 	w.Sim.ScheduleFunc(0, poll)
-	w.Sim.RunFor(10 * time.Second)
+	w.RunFor(10 * time.Second)
 	if !done || installAt == 0 || synAtITR == 0 {
 		return e8aResult{}
 	}
@@ -162,7 +162,7 @@ func e8bRunCell(seed int64, label string, pceDomains []int) e8bResult {
 	w.Settle()
 	var res FlowResult
 	w.StartFlow(0, 0, 1, 0, func(r FlowResult) { res = r })
-	w.Sim.RunFor(30 * time.Second)
+	w.RunFor(30 * time.Second)
 	pushes := uint64(0)
 	if w.PCEs[0] != nil {
 		pushes = w.PCEs[0].Stats.MappingPushes
@@ -248,7 +248,7 @@ func e8cRunCell(cp CP, seed int64, burst int) e8cResult {
 			}
 		})
 	}
-	w.Sim.RunFor(30 * time.Second)
+	w.RunFor(30 * time.Second)
 	x := w.In.Domains[0].XTRs[0]
 	return e8cResult{cp: cp, queued: x.Stats.QueuedPackets,
 		timeout: x.Stats.QueueTimeouts, replay: x.Stats.Replayed}

@@ -273,7 +273,7 @@ func e9bRunCell(cp CP, seed int64, capacity int, ps e9bParams) e9bResult {
 	w.Sim.ScheduleFunc(0, step)
 	// The arrival chain is sequential; 2x the expected duration plus a
 	// drain window covers the Poisson tail.
-	w.Sim.RunFor(time.Duration(float64(ps.arrivals)/ps.rate)*2*time.Second + 30*time.Second)
+	w.RunFor(time.Duration(float64(ps.arrivals)/ps.rate)*2*time.Second + 30*time.Second)
 
 	x := w.In.Domains[0].XTRs[0]
 	return e9bResult{

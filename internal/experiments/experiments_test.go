@@ -266,7 +266,7 @@ func TestE8QueueMemoryShape(t *testing.T) {
 // TestRegistry sanity-checks the experiment index.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
+	if len(all) != 12 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	seen := map[string]bool{}

@@ -21,6 +21,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/core"
@@ -116,6 +117,28 @@ type WorldConfig struct {
 	// experiment E11 starts some scenarios from a deliberately skewed
 	// vector.
 	SiteWeights []uint8
+	// Shards partitions the world into lock-step simulation shards
+	// (0 = the package default set by SetWorldShards, itself defaulting
+	// to 1). Experiment output is byte-identical for every shard count.
+	Shards int
+}
+
+// worldShards is the package-wide default shard count applied when a
+// WorldConfig leaves Shards zero — how the -shards flag and the
+// determinism tests re-shard every experiment without threading a
+// parameter through each cell builder.
+var worldShards = 1
+
+// SetWorldShards sets the default shard count for subsequently built
+// worlds and returns the previous value. Not safe concurrently with
+// world construction; intended for test setup and cmd flag parsing.
+func SetWorldShards(n int) int {
+	prev := worldShards
+	if n < 1 {
+		n = 1
+	}
+	worldShards = n
+	return prev
 }
 
 func (c *WorldConfig) fill() {
@@ -134,12 +157,22 @@ func (c *WorldConfig) fill() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Shards == 0 {
+		c.Shards = worldShards
+	}
 }
 
 // World is a built harness world.
 type World struct {
 	Cfg WorldConfig
 	In  *topo.Internet
+	// Sharded coordinates the world's lock-step shards; all run control
+	// goes through the World wrappers (RunFor/RunUntil/Run/At) so a
+	// driver works unchanged at any shard count.
+	Sharded *simnet.ShardedSim
+	// Sim is shard 0 — where the core, the DNS/mapping infrastructure
+	// and domain 0 live. Drivers may schedule directly on it only for
+	// work that touches shard-0 state exclusively.
 	Sim *simnet.Sim
 
 	// PCEs holds one PCE per domain under CPPCE (nil entries where the
@@ -160,6 +193,10 @@ type World struct {
 	// failure experiments mutate their locator R bits through watches.
 	Sites []*mapsys.Site
 
+	// readyMu guards mappingReady/prefixReady: readiness is reported
+	// from whichever shard hosts the acting node, concurrently during an
+	// epoch.
+	readyMu sync.Mutex
 	// mappingReady records, per destination EID, when a usable mapping
 	// first became installable at a source ITR (resolver completion or
 	// PCE push).
@@ -169,29 +206,41 @@ type World struct {
 }
 
 // timingResolver wraps a baseline resolver to record completion times.
+// sim is the shard hosting the domain's xTRs — completion callbacks run
+// on its event loop, so its clock (not shard 0's) stamps readiness.
 type timingResolver struct {
 	inner lisp.Resolver
 	w     *World
+	sim   *simnet.Sim
 }
 
 // Resolve implements lisp.Resolver.
 func (t *timingResolver) Resolve(eid netaddr.Addr, done func(*lisp.MapEntry, bool)) {
 	t.inner.Resolve(eid, func(e *lisp.MapEntry, ok bool) {
 		if ok {
-			t.w.markReady(eid)
+			t.w.markReadyAt(eid, t.sim.Now())
 		}
 		done(e, ok)
 	})
 }
 
-func (w *World) markReady(eid netaddr.Addr) {
-	if _, seen := w.mappingReady[eid]; !seen {
-		w.mappingReady[eid] = w.Sim.Now()
+// markReadyAt records when eid's mapping first became usable. Keeping
+// the minimum reported time (not the first caller's) makes the record
+// independent of cross-shard callback interleaving: within one shard
+// time is monotone, so min-time equals first-write exactly as in a
+// single-Sim world.
+func (w *World) markReadyAt(eid netaddr.Addr, at simnet.Time) {
+	w.readyMu.Lock()
+	if prev, seen := w.mappingReady[eid]; !seen || at < prev {
+		w.mappingReady[eid] = at
 	}
+	w.readyMu.Unlock()
 }
 
 // MappingReadyAt returns when eid's mapping first became usable.
 func (w *World) MappingReadyAt(eid netaddr.Addr) (simnet.Time, bool) {
+	w.readyMu.Lock()
+	defer w.readyMu.Unlock()
 	if at, ok := w.mappingReady[eid]; ok {
 		return at, true
 	}
@@ -205,6 +254,7 @@ func BuildWorld(cfg WorldConfig) *World {
 	cfg.fill()
 	spec := topo.Spec{
 		Seed:         cfg.Seed,
+		Shards:       cfg.Shards,
 		CoreDelayMin: cfg.CoreDelayMin,
 		CoreDelayMax: cfg.CoreDelayMax,
 		DNSRecordTTL: cfg.DNSRecordTTL,
@@ -222,7 +272,7 @@ func BuildWorld(cfg WorldConfig) *World {
 	}
 	in := topo.Build(spec)
 	w := &World{
-		Cfg: cfg, In: in, Sim: in.Sim,
+		Cfg: cfg, In: in, Sharded: in.Sharded, Sim: in.Sim,
 		PCEs:         make([]*core.PCE, cfg.Domains),
 		Sites:        make([]*mapsys.Site, cfg.Domains),
 		mappingReady: make(map[netaddr.Addr]simnet.Time),
@@ -265,10 +315,14 @@ func BuildWorld(cfg WorldConfig) *World {
 			w.watchSite(w.NERD, d, site)
 			for _, x := range d.XTRs {
 				p := w.NERD.WireXTR(x)
+				xs := x.Node().Sim() // install callbacks run on the xTR's shard
 				p.OnInstall = func(prefix netaddr.Prefix) {
-					if _, _, seen := w.prefixReady.Lookup(prefix.Addr()); !seen {
-						w.prefixReady.Insert(prefix, w.Sim.Now())
+					at := xs.Now()
+					w.readyMu.Lock()
+					if prev, _, seen := w.prefixReady.Lookup(prefix.Addr()); !seen || at < prev {
+						w.prefixReady.Insert(prefix, at)
 					}
+					w.readyMu.Unlock()
 				}
 			}
 		}
@@ -307,7 +361,7 @@ func BuildWorld(cfg WorldConfig) *World {
 
 func (w *World) pceEvent(ev core.Event) {
 	if ev.Kind == core.EvFlowInstalled || ev.Kind == core.EvMappingPushed {
-		w.markReady(ev.DstEID)
+		w.markReadyAt(ev.DstEID, ev.At)
 	}
 }
 
@@ -369,7 +423,7 @@ func (w *World) attachBaseline(sys mapsys.System) {
 		if resolver == nil {
 			continue
 		}
-		timed := &timingResolver{inner: resolver, w: w}
+		timed := &timingResolver{inner: resolver, w: w, sim: d.XTRs[0].Node().Sim()}
 		for _, x := range d.XTRs {
 			x.SetResolver(timed)
 		}
@@ -387,7 +441,9 @@ func (w *World) watchSite(sys mapsys.System, d *topo.Domain, site *mapsys.Site) 
 	for i, p := range d.Providers {
 		ifaces[i] = p.EgressIface
 	}
-	mapsys.WatchSiteLocators(w.Sim, site, ifaces, func() { sys.RefreshSite(site) }).Start()
+	// The watch's timer must tick on the shard owning the watched ifaces
+	// and the site's border node, not necessarily shard 0.
+	mapsys.WatchSiteLocators(d.XTRs[0].Node().Sim(), site, ifaces, func() { sys.RefreshSite(site) }).Start()
 }
 
 // EnableProbing turns on RLOC probing at every xTR — the PCE control
@@ -474,7 +530,7 @@ func (w *World) preinstallAll() {
 			}
 		}
 		for _, h := range src.Hosts {
-			w.markReady(h.Addr) // ready at t=0 by construction
+			w.markReadyAt(h.Addr, 0) // ready at t=0 by construction
 		}
 	}
 }
@@ -516,7 +572,8 @@ func (f FlowResult) Ratio() float64 {
 func (w *World) StartFlow(srcD, srcH, dstD, dstH int, done func(FlowResult)) {
 	src := w.In.Domains[srcD].Hosts[srcH]
 	dst := w.In.Domains[dstD].Hosts[dstH]
-	start := w.Sim.Now()
+	srcSim := src.Node.Sim() // the flow's callbacks run on the source shard
+	start := srcSim.Now()
 	res := FlowResult{Src: src.Addr, Dst: dst.Addr, MappingReady: -1}
 	src.DNS.Lookup(dst.Name, func(addr netaddr.Addr, tdns simnet.Time, ok bool) {
 		res.TDNS = tdns
@@ -528,7 +585,7 @@ func (w *World) StartFlow(srcD, srcH, dstD, dstH int, done func(FlowResult)) {
 			res.OK = cr.OK
 			res.Handshake = cr.Elapsed
 			res.Retransmits = cr.Retransmits
-			res.Setup = w.Sim.Now() - start
+			res.Setup = srcSim.Now() - start
 			if at, ready := w.MappingReadyAt(dst.Addr); ready {
 				if at < start {
 					res.MappingReady = 0
@@ -543,7 +600,37 @@ func (w *World) StartFlow(srcD, srcH, dstD, dstH int, done func(FlowResult)) {
 
 // Settle runs the simulation long enough for registrations, announcements
 // and first NERD polls to complete.
-func (w *World) Settle() { w.Sim.RunFor(2 * time.Second) }
+func (w *World) Settle() { w.RunFor(2 * time.Second) }
+
+// Run-control wrappers: every driver advances the world through these so
+// the same code runs at any shard count. With one shard they are thin
+// passthroughs to the lone Sim.
+
+// Now returns the world's barrier clock.
+func (w *World) Now() simnet.Time { return w.Sharded.Now() }
+
+// RunFor advances the world a span of virtual time.
+func (w *World) RunFor(d simnet.Time) { w.Sharded.RunFor(d) }
+
+// RunUntil advances the world to an absolute virtual time.
+func (w *World) RunUntil(t simnet.Time) { w.Sharded.RunUntil(t) }
+
+// Run advances the world until every shard's event queue drains.
+func (w *World) Run() { w.Sharded.Run() }
+
+// At registers a global barrier callback: fn runs once every shard has
+// processed every event with timestamp <= t, making cross-shard state
+// (counters, control totals) coherent to read. This is the sharded
+// equivalent of "take a snapshot at time t" — and, unlike Sim.AtFunc,
+// fn runs after same-instant events regardless of shard count.
+func (w *World) At(t simnet.Time, fn func()) { w.Sharded.At(t, fn) }
+
+// After registers a barrier callback a duration from the barrier clock.
+func (w *World) After(d simnet.Time, fn func()) { w.Sharded.After(d, fn) }
+
+// SimOf returns the Sim hosting domain d — where driver work touching
+// only that domain's state must be scheduled.
+func (w *World) SimOf(d int) *simnet.Sim { return w.In.Domains[d].Router.Sim() }
 
 // ControlTotals reports inter-CP control traffic (messages, bytes) for
 // whichever system is deployed; PCE counts its PCECP traffic.

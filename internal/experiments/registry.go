@@ -224,6 +224,14 @@ func All() []Experiment {
 				return e11Experiment(seed, quick)
 			},
 		},
+		{
+			ID:    "E12",
+			Title: "Miss rate vs cache capacity at internet scale",
+			Claim: "Coras et al. power law reproduced on a sharded 100k-prefix/1M-EID world",
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
+				return e12Experiment(seed, quick)
+			},
+		},
 	}
 }
 

@@ -194,14 +194,15 @@ const wheelGranularity = simnet.Time(time.Second)
 type MapCache struct {
 	sim      *simnet.Sim
 	trie     *netaddr.Trie[*MapEntry]
-	entries  map[netaddr.Prefix]*MapEntry
 	capacity int
 	policy   EvictionPolicy
 	wheel    *TimingWheel[netaddr.Prefix]
 	// negatives indexes the live negative keys so a positive insert can
 	// purge the covered ones: a stale negative /32 would otherwise
-	// shadow the new mapping via longest-prefix match.
-	negatives map[netaddr.Prefix]struct{}
+	// shadow the new mapping via longest-prefix match. A trie rather
+	// than a map, so the purge scan visits keys in address order — the
+	// cache's observable behavior stays deterministic by construction.
+	negatives *netaddr.Trie[struct{}]
 
 	// Stats counts cache activity for the experiments.
 	Stats MapCacheStats
@@ -221,10 +222,9 @@ func NewMapCacheWithPolicy(sim *simnet.Sim, capacity int, policy EvictionPolicy)
 	c := &MapCache{
 		sim:       sim,
 		trie:      netaddr.NewTrie[*MapEntry](),
-		entries:   make(map[netaddr.Prefix]*MapEntry),
 		capacity:  capacity,
 		policy:    policy,
-		negatives: make(map[netaddr.Prefix]struct{}),
+		negatives: netaddr.NewTrie[struct{}](),
 	}
 	c.wheel = NewTimingWheel[netaddr.Prefix](sim, wheelGranularity, c.retireExpired)
 	return c
@@ -268,32 +268,34 @@ func (c *MapCache) InsertNegative(eid netaddr.Addr, ttl uint32) *MapEntry {
 // insertEntry places e under key prefix, handling capacity eviction and
 // wheel registration.
 func (c *MapCache) insertEntry(prefix netaddr.Prefix, e *MapEntry) {
-	if _, exists := c.entries[prefix]; exists {
+	if _, exists := c.trie.Get(prefix); exists {
 		c.policy.Touch(prefix)
 	} else {
-		if c.capacity > 0 && len(c.entries) >= c.capacity {
+		if c.capacity > 0 && c.trie.Len() >= c.capacity {
 			if victim, ok := c.policy.Victim(); ok {
-				delete(c.entries, victim)
-				delete(c.negatives, victim)
 				c.trie.Delete(victim)
+				c.negatives.Delete(victim)
 				c.Stats.Evictions++
 			}
 		}
 		c.policy.Admit(prefix)
 	}
-	c.entries[prefix] = e
 	c.trie.Insert(prefix, e)
 	if e.Negative {
-		c.negatives[prefix] = struct{}{}
-	} else {
-		delete(c.negatives, prefix)
+		c.negatives.Insert(prefix, struct{}{})
+	} else if c.negatives.Delete(prefix); c.negatives.Len() > 0 {
 		// A fresh positive mapping overrides any negative host entries it
 		// covers; left in place they would shadow it via longest-prefix
 		// match for the rest of their TTL.
-		for np := range c.negatives {
+		var covered []netaddr.Prefix
+		c.negatives.Walk(func(np netaddr.Prefix, _ struct{}) bool {
 			if np != prefix && prefix.Contains(np.Addr()) {
-				c.removeKey(np)
+				covered = append(covered, np)
 			}
+			return true
+		})
+		for _, np := range covered {
+			c.removeKey(np)
 		}
 	}
 	if e.Expires != 0 {
@@ -307,7 +309,7 @@ func (c *MapCache) insertEntry(prefix netaddr.Prefix, e *MapEntry) {
 func (c *MapCache) retireExpired(keys []netaddr.Prefix) {
 	now := c.sim.Now()
 	for _, p := range keys {
-		e, ok := c.entries[p]
+		e, ok := c.trie.Get(p)
 		if !ok || !e.Expired(now) {
 			continue
 		}
@@ -319,15 +321,14 @@ func (c *MapCache) retireExpired(keys []netaddr.Prefix) {
 
 // removeKey drops the exact key from storage and policy tracking.
 func (c *MapCache) removeKey(p netaddr.Prefix) {
-	delete(c.entries, p)
-	delete(c.negatives, p)
 	c.trie.Delete(p)
+	c.negatives.Delete(p)
 	c.policy.Remove(p)
 }
 
 // Delete removes the exact prefix.
 func (c *MapCache) Delete(prefix netaddr.Prefix) bool {
-	if _, ok := c.entries[prefix]; !ok {
+	if _, ok := c.trie.Get(prefix); !ok {
 		return false
 	}
 	c.removeKey(prefix)
@@ -385,7 +386,7 @@ func (c *MapCache) Walk(fn func(netaddr.Prefix, *MapEntry) bool) {
 // mid-flow updates take effect on the next packet. It reports whether
 // the prefix was present (negative entries are left alone).
 func (c *MapCache) UpdateLocators(prefix netaddr.Prefix, locs []packet.LISPLocator) bool {
-	e, ok := c.entries[prefix]
+	e, ok := c.trie.Get(prefix)
 	if !ok || e.Negative {
 		return false
 	}
@@ -395,14 +396,16 @@ func (c *MapCache) UpdateLocators(prefix netaddr.Prefix, locs []packet.LISPLocat
 
 // SetLocatorReachable flips the R bit of the given RLOC in every cached
 // entry that lists it — how probe-driven liveness reaches the data
-// plane. It returns the number of entries changed.
+// plane. It returns the number of entries changed. The trie walk visits
+// entries in address order, keeping the flip sequence deterministic.
 func (c *MapCache) SetLocatorReachable(addr netaddr.Addr, up bool) int {
 	changed := 0
-	for _, e := range c.entries {
+	c.trie.Walk(func(_ netaddr.Prefix, e *MapEntry) bool {
 		if e.SetLocatorReachable(addr, up) {
 			changed++
 		}
-	}
+		return true
+	})
 	return changed
 }
 

@@ -75,6 +75,14 @@ func resolveOnce(w *msWorld, r lisp.Resolver, eid netaddr.Addr) (*lisp.MapEntry,
 	return entry, ok, at - start
 }
 
+
+// aboutEq tolerates the distinct per-hop overlay delay offsets (a few
+// hundred ns per hop) on top of the nominal path-delay sum.
+func aboutEq(elapsed, want simnet.Time) bool {
+	d := elapsed - want
+	return d >= 0 && d < 100*time.Microsecond
+}
+
 func TestMSMRResolution(t *testing.T) {
 	w := newMSWorld(t, 3)
 	msNode, msAddr := w.addInfraNode("ms", 1, 12*time.Millisecond)
@@ -207,7 +215,7 @@ func TestALTResolution(t *testing.T) {
 	if !ok || entry.Locators[0].Addr != w.sites[1].Addr {
 		t.Fatalf("ALT resolution = %+v ok=%v", entry, ok)
 	}
-	if want := 90 * time.Millisecond; elapsed != want {
+	if want := 90 * time.Millisecond; !aboutEq(elapsed, want) {
 		t.Fatalf("T_map = %v, want %v", elapsed, want)
 	}
 	// Site 0 resolves site 2 (leaf 2, other half of the tree): the
@@ -216,7 +224,7 @@ func TestALTResolution(t *testing.T) {
 	if !ok {
 		t.Fatal("cross-subtree resolution failed")
 	}
-	if want := 130 * time.Millisecond; elapsed != want {
+	if want := 130 * time.Millisecond; !aboutEq(elapsed, want) {
 		t.Fatalf("cross-subtree T_map = %v, want %v", elapsed, want)
 	}
 }
@@ -256,7 +264,7 @@ func TestCONSResolutionAndCaching(t *testing.T) {
 	if !ok || entry.Locators[0].Addr != w.sites[1].Addr {
 		t.Fatalf("CONS resolution = %+v ok=%v", entry, ok)
 	}
-	if want := 100 * time.Millisecond; elapsed != want {
+	if want := 100 * time.Millisecond; !aboutEq(elapsed, want) {
 		t.Fatalf("cold T_map = %v, want %v", elapsed, want)
 	}
 	if cons.Stats.AuthoritativeAnswers != 1 {
@@ -279,7 +287,7 @@ func TestCONSResolutionAndCaching(t *testing.T) {
 	if !ok {
 		t.Fatal("third resolution failed")
 	}
-	if want := 20 * time.Millisecond; elapsed != want {
+	if want := 20 * time.Millisecond; !aboutEq(elapsed, want) {
 		t.Fatalf("cached T_map = %v, want %v", elapsed, want)
 	}
 }

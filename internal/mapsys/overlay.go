@@ -2,6 +2,7 @@ package mapsys
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
@@ -68,7 +69,20 @@ type overlayTree struct {
 	leaves   []*overlayRouter
 	routers  []*overlayRouter
 	nextLeaf int
+	attached int
 }
+
+// Overlay hops and site tunnels each get a distinct sub-microsecond
+// delay offset on top of the configured delay. Perfectly round hop
+// delays make overlay round-trips land exactly on ITR retry-timer
+// instants, and two events at one instant have no defined order across
+// the sharded engine's partitions — physically distinct propagation
+// delays keep every arrival off every timer, so the same schedule plays
+// out at any shard count (cf. the jittered core-link delays in topo).
+const (
+	overlayHopJitter    = 271 * time.Nanosecond
+	overlayTunnelJitter = 313 * time.Nanosecond
+)
 
 // buildOverlayTree constructs the tree with links and underlay routes:
 // each router has host routes to its direct neighbours and a default
@@ -96,7 +110,8 @@ func buildOverlayTree(sim *simnet.Sim, namePrefix string, cfg OverlayConfig) *ov
 		t.routers = append(t.routers, r)
 		if parent != nil {
 			r.parent = parent
-			l := simnet.Connect(r.node, parent.node, simnet.LinkConfig{Delay: cfg.LinkDelay})
+			delay := cfg.LinkDelay + simnet.Time(len(t.routers))*overlayHopJitter
+			l := simnet.Connect(r.node, parent.node, simnet.LinkConfig{Delay: delay})
 			r.node.SetDefaultRoute(l.A())
 			parent.node.AddRoute(netaddr.HostPrefix(r.addr), l.B())
 			// The parent reaches deeper descendants hop-by-hop only: every
@@ -137,7 +152,9 @@ func (t *overlayTree) leafForNextSite() *overlayRouter {
 // gains one back.
 func (t *overlayTree) attachSite(site *Site) *overlayRouter {
 	leaf := t.leafForNextSite()
-	l := simnet.Connect(site.Node, leaf.node, simnet.LinkConfig{Delay: t.cfg.TunnelDelay})
+	delay := t.cfg.TunnelDelay + simnet.Time(t.attached)*overlayTunnelJitter
+	t.attached++
+	l := simnet.Connect(site.Node, leaf.node, simnet.LinkConfig{Delay: delay})
 	site.Node.AddRoute(netaddr.HostPrefix(leaf.addr), l.A())
 	leaf.node.AddRoute(netaddr.HostPrefix(site.Addr), l.B())
 	return leaf

@@ -229,6 +229,122 @@ func TestTrieInsertDeleteQuick(t *testing.T) {
 	}
 }
 
+// sliceRef is the naive reference the fuzzer compares the trie against:
+// a slice of route entries kept sorted by (address, bits), linear-scanned
+// for longest-prefix match. Every operation is obviously correct, and the
+// sorted order doubles as the expected Walk order.
+type sliceRef struct {
+	ps []Prefix
+	vs []int
+}
+
+func (r *sliceRef) find(p Prefix) (int, bool) {
+	lo, hi := 0, len(r.ps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		q := r.ps[mid]
+		if q.Addr() < p.Addr() || (q.Addr() == p.Addr() && q.Bits() < p.Bits()) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(r.ps) && r.ps[lo] == p
+}
+
+func (r *sliceRef) insert(p Prefix, v int) bool {
+	i, found := r.find(p)
+	if found {
+		r.vs[i] = v
+		return false
+	}
+	r.ps = append(r.ps, Prefix{})
+	copy(r.ps[i+1:], r.ps[i:])
+	r.ps[i] = p
+	r.vs = append(r.vs, 0)
+	copy(r.vs[i+1:], r.vs[i:])
+	r.vs[i] = v
+	return true
+}
+
+func (r *sliceRef) delete(p Prefix) bool {
+	i, found := r.find(p)
+	if !found {
+		return false
+	}
+	r.ps = append(r.ps[:i], r.ps[i+1:]...)
+	r.vs = append(r.vs[:i], r.vs[i+1:]...)
+	return true
+}
+
+func (r *sliceRef) lookup(a Addr) (int, int, bool) {
+	best, bestBits, ok := 0, -1, false
+	for i, p := range r.ps {
+		if p.Contains(a) && p.Bits() > bestBits {
+			best, bestBits, ok = r.vs[i], p.Bits(), true
+		}
+	}
+	return best, bestBits, ok
+}
+
+// FuzzTrieVsSliceRef drives the trie and the sorted-slice reference with
+// the same operation stream decoded from the fuzz input: 6 bytes per op
+// (opcode+bits, 4 address bytes, value). Inserts, deletes, exact gets,
+// longest-prefix lookups and full walks must all agree at every step.
+func FuzzTrieVsSliceRef(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 0, 0, 1})
+	f.Add([]byte{0, 32, 192, 0, 2, 9, 1, 32, 192, 0, 2, 0, 2, 0, 192, 0, 2, 1})
+	f.Add([]byte{0, 8, 10, 0, 0, 1, 0, 16, 10, 1, 0, 2, 2, 0, 10, 1, 2, 3, 1, 16, 10, 1, 0, 0, 2, 0, 10, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewTrie[int]()
+		ref := &sliceRef{}
+		for len(data) >= 6 {
+			op, bits := data[0]&3, int(data[0]>>2)%33
+			a := Addr(data[1])<<24 | Addr(data[2])<<16 | Addr(data[3])<<8 | Addr(data[4])
+			v := int(data[5])
+			p := PrefixFrom(a, bits)
+			data = data[6:]
+			switch op {
+			case 0:
+				if got, want := tr.Insert(p, v), ref.insert(p, v); got != want {
+					t.Fatalf("Insert(%v) added=%v, want %v", p, got, want)
+				}
+			case 1:
+				if got, want := tr.Delete(p), ref.delete(p); got != want {
+					t.Fatalf("Delete(%v) = %v, want %v", p, got, want)
+				}
+			case 2:
+				wantV, wantBits, wantOK := ref.lookup(a)
+				gotV, gotP, gotOK := tr.Lookup(a)
+				if gotOK != wantOK || (wantOK && (gotV != wantV || gotP.Bits() != wantBits)) {
+					t.Fatalf("Lookup(%v) = %d/%d ok=%v, want %d/%d ok=%v",
+						a, gotV, gotP.Bits(), gotOK, wantV, wantBits, wantOK)
+				}
+			case 3:
+				i, found := ref.find(p)
+				gotV, gotOK := tr.Get(p)
+				if gotOK != found || (found && gotV != ref.vs[i]) {
+					t.Fatalf("Get(%v) = %d ok=%v, want ok=%v", p, gotV, gotOK, found)
+				}
+			}
+		}
+		if tr.Len() != len(ref.ps) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(ref.ps))
+		}
+		i := 0
+		tr.Walk(func(p Prefix, v int) bool {
+			if i >= len(ref.ps) || p != ref.ps[i] || v != ref.vs[i] {
+				t.Fatalf("walk position %d = %v/%d, want %v/%d", i, p, v, ref.ps[i], ref.vs[i])
+			}
+			i++
+			return true
+		})
+		if i != len(ref.ps) {
+			t.Fatalf("walk visited %d of %d", i, len(ref.ps))
+		}
+	})
+}
+
 func BenchmarkTrieLookup(b *testing.B) {
 	tr := NewTrie[int]()
 	rng := rand.New(rand.NewSource(7))
@@ -243,5 +359,25 @@ func BenchmarkTrieLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Lookup(addrs[i&1023])
+	}
+}
+
+// BenchmarkTrieLookup1M is the internet-scale variant backing the E12
+// world: longest-prefix matches against a database of one million
+// disjoint /28s (the E12 EID layout), probed uniformly.
+func BenchmarkTrieLookup1M(b *testing.B) {
+	tr := NewTrie[int]()
+	for i := 0; i < 1_000_000; i++ {
+		tr.Insert(PrefixFrom(Addr(uint32(40)<<24+uint32(i)*16), 28), i)
+	}
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]Addr, 4096)
+	for i := range addrs {
+		addrs[i] = Addr(uint32(40)<<24 + rng.Uint32()%16_000_000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i&4095])
 	}
 }

@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a persistent set of worker goroutines for small, frequent
+// fan-outs — the per-epoch shard dispatch of a sharded simulation. Unlike
+// Run (which spins a fresh pool per call, fine for long-lived cells), a
+// Pool amortizes goroutine startup across the thousands of lock-step
+// epochs a single simulated world executes.
+//
+// Jobs submitted through Do never block on other jobs, so multiple
+// callers (cells running in parallel, each dispatching its own shards)
+// can share one Pool without deadlock: the work simply queues.
+type Pool struct {
+	jobs chan poolJob
+}
+
+type poolJob struct {
+	fn   func()
+	done *poolBatch
+}
+
+// poolBatch tracks one Do call: outstanding jobs plus the first panic.
+type poolBatch struct {
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	panic interface{}
+}
+
+// NewPool starts a pool of n worker goroutines (n <= 0 means
+// GOMAXPROCS). The workers live until Close; pools meant to outlive a
+// single world should be shared (see Shards).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{jobs: make(chan poolJob)}
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range p.jobs {
+				runPoolJob(j)
+			}
+		}()
+	}
+	return p
+}
+
+// runPoolJob executes one job, capturing a panic into the batch so a
+// crashing shard cannot kill a shared worker; Do re-raises it on the
+// submitting goroutine.
+func runPoolJob(j poolJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.done.mu.Lock()
+			if j.done.panic == nil {
+				j.done.panic = r
+			}
+			j.done.mu.Unlock()
+		}
+		j.done.wg.Done()
+	}()
+	j.fn()
+}
+
+// Do runs every fn on the pool and waits for all of them. If any fn
+// panicked, Do re-panics with the first recovered value after the whole
+// batch has finished.
+func (p *Pool) Do(fns []func()) {
+	b := &poolBatch{}
+	b.wg.Add(len(fns))
+	for _, fn := range fns {
+		p.jobs <- poolJob{fn: fn, done: b}
+	}
+	b.wg.Wait()
+	if b.panic != nil {
+		panic(b.panic)
+	}
+}
+
+// Close terminates the pool's workers once queued jobs drain.
+func (p *Pool) Close() { close(p.jobs) }
+
+var (
+	shardPoolOnce sync.Once
+	shardPool     *Pool
+)
+
+// Shards returns the process-wide pool used to dispatch simulation
+// shards. It is sized to GOMAXPROCS and never closed: worlds come and go
+// per experiment cell, and a per-world pool would leak its goroutines
+// (nothing closes a world). Cell-level parallelism composes with it —
+// shard jobs never submit further shard jobs, so sharing cannot
+// deadlock, it only queues.
+func Shards() *Pool {
+	shardPoolOnce.Do(func() { shardPool = NewPool(0) })
+	return shardPool
+}

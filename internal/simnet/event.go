@@ -127,7 +127,10 @@ func (s *Sim) drainArrivals(in *Iface) {
 			}
 			continue
 		}
-		c := &s.dirs[in.peer.dirIdx].counters
+		// rxDirIdx is peer.dirIdx for an intra-sim link and a local mirror
+		// direction for a cut link (the peer's arena belongs to another
+		// shard; writing into it here would race).
+		c := &s.dirs[in.rxDirIdx].counters
 		c.DeliveredPackets++
 		c.DeliveredBytes += uint64(len(data))
 		in.node.receive(data, in)

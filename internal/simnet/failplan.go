@@ -123,39 +123,91 @@ func (p *FailurePlan) SetLoss(at Time, l *Link, loss float64) *FailurePlan {
 	return p.Add(FailureEvent{At: at, Op: OpSetLoss, Link: l, Loss: loss})
 }
 
-// Schedule arms one typed timer per event. Calling it twice panics: a
-// plan is a one-shot script.
+// Event sides, carried in TimerArg.Kind: in a sharded world a link op
+// whose endpoints live in different shards is armed as two timers, one
+// per side, each mutating only its own shard's state.
+const (
+	failSideBoth int32 = iota
+	failSideA
+	failSideB
+)
+
+// Schedule arms one typed timer per event — on the Sim that owns the
+// event's target, which may not be the Sim the plan was built with: in a
+// sharded world each shard may only mutate its own state, and a timer
+// armed on the wrong shard would race. A link op spanning two shards
+// (a cut link) is split into one per-side timer. Calling Schedule twice
+// panics: a plan is a one-shot script.
 func (p *FailurePlan) Schedule() {
 	if p.scheduled {
 		panic("simnet: FailurePlan scheduled twice")
 	}
 	p.scheduled = true
 	for i := range p.events {
-		p.sim.TimerAt(p.events[i].At, p, TimerArg{N: int64(i)})
+		ev := &p.events[i]
+		switch ev.Op {
+		case OpIfaceDown, OpIfaceUp:
+			ev.Iface.node.sim.TimerAt(ev.At, p, TimerArg{N: int64(i), Kind: failSideBoth})
+		case OpNodeFail, OpNodeRecover:
+			ev.Node.sim.TimerAt(ev.At, p, TimerArg{N: int64(i), Kind: failSideBoth})
+		default: // link ops
+			sa, sb := ev.Link.a.node.sim, ev.Link.b.node.sim
+			if sa == sb {
+				sa.TimerAt(ev.At, p, TimerArg{N: int64(i), Kind: failSideBoth})
+			} else {
+				sa.TimerAt(ev.At, p, TimerArg{N: int64(i), Kind: failSideA})
+				sb.TimerAt(ev.At, p, TimerArg{N: int64(i), Kind: failSideB})
+			}
+		}
 	}
 }
 
 // Events returns the scripted events in insertion order.
 func (p *FailurePlan) Events() []FailureEvent { return p.events }
 
-// OnTimer implements TimerHandler: execute the event indexed by arg.N.
+// OnTimer implements TimerHandler: execute the event indexed by arg.N,
+// restricted to the side named by arg.Kind for a split link op. Fired
+// counts each scripted event once (the B side of a split rides along).
 func (p *FailurePlan) OnTimer(arg TimerArg) {
 	ev := &p.events[arg.N]
-	p.Fired++
+	if arg.Kind != failSideB {
+		p.Fired++
+	}
 	switch ev.Op {
 	case OpIfaceDown:
 		ev.Iface.SetUp(false)
 	case OpIfaceUp:
 		ev.Iface.SetUp(true)
 	case OpLinkDown:
-		ev.Link.SetDown()
+		switch arg.Kind {
+		case failSideA:
+			ev.Link.a.SetUp(false)
+		case failSideB:
+			ev.Link.b.SetUp(false)
+		default:
+			ev.Link.SetDown()
+		}
 	case OpLinkUp:
-		ev.Link.SetUp()
+		switch arg.Kind {
+		case failSideA:
+			ev.Link.a.SetUp(true)
+		case failSideB:
+			ev.Link.b.SetUp(true)
+		default:
+			ev.Link.SetUp()
+		}
 	case OpNodeFail:
 		ev.Node.Fail()
 	case OpNodeRecover:
 		ev.Node.Recover()
 	case OpSetLoss:
-		ev.Link.SetLoss(ev.Loss)
+		switch arg.Kind {
+		case failSideA:
+			ev.Link.a.dir().cfg.Loss = ev.Loss
+		case failSideB:
+			ev.Link.b.dir().cfg.Loss = ev.Loss
+		default:
+			ev.Link.SetLoss(ev.Loss)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
@@ -55,8 +56,19 @@ type Iface struct {
 	// the arena grows on Connect, so the slot is always accessed by index,
 	// never through a stored pointer.
 	dirIdx int32
-	idx    uint16 // position in node.ifaces, for compact arrival events
-	down   bool   // administratively down: neither transmits nor receives
+	// rxDirIdx locates, in the *owning node's* Sim arena, the direction
+	// that books goodput when a frame is delivered to this iface. For an
+	// intra-sim link it is simply peer.dirIdx (the transmitting
+	// direction); for a cut link the peer's counters live in another
+	// shard's arena, so delivery books into a local mirror direction and
+	// Counters() on the transmit side merges it back at quiescence.
+	rxDirIdx int32
+	// foreign marks an iface whose peer lives in another shard's Sim:
+	// transmitted frames are staged into the epoch exchange buffer
+	// instead of being scheduled directly.
+	foreign bool
+	idx     uint16 // position in node.ifaces, for compact arrival events
+	down    bool   // administratively down: neither transmits nor receives
 
 	// Pending arrival batch: frames in flight toward this iface, sorted by
 	// arrival time (FIFO within a time). One drain event in the scheduler
@@ -123,8 +135,22 @@ func (i *Iface) Config() LinkConfig { return i.dir().cfg }
 // failure-injection tests to degrade a live link).
 func (i *Iface) SetConfig(cfg LinkConfig) { i.dir().cfg = cfg }
 
-// Counters returns a snapshot of the transmit-direction counters.
-func (i *Iface) Counters() LinkCounters { return i.dir().counters }
+// Counters returns a snapshot of the transmit-direction counters. On a
+// cut link (the peer lives in another shard) delivered goodput is booked
+// by the receiving shard into a local mirror direction; the snapshot
+// merges it back in. The merge reads the peer shard's arena, so on a cut
+// link it is only coherent at quiescence — between epochs, after a run
+// returns, or inside a barrier callback — which is when experiments read
+// counters.
+func (i *Iface) Counters() LinkCounters {
+	c := i.dir().counters
+	if i.foreign {
+		m := &i.peer.node.sim.dirs[i.peer.rxDirIdx].counters
+		c.DeliveredPackets += m.DeliveredPackets
+		c.DeliveredBytes += m.DeliveredBytes
+	}
+	return c
+}
 
 // QueueDepth returns the current transmit backlog in bytes.
 func (i *Iface) QueueDepth() int {
@@ -141,6 +167,12 @@ type linkDir struct {
 	cfg       LinkConfig
 	busyUntil Time
 	counters  LinkCounters
+	// rng drives this direction's loss draws. It is created lazily on the
+	// first draw (a rand.Rand is ~5KB — eager allocation would dominate
+	// memory at 100k-domain scale) and seeded from the world seed and the
+	// iface name, never from the shard-local rng: loss sequences must not
+	// depend on how domains were partitioned across shards.
+	rng *rand.Rand
 }
 
 // Link is a full-duplex point-to-point link.
@@ -181,9 +213,15 @@ func Connect(a, b *Node, cfg LinkConfig) *Link {
 
 // ConnectAsym creates a link with per-direction configurations: ab applies
 // to traffic from a to b.
+//
+// The two nodes may live in different shards of the same ShardedSim —
+// that makes this a cut link: frames stage into the coordinator's
+// per-epoch exchange buffer instead of being scheduled directly, and the
+// link's Delay (both directions) participates in the epoch-length bound.
+// Connecting nodes of unrelated Sims is still an error.
 func ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
 	if a.sim != b.sim {
-		panic("simnet: Connect across simulations")
+		return connectCut(a, b, ab, ba)
 	}
 	sim := a.sim
 	dirIdx := int32(len(sim.dirs))
@@ -191,8 +229,38 @@ func ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
 	ia := &Iface{node: a, dirIdx: dirIdx, name: a.name + ":" + b.name, idx: uint16(len(a.ifaces))}
 	ib := &Iface{node: b, dirIdx: dirIdx + 1, name: b.name + ":" + a.name, idx: uint16(len(b.ifaces))}
 	ia.peer, ib.peer = ib, ia
+	ia.rxDirIdx = ib.dirIdx
+	ib.rxDirIdx = ia.dirIdx
 	a.ifaces = append(a.ifaces, ia)
 	b.ifaces = append(b.ifaces, ib)
+	return &Link{a: ia, b: ib}
+}
+
+// connectCut wires a link whose endpoints live in different shards of one
+// ShardedSim. Each side's transmit direction lives in its own shard's
+// arena; additionally each side gets a local *mirror* direction where
+// deliveries to it are booked (the transmitting direction's counters are
+// not addressable from the receiving shard without racing), merged back
+// by Counters() on the transmit side.
+func connectCut(a, b *Node, ab, ba LinkConfig) *Link {
+	sa, sb := a.sim, b.sim
+	if sa.shard == nil || sa.shard != sb.shard {
+		panic("simnet: Connect across unrelated simulations")
+	}
+	ia := &Iface{node: a, name: a.name + ":" + b.name, idx: uint16(len(a.ifaces)), foreign: true}
+	ib := &Iface{node: b, name: b.name + ":" + a.name, idx: uint16(len(b.ifaces)), foreign: true}
+	// a's arena: [tx a->b, mirror of b->a deliveries].
+	ia.dirIdx = int32(len(sa.dirs))
+	ia.rxDirIdx = ia.dirIdx + 1
+	sa.dirs = append(sa.dirs, linkDir{cfg: ab}, linkDir{})
+	// b's arena: [tx b->a, mirror of a->b deliveries].
+	ib.dirIdx = int32(len(sb.dirs))
+	ib.rxDirIdx = ib.dirIdx + 1
+	sb.dirs = append(sb.dirs, linkDir{cfg: ba}, linkDir{})
+	ia.peer, ib.peer = ib, ia
+	a.ifaces = append(a.ifaces, ia)
+	b.ifaces = append(b.ifaces, ib)
+	sa.shard.registerCut(ia, ib)
 	return &Link{a: ia, b: ib}
 }
 
@@ -236,13 +304,35 @@ func (i *Iface) transmit(data []byte) {
 	d.counters.TxPackets++
 	d.counters.TxBytes += uint64(len(data))
 
-	if d.cfg.Loss > 0 && sim.Rand().Float64() < d.cfg.Loss {
-		d.counters.RandomLoss++
-		if sim.Trace != nil {
-			sim.trace(TraceDrop, i.node.name, fmt.Sprintf("random loss on %s", i.name), data)
+	if d.cfg.Loss > 0 {
+		if d.rng == nil {
+			d.rng = rand.New(rand.NewSource(lossSeed(sim.worldSeed, i.name)))
 		}
-		return
+		if d.rng.Float64() < d.cfg.Loss {
+			d.counters.RandomLoss++
+			if sim.Trace != nil {
+				sim.trace(TraceDrop, i.node.name, fmt.Sprintf("random loss on %s", i.name), data)
+			}
+			return
+		}
 	}
 	arrival := d.busyUntil + d.cfg.Delay
+	if i.foreign {
+		sim.stageFrame(arrival, i.peer, data)
+		return
+	}
 	sim.scheduleArrival(arrival, i.peer, data)
+}
+
+// lossSeed derives a per-direction loss-RNG seed from the world seed and
+// the direction's stable name (FNV-1a over the name, mixed with the
+// seed). Identical for any shard count by construction.
+func lossSeed(worldSeed int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(worldSeed) * 0x9e3779b97f4a7c15
+	return int64(h)
 }

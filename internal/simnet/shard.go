@@ -1,0 +1,348 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pcelisp/pcelisp/internal/runner"
+)
+
+// maxTime is the run-forever sentinel shared by Sim.Run and the shard
+// coordinator.
+const maxTime = Time(1<<62 - 1)
+
+// stagedFrame is one frame transmitted on a cut link, parked in its
+// source shard's exchange buffer until the epoch barrier. The exchange
+// sort key (send time, source shard, per-shard sequence) is stable and
+// partition-independent, which is what keeps any shard count — including
+// one — byte-identical: frames from a single transmit direction are
+// already ordered by send time, and cross-direction ties break by a key
+// that does not depend on goroutine interleaving.
+type stagedFrame struct {
+	send    Time
+	arrival Time
+	src     int // source shard index
+	seq     uint64
+	to      *Iface
+	data    []byte
+}
+
+// stageFrame parks a frame transmitted on a cut link for injection into
+// the target shard at the next epoch barrier.
+func (s *Sim) stageFrame(arrival Time, to *Iface, data []byte) {
+	s.stageSeq++
+	s.staged = append(s.staged, stagedFrame{
+		send: s.now, arrival: arrival, src: s.shardIdx, seq: s.stageSeq, to: to, data: data,
+	})
+}
+
+// shardCB is one global barrier callback: fn runs once every shard has
+// processed every event with timestamp <= at. Same-time callbacks fire
+// in registration order.
+type shardCB struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// ShardedSim coordinates N Sim instances that together form one logical
+// world, advancing them in conservative lock-step epochs.
+//
+// The epoch length is bounded by the lookahead L: the minimum one-way
+// Delay over every cut-link direction (links created by Connect between
+// nodes of different shards). An epoch (a, b] with b-a <= L is safe to
+// run without mid-epoch communication: a frame sent on a cut link at
+// time s in (a, b] arrives no earlier than s+L > b, strictly after the
+// barrier, so staging it until the barrier delays nothing observable.
+// Injection re-checks this bound per frame, so lowering a cut link's
+// Delay below L mid-run panics instead of silently corrupting the
+// determinism contract.
+//
+// With one shard there are no cut links and the coordinator degenerates
+// to plain RunUntil calls plus the same barrier-callback semantics, so
+// shard count never changes experiment output.
+type ShardedSim struct {
+	seed      int64
+	shards    []*Sim
+	cuts      []*Iface
+	lookahead Time // 0 = recompute at next run
+	now       Time
+
+	cbs   []shardCB
+	cbSeq uint64
+
+	pool     *runner.Pool
+	jobs     []func()
+	epochEnd Time
+	merged   []stagedFrame
+}
+
+// NewSharded creates a logical world of n lock-step shards (n >= 1).
+// Shard 0 is seeded with the world seed itself — a 1-shard world is
+// bit-compatible with a standalone New(seed) Sim — and shards i > 0 with
+// a deterministic mix, so shard-local nonce streams never collide.
+func NewSharded(seed int64, n int) *ShardedSim {
+	if n < 1 {
+		n = 1
+	}
+	ss := &ShardedSim{seed: seed}
+	ss.shards = make([]*Sim, n)
+	for i := 0; i < n; i++ {
+		s := New(mixSeed(seed, i))
+		s.worldSeed = seed
+		s.shard = ss
+		s.shardIdx = i
+		ss.shards[i] = s
+	}
+	if n > 1 {
+		ss.pool = runner.Shards()
+		ss.jobs = make([]func(), n)
+		for i := range ss.jobs {
+			s := ss.shards[i]
+			ss.jobs[i] = func() { s.RunUntil(ss.epochEnd) }
+		}
+	}
+	return ss
+}
+
+// mixSeed derives shard i's Sim seed. Shard 0 keeps the world seed.
+func mixSeed(seed int64, i int) int64 {
+	if i == 0 {
+		return seed
+	}
+	z := uint64(seed) + uint64(i)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Seed returns the world seed.
+func (ss *ShardedSim) Seed() int64 { return ss.seed }
+
+// NumShards returns the shard count.
+func (ss *ShardedSim) NumShards() int { return len(ss.shards) }
+
+// Shard returns shard i's Sim. Shard 0 hosts shared infrastructure in
+// the topology builders.
+func (ss *ShardedSim) Shard(i int) *Sim { return ss.shards[i] }
+
+// Now returns the coordinator's barrier clock (every shard's clock at a
+// barrier).
+func (ss *ShardedSim) Now() Time {
+	t := ss.now
+	for _, s := range ss.shards {
+		if s.now > t {
+			t = s.now
+		}
+	}
+	return t
+}
+
+// Pending returns the total number of queued events plus staged frames.
+func (ss *ShardedSim) Pending() int {
+	n := 0
+	for _, s := range ss.shards {
+		n += s.Pending() + len(s.staged)
+	}
+	return n
+}
+
+// registerCut records a cut link's ifaces for the lookahead bound; the
+// bound is recomputed at the next run, so links may still be added after
+// a world has started.
+func (ss *ShardedSim) registerCut(a, b *Iface) {
+	ss.cuts = append(ss.cuts, a, b)
+	ss.lookahead = 0
+}
+
+// computeLookahead freezes the epoch bound: the minimum one-way Delay
+// over every cut-link direction. Cut links must have positive delay —
+// conservative lock-step needs lookahead to make progress.
+func (ss *ShardedSim) computeLookahead() {
+	ss.lookahead = maxTime
+	for _, i := range ss.cuts {
+		d := i.dir().cfg.Delay
+		if d <= 0 {
+			panic(fmt.Sprintf("simnet: cut link %s needs positive Delay for lock-step lookahead", i.name))
+		}
+		if d < ss.lookahead {
+			ss.lookahead = d
+		}
+	}
+}
+
+// At registers a global barrier callback: fn runs once every shard has
+// processed every event with timestamp <= t — the sharded equivalent of
+// a snapshot taken "at time t" in a single-Sim world. Same-time
+// callbacks run in registration order; t earlier than the barrier clock
+// clamps to it.
+func (ss *ShardedSim) At(t Time, fn func()) {
+	if now := ss.Now(); t < now {
+		t = now
+	}
+	ss.cbSeq++
+	ss.cbs = append(ss.cbs, shardCB{at: t, seq: ss.cbSeq, fn: fn})
+}
+
+// After registers a barrier callback a duration from the barrier clock.
+func (ss *ShardedSim) After(d Time, fn func()) { ss.At(ss.Now()+d, fn) }
+
+// Run advances the world until every shard's queue drains and no frames
+// remain staged (barrier callbacks keep it alive until they have fired).
+func (ss *ShardedSim) Run() { ss.RunUntil(maxTime) }
+
+// RunFor advances the world a span of virtual time past the barrier
+// clock.
+func (ss *ShardedSim) RunFor(d Time) { ss.RunUntil(ss.Now() + d) }
+
+// RunUntil advances every shard in lock-step epochs until all events
+// with timestamps <= deadline have been processed, then advances every
+// shard's clock to the deadline (mirroring Sim.RunUntil).
+func (ss *ShardedSim) RunUntil(deadline Time) {
+	if ss.lookahead == 0 {
+		ss.computeLookahead()
+	}
+	ss.now = ss.Now()
+	for {
+		ss.inject()
+		next, ok := ss.minPending()
+		cbAt, cbOK := ss.peekCB()
+		if !ok && !cbOK {
+			if deadline < maxTime {
+				for _, s := range ss.shards {
+					s.RunUntil(deadline)
+				}
+				ss.now = deadline
+			}
+			return
+		}
+		end := deadline
+		// The epoch may safely include every instant that no cut-link
+		// frame sent after the previous barrier can reach: sends happen at
+		// >= next, so arrivals land at >= next+L, and an inclusive end of
+		// next+L-1 keeps them strictly beyond the barrier.
+		if ok && ss.lookahead < maxTime {
+			if lim := next + ss.lookahead - 1; lim < end {
+				end = lim
+			}
+		}
+		if cbOK && cbAt < end {
+			end = cbAt
+		}
+		if end < ss.now {
+			end = ss.now
+		}
+		ss.runShards(end)
+		ss.now = end
+		for {
+			fn, ok2 := ss.popCB(end)
+			if !ok2 {
+				break
+			}
+			fn()
+		}
+		if end >= deadline {
+			return
+		}
+	}
+}
+
+// runShards runs one epoch: every shard processes its events up to and
+// including end. Multi-shard worlds fan out across the process-wide
+// shard worker pool; the barrier is the pool batch completing.
+func (ss *ShardedSim) runShards(end Time) {
+	if len(ss.shards) == 1 {
+		ss.shards[0].RunUntil(end)
+		return
+	}
+	ss.epochEnd = end
+	ss.pool.Do(ss.jobs)
+}
+
+// minPending returns the earliest pending timestamp across all shards'
+// event queues (staged frames are injected before this is consulted).
+func (ss *ShardedSim) minPending() (Time, bool) {
+	var min Time
+	ok := false
+	for _, s := range ss.shards {
+		if t, has := s.nextEventTime(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// peekCB returns the earliest pending barrier-callback time.
+func (ss *ShardedSim) peekCB() (Time, bool) {
+	best := -1
+	for i := range ss.cbs {
+		if best < 0 || ss.cbs[i].at < ss.cbs[best].at ||
+			(ss.cbs[i].at == ss.cbs[best].at && ss.cbs[i].seq < ss.cbs[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return ss.cbs[best].at, true
+}
+
+// popCB removes and returns the earliest barrier callback due at or
+// before end, in (time, registration) order.
+func (ss *ShardedSim) popCB(end Time) (func(), bool) {
+	best := -1
+	for i := range ss.cbs {
+		if ss.cbs[i].at > end {
+			continue
+		}
+		if best < 0 || ss.cbs[i].at < ss.cbs[best].at ||
+			(ss.cbs[i].at == ss.cbs[best].at && ss.cbs[i].seq < ss.cbs[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	fn := ss.cbs[best].fn
+	ss.cbs = append(ss.cbs[:best], ss.cbs[best+1:]...)
+	return fn, true
+}
+
+// inject drains every shard's exchange buffer into the target shards,
+// in exchange-key order (send time, source shard, sequence). Runs
+// single-threaded at a barrier; all shards are quiescent at ss.now.
+// Every staged arrival must land strictly after the barrier — that is
+// the conservative-lookahead invariant — so a violation (a cut link's
+// Delay lowered below the epoch bound mid-run) panics loudly.
+func (ss *ShardedSim) inject() {
+	ss.merged = ss.merged[:0]
+	for _, s := range ss.shards {
+		ss.merged = append(ss.merged, s.staged...)
+		for i := range s.staged {
+			s.staged[i].data = nil
+		}
+		s.staged = s.staged[:0]
+	}
+	if len(ss.merged) == 0 {
+		return
+	}
+	sort.Slice(ss.merged, func(a, b int) bool {
+		x, y := &ss.merged[a], &ss.merged[b]
+		if x.send != y.send {
+			return x.send < y.send
+		}
+		if x.src != y.src {
+			return x.src < y.src
+		}
+		return x.seq < y.seq
+	})
+	for i := range ss.merged {
+		f := &ss.merged[i]
+		if f.arrival <= ss.now {
+			panic(fmt.Sprintf("simnet: staged frame for %s arrives at %v, not after the %v barrier (cut-link delay below the epoch bound?)",
+				f.to.name, f.arrival, ss.now))
+		}
+		f.to.node.sim.scheduleArrival(f.arrival, f.to, f.data)
+		f.data = nil
+	}
+}

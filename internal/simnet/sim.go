@@ -81,6 +81,25 @@ type Sim struct {
 	groups  map[netaddr.Addr][]*Node
 	stopped bool
 
+	// worldSeed is the seed of the logical world this Sim belongs to. For
+	// a standalone Sim it equals the New seed; for a shard it is the
+	// ShardedSim's root seed, identical across every shard. Per-direction
+	// loss RNGs derive from it (not from the shard-local rng) so loss
+	// sequences do not depend on how the world was partitioned.
+	worldSeed int64
+	// shard/shardIdx identify this Sim within a ShardedSim (shard is nil
+	// for a standalone Sim). shardIdx is part of the deterministic
+	// exchange-buffer sort key for frames crossing shard boundaries.
+	shard    *ShardedSim
+	shardIdx int
+
+	// staged holds frames transmitted on cut links (Iface.foreign) during
+	// the current epoch, awaiting injection into their target shard at the
+	// next barrier. stageSeq is the per-shard tiebreak of the exchange
+	// sort key (send time, source shard, sequence).
+	staged   []stagedFrame
+	stageSeq uint64
+
 	// dirs is the link-direction arena: every Connect appends its two
 	// directions here, and Ifaces hold indexes into it. Keeping the hot
 	// per-link state (config, busy horizon, counters) in one contiguous
@@ -105,9 +124,10 @@ func New(seed int64) *Sim { return NewWithEngine(seed, defaultEngine) }
 // NewWithEngine creates a simulation on an explicit scheduler engine.
 func NewWithEngine(seed int64, engine Engine) *Sim {
 	s := &Sim{
-		rng:    rand.New(rand.NewSource(seed)),
-		nodes:  make(map[string]*Node),
-		groups: make(map[netaddr.Addr][]*Node),
+		rng:       rand.New(rand.NewSource(seed)),
+		worldSeed: seed,
+		nodes:     make(map[string]*Node),
+		groups:    make(map[netaddr.Addr][]*Node),
 	}
 	if engine == EngineHeap {
 		s.ref = &refSched{}
@@ -259,6 +279,17 @@ func (s *Sim) RunUntil(deadline Time) int {
 		s.now = deadline
 	}
 	return n
+}
+
+// nextEventTime returns the timestamp of the earliest queued event, or
+// (0, false) when the queue is empty. The shard coordinator uses it to
+// size epochs without popping anything.
+func (s *Sim) nextEventTime() (Time, bool) {
+	e := s.peekEvent()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
 }
 
 // Pending returns the number of queued events.

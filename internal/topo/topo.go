@@ -20,6 +20,7 @@ package topo
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/dnssim"
@@ -35,6 +36,13 @@ var EIDSpace = netaddr.MustParsePrefix("100.0.0.0/8")
 type Spec struct {
 	// Seed drives every random choice (core link delays).
 	Seed int64
+	// Shards partitions the world into this many lock-step simulation
+	// shards (default 1): domain i lands on shard i mod Shards, while the
+	// core, the DNS hierarchy and everything hanging off the core stay on
+	// shard 0. Provider-core links then become the cut links whose delays
+	// (>= CoreDelayMin) bound the epoch length. Output is byte-identical
+	// for every shard count.
+	Shards int
 	// Domains describes each LISP domain.
 	Domains []DomainSpec
 	// CoreDelayMin/Max bound the provider-to-core one-way delays, drawn
@@ -150,7 +158,12 @@ func (d *Domain) RLOCs() []netaddr.Addr {
 
 // Internet is the fully built world.
 type Internet struct {
-	// Sim is the simulation everything lives in.
+	// Sharded is the lock-step coordinator for the whole world. All run
+	// control (and barrier-callback scheduling) goes through it; with one
+	// shard it degenerates to plain runs of Sim.
+	Sharded *simnet.ShardedSim
+	// Sim is shard 0: the core, the DNS hierarchy, and domain 0 live
+	// here. With Spec.Shards <= 1 it is the whole world.
 	Sim *simnet.Sim
 	// Core is the transit hub.
 	Core *simnet.Node
@@ -202,8 +215,13 @@ func (s *Spec) fill() {
 // Build constructs the internet.
 func Build(spec Spec) *Internet {
 	spec.fill()
-	sim := simnet.New(spec.Seed)
-	in := &Internet{Sim: sim, Core: sim.NewNode("core")}
+	shards := spec.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	sharded := simnet.NewSharded(spec.Seed, shards)
+	sim := sharded.Shard(0)
+	in := &Internet{Sharded: sharded, Sim: sim, Core: sim.NewNode("core")}
 
 	// DNS hierarchy root and TLD hang directly off the core.
 	rootNode := sim.NewNode("dns-root")
@@ -221,14 +239,21 @@ func Build(spec Spec) *Internet {
 	in.TLD = dnssim.NewServer(tldNode, tldAddr, "example")
 	in.Root.Delegate("example", "ns.example", tldAddr, 86400)
 
+	// Core delays come from a spec-level stream in deterministic
+	// (domain, provider) order — never from a shard-local Sim rng, whose
+	// consumption would depend on how domains were partitioned.
+	rng := rand.New(rand.NewSource(spec.Seed))
 	for i := range spec.Domains {
-		in.buildDomain(&spec, i)
+		in.buildDomain(&spec, i, rng)
 	}
 	return in
 }
 
-func (in *Internet) buildDomain(spec *Spec, idx int) {
-	sim := in.Sim
+func (in *Internet) buildDomain(spec *Spec, idx int, rng *rand.Rand) {
+	// Domain idx lives on shard idx mod N; domain 0 therefore shares
+	// shard 0 with the core and DNS infrastructure, which keeps the
+	// experiment drivers (all of which act from domain 0) on one shard.
+	sim := in.Sharded.Shard(idx % in.Sharded.NumShards())
 	ds := spec.Domains[idx]
 	d := &Domain{
 		Index:     idx,
@@ -314,8 +339,9 @@ func (in *Internet) buildDomain(spec *Spec, idx int) {
 		}
 	}
 
-	// Providers: core -- provider -- xTR.
-	rng := sim.Rand()
+	// Providers: core -- provider -- xTR. The provider node belongs to
+	// the domain's shard, so the provider-core transit link is the cut
+	// link in a sharded world.
 	for p := 0; p < ds.Providers; p++ {
 		provNode := sim.NewNode(fmt.Sprintf("%s-prov%d", d.Name, p))
 		coreDelay := spec.CoreDelayMin +

@@ -16,12 +16,16 @@
 # benchmark; BENCH_PR6.json in the repository root is the committed
 # baseline for the PR 6 batched data plane (BENCH_PR3.json is the
 # previous baseline, kept for the perf trajectory in EXPERIMENTS.md).
+# The root-package pass includes BenchmarkSimThroughputSharded, which
+# records the lock-step sharded engine at 1 and 4 shards (the 4-shard
+# speedup only materializes on a 4+ core machine).
 #
 # To check a change for regressions against the committed baseline
-# (same-machine numbers, so ns/op comparisons are meaningful):
+# (same-machine numbers, so ns/op comparisons are meaningful; allocs/op
+# gates at -tolerance, ns/op at the looser -time-tolerance):
 #
 #   scripts/bench.sh /tmp/new.json
-#   go run ./cmd/benchjson -diff -tolerance 0.05 BENCH_PR6.json /tmp/new.json
+#   go run ./cmd/benchjson -diff -tolerance 0.05 -time-tolerance 0.10 BENCH_PR6.json /tmp/new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
