@@ -1,5 +1,5 @@
 // Command experiments regenerates the reproduction's evaluation: every
-// table of EXPERIMENTS.md's experiment index (E1-E12), printed in paper
+// table of EXPERIMENTS.md's experiment index (E1-E13), printed in paper
 // style.
 //
 // Usage:

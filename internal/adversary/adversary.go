@@ -1,0 +1,449 @@
+// Package adversary injects attacker nodes into the simulated internet
+// for the robustness experiment E13. An attacker is an ordinary node
+// hanging off the transit core (shard 0, so sharded worlds stay
+// byte-identical) that mounts one of four control-plane attacks:
+//
+//   - Spoof: forge Map-Replies steering victim prefixes to the
+//     attacker's own locator. On-path, forgeries race the legitimate
+//     reply for every Map-Request observed crossing the core; off-path
+//     they are blind unsolicited replies that only land on ITRs gleaning
+//     without nonce verification.
+//   - Overclaim: like Spoof, but the forged record claims a covering
+//     prefix (the classic /8-over-/16 hijack), so one accepted reply
+//     blackholes every destination under it.
+//   - Replay: capture legitimate Map-Replies crossing the core, rewrite
+//     their locators to the attacker and race them (with the observed
+//     fresh nonce) against later requests — the attack that defeats
+//     nonce echo and falls only to signatures.
+//   - Flood: drive Map-Requests (or PCECP MapFetch queries) at a
+//     resolution server to exhaust its bounded service queue.
+//
+// Everything the attacker does is timer- or tap-driven from the
+// deterministic simulation: same seed, same attack, at any shard count.
+// Traffic blackholed by a successful poisoning is observed directly —
+// the attacker listens on the LISP data port and counts what arrives.
+package adversary
+
+import (
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+	"github.com/pcelisp/pcelisp/internal/topo"
+)
+
+// Kind selects the attack.
+type Kind int
+
+// The attacks.
+const (
+	// Spoof forges Map-Replies for the victim prefixes.
+	Spoof Kind = iota
+	// Overclaim forges Map-Replies claiming ClaimPrefix.
+	Overclaim
+	// Replay captures legitimate replies and re-races mutated copies.
+	Replay
+	// Flood drives resolution requests at FloodTarget.
+	Flood
+)
+
+// String names the attack.
+func (k Kind) String() string {
+	switch k {
+	case Spoof:
+		return "spoof"
+	case Overclaim:
+		return "overclaim"
+	case Replay:
+		return "replay"
+	case Flood:
+		return "flood"
+	default:
+		return "unknown"
+	}
+}
+
+// Config shapes one attacker.
+type Config struct {
+	// Kind selects the attack.
+	Kind Kind
+	// Name and Octet place the attacker's stub off the core
+	// (198.51.Octet.1); Delay is its core link delay (default 2ms — an
+	// attacker close to the core wins races).
+	Name  string
+	Octet byte
+	Delay time.Duration
+	// OnPath taps the transit core: the attacker observes LISP control
+	// traffic crossing it (including ECM-wrapped requests) and reacts to
+	// live nonces. Off-path attackers see nothing and work blind.
+	OnPath bool
+	// Victims are the EID prefixes whose mappings the attacker forges.
+	Victims []netaddr.Prefix
+	// ClaimPrefix is the covering prefix an Overclaim attack asserts.
+	ClaimPrefix netaddr.Prefix
+	// TTL is the forged-record TTL in seconds (default 300).
+	TTL uint32
+	// Rate is the attack intensity in messages per second for the
+	// timer-driven modes (blind forgery rounds and floods).
+	Rate int
+	// Targets are the ITR control addresses blind forgeries are sent to
+	// (off-path modes; on-path attacks answer whoever asked).
+	Targets []netaddr.Addr
+	// SpoofSrc, when valid, stamps forged replies with this source
+	// address — defeating receivers whose only guard is a source check
+	// (the NERD poller's authority comparison).
+	SpoofSrc netaddr.Addr
+	// FloodTarget is the resolution server a Flood attacks.
+	FloodTarget netaddr.Addr
+	// FloodECM wraps flood Map-Requests in an ECM (Map-Resolvers expect
+	// encapsulated requests).
+	FloodECM bool
+	// FloodPCECP floods PCECP MapFetch queries at port P instead of LISP
+	// Map-Requests — the PCE as the single point of attack.
+	FloodPCECP bool
+	// Start and Stop bound the attack window (Stop 0 = never stop).
+	Start, Stop simnet.Time
+}
+
+// Stats counts attacker activity and success.
+type Stats struct {
+	// Observed counts control messages the on-path tap parsed.
+	Observed uint64
+	// Forged counts forged Map-Replies sent (spoof/overclaim).
+	Forged uint64
+	// Captured counts legitimate replies captured for replay, and
+	// Replayed the mutated copies sent.
+	Captured uint64
+	Replayed uint64
+	// FloodSent counts flood requests sent.
+	FloodSent uint64
+	// BlackholedPackets/Bytes count data-plane traffic delivered to the
+	// attacker's locator — the damage a successful poisoning does.
+	BlackholedPackets uint64
+	BlackholedBytes   uint64
+}
+
+// Attacker is one attached adversary node.
+type Attacker struct {
+	node *simnet.Node
+	addr netaddr.Addr
+	sim  *simnet.Sim
+	cfg  Config
+
+	// captured holds the latest legitimate record seen per victim index
+	// (Replay's ammunition).
+	captured []*packet.LISPMapRecord
+	// floodSeq rotates flood target EIDs so caches never short-circuit
+	// the service cost.
+	floodSeq uint32
+
+	// Stats counts activity.
+	Stats Stats
+}
+
+// The attacker's typed timers.
+const (
+	// atkTimerBlind fires one blind forgery round.
+	atkTimerBlind = iota
+	// atkTimerFlood sends one flood request.
+	atkTimerFlood
+)
+
+// Attach places an attacker on the internet. Call before the world
+// settles so Start is measured on the shard-0 clock from zero.
+func Attach(in *topo.Internet, cfg Config) *Attacker {
+	if cfg.Name == "" {
+		cfg.Name = "attacker"
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = 2 * time.Millisecond
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 300
+	}
+	node, addr := in.AttachCoreStub(cfg.Name, cfg.Octet, cfg.Delay)
+	a := &Attacker{node: node, addr: addr, sim: node.Sim(), cfg: cfg}
+	if cfg.Kind == Replay {
+		a.captured = make([]*packet.LISPMapRecord, len(cfg.Victims))
+	}
+	// Poisoned ITRs tunnel victim traffic here: count the damage.
+	node.ListenUDP(packet.PortLISPData, a.onData)
+	if cfg.OnPath {
+		in.Core.AddSniffer(a.tap)
+	}
+	interval := a.interval()
+	switch cfg.Kind {
+	case Flood:
+		a.sim.ScheduleTimer(cfg.Start+interval, a, simnet.TimerArg{Kind: atkTimerFlood})
+	case Spoof, Overclaim, Replay:
+		if !cfg.OnPath && cfg.Rate > 0 {
+			a.sim.ScheduleTimer(cfg.Start+interval, a, simnet.TimerArg{Kind: atkTimerBlind})
+		}
+	}
+	return a
+}
+
+// Addr returns the attacker's locator — the blackhole destination forged
+// mappings advertise.
+func (a *Attacker) Addr() netaddr.Addr { return a.addr }
+
+// Node returns the attacker's node.
+func (a *Attacker) Node() *simnet.Node { return a.node }
+
+// interval converts Rate to the timer period (default 1s).
+func (a *Attacker) interval() simnet.Time {
+	if a.cfg.Rate <= 0 {
+		return simnet.Time(time.Second)
+	}
+	return simnet.Time(time.Second) / simnet.Time(a.cfg.Rate)
+}
+
+// active reports whether the attack window covers now.
+func (a *Attacker) active(now simnet.Time) bool {
+	return now >= a.cfg.Start && (a.cfg.Stop == 0 || now < a.cfg.Stop)
+}
+
+// OnTimer implements simnet.TimerHandler: the blind-forgery and flood
+// clocks.
+func (a *Attacker) OnTimer(arg simnet.TimerArg) {
+	now := a.sim.Now()
+	if a.cfg.Stop > 0 && now >= a.cfg.Stop {
+		return // window over; do not re-arm
+	}
+	if now >= a.cfg.Start {
+		switch arg.Kind {
+		case atkTimerBlind:
+			a.blindRound()
+		case atkTimerFlood:
+			a.floodOne()
+		}
+	}
+	a.sim.ScheduleTimer(a.interval(), a, simnet.TimerArg{Kind: arg.Kind})
+}
+
+// blindRound sends one unsolicited forged reply per (target, victim)
+// pair. Off-path, the nonce is unguessable (2^64), so the forgery is
+// sent with a random nonce and lands only on receivers that glean
+// positive replies without nonce verification.
+func (a *Attacker) blindRound() {
+	for _, target := range a.cfg.Targets {
+		switch a.cfg.Kind {
+		case Spoof:
+			for _, v := range a.cfg.Victims {
+				a.sendForged(target, a.sim.Rand().Uint64(), a.forgedRecord(v))
+			}
+		case Overclaim:
+			a.sendForged(target, a.sim.Rand().Uint64(), a.forgedRecord(a.cfg.ClaimPrefix))
+		}
+	}
+}
+
+// forgedRecord builds a mapping record claiming prefix for the
+// attacker's locator.
+func (a *Attacker) forgedRecord(prefix netaddr.Prefix) packet.LISPMapRecord {
+	return packet.LISPMapRecord{
+		TTL: a.cfg.TTL, EIDPrefix: prefix, Authoritative: true,
+		Locators: []packet.LISPLocator{{
+			Priority: 1, Weight: 100, Reachable: true, Addr: a.addr,
+		}},
+	}
+}
+
+// sendForged transmits one forged Map-Reply.
+func (a *Attacker) sendForged(dst netaddr.Addr, nonce uint64, recs ...packet.LISPMapRecord) {
+	src := a.addr
+	if a.cfg.SpoofSrc.IsValid() {
+		src = a.cfg.SpoofSrc
+	}
+	a.Stats.Forged++
+	a.node.SendUDP(src, dst, packet.PortLISPControl, packet.PortLISPControl,
+		&packet.LISPMapReply{Nonce: nonce, Records: recs})
+}
+
+// floodOne sends one flood request with a rotating, never-cached EID so
+// every request costs the server full service.
+func (a *Attacker) floodOne() {
+	a.floodSeq++
+	a.Stats.FloodSent++
+	eid := netaddr.AddrFrom4(100, 200+byte(a.floodSeq>>16)%50, byte(a.floodSeq>>8), byte(a.floodSeq)|1)
+	if a.cfg.FloodPCECP {
+		a.node.SendUDP(a.addr, a.cfg.FloodTarget, packet.PortPCECP, packet.PortPCECP,
+			&packet.PCECP{
+				Version: packet.PCECPVersion, Type: packet.PCECPMapFetch,
+				Nonce: a.sim.Rand().Uint64(), PCEAddr: a.addr,
+				Flows: []packet.PCEFlowMapping{{DstEID: eid, SrcRLOC: a.addr}},
+			})
+		return
+	}
+	req := &packet.LISPMapRequest{
+		Nonce:       a.sim.Rand().Uint64(),
+		ITRRLOCs:    []netaddr.Addr{a.addr},
+		EIDPrefixes: []netaddr.Prefix{netaddr.HostPrefix(eid)},
+	}
+	if a.cfg.FloodECM {
+		inner := simnet.EncodeUDP(a.addr, a.cfg.FloodTarget,
+			packet.PortLISPControl, packet.PortLISPControl, req)
+		a.node.SendUDP(a.addr, a.cfg.FloodTarget, packet.PortLISPControl, packet.PortLISPControl,
+			&packet.LISPECM{}, packet.Payload(inner))
+		return
+	}
+	a.node.SendUDP(a.addr, a.cfg.FloodTarget, packet.PortLISPControl, packet.PortLISPControl, req)
+}
+
+// onData receives tunneled traffic at the attacker's locator: every byte
+// here was stolen from a victim flow by a poisoned mapping.
+func (a *Attacker) onData(d *simnet.Delivery, udp *packet.UDP) {
+	a.Stats.BlackholedPackets++
+	a.Stats.BlackholedBytes += uint64(len(d.Data))
+}
+
+// tap is the on-path sniffer on the transit core. It is a pure observer
+// (always passes the packet on) that parses LISP control traffic and
+// reacts: forging racing replies to observed Map-Requests and capturing
+// legitimate Map-Replies for replay. Reactions are sent from the
+// attacker's own node, so the race is honest — the forgery still has to
+// cross the attacker's stub link before it reaches the victim.
+func (a *Attacker) tap(d *simnet.Delivery) simnet.SnifferVerdict {
+	if a.cfg.Kind == Flood || !a.active(a.sim.Now()) {
+		return simnet.SnifferPass
+	}
+	ip := d.IPv4()
+	if ip == nil || ip.Protocol != packet.IPProtocolUDP {
+		return simnet.SnifferPass
+	}
+	udpl := d.Packet().Layer(packet.LayerTypeUDP)
+	if udpl == nil {
+		return simnet.SnifferPass
+	}
+	udp := udpl.(*packet.UDP)
+	if udp.DstPort != packet.PortLISPControl {
+		return simnet.SnifferPass
+	}
+	a.observe(udp.LayerPayload(), ip.DstIP)
+	return simnet.SnifferPass
+}
+
+// observe parses one captured control payload, unwrapping ECMs. dst is
+// the outer destination — for a reply, the requester the attacker may
+// want to re-target.
+func (a *Attacker) observe(msg []byte, dst netaddr.Addr) {
+	p := packet.NewPacket(msg, packet.LayerTypeLISPControl, packet.NoCopy)
+	if p.ErrorLayer() != nil {
+		return
+	}
+	if p.Layer(packet.LayerTypeLISPECM) != nil {
+		innerUDP := p.Layer(packet.LayerTypeUDP)
+		if innerUDP == nil {
+			return
+		}
+		a.observe(innerUDP.(*packet.UDP).LayerPayload(), dst)
+		return
+	}
+	a.Stats.Observed++
+	switch {
+	case p.Layer(packet.LayerTypeLISPMapRequest) != nil:
+		a.onRequest(p.Layer(packet.LayerTypeLISPMapRequest).(*packet.LISPMapRequest))
+	case p.Layer(packet.LayerTypeLISPMapReply) != nil:
+		a.onReply(p.Layer(packet.LayerTypeLISPMapReply).(*packet.LISPMapReply), dst)
+	}
+}
+
+// mine reports whether a record is one of the attacker's own forgeries
+// crossing the core — the tap must never react to those, or every
+// reaction would spawn another.
+func (a *Attacker) mine(rec packet.LISPMapRecord) bool {
+	for _, loc := range rec.Locators {
+		if loc.Addr == a.addr {
+			return true
+		}
+	}
+	return false
+}
+
+// onRequest races a forgery against the legitimate answer to an
+// observed Map-Request. The observed nonce defeats nonce-echo checking;
+// only signature verification stops the forged reply.
+func (a *Attacker) onRequest(m *packet.LISPMapRequest) {
+	if len(m.ITRRLOCs) == 0 || len(m.EIDPrefixes) == 0 {
+		return
+	}
+	itr, q := m.ITRRLOCs[0], m.EIDPrefixes[0]
+	switch a.cfg.Kind {
+	case Spoof:
+		for _, v := range a.cfg.Victims {
+			if v.Overlaps(q) {
+				a.sendForged(itr, m.Nonce, a.forgedRecord(v))
+				return
+			}
+		}
+	case Overclaim:
+		if a.cfg.ClaimPrefix.Overlaps(q) {
+			a.sendForged(itr, m.Nonce, a.forgedRecord(a.cfg.ClaimPrefix))
+		}
+	case Replay:
+		for i, v := range a.cfg.Victims {
+			if v.Overlaps(q) && a.captured[i] != nil {
+				// The captured legitimate record with its locators
+				// rewritten to the attacker: structurally authentic,
+				// fresh nonce — a pure mutation replay.
+				rec := *a.captured[i]
+				rec.Locators = []packet.LISPLocator{{
+					Priority: 1, Weight: 100, Reachable: true, Addr: a.addr,
+				}}
+				a.Stats.Replayed++
+				a.sendForged(itr, m.Nonce, rec)
+				return
+			}
+		}
+	}
+}
+
+// onReply reacts to legitimate answers for victim prefixes crossing the
+// core: Replay captures them as ammunition; Spoof and Overclaim re-assert
+// the forgery toward the reply's receiver, so the attacker — not the
+// legitimate responder — is the last writer into a gleaning cache. The
+// attacker's own forgeries in flight are ignored (mine), which also
+// terminates the re-assertion chain.
+func (a *Attacker) onReply(m *packet.LISPMapReply, dst netaddr.Addr) {
+	for _, rec := range m.Records {
+		if a.mine(rec) {
+			continue
+		}
+		switch a.cfg.Kind {
+		case Replay:
+			for i, v := range a.cfg.Victims {
+				if v.Overlaps(rec.EIDPrefix) && len(rec.Locators) > 0 {
+					cp := rec
+					cp.Locators = append([]packet.LISPLocator(nil), rec.Locators...)
+					a.captured[i] = &cp
+					a.Stats.Captured++
+					// Immediately race a mutated copy behind the original:
+					// against a gleaning receiver the replay is the last
+					// writer; a nonce-checking one falls at the next
+					// re-resolution, when the request itself is raced.
+					if dst.IsValid() {
+						mut := cp
+						mut.Locators = []packet.LISPLocator{{
+							Priority: 1, Weight: 100, Reachable: true, Addr: a.addr,
+						}}
+						a.Stats.Replayed++
+						a.sendForged(dst, m.Nonce, mut)
+					}
+				}
+			}
+		case Spoof:
+			for _, v := range a.cfg.Victims {
+				if v.Overlaps(rec.EIDPrefix) && dst.IsValid() {
+					a.sendForged(dst, m.Nonce, a.forgedRecord(v))
+					return
+				}
+			}
+		case Overclaim:
+			if a.cfg.ClaimPrefix.Overlaps(rec.EIDPrefix) && dst.IsValid() {
+				a.sendForged(dst, m.Nonce, a.forgedRecord(a.cfg.ClaimPrefix))
+				return
+			}
+		}
+	}
+}

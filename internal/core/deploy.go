@@ -36,6 +36,26 @@ func DeployDomain(d *topo.Domain, policy irc.Policy) *PCE {
 // sweep to give pull-based control planes a finite reconvergence
 // horizon to compare against.
 func DeployDomainTTL(d *topo.Domain, policy irc.Policy, mappingTTL uint32) *PCE {
+	return DeployDomainOpts(d, policy, DeployOptions{MappingTTL: mappingTTL})
+}
+
+// DeployOptions carries the optional knobs of DeployDomainOpts.
+type DeployOptions struct {
+	// MappingTTL is the pushed-mapping lifetime in seconds (0 = default).
+	MappingTTL uint32
+	// AuthKey enables PCECP signing and verification (see Config.AuthKey).
+	AuthKey []byte
+	// FetchServiceRate, FetchQueueCap and FetchQuotaLimit bound the PCED
+	// MapFetch service (see Config).
+	FetchServiceRate int
+	FetchQueueCap    int
+	FetchQuotaLimit  int
+}
+
+// DeployDomainOpts is DeployDomain with the full option set — the entry
+// point the adversarial experiments use to provision per-plane keys and
+// flood defenses.
+func DeployDomainOpts(d *topo.Domain, policy irc.Policy, opts DeployOptions) *PCE {
 	providers := make([]*irc.Provider, len(d.Providers))
 	for i, prov := range d.Providers {
 		providers[i] = &irc.Provider{
@@ -48,12 +68,16 @@ func DeployDomainTTL(d *topo.Domain, policy irc.Policy, mappingTTL uint32) *PCE 
 	}
 	engine := irc.NewEngine(d.PCENode.Sim(), providers, policy)
 	pce := New(d.PCENode, Config{
-		Addr:       d.PCEAddr,
-		EIDPrefix:  d.EIDPrefix,
-		DNSAddr:    d.Resolver.Addr(),
-		Engine:     engine,
-		Group:      d.Group,
-		MappingTTL: mappingTTL,
+		Addr:             d.PCEAddr,
+		EIDPrefix:        d.EIDPrefix,
+		DNSAddr:          d.Resolver.Addr(),
+		Engine:           engine,
+		Group:            d.Group,
+		MappingTTL:       opts.MappingTTL,
+		AuthKey:          opts.AuthKey,
+		FetchServiceRate: opts.FetchServiceRate,
+		FetchQueueCap:    opts.FetchQueueCap,
+		FetchQuotaLimit:  opts.FetchQuotaLimit,
 	})
 	pce.AttachResolver(d.Resolver)
 	for _, x := range d.XTRs {

@@ -62,6 +62,24 @@ type Config struct {
 	// PendingTTL bounds how long a step-1 flow waits for its mapping
 	// before being abandoned to the fallback path (default 10s).
 	PendingTTL simnet.Time
+	// AuthKey, when non-nil, signs every PCECP message this PCE (and its
+	// wired xTRs) originates and rejects every inbound PCECP message that
+	// does not verify against it. It models the per-plane key
+	// distribution the paper assumes between cooperating PCEs: unlike the
+	// open pull planes, the push channel is provisioned, so mutual
+	// authentication has a natural rollout path.
+	AuthKey []byte
+	// FetchServiceRate bounds how many MapFetch queries per second the
+	// PCED side can answer (0 = unbounded). With it set, fetches queue
+	// behind a deterministic service budget — the PCE as a single point
+	// of attack under flooding, modeled honestly.
+	FetchServiceRate int
+	// FetchQueueCap bounds the fetch service backlog in requests
+	// (default 64 when FetchServiceRate is set). Arrivals beyond it drop.
+	FetchQueueCap int
+	// FetchQuotaLimit, when >0, caps MapFetch queries per source address
+	// per second before they reach the service queue.
+	FetchQuotaLimit int
 }
 
 // Stats counts PCE activity for the experiments.
@@ -82,9 +100,12 @@ type Stats struct {
 	// ReversePushes counts ETR reverse-mapping multicasts observed at the
 	// PCE (database updates).
 	ReversePushes uint64
-	// MapFetches and MapFetchReplies count the cache-hit fallback.
+	// MapFetches and MapFetchReplies count the cache-hit fallback;
+	// MapFetchRetries counts fetches re-sent after going unanswered (a
+	// shed query against a flooded PCED service queue).
 	MapFetches      uint64
 	MapFetchReplies uint64
+	MapFetchRetries uint64
 	// PendingExpired counts step-1 flows abandoned without a mapping.
 	PendingExpired uint64
 	// CacheHitPushes counts flows served from the PCE's own remote-mapping
@@ -112,6 +133,13 @@ type Stats struct {
 	// WeightRepushes counts Repush rounds triggered by a received
 	// MappingUpdate that actually moved flows.
 	WeightRepushes uint64
+	// AuthRejects counts inbound PCECP messages dropped for a missing or
+	// bad signature (only counted when Config.AuthKey is set).
+	AuthRejects uint64
+	// FetchQueueDrops and FetchQuotaDrops count MapFetch queries shed by
+	// the bounded service queue and the per-source quota.
+	FetchQueueDrops uint64
+	FetchQuotaDrops uint64
 }
 
 // EventKind classifies PCE events for the OnEvent hook.
@@ -180,6 +208,11 @@ type PCE struct {
 	// ascending order, so announcement fan-out needs no sort to be
 	// deterministic.
 	subscribers *netaddr.Trie[simnet.Time]
+	// fetchBusyUntil is when the bounded MapFetch service queue drains
+	// (the MapResolver service model, applied to the PCED side).
+	fetchBusyUntil simnet.Time
+	// fetchQuota rate-limits MapFetch queries per source.
+	fetchQuota *lisp.SourceQuota
 	// maintArmed marks an outstanding maintenance sweep. The sweep prunes
 	// pushed/lastOuter/subscriber/ETR first-packet state older than
 	// MappingTTL and re-arms only while state remains, so long-running
@@ -215,7 +248,18 @@ type outerSeen struct {
 type fetchCtx struct {
 	qname string
 	ed    netaddr.Addr
+	pced  netaddr.Addr
+	tries int
 }
+
+// The MapFetch retry clock: a fetch shed by a flooded (or lossy) PCED
+// service queue is re-sent a few times before the pending flows are left
+// to age out — without it one dropped query strands every flow behind
+// its qname for the full PendingTTL.
+const (
+	fetchRetryInterval = 2500 * time.Millisecond
+	fetchMaxTries      = 4 // one initial send plus three retries
+)
 
 // New attaches a PCE to node. The node must already forward the domain's
 // DNS traffic (be "in the data path of the DNS servers").
@@ -225,6 +269,9 @@ func New(node *simnet.Node, cfg Config) *PCE {
 	}
 	if cfg.PendingTTL == 0 {
 		cfg.PendingTTL = 10 * time.Second
+	}
+	if cfg.FetchServiceRate > 0 && cfg.FetchQueueCap == 0 {
+		cfg.FetchQueueCap = 64
 	}
 	p := &PCE{
 		node:        node,
@@ -236,6 +283,9 @@ func New(node *simnet.Node, cfg Config) *PCE {
 		pushed:      make(map[lisp.FlowKey]pushedFlow),
 		lastOuter:   make(map[lisp.FlowKey]outerSeen),
 		subscribers: netaddr.NewTrie[simnet.Time](),
+	}
+	if cfg.FetchQuotaLimit > 0 {
+		p.fetchQuota = &lisp.SourceQuota{Limit: cfg.FetchQuotaLimit}
 	}
 	node.AddSniffer(p.sniff)
 	node.ListenUDP(packet.PortPCECP, p.handleLocalPCECP)
@@ -387,7 +437,7 @@ func (p *PCE) XTRs() []*lisp.XTR { return p.xtrs }
 // the PCE and reverse pushes from sibling ETRs.
 func (p *PCE) handleXTRPCECP(x *lisp.XTR, udp *packet.UDP) {
 	msg, ok := decodePCECP(udp.LayerPayload())
-	if !ok {
+	if !ok || !p.verified(msg) {
 		return
 	}
 	switch msg.Type {
@@ -437,6 +487,10 @@ func (p *PCE) onDecap(x *lisp.XTR, info lisp.DecapInfo) {
 		Version: packet.PCECPVersion, Type: packet.PCECPReverseMapPush,
 		Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
 		Flows: []packet.PCEFlowMapping{rev},
+	}
+	if p.cfg.AuthKey != nil {
+		msg.KeyID = 1
+		msg.AuthKey = p.cfg.AuthKey
 	}
 	x.Node().SendUDP(x.RLOC(), p.cfg.Group, packet.PortPCECP, packet.PortPCECP, msg)
 }
@@ -510,6 +564,10 @@ func (p *PCE) handlePortP(payload []byte) bool {
 	if !ok {
 		return false
 	}
+	if !p.verified(msg) {
+		// Consume forged port-P traffic so it never reaches DNSS either.
+		return true
+	}
 	switch msg.Type {
 	case packet.PCECPEncapDNSReply:
 		p.Stats.EncapRepliesReceived++
@@ -563,6 +621,14 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 	if !ok {
 		return
 	}
+	// MapFetch signatures are verified at service time, inside answerFetch:
+	// checking a MAC costs the same bounded control-plane budget as
+	// answering, so a flood of unverifiable fetches still consumes PCED
+	// capacity — the PCE is honestly a single point of attack, and only
+	// the per-source quota (a cheap pre-filter) shields the queue itself.
+	if msg.Type != packet.PCECPMapFetch && !p.verified(msg) {
+		return
+	}
 	switch msg.Type {
 	case packet.PCECPMapFetch:
 		p.Stats.MapFetches++
@@ -573,20 +639,30 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 		if len(msg.Flows) == 0 || !msg.Flows[0].SrcRLOC.IsValid() {
 			return
 		}
-		locators := p.cfg.Engine.MappingLocators()
-		reply := &packet.PCECP{
-			Version: packet.PCECPVersion, Type: packet.PCECPMapFetchReply,
-			Nonce: msg.Nonce, PCEAddr: p.cfg.Addr,
+		now := p.node.Sim().Now()
+		if p.fetchQuota != nil && !p.fetchQuota.Allow(now, d.IPv4().SrcIP) {
+			p.Stats.FetchQuotaDrops++
+			return
 		}
-		if len(locators) > 0 {
-			reply.Prefixes = []packet.PCEPrefixMapping{{
-				Prefix: p.cfg.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: locators,
-			}}
+		if p.cfg.FetchServiceRate <= 0 {
+			p.answerFetch(msg)
+			return
 		}
-		// The reply goes to the querying PCES "toward its DNSS" like the
-		// encapsulated replies, so the same interception path handles it.
-		p.addSubscriber(msg.Flows[0].SrcRLOC)
-		p.sendControl(msg.Flows[0].SrcRLOC, reply)
+		// Bounded service queue, the MapResolver model: each fetch costs
+		// 1/rate seconds of a single deterministic server; arrivals that
+		// would wait past QueueCap service slots are shed.
+		cost := simnet.Time(time.Second) / simnet.Time(p.cfg.FetchServiceRate)
+		start := p.fetchBusyUntil
+		if start < now {
+			start = now
+		}
+		if start-now > cost*simnet.Time(p.cfg.FetchQueueCap) {
+			p.Stats.FetchQueueDrops++
+			return
+		}
+		p.fetchBusyUntil = start + cost
+		p.node.Sim().ScheduleTimer(p.fetchBusyUntil-now, p,
+			simnet.TimerArg{Kind: pceTimerFetchService, P: msg})
 	case packet.PCECPReverseMapPush:
 		p.Stats.ReversePushes++
 		// Database update: remember the flows (metrics only; the PCED
@@ -608,6 +684,38 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 		// the sender, so this only happens for pushes from sibling PCEs
 		// in shared-group deployments); nothing to do.
 	}
+}
+
+// answerFetch serves one MapFetch query (after any service delay),
+// verifying its signature first — the deferred check handleLocalPCECP
+// documents.
+func (p *PCE) answerFetch(msg *packet.PCECP) {
+	if !p.verified(msg) {
+		return
+	}
+	locators := p.cfg.Engine.MappingLocators()
+	reply := &packet.PCECP{
+		Version: packet.PCECPVersion, Type: packet.PCECPMapFetchReply,
+		Nonce: msg.Nonce, PCEAddr: p.cfg.Addr,
+	}
+	if len(locators) > 0 {
+		reply.Prefixes = []packet.PCEPrefixMapping{{
+			Prefix: p.cfg.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: locators,
+		}}
+	}
+	// The reply goes to the querying PCES "toward its DNSS" like the
+	// encapsulated replies, so the same interception path handles it.
+	p.addSubscriber(msg.Flows[0].SrcRLOC)
+	p.sendControl(msg.Flows[0].SrcRLOC, reply)
+}
+
+// verified enforces Config.AuthKey on an inbound PCECP message.
+func (p *PCE) verified(msg *packet.PCECP) bool {
+	if p.cfg.AuthKey == nil || msg.VerifyAuth(p.cfg.AuthKey) {
+		return true
+	}
+	p.Stats.AuthRejects++
+	return false
 }
 
 // addSubscriber remembers a remote DNSS that received this domain's
@@ -674,9 +782,16 @@ func (p *PCE) AnnounceMappingUpdate() int {
 // sendMapFetch issues the cache-hit fallback query toward a known PCED.
 func (p *PCE) sendMapFetch(pced, ed netaddr.Addr, qname string) {
 	nonce := p.node.Sim().Rand().Uint64()
-	p.fetches[nonce] = fetchCtx{qname: qname, ed: ed}
+	p.fetches[nonce] = fetchCtx{qname: qname, ed: ed, pced: pced, tries: 1}
 	p.Stats.MapFetches++
 	p.emit(Event{Kind: EvMapFetchSent, DstEID: ed})
+	p.transmitFetch(pced, ed, nonce)
+	p.node.Sim().ScheduleTimer(fetchRetryInterval, p,
+		simnet.TimerArg{Kind: pceTimerFetchRetry, N: int64(nonce)})
+}
+
+// transmitFetch sends (or re-sends) the MapFetch query for nonce.
+func (p *PCE) transmitFetch(pced, ed netaddr.Addr, nonce uint64) {
 	msg := &packet.PCECP{
 		Version: packet.PCECPVersion, Type: packet.PCECPMapFetch,
 		Nonce: nonce, PCEAddr: p.cfg.Addr,
@@ -685,6 +800,25 @@ func (p *PCE) sendMapFetch(pced, ed netaddr.Addr, qname string) {
 		Flows: []packet.PCEFlowMapping{{SrcEID: 0, DstEID: ed, SrcRLOC: p.cfg.DNSAddr}},
 	}
 	p.sendControl(pced, msg)
+}
+
+// retryFetch re-sends an unanswered MapFetch or gives up after
+// fetchMaxTries, leaving the pending flows to expire on their own TTL.
+func (p *PCE) retryFetch(nonce uint64) {
+	ctx, ok := p.fetches[nonce]
+	if !ok {
+		return // answered — nothing to do
+	}
+	if ctx.tries >= fetchMaxTries {
+		delete(p.fetches, nonce)
+		return
+	}
+	ctx.tries++
+	p.fetches[nonce] = ctx
+	p.Stats.MapFetchRetries++
+	p.transmitFetch(ctx.pced, ctx.ed, nonce)
+	p.node.Sim().ScheduleTimer(fetchRetryInterval, p,
+		simnet.TimerArg{Kind: pceTimerFetchRetry, N: int64(nonce)})
 }
 
 // learnMappings ingests the prefix mappings of a PCECP message into the
@@ -762,6 +896,11 @@ const (
 	pceTimerPendingExpire = iota
 	// pceTimerMaintenance runs the periodic state sweep.
 	pceTimerMaintenance
+	// pceTimerFetchService answers the queued MapFetch in TimerArg.P.
+	pceTimerFetchService
+	// pceTimerFetchRetry re-sends the unanswered MapFetch whose nonce is
+	// in TimerArg.N.
+	pceTimerFetchRetry
 )
 
 // OnTimer implements simnet.TimerHandler for the PCE's timers.
@@ -771,6 +910,10 @@ func (p *PCE) OnTimer(arg simnet.TimerArg) {
 		p.expirePending(arg.S)
 	case pceTimerMaintenance:
 		p.runMaintenance()
+	case pceTimerFetchService:
+		p.answerFetch(arg.P.(*packet.PCECP))
+	case pceTimerFetchRetry:
+		p.retryFetch(uint64(arg.N))
 	}
 }
 
@@ -845,6 +988,10 @@ func (p *PCE) push(flows []packet.PCEFlowMapping, prefixes []packet.PCEPrefixMap
 // sendControl transmits a port-P message from the PCE, counting it for
 // the overhead experiments.
 func (p *PCE) sendControl(dst netaddr.Addr, layers ...packet.SerializableLayer) {
+	if msg, ok := layers[0].(*packet.PCECP); ok && p.cfg.AuthKey != nil && msg.AuthKey == nil {
+		msg.KeyID = 1
+		msg.AuthKey = p.cfg.AuthKey
+	}
 	data := simnet.EncodeUDP(p.cfg.Addr, dst, packet.PortPCECP, packet.PortPCECP, layers...)
 	p.Stats.TxControlMessages++
 	p.Stats.TxControlBytes += uint64(len(data))

@@ -46,7 +46,8 @@ func TestDeterministicTables(t *testing.T) {
 // scalability sweep (mixed synthetic and world cells), E10 the
 // failure-injection sweep (probing, watches and scripted FailurePlans),
 // E11 the congestion sweep (telemetry, the TE optimizer's weight pushes
-// and the per-CP dissemination paths).
+// and the per-CP dissemination paths), E13 the adversarial sweep
+// (attacker taps, forgery races and bounded-resolver floods).
 func TestParallelMatchesSerial(t *testing.T) {
 	render := func(tables []*metrics.Table) string {
 		s := ""
@@ -55,7 +56,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 		return s
 	}
-	for _, id := range []string{"E1", "E5", "E9", "E10", "E11"} {
+	for _, id := range []string{"E1", "E5", "E9", "E10", "E11", "E13"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)
@@ -76,7 +77,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 // byte-identical experiment tables. E1 exercises the per-CP cold-flow
 // worlds, E9 the cache sweeps, E10 scripted failures (split cut-link
 // timers), E11 the TE loop (telemetry, barrier snapshots, remote
-// launches), and E12 the purpose-built scale world.
+// launches), E12 the purpose-built scale world, and E13 the adversarial
+// sweep (core taps and attacker timers on shard 0, victims elsewhere).
 func TestShardByteIdentity(t *testing.T) {
 	defer SetWorldShards(SetWorldShards(1))
 	render := func(tables []*metrics.Table) string {
@@ -90,7 +92,7 @@ func TestShardByteIdentity(t *testing.T) {
 	if testing.Short() {
 		counts = []int{2}
 	}
-	for _, id := range []string{"E1", "E9", "E10", "E11", "E12"} {
+	for _, id := range []string{"E1", "E9", "E10", "E11", "E12", "E13"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)

@@ -1,0 +1,518 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/adversary"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runner"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// E13 measures adversarial robustness: how each control plane holds up
+// against an attacker inside the network, and what each defense layer
+// buys. The paper's architectural claim is qualitative — the PCE's push
+// channel runs between provisioned, mutually known elements, while the
+// pull planes answer anyone who asks — so this experiment makes it
+// quantitative along two axes:
+//
+// Cache poisoning. An adversary node (internal/adversary) mounts four
+// attacks against the mappings domain 0 holds for domain 1: off-path
+// Map-Reply spoofing (blind unsolicited forgeries), on-path spoofing
+// (forgeries racing the legitimate reply with the observed nonce),
+// on-path prefix overclaiming (a covering /8 answer hijacking a /16
+// query), and on-path replay (captured legitimate records with mutated
+// locators). Each attack runs against three defense profiles:
+//
+//   - "off":       nonce checking sloppy (pre-RFC-6830 gleaning), no
+//     signatures — the exposure window of early implementations;
+//   - "nonce":     strict nonce echo (the RFC 6830 default);
+//   - "nonce+sig": strict nonces plus HMAC-signed replies and an
+//     overclaim floor at /16.
+//
+// The PCECP channel keeps its provisioned key in every profile: per-plane
+// key distribution is part of the PCE deployment story (the push channel
+// is configured infrastructure), whereas the pull planes' signature
+// profile models a PKI they historically did not have. The poisoned-cache
+// rate is measured structurally — the fraction of (source ITR, remote
+// host) pairs whose installed mapping steers to the attacker's locator —
+// and corroborated by the bytes a post-attack data blast delivers
+// straight into the attacker's blackhole.
+//
+// Flooding. The bounded-resolver model (MR service queue, PCED MapFetch
+// service) is attacked directly: attackers drive rotating-EID requests at
+// the resolution server of the plane under test while a legitimate flow
+// tries to resolve mid-flood. The sweep crosses flood rate, attacker
+// count and the per-source quota defense, and reports the legitimate
+// flow's setup latency — quantifying the PCE's own single point of
+// attack honestly: unverifiable MapFetch floods still consume PCED
+// service budget, because signature checking happens at service time,
+// not for free at the queue head.
+
+// e13Scenario names one poisoning attack.
+type e13Scenario struct {
+	key    string
+	kind   adversary.Kind
+	onPath bool
+	desc   string
+}
+
+var e13Scenarios = []e13Scenario{
+	{key: "spoof-offpath", kind: adversary.Spoof, onPath: false,
+		desc: "blind unsolicited forged Map-Replies at the ITR control addresses"},
+	{key: "spoof-onpath", kind: adversary.Spoof, onPath: true,
+		desc: "forgeries racing the legitimate reply with the observed nonce"},
+	{key: "overclaim", kind: adversary.Overclaim, onPath: true,
+		desc: "covering /8 answers hijacking /16 queries"},
+	{key: "replay", kind: adversary.Replay, onPath: true,
+		desc: "captured legitimate records replayed with mutated locators"},
+}
+
+// e13Profile names one defense profile.
+type e13Profile struct {
+	key string
+	def DefenseConfig
+}
+
+// e13Profiles returns the defense sweep. PCEAuth stays on everywhere —
+// the PCECP key is provisioned infrastructure, not an optional add-on.
+func e13Profiles() []e13Profile {
+	return []e13Profile{
+		{key: "off", def: DefenseConfig{SloppyNonce: true, PCEAuth: true}},
+		{key: "nonce", def: DefenseConfig{PCEAuth: true}},
+		{key: "nonce+sig", def: DefenseConfig{
+			SignReplies: true, PCEAuth: true, OverclaimFloor: 16}},
+	}
+}
+
+// e13FloodVar is one flood sweep point.
+type e13FloodVar struct {
+	rate      int  // total flood requests/s across all attackers
+	attackers int  // attacker nodes splitting the rate
+	quota     bool // per-source quota defense on
+}
+
+// e13Params sizes the sweep.
+type e13Params struct {
+	hosts     int
+	cps       []CP // poisoning control planes
+	blindRate int  // off-path blind forgery rounds per second
+	ttl       uint32
+	nerdPoll  time.Duration
+	tAttack   simnet.Time // attack window opens
+	tWave1    simnet.Time // first flow wave (legitimate resolutions)
+	tWave2    simnet.Time // second wave, after mapping TTL expiry
+	tBlast    simnet.Time // data blast measuring blackholed bytes
+	tEndP     simnet.Time // poisoning cell end
+	blastPkts int         // blast packets per (src, dst) host pair
+
+	floodCPs    []CP // planes with a bounded-resolver model
+	floodVars   []e13FloodVar
+	floodTTL    uint32
+	serviceRate int // resolver/PCED service requests per second
+	quota       int // per-source quota when the defense is on
+	tFloodOn    simnet.Time
+	tFloodOff   simnet.Time
+	fWave1      simnet.Time // pre-flood resolution (seeds DNS + peer state)
+	fWave2      simnet.Time // mid-flood resolution, the measured one
+	tEndF       simnet.Time
+}
+
+func e13Scale(quick bool) e13Params {
+	ps := e13Params{
+		hosts: 2, cps: comparisonCPs, blindRate: 20,
+		ttl: 6, nerdPoll: 4 * time.Second,
+		tAttack: 3 * time.Second, tWave1: 4 * time.Second,
+		tWave2: 11 * time.Second, tBlast: 13500 * time.Millisecond,
+		tEndP: 15 * time.Second, blastPkts: 10,
+
+		floodCPs: []CP{CPMSMR, CPPCE},
+		floodVars: []e13FloodVar{
+			{rate: 100, attackers: 1}, {rate: 400, attackers: 1},
+			{rate: 2000, attackers: 1}, {rate: 2000, attackers: 4},
+			{rate: 2000, attackers: 1, quota: true},
+			{rate: 2000, attackers: 4, quota: true},
+		},
+		floodTTL: 5, serviceRate: 200, quota: 20,
+		tFloodOn: 8 * time.Second, tFloodOff: 16 * time.Second,
+		fWave1: 4 * time.Second, fWave2: 10 * time.Second,
+		tEndF: 21 * time.Second,
+	}
+	if quick {
+		ps.cps = []CP{CPMSMR, CPPCE}
+		ps.floodVars = []e13FloodVar{
+			{rate: 100, attackers: 1}, {rate: 2000, attackers: 1},
+			{rate: 2000, attackers: 1, quota: true},
+			{rate: 2000, attackers: 4, quota: true},
+		}
+	}
+	return ps
+}
+
+// e13PoisonResult is one (scenario, profile, control plane) cell outcome.
+type e13PoisonResult struct {
+	cp       CP
+	scenario string
+	profile  string
+	pairs    int // (source host, remote host) pairs measured
+	poisoned int // pairs steered to the attacker's locator
+	blackKB  float64
+	flowsOK  int
+	flows    int
+	forged   uint64 // forged/replayed control messages sent
+	rejected uint64 // forgeries stopped by a defense layer
+	ctlKB    float64
+}
+
+// e13Overclaim is the covering prefix the overclaim attack asserts: the
+// whole 100/8 EID space over the per-domain /16 sites.
+var e13Overclaim = netaddr.PrefixFrom(netaddr.AddrFrom4(100, 0, 0, 0), 8)
+
+const e13BlastPort = 7300
+
+// e13PairPoisoned reports whether the mapping xtr would use for
+// src -> dst steers the flow to the attacker.
+func e13PairPoisoned(x *lisp.XTR, atk, src, dst netaddr.Addr) bool {
+	if fe, ok := x.Flows.Lookup(lisp.FlowKey{Src: src, Dst: dst}); ok {
+		return fe.DstRLOC == atk
+	}
+	if e, ok := x.Cache.Lookup(dst); ok {
+		h := packet.NewFlow(packet.NewIPv4Endpoint(src), packet.NewIPv4Endpoint(dst)).FastHash()
+		if loc, usable := e.SelectLocator(h); usable {
+			return loc.Addr == atk
+		}
+	}
+	return false
+}
+
+// e13Rejected sums the defense rejection counters over the whole world:
+// ITR install rejections (overclaim floor, zero-locator), requester
+// nonce/signature rejections, NERD poller page rejections, and PCECP
+// auth rejections.
+func e13Rejected(w *World) uint64 {
+	var n uint64
+	for _, d := range w.In.Domains {
+		for _, x := range d.XTRs {
+			n += x.Stats.MappingsRejected
+		}
+	}
+	for _, req := range w.Requesters {
+		if req != nil {
+			n += req.Stats.AuthRejects + req.Stats.NonceMismatch
+		}
+	}
+	for _, ps := range w.Pollers {
+		for _, p := range ps {
+			n += p.Stats.AuthRejects
+		}
+	}
+	for _, p := range w.PCEs {
+		if p != nil {
+			n += p.Stats.AuthRejects
+		}
+	}
+	return n
+}
+
+// e13CtlKB returns total control bytes sent by the world's control plane.
+func e13CtlKB(w *World) float64 {
+	_, bytes := w.ControlTotals()
+	for _, p := range w.PCEs {
+		if p != nil {
+			bytes += p.Stats.TxControlBytes
+		}
+	}
+	return float64(bytes) / 1024
+}
+
+// e13RunPoisonCell runs one control plane through one attack under one
+// defense profile.
+func e13RunPoisonCell(cp CP, scKey, prKey string, seed int64, ps e13Params) e13PoisonResult {
+	var sc e13Scenario
+	for _, s := range e13Scenarios {
+		if s.key == scKey {
+			sc = s
+		}
+	}
+	var def DefenseConfig
+	for _, p := range e13Profiles() {
+		if p.key == prKey {
+			def = p.def
+		}
+	}
+	w := BuildWorld(WorldConfig{
+		CP: cp, Domains: 2, HostsPerDomain: ps.hosts, Seed: seed,
+		MissPolicy: lisp.MissQueue, MappingTTL: ps.ttl, NERDPoll: ps.nerdPoll,
+		Defenses: def,
+	})
+	d0, d1 := w.In.Domains[0], w.In.Domains[1]
+
+	var targets []netaddr.Addr
+	for _, x := range d0.XTRs {
+		targets = append(targets, x.RLOC())
+	}
+	acfg := adversary.Config{
+		Kind: sc.kind, Octet: 60, OnPath: sc.onPath,
+		Victims: []netaddr.Prefix{d1.EIDPrefix},
+		Targets: targets, Start: ps.tAttack,
+	}
+	if sc.kind == adversary.Overclaim {
+		acfg.ClaimPrefix = e13Overclaim
+	}
+	if !sc.onPath {
+		acfg.Rate = ps.blindRate
+	}
+	if cp == CPNERD {
+		// The poller's only keyless guard is a source check; spoof it.
+		acfg.SpoofSrc = w.NERD.Authority.Addr()
+	}
+	atk := adversary.Attach(w.In, acfg)
+
+	res := e13PoisonResult{cp: cp, scenario: scKey, profile: prKey}
+	// Two flow waves: the first resolves legitimately, the second (after
+	// the short mapping TTL expires) re-resolves inside the attack window
+	// — the exchange the on-path attacker races.
+	launch := func(at simnet.Time, off int) {
+		for i := 0; i < ps.hosts; i++ {
+			i := i
+			w.Sim.AtFunc(at, func() {
+				res.flows++
+				w.StartFlow(0, i, 1, (i+off)%ps.hosts, func(r FlowResult) {
+					if r.OK {
+						res.flowsOK++
+					}
+				})
+			})
+		}
+	}
+	launch(ps.tWave1, 0)
+	launch(ps.tWave2, 1)
+	// The blast: every source host fires UDP at every remote host; bytes
+	// at the attacker's data port were stolen by a poisoned mapping.
+	w.Sim.AtFunc(ps.tBlast, func() {
+		payload := make([]byte, 600)
+		for _, src := range d0.Hosts {
+			for _, dst := range d1.Hosts {
+				for k := 0; k < ps.blastPkts; k++ {
+					src.Node.SendUDP(src.Addr, dst.Addr, 40100, e13BlastPort,
+						packet.Payload(payload))
+				}
+			}
+		}
+	})
+	w.Settle()
+	w.RunUntil(ps.tEndP)
+
+	for _, src := range d0.Hosts {
+		for _, dst := range d1.Hosts {
+			res.pairs++
+			for _, x := range d0.XTRs {
+				if e13PairPoisoned(x, atk.Addr(), src.Addr, dst.Addr) {
+					res.poisoned++
+					break
+				}
+			}
+		}
+	}
+	res.blackKB = float64(atk.Stats.BlackholedBytes) / 1024
+	res.forged = atk.Stats.Forged
+	res.rejected = e13Rejected(w)
+	res.ctlKB = e13CtlKB(w)
+	return res
+}
+
+// e13FloodResult is one flood sweep point outcome.
+type e13FloodResult struct {
+	cp        CP
+	v         e13FloodVar
+	ok        bool
+	setup     simnet.Time // the mid-flood legitimate flow's setup (-1 = never)
+	drops     uint64      // requests shed at the resolution server
+	quotaHits uint64      // of which by the per-source quota
+	floodSent uint64
+}
+
+// e13RunFloodCell floods the plane's resolution server while a
+// legitimate flow resolves mid-window.
+func e13RunFloodCell(cp CP, v e13FloodVar, seed int64, ps e13Params) e13FloodResult {
+	def := DefenseConfig{PCEAuth: true, ResolverServiceRate: ps.serviceRate}
+	if v.quota {
+		def.SourceQuota = ps.quota
+	}
+	w := BuildWorld(WorldConfig{
+		CP: cp, Domains: 2, HostsPerDomain: 2, Seed: seed,
+		MissPolicy: lisp.MissQueue, MappingTTL: ps.floodTTL, Defenses: def,
+	})
+	var target netaddr.Addr
+	if cp == CPPCE {
+		target = w.PCEs[1].Addr() // the destination PCED answers MapFetch
+	} else {
+		target = w.MSMR.MR.Addr()
+	}
+	attackers := make([]*adversary.Attacker, v.attackers)
+	for i := range attackers {
+		attackers[i] = adversary.Attach(w.In, adversary.Config{
+			Kind: adversary.Flood, Name: fmt.Sprintf("attacker-%d", i),
+			Octet: byte(60 + i), Rate: v.rate / v.attackers,
+			FloodTarget: target, FloodECM: cp != CPPCE, FloodPCECP: cp == CPPCE,
+			Start: ps.tFloodOn, Stop: ps.tFloodOff,
+		})
+	}
+
+	res := e13FloodResult{cp: cp, v: v, setup: -1}
+	// Wave 1 seeds DNS caches, peer tables and (briefly) the mapping
+	// caches; the short TTL expires them before wave 2, whose resolution
+	// then has to traverse the flooded server: MS/MR re-resolves through
+	// the MR, the PCE serves the cache-hit DNS answer via MapFetch.
+	w.Sim.AtFunc(ps.fWave1, func() {
+		w.StartFlow(0, 0, 1, 0, func(FlowResult) {})
+	})
+	done := false
+	w.Sim.AtFunc(ps.fWave2, func() {
+		w.StartFlow(0, 1, 1, 0, func(r FlowResult) {
+			done, res.ok, res.setup = true, r.OK, r.Setup
+		})
+	})
+	w.Settle()
+	w.RunUntil(ps.tEndF)
+	if !done {
+		res.ok, res.setup = false, -1
+	}
+	for _, a := range attackers {
+		res.floodSent += a.Stats.FloodSent
+	}
+	if cp == CPPCE {
+		p := w.PCEs[1]
+		res.drops = p.Stats.FetchQueueDrops + p.Stats.FetchQuotaDrops
+		res.quotaHits = p.Stats.FetchQuotaDrops
+	} else {
+		mr := w.MSMR.MR
+		res.drops = mr.Stats.QueueDrops + mr.Stats.QuotaDrops
+		res.quotaHits = mr.Stats.QuotaDrops
+	}
+	return res
+}
+
+// e13PoisonExperiment decomposes the poisoning sweep into one cell per
+// (scenario, profile, control plane).
+func e13PoisonExperiment(seed int64, ps e13Params) ([]Cell, MergeFunc) {
+	var cells []Cell
+	for _, sc := range e13Scenarios {
+		for _, pr := range e13Profiles() {
+			for _, cp := range ps.cps {
+				sc, pr, cp := sc, pr, cp
+				cells = append(cells, Cell{
+					Label: fmt.Sprintf("%s+%s/%s", sc.key, pr.key, cp),
+					CP:    cp,
+					Run: func() interface{} {
+						return e13RunPoisonCell(cp, sc.key, pr.key, seed, ps)
+					},
+				})
+			}
+		}
+	}
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E13a: control-plane cache poisoning by attack and defense profile",
+			"attack", "defenses", "control plane", "poisoned", "blackholed KB",
+			"flows ok", "forged", "rejected", "ctl KB")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e13PoisonResult)
+			tbl.AddRow(c.scenario, c.profile, string(c.cp),
+				fmt.Sprintf("%d/%d", c.poisoned, c.pairs),
+				fmt.Sprintf("%.1f", c.blackKB),
+				fmt.Sprintf("%d/%d", c.flowsOK, c.flows),
+				c.forged, c.rejected, fmt.Sprintf("%.1f", c.ctlKB))
+		}
+		tbl.AddNote("poisoned = (source ITR, remote host) pairs whose installed mapping steers to the attacker; blackholed = bytes of a post-attack data blast delivered to the attacker's locator")
+		tbl.AddNote("defenses off = sloppy nonces + reply gleaning; nonce = strict nonce echo (RFC 6830); nonce+sig adds HMAC-signed replies and a /16 overclaim floor; the PCECP channel keeps its provisioned key in every profile")
+		tbl.AddNote("rejected sums floor/zero-locator install refusals, nonce and signature reply rejections, NERD page rejections and PCECP auth rejections")
+		return tbl
+	})
+	return cells, merge
+}
+
+// e13FloodExperiment decomposes the flood sweep into one cell per
+// (variant, control plane).
+func e13FloodExperiment(seed int64, ps e13Params) ([]Cell, MergeFunc) {
+	var cells []Cell
+	for _, v := range ps.floodVars {
+		for _, cp := range ps.floodCPs {
+			v, cp := v, cp
+			q := "off"
+			if v.quota {
+				q = "on"
+			}
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("flood-r%d-a%d-q%s/%s", v.rate, v.attackers, q, cp),
+				CP:    cp,
+				Run: func() interface{} {
+					return e13RunFloodCell(cp, v, seed, ps)
+				},
+			})
+		}
+	}
+	merge := tableMerge(func(results []interface{}) *metrics.Table {
+		tbl := metrics.NewTable(
+			"E13b: resolution under control-plane flooding (legitimate flow mid-flood)",
+			"control plane", "flood req/s", "attackers", "quota", "flow ok",
+			"setup s", "server drops", "quota drops", "flood sent")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			c := r.(e13FloodResult)
+			q := "off"
+			if c.v.quota {
+				q = "on"
+			}
+			setup := "never"
+			if c.setup >= 0 {
+				setup = fmt.Sprintf("%.2f", float64(c.setup)/float64(time.Second))
+			}
+			ok := "no"
+			if c.ok {
+				ok = "yes"
+			}
+			tbl.AddRow(string(c.cp), c.v.rate, c.v.attackers, q, ok, setup,
+				c.drops, c.quotaHits, c.floodSent)
+		}
+		tbl.AddNote("resolver/PCED service bounded at %d req/s (queue 64); flood window %v-%v against the MR (MS/MR) or the remote PCED's MapFetch service (PCE-CP); the measured flow resolves at %v",
+			ps.serviceRate, ps.tFloodOn, ps.tFloodOff, ps.fWave2)
+		tbl.AddNote("quota = per-source limit of %d req/s in front of the service queue; unverifiable PCECP floods still cost PCED service (signatures check at service time), so only the quota shields the queue",
+			ps.quota)
+		return tbl
+	})
+	return cells, merge
+}
+
+// e13Experiment assembles the two sweeps (E8-style composite).
+func e13Experiment(seed int64, quick bool) ([]Cell, MergeFunc) {
+	ps := e13Scale(quick)
+	pCells, pMerge := e13PoisonExperiment(seed, ps)
+	fCells, fMerge := e13FloodExperiment(seed, ps)
+	cells := make([]Cell, 0, len(pCells)+len(fCells))
+	cells = append(cells, pCells...)
+	cells = append(cells, fCells...)
+	np := len(pCells)
+	merge := func(results []interface{}) []*metrics.Table {
+		var out []*metrics.Table
+		out = append(out, pMerge(results[:np])...)
+		out = append(out, fMerge(results[np:])...)
+		return out
+	}
+	return cells, merge
+}
+
+// E13AdversarialRobustness runs E13 serially and returns its tables.
+func E13AdversarialRobustness(seed int64, quick bool) []*metrics.Table {
+	cells, merge := e13Experiment(seed, quick)
+	return merge(runCells("E13", cells, runner.Serial))
+}

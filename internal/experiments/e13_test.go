@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE13DefensesGatePoisoning encodes the experiment's acceptance
+// criterion: with defenses off, every pull-based control plane's
+// poisoned-cache rate strictly exceeds the PCE plane's (which must be
+// zero — its channel is keyed in every profile); with nonce+signature
+// defenses on, poisoning drops to zero for every plane.
+func TestE13DefensesGatePoisoning(t *testing.T) {
+	ps := e13Scale(true)
+	// Off-path spoofing poisons every pull plane when defenses are off.
+	pce := e13RunPoisonCell(CPPCE, "spoof-offpath", "off", 1, ps)
+	if pce.poisoned != 0 {
+		t.Errorf("spoof-offpath/off: PCE-CP poisoned %d/%d pairs — the keyed channel must not poison",
+			pce.poisoned, pce.pairs)
+	}
+	for _, cp := range []CP{CPALT, CPCONS, CPMSMR, CPNERD} {
+		pull := e13RunPoisonCell(cp, "spoof-offpath", "off", 1, ps)
+		if pull.poisoned <= pce.poisoned {
+			t.Errorf("spoof-offpath/off: %s poisoned %d/%d pairs, not strictly above PCE-CP's %d",
+				cp, pull.poisoned, pull.pairs, pce.poisoned)
+		}
+		if pull.blackKB <= 0 {
+			t.Errorf("spoof-offpath/off: %s poisoned but blackholed nothing", cp)
+		}
+	}
+	// On-path overclaiming hijacks the planes whose resolution crosses
+	// the core and answers queries with cache entries (ALT, MS/MR).
+	for _, cp := range []CP{CPALT, CPMSMR} {
+		pull := e13RunPoisonCell(cp, "overclaim", "off", 1, ps)
+		if pull.poisoned <= 0 || pull.blackKB <= 0 {
+			t.Errorf("overclaim/off: %s poisoned %d/%d, blackholed %.1fKB — covering reply did not hijack",
+				cp, pull.poisoned, pull.pairs, pull.blackKB)
+		}
+	}
+	// Two structural immunities worth pinning: CONS resolution rides
+	// provisioned overlay tunnels a core tap never sees, and NERD's
+	// immortal exact-prefix database records always out-LPM a covering /8.
+	if r := e13RunPoisonCell(CPCONS, "overclaim", "off", 1, ps); r.poisoned != 0 || r.forged != 0 {
+		t.Errorf("overclaim/off: CONS should be invisible to a core tap, got poisoned=%d forged=%d",
+			r.poisoned, r.forged)
+	}
+	if r := e13RunPoisonCell(CPNERD, "overclaim", "off", 1, ps); r.poisoned != 0 {
+		t.Errorf("overclaim/off: NERD's exact database records should out-LPM the /8, got %d/%d",
+			r.poisoned, r.pairs)
+	}
+	// Nonce+signature defenses zero out poisoning everywhere.
+	for _, sc := range []string{"spoof-offpath", "spoof-onpath", "overclaim", "replay"} {
+		for _, cp := range append([]CP{CPPCE}, CPALT, CPCONS, CPMSMR, CPNERD) {
+			hard := e13RunPoisonCell(cp, sc, "nonce+sig", 1, ps)
+			if hard.poisoned != 0 {
+				t.Errorf("%s/nonce+sig: %s still poisoned %d/%d pairs",
+					sc, cp, hard.poisoned, hard.pairs)
+			}
+		}
+	}
+	// And the defense layers visibly fired where the attack reached them.
+	if r := e13RunPoisonCell(CPMSMR, "spoof-offpath", "nonce+sig", 1, ps); r.rejected == 0 {
+		t.Error("spoof-offpath/nonce+sig: MS/MR rejected no forgeries — did the attack run?")
+	}
+}
+
+// TestE13NonceEchoLimits pins the layer-by-layer story: strict nonce
+// echo stops blind off-path forgeries but not on-path racing (the
+// attacker echoes the observed nonce), and it never was a defense for
+// the NERD poll channel — only signatures close those holes.
+func TestE13NonceEchoLimits(t *testing.T) {
+	ps := e13Scale(true)
+	if r := e13RunPoisonCell(CPMSMR, "spoof-offpath", "nonce", 1, ps); r.poisoned != 0 {
+		t.Errorf("nonce echo failed to stop blind off-path spoofing: %d/%d", r.poisoned, r.pairs)
+	}
+	if r := e13RunPoisonCell(CPMSMR, "spoof-onpath", "nonce", 1, ps); r.poisoned == 0 {
+		t.Error("on-path spoofing with the observed nonce should defeat nonce echo")
+	}
+	if r := e13RunPoisonCell(CPMSMR, "spoof-onpath", "nonce+sig", 1, ps); r.poisoned != 0 {
+		t.Errorf("signatures failed to stop on-path spoofing: %d/%d", r.poisoned, r.pairs)
+	}
+	if r := e13RunPoisonCell(CPNERD, "spoof-offpath", "nonce", 1, ps); r.poisoned == 0 {
+		t.Error("the NERD poll channel has no nonce: source-spoofed pages should still land")
+	}
+	if r := e13RunPoisonCell(CPMSMR, "replay", "nonce", 1, ps); r.poisoned == 0 {
+		t.Error("replayed records carry a live nonce: replay should defeat nonce echo")
+	}
+	if r := e13RunPoisonCell(CPMSMR, "replay", "nonce+sig", 1, ps); r.poisoned != 0 {
+		t.Errorf("mutated replays must fail signature verification: %d/%d", r.poisoned, r.pairs)
+	}
+}
+
+// TestE13FloodDegradationPoint quantifies the PCE's single point of
+// attack: a MapFetch flood under the PCED service rate leaves the
+// legitimate flow fast; an overwhelming flood visibly degrades it; the
+// per-source quota restores it.
+func TestE13FloodDegradationPoint(t *testing.T) {
+	ps := e13Scale(true)
+	calm := e13RunFloodCell(CPPCE, e13FloodVar{rate: 100, attackers: 1}, 1, ps)
+	if !calm.ok {
+		t.Fatal("sub-capacity flood: legitimate flow failed")
+	}
+	storm := e13RunFloodCell(CPPCE, e13FloodVar{rate: 2000, attackers: 1}, 1, ps)
+	if storm.drops == 0 {
+		t.Error("over-capacity flood shed nothing — is the service bound wired?")
+	}
+	if storm.ok && storm.setup < 4*calm.setup {
+		t.Errorf("over-capacity flood barely degraded setup: %v vs %v", storm.setup, calm.setup)
+	}
+	guarded := e13RunFloodCell(CPPCE, e13FloodVar{rate: 2000, attackers: 1, quota: true}, 1, ps)
+	if !guarded.ok {
+		t.Fatal("per-source quota failed to protect the legitimate flow")
+	}
+	if guarded.setup > calm.setup+2*time.Second {
+		t.Errorf("quota-guarded setup %v far above calm %v", guarded.setup, calm.setup)
+	}
+	if guarded.quotaHits == 0 {
+		t.Error("quota never fired during the flood")
+	}
+}

@@ -266,7 +266,7 @@ func TestE8QueueMemoryShape(t *testing.T) {
 // TestRegistry sanity-checks the experiment index.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
+	if len(all) != 13 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	seen := map[string]bool{}

@@ -66,6 +66,14 @@ var comparisonCPs = []CP{CPALT, CPCONS, CPMSMR, CPNERD, CPPCE}
 // authKey authenticates registrations in every deployment.
 var authKey = []byte("pcelisp-experiments")
 
+// replySignKey is the per-plane mapping-signature key provisioned when a
+// world's defense profile enables SignReplies, and pcecpKey the PCECP
+// channel key under PCEAuth. The E13 attacker holds neither.
+var (
+	replySignKey = []byte("pcelisp-reply-plane")
+	pcecpKey     = []byte("pcelisp-pcecp-plane")
+)
+
 // WorldConfig shapes a harness world.
 type WorldConfig struct {
 	// CP selects the control plane.
@@ -121,6 +129,42 @@ type WorldConfig struct {
 	// (0 = the package default set by SetWorldShards, itself defaulting
 	// to 1). Experiment output is byte-identical for every shard count.
 	Shards int
+	// Defenses selects the control-plane defense profile the adversarial
+	// experiment E13 sweeps. The zero value leaves every layer in its
+	// historical default (strict nonces, no signatures, no floors, no
+	// quotas) — byte-identical to pre-E13 worlds.
+	Defenses DefenseConfig
+}
+
+// DefenseConfig turns individual control-plane defense layers on or off.
+type DefenseConfig struct {
+	// SloppyNonce reverts requesters to pre-RFC-6830 permissiveness:
+	// positive replies are matched by EID when the nonce misses, and
+	// unsolicited positive replies are gleaned straight into the ITR
+	// caches — the exposure profile the off-path attacker needs.
+	SloppyNonce bool
+	// SignReplies provisions the per-plane reply signing key: every
+	// mapping-system responder (ETRs, MS negatives, ALT root, CONS
+	// routers, the NERD authority) signs and every requester/poller
+	// verifies.
+	SignReplies bool
+	// PCEAuth provisions the PCECP channel key: PCEs and their xTRs sign
+	// every push and reject unverified port-P traffic.
+	PCEAuth bool
+	// OverclaimFloor rejects installed mappings with prefixes shorter
+	// than this many bits at every ITR (0 = off).
+	OverclaimFloor int
+	// GleanRateLimit bounds per-ETR data-plane gleaning per second
+	// (0 = off).
+	GleanRateLimit int
+	// ResolverServiceRate bounds the Map-Resolver (and PCED MapFetch)
+	// service to this many requests per second (0 = infinite).
+	ResolverServiceRate int
+	// ResolverQueueCap bounds the service backlog (0 = default 64).
+	ResolverQueueCap int
+	// SourceQuota caps resolution requests per source per second in
+	// front of the service queue (0 = off).
+	SourceQuota int
 }
 
 // worldShards is the package-wide default shard count applied when a
@@ -192,6 +236,13 @@ type World struct {
 	// baseline and NERD control planes (nil entries otherwise) — the
 	// failure experiments mutate their locator R bits through watches.
 	Sites []*mapsys.Site
+
+	// Requesters holds the per-domain ITR-side requesters under the
+	// baseline control planes (nil entries otherwise), and Pollers the
+	// per-domain NERD pollers — the adversarial experiment reads their
+	// defense counters.
+	Requesters []*mapsys.Requester
+	Pollers    [][]*mapsys.NERDPoller
 
 	// readyMu guards mappingReady/prefixReady: readiness is reported
 	// from whichever shard hosts the acting node, concurrently during an
@@ -268,6 +319,8 @@ func BuildWorld(cfg WorldConfig) *World {
 			CachePolicy:         cfg.CachePolicy,
 			SplitXTRs:           cfg.SplitXTRs,
 			ProviderCapacityBps: cfg.CapacityBps,
+			OverclaimFloor:      cfg.Defenses.OverclaimFloor,
+			GleanRateLimit:      cfg.Defenses.GleanRateLimit,
 		})
 	}
 	in := topo.Build(spec)
@@ -275,6 +328,8 @@ func BuildWorld(cfg WorldConfig) *World {
 		Cfg: cfg, In: in, Sharded: in.Sharded, Sim: in.Sim,
 		PCEs:         make([]*core.PCE, cfg.Domains),
 		Sites:        make([]*mapsys.Site, cfg.Domains),
+		Requesters:   make([]*mapsys.Requester, cfg.Domains),
+		Pollers:      make([][]*mapsys.NERDPoller, cfg.Domains),
 		mappingReady: make(map[netaddr.Addr]simnet.Time),
 		prefixReady:  netaddr.NewTrie[simnet.Time](),
 	}
@@ -284,6 +339,9 @@ func BuildWorld(cfg WorldConfig) *World {
 		w.preinstallAll()
 	case CPALT:
 		w.ALT = mapsys.BuildALT(in.Sim, overlayConfigFor(cfg, in))
+		if cfg.Defenses.SignReplies {
+			w.ALT.ReplySignKey = replySignKey
+		}
 		w.attachBaseline(w.ALT)
 	case CPCONS:
 		w.CONS = mapsys.BuildCONS(in.Sim, overlayConfigFor(cfg, in))
@@ -291,6 +349,9 @@ func BuildWorld(cfg WorldConfig) *World {
 			// Overlay answer caches must not outlive the site TTL, or a
 			// re-resolution after expiry gets the stale cached record.
 			w.CONS.CacheTTL = time.Duration(cfg.MappingTTL) * time.Second
+		}
+		if cfg.Defenses.SignReplies {
+			w.CONS.ReplySignKey = replySignKey
 		}
 		w.attachBaseline(w.CONS)
 	case CPMSMR:
@@ -302,6 +363,9 @@ func BuildWorld(cfg WorldConfig) *World {
 		authority.PollInterval = 60 * time.Second
 		if cfg.NERDPoll > 0 {
 			authority.PollInterval = cfg.NERDPoll
+		}
+		if cfg.Defenses.SignReplies {
+			authority.ReplySignKey = replySignKey
 		}
 		w.NERD = mapsys.NewNERDSystem(authority, authKey)
 		for _, d := range in.Domains {
@@ -315,6 +379,10 @@ func BuildWorld(cfg WorldConfig) *World {
 			w.watchSite(w.NERD, d, site)
 			for _, x := range d.XTRs {
 				p := w.NERD.WireXTR(x)
+				w.Pollers[d.Index] = append(w.Pollers[d.Index], p)
+				if cfg.Defenses.SignReplies {
+					p.VerifyKey = replySignKey
+				}
 				xs := x.Node().Sim() // install callbacks run on the xTR's shard
 				p.OnInstall = func(prefix netaddr.Prefix) {
 					at := xs.Now()
@@ -337,8 +405,17 @@ func BuildWorld(cfg WorldConfig) *World {
 				deployOn = append(deployOn, i)
 			}
 		}
+		opts := core.DeployOptions{
+			MappingTTL:       cfg.MappingTTL,
+			FetchServiceRate: cfg.Defenses.ResolverServiceRate,
+			FetchQueueCap:    cfg.Defenses.ResolverQueueCap,
+			FetchQuotaLimit:  cfg.Defenses.SourceQuota,
+		}
+		if cfg.Defenses.PCEAuth {
+			opts.AuthKey = pcecpKey
+		}
 		for _, i := range deployOn {
-			pce := core.DeployDomainTTL(in.Domains[i], cfg.Policy, cfg.MappingTTL)
+			pce := core.DeployDomainOpts(in.Domains[i], cfg.Policy, opts)
 			pce.OnEvent = w.pceEvent
 			w.PCEs[i] = pce
 		}
@@ -415,13 +492,32 @@ func siteWeight(weights []uint8, i, n int) uint8 {
 
 // attachBaseline wires a pull-based mapping system into every domain.
 func (w *World) attachBaseline(sys mapsys.System) {
+	def := w.Cfg.Defenses
 	for _, d := range w.In.Domains {
 		site := siteFor(d, w.Cfg.MappingTTL, w.Cfg.SiteWeights)
+		if def.SignReplies {
+			site.ReplySignKey = replySignKey
+		}
 		w.Sites[d.Index] = site
 		resolver := sys.AttachSite(site)
 		w.watchSite(sys, d, site)
 		if resolver == nil {
 			continue
+		}
+		if req, ok := resolver.(*mapsys.Requester); ok {
+			w.Requesters[d.Index] = req
+			if def.SloppyNonce {
+				req.StrictNonce = false
+				xtrs := d.XTRs
+				req.OnUnsolicited = func(e *lisp.MapEntry) {
+					for _, x := range xtrs {
+						x.InstallMapping(e)
+					}
+				}
+			}
+			if def.SignReplies {
+				req.VerifyKey = replySignKey
+			}
 		}
 		timed := &timingResolver{inner: resolver, w: w, sim: d.XTRs[0].Node().Sim()}
 		for _, x := range d.XTRs {
@@ -500,18 +596,22 @@ func (w *World) ProbeMessages() uint64 {
 func (w *World) buildMSMR() *mapsys.MSMR {
 	msNode, msAddr := w.addInfraNode("map-server", 51, 12*time.Millisecond)
 	mrNode, mrAddr := w.addInfraNode("map-resolver", 52, 10*time.Millisecond)
-	return mapsys.NewMSMR(msNode, msAddr, mrNode, mrAddr, authKey)
+	m := mapsys.NewMSMR(msNode, msAddr, mrNode, mrAddr, authKey)
+	def := w.Cfg.Defenses
+	if def.SignReplies {
+		m.MS.ReplySignKey = replySignKey
+	}
+	m.MR.ServiceRate = def.ResolverServiceRate
+	m.MR.QueueCap = def.ResolverQueueCap
+	if def.SourceQuota > 0 {
+		m.MR.Quota = &lisp.SourceQuota{Limit: def.SourceQuota}
+	}
+	return m
 }
 
 // addInfraNode hangs an infrastructure node off the core.
 func (w *World) addInfraNode(name string, octet byte, delay time.Duration) (*simnet.Node, netaddr.Addr) {
-	n := w.Sim.NewNode(name)
-	l := simnet.Connect(n, w.In.Core, simnet.LinkConfig{Delay: delay})
-	addr := netaddr.AddrFrom4(198, 51, octet, 1)
-	l.A().SetAddr(addr)
-	n.SetDefaultRoute(l.A())
-	w.In.Core.AddRoute(netaddr.PrefixFrom(netaddr.AddrFrom4(198, 51, octet, 0), 24), l.B())
-	return n, addr
+	return w.In.AttachCoreStub(name, octet, delay)
 }
 
 // preinstallAll loads every cross-domain mapping into every ITR cache.

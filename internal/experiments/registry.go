@@ -232,6 +232,14 @@ func All() []Experiment {
 				return e12Experiment(seed, quick)
 			},
 		},
+		{
+			ID:    "E13",
+			Title: "Adversarial robustness: poisoning and flooding",
+			Claim: "open pull planes are poisonable without nonce+signature defenses; the provisioned PCECP channel is not, and its flood exposure is the bounded PCED service",
+			Build: func(seed int64, quick bool) ([]Cell, MergeFunc) {
+				return e13Experiment(seed, quick)
+			},
+		},
 	}
 }
 

@@ -1,0 +1,80 @@
+package lisp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// TestInstallMappingRejectsZeroLocators pins the first hardening rule of
+// the Map-Reply install path: an entry with no locators is unusable (it
+// can only blackhole queued and future packets) and must never enter the
+// cache, whatever path delivered it.
+func TestInstallMappingRejectsZeroLocators(t *testing.T) {
+	w := newLISPWorld(t, XTRConfig{MissPolicy: MissQueue})
+	w.sendData("held")
+	w.sim.RunFor(10 * time.Millisecond)
+
+	empty := &MapEntry{EIDPrefix: netaddr.MustParsePrefix("100.2.0.0/16")}
+	if w.xtrS.InstallMapping(empty) {
+		t.Fatal("zero-locator mapping must not install")
+	}
+	if w.xtrS.Stats.MappingsRejected != 1 {
+		t.Fatalf("MappingsRejected = %d, want 1", w.xtrS.Stats.MappingsRejected)
+	}
+	if _, ok := w.xtrS.Cache.Lookup(w.eidD); ok {
+		t.Fatal("cache holds an entry after a rejected install")
+	}
+	// The queued packet survives the rejected install and replays once a
+	// real mapping lands.
+	delivered := false
+	w.hD.ListenUDP(9000, func(*simnet.Delivery, *packet.UDP) { delivered = true })
+	if !w.xtrS.InstallMapping(dMapping()) {
+		t.Fatal("legitimate /16 mapping rejected")
+	}
+	w.sim.Run()
+	if !delivered {
+		t.Fatal("queued packet lost across the rejected install")
+	}
+}
+
+// TestInstallMappingOverclaimFloor pins the overclaim defense: with a
+// configured floor, a covering prefix shorter than the floor — the
+// E13 attacker's hijack vehicle — is rejected at install time, while
+// legitimately-sized site prefixes still install and carry traffic.
+func TestInstallMappingOverclaimFloor(t *testing.T) {
+	w := newLISPWorld(t, XTRConfig{MissPolicy: MissQueue, OverclaimFloor: 16})
+	over := &MapEntry{
+		EIDPrefix: netaddr.MustParsePrefix("100.0.0.0/8"),
+		Locators:  []packet.LISPLocator{loc("66.0.0.1", 1, 100)},
+	}
+	if w.xtrS.InstallMapping(over) {
+		t.Fatal("/8 covering mapping must not install under a /16 floor")
+	}
+	if w.xtrS.Stats.MappingsRejected != 1 {
+		t.Fatalf("MappingsRejected = %d, want 1", w.xtrS.Stats.MappingsRejected)
+	}
+	if _, ok := w.xtrS.Cache.Lookup(w.eidD); ok {
+		t.Fatal("covering entry answers lookups after rejection")
+	}
+	// An exact /16 is at the floor and must pass.
+	if !w.xtrS.InstallMapping(dMapping()) {
+		t.Fatal("/16 mapping rejected by a /16 floor")
+	}
+	e, ok := w.xtrS.Cache.Lookup(w.eidD)
+	if !ok {
+		t.Fatal("accepted mapping missing from cache")
+	}
+	if e.Locators[0].Addr != netaddr.MustParseAddr("12.0.0.1") {
+		t.Fatalf("locator = %v, want the legitimate ETR", e.Locators[0].Addr)
+	}
+	// A zero floor (the pre-hardening default) accepts covering prefixes:
+	// the defense is opt-in per profile, not a behavior change.
+	w2 := newLISPWorld(t, XTRConfig{MissPolicy: MissDrop})
+	if !w2.xtrS.InstallMapping(over) {
+		t.Fatal("covering mapping rejected with no floor configured")
+	}
+}

@@ -104,6 +104,13 @@ type XTRStats struct {
 	// control overhead.
 	TelemetryReports uint64
 	TelemetryBytes   uint64
+
+	// MappingsRejected counts mappings refused by InstallMapping's
+	// hardening checks (no locators, or a prefix under OverclaimFloor).
+	MappingsRejected uint64
+	// GleansSuppressed counts new flows whose decap-path gleaning was
+	// withheld by GleanRateLimit.
+	GleansSuppressed uint64
 }
 
 // XTRConfig configures a tunnel router.
@@ -133,6 +140,17 @@ type XTRConfig struct {
 	// resolutions (default 5). DisableNegativeCache turns it off.
 	NegativeTTL          uint32
 	DisableNegativeCache bool
+	// OverclaimFloor rejects mappings whose EID prefix is shorter than
+	// this many bits (0 = accept any): a crafted covering reply (say a
+	// /8 answering a host query) would otherwise hijack every future
+	// miss under it. Set it to the deployment's coarsest legitimate site
+	// prefix length.
+	OverclaimFloor int
+	// GleanRateLimit bounds how many *new* (inner src, inner dst) flows
+	// per second the ETR will glean state for on the decap path (0 =
+	// unlimited). Spoofed tunnel packets otherwise force unbounded
+	// reverse-mapping work through OnDecap.
+	GleanRateLimit int
 	// Resolver is the mapping system to consult on cache misses. May be
 	// nil for pure-push control planes (NERD, PCE-CP), in which case
 	// misses follow the policy with no resolution.
@@ -188,6 +206,10 @@ type XTR struct {
 	seenSources map[FlowKey]simnet.Time
 	seenTTL     simnet.Time
 	seenArmed   bool
+
+	// Glean rate-limit window state (see XTRConfig.GleanRateLimit).
+	gleanWin   simnet.Time
+	gleanCount int
 
 	// Serialization scratch reused across encaps: the Sim is single-
 	// threaded and packet.Serialize copies everything into its output
@@ -532,18 +554,28 @@ func (x *XTR) startResolution(dst netaddr.Addr) {
 			x.Stats.ResolutionsFailed++
 			return
 		}
-		x.InstallMapping(entry)
+		if !x.InstallMapping(entry) {
+			x.Stats.ResolutionsFailed++
+		}
 	})
 }
 
 // InstallMapping inserts a prefix mapping into the cache and replays any
-// packets queued for EIDs it covers.
-func (x *XTR) InstallMapping(entry *MapEntry) {
+// packets queued for EIDs it covers. It reports false — installing
+// nothing — for entries with no locators or a prefix shorter than the
+// configured overclaim floor: every install path (resolution answers,
+// PCE pushes) funnels through here, so a crafted reply cannot plant an
+// unusable or hijacking covering entry.
+func (x *XTR) InstallMapping(entry *MapEntry) bool {
+	if len(entry.Locators) == 0 || entry.EIDPrefix.Bits() < x.cfg.OverclaimFloor {
+		x.Stats.MappingsRejected++
+		return false
+	}
 	ttl := uint32(0)
 	if entry.Expires != 0 {
 		remaining := entry.Expires - x.node.Sim().Now()
 		if remaining <= 0 {
-			return
+			return false
 		}
 		ttl = uint32(remaining / simnet.Time(time.Second))
 		if ttl == 0 {
@@ -567,6 +599,7 @@ func (x *XTR) InstallMapping(entry *MapEntry) {
 			}
 		}
 	}
+	return true
 }
 
 // InstallFlow installs a per-flow 4-tuple (the PCE step-7b push) and
@@ -620,6 +653,23 @@ func (x *XTR) encap(srcRLOC, dstRLOC netaddr.Addr, inner []byte) {
 	x.node.Send(data)
 }
 
+// gleanAllowed consumes one slot of the per-second new-flow gleaning
+// budget (always true when GleanRateLimit is 0).
+func (x *XTR) gleanAllowed() bool {
+	if x.cfg.GleanRateLimit <= 0 {
+		return true
+	}
+	w := x.node.Sim().Now() / simnet.Time(time.Second)
+	if w != x.gleanWin {
+		x.gleanWin, x.gleanCount = w, 0
+	}
+	if x.gleanCount >= x.cfg.GleanRateLimit {
+		return false
+	}
+	x.gleanCount++
+	return true
+}
+
 // DecapInfo describes one decapsulated packet for the OnDecap hook: the
 // inner EID pair and the outer RLOC pair. First marks the first packet of
 // the (inner src, inner dst) flow seen at this ETR — the trigger for the
@@ -647,10 +697,17 @@ func (x *XTR) decap(d *simnet.Delivery, payload []byte) {
 	x.Stats.DecapPackets++
 	innerSrc, _ := packet.PeekIPv4Src(inner)
 	if x.OnDecap != nil {
-		outerSrc, _ := packet.PeekIPv4Src(d.Data)
-		outerDst, _ := packet.PeekIPv4Dst(d.Data)
 		fk := FlowKey{Src: innerSrc, Dst: innerDst}
 		_, seen := x.seenSources[fk]
+		if !seen && !x.gleanAllowed() {
+			// Rate-limited: forward the inner packet but glean no state
+			// for this new flow — it retries on its next packet.
+			x.Stats.GleansSuppressed++
+			x.node.Send(inner)
+			return
+		}
+		outerSrc, _ := packet.PeekIPv4Src(d.Data)
+		outerDst, _ := packet.PeekIPv4Dst(d.Data)
 		x.seenSources[fk] = x.node.Sim().Now()
 		x.armSeenPrune()
 		x.OnDecap(DecapInfo{

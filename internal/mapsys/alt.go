@@ -21,6 +21,10 @@ type ALT struct {
 	tree       *overlayTree
 	siteAgents []*ControlAgent
 
+	// ReplySignKey, when non-nil, signs the overlay's negative replies
+	// (positive replies come from the ETRs, signed with the site key).
+	ReplySignKey []byte
+
 	// Stats counts overlay activity.
 	Stats ALTStats
 }
@@ -58,7 +62,7 @@ func (a *ALT) routeRequest(r *overlayRouter, m *packet.LISPMapRequest) {
 	next, ok := r.routeFor(eid)
 	if !ok {
 		a.Stats.RootMisses++
-		r.agent.Send(m.ITRRLOCs[0], &packet.LISPMapReply{Nonce: m.Nonce})
+		r.agent.Send(m.ITRRLOCs[0], &packet.LISPMapReply{Nonce: m.Nonce, KeyID: 1, AuthKey: a.ReplySignKey})
 		return
 	}
 	a.Stats.RequestsForwarded++

@@ -25,6 +25,12 @@ type CONS struct {
 	// CacheTTL bounds intermediate answer caching (default 60s).
 	CacheTTL simnet.Time
 
+	// ReplySignKey, when non-nil, signs every reply the overlay
+	// originates (CAR databases, intermediate caches, root misses) —
+	// CONS routers are the plane's trusted infrastructure, so they share
+	// one plane key.
+	ReplySignKey []byte
+
 	// Stats counts overlay activity.
 	Stats CONSStats
 }
@@ -91,13 +97,13 @@ func (c *CONS) handleRequest(r *consRouter, src netaddr.Addr, m *packet.LISPMapR
 	eid := m.EIDPrefixes[0].Addr()
 	if rec, _, ok := r.db.Lookup(eid); ok {
 		c.Stats.AuthoritativeAnswers++
-		r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce, Records: []packet.LISPMapRecord{rec}})
+		r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce, KeyID: 1, AuthKey: c.ReplySignKey, Records: []packet.LISPMapRecord{rec}})
 		return
 	}
 	if e, p, ok := r.cache.Lookup(eid); ok {
 		if r.node.Sim().Now() < e.expires {
 			c.Stats.CacheAnswers++
-			r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce, Records: []packet.LISPMapRecord{e.record}})
+			r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce, KeyID: 1, AuthKey: c.ReplySignKey, Records: []packet.LISPMapRecord{e.record}})
 			return
 		}
 		r.cache.Delete(netaddr.PrefixFrom(eid, p.Bits()))
@@ -105,7 +111,7 @@ func (c *CONS) handleRequest(r *consRouter, src netaddr.Addr, m *packet.LISPMapR
 	next, ok := r.routeFor(eid)
 	if !ok {
 		c.Stats.RootMisses++
-		r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce})
+		r.agent.Send(src, &packet.LISPMapReply{Nonce: m.Nonce, KeyID: 1, AuthKey: c.ReplySignKey})
 		return
 	}
 	c.Stats.RequestsForwarded++

@@ -1,0 +1,204 @@
+package mapsys
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+)
+
+// pendingNonce reads the single outstanding nonce of a requester — the
+// tests below use it to play a nonce-knowing (on-path) forger.
+func pendingNonce(t *testing.T, r *Requester) uint64 {
+	t.Helper()
+	if len(r.pending) != 1 {
+		t.Fatalf("pending resolutions = %d, want 1", len(r.pending))
+	}
+	for n := range r.pending {
+		return n
+	}
+	return 0
+}
+
+// TestForgedNegativeRequiresExactNonce pins the negative-cache defense:
+// a forged "no mapping" Map-Reply must not seed a negative entry unless
+// its nonce matches the outstanding request — even on a sloppy requester
+// that gleans unsolicited positives. Only the nonce-verified negative
+// (here the authoritative one, arriving a full resolution round later)
+// may complete the resolution.
+func TestForgedNegativeRequiresExactNonce(t *testing.T) {
+	w := newMSWorld(t, 2)
+	msNode, msAddr := w.addInfraNode("ms", 1, 10*time.Millisecond)
+	mrNode, mrAddr := w.addInfraNode("mr", 2, 10*time.Millisecond)
+	sys := NewMSMR(msNode, msAddr, mrNode, mrAddr, testKey)
+	r0 := sys.AttachSite(w.sites[0]).(*Requester)
+	sys.AttachSite(w.sites[1])
+	// Worst-case requester: sloppy nonce handling with gleaning enabled.
+	// Negatives must still demand the exact nonce.
+	r0.StrictNonce = false
+	r0.OnUnsolicited = func(*lisp.MapEntry) {}
+	rogue, rogueAddr := w.addInfraNode("rogue", 66, time.Millisecond)
+	w.sim.RunFor(time.Second)
+
+	eid := netaddr.MustParseAddr("100.99.0.1")
+	var entry *lisp.MapEntry
+	var done, ok bool
+	var doneAt simnet.Time
+	start := w.sim.Now()
+	r0.Resolve(eid, func(e *lisp.MapEntry, success bool) {
+		entry, ok, done, doneAt = e, success, true, w.sim.Now()
+	})
+	// Race a forged negative with a wrong nonce: it reaches the requester
+	// ~17ms in, long before the authoritative negative can (>=47ms of
+	// link delay alone).
+	w.sim.ScheduleFunc(time.Millisecond, func() {
+		rogue.SendUDP(rogueAddr, w.sites[0].Addr, packet.PortLISPControl,
+			packet.PortLISPControl, &packet.LISPMapReply{Nonce: 0xbadbad})
+	})
+	w.sim.RunFor(20 * time.Second)
+	if !done || ok || entry == nil || !entry.Negative {
+		t.Fatalf("resolution = %+v ok=%v done=%v, want authoritative negative", entry, ok, done)
+	}
+	if forged := doneAt - start; forged < 47*time.Millisecond {
+		t.Fatalf("negative completed at +%v — the forged reply short-circuited resolution", forged)
+	}
+	if r0.Stats.NonceMismatch != 1 {
+		t.Fatalf("NonceMismatch = %d, want the forged negative counted", r0.Stats.NonceMismatch)
+	}
+	if r0.Stats.Negatives != 1 {
+		t.Fatalf("Negatives = %d, want exactly the authoritative one", r0.Stats.Negatives)
+	}
+
+	// The converse: a negative echoing the live nonce is accepted at face
+	// value (the nonce is the only authenticator without signatures) —
+	// which is precisely why on-path attackers force the signature layer.
+	eid2 := netaddr.MustParseAddr("100.2.0.9")
+	done2 := false
+	var ok2 bool
+	start2 := w.sim.Now()
+	var at2 simnet.Time
+	r0.Resolve(eid2, func(e *lisp.MapEntry, success bool) {
+		ok2, done2, at2 = success, true, w.sim.Now()
+	})
+	nonce := pendingNonce(t, r0)
+	w.sim.ScheduleFunc(time.Millisecond, func() {
+		rogue.SendUDP(rogueAddr, w.sites[0].Addr, packet.PortLISPControl,
+			packet.PortLISPControl, &packet.LISPMapReply{Nonce: nonce})
+	})
+	w.sim.RunFor(20 * time.Second)
+	if !done2 || ok2 {
+		t.Fatalf("nonce-echoing forged negative not accepted: done=%v ok=%v", done2, ok2)
+	}
+	if at2-start2 > 30*time.Millisecond {
+		t.Fatalf("forged negative landed at +%v, expected the early forged arrival", at2-start2)
+	}
+	if r0.Stats.Negatives != 2 {
+		t.Fatalf("Negatives = %d after nonce-echoing forgery, want 2", r0.Stats.Negatives)
+	}
+}
+
+// TestSloppyGleaningVersusStrictNonce pins the two requester postures
+// against the same unsolicited forged positive: strict nonce echo drops
+// it as a mismatch; the sloppy historical mode gleans it straight into
+// the cache hook — the hole E13's off-path spoofing drives through.
+func TestSloppyGleaningVersusStrictNonce(t *testing.T) {
+	attack := func(strict bool) (*Requester, *lisp.MapEntry) {
+		w := newMSWorld(t, 2)
+		msNode, msAddr := w.addInfraNode("ms", 1, 10*time.Millisecond)
+		mrNode, mrAddr := w.addInfraNode("mr", 2, 10*time.Millisecond)
+		sys := NewMSMR(msNode, msAddr, mrNode, mrAddr, testKey)
+		r0 := sys.AttachSite(w.sites[0]).(*Requester)
+		sys.AttachSite(w.sites[1])
+		var gleaned *lisp.MapEntry
+		r0.StrictNonce = strict
+		r0.OnUnsolicited = func(e *lisp.MapEntry) { gleaned = e }
+		rogue, rogueAddr := w.addInfraNode("rogue", 66, time.Millisecond)
+		w.sim.RunFor(time.Second)
+		rogue.SendUDP(rogueAddr, w.sites[0].Addr, packet.PortLISPControl,
+			packet.PortLISPControl, &packet.LISPMapReply{
+				Nonce: 0xf00d,
+				Records: []packet.LISPMapRecord{{
+					EIDPrefix: w.sites[1].Prefix,
+					TTL:       60,
+					Locators: []packet.LISPLocator{
+						{Priority: 1, Weight: 100, Reachable: true, Addr: rogueAddr},
+					},
+				}},
+			})
+		w.sim.RunFor(time.Second)
+		return r0, gleaned
+	}
+
+	strict, gleaned := attack(true)
+	if gleaned != nil {
+		t.Fatalf("strict requester gleaned %+v", gleaned)
+	}
+	if strict.Stats.NonceMismatch != 1 || strict.Stats.Unsolicited != 0 {
+		t.Fatalf("strict: NonceMismatch=%d Unsolicited=%d, want 1/0",
+			strict.Stats.NonceMismatch, strict.Stats.Unsolicited)
+	}
+
+	sloppy, gleaned := attack(false)
+	if gleaned == nil {
+		t.Fatal("sloppy requester did not glean the unsolicited reply")
+	}
+	if gleaned.Locators[0].Addr != netaddr.AddrFrom4(198, 51, 66, 1) {
+		t.Fatalf("gleaned locator = %v, want the rogue's", gleaned.Locators[0].Addr)
+	}
+	if sloppy.Stats.Unsolicited != 1 {
+		t.Fatalf("sloppy: Unsolicited = %d, want 1", sloppy.Stats.Unsolicited)
+	}
+}
+
+// TestSignedRepliesDefeatNonceKnowingForger pins the signature layer: a
+// forger who echoes the live nonce (an on-path observer) still fails
+// against a requester that demands the reply-plane HMAC, and the
+// resolution completes with the legitimate, signed answer.
+func TestSignedRepliesDefeatNonceKnowingForger(t *testing.T) {
+	signKey := []byte("reply-plane-key")
+	w := newMSWorld(t, 2)
+	msNode, msAddr := w.addInfraNode("ms", 1, 10*time.Millisecond)
+	mrNode, mrAddr := w.addInfraNode("mr", 2, 10*time.Millisecond)
+	sys := NewMSMR(msNode, msAddr, mrNode, mrAddr, testKey)
+	sys.MS.ReplySignKey = signKey
+	for _, site := range w.sites {
+		site.ReplySignKey = signKey
+	}
+	r0 := sys.AttachSite(w.sites[0]).(*Requester)
+	sys.AttachSite(w.sites[1])
+	r0.VerifyKey = signKey
+	rogue, rogueAddr := w.addInfraNode("rogue", 66, time.Millisecond)
+	w.sim.RunFor(time.Second)
+
+	eid := netaddr.MustParseAddr("100.2.0.9")
+	var entry *lisp.MapEntry
+	var ok bool
+	r0.Resolve(eid, func(e *lisp.MapEntry, success bool) { entry, ok = e, success })
+	nonce := pendingNonce(t, r0)
+	w.sim.ScheduleFunc(time.Millisecond, func() {
+		rogue.SendUDP(rogueAddr, w.sites[0].Addr, packet.PortLISPControl,
+			packet.PortLISPControl, &packet.LISPMapReply{
+				Nonce: nonce,
+				Records: []packet.LISPMapRecord{{
+					EIDPrefix: w.sites[1].Prefix,
+					TTL:       60,
+					Locators: []packet.LISPLocator{
+						{Priority: 1, Weight: 100, Reachable: true, Addr: rogueAddr},
+					},
+				}},
+			})
+	})
+	w.sim.RunFor(20 * time.Second)
+	if r0.Stats.AuthRejects != 1 {
+		t.Fatalf("AuthRejects = %d, want the unsigned forgery rejected", r0.Stats.AuthRejects)
+	}
+	if !ok || entry == nil {
+		t.Fatalf("legitimate signed resolution failed: %+v ok=%v", entry, ok)
+	}
+	if entry.Locators[0].Addr != w.sites[1].Addr {
+		t.Fatalf("locator = %v, want the legitimate ETR %v", entry.Locators[0].Addr, w.sites[1].Addr)
+	}
+}

@@ -38,6 +38,10 @@ type Site struct {
 	TTL uint32
 	// AuthKey authenticates the site's Map-Register messages.
 	AuthKey []byte
+	// ReplySignKey, when non-nil, makes the site's responders sign their
+	// Map-Replies (HMAC-SHA1 over the message). Nil keeps replies
+	// unsigned and byte-identical to the pre-defense wire format.
+	ReplySignKey []byte
 }
 
 // Record returns the site's mapping record with a snapshot of the
@@ -185,6 +189,22 @@ type Requester struct {
 	Timeout simnet.Time
 	// MaxRetries bounds re-sends.
 	MaxRetries int
+	// StrictNonce (the default) accepts a reply only when its nonce
+	// exactly matches an outstanding request — the nonce-echo defense of
+	// RFC 6830 §6.1.4. When false the requester behaves like early
+	// implementations: a positive reply whose record covers a pending
+	// EID is accepted whatever its nonce, and unsolicited positive
+	// replies are gleaned through OnUnsolicited. Negative replies always
+	// require the exact nonce — a forged "no mapping" must never seed
+	// the negative cache.
+	StrictNonce bool
+	// VerifyKey, when non-nil, rejects any reply without a valid
+	// HMAC-SHA1 auth block under this key.
+	VerifyKey []byte
+	// OnUnsolicited, when set and StrictNonce is off, installs positive
+	// replies that match no pending resolution (historic Map-Reply
+	// gleaning — the cache-injection hole the E13 attacker exploits).
+	OnUnsolicited func(*lisp.MapEntry)
 
 	pending map[uint64]*pendingResolve
 
@@ -199,6 +219,16 @@ type RequesterStats struct {
 	Timeouts  uint64
 	Answers   uint64
 	Negatives uint64
+	// AuthRejects counts replies dropped for a missing or bad signature.
+	AuthRejects uint64
+	// NonceMismatch counts replies matching no outstanding nonce
+	// (duplicates, stale retries, or forgeries caught by StrictNonce).
+	NonceMismatch uint64
+	// SloppyAccepts counts replies accepted by EID match despite a nonce
+	// mismatch (StrictNonce off).
+	SloppyAccepts uint64
+	// Unsolicited counts gleaned replies handed to OnUnsolicited.
+	Unsolicited uint64
 }
 
 type pendingResolve struct {
@@ -217,8 +247,9 @@ func NewRequester(agent *ControlAgent) *Requester {
 		Timeout: 1 * time.Second,
 		// One retry by default: the paper's drop analysis is about the
 		// first packets, not about endless retransmission.
-		MaxRetries: 2,
-		pending:    make(map[uint64]*pendingResolve),
+		MaxRetries:  2,
+		StrictNonce: true,
+		pending:     make(map[uint64]*pendingResolve),
 	}
 	agent.OnMapReply = r.onReply
 	return r
@@ -283,11 +314,27 @@ func (r *Requester) OnTimer(arg simnet.TimerArg) {
 }
 
 func (r *Requester) onReply(src netaddr.Addr, m *packet.LISPMapReply) {
-	p, ok := r.pending[m.Nonce]
-	if !ok {
-		return // duplicate or stale
+	if r.VerifyKey != nil && !m.VerifyAuth(r.VerifyKey) {
+		r.Stats.AuthRejects++
+		return
 	}
-	delete(r.pending, m.Nonce)
+	nonce := m.Nonce
+	p, ok := r.pending[nonce]
+	if !ok && !r.StrictNonce && len(m.Records) > 0 && len(m.Records[0].Locators) > 0 {
+		if n2, p2, found := r.findByEID(m.Records[0].EIDPrefix); found {
+			nonce, p, ok = n2, p2, true
+			r.Stats.SloppyAccepts++
+		} else if r.OnUnsolicited != nil {
+			r.Stats.Unsolicited++
+			r.OnUnsolicited(RecordToEntry(r.agent.node.Sim(), m.Records[0]))
+			return
+		}
+	}
+	if !ok {
+		r.Stats.NonceMismatch++
+		return // duplicate, stale, or forged
+	}
+	delete(r.pending, nonce)
 	if len(m.Records) == 0 || len(m.Records[0].Locators) == 0 {
 		// An authoritative empty reply, not a timeout: hand the ITR a
 		// negative entry so it can negative-cache the answer instead of
@@ -298,6 +345,23 @@ func (r *Requester) onReply(src netaddr.Addr, m *packet.LISPMapReply) {
 	}
 	r.Stats.Answers++
 	p.done(RecordToEntry(r.agent.node.Sim(), m.Records[0]), true)
+}
+
+// findByEID returns the pending resolution whose EID the record prefix
+// covers, choosing the smallest (EID, nonce) pair so map iteration order
+// never influences behavior.
+func (r *Requester) findByEID(prefix netaddr.Prefix) (uint64, *pendingResolve, bool) {
+	var bestNonce uint64
+	var best *pendingResolve
+	for n, p := range r.pending {
+		if !prefix.Contains(p.eid) {
+			continue
+		}
+		if best == nil || p.eid < best.eid || (p.eid == best.eid && n < bestNonce) {
+			bestNonce, best = n, p
+		}
+	}
+	return bestNonce, best, best != nil
 }
 
 // ETRResponder makes a site's control agent answer Map-Requests with the
@@ -314,7 +378,7 @@ func ETRResponder(agent *ControlAgent, site *Site) {
 				break
 			}
 		}
-		reply := &packet.LISPMapReply{Nonce: m.Nonce}
+		reply := &packet.LISPMapReply{Nonce: m.Nonce, KeyID: 1, AuthKey: site.ReplySignKey}
 		if covers {
 			reply.Records = []packet.LISPMapRecord{site.Record()}
 		}

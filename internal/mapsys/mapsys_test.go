@@ -75,7 +75,6 @@ func resolveOnce(w *msWorld, r lisp.Resolver, eid netaddr.Addr) (*lisp.MapEntry,
 	return entry, ok, at - start
 }
 
-
 // aboutEq tolerates the distinct per-hop overlay delay offsets (a few
 // hundred ns per hop) on top of the nominal path-delay sum.
 func aboutEq(elapsed, want simnet.Time) bool {

@@ -18,6 +18,10 @@ type MapServer struct {
 	authKey []byte
 	sites   *netaddr.Trie[registeredSite]
 
+	// ReplySignKey, when non-nil, signs the server's negative Map-Replies
+	// so forged "no mapping" answers cannot impersonate it.
+	ReplySignKey []byte
+
 	// Stats counts server activity.
 	Stats MapServerStats
 }
@@ -84,7 +88,7 @@ func (ms *MapServer) onRequest(src netaddr.Addr, m *packet.LISPMapRequest) {
 	site, _, ok := ms.sites.Lookup(eid)
 	if !ok {
 		ms.Stats.Negatives++
-		ms.agent.Send(m.ITRRLOCs[0], &packet.LISPMapReply{Nonce: m.Nonce})
+		ms.agent.Send(m.ITRRLOCs[0], &packet.LISPMapReply{Nonce: m.Nonce, KeyID: 1, AuthKey: ms.ReplySignKey})
 		return
 	}
 	ms.Stats.Forwarded++
@@ -93,9 +97,27 @@ func (ms *MapServer) onRequest(src netaddr.Addr, m *packet.LISPMapRequest) {
 
 // MapResolver accepts ECM Map-Requests from ITRs and forwards them to the
 // map-server (RFC 6833 §4.4). The indirection leg is part of T_map.
+//
+// By default the resolver forwards immediately (infinite capacity — the
+// pre-E13 behavior, byte-identical). With ServiceRate set it models a
+// bounded control-plane processor: each request costs 1/ServiceRate
+// seconds of a single FIFO server, requests arriving when the backlog
+// exceeds QueueCap service slots are dropped, and a per-source quota can
+// shield the queue from a flooding source.
 type MapResolver struct {
 	agent *ControlAgent
 	ms    netaddr.Addr
+
+	// ServiceRate is the requests-per-second the resolver can process
+	// (0 = infinite, forward immediately).
+	ServiceRate int
+	// QueueCap bounds the backlog in service slots when ServiceRate is
+	// set (0 = a default of 64).
+	QueueCap int
+	// Quota, when non-nil, is consulted per source before queueing.
+	Quota *lisp.SourceQuota
+
+	busyUntil simnet.Time
 
 	// Stats counts resolver activity.
 	Stats MapResolverStats
@@ -104,17 +126,56 @@ type MapResolver struct {
 // MapResolverStats counts map-resolver activity.
 type MapResolverStats struct {
 	Forwarded uint64
+	// QueueDrops counts requests shed because the service backlog
+	// exceeded QueueCap.
+	QueueDrops uint64
+	// QuotaDrops counts requests shed by the per-source quota.
+	QuotaDrops uint64
 }
 
 // NewMapResolver attaches a map-resolver to node at addr, forwarding to
 // the map-server at ms.
 func NewMapResolver(node *simnet.Node, addr, ms netaddr.Addr) *MapResolver {
 	mr := &MapResolver{agent: NewControlAgent(node, addr), ms: ms}
-	mr.agent.OnMapRequest = func(src netaddr.Addr, m *packet.LISPMapRequest) {
+	mr.agent.OnMapRequest = mr.onRequest
+	return mr
+}
+
+func (mr *MapResolver) onRequest(src netaddr.Addr, m *packet.LISPMapRequest) {
+	now := mr.agent.node.Sim().Now()
+	if mr.Quota != nil && !mr.Quota.Allow(now, src) {
+		mr.Stats.QuotaDrops++
+		return
+	}
+	if mr.ServiceRate <= 0 {
 		mr.Stats.Forwarded++
 		mr.agent.SendECM(mr.ms, m)
+		return
 	}
-	return mr
+	cost := simnet.Time(time.Second) / simnet.Time(mr.ServiceRate)
+	cap := mr.QueueCap
+	if cap <= 0 {
+		cap = 64
+	}
+	start := mr.busyUntil
+	if start < now {
+		start = now
+	}
+	if start-now > cost*simnet.Time(cap) {
+		mr.Stats.QueueDrops++
+		return
+	}
+	mr.busyUntil = start + cost
+	// Each queued request carries its own completion timer: the queue
+	// itself is implicit in busyUntil, so no container to drain.
+	mr.agent.node.Sim().ScheduleTimer(mr.busyUntil-now, mr, simnet.TimerArg{P: m})
+}
+
+// OnTimer implements simnet.TimerHandler: one request leaves the service
+// queue and is forwarded to the map-server.
+func (mr *MapResolver) OnTimer(arg simnet.TimerArg) {
+	mr.Stats.Forwarded++
+	mr.agent.SendECM(mr.ms, arg.P.(*packet.LISPMapRequest))
 }
 
 // Addr returns the map-resolver's address.

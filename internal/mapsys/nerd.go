@@ -31,6 +31,10 @@ type NERD struct {
 	// PollInterval is how often ITRs pull deltas (default 60s).
 	PollInterval simnet.Time
 
+	// ReplySignKey, when non-nil, signs database pages — the simulation's
+	// stand-in for the signed flat file of the original NERD.
+	ReplySignKey []byte
+
 	// Stats counts authority activity.
 	Stats NERDStats
 }
@@ -96,7 +100,7 @@ func (n *NERD) onPoll(src netaddr.Addr, m *packet.LISPMapRequest) {
 			return
 		}
 		n.Stats.RecordsSent += uint64(len(page))
-		n.agent.Send(src, &packet.LISPMapReply{Nonce: n.version, Records: page})
+		n.agent.Send(src, &packet.LISPMapReply{Nonce: n.version, KeyID: 1, AuthKey: n.ReplySignKey, Records: page})
 		page = nil
 	}
 	for _, vr := range n.records {
@@ -111,7 +115,7 @@ func (n *NERD) onPoll(src netaddr.Addr, m *packet.LISPMapRequest) {
 	flush()
 	if since >= n.version {
 		// Nothing new: still answer so the poller can observe liveness.
-		n.agent.Send(src, &packet.LISPMapReply{Nonce: n.version})
+		n.agent.Send(src, &packet.LISPMapReply{Nonce: n.version, KeyID: 1, AuthKey: n.ReplySignKey})
 	}
 }
 
@@ -128,6 +132,11 @@ type NERDPoller struct {
 	// instrumentation: mapping-readiness timing).
 	OnInstall func(prefix netaddr.Prefix)
 
+	// VerifyKey, when non-nil, rejects unsigned or mis-signed pages —
+	// without it the source-address check below is the poller's only
+	// guard, and source addresses are trivially spoofable.
+	VerifyKey []byte
+
 	// Stats counts poller activity.
 	Stats NERDPollerStats
 }
@@ -137,6 +146,8 @@ type NERDPollerStats struct {
 	Polls            uint64
 	RecordsInstalled uint64
 	BytesReceived    uint64
+	// AuthRejects counts pages dropped for a missing or bad signature.
+	AuthRejects uint64
 }
 
 // NewNERDPoller starts polling after firstDelay (a booting ITR waits for
@@ -166,6 +177,10 @@ func (p *NERDPoller) poll() {
 }
 
 func (p *NERDPoller) onReply(src netaddr.Addr, m *packet.LISPMapReply) {
+	if p.VerifyKey != nil && !m.VerifyAuth(p.VerifyKey) {
+		p.Stats.AuthRejects++
+		return
+	}
 	if src != p.authority {
 		return
 	}

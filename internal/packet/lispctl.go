@@ -339,18 +339,32 @@ func decodeAFIAddr(data []byte, off int) (netaddr.Addr, int, error) {
 }
 
 // LISPMapReply is the Map-Reply control message (type 2).
+//
+// When the Security (S) bit is set the 12-byte header is followed by an
+// authentication block — KeyID (2), AuthLen (2), AuthData — before the
+// records, mirroring the Map-Register layout at the same byte offsets.
+// The HMAC is computed over the whole message with the auth-data field
+// zeroed, so an on-path attacker cannot splice forged records into a
+// signed reply.
 type LISPMapReply struct {
 	BaseLayer
 	// Probe (P) marks a probe reply.
 	Probe bool
 	// Echo (E) requests echo-nonce.
 	Echo bool
-	// Security (S) is unused here.
+	// Security (S) marks an authenticated reply carrying an auth block.
 	Security bool
 	// Nonce echoes the request nonce.
 	Nonce uint64
+	// KeyID selects the shared key (1 = HMAC-SHA1 here).
+	KeyID uint16
+	// AuthData is the HMAC over the message with this field zeroed.
+	AuthData []byte
 	// Records holds the mappings.
 	Records []LISPMapRecord
+	// AuthKey, when non-nil, makes SerializeTo compute AuthData and set
+	// the Security bit. It is never serialized.
+	AuthKey []byte
 }
 
 // LayerType returns LayerTypeLISPMapReply.
@@ -359,11 +373,18 @@ func (*LISPMapReply) LayerType() LayerType { return LayerTypeLISPMapReply }
 // Payload returns nil (application layer).
 func (*LISPMapReply) Payload() []byte { return nil }
 
-// SerializeTo implements SerializableLayer.
-func (m *LISPMapReply) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+// SerializeTo implements SerializableLayer. With a non-nil AuthKey and
+// ComputeChecksums set, the HMAC is computed over the message with the
+// auth-data field zeroed, as for Map-Register.
+func (m *LISPMapReply) SerializeTo(b SerializeBuffer, opts SerializeOptions) error {
 	if len(m.Records) > 255 {
 		return fmt.Errorf("Map-Reply has %d records (max 255)", len(m.Records))
 	}
+	auth := m.AuthData
+	if m.AuthKey != nil && opts.ComputeChecksums {
+		auth = make([]byte, lispAuthLen)
+	}
+	signed := m.Security || len(auth) > 0
 	var flags byte = lispTypeMapReply << 4
 	if m.Probe {
 		flags |= 0x08
@@ -371,16 +392,26 @@ func (m *LISPMapReply) SerializeTo(b SerializeBuffer, _ SerializeOptions) error 
 	if m.Echo {
 		flags |= 0x04
 	}
-	if m.Security {
+	if signed {
 		flags |= 0x02
 	}
 	enc := []byte{flags, 0, 0, byte(len(m.Records))}
 	enc = appendUint64(enc, m.Nonce)
+	if signed {
+		enc = append(enc, byte(m.KeyID>>8), byte(m.KeyID), byte(len(auth)>>8), byte(len(auth)))
+		enc = append(enc, auth...)
+	}
 	var err error
 	for _, r := range m.Records {
 		if enc, err = appendMapRecord(enc, r); err != nil {
 			return err
 		}
+	}
+	if m.AuthKey != nil && opts.ComputeChecksums {
+		mac := hmac.New(sha1.New, m.AuthKey)
+		mac.Write(enc)
+		m.AuthData = mac.Sum(nil)
+		copy(enc[16:16+lispAuthLen], m.AuthData)
 	}
 	out, err := b.PrependBytes(len(enc))
 	if err != nil {
@@ -405,6 +436,19 @@ func decodeLISPMapReply(data []byte, p PacketBuilder) error {
 	}
 	recCount := int(data[3])
 	off := 12
+	if m.Security {
+		if off+4 > len(data) {
+			return fmt.Errorf("Map-Reply: auth header truncated")
+		}
+		m.KeyID = uint16(data[off])<<8 | uint16(data[off+1])
+		authLen := int(uint16(data[off+2])<<8 | uint16(data[off+3]))
+		off += 4
+		if off+authLen > len(data) {
+			return fmt.Errorf("Map-Reply: auth data truncated")
+		}
+		m.AuthData = data[off : off+authLen]
+		off += authLen
+	}
 	for i := 0; i < recCount; i++ {
 		r, n, err := decodeMapRecord(data[off:])
 		if err != nil {
@@ -417,6 +461,23 @@ func decodeLISPMapReply(data []byte, p PacketBuilder) error {
 	p.AddLayer(m)
 	p.SetApplicationLayer(m)
 	return nil
+}
+
+// VerifyAuth recomputes the HMAC over the received Map-Reply bytes with
+// the auth field zeroed and compares in constant time. A reply without an
+// auth block never verifies.
+func (m *LISPMapReply) VerifyAuth(key []byte) bool {
+	if !m.Security || len(m.AuthData) != lispAuthLen || len(m.Contents) < 16+lispAuthLen {
+		return false
+	}
+	msg := make([]byte, len(m.Contents))
+	copy(msg, m.Contents)
+	for i := 16; i < 16+lispAuthLen; i++ {
+		msg[i] = 0
+	}
+	mac := hmac.New(sha1.New, key)
+	mac.Write(msg)
+	return hmac.Equal(mac.Sum(nil), m.AuthData)
 }
 
 // lispAuthLen is the HMAC-SHA1 authentication data length used by

@@ -1,6 +1,8 @@
 package packet
 
 import (
+	"crypto/hmac"
+	"crypto/sha1"
 	"fmt"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
@@ -125,6 +127,12 @@ const pceLoadRecordLen = 2 + 4 + 8 + 8 + 8 + 4
 // PCECPHeaderLen is the fixed PCE-CP message header size.
 const PCECPHeaderLen = 16
 
+// PCECPFlagAuth marks an authenticated message: the header is followed by
+// an auth block — KeyID (2), AuthLen (2), AuthData — before the records.
+// The block sits header-adjacent (not trailing) because EncapDNSReply
+// carries the inner DNS message after the records.
+const PCECPFlagAuth = 0x01
+
 // PCECP is a PCE control-plane message.
 //
 // Wire format (16-byte header, then records, then optional inner payload):
@@ -145,19 +153,28 @@ type PCECP struct {
 	Version uint8
 	// Type selects the message semantics.
 	Type PCECPType
-	// Flags is reserved.
+	// Flags carries PCECPFlagAuth; other bits are reserved.
 	Flags uint8
 	// Nonce correlates acks and fetch replies.
 	Nonce uint64
 	// PCEAddr is the sending PCE's address; PCES learns PCED from it
 	// (step 7) without any configuration.
 	PCEAddr netaddr.Addr
+	// KeyID selects the shared key (1 = HMAC-SHA1 here).
+	KeyID uint16
+	// AuthData is the HMAC over the header and records with this field
+	// zeroed (the inner DNS payload of EncapDNSReply is not covered —
+	// the mapping records are the security-critical content).
+	AuthData []byte
 	// Prefixes carries prefix-granularity mappings.
 	Prefixes []PCEPrefixMapping
 	// Flows carries flow-granularity mappings.
 	Flows []PCEFlowMapping
 	// Loads carries telemetry samples (PCECPLoadReport).
 	Loads []PCELoadRecord
+	// AuthKey, when non-nil, makes SerializeTo compute AuthData and set
+	// PCECPFlagAuth. It is never serialized.
+	AuthKey []byte
 }
 
 // PCECPVersion is the current protocol version.
@@ -166,16 +183,30 @@ const PCECPVersion = 1
 // LayerType returns LayerTypePCECP.
 func (*PCECP) LayerType() LayerType { return LayerTypePCECP }
 
-// SerializeTo implements SerializableLayer.
-func (m *PCECP) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
+// SerializeTo implements SerializableLayer. With a non-nil AuthKey and
+// ComputeChecksums set, the HMAC is computed over the header and records
+// with the auth-data field zeroed.
+func (m *PCECP) SerializeTo(b SerializeBuffer, opts SerializeOptions) error {
 	n := len(m.Prefixes) + len(m.Flows) + len(m.Loads)
 	if n > 0xffff {
 		return fmt.Errorf("PCECP: %d records (max 65535)", n)
 	}
-	enc := make([]byte, 0, PCECPHeaderLen+n*24)
-	enc = append(enc, m.Version<<4|byte(m.Type), m.Flags, byte(n>>8), byte(n))
+	auth := m.AuthData
+	if m.AuthKey != nil && opts.ComputeChecksums {
+		auth = make([]byte, lispAuthLen)
+	}
+	flags := m.Flags
+	if len(auth) > 0 {
+		flags |= PCECPFlagAuth
+	}
+	enc := make([]byte, 0, PCECPHeaderLen+len(auth)+n*24)
+	enc = append(enc, m.Version<<4|byte(m.Type), flags, byte(n>>8), byte(n))
 	enc = appendUint64(enc, m.Nonce)
 	enc = m.PCEAddr.AppendBytes(enc)
+	if flags&PCECPFlagAuth != 0 {
+		enc = append(enc, byte(m.KeyID>>8), byte(m.KeyID), byte(len(auth)>>8), byte(len(auth)))
+		enc = append(enc, auth...)
+	}
 	for _, pm := range m.Prefixes {
 		if len(pm.Locators) > 255 {
 			return fmt.Errorf("PCECP: prefix mapping with %d locators", len(pm.Locators))
@@ -204,12 +235,39 @@ func (m *PCECP) SerializeTo(b SerializeBuffer, _ SerializeOptions) error {
 		enc = appendUint64(enc, lr.CapacityBps)
 		enc = append(enc, byte(lr.WindowMs>>24), byte(lr.WindowMs>>16), byte(lr.WindowMs>>8), byte(lr.WindowMs))
 	}
+	if m.AuthKey != nil && opts.ComputeChecksums {
+		mac := hmac.New(sha1.New, m.AuthKey)
+		mac.Write(enc)
+		m.AuthData = mac.Sum(nil)
+		copy(enc[pceAuthOff:pceAuthOff+lispAuthLen], m.AuthData)
+	}
 	out, err := b.PrependBytes(len(enc))
 	if err != nil {
 		return err
 	}
 	copy(out, enc)
 	return nil
+}
+
+// pceAuthOff is the byte offset of the auth data within an authenticated
+// PCECP message (header, then KeyID+AuthLen).
+const pceAuthOff = PCECPHeaderLen + 4
+
+// VerifyAuth recomputes the HMAC over the received header and records
+// with the auth field zeroed and compares in constant time. A message
+// without an auth block never verifies.
+func (m *PCECP) VerifyAuth(key []byte) bool {
+	if m.Flags&PCECPFlagAuth == 0 || len(m.AuthData) != lispAuthLen || len(m.Contents) < pceAuthOff+lispAuthLen {
+		return false
+	}
+	msg := make([]byte, len(m.Contents))
+	copy(msg, m.Contents)
+	for i := pceAuthOff; i < pceAuthOff+lispAuthLen; i++ {
+		msg[i] = 0
+	}
+	mac := hmac.New(sha1.New, key)
+	mac.Write(msg)
+	return hmac.Equal(mac.Sum(nil), m.AuthData)
 }
 
 func decodePCECP(data []byte, p PacketBuilder) error {
@@ -228,6 +286,19 @@ func decodePCECP(data []byte, p PacketBuilder) error {
 	}
 	n := int(uint16(data[2])<<8 | uint16(data[3]))
 	off := PCECPHeaderLen
+	if m.Flags&PCECPFlagAuth != 0 {
+		if off+4 > len(data) {
+			return fmt.Errorf("PCECP: auth header truncated")
+		}
+		m.KeyID = uint16(data[off])<<8 | uint16(data[off+1])
+		authLen := int(uint16(data[off+2])<<8 | uint16(data[off+3]))
+		off += 4
+		if off+authLen > len(data) {
+			return fmt.Errorf("PCECP: auth data truncated")
+		}
+		m.AuthData = data[off : off+authLen]
+		off += authLen
+	}
 	for i := 0; i < n; i++ {
 		if off >= len(data) {
 			return fmt.Errorf("PCECP: record %d truncated", i)

@@ -132,6 +132,24 @@ func truncationCases(t *testing.T) map[string][]byte {
 		"LISP/MapRegister": Serialize(&LISPMapRegister{Nonce: 11, WantNotify: true, AuthData: []byte("k"), Records: []LISPMapRecord{record}}),
 		"LISP/MapNotify":   Serialize(&LISPMapNotify{LISPMapRegister: LISPMapRegister{Nonce: 12, AuthData: []byte("k"), Records: []LISPMapRecord{record}}}),
 		"DNS/reply":        Serialize(dns),
+		// Signed variants: the S-bit auth block of the reply plane and
+		// the authenticated PCECP channel (E13's defense layers).
+		"LISP/MapReplySigned": Serialize(&LISPMapReply{
+			Nonce: 13, KeyID: 1, AuthKey: []byte("reply-key"), Records: []LISPMapRecord{record},
+		}),
+		"LISP/MapReplySignedNegative": Serialize(&LISPMapReply{
+			Nonce: 14, KeyID: 1, AuthKey: []byte("reply-key"),
+		}),
+		"PCECP/MapFetchSigned": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPMapFetch, Nonce: 15, PCEAddr: pceD,
+			KeyID: 1, AuthKey: []byte("pcecp-key"),
+			Flows: []PCEFlowMapping{{DstEID: ed, SrcRLOC: dnsS}},
+		}),
+		"PCECP/MappingPushSigned": Serialize(&PCECP{
+			Version: PCECPVersion, Type: PCECPMappingPush, Nonce: 16, PCEAddr: pceD,
+			KeyID: 1, AuthKey: []byte("pcecp-key"),
+			Flows: []PCEFlowMapping{{TTL: 60, SrcEID: es, DstEID: ed, SrcRLOC: rlocS, DstRLOC: rlocD}},
+		}),
 	}
 	return cases
 }
@@ -164,5 +182,79 @@ func TestTruncatedDecodesDoNotPanic(t *testing.T) {
 				}
 			}()
 		}
+	}
+}
+
+// TestMutatedSignedMessagesFailVerify is the bit-flip complement to the
+// truncation pass: every single-bit mutation of a signed message must
+// either fail to decode or fail HMAC verification — the auth block covers
+// the whole message, so there is no mutable bit an attacker can use.
+func TestMutatedSignedMessagesFailVerify(t *testing.T) {
+	key := []byte("mutation-key")
+	record := LISPMapRecord{
+		TTL: 300, EIDPrefix: netaddr.MustParsePrefix("12.1.0.0/16"), Authoritative: true,
+		Locators: []LISPLocator{{Priority: 1, Weight: 100, Reachable: true, Addr: rlocD}},
+	}
+
+	reply := Serialize(&LISPMapReply{Nonce: 99, KeyID: 1, AuthKey: key, Records: []LISPMapRecord{record}})
+	if p := NewPacket(reply, LayerTypeLISPControl, Default); p.ErrorLayer() != nil ||
+		!p.Layer(LayerTypeLISPMapReply).(*LISPMapReply).VerifyAuth(key) {
+		t.Fatal("unmutated signed Map-Reply must verify")
+	}
+	for i := range reply {
+		for bit := 0; bit < 8; bit++ {
+			mut := make([]byte, len(reply))
+			copy(mut, reply)
+			mut[i] ^= 1 << bit
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Map-Reply bit %d of byte %d panicked: %v", bit, i, r)
+					}
+				}()
+				p := NewPacket(mut, LayerTypeLISPControl, Default)
+				if l := p.Layer(LayerTypeLISPMapReply); l != nil {
+					if l.(*LISPMapReply).VerifyAuth(key) {
+						t.Fatalf("Map-Reply with bit %d of byte %d flipped still verifies", bit, i)
+					}
+				}
+			}()
+		}
+	}
+
+	fetch := Serialize(&PCECP{
+		Version: PCECPVersion, Type: PCECPMapFetch, Nonce: 98, PCEAddr: pceD,
+		KeyID: 1, AuthKey: key,
+		Flows: []PCEFlowMapping{{DstEID: ed, SrcRLOC: dnsS}},
+	})
+	if p := NewPacket(fetch, LayerTypePCECP, Default); p.ErrorLayer() != nil ||
+		!p.Layer(LayerTypePCECP).(*PCECP).VerifyAuth(key) {
+		t.Fatal("unmutated signed MapFetch must verify")
+	}
+	for i := range fetch {
+		for bit := 0; bit < 8; bit++ {
+			mut := make([]byte, len(fetch))
+			copy(mut, fetch)
+			mut[i] ^= 1 << bit
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("MapFetch bit %d of byte %d panicked: %v", bit, i, r)
+					}
+				}()
+				p := NewPacket(mut, LayerTypePCECP, Default)
+				if l := p.Layer(LayerTypePCECP); l != nil {
+					if l.(*PCECP).VerifyAuth(key) {
+						t.Fatalf("MapFetch with bit %d of byte %d flipped still verifies", bit, i)
+					}
+				}
+			}()
+		}
+	}
+
+	// Verification is key-bound, not just integrity-bound.
+	p := NewPacket(reply, LayerTypeLISPControl, Default)
+	if p.Layer(LayerTypeLISPMapReply).(*LISPMapReply).VerifyAuth([]byte("wrong-key")) {
+		t.Fatal("signed Map-Reply verifies under the wrong key")
 	}
 }

@@ -75,6 +75,12 @@ type DomainSpec struct {
 	// CachePolicy names the map-cache eviction policy ("lru", "lfu",
 	// "2q"; "" = LRU).
 	CachePolicy string
+	// OverclaimFloor rejects installed mappings whose prefix is shorter
+	// than this many bits (0 = accept any; see lisp.XTRConfig).
+	OverclaimFloor int
+	// GleanRateLimit bounds data-plane gleaning per second (0 = unbounded;
+	// see lisp.XTRConfig).
+	GleanRateLimit int
 }
 
 // Provider is one upstream attachment of a domain.
@@ -388,12 +394,14 @@ func (in *Internet) buildDomain(spec *Spec, idx int, rng *rand.Rand) {
 	// Install the LISP data plane.
 	for x, xtrNode := range xtrNodes {
 		xtr := lisp.InstallXTR(xtrNode, lisp.XTRConfig{
-			RLOC:          d.Providers[min(x, len(d.Providers)-1)].RLOC,
-			LocalEIDs:     d.EIDPrefix,
-			EIDSpace:      EIDSpace,
-			CacheCapacity: ds.CacheCapacity,
-			CachePolicy:   ds.CachePolicy,
-			MissPolicy:    ds.MissPolicy,
+			RLOC:           d.Providers[min(x, len(d.Providers)-1)].RLOC,
+			LocalEIDs:      d.EIDPrefix,
+			EIDSpace:       EIDSpace,
+			CacheCapacity:  ds.CacheCapacity,
+			CachePolicy:    ds.CachePolicy,
+			MissPolicy:     ds.MissPolicy,
+			OverclaimFloor: ds.OverclaimFloor,
+			GleanRateLimit: ds.GleanRateLimit,
 		})
 		d.XTRs = append(d.XTRs, xtr)
 	}
@@ -419,6 +427,21 @@ func queueFor(rateBps int64) int {
 		q = 3000
 	}
 	return q
+}
+
+// AttachCoreStub hangs an extra node directly off the core with its own
+// routable /24 (198.51.octet.0/24), the node at .1. Mapping-system
+// infrastructure and adversary nodes use it. The node lives on shard 0
+// with the core, so attached behaviors stay deterministic at any shard
+// count.
+func (in *Internet) AttachCoreStub(name string, octet byte, delay time.Duration) (*simnet.Node, netaddr.Addr) {
+	n := in.Sim.NewNode(name)
+	l := simnet.Connect(n, in.Core, simnet.LinkConfig{Delay: delay})
+	addr := netaddr.AddrFrom4(198, 51, octet, 1)
+	l.A().SetAddr(addr)
+	n.SetDefaultRoute(l.A())
+	in.Core.AddRoute(netaddr.PrefixFrom(netaddr.AddrFrom4(198, 51, octet, 0), 24), l.B())
+	return n, addr
 }
 
 // Domain returns the i-th domain.
