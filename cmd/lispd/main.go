@@ -1,0 +1,67 @@
+// Lispd runs the PCE-LISP protocol core as a real UDP daemon: an xTR
+// (encap/decap data plane), a PCE (PCED+PCES control plane) or both,
+// with a split-horizon DNS front end, from a declarative JSON config.
+// The protocol state machines are the exact code the deterministic
+// simulator runs; only the runtime underneath differs.
+//
+// Usage:
+//
+//	lispd -config site-a.json
+//
+// SIGHUP reloads the config file: DNS records, views, forwarders and
+// peers swap atomically; structural changes (listen, roles, prefixes)
+// are rejected and the old config stays in force.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/pcelisp/pcelisp/internal/lispd"
+)
+
+func main() {
+	configPath := flag.String("config", "", "path to the daemon config (JSON)")
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "lispd: -config is required")
+		os.Exit(2)
+	}
+
+	cfg, err := lispd.Load(*configPath)
+	if err != nil {
+		log.Fatalf("lispd: %v", err)
+	}
+	d, err := lispd.New(cfg)
+	if err != nil {
+		log.Fatalf("lispd: %v", err)
+	}
+	d.Start()
+	log.Printf("lispd: %s listening on %v", cfg.Name, d.RealAddr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	for sig := range sigs {
+		switch sig {
+		case syscall.SIGHUP:
+			next, err := lispd.Load(*configPath)
+			if err != nil {
+				log.Printf("lispd: reload rejected: %v", err)
+				continue
+			}
+			if err := d.Reload(next); err != nil {
+				log.Printf("lispd: reload rejected: %v", err)
+				continue
+			}
+			log.Printf("lispd: config reloaded")
+		default:
+			log.Printf("lispd: %v, shutting down", sig)
+			d.Close()
+			return
+		}
+	}
+}

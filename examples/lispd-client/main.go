@@ -1,0 +1,78 @@
+// Lispd-client drives a running lispd pair from the outside: it plays
+// host 100.1.1.1 behind site-a (ports per the README's daemon example:
+// daemons on 127.0.0.1:4700/4701, this client's sockets peered as
+// 100.1.1.1/32 -> :4702 and 100.2.1.1/32 -> :4703), resolves a name
+// through the daemons' split-horizon DNS path, then sends a data packet
+// and reports what comes back decapsulated at the far host:
+//
+//	lispd -config a.json & lispd -config b.json &
+//	go run ./examples/lispd-client h0.d1.example
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
+)
+
+func recvFrame(conn *net.UDPConn) []byte {
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64*1024)
+	n, _, err := conn.ReadFromUDP(buf)
+	if err != nil {
+		log.Fatalf("recv: %v", err)
+	}
+	return buf[:n]
+}
+
+func main() {
+	daemonA := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4700}
+	client, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4702})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4703})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	es := netaddr.MustParseAddr("100.1.1.1")
+	dnsA := netaddr.MustParseAddr("172.16.0.2")
+	qname := os.Args[1]
+
+	q := &packet.DNS{ID: 77, RD: true,
+		Questions: []packet.DNSQuestion{{Name: qname, Type: packet.DNSTypeA, Class: packet.DNSClassIN}}}
+	if _, err := client.WriteToUDP(runtime.EncodeUDP(es, dnsA, 5353, packet.PortDNS, q), daemonA); err != nil {
+		log.Fatal(err)
+	}
+
+	reply := recvFrame(client)
+	rp := packet.NewPacket(reply, packet.LayerTypeIPv4, packet.Default)
+	dl := rp.Layer(packet.LayerTypeDNS)
+	if dl == nil {
+		log.Fatalf("non-DNS reply: % x", reply)
+	}
+	ans := dl.(*packet.DNS)
+	addr, ok := ans.FirstA()
+	if !ok {
+		log.Fatalf("no A record (rcode %d)", ans.RCode)
+	}
+	fmt.Printf("resolved %s -> %v\n", qname, addr)
+
+	inner := runtime.EncodeUDP(es, addr, 7777, 8888, packet.Payload([]byte("hello through the tunnel")))
+	if _, err := client.WriteToUDP(inner, daemonA); err != nil {
+		log.Fatal(err)
+	}
+	delivered := recvFrame(sink)
+	if !bytes.Equal(delivered, inner) {
+		log.Fatalf("decapped inner differs:\n got % x\nwant % x", delivered, inner)
+	}
+	fmt.Printf("data packet tunneled and decapped bit-identically (%d bytes)\n", len(delivered))
+}

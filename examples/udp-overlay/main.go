@@ -6,6 +6,12 @@
 //	PCED (socket 1)  --EncapDNSReply(port P)-->  PCES (socket 2)
 //	PCES              --MappingPush-->           ITR  (socket 3)
 //	ITR installs the flow tuple and encapsulates a data packet.
+//
+// This example hand-rolls the message exchange to keep the wire formats
+// visible. The production form is cmd/lispd: the real lisp.XTR and
+// core.PCE state machines running over the same kernel sockets through
+// the internal/runtime seam, configured from JSON — see the README's
+// "Running the daemon" section.
 package main
 
 import (

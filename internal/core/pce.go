@@ -40,6 +40,7 @@ import (
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
@@ -183,6 +184,13 @@ type pendingFlow struct {
 
 // PCE is one domain's Path Computation Element.
 type PCE struct {
+	// rt and host are the runtime seam — the PCE state machine reads the
+	// clock, arms timers and emits frames only through them, so the same
+	// code runs under the sim and the real-time daemon.
+	rt   runtime.Runtime
+	host runtime.Host
+	// node is the hosting sim node (nil in real mode); kept for sim-only
+	// call sites in experiments.
 	node *simnet.Node
 	cfg  Config
 	xtrs []*lisp.XTR
@@ -261,9 +269,40 @@ const (
 	fetchMaxTries      = 4 // one initial send plus three retries
 )
 
-// New attaches a PCE to node. The node must already forward the domain's
-// DNS traffic (be "in the data path of the DNS servers").
+// New attaches a PCE to a simulator node. The node must already forward
+// the domain's DNS traffic (be "in the data path of the DNS servers").
+// It registers the sim-native sniffer and listener forms so the pooled
+// Delivery decode keeps serving the per-frame inspection hot path.
 func New(node *simnet.Node, cfg Config) *PCE {
+	p := newPCE(node.Sim(), node, cfg)
+	p.node = node
+	node.AddSniffer(p.sniff)
+	node.ListenUDP(packet.PortPCECP, func(d *simnet.Delivery, udp *packet.UDP) {
+		ip := d.IPv4()
+		p.HandleControl(ip.SrcIP, ip.DstIP, udp)
+	})
+	if cfg.Group.IsValid() {
+		node.Join(cfg.Group)
+	}
+	return p
+}
+
+// NewWithRuntime builds a PCE against the runtime contract — the real-time
+// daemon's entry point. The host must carry the domain's DNS traffic
+// through its sniffer chain (the "PCE in the data path of the DNS
+// servers" placement).
+func NewWithRuntime(rt runtime.Runtime, host runtime.Host, cfg Config) *PCE {
+	p := newPCE(rt, host, cfg)
+	host.AddFrameSniffer(p.SniffFrame)
+	host.BindUDP(cfg.Addr, packet.PortPCECP, p.HandleControl)
+	if cfg.Group.IsValid() {
+		host.JoinGroup(cfg.Group)
+	}
+	return p
+}
+
+// newPCE holds the construction shared by both engines.
+func newPCE(rt runtime.Runtime, host runtime.Host, cfg Config) *PCE {
 	if cfg.MappingTTL == 0 {
 		cfg.MappingTTL = 300
 	}
@@ -274,10 +313,11 @@ func New(node *simnet.Node, cfg Config) *PCE {
 		cfg.FetchQueueCap = 64
 	}
 	p := &PCE{
-		node:        node,
+		rt:          rt,
+		host:        host,
 		cfg:         cfg,
 		pending:     make(map[string][]pendingFlow),
-		remote:      lisp.NewMapCache(node.Sim(), 0),
+		remote:      lisp.NewMapCache(rt, 0),
 		peers:       netaddr.NewTrie[netaddr.Addr](),
 		fetches:     make(map[uint64]fetchCtx),
 		pushed:      make(map[lisp.FlowKey]pushedFlow),
@@ -287,15 +327,10 @@ func New(node *simnet.Node, cfg Config) *PCE {
 	if cfg.FetchQuotaLimit > 0 {
 		p.fetchQuota = &lisp.SourceQuota{Limit: cfg.FetchQuotaLimit}
 	}
-	node.AddSniffer(p.sniff)
-	node.ListenUDP(packet.PortPCECP, p.handleLocalPCECP)
-	if cfg.Group.IsValid() {
-		node.Join(cfg.Group)
-	}
 	return p
 }
 
-// Node returns the PCE's node.
+// Node returns the PCE's sim node (nil when running in real time).
 func (p *PCE) Node() *simnet.Node { return p.node }
 
 // Addr returns the PCE's address.
@@ -308,45 +343,56 @@ func (p *PCE) RemoteMappings() *lisp.MapCache { return p.remote }
 // PCE of every client query (and of every answer, for the cache-hit
 // fallback).
 func (p *PCE) AttachResolver(r *dnssim.Resolver) {
-	r.OnClientQuery = func(client netaddr.Addr, qname string) {
-		p.Stats.IPCQueries++
-		if !p.cfg.EIDPrefix.Contains(client) {
-			return // not an end-host flow (infrastructure lookup)
-		}
-		h := flowStringHash(client, qname)
-		ingress, _ := p.cfg.Engine.IngressRLOC(h)
-		p.pending[qname] = append(p.pending[qname], pendingFlow{
-			client: client, ingress: ingress, born: p.node.Sim().Now(),
-		})
-		p.node.Sim().ScheduleTimer(p.cfg.PendingTTL, p,
-			simnet.TimerArg{Kind: pceTimerPendingExpire, S: qname})
+	r.OnClientQuery = p.NoteClientQuery
+	r.OnAnswer = p.NoteAnswer
+}
+
+// NoteClientQuery is the step-1 IPC entry point: the local resolver (sim
+// dnssim.Resolver or the daemon's DNS front end) reports that client
+// started resolving qname, and the PCE precomputes the flow's ingress
+// RLOC while the lookup is in flight.
+func (p *PCE) NoteClientQuery(client netaddr.Addr, qname string) {
+	p.Stats.IPCQueries++
+	if !p.cfg.EIDPrefix.Contains(client) {
+		return // not an end-host flow (infrastructure lookup)
 	}
-	r.OnAnswer = func(client netaddr.Addr, qname string, addr netaddr.Addr, fromCache bool) {
-		if !fromCache || !p.cfg.EIDPrefix.Contains(client) {
-			return
-		}
-		if p.cfg.EIDPrefix.Contains(addr) || !addr.IsValid() {
-			p.dropPending(qname, client)
-			return
-		}
-		// The answer came from the DNSS cache, so no reply crossed PCED.
-		// Serve from our own database, or fetch from the known peer.
-		if _, ok := p.remote.Lookup(addr); ok {
-			p.Stats.CacheHitPushes++
-			p.pushFlowsFor(qname, addr)
-			return
-		}
-		if pced, _, ok := p.peers.Lookup(addr); ok {
-			p.sendMapFetch(pced, addr, qname)
-			return
-		}
-		// Unknown peer: leave it to the ITR's fallback resolver.
+	h := flowStringHash(client, qname)
+	ingress, _ := p.cfg.Engine.IngressRLOC(h)
+	p.pending[qname] = append(p.pending[qname], pendingFlow{
+		client: client, ingress: ingress, born: p.rt.Now(),
+	})
+	p.rt.ScheduleTimer(p.cfg.PendingTTL, p,
+		simnet.TimerArg{Kind: pceTimerPendingExpire, S: qname})
+}
+
+// NoteAnswer is the answer half of the resolver IPC: cache hits bypass
+// PCED entirely, so the PCE serves the mapping from its own database or
+// fetches it from the known peer (experiment E8's fallback paths).
+func (p *PCE) NoteAnswer(client netaddr.Addr, qname string, addr netaddr.Addr, fromCache bool) {
+	if !fromCache || !p.cfg.EIDPrefix.Contains(client) {
+		return
+	}
+	if p.cfg.EIDPrefix.Contains(addr) || !addr.IsValid() {
 		p.dropPending(qname, client)
+		return
 	}
+	// The answer came from the DNSS cache, so no reply crossed PCED.
+	// Serve from our own database, or fetch from the known peer.
+	if _, ok := p.remote.Lookup(addr); ok {
+		p.Stats.CacheHitPushes++
+		p.pushFlowsFor(qname, addr)
+		return
+	}
+	if pced, _, ok := p.peers.Lookup(addr); ok {
+		p.sendMapFetch(pced, addr, qname)
+		return
+	}
+	// Unknown peer: leave it to the ITR's fallback resolver.
+	p.dropPending(qname, client)
 }
 
 func (p *PCE) expirePending(qname string) {
-	now := p.node.Sim().Now()
+	now := p.rt.Now()
 	kept := p.pending[qname][:0]
 	for _, pf := range p.pending[qname] {
 		if now-pf.born < p.cfg.PendingTTL {
@@ -382,11 +428,11 @@ func (p *PCE) dropPending(qname string, client netaddr.Addr) {
 func (p *PCE) WireXTR(x *lisp.XTR) {
 	p.xtrs = append(p.xtrs, x)
 	x.SetSeenTTL(p.mappingTTL())
-	node := x.Node()
+	host := x.Host()
 	if p.cfg.Group.IsValid() {
-		node.Join(p.cfg.Group)
+		host.JoinGroup(p.cfg.Group)
 	}
-	node.ListenUDP(packet.PortPCECP, func(d *simnet.Delivery, udp *packet.UDP) {
+	host.BindUDP(x.RLOC(), packet.PortPCECP, func(src, dst netaddr.Addr, udp *packet.UDP) {
 		p.handleXTRPCECP(x, udp)
 	})
 	x.OnDecap = func(info lisp.DecapInfo) {
@@ -448,10 +494,10 @@ func (p *PCE) handleXTRPCECP(x *lisp.XTR, udp *packet.UDP) {
 			if msg.Type == packet.PCECPReverseMapPush {
 				kind = EvReverseInstalled
 			}
-			p.emit(Event{Kind: kind, Node: x.Node().Name(), SrcEID: f.SrcEID, DstEID: f.DstEID})
+			p.emit(Event{Kind: kind, Node: x.HostName(), SrcEID: f.SrcEID, DstEID: f.DstEID})
 		}
 		for _, pm := range msg.Prefixes {
-			x.InstallMapping(prefixToEntry(p.node.Sim(), pm))
+			x.InstallMapping(prefixToEntry(p.rt, pm))
 		}
 	}
 }
@@ -463,7 +509,7 @@ func (p *PCE) handleXTRPCECP(x *lisp.XTR, udp *packet.UDP) {
 func (p *PCE) onDecap(x *lisp.XTR, info lisp.DecapInfo) {
 	fk := lisp.FlowKey{Src: info.InnerSrc, Dst: info.InnerDst}
 	changed := p.lastOuter[fk].src != info.OuterSrc
-	p.lastOuter[fk] = outerSeen{src: info.OuterSrc, seen: p.node.Sim().Now()}
+	p.lastOuter[fk] = outerSeen{src: info.OuterSrc, seen: p.rt.Now()}
 	p.armMaintenance()
 	if !info.First && !changed {
 		return
@@ -479,23 +525,24 @@ func (p *PCE) onDecap(x *lisp.XTR, info lisp.DecapInfo) {
 		DstRLOC: info.OuterSrc,
 	}
 	x.InstallFlow(rev.SrcEID, rev.DstEID, rev.SrcRLOC, rev.DstRLOC, rev.TTL)
-	p.emit(Event{Kind: EvReversePushed, Node: x.Node().Name(), SrcEID: rev.SrcEID, DstEID: rev.DstEID})
+	p.emit(Event{Kind: EvReversePushed, Node: x.HostName(), SrcEID: rev.SrcEID, DstEID: rev.DstEID})
 	if !p.cfg.Group.IsValid() {
 		return
 	}
 	msg := &packet.PCECP{
 		Version: packet.PCECPVersion, Type: packet.PCECPReverseMapPush,
-		Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
+		Nonce: p.rt.Rand().Uint64(), PCEAddr: p.cfg.Addr,
 		Flows: []packet.PCEFlowMapping{rev},
 	}
 	if p.cfg.AuthKey != nil {
 		msg.KeyID = 1
 		msg.AuthKey = p.cfg.AuthKey
 	}
-	x.Node().SendUDP(x.RLOC(), p.cfg.Group, packet.PortPCECP, packet.PortPCECP, msg)
+	x.Host().OutputUDP(x.RLOC(), p.cfg.Group, packet.PortPCECP, packet.PortPCECP, msg)
 }
 
-// sniff is the bump-in-the-wire inspector on the PCE node.
+// sniff is the sim-native inspector form, riding the pooled Delivery
+// decode so per-frame inspection on the PCE node stays allocation-free.
 func (p *PCE) sniff(d *simnet.Delivery) simnet.SnifferVerdict {
 	ip := d.IPv4()
 	if ip == nil || ip.Protocol != packet.IPProtocolUDP {
@@ -505,14 +552,40 @@ func (p *PCE) sniff(d *simnet.Delivery) simnet.SnifferVerdict {
 	if udpl == nil {
 		return simnet.SnifferPass
 	}
-	udp := udpl.(*packet.UDP)
+	if p.sniffUDP(ip, udpl.(*packet.UDP)) {
+		return simnet.SnifferConsume
+	}
+	return simnet.SnifferPass
+}
 
+// SniffFrame is the bump-in-the-wire inspector in runtime.FrameSniffer
+// form, decoding the frame itself — the real-time host registers this one.
+func (p *PCE) SniffFrame(data []byte) runtime.Verdict {
+	pk := packet.NewPacket(data, packet.LayerTypeIPv4, packet.NoCopy)
+	ipl := pk.Layer(packet.LayerTypeIPv4)
+	if ipl == nil {
+		return runtime.VerdictPass
+	}
+	ip := ipl.(*packet.IPv4)
+	if ip.Protocol != packet.IPProtocolUDP {
+		return runtime.VerdictPass
+	}
+	udpl := pk.Layer(packet.LayerTypeUDP)
+	if udpl == nil {
+		return runtime.VerdictPass
+	}
+	if p.sniffUDP(ip, udpl.(*packet.UDP)) {
+		return runtime.VerdictConsume
+	}
+	return runtime.VerdictPass
+}
+
+// sniffUDP is the shared sniffer decision core; it reports whether the
+// frame was consumed.
+func (p *PCE) sniffUDP(ip *packet.IPv4, udp *packet.UDP) bool {
 	// PCES: encapsulated replies and fetch replies to our DNSS on port P.
 	if udp.DstPort == packet.PortPCECP && ip.DstIP == p.cfg.DNSAddr {
-		if p.handlePortP(udp.LayerPayload()) {
-			return simnet.SnifferConsume
-		}
-		return simnet.SnifferPass
+		return p.handlePortP(udp.LayerPayload())
 	}
 
 	// PCED: authoritative replies leaving the domain with local EIDs.
@@ -520,18 +593,19 @@ func (p *PCE) sniff(d *simnet.Delivery) simnet.SnifferVerdict {
 		!p.cfg.EIDPrefix.Contains(ip.DstIP) {
 		return p.maybeEncapReply(ip, udp)
 	}
-	return simnet.SnifferPass
+	return false
 }
 
-// maybeEncapReply implements step 6.
-func (p *PCE) maybeEncapReply(ip *packet.IPv4, udp *packet.UDP) simnet.SnifferVerdict {
+// maybeEncapReply implements step 6; it reports whether the reply was
+// replaced (consumed).
+func (p *PCE) maybeEncapReply(ip *packet.IPv4, udp *packet.UDP) bool {
 	dns := &packet.DNS{}
 	if err := dns.DecodeFromBytes(udp.LayerPayload()); err != nil || !dns.QR || !dns.AA {
-		return simnet.SnifferPass
+		return false
 	}
 	ed, ok := dns.FirstA()
 	if !ok || !p.cfg.EIDPrefix.Contains(ed) {
-		return simnet.SnifferPass
+		return false
 	}
 	locators := p.cfg.Engine.MappingLocators()
 	if len(locators) == 0 {
@@ -539,14 +613,14 @@ func (p *PCE) maybeEncapReply(ip *packet.IPv4, udp *packet.UDP) simnet.SnifferVe
 		// back to the classic mapping system.
 		p.Stats.PassthroughReplies++
 		p.emit(Event{Kind: EvPassthrough, DstEID: ed})
-		return simnet.SnifferPass
+		return false
 	}
 	p.Stats.EncapRepliesSent++
 	p.emit(Event{Kind: EvEncapReplySent, DstEID: ed})
 	p.addSubscriber(ip.DstIP)
 	msg := &packet.PCECP{
 		Version: packet.PCECPVersion, Type: packet.PCECPEncapDNSReply,
-		Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
+		Nonce: p.rt.Rand().Uint64(), PCEAddr: p.cfg.Addr,
 		Prefixes: []packet.PCEPrefixMapping{{
 			Prefix: p.cfg.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: locators,
 		}},
@@ -554,7 +628,7 @@ func (p *PCE) maybeEncapReply(ip *packet.IPv4, udp *packet.UDP) simnet.SnifferVe
 	// The original DNS reply rides as the inner payload; the outer
 	// message goes to the same DNSS that the reply was addressed to.
 	p.sendControl(ip.DstIP, msg, packet.Payload(udp.LayerPayload()))
-	return simnet.SnifferConsume
+	return true
 }
 
 // handlePortP implements step 7 (PCES side). It reports whether the
@@ -577,8 +651,8 @@ func (p *PCE) handlePortP(payload []byte) bool {
 			return true
 		}
 		// 7a: forward the inner DNS reply to DNSS.
-		p.node.Send(simnet.EncodeUDP(p.cfg.Addr, p.cfg.DNSAddr,
-			packet.PortDNS, packet.PortDNS, packet.Payload(inner)))
+		p.host.OutputUDP(p.cfg.Addr, p.cfg.DNSAddr,
+			packet.PortDNS, packet.PortDNS, packet.Payload(inner))
 		// 7b: push the mapping for every pending flow of this qname.
 		dns := &packet.DNS{}
 		if err := dns.DecodeFromBytes(inner); err == nil && len(dns.Questions) > 0 {
@@ -614,9 +688,10 @@ func (p *PCE) handlePortP(payload []byte) bool {
 	return false
 }
 
-// handleLocalPCECP processes port-P messages addressed to the PCE itself:
-// MapFetch queries (PCED side) and multicast database updates.
-func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
+// HandleControl processes port-P messages addressed to the PCE itself:
+// MapFetch queries (PCED side) and multicast database updates. src is the
+// outer IPv4 source (the fetch quota key).
+func (p *PCE) HandleControl(src, dst netaddr.Addr, udp *packet.UDP) {
 	msg, ok := decodePCECP(udp.LayerPayload())
 	if !ok {
 		return
@@ -639,8 +714,8 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 		if len(msg.Flows) == 0 || !msg.Flows[0].SrcRLOC.IsValid() {
 			return
 		}
-		now := p.node.Sim().Now()
-		if p.fetchQuota != nil && !p.fetchQuota.Allow(now, d.IPv4().SrcIP) {
+		now := p.rt.Now()
+		if p.fetchQuota != nil && !p.fetchQuota.Allow(now, src) {
 			p.Stats.FetchQuotaDrops++
 			return
 		}
@@ -661,13 +736,13 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 			return
 		}
 		p.fetchBusyUntil = start + cost
-		p.node.Sim().ScheduleTimer(p.fetchBusyUntil-now, p,
+		p.rt.ScheduleTimer(p.fetchBusyUntil-now, p,
 			simnet.TimerArg{Kind: pceTimerFetchService, P: msg})
 	case packet.PCECPReverseMapPush:
 		p.Stats.ReversePushes++
 		// Database update: remember the flows (metrics only; the PCED
 		// database is consulted by TE tooling).
-		now := p.node.Sim().Now()
+		now := p.rt.Now()
 		for _, f := range msg.Flows {
 			p.lastOuter[lisp.FlowKey{Src: f.DstEID, Dst: f.SrcEID}] = outerSeen{src: f.DstRLOC, seen: now}
 		}
@@ -677,7 +752,7 @@ func (p *PCE) handleLocalPCECP(d *simnet.Delivery, udp *packet.UDP) {
 	case packet.PCECPLoadReport:
 		p.Stats.LoadReports++
 		if p.OnLoadReport != nil {
-			p.OnLoadReport(d.IPv4().SrcIP, msg.Loads)
+			p.OnLoadReport(src, msg.Loads)
 		}
 	case packet.PCECPMappingPush:
 		// Multicast copy of our own push (head-end replication excludes
@@ -724,7 +799,7 @@ func (p *PCE) addSubscriber(dnss netaddr.Addr) {
 	if !dnss.IsValid() {
 		return
 	}
-	p.subscribers.Insert(netaddr.HostPrefix(dnss), p.node.Sim().Now())
+	p.subscribers.Insert(netaddr.HostPrefix(dnss), p.rt.Now())
 	p.armMaintenance()
 }
 
@@ -763,11 +838,11 @@ func (p *PCE) AnnounceMappingUpdate() int {
 		targets = append(targets, np.Addr())
 		return true
 	})
-	now := p.node.Sim().Now()
+	now := p.rt.Now()
 	for _, dnss := range targets {
 		msg := &packet.PCECP{
 			Version: packet.PCECPVersion, Type: packet.PCECPMappingUpdate,
-			Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
+			Nonce: p.rt.Rand().Uint64(), PCEAddr: p.cfg.Addr,
 			Prefixes: []packet.PCEPrefixMapping{{
 				Prefix: p.cfg.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: locators,
 			}},
@@ -781,12 +856,12 @@ func (p *PCE) AnnounceMappingUpdate() int {
 
 // sendMapFetch issues the cache-hit fallback query toward a known PCED.
 func (p *PCE) sendMapFetch(pced, ed netaddr.Addr, qname string) {
-	nonce := p.node.Sim().Rand().Uint64()
+	nonce := p.rt.Rand().Uint64()
 	p.fetches[nonce] = fetchCtx{qname: qname, ed: ed, pced: pced, tries: 1}
 	p.Stats.MapFetches++
 	p.emit(Event{Kind: EvMapFetchSent, DstEID: ed})
 	p.transmitFetch(pced, ed, nonce)
-	p.node.Sim().ScheduleTimer(fetchRetryInterval, p,
+	p.rt.ScheduleTimer(fetchRetryInterval, p,
 		simnet.TimerArg{Kind: pceTimerFetchRetry, N: int64(nonce)})
 }
 
@@ -817,7 +892,7 @@ func (p *PCE) retryFetch(nonce uint64) {
 	p.fetches[nonce] = ctx
 	p.Stats.MapFetchRetries++
 	p.transmitFetch(ctx.pced, ctx.ed, nonce)
-	p.node.Sim().ScheduleTimer(fetchRetryInterval, p,
+	p.rt.ScheduleTimer(fetchRetryInterval, p,
 		simnet.TimerArg{Kind: pceTimerFetchRetry, N: int64(nonce)})
 }
 
@@ -866,7 +941,7 @@ func (p *PCE) buildFlow(es, ed, ingress netaddr.Addr, entry *lisp.MapEntry) pack
 	p.pushed[fk] = pushedFlow{
 		src:     ingress,
 		dst:     dst,
-		expires: p.node.Sim().Now() + p.mappingTTL(),
+		expires: p.rt.Now() + p.mappingTTL(),
 	}
 	p.armMaintenance()
 	return packet.PCEFlowMapping{
@@ -886,7 +961,7 @@ func (p *PCE) armMaintenance() {
 		return
 	}
 	p.maintArmed = true
-	p.node.Sim().ScheduleTimer(p.mappingTTL(), p, simnet.TimerArg{Kind: pceTimerMaintenance})
+	p.rt.ScheduleTimer(p.mappingTTL(), p, simnet.TimerArg{Kind: pceTimerMaintenance})
 }
 
 // The PCE's typed timers, discriminated by TimerArg.Kind.
@@ -927,7 +1002,7 @@ func (p *PCE) OnTimer(arg simnet.TimerArg) {
 // simulation's event queue still empties.
 func (p *PCE) runMaintenance() {
 	p.maintArmed = false
-	now := p.node.Sim().Now()
+	now := p.rt.Now()
 	ttl := p.mappingTTL()
 	for fk, os := range p.lastOuter {
 		if now-os.seen >= ttl {
@@ -973,7 +1048,7 @@ func (p *PCE) push(flows []packet.PCEFlowMapping, prefixes []packet.PCEPrefixMap
 	}
 	msg := &packet.PCECP{
 		Version: packet.PCECPVersion, Type: packet.PCECPMappingPush,
-		Nonce: p.node.Sim().Rand().Uint64(), PCEAddr: p.cfg.Addr,
+		Nonce: p.rt.Rand().Uint64(), PCEAddr: p.cfg.Addr,
 		Flows: flows, Prefixes: prefixes,
 	}
 	if p.cfg.Group.IsValid() {
@@ -992,10 +1067,9 @@ func (p *PCE) sendControl(dst netaddr.Addr, layers ...packet.SerializableLayer) 
 		msg.KeyID = 1
 		msg.AuthKey = p.cfg.AuthKey
 	}
-	data := simnet.EncodeUDP(p.cfg.Addr, dst, packet.PortPCECP, packet.PortPCECP, layers...)
+	n := p.host.OutputUDP(p.cfg.Addr, dst, packet.PortPCECP, packet.PortPCECP, layers...)
 	p.Stats.TxControlMessages++
-	p.Stats.TxControlBytes += uint64(len(data))
-	p.node.Send(data)
+	p.Stats.TxControlBytes += uint64(n)
 }
 
 // Repush recomputes every live pushed flow against the current control
@@ -1005,7 +1079,7 @@ func (p *PCE) sendControl(dst netaddr.Addr, layers ...packet.SerializableLayer) 
 // ("move part of its internal traffic") and the failover reaction to a
 // probe-detected locator loss. It returns the number of flows moved.
 func (p *PCE) Repush() int {
-	now := p.node.Sim().Now()
+	now := p.rt.Now()
 	// Walk the pushed flows in sorted key order: the moved flows are
 	// serialized into one PCECP message, and map iteration order must
 	// not leak into wire bytes (determinism guarantee).
@@ -1057,9 +1131,9 @@ func (p *PCE) emit(ev Event) {
 	if p.OnEvent == nil {
 		return
 	}
-	ev.At = p.node.Sim().Now()
+	ev.At = p.rt.Now()
 	if ev.Node == "" {
-		ev.Node = p.node.Name()
+		ev.Node = p.host.HostName()
 	}
 	p.OnEvent(ev)
 }
@@ -1075,10 +1149,10 @@ func decodePCECP(payload []byte) (*packet.PCECP, bool) {
 }
 
 // prefixToEntry converts a wire prefix mapping to a map-cache entry.
-func prefixToEntry(sim *simnet.Sim, pm packet.PCEPrefixMapping) *lisp.MapEntry {
+func prefixToEntry(rt runtime.Runtime, pm packet.PCEPrefixMapping) *lisp.MapEntry {
 	e := &lisp.MapEntry{EIDPrefix: pm.Prefix, Locators: pm.Locators}
 	if pm.TTL > 0 {
-		e.Expires = sim.Now() + simnet.Time(pm.TTL)*simnet.Time(time.Second)
+		e.Expires = rt.Now() + simnet.Time(pm.TTL)*simnet.Time(time.Second)
 	}
 	return e
 }

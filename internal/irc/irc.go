@@ -17,6 +17,7 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
@@ -119,7 +120,7 @@ type monState struct {
 
 // Engine is a per-domain IRC engine.
 type Engine struct {
-	sim       *simnet.Sim
+	rt        runtime.Runtime
 	providers []*Provider
 	policy    Policy
 	mon       []*monState
@@ -145,13 +146,15 @@ type EngineStats struct {
 	Failovers  uint64
 }
 
-// NewEngine builds an engine over the given providers with a policy.
-func NewEngine(sim *simnet.Sim, providers []*Provider, policy Policy) *Engine {
+// NewEngine builds an engine over the given providers with a policy. It
+// takes the runtime contract, so the same engine samples under the sim
+// (pass the *simnet.Sim) and under the daemon's real-time loop.
+func NewEngine(rt runtime.Runtime, providers []*Provider, policy Policy) *Engine {
 	if len(providers) == 0 {
 		panic("irc: engine needs at least one provider")
 	}
 	e := &Engine{
-		sim:            sim,
+		rt:             rt,
 		providers:      providers,
 		policy:         policy,
 		SampleInterval: time.Second,
@@ -179,7 +182,7 @@ func (e *Engine) Start() {
 func (e *Engine) sampleAndRecompute() {
 	e.Sample()
 	e.recompute()
-	e.sim.ScheduleTimer(e.SampleInterval, e, simnet.TimerArg{})
+	e.rt.ScheduleTimer(e.SampleInterval, e, simnet.TimerArg{})
 }
 
 // OnTimer implements simnet.TimerHandler: the background sampling tick.

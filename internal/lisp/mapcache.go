@@ -17,6 +17,7 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
@@ -192,7 +193,7 @@ const wheelGranularity = simnet.Time(time.Second)
 // InsertNegative) so repeated misses for a dead EID stop re-triggering
 // resolution storms.
 type MapCache struct {
-	sim      *simnet.Sim
+	rt       runtime.Runtime
 	trie     *netaddr.Trie[*MapEntry]
 	capacity int
 	policy   EvictionPolicy
@@ -209,24 +210,24 @@ type MapCache struct {
 }
 
 // NewMapCache creates an LRU cache; capacity 0 means unbounded.
-func NewMapCache(sim *simnet.Sim, capacity int) *MapCache {
-	return NewMapCacheWithPolicy(sim, capacity, nil)
+func NewMapCache(rt runtime.Runtime, capacity int) *MapCache {
+	return NewMapCacheWithPolicy(rt, capacity, nil)
 }
 
 // NewMapCacheWithPolicy creates a cache with an explicit eviction policy
 // (nil = LRU); capacity 0 means unbounded.
-func NewMapCacheWithPolicy(sim *simnet.Sim, capacity int, policy EvictionPolicy) *MapCache {
+func NewMapCacheWithPolicy(rt runtime.Runtime, capacity int, policy EvictionPolicy) *MapCache {
 	if policy == nil {
 		policy = NewLRU()
 	}
 	c := &MapCache{
-		sim:       sim,
+		rt:        rt,
 		trie:      netaddr.NewTrie[*MapEntry](),
 		capacity:  capacity,
 		policy:    policy,
 		negatives: netaddr.NewTrie[struct{}](),
 	}
-	c.wheel = NewTimingWheel[netaddr.Prefix](sim, wheelGranularity, c.retireExpired)
+	c.wheel = NewTimingWheel[netaddr.Prefix](rt, wheelGranularity, c.retireExpired)
 	return c
 }
 
@@ -241,7 +242,7 @@ func (c *MapCache) Len() int { return c.trie.Len() }
 func (c *MapCache) Insert(prefix netaddr.Prefix, locators []packet.LISPLocator, ttl uint32) *MapEntry {
 	e := &MapEntry{EIDPrefix: prefix, Locators: locators}
 	if ttl > 0 {
-		e.Expires = c.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
+		e.Expires = c.rt.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
 	}
 	c.insertEntry(prefix, e)
 	c.Stats.Inserts++
@@ -258,7 +259,7 @@ func (c *MapCache) InsertNegative(eid netaddr.Addr, ttl uint32) *MapEntry {
 	e := &MapEntry{
 		EIDPrefix: netaddr.HostPrefix(eid),
 		Negative:  true,
-		Expires:   c.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second),
+		Expires:   c.rt.Now() + simnet.Time(ttl)*simnet.Time(time.Second),
 	}
 	c.insertEntry(e.EIDPrefix, e)
 	c.Stats.NegativeInserts++
@@ -307,7 +308,7 @@ func (c *MapCache) insertEntry(prefix netaddr.Prefix, e *MapEntry) {
 // current entry really is expired (refreshed entries are skipped — they
 // are registered again in a later bucket).
 func (c *MapCache) retireExpired(keys []netaddr.Prefix) {
-	now := c.sim.Now()
+	now := c.rt.Now()
 	for _, p := range keys {
 		e, ok := c.trie.Get(p)
 		if !ok || !e.Expired(now) {
@@ -347,7 +348,7 @@ func (c *MapCache) Lookup(eid netaddr.Addr) (*MapEntry, bool) {
 	}
 	// The trie reports the matched length; recover the exact prefix key.
 	key := netaddr.PrefixFrom(eid, p.Bits())
-	if e.Expired(c.sim.Now()) {
+	if e.Expired(c.rt.Now()) {
 		// The wheel retires in granularity batches; a lookup inside the
 		// window still observes (and collects) the expired entry.
 		c.Stats.Expired++
@@ -370,7 +371,7 @@ func (c *MapCache) Lookup(eid netaddr.Addr) (*MapEntry, bool) {
 // without touching the statistics.
 func (c *MapCache) HasNegative(eid netaddr.Addr) bool {
 	e, _, ok := c.trie.Lookup(eid)
-	return ok && e.Negative && !e.Expired(c.sim.Now())
+	return ok && e.Negative && !e.Expired(c.rt.Now())
 }
 
 // Walk visits all live entries.
@@ -434,7 +435,7 @@ type FlowEntry struct {
 // the slot).
 type flowFast struct {
 	tmpl *packet.EncapTemplate
-	out  *simnet.Iface
+	out  runtime.Egress
 }
 
 // FlowTable holds per-flow mappings with TTL expiry. Entries live in
@@ -442,7 +443,7 @@ type flowFast struct {
 // so the encap hot path reads contiguous memory and the fast-path encap
 // state rides in a parallel lane instead of fattening every entry.
 type FlowTable struct {
-	sim   *simnet.Sim
+	rt    runtime.Runtime
 	index map[FlowKey]int32
 	keys  []FlowKey
 	vals  []FlowEntry
@@ -451,9 +452,9 @@ type FlowTable struct {
 }
 
 // NewFlowTable returns an empty flow table.
-func NewFlowTable(sim *simnet.Sim) *FlowTable {
-	t := &FlowTable{sim: sim, index: make(map[FlowKey]int32)}
-	t.wheel = NewTimingWheel[FlowKey](sim, wheelGranularity, t.retireExpired)
+func NewFlowTable(rt runtime.Runtime) *FlowTable {
+	t := &FlowTable{rt: rt, index: make(map[FlowKey]int32)}
+	t.wheel = NewTimingWheel[FlowKey](rt, wheelGranularity, t.retireExpired)
 	return t
 }
 
@@ -461,7 +462,7 @@ func NewFlowTable(sim *simnet.Sim) *FlowTable {
 func (t *FlowTable) Insert(k FlowKey, srcRLOC, dstRLOC netaddr.Addr, ttl uint32) {
 	e := FlowEntry{SrcRLOC: srcRLOC, DstRLOC: dstRLOC}
 	if ttl > 0 {
-		e.Expires = t.sim.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
+		e.Expires = t.rt.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
 		t.wheel.Add(k, e.Expires)
 	}
 	if i, ok := t.index[k]; ok {
@@ -493,7 +494,7 @@ func (t *FlowTable) remove(i int32) {
 // retireExpired batch-drops expired flow entries so Len stays honest in
 // long-running simulations.
 func (t *FlowTable) retireExpired(keys []FlowKey) {
-	now := t.sim.Now()
+	now := t.rt.Now()
 	for _, k := range keys {
 		if i, ok := t.index[k]; ok {
 			e := &t.vals[i]
@@ -511,7 +512,7 @@ func (t *FlowTable) lookupSlot(k FlowKey) (int32, bool) {
 	if !ok {
 		return 0, false
 	}
-	if e := &t.vals[i]; e.Expires != 0 && t.sim.Now() >= e.Expires {
+	if e := &t.vals[i]; e.Expires != 0 && t.rt.Now() >= e.Expires {
 		t.remove(i)
 		return 0, false
 	}
@@ -536,3 +537,10 @@ func (t *FlowTable) Delete(k FlowKey) {
 
 // Len returns the number of live entries.
 func (t *FlowTable) Len() int { return len(t.vals) }
+
+// Walk visits every live entry in table order.
+func (t *FlowTable) Walk(fn func(FlowKey, FlowEntry)) {
+	for i, k := range t.keys {
+		fn(k, t.vals[i])
+	}
+}

@@ -75,8 +75,8 @@ func (x *XTR) EnableProbing(cfg ProbeConfig) {
 	x.probeCfg = cfg
 	x.probing = true
 	x.probes = make(map[netaddr.Addr]*probeState)
-	x.node.ListenUDP(packet.PortRLOCProbe, x.handleProbe)
-	x.node.Sim().ScheduleTimer(cfg.Interval, x, simnet.TimerArg{Kind: xtrTimerProbeTick})
+	x.host.BindUDP(x.cfg.RLOC, packet.PortRLOCProbe, x.HandleProbe)
+	x.rt.ScheduleTimer(cfg.Interval, x, simnet.TimerArg{Kind: xtrTimerProbeTick})
 }
 
 // Probing reports whether probing is enabled.
@@ -108,15 +108,12 @@ func (x *XTR) LocatorUp(rloc netaddr.Addr) bool {
 // time out unanswered probes, and send a fresh probe to every remote
 // locator the data plane could currently select.
 func (x *XTR) probeTick() {
-	sim := x.node.Sim()
-
 	// Local egress state first: it is authoritative (interface down is
 	// known instantly, no probes needed) and gates the remote probes —
 	// a probe whose egress is dead says nothing about the remote end.
 	for i := range x.egress {
 		w := &x.egress[i]
-		ifc := x.node.IfaceByAddr(w.rloc)
-		up := ifc != nil && ifc.LinkUp()
+		up := x.host.AddrUp(w.rloc)
 		if up == w.up {
 			continue
 		}
@@ -142,7 +139,7 @@ func (x *XTR) probeTick() {
 		}
 		for i := range e.Locators {
 			a := e.Locators[i].Addr
-			if a.IsValid() && !x.node.HasAddr(a) {
+			if a.IsValid() && !x.host.HasAddr(a) {
 				targets = append(targets, a)
 			}
 		}
@@ -166,8 +163,7 @@ func (x *XTR) probeTick() {
 		// route down, both an outgoing probe and a returning echo are
 		// doomed locally, so an unanswered round says nothing about the
 		// remote end — discard it unjudged instead of counting a miss.
-		r, ok := x.node.LookupRoute(target)
-		if !ok || !r.Iface.LinkUp() {
+		if !x.host.RouteUp(target) {
 			st.awaiting = false
 			x.Stats.ProbesSkipped++
 			continue
@@ -185,10 +181,10 @@ func (x *XTR) probeTick() {
 				x.applyReachability(target, false)
 			}
 		}
-		st.nonce = sim.Rand().Uint64()
+		st.nonce = x.rt.Rand().Uint64()
 		st.awaiting = true
 		x.Stats.ProbesSent++
-		x.node.SendUDP(x.cfg.RLOC, target, packet.PortRLOCProbe, packet.PortRLOCProbe,
+		x.host.OutputUDP(x.cfg.RLOC, target, packet.PortRLOCProbe, packet.PortRLOCProbe,
 			&packet.LISPMapRequest{
 				Probe:       true,
 				Nonce:       st.nonce,
@@ -196,21 +192,21 @@ func (x *XTR) probeTick() {
 				EIDPrefixes: []netaddr.Prefix{netaddr.HostPrefix(target)},
 			})
 	}
-	sim.ScheduleTimer(x.probeCfg.Interval, x, simnet.TimerArg{Kind: xtrTimerProbeTick})
+	x.rt.ScheduleTimer(x.probeCfg.Interval, x, simnet.TimerArg{Kind: xtrTimerProbeTick})
 }
 
-// handleProbe processes probe traffic on the probe port: Map-Request
+// HandleProbe processes probe traffic on the probe port: Map-Request
 // probes aimed at one of our RLOCs are echoed, Map-Reply echoes feed the
-// hysteresis.
-func (x *XTR) handleProbe(d *simnet.Delivery, udp *packet.UDP) {
+// hysteresis. src/dst are the outer IPv4 addresses.
+func (x *XTR) HandleProbe(src, dst netaddr.Addr, udp *packet.UDP) {
 	pk := packet.NewPacket(udp.LayerPayload(), packet.LayerTypeLISPControl, packet.NoCopy)
 	if req, ok := pk.Layer(packet.LayerTypeLISPMapRequest).(*packet.LISPMapRequest); ok && req != nil {
 		if !req.Probe || len(req.ITRRLOCs) == 0 {
 			return
 		}
-		probed := d.IPv4().DstIP
+		probed := dst
 		x.Stats.ProbeRepliesSent++
-		x.node.SendUDP(probed, req.ITRRLOCs[0], packet.PortRLOCProbe, packet.PortRLOCProbe,
+		x.host.OutputUDP(probed, req.ITRRLOCs[0], packet.PortRLOCProbe, packet.PortRLOCProbe,
 			&packet.LISPMapReply{Probe: true, Nonce: req.Nonce})
 		return
 	}
@@ -218,7 +214,6 @@ func (x *XTR) handleProbe(d *simnet.Delivery, udp *packet.UDP) {
 	if !ok || rep == nil || !rep.Probe {
 		return
 	}
-	src := d.IPv4().SrcIP
 	st, ok := x.probes[src]
 	if !ok || !st.awaiting || st.nonce != rep.Nonce {
 		return

@@ -58,7 +58,7 @@ func (x *XTR) EnableTelemetry(cfg TelemetryConfig) {
 		l.lastOut = l.Iface.Counters().DeliveredBytes
 		l.lastIn = l.Iface.Peer().Counters().DeliveredBytes
 	}
-	x.node.Sim().ScheduleTimer(cfg.Interval, x, simnet.TimerArg{Kind: xtrTimerTelemetry})
+	x.rt.ScheduleTimer(cfg.Interval, x, simnet.TimerArg{Kind: xtrTimerTelemetry})
 }
 
 // telemetryTick samples every link and ships one LoadReport.
@@ -80,11 +80,11 @@ func (x *XTR) telemetryTick() {
 	}
 	msg := &packet.PCECP{
 		Version: packet.PCECPVersion, Type: packet.PCECPLoadReport,
-		Nonce: x.node.Sim().Rand().Uint64(), Loads: loads,
+		Nonce: x.rt.Rand().Uint64(), Loads: loads,
 	}
 	data := simnet.EncodeUDP(x.cfg.RLOC, cfg.Collector, packet.PortPCECP, packet.PortPCECP, msg)
 	x.Stats.TelemetryReports++
 	x.Stats.TelemetryBytes += uint64(len(data))
-	x.node.Send(data)
-	x.node.Sim().ScheduleTimer(cfg.Interval, x, simnet.TimerArg{Kind: xtrTimerTelemetry})
+	x.host.Output(data)
+	x.rt.ScheduleTimer(cfg.Interval, x, simnet.TimerArg{Kind: xtrTimerTelemetry})
 }

@@ -1,6 +1,7 @@
 package lisp
 
 import (
+	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
@@ -17,7 +18,7 @@ import (
 // whether a key is actually expired before acting, so stale registrations
 // are harmless.
 type TimingWheel[K comparable] struct {
-	sim         *simnet.Sim
+	rt          runtime.Runtime
 	granularity simnet.Time
 	buckets     map[int64][]K
 	flush       func(keys []K)
@@ -25,12 +26,12 @@ type TimingWheel[K comparable] struct {
 
 // NewTimingWheel builds a wheel; flush receives each bucket's keys when
 // its deadline passes. granularity must be positive.
-func NewTimingWheel[K comparable](sim *simnet.Sim, granularity simnet.Time, flush func(keys []K)) *TimingWheel[K] {
+func NewTimingWheel[K comparable](rt runtime.Runtime, granularity simnet.Time, flush func(keys []K)) *TimingWheel[K] {
 	if granularity <= 0 {
 		panic("lisp: non-positive timing-wheel granularity")
 	}
 	return &TimingWheel[K]{
-		sim:         sim,
+		rt:          rt,
 		granularity: granularity,
 		buckets:     make(map[int64][]K),
 		flush:       flush,
@@ -49,7 +50,7 @@ func (w *TimingWheel[K]) Add(k K, expires simnet.Time) {
 		return
 	}
 	w.buckets[b] = []K{k}
-	w.sim.TimerAt(simnet.Time(b)*w.granularity, w, simnet.TimerArg{N: b})
+	w.rt.TimerAt(simnet.Time(b)*w.granularity, w, simnet.TimerArg{N: b})
 }
 
 // OnTimer flushes the bucket named by arg.N when its deadline passes.

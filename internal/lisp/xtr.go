@@ -5,6 +5,7 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
@@ -161,6 +162,13 @@ type XTRConfig struct {
 // (decapsulate) roles, as border routers do in practice and in the paper's
 // Fig. 1. Install it on a border node with InstallXTR.
 type XTR struct {
+	// rt and host are the runtime seam: every clock read, timer arm and
+	// frame emission goes through them, so the same state machine runs
+	// under the deterministic sim and the real-time overlay daemon.
+	rt   runtime.Runtime
+	host runtime.Host
+	// node is the hosting sim node when running under the simulator, nil
+	// in real mode. Only sim-bound extras (link telemetry) touch it.
 	node *simnet.Node
 	cfg  XTRConfig
 
@@ -250,7 +258,7 @@ type flowPin struct {
 	entry *MapEntry
 	gen   uint32
 	tmpl  *packet.EncapTemplate
-	out   *simnet.Iface // egress for the source RLOC; nil = routed Send
+	out   runtime.Egress // egress for the source RLOC; nil = routed Output
 }
 
 // maxFlowPins bounds the pin map; reaching it resets the map wholesale
@@ -258,10 +266,20 @@ type flowPin struct {
 // bounded memory in million-flow worlds.
 const maxFlowPins = 8192
 
-// InstallXTR attaches LISP tunnel-router behaviour to node: a sniffer
-// intercepts outbound EID-destined packets for encapsulation, and a UDP
-// handler on port 4341 decapsulates inbound tunnels.
+// InstallXTR attaches LISP tunnel-router behaviour to a simulator node: a
+// sniffer intercepts outbound EID-destined packets for encapsulation, and
+// a UDP handler on port 4341 decapsulates inbound tunnels.
 func InstallXTR(node *simnet.Node, cfg XTRConfig) *XTR {
+	x := NewXTR(node.Sim(), node, cfg)
+	x.node = node
+	return x
+}
+
+// NewXTR builds a tunnel router against the runtime contract — the entry
+// point shared by the simulator (via InstallXTR) and the real-time daemon
+// (cmd/lispd). It registers the outbound intercept sniffer and the port
+// 4341 decap fast path on the host.
+func NewXTR(rt runtime.Runtime, host runtime.Host, cfg XTRConfig) *XTR {
 	if cfg.QueueCapPerEID == 0 {
 		cfg.QueueCapPerEID = 8
 	}
@@ -279,23 +297,30 @@ func InstallXTR(node *simnet.Node, cfg XTRConfig) *XTR {
 		panic("lisp: unknown cache policy " + cfg.CachePolicy)
 	}
 	x := &XTR{
-		node:        node,
+		rt:          rt,
+		host:        host,
 		cfg:         cfg,
-		Cache:       NewMapCacheWithPolicy(node.Sim(), cfg.CacheCapacity, factory(cfg.CacheCapacity)),
-		Flows:       NewFlowTable(node.Sim()),
+		Cache:       NewMapCacheWithPolicy(rt, cfg.CacheCapacity, factory(cfg.CacheCapacity)),
+		Flows:       NewFlowTable(rt),
 		queue:       make(map[netaddr.Addr][]queuedPacket),
 		queueTimer:  make(map[netaddr.Addr]bool),
 		resolving:   make(map[netaddr.Addr]bool),
 		seenSources: make(map[FlowKey]simnet.Time),
 		pins:        make(map[FlowKey]flowPin),
 	}
-	node.AddSniffer(x.interceptOutbound)
-	node.ListenUDPRaw(packet.PortLISPData, x.decap)
+	host.AddFrameSniffer(x.InterceptFrame)
+	host.BindUDPRaw(packet.PortLISPData, x.DecapFrame)
 	return x
 }
 
-// Node returns the hosting node.
+// Node returns the hosting sim node (nil when running in real time).
 func (x *XTR) Node() *simnet.Node { return x.node }
+
+// Host returns the runtime host the xTR is bound to.
+func (x *XTR) Host() runtime.Host { return x.host }
+
+// HostName names the hosting node/daemon for traces and events.
+func (x *XTR) HostName() string { return x.host.HostName() }
 
 // SetResolver installs the mapping system consulted on cache misses.
 // Control planes are wired after the data plane, so this is settable.
@@ -359,14 +384,14 @@ func (x *XTR) armSeenPrune() {
 		return
 	}
 	x.seenArmed = true
-	x.node.Sim().ScheduleTimer(x.seenTTL, x, simnet.TimerArg{Kind: xtrTimerSeenPrune})
+	x.rt.ScheduleTimer(x.seenTTL, x, simnet.TimerArg{Kind: xtrTimerSeenPrune})
 }
 
 // pruneSeen drops first-packet flow records older than seenTTL, re-arming
 // while any remain.
 func (x *XTR) pruneSeen() {
 	x.seenArmed = false
-	now := x.node.Sim().Now()
+	now := x.rt.Now()
 	for fk, last := range x.seenSources {
 		if now-last >= x.seenTTL {
 			delete(x.seenSources, fk)
@@ -377,24 +402,26 @@ func (x *XTR) pruneSeen() {
 	}
 }
 
-// interceptOutbound encapsulates packets leaving the site toward remote
-// EIDs. Anything else passes through to normal forwarding.
-func (x *XTR) interceptOutbound(d *simnet.Delivery) simnet.SnifferVerdict {
-	dst, ok := packet.PeekIPv4Dst(d.Data)
+// InterceptFrame encapsulates packets leaving the site toward remote
+// EIDs. Anything else passes through to normal forwarding. It is the
+// host-registered frame sniffer; the outer addresses are peeked straight
+// from the wire bytes so the hot path decodes no layers.
+func (x *XTR) InterceptFrame(data []byte) runtime.Verdict {
+	dst, ok := packet.PeekIPv4Dst(data)
 	if !ok {
-		return simnet.SnifferPass
+		return runtime.VerdictPass
 	}
 	if !x.cfg.EIDSpace.Contains(dst) || x.cfg.LocalEIDs.Contains(dst) {
-		return simnet.SnifferPass // transit or intra-site traffic
+		return runtime.VerdictPass // transit or intra-site traffic
 	}
-	src, _ := packet.PeekIPv4Src(d.Data)
+	src, _ := packet.PeekIPv4Src(data)
 	if !x.cfg.LocalEIDs.Contains(src) {
 		// EID-destined but not sourced here: without a mapping this is
 		// unroutable; treat like a miss-policy packet from elsewhere.
 		x.Stats.NonEIDForwarded++
 	}
-	x.handleOutbound(src, dst, d.Data)
-	return simnet.SnifferConsume
+	x.handleOutbound(src, dst, data)
+	return runtime.VerdictConsume
 }
 
 func (x *XTR) handleOutbound(src, dst netaddr.Addr, data []byte) {
@@ -414,7 +441,7 @@ func (x *XTR) handleOutbound(src, dst netaddr.Addr, data []byte) {
 		if f.tmpl == nil {
 			fe := &x.Flows.vals[i]
 			f.tmpl = packet.NewEncapTemplate(fe.SrcRLOC, fe.DstRLOC, packet.PortLISPData, packet.PortLISPData)
-			f.out = x.node.IfaceByAddr(fe.SrcRLOC)
+			f.out = x.host.EgressByAddr(fe.SrcRLOC)
 		}
 		x.encapFast(f.tmpl, f.out, data)
 		return
@@ -455,7 +482,7 @@ func (x *XTR) pinFlow(fk FlowKey, e *MapEntry, dstRLOC netaddr.Addr) {
 		entry: e,
 		gen:   e.gen,
 		tmpl:  packet.NewEncapTemplate(x.cfg.RLOC, dstRLOC, packet.PortLISPData, packet.PortLISPData),
-		out:   x.node.IfaceByAddr(x.cfg.RLOC),
+		out:   x.host.EgressByAddr(x.cfg.RLOC),
 	}
 }
 
@@ -463,15 +490,15 @@ func (x *XTR) pinFlow(fk FlowKey, e *MapEntry, dstRLOC netaddr.Addr) {
 // lengths, checksums and a fresh nonce, and steer out the pinned egress.
 // It consumes exactly one Rand draw per packet, like the slow path, so
 // runs with and without established pins stay byte-identical.
-func (x *XTR) encapFast(t *packet.EncapTemplate, out *simnet.Iface, inner []byte) {
+func (x *XTR) encapFast(t *packet.EncapTemplate, out runtime.Egress, inner []byte) {
 	x.Stats.EncapPackets++
-	nonce := uint32(x.node.Sim().Rand().Uint32()) & 0xffffff
+	nonce := uint32(x.rt.Rand().Uint32()) & 0xffffff
 	data := t.Encap(inner, nonce)
 	if out != nil {
-		x.node.SendVia(out, data)
+		x.host.OutputVia(out, data)
 		return
 	}
-	x.node.Send(data)
+	x.host.Output(data)
 }
 
 // dropOnMiss applies the miss policy and triggers resolution.
@@ -482,7 +509,7 @@ func (x *XTR) dropOnMiss(dst netaddr.Addr, data []byte) {
 		if len(q) >= x.cfg.QueueCapPerEID {
 			x.Stats.QueueOverflows++
 		} else {
-			deadline := x.node.Sim().Now() + x.cfg.QueueTimeout
+			deadline := x.rt.Now() + x.cfg.QueueTimeout
 			x.queue[dst] = append(q, queuedPacket{data: data, deadline: deadline})
 			x.Stats.QueuedPackets++
 			if !x.queueTimer[dst] {
@@ -499,7 +526,7 @@ func (x *XTR) dropOnMiss(dst netaddr.Addr, data []byte) {
 // queue at the given absolute deadline.
 func (x *XTR) armQueueExpiry(dst netaddr.Addr, at simnet.Time) {
 	x.queueTimer[dst] = true
-	x.node.Sim().TimerAt(at, x, simnet.TimerArg{Kind: xtrTimerQueueExpiry, N: int64(dst)})
+	x.rt.TimerAt(at, x, simnet.TimerArg{Kind: xtrTimerQueueExpiry, N: int64(dst)})
 }
 
 // expireQueue drops timed-out packets for dst and re-arms the timer at
@@ -512,7 +539,7 @@ func (x *XTR) expireQueue(dst netaddr.Addr) {
 		delete(x.queue, dst)
 		return
 	}
-	now := x.node.Sim().Now()
+	now := x.rt.Now()
 	kept := q[:0]
 	for _, qp := range q {
 		if qp.deadline > now {
@@ -573,7 +600,7 @@ func (x *XTR) InstallMapping(entry *MapEntry) bool {
 	}
 	ttl := uint32(0)
 	if entry.Expires != 0 {
-		remaining := entry.Expires - x.node.Sim().Now()
+		remaining := entry.Expires - x.rt.Now()
 		if remaining <= 0 {
 			return false
 		}
@@ -642,15 +669,15 @@ func (x *XTR) encap(srcRLOC, dstRLOC netaddr.Addr, inner []byte) {
 	}
 	x.encUDP = packet.UDP{SrcPort: packet.PortLISPData, DstPort: packet.PortLISPData}
 	x.encUDP.SetNetworkLayerForChecksum(&x.encIP)
-	x.encLISP = packet.LISP{NonceP: true, Nonce: uint32(x.node.Sim().Rand().Uint32()) & 0xffffff}
+	x.encLISP = packet.LISP{NonceP: true, Nonce: uint32(x.rt.Rand().Uint32()) & 0xffffff}
 	x.encPayload = packet.Payload(inner)
 	x.encLayers = [4]packet.SerializableLayer{&x.encIP, &x.encUDP, &x.encLISP, &x.encPayload}
 	data := packet.Serialize(x.encLayers[:]...)
-	if out := x.node.IfaceByAddr(srcRLOC); out != nil {
-		x.node.SendVia(out, data)
+	if out := x.host.EgressByAddr(srcRLOC); out != nil {
+		x.host.OutputVia(out, data)
 		return
 	}
-	x.node.Send(data)
+	x.host.Output(data)
 }
 
 // gleanAllowed consumes one slot of the per-second new-flow gleaning
@@ -659,7 +686,7 @@ func (x *XTR) gleanAllowed() bool {
 	if x.cfg.GleanRateLimit <= 0 {
 		return true
 	}
-	w := x.node.Sim().Now() / simnet.Time(time.Second)
+	w := x.rt.Now() / simnet.Time(time.Second)
 	if w != x.gleanWin {
 		x.gleanWin, x.gleanCount = w, 0
 	}
@@ -680,12 +707,13 @@ type DecapInfo struct {
 	First              bool
 }
 
-// decap handles inbound tunneled packets on UDP 4341: strip the outer
-// headers, learn the reverse mapping, forward the inner packet into the
-// site. It is registered as a raw UDP handler, so the per-packet hot path
-// never decodes outer layer structs — the outer addresses it needs are
-// peeked straight from the wire bytes.
-func (x *XTR) decap(d *simnet.Delivery, payload []byte) {
+// DecapFrame handles inbound tunneled packets on UDP 4341: strip the
+// outer headers, learn the reverse mapping, forward the inner packet into
+// the site. It is registered as the host's raw UDP handler, so the
+// per-packet hot path never decodes outer layer structs — the outer
+// addresses it needs are peeked straight from the wire bytes of the outer
+// frame.
+func (x *XTR) DecapFrame(outer []byte, payload []byte) {
 	if len(payload) < packet.LISPHeaderLen {
 		return
 	}
@@ -703,12 +731,12 @@ func (x *XTR) decap(d *simnet.Delivery, payload []byte) {
 			// Rate-limited: forward the inner packet but glean no state
 			// for this new flow — it retries on its next packet.
 			x.Stats.GleansSuppressed++
-			x.node.Send(inner)
+			x.host.Output(inner)
 			return
 		}
-		outerSrc, _ := packet.PeekIPv4Src(d.Data)
-		outerDst, _ := packet.PeekIPv4Dst(d.Data)
-		x.seenSources[fk] = x.node.Sim().Now()
+		outerSrc, _ := packet.PeekIPv4Src(outer)
+		outerDst, _ := packet.PeekIPv4Dst(outer)
+		x.seenSources[fk] = x.rt.Now()
 		x.armSeenPrune()
 		x.OnDecap(DecapInfo{
 			InnerSrc: innerSrc, InnerDst: innerDst,
@@ -722,5 +750,5 @@ func (x *XTR) decap(d *simnet.Delivery, payload []byte) {
 	// and its decoded view are recycled). The forwarding path's in-place
 	// TTL patch touches bytes nobody else reads, so the copy the original
 	// implementation made bought nothing.
-	x.node.Send(inner)
+	x.host.Output(inner)
 }

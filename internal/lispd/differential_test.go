@@ -1,0 +1,225 @@
+package lispd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/core"
+	"github.com/pcelisp/pcelisp/internal/irc"
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
+	"github.com/pcelisp/pcelisp/internal/simnet"
+	"github.com/pcelisp/pcelisp/internal/topo"
+)
+
+// evKey is a control-plane event normalized for sim-vs-real comparison:
+// the decision (kind + flow EIDs) without the carrier-specific parts
+// (virtual timestamps, node names).
+type evKey struct {
+	kind     core.EventKind
+	src, dst netaddr.Addr
+}
+
+// normalizeTrace keeps the deterministic decision milestones shared by
+// both runtimes. Passthrough/observation events differ structurally (the
+// sim has a full iterative DNS hierarchy; the daemons forward directly)
+// and are dropped.
+func normalizeTrace(evs []core.Event) []evKey {
+	keep := map[core.EventKind]bool{
+		core.EvEncapReplySent:     true,
+		core.EvEncapReplyReceived: true,
+		core.EvMappingPushed:      true,
+		core.EvFlowInstalled:      true,
+	}
+	var out []evKey
+	for _, ev := range evs {
+		if keep[ev.Kind] {
+			out = append(out, evKey{kind: ev.Kind, src: ev.SrcEID, dst: ev.DstEID})
+		}
+	}
+	return out
+}
+
+type flowRow struct {
+	src, dst, srcRLOC, dstRLOC netaddr.Addr
+}
+
+// diffConfig derives a daemon config from a built sim domain, so both
+// runtimes run the identical addressing, locator set and policy inputs.
+// Only the latency encoding differs (the config speaks milliseconds); the
+// test asserts the truncation preserves the latency order MinLatency
+// ranks by.
+func diffConfig(d, other *topo.Domain) *Config {
+	cfg := &Config{
+		Name:     d.Name,
+		Listen:   "127.0.0.1:0",
+		Seed:     int64(d.Index) + 1,
+		EIDSpace: "100.0.0.0/8",
+		Site: &SiteConfig{
+			EIDPrefix: d.EIDPrefix.String(),
+		},
+		PCE: &PCEConfig{
+			Addr:    d.PCEAddr.String(),
+			DNSAddr: d.Resolver.Addr().String(),
+		},
+		DNS: &DNSConfig{
+			Zone: d.Zone,
+			Views: []ViewConfig{
+				{Name: "internal", CIDRs: []string{d.EIDPrefix.String()}, Recursion: true},
+				{Name: "infra", CIDRs: []string{"172.16.0.0/12"}, Recursion: false},
+			},
+			Forward: []ForwardConfig{
+				{Zone: other.Zone, Server: other.Resolver.Addr().String()},
+			},
+		},
+	}
+	for _, p := range d.Providers {
+		cfg.Site.Locators = append(cfg.Site.Locators, LocatorConfig{
+			Name:              p.Name,
+			RLOC:              p.RLOC.String(),
+			CapacityBps:       p.CapacityBps,
+			BaseLatencyMillis: int64(p.CoreDelay / time.Millisecond),
+		})
+	}
+	for _, h := range d.Hosts {
+		cfg.DNS.Records = append(cfg.DNS.Records, RecordConfig{Name: h.Name, Addr: h.Addr.String()})
+	}
+	return cfg
+}
+
+// TestSimRealDifferential runs the same scenario — a client in d0
+// resolving and reaching a host in d1 — once under the deterministic
+// simulator and once across two real UDP daemons on loopback, and asserts
+// the control planes made the same decisions: the same event trace, the
+// same installed flow tuple, the same exported locator set.
+func TestSimRealDifferential(t *testing.T) {
+	const seed = 7
+	inter := topo.Build(topo.Spec{
+		Seed:    seed,
+		Domains: []topo.DomainSpec{{Hosts: 1, Providers: 2}, {Hosts: 1, Providers: 2}},
+	})
+	d0, d1 := inter.Domains[0], inter.Domains[1]
+
+	// MinLatency ranks providers by latency order only; the config carries
+	// milliseconds, so the drawn delays must not tie after truncation.
+	for _, d := range inter.Domains {
+		ms := map[int64]bool{}
+		for _, p := range d.Providers {
+			m := int64(p.CoreDelay / time.Millisecond)
+			if ms[m] {
+				t.Fatalf("seed %d draws a provider-latency tie in %s after ms truncation; pick another seed", seed, d.Name)
+			}
+			ms[m] = true
+		}
+	}
+
+	// ---- Simulated run ----
+	pce0 := core.DeployDomain(d0, irc.MinLatency{})
+	pce1 := core.DeployDomain(d1, irc.MinLatency{})
+	var simEv0, simEv1 []core.Event
+	pce0.OnEvent = func(ev core.Event) { simEv0 = append(simEv0, ev) }
+	pce1.OnEvent = func(ev core.Event) { simEv1 = append(simEv1, ev) }
+
+	var simAddr netaddr.Addr
+	var simOK bool
+	d0.Hosts[0].DNS.Lookup(d1.Hosts[0].Name, func(addr netaddr.Addr, _ simnet.Time, ok bool) {
+		simAddr, simOK = addr, ok
+	})
+	// Run long enough for the resolution, short enough that the pushed
+	// flow (mapping TTL 300s) has not expired when we read the table.
+	inter.Sharded.RunFor(2 * simnet.Time(time.Second))
+	if !simOK || simAddr != d1.Hosts[0].Addr {
+		t.Fatalf("sim resolution = %v (ok=%v), want %v", simAddr, simOK, d1.Hosts[0].Addr)
+	}
+
+	var simFlows []flowRow
+	d0.XTRs[0].Flows.Walk(func(k lisp.FlowKey, e lisp.FlowEntry) {
+		simFlows = append(simFlows, flowRow{src: k.Src, dst: k.Dst, srcRLOC: e.SrcRLOC, dstRLOC: e.DstRLOC})
+	})
+	simLocs := pce1.Engine().MappingLocators()
+
+	// ---- Real run: two daemons on loopback, configs derived from the
+	// same built world ----
+	da, err := New(diffConfig(d0, d1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(da.Close)
+	db, err := New(diffConfig(d1, d0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+
+	var realEvA, realEvB []core.Event // loop-goroutine confined until the barrier below
+	da.PCE().OnEvent = func(ev core.Event) { realEvA = append(realEvA, ev) }
+	db.PCE().OnEvent = func(ev core.Event) { realEvB = append(realEvB, ev) }
+
+	da.SetPeer(d1.EIDPrefix, db.RealAddr())
+	da.SetPeer(netaddr.MustParsePrefix(fmt.Sprintf("172.16.%d.0/24", d1.Index)), db.RealAddr())
+	db.SetPeer(d0.EIDPrefix, da.RealAddr())
+	db.SetPeer(netaddr.MustParsePrefix(fmt.Sprintf("172.16.%d.0/24", d0.Index)), da.RealAddr())
+
+	client := newEndHost(t)
+	es := d0.Hosts[0].Addr
+	da.SetPeer(netaddr.HostPrefix(es), client.addr())
+
+	da.Start()
+	db.Start()
+
+	q := &packet.DNS{
+		ID: 9, RD: true,
+		Questions: []packet.DNSQuestion{{Name: d1.Hosts[0].Name, Type: packet.DNSTypeA, Class: packet.DNSClassIN}},
+	}
+	client.send(da.RealAddr(), runtime.EncodeUDP(es, d0.Resolver.Addr(), 5353, packet.PortDNS, q))
+
+	reply := client.recv(5 * time.Second)
+	rp := packet.NewPacket(reply, packet.LayerTypeIPv4, packet.Default)
+	ans := rp.Layer(packet.LayerTypeDNS).(*packet.DNS)
+	if got, ok := ans.FirstA(); !ok || got != d1.Hosts[0].Addr {
+		t.Fatalf("real resolution = %v (ok=%v), want %v", got, ok, d1.Hosts[0].Addr)
+	}
+
+	// Barrier: drain both loops so every event (the flow install runs as
+	// a posted thunk) and table write has landed before we read.
+	var realFlows []flowRow
+	var realLocsB []packet.LISPLocator
+	doneA, doneB := make(chan struct{}), make(chan struct{})
+	da.Loop().Post(func() {
+		da.XTR().Flows.Walk(func(k lisp.FlowKey, e lisp.FlowEntry) {
+			realFlows = append(realFlows, flowRow{src: k.Src, dst: k.Dst, srcRLOC: e.SrcRLOC, dstRLOC: e.DstRLOC})
+		})
+		close(doneA)
+	})
+	db.Loop().Post(func() {
+		realLocsB = append(realLocsB, db.PCE().Engine().MappingLocators()...)
+		close(doneB)
+	})
+	<-doneA
+	<-doneB
+
+	// 1. Same decision trace per control plane.
+	if got, want := normalizeTrace(realEvA), normalizeTrace(simEv0); !reflect.DeepEqual(got, want) {
+		t.Errorf("d0 PCE trace diverges:\n real %+v\n sim  %+v", got, want)
+	}
+	if got, want := normalizeTrace(realEvB), normalizeTrace(simEv1); !reflect.DeepEqual(got, want) {
+		t.Errorf("d1 PCE trace diverges:\n real %+v\n sim  %+v", got, want)
+	}
+
+	// 2. Same flow tuple installed at the ITR.
+	if !reflect.DeepEqual(realFlows, simFlows) {
+		t.Errorf("installed flows diverge:\n real %+v\n sim  %+v", realFlows, simFlows)
+	}
+	if len(simFlows) == 0 {
+		t.Error("sim installed no flows — the scenario did not exercise the push path")
+	}
+
+	// 3. Same exported locator set (priorities and weights included).
+	if !reflect.DeepEqual(realLocsB, simLocs) {
+		t.Errorf("d1 locator sets diverge:\n real %+v\n sim  %+v", realLocsB, simLocs)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
@@ -62,6 +63,7 @@ func (s *Site) Record() packet.LISPMapRecord {
 // source that delivered it.
 type ControlAgent struct {
 	node *simnet.Node
+	rt   runtime.Runtime
 	addr netaddr.Addr
 
 	// OnMapRequest handles Map-Requests (possibly ECM-unwrapped).
@@ -88,7 +90,7 @@ type ControlStats struct {
 
 // NewControlAgent binds a control agent to node:4342 at addr.
 func NewControlAgent(node *simnet.Node, addr netaddr.Addr) *ControlAgent {
-	a := &ControlAgent{node: node, addr: addr}
+	a := &ControlAgent{node: node, rt: node.Sim(), addr: addr}
 	node.ListenUDP(packet.PortLISPControl, a.handle)
 	return a
 }
@@ -167,10 +169,10 @@ func (a *ControlAgent) SendECM(dst netaddr.Addr, msg packet.SerializableLayer) {
 
 // RecordToEntry converts a wire mapping record into a data-plane map-cache
 // entry with an absolute expiry.
-func RecordToEntry(sim *simnet.Sim, r packet.LISPMapRecord) *lisp.MapEntry {
+func RecordToEntry(rt runtime.Runtime, r packet.LISPMapRecord) *lisp.MapEntry {
 	e := &lisp.MapEntry{EIDPrefix: r.EIDPrefix, Locators: r.Locators}
 	if r.TTL > 0 {
-		e.Expires = sim.Now() + simnet.Time(r.TTL)*simnet.Time(time.Second)
+		e.Expires = rt.Now() + simnet.Time(r.TTL)*simnet.Time(time.Second)
 	}
 	return e
 }
@@ -263,11 +265,11 @@ func (r *Requester) Resolve(eid netaddr.Addr, done func(*lisp.MapEntry, bool)) {
 	// Nonces come from the simulation RNG: deterministic per seed, and
 	// collision-free across the requesters of different sites (a plain
 	// per-requester counter would collide in CONS reverse-path state).
-	nonce := r.agent.node.Sim().Rand().Uint64()
+	nonce := r.agent.rt.Rand().Uint64()
 	for _, exists := r.pending[nonce]; exists; _, exists = r.pending[nonce] {
-		nonce = r.agent.node.Sim().Rand().Uint64()
+		nonce = r.agent.rt.Rand().Uint64()
 	}
-	p := &pendingResolve{eid: eid, done: done, started: r.agent.node.Sim().Now()}
+	p := &pendingResolve{eid: eid, done: done, started: r.agent.rt.Now()}
 	r.pending[nonce] = p
 	r.sendAttempt(nonce, p)
 }
@@ -287,7 +289,7 @@ func (r *Requester) sendAttempt(nonce uint64, p *pendingResolve) {
 	} else {
 		r.agent.Send(target, req)
 	}
-	r.agent.node.Sim().ScheduleTimer(r.Timeout, r,
+	r.agent.rt.ScheduleTimer(r.Timeout, r,
 		simnet.TimerArg{P: p, N: int64(nonce), Kind: int32(gen)})
 }
 
@@ -326,7 +328,7 @@ func (r *Requester) onReply(src netaddr.Addr, m *packet.LISPMapReply) {
 			r.Stats.SloppyAccepts++
 		} else if r.OnUnsolicited != nil {
 			r.Stats.Unsolicited++
-			r.OnUnsolicited(RecordToEntry(r.agent.node.Sim(), m.Records[0]))
+			r.OnUnsolicited(RecordToEntry(r.agent.rt, m.Records[0]))
 			return
 		}
 	}
@@ -344,7 +346,7 @@ func (r *Requester) onReply(src netaddr.Addr, m *packet.LISPMapReply) {
 		return
 	}
 	r.Stats.Answers++
-	p.done(RecordToEntry(r.agent.node.Sim(), m.Records[0]), true)
+	p.done(RecordToEntry(r.agent.rt, m.Records[0]), true)
 }
 
 // findByEID returns the pending resolution whose EID the record prefix

@@ -1,0 +1,328 @@
+// Package overlay implements runtime.Host over one real UDP socket: the
+// daemon's data and control planes ride full IPv4/UDP frames — the exact
+// bytes runtime.EncodeUDP and the encap templates produce — carried as
+// payloads between daemon sockets. Keeping the inner frames bit-identical
+// to the simulator's wire format is what lets the differential tests
+// compare sim and real traces, and lets the e2e tests check encap output
+// against the packet codec goldens.
+//
+// One Host carries every protocol role of a daemon (xTR, PCE, DNS front
+// end), which is why bindings are keyed by (address, port) where a sim
+// node — one role per node — keys by port alone. Frames whose destination
+// is not a host address are routed by longest-prefix match over the peer
+// table to another socket (another daemon, or a test harness acting as an
+// end host).
+package overlay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
+)
+
+// Stats counts host activity. Counters are only touched on the loop
+// goroutine; read them after Close or from posted thunks.
+type Stats struct {
+	RxFrames      uint64
+	TxFrames      uint64
+	Consumed      uint64 // frames consumed by a sniffer
+	NoRoute       uint64 // frames with no local bind and no peer route
+	Unhandled     uint64 // local frames with no matching binding
+	Malformed     uint64
+	MulticastDrop uint64
+}
+
+type bindKey struct {
+	addr netaddr.Addr // invalid = wildcard
+	port uint16
+}
+
+// Host is the real-time runtime.Host. Protocol callbacks (bindings,
+// sniffers, timer handlers) all run on the owning Loop's goroutine, so
+// the protocol layer needs no locking — the same execution model the
+// simulator provides.
+type Host struct {
+	name string
+	loop *runtime.Loop
+	conn *net.UDPConn
+
+	// mu guards addrs and peers, the two tables Reload/SetPeer may touch
+	// from outside the loop. Bindings and sniffers are registered during
+	// setup, before Start, and are read-only afterwards.
+	mu    sync.RWMutex
+	addrs map[netaddr.Addr]struct{}
+	peers *netaddr.Trie[*net.UDPAddr]
+
+	sniffers []runtime.FrameSniffer
+	binds    map[bindKey]runtime.UDPHandler
+	rawBinds map[uint16]runtime.RawUDPHandler
+
+	started   atomic.Bool
+	closeOnce sync.Once
+	readDone  chan struct{}
+
+	Stats Stats
+}
+
+// New binds a host socket on listen (e.g. "127.0.0.1:0") attached to the
+// given loop. Call AddAddr/SetPeer/Bind*/AddFrameSniffer, then Start.
+func New(name string, loop *runtime.Loop, listen string) (*Host, error) {
+	la, err := net.ResolveUDPAddr("udp4", listen)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp4", la)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: bind %q: %w", listen, err)
+	}
+	return &Host{
+		name:     name,
+		loop:     loop,
+		conn:     conn,
+		addrs:    make(map[netaddr.Addr]struct{}),
+		peers:    netaddr.NewTrie[*net.UDPAddr](),
+		binds:    make(map[bindKey]runtime.UDPHandler),
+		rawBinds: make(map[uint16]runtime.RawUDPHandler),
+		readDone: make(chan struct{}),
+	}, nil
+}
+
+// RealAddr returns the socket's real address (for peering other hosts).
+func (h *Host) RealAddr() *net.UDPAddr { return h.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddAddr declares a an address owned by this host.
+func (h *Host) AddAddr(a netaddr.Addr) {
+	h.mu.Lock()
+	h.addrs[a] = struct{}{}
+	h.mu.Unlock()
+}
+
+// SetPeer routes frames destined into p to the socket at ra. Longest
+// prefix wins, so a broad "remote domain" route and a narrow "this client
+// host" route compose.
+func (h *Host) SetPeer(p netaddr.Prefix, ra *net.UDPAddr) {
+	h.mu.Lock()
+	h.peers.Insert(p, ra)
+	h.mu.Unlock()
+}
+
+// Start launches the socket reader. Frames are copied off the read buffer
+// and posted to the loop, so every protocol callback runs serialized.
+func (h *Host) Start() {
+	if !h.started.CompareAndSwap(false, true) {
+		return
+	}
+	go h.readLoop()
+}
+
+// Close shuts the socket and waits for the reader to exit. The loop keeps
+// running (it may serve other hosts); stop it separately.
+func (h *Host) Close() error {
+	var err error
+	h.closeOnce.Do(func() {
+		err = h.conn.Close()
+		if h.started.Load() {
+			<-h.readDone
+		}
+	})
+	return err
+}
+
+func (h *Host) readLoop() {
+	defer close(h.readDone)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := h.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed (or fatal socket error): stop reading
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		h.loop.Post(func() { h.receive(frame) })
+	}
+}
+
+// receive handles one inbound frame on the loop goroutine: sniffers
+// first (ingress inspection — the PCE's bump-in-the-wire placement), then
+// local delivery or peer forwarding.
+func (h *Host) receive(data []byte) {
+	h.Stats.RxFrames++
+	for _, s := range h.sniffers {
+		if s(data) == runtime.VerdictConsume {
+			h.Stats.Consumed++
+			return
+		}
+	}
+	dst, ok := packet.PeekIPv4Dst(data)
+	if !ok {
+		h.Stats.Malformed++
+		return
+	}
+	if h.HasAddr(dst) {
+		h.deliver(dst, data)
+		return
+	}
+	// Transit: the sniffers already inspected this frame; route it on
+	// without a second pass (the sim equivalent is a router node's
+	// forwarding path).
+	h.forward(dst, data)
+}
+
+// deliver dispatches a local frame to its binding: raw fast path first
+// (LISP data port), then decoded (addr, port) bindings with wildcard
+// fallback — mirroring simnet.Node.deliverLocal.
+func (h *Host) deliver(dst netaddr.Addr, data []byte) {
+	if len(h.rawBinds) != 0 {
+		if _, dport, payload, ok := packet.PeekUDPPayload(data); ok {
+			if rh, ok := h.rawBinds[dport]; ok {
+				rh(data, payload)
+				return
+			}
+		}
+	}
+	pk := packet.NewPacket(data, packet.LayerTypeIPv4, packet.NoCopy)
+	ipl := pk.Layer(packet.LayerTypeIPv4)
+	if ipl == nil {
+		h.Stats.Malformed++
+		return
+	}
+	ip := ipl.(*packet.IPv4)
+	if ip.Protocol != packet.IPProtocolUDP {
+		h.Stats.Unhandled++
+		return
+	}
+	udpl := pk.Layer(packet.LayerTypeUDP)
+	if udpl == nil {
+		h.Stats.Malformed++
+		return
+	}
+	udp := udpl.(*packet.UDP)
+	if bh, ok := h.binds[bindKey{addr: dst, port: udp.DstPort}]; ok {
+		bh(ip.SrcIP, ip.DstIP, udp)
+		return
+	}
+	if bh, ok := h.binds[bindKey{port: udp.DstPort}]; ok {
+		bh(ip.SrcIP, ip.DstIP, udp)
+		return
+	}
+	h.Stats.Unhandled++
+}
+
+// forward routes a frame to the peer owning its destination.
+func (h *Host) forward(dst netaddr.Addr, data []byte) {
+	h.mu.RLock()
+	ra, _, ok := h.peers.Lookup(dst)
+	h.mu.RUnlock()
+	if !ok {
+		h.Stats.NoRoute++
+		return
+	}
+	h.Stats.TxFrames++
+	h.conn.WriteToUDP(data, ra)
+}
+
+// HostName implements runtime.Host.
+func (h *Host) HostName() string { return h.name }
+
+// HasAddr implements runtime.Host.
+func (h *Host) HasAddr(a netaddr.Addr) bool {
+	h.mu.RLock()
+	_, ok := h.addrs[a]
+	h.mu.RUnlock()
+	return ok
+}
+
+// EgressByAddr implements runtime.Host. The single-socket host has no
+// per-egress structure; everything routes by destination.
+func (h *Host) EgressByAddr(netaddr.Addr) runtime.Egress { return nil }
+
+// AddrUp implements runtime.Host: a real socket has no per-address link
+// state, so an owned address is an up address.
+func (h *Host) AddrUp(a netaddr.Addr) bool { return h.HasAddr(a) }
+
+// RouteUp implements runtime.Host: reachable means local or peered.
+func (h *Host) RouteUp(dst netaddr.Addr) bool {
+	if h.HasAddr(dst) {
+		return true
+	}
+	h.mu.RLock()
+	_, _, ok := h.peers.Lookup(dst)
+	h.mu.RUnlock()
+	return ok
+}
+
+// Output implements runtime.Host. Locally addressed frames loop back
+// through the posted receive path (so sniffers inspect them exactly once,
+// like the sim's evDeliver loopback); outbound frames pass the sniffer
+// chain as egress inspection — that is where a co-located PCED sees its
+// DNS front end's authoritative replies leaving the daemon — and are then
+// routed to a peer.
+func (h *Host) Output(data []byte) error {
+	dst, ok := packet.PeekIPv4Dst(data)
+	if !ok {
+		h.Stats.Malformed++
+		return fmt.Errorf("overlay: malformed frame")
+	}
+	if dst.IsMulticast() {
+		// No multicast fabric: daemons run with an invalid group so the
+		// control plane unicasts instead; anything else is dropped.
+		h.Stats.MulticastDrop++
+		return nil
+	}
+	if h.HasAddr(dst) {
+		h.loop.Post(func() { h.receive(data) })
+		return nil
+	}
+	for _, s := range h.sniffers {
+		if s(data) == runtime.VerdictConsume {
+			h.Stats.Consumed++
+			return nil
+		}
+	}
+	h.forward(dst, data)
+	return nil
+}
+
+// OutputVia implements runtime.Host; with no egress structure it is
+// Output.
+func (h *Host) OutputVia(_ runtime.Egress, data []byte) { h.Output(data) }
+
+// OutputUDP implements runtime.Host.
+func (h *Host) OutputUDP(src, dst netaddr.Addr, sport, dport uint16, app ...packet.SerializableLayer) int {
+	data := runtime.EncodeUDP(src, dst, sport, dport, app...)
+	h.Output(data)
+	return len(data)
+}
+
+// BindUDP implements runtime.Host. An invalid addr is the port wildcard.
+func (h *Host) BindUDP(addr netaddr.Addr, port uint16, fn runtime.UDPHandler) {
+	k := bindKey{addr: addr, port: port}
+	if _, dup := h.binds[k]; dup {
+		panic(fmt.Sprintf("overlay: duplicate bind %v:%d on %s", addr, port, h.name))
+	}
+	h.binds[k] = fn
+}
+
+// BindUDPRaw implements runtime.Host.
+func (h *Host) BindUDPRaw(port uint16, fn runtime.RawUDPHandler) {
+	if _, dup := h.rawBinds[port]; dup {
+		panic(fmt.Sprintf("overlay: duplicate raw bind :%d on %s", port, h.name))
+	}
+	h.rawBinds[port] = fn
+}
+
+// AddFrameSniffer implements runtime.Host.
+func (h *Host) AddFrameSniffer(s runtime.FrameSniffer) {
+	h.sniffers = append(h.sniffers, s)
+}
+
+// JoinGroup implements runtime.Host: no multicast fabric, best-effort
+// no-op. Daemon configs use an invalid group so the PCE unicasts pushes.
+func (h *Host) JoinGroup(netaddr.Addr) {}
+
+var _ runtime.Host = (*Host)(nil)

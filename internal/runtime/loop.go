@@ -1,0 +1,233 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Loop is the real-time Runtime implementation: a single goroutine that
+// serializes timer callbacks and posted thunks, backed by the wall clock
+// and one reusable time.Timer. It mirrors the simulator's execution
+// model — at most one protocol callback runs at a time, timers fire in
+// (deadline, arming order) — so protocol code written for the sim needs
+// no extra locking to run here.
+//
+// ScheduleTimer/TimerAt/Post are safe to call from any goroutine (unlike
+// the sim, whose callers are already inside the event loop); everything
+// they arm runs on the loop goroutine.
+type Loop struct {
+	start time.Time
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	posted  []func()
+	timers  loopTimerHeap
+	seq     uint64
+	running bool
+	stopped bool
+	wake    chan struct{}
+	done    chan struct{}
+}
+
+// loopTimer is one armed timer, ordered by (deadline, arming sequence) —
+// the same FIFO contract the sim scheduler preserves.
+type loopTimer struct {
+	at  Time
+	seq uint64
+	h   TimerHandler
+	arg TimerArg
+}
+
+type loopTimerHeap []loopTimer
+
+func (h loopTimerHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *loopTimerHeap) push(t loopTimer) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *loopTimerHeap) pop() loopTimer {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = loopTimer{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// NewLoop creates a stopped loop whose clock starts at zero now and whose
+// random stream is seeded deterministically.
+func NewLoop(seed int64) *Loop {
+	return &Loop{
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+}
+
+// Now returns the time elapsed since the loop was created.
+func (l *Loop) Now() Time { return time.Since(l.start) }
+
+// Rand returns the loop's seeded random stream. Draws are serialized by
+// the loop goroutine in normal operation; the loop does not add locking.
+func (l *Loop) Rand() Rand { return l.rng }
+
+// ScheduleTimer arms h.OnTimer(arg) to fire after delay d on the loop
+// goroutine.
+func (l *Loop) ScheduleTimer(d Time, h TimerHandler, arg TimerArg) {
+	if d < 0 {
+		d = 0
+	}
+	l.TimerAt(l.Now()+d, h, arg)
+}
+
+// TimerAt arms h.OnTimer(arg) to fire at absolute loop time t.
+func (l *Loop) TimerAt(t Time, h TimerHandler, arg TimerArg) {
+	l.mu.Lock()
+	l.seq++
+	l.timers.push(loopTimer{at: t, seq: l.seq, h: h, arg: arg})
+	l.mu.Unlock()
+	l.poke()
+}
+
+// Post enqueues fn to run on the loop goroutine, after anything already
+// queued. It is the bridge from reader goroutines (UDP sockets, signal
+// handlers) into the serialized protocol context.
+func (l *Loop) Post(fn func()) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.posted = append(l.posted, fn)
+	l.mu.Unlock()
+	l.poke()
+}
+
+func (l *Loop) poke() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the loop goroutine. It may be called once.
+func (l *Loop) Start() {
+	l.mu.Lock()
+	if l.running || l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.running = true
+	l.mu.Unlock()
+	go l.run()
+}
+
+// Stop halts the loop and waits for the loop goroutine to exit. Pending
+// thunks and timers are discarded.
+func (l *Loop) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	wasRunning := l.running
+	l.mu.Unlock()
+	l.poke()
+	if wasRunning {
+		<-l.done
+	}
+}
+
+func (l *Loop) run() {
+	defer close(l.done)
+	idle := time.NewTimer(time.Hour)
+	defer idle.Stop()
+	var batch []func()
+	for {
+		l.mu.Lock()
+		if l.stopped {
+			l.mu.Unlock()
+			return
+		}
+		// Drain posted thunks first: they carry packet arrivals, which in
+		// the sim likewise sort ahead of later-armed timers.
+		batch, l.posted = l.posted, batch[:0]
+		now := l.Now()
+		var due []loopTimer
+		for len(l.timers) > 0 && l.timers[0].at <= now {
+			due = append(due, l.timers.pop())
+		}
+		var next Time = -1
+		if len(l.timers) > 0 {
+			next = l.timers[0].at
+		}
+		l.mu.Unlock()
+
+		for _, fn := range batch {
+			fn()
+		}
+		for i := range due {
+			due[i].h.OnTimer(due[i].arg)
+		}
+		if len(batch) > 0 || len(due) > 0 {
+			continue // running work may have queued more
+		}
+
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		if next >= 0 {
+			d := next - l.Now()
+			if d < 0 {
+				d = 0
+			}
+			idle.Reset(d)
+		} else {
+			idle.Reset(time.Hour)
+		}
+		select {
+		case <-l.wake:
+		case <-idle.C:
+		}
+	}
+}
+
+var _ Runtime = (*Loop)(nil)

@@ -1,5 +1,7 @@
 package simnet
 
+import "github.com/pcelisp/pcelisp/internal/runtime"
+
 // EventKind discriminates the fixed set of things the simulator can
 // schedule. Events are plain structs dispatched through a switch, not
 // closures: scheduling one copies a fixed-size value into the scheduler's
@@ -21,33 +23,16 @@ const (
 	evDeliver
 )
 
-// TimerHandler is the typed-timer callback. A component implements it
-// once and discriminates its own timers via TimerArg.Kind, so arming a
-// timer stores an interface pair (type, receiver pointer) instead of
-// allocating a fresh closure per event.
-type TimerHandler interface {
-	OnTimer(arg TimerArg)
-}
+// TimerHandler is the typed-timer callback contract. The canonical
+// definition lives in internal/runtime (the sim is one of two engines
+// implementing it); the alias keeps every existing simnet-facing
+// component compiling unchanged.
+type TimerHandler = runtime.TimerHandler
 
-// TimerArg is the fixed-size argument block carried by a typed timer.
-// All fields are optional; their meaning belongs to the handler.
-//
-// P must only hold pointer-shaped values (pointers, funcs, maps): those
-// are stored directly in the interface word, keeping ScheduleTimer
-// allocation-free. Boxing a plain struct or int into P would allocate.
-type TimerArg struct {
-	// Kind discriminates between a handler's different timers. A handler
-	// with a single timer may reuse it as a second small numeric payload
-	// (a generation counter, say).
-	Kind int32
-	// N is a numeric payload (an address, a bucket index, a nonce...).
-	N int64
-	// S is a string payload (a DNS qname...). String headers copy without
-	// allocating.
-	S string
-	// P is a pointer payload (a pending-request struct...).
-	P any
-}
+// TimerArg is the fixed-size typed-timer argument block, aliased from
+// internal/runtime. See runtime.TimerArg for the field contract (P must
+// stay pointer-shaped to keep ScheduleTimer allocation-free).
+type TimerArg = runtime.TimerArg
 
 // event is one scheduled occurrence. Events are stored by value in the
 // scheduler's slot slices and lane; they are copied, never shared, so no

@@ -189,9 +189,14 @@ func (s *Sim) TimerAt(t Time, h TimerHandler, arg TimerArg) {
 }
 
 // ScheduleFunc runs fn after delay d (clamped to >= 0). Compatibility
-// shim for tests and cold-path scenario scripting: each call allocates
-// the closure it captures. Hot paths use ScheduleTimer with a typed
-// handler instead.
+// shim for tests and cold-path scenario scripting ONLY: each call
+// allocates the closure it captures, and a closure cannot ride the
+// runtime seam to the real-time daemon. The protocol packages (lisp,
+// core, irc, mapsys, dnssim) have zero call sites — they arm timers
+// exclusively through runtime.Runtime.ScheduleTimer with typed
+// handlers; keep it that way. The remaining users are experiment
+// scenario scripts, cmd/lispsim and the examples, where one allocation
+// per scripted event is irrelevant.
 func (s *Sim) ScheduleFunc(d Time, fn func()) {
 	if d < 0 {
 		d = 0

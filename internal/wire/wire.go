@@ -9,14 +9,17 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
 	"github.com/pcelisp/pcelisp/internal/packet"
+	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
-// Handler consumes a received datagram.
-type Handler func(src netaddr.Addr, payload []byte)
+// Handler consumes a received datagram. It is an alias (not a defined
+// type) so Transport implementations also satisfy runtime.Endpoint.
+type Handler = func(src netaddr.Addr, payload []byte)
 
 // Transport delivers opaque datagrams between virtual addresses.
 type Transport interface {
@@ -31,23 +34,22 @@ type Transport interface {
 }
 
 // SimTransport adapts a simnet node + UDP port to the Transport interface.
+// The receive handler is pinned with an atomic pointer: the dispatch path
+// loads it lock-free, and SetHandler swaps it without ever letting a
+// concurrent dispatch observe a torn or half-installed callback.
 type SimTransport struct {
 	node *simnet.Node
 	addr netaddr.Addr
 	port uint16
-	mu   sync.Mutex
-	h    Handler
+	h    atomic.Pointer[Handler]
 }
 
 // NewSimTransport binds a transport to node:port at addr.
 func NewSimTransport(node *simnet.Node, addr netaddr.Addr, port uint16) *SimTransport {
 	t := &SimTransport{node: node, addr: addr, port: port}
 	node.ListenUDP(port, func(d *simnet.Delivery, udp *packet.UDP) {
-		t.mu.Lock()
-		h := t.h
-		t.mu.Unlock()
-		if h != nil {
-			h(d.IPv4().SrcIP, udp.LayerPayload())
+		if h := t.h.Load(); h != nil && *h != nil {
+			(*h)(d.IPv4().SrcIP, udp.LayerPayload())
 		}
 	})
 	return t
@@ -61,12 +63,9 @@ func (t *SimTransport) Send(dst netaddr.Addr, payload []byte) error {
 	return t.node.SendUDP(t.addr, dst, t.port, t.port, packet.Payload(payload))
 }
 
-// SetHandler implements Transport.
-func (t *SimTransport) SetHandler(h Handler) {
-	t.mu.Lock()
-	t.h = h
-	t.mu.Unlock()
-}
+// SetHandler implements Transport. The swap is atomic: in-flight
+// dispatches finish on whichever handler they pinned.
+func (t *SimTransport) SetHandler(h Handler) { t.h.Store(&h) }
 
 // Close implements Transport (no-op; the simulation owns the node).
 func (t *SimTransport) Close() error { return nil }
@@ -108,8 +107,7 @@ type UDPTransport struct {
 	addr netaddr.Addr
 	reg  *Registry
 	conn *net.UDPConn
-	mu   sync.Mutex
-	h    Handler
+	h    atomic.Pointer[Handler]
 	done chan struct{}
 }
 
@@ -144,11 +142,8 @@ func (t *UDPTransport) readLoop() {
 		src := netaddr.AddrFromBytes(buf[:udpHeaderLen])
 		payload := make([]byte, n-udpHeaderLen)
 		copy(payload, buf[udpHeaderLen:n])
-		t.mu.Lock()
-		h := t.h
-		t.mu.Unlock()
-		if h != nil {
-			h(src, payload)
+		if h := t.h.Load(); h != nil && *h != nil {
+			(*h)(src, payload)
 		}
 	}
 }
@@ -169,15 +164,22 @@ func (t *UDPTransport) Send(dst netaddr.Addr, payload []byte) error {
 	return err
 }
 
-// SetHandler implements Transport.
-func (t *UDPTransport) SetHandler(h Handler) {
-	t.mu.Lock()
-	t.h = h
-	t.mu.Unlock()
-}
+// SetHandler implements Transport. Safe to call concurrently with the
+// read loop: the pointer swap is atomic and the loop pins the handler it
+// loaded for the duration of one dispatch.
+func (t *UDPTransport) SetHandler(h Handler) { t.h.Store(&h) }
 
 // Close implements Transport.
 func (t *UDPTransport) Close() error {
 	close(t.done)
 	return t.conn.Close()
 }
+
+// Both transports satisfy the runtime endpoint contract, so control-plane
+// code written against runtime.Endpoint rides either one.
+var (
+	_ runtime.Endpoint = (*SimTransport)(nil)
+	_ runtime.Endpoint = (*UDPTransport)(nil)
+	_ Transport        = (*SimTransport)(nil)
+	_ Transport        = (*UDPTransport)(nil)
+)
