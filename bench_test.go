@@ -263,7 +263,7 @@ func BenchmarkSimThroughputTelemetry(b *testing.B) {
 		}
 		w.Sim.RunFor(2 * time.Second)
 	}
-	if d0.XTRs[0].Stats.TelemetryReports == 0 {
+	if d0.XTRs[0].Stats().TelemetryReports == 0 {
 		b.Fatal("telemetry never streamed")
 	}
 }

@@ -42,6 +42,9 @@ func main() {
 	}
 	d.Start()
 	log.Printf("lispd: %s listening on %v", cfg.Name, d.RealAddr())
+	if addr := d.AdminAddr(); addr != "" {
+		log.Printf("lispd: admin endpoint on http://%s", addr)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)

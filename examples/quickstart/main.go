@@ -92,8 +92,8 @@ func main() {
 	fmt.Printf("\nresults:\n")
 	fmt.Printf("  iterative DNS: root referrals=%d, TLD referrals=%d, authoritative answers=%d (steps 2-5)\n",
 		in.Root.Stats.Referrals, in.TLD.Stats.Referrals, d1.Auth.Stats.Answers)
-	fmt.Printf("  ITR drops during resolution: %d (claim i)\n", x0.Stats.CacheMissDrops)
-	fmt.Printf("  ITR flow mappings used:      %d\n", x0.Stats.FlowMappingsUsed)
-	fmt.Printf("  PCED encapsulated replies:   %d\n", pces[1].Stats.EncapRepliesSent)
-	fmt.Printf("  reverse pushes at PCED:      %d (two-way resolution complete)\n", pces[1].Stats.ReversePushes)
+	fmt.Printf("  ITR drops during resolution: %d (claim i)\n", x0.Stats().CacheMissDrops)
+	fmt.Printf("  ITR flow mappings used:      %d\n", x0.Stats().FlowMappingsUsed)
+	fmt.Printf("  PCED encapsulated replies:   %d\n", pces[1].Stats().EncapRepliesSent)
+	fmt.Printf("  reverse pushes at PCED:      %d (two-way resolution complete)\n", pces[1].Stats().ReversePushes)
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/irc"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/topo"
 )
 
@@ -50,6 +51,10 @@ type DeployOptions struct {
 	FetchServiceRate int
 	FetchQueueCap    int
 	FetchQuotaLimit  int
+	// Obs and Recorder wire the PCE's counters and flight events (see
+	// Config.Obs / Config.Recorder).
+	Obs      *obs.Registry
+	Recorder *obs.FlightRecorder
 }
 
 // DeployDomainOpts is DeployDomain with the full option set — the entry
@@ -78,6 +83,8 @@ func DeployDomainOpts(d *topo.Domain, policy irc.Policy, opts DeployOptions) *PC
 		FetchServiceRate: opts.FetchServiceRate,
 		FetchQueueCap:    opts.FetchQueueCap,
 		FetchQuotaLimit:  opts.FetchQuotaLimit,
+		Obs:              opts.Obs,
+		Recorder:         opts.Recorder,
 	})
 	pce.AttachResolver(d.Resolver)
 	for _, x := range d.XTRs {

@@ -99,10 +99,10 @@ func TestAllProvidersDownPassthrough(t *testing.T) {
 	if !ok {
 		t.Fatal("DNS must survive a mapping blackout")
 	}
-	if w.pces[1].Stats.PassthroughReplies != 1 {
-		t.Fatalf("passthroughs = %d", w.pces[1].Stats.PassthroughReplies)
+	if w.pces[1].Stats().PassthroughReplies != 1 {
+		t.Fatalf("passthroughs = %d", w.pces[1].Stats().PassthroughReplies)
 	}
-	if w.pces[1].Stats.EncapRepliesSent != 0 {
+	if w.pces[1].Stats().EncapRepliesSent != 0 {
 		t.Fatal("no mapping should have been advertised")
 	}
 }
@@ -134,8 +134,8 @@ func TestMappingTTLExpiryAtITR(t *testing.T) {
 	if delivered != 1 {
 		t.Fatalf("delivered = %d; stale mapping must not deliver", delivered)
 	}
-	if d0.XTRs[0].Stats.CacheMissDrops != 1 {
-		t.Fatalf("drops = %d, want 1 after TTL expiry", d0.XTRs[0].Stats.CacheMissDrops)
+	if d0.XTRs[0].Stats().CacheMissDrops != 1 {
+		t.Fatalf("drops = %d, want 1 after TTL expiry", d0.XTRs[0].Stats().CacheMissDrops)
 	}
 }
 

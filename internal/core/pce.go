@@ -32,6 +32,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"github.com/pcelisp/pcelisp/internal/irc"
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
@@ -81,6 +83,12 @@ type Config struct {
 	// FetchQuotaLimit, when >0, caps MapFetch queries per source address
 	// per second before they reach the service queue.
 	FetchQuotaLimit int
+	// Obs, when set, registers the PCE's metric set (and its remote
+	// mapping database's cache metrics) with the registry.
+	Obs *obs.Registry
+	// Recorder, when set, receives control-plane decision events (weight
+	// pushes, fetch activity, defense rejections).
+	Recorder *obs.FlightRecorder
 }
 
 // Stats counts PCE activity for the experiments.
@@ -141,6 +149,105 @@ type Stats struct {
 	// the bounded service queue and the per-source quota.
 	FetchQueueDrops uint64
 	FetchQuotaDrops uint64
+}
+
+// pceMetrics is the PCE's live metric set: one obs counter per Stats
+// field, embedded by value so control-plane handlers pay a plain atomic
+// add. Stats() renders it back into the legacy snapshot struct.
+type pceMetrics struct {
+	IPCQueries            obs.Counter
+	EncapRepliesSent      obs.Counter
+	EncapRepliesReceived  obs.Counter
+	PassthroughReplies    obs.Counter
+	MappingPushes         obs.Counter
+	FlowsPushed           obs.Counter
+	ReversePushes         obs.Counter
+	MapFetches            obs.Counter
+	MapFetchReplies       obs.Counter
+	MapFetchRetries       obs.Counter
+	PendingExpired        obs.Counter
+	CacheHitPushes        obs.Counter
+	TxControlMessages     obs.Counter
+	TxControlBytes        obs.Counter
+	ReachabilityReports   obs.Counter
+	FailoverRepushes      obs.Counter
+	LoadReports           obs.Counter
+	WeightUpdatesSent     obs.Counter
+	WeightUpdatesReceived obs.Counter
+	WeightRepushes        obs.Counter
+	AuthRejects           obs.Counter
+	FetchQueueDrops       obs.Counter
+	FetchQuotaDrops       obs.Counter
+
+	// FetchQueueDepth gauges the bounded MapFetch service backlog (in
+	// queued requests) as of the last arrival — the operator's view of
+	// the PCED under fetch pressure.
+	FetchQueueDepth obs.Gauge
+}
+
+// register wires every metric into r (no-op when r is nil) under the
+// pcelisp_pce_* family names, labeled by hosting node.
+func (m *pceMetrics) register(r *obs.Registry, node string) {
+	if r == nil {
+		return
+	}
+	l := obs.Label{Key: "node", Value: node}
+	c := func(name, help string, ctr *obs.Counter) {
+		r.RegisterCounter("pcelisp_pce_"+name, help, ctr, l)
+	}
+	c("ipc_queries_total", "Step-1 notifications from the colocated resolver.", &m.IPCQueries)
+	c("encap_replies_sent_total", "Step-6 encapsulated DNS replies (PCED).", &m.EncapRepliesSent)
+	c("encap_replies_received_total", "Step-7 interceptions (PCES).", &m.EncapRepliesReceived)
+	c("passthrough_replies_total", "Authoritative replies passed through unmapped.", &m.PassthroughReplies)
+	c("mapping_pushes_total", "Step-7b mapping pushes to the ITRs.", &m.MappingPushes)
+	c("flows_pushed_total", "Flow tuples across all mapping pushes.", &m.FlowsPushed)
+	c("reverse_pushes_total", "ETR reverse-mapping multicasts consumed.", &m.ReversePushes)
+	c("map_fetches_total", "Cache-hit fallback MapFetch queries sent.", &m.MapFetches)
+	c("map_fetch_replies_total", "MapFetch replies received.", &m.MapFetchReplies)
+	c("map_fetch_retries_total", "MapFetch queries re-sent after going unanswered.", &m.MapFetchRetries)
+	c("pending_expired_total", "Step-1 flows abandoned without a mapping.", &m.PendingExpired)
+	c("cache_hit_pushes_total", "Flows served from the local remote-mapping database.", &m.CacheHitPushes)
+	c("tx_control_messages_total", "PCECP messages originated.", &m.TxControlMessages)
+	c("tx_control_bytes_total", "PCECP bytes originated.", &m.TxControlBytes)
+	c("reachability_reports_total", "Probe/egress state reports consumed from wired xTRs.", &m.ReachabilityReports)
+	c("failover_repushes_total", "Repush rounds triggered by reachability reports.", &m.FailoverRepushes)
+	c("load_reports_total", "xTR link-load telemetry messages consumed.", &m.LoadReports)
+	c("weight_updates_sent_total", "MappingUpdate announcements to subscriber PCEs.", &m.WeightUpdatesSent)
+	c("weight_updates_received_total", "MappingUpdate messages consumed from remote PCEs.", &m.WeightUpdatesReceived)
+	c("weight_repushes_total", "Repush rounds triggered by received MappingUpdates.", &m.WeightRepushes)
+	c("auth_rejects_total", "Inbound PCECP messages dropped for bad signatures.", &m.AuthRejects)
+	c("fetch_queue_drops_total", "MapFetch queries shed by the bounded service queue.", &m.FetchQueueDrops)
+	c("fetch_quota_drops_total", "MapFetch queries shed by the per-source quota.", &m.FetchQuotaDrops)
+	r.RegisterGauge("pcelisp_pce_fetch_queue_depth", "Bounded MapFetch service backlog at last arrival.", &m.FetchQueueDepth, l)
+}
+
+// snapshot renders the live counters as the legacy stats struct.
+func (m *pceMetrics) snapshot() Stats {
+	return Stats{
+		IPCQueries:            m.IPCQueries.Load(),
+		EncapRepliesSent:      m.EncapRepliesSent.Load(),
+		EncapRepliesReceived:  m.EncapRepliesReceived.Load(),
+		PassthroughReplies:    m.PassthroughReplies.Load(),
+		MappingPushes:         m.MappingPushes.Load(),
+		FlowsPushed:           m.FlowsPushed.Load(),
+		ReversePushes:         m.ReversePushes.Load(),
+		MapFetches:            m.MapFetches.Load(),
+		MapFetchReplies:       m.MapFetchReplies.Load(),
+		MapFetchRetries:       m.MapFetchRetries.Load(),
+		PendingExpired:        m.PendingExpired.Load(),
+		CacheHitPushes:        m.CacheHitPushes.Load(),
+		TxControlMessages:     m.TxControlMessages.Load(),
+		TxControlBytes:        m.TxControlBytes.Load(),
+		ReachabilityReports:   m.ReachabilityReports.Load(),
+		FailoverRepushes:      m.FailoverRepushes.Load(),
+		LoadReports:           m.LoadReports.Load(),
+		WeightUpdatesSent:     m.WeightUpdatesSent.Load(),
+		WeightUpdatesReceived: m.WeightUpdatesReceived.Load(),
+		WeightRepushes:        m.WeightRepushes.Load(),
+		AuthRejects:           m.AuthRejects.Load(),
+		FetchQueueDrops:       m.FetchQueueDrops.Load(),
+		FetchQuotaDrops:       m.FetchQuotaDrops.Load(),
+	}
 }
 
 // EventKind classifies PCE events for the OnEvent hook.
@@ -235,9 +342,15 @@ type PCE struct {
 	// inbound TE optimizer consumes it.
 	OnLoadReport func(src netaddr.Addr, loads []packet.PCELoadRecord)
 
-	// Stats counts PCE activity.
-	Stats Stats
+	// met holds the live metric set (see pceMetrics); Stats() snapshots
+	// it. rec is the control-plane flight recorder (nil-safe).
+	met pceMetrics
+	rec *obs.FlightRecorder
 }
+
+// Stats snapshots the PCE's activity counters — the legacy stats view,
+// now a thin read over the live obs metric set.
+func (p *PCE) Stats() Stats { return p.met.snapshot() }
 
 type pushedFlow struct {
 	src     netaddr.Addr // SrcRLOC in use (the ingress choice)
@@ -327,6 +440,9 @@ func newPCE(rt runtime.Runtime, host runtime.Host, cfg Config) *PCE {
 	if cfg.FetchQuotaLimit > 0 {
 		p.fetchQuota = &lisp.SourceQuota{Limit: cfg.FetchQuotaLimit}
 	}
+	p.rec = cfg.Recorder
+	p.met.register(cfg.Obs, host.HostName())
+	p.remote.RegisterMetrics(cfg.Obs, host.HostName(), obs.Label{Key: "cache", Value: "pce-remote"})
 	return p
 }
 
@@ -352,7 +468,7 @@ func (p *PCE) AttachResolver(r *dnssim.Resolver) {
 // started resolving qname, and the PCE precomputes the flow's ingress
 // RLOC while the lookup is in flight.
 func (p *PCE) NoteClientQuery(client netaddr.Addr, qname string) {
-	p.Stats.IPCQueries++
+	p.met.IPCQueries.Inc()
 	if !p.cfg.EIDPrefix.Contains(client) {
 		return // not an end-host flow (infrastructure lookup)
 	}
@@ -379,7 +495,7 @@ func (p *PCE) NoteAnswer(client netaddr.Addr, qname string, addr netaddr.Addr, f
 	// The answer came from the DNSS cache, so no reply crossed PCED.
 	// Serve from our own database, or fetch from the known peer.
 	if _, ok := p.remote.Lookup(addr); ok {
-		p.Stats.CacheHitPushes++
+		p.met.CacheHitPushes.Inc()
 		p.pushFlowsFor(qname, addr)
 		return
 	}
@@ -398,7 +514,7 @@ func (p *PCE) expirePending(qname string) {
 		if now-pf.born < p.cfg.PendingTTL {
 			kept = append(kept, pf)
 		} else {
-			p.Stats.PendingExpired++
+			p.met.PendingExpired.Inc()
 		}
 	}
 	if len(kept) == 0 {
@@ -456,7 +572,7 @@ func (p *PCE) WireXTR(x *lisp.XTR) {
 // the PCES database and every sibling ITR's cache. Both end in a Repush
 // so live flows move off (or back onto) the affected RLOC immediately.
 func (p *PCE) onReachability(from *lisp.XTR, rloc netaddr.Addr, up bool, local bool) {
-	p.Stats.ReachabilityReports++
+	p.met.ReachabilityReports.Inc()
 	if local {
 		for i, prov := range p.cfg.Engine.Providers() {
 			if prov.RLOC == rloc {
@@ -472,7 +588,7 @@ func (p *PCE) onReachability(from *lisp.XTR, rloc netaddr.Addr, up bool, local b
 		}
 	}
 	if p.Repush() > 0 {
-		p.Stats.FailoverRepushes++
+		p.met.FailoverRepushes.Inc()
 	}
 }
 
@@ -611,11 +727,11 @@ func (p *PCE) maybeEncapReply(ip *packet.IPv4, udp *packet.UDP) bool {
 	if len(locators) == 0 {
 		// No usable provider: let the plain reply through; data will fall
 		// back to the classic mapping system.
-		p.Stats.PassthroughReplies++
+		p.met.PassthroughReplies.Inc()
 		p.emit(Event{Kind: EvPassthrough, DstEID: ed})
 		return false
 	}
-	p.Stats.EncapRepliesSent++
+	p.met.EncapRepliesSent.Inc()
 	p.emit(Event{Kind: EvEncapReplySent, DstEID: ed})
 	p.addSubscriber(ip.DstIP)
 	msg := &packet.PCECP{
@@ -644,7 +760,7 @@ func (p *PCE) handlePortP(payload []byte) bool {
 	}
 	switch msg.Type {
 	case packet.PCECPEncapDNSReply:
-		p.Stats.EncapRepliesReceived++
+		p.met.EncapRepliesReceived.Inc()
 		p.learnMappings(msg)
 		inner := msg.LayerPayload()
 		if len(inner) == 0 {
@@ -669,7 +785,7 @@ func (p *PCE) handlePortP(payload []byte) bool {
 			return true
 		}
 		delete(p.fetches, msg.Nonce)
-		p.Stats.MapFetchReplies++
+		p.met.MapFetchReplies.Inc()
 		p.pushFlowsFor(ctx.qname, ctx.ed)
 		return true
 	case packet.PCECPMappingUpdate:
@@ -677,11 +793,11 @@ func (p *PCE) handlePortP(payload []byte) bool {
 		// PCES database and the ITR caches, then re-push every live flow
 		// whose engineered RLOC pair moved — the one-RTT reaction that
 		// pull planes only get at TTL expiry.
-		p.Stats.WeightUpdatesReceived++
+		p.met.WeightUpdatesReceived.Inc()
 		p.learnMappings(msg)
 		p.push(nil, msg.Prefixes)
 		if p.Repush() > 0 {
-			p.Stats.WeightRepushes++
+			p.met.WeightRepushes.Inc()
 		}
 		return true
 	}
@@ -706,7 +822,7 @@ func (p *PCE) HandleControl(src, dst netaddr.Addr, udp *packet.UDP) {
 	}
 	switch msg.Type {
 	case packet.PCECPMapFetch:
-		p.Stats.MapFetches++
+		p.met.MapFetches.Inc()
 		// A truncated or malformed fetch carries no flow record (the
 		// record's SrcRLOC is the reply target); answering would
 		// dereference nothing and a crash here takes down the whole
@@ -716,7 +832,11 @@ func (p *PCE) HandleControl(src, dst netaddr.Addr, udp *packet.UDP) {
 		}
 		now := p.rt.Now()
 		if p.fetchQuota != nil && !p.fetchQuota.Allow(now, src) {
-			p.Stats.FetchQuotaDrops++
+			p.met.FetchQuotaDrops.Inc()
+			p.rec.Record(obs.Event{
+				At: time.Duration(now), Kind: obs.KDefenseReject, Node: p.host.HostName(),
+				RLOC: src, Note: "fetch-quota",
+			})
 			return
 		}
 		if p.cfg.FetchServiceRate <= 0 {
@@ -732,14 +852,19 @@ func (p *PCE) HandleControl(src, dst netaddr.Addr, udp *packet.UDP) {
 			start = now
 		}
 		if start-now > cost*simnet.Time(p.cfg.FetchQueueCap) {
-			p.Stats.FetchQueueDrops++
+			p.met.FetchQueueDrops.Inc()
+			p.rec.Record(obs.Event{
+				At: time.Duration(now), Kind: obs.KDefenseReject, Node: p.host.HostName(),
+				RLOC: src, Note: "fetch-queue-full",
+			})
 			return
 		}
 		p.fetchBusyUntil = start + cost
+		p.met.FetchQueueDepth.Set(int64((p.fetchBusyUntil - now) / cost))
 		p.rt.ScheduleTimer(p.fetchBusyUntil-now, p,
 			simnet.TimerArg{Kind: pceTimerFetchService, P: msg})
 	case packet.PCECPReverseMapPush:
-		p.Stats.ReversePushes++
+		p.met.ReversePushes.Inc()
 		// Database update: remember the flows (metrics only; the PCED
 		// database is consulted by TE tooling).
 		now := p.rt.Now()
@@ -750,7 +875,7 @@ func (p *PCE) HandleControl(src, dst netaddr.Addr, udp *packet.UDP) {
 			p.armMaintenance()
 		}
 	case packet.PCECPLoadReport:
-		p.Stats.LoadReports++
+		p.met.LoadReports.Inc()
 		if p.OnLoadReport != nil {
 			p.OnLoadReport(src, msg.Loads)
 		}
@@ -789,7 +914,11 @@ func (p *PCE) verified(msg *packet.PCECP) bool {
 	if p.cfg.AuthKey == nil || msg.VerifyAuth(p.cfg.AuthKey) {
 		return true
 	}
-	p.Stats.AuthRejects++
+	p.met.AuthRejects.Inc()
+	p.rec.Record(obs.Event{
+		At: time.Duration(p.rt.Now()), Kind: obs.KDefenseReject, Node: p.host.HostName(),
+		RLOC: msg.PCEAddr, Note: "pcecp-auth",
+	})
 	return false
 }
 
@@ -839,6 +968,10 @@ func (p *PCE) AnnounceMappingUpdate() int {
 		return true
 	})
 	now := p.rt.Now()
+	p.rec.Record(obs.Event{
+		At: time.Duration(now), Kind: obs.KWeightPush, Node: p.host.HostName(),
+		EID: p.cfg.EIDPrefix, Note: fmt.Sprintf("subscribers=%d", len(targets)),
+	})
 	for _, dnss := range targets {
 		msg := &packet.PCECP{
 			Version: packet.PCECPVersion, Type: packet.PCECPMappingUpdate,
@@ -847,7 +980,7 @@ func (p *PCE) AnnounceMappingUpdate() int {
 				Prefix: p.cfg.EIDPrefix, TTL: p.cfg.MappingTTL, Locators: locators,
 			}},
 		}
-		p.Stats.WeightUpdatesSent++
+		p.met.WeightUpdatesSent.Inc()
 		p.subscribers.Insert(netaddr.HostPrefix(dnss), now)
 		p.sendControl(dnss, msg)
 	}
@@ -858,7 +991,11 @@ func (p *PCE) AnnounceMappingUpdate() int {
 func (p *PCE) sendMapFetch(pced, ed netaddr.Addr, qname string) {
 	nonce := p.rt.Rand().Uint64()
 	p.fetches[nonce] = fetchCtx{qname: qname, ed: ed, pced: pced, tries: 1}
-	p.Stats.MapFetches++
+	p.met.MapFetches.Inc()
+	p.rec.Record(obs.Event{
+		At: time.Duration(p.rt.Now()), Kind: obs.KMapRequest, Node: p.host.HostName(),
+		EID: netaddr.PrefixFrom(ed, 32), Note: "map-fetch",
+	})
 	p.emit(Event{Kind: EvMapFetchSent, DstEID: ed})
 	p.transmitFetch(pced, ed, nonce)
 	p.rt.ScheduleTimer(fetchRetryInterval, p,
@@ -890,7 +1027,7 @@ func (p *PCE) retryFetch(nonce uint64) {
 	}
 	ctx.tries++
 	p.fetches[nonce] = ctx
-	p.Stats.MapFetchRetries++
+	p.met.MapFetchRetries.Inc()
 	p.transmitFetch(ctx.pced, ctx.ed, nonce)
 	p.rt.ScheduleTimer(fetchRetryInterval, p,
 		simnet.TimerArg{Kind: pceTimerFetchRetry, N: int64(nonce)})
@@ -1041,8 +1178,8 @@ func (p *PCE) push(flows []packet.PCEFlowMapping, prefixes []packet.PCEPrefixMap
 	if len(flows) == 0 && len(prefixes) == 0 {
 		return
 	}
-	p.Stats.MappingPushes++
-	p.Stats.FlowsPushed += uint64(len(flows))
+	p.met.MappingPushes.Inc()
+	p.met.FlowsPushed.Add(uint64(len(flows)))
 	for _, f := range flows {
 		p.emit(Event{Kind: EvMappingPushed, SrcEID: f.SrcEID, DstEID: f.DstEID})
 	}
@@ -1068,8 +1205,8 @@ func (p *PCE) sendControl(dst netaddr.Addr, layers ...packet.SerializableLayer) 
 		msg.AuthKey = p.cfg.AuthKey
 	}
 	n := p.host.OutputUDP(p.cfg.Addr, dst, packet.PortPCECP, packet.PortPCECP, layers...)
-	p.Stats.TxControlMessages++
-	p.Stats.TxControlBytes += uint64(n)
+	p.met.TxControlMessages.Inc()
+	p.met.TxControlBytes.Add(uint64(n))
 }
 
 // Repush recomputes every live pushed flow against the current control

@@ -68,15 +68,15 @@ func TestStepsOneToEight(t *testing.T) {
 		t.Fatalf("DNS through PCE path: %v ok=%v", resolved, ok)
 	}
 	// Step 6 happened exactly once at the destination PCE.
-	if w.pces[1].Stats.EncapRepliesSent != 1 {
-		t.Fatalf("PCED encap replies = %d", w.pces[1].Stats.EncapRepliesSent)
+	if w.pces[1].Stats().EncapRepliesSent != 1 {
+		t.Fatalf("PCED encap replies = %d", w.pces[1].Stats().EncapRepliesSent)
 	}
 	// Step 7 happened at the source PCE.
-	if w.pces[0].Stats.EncapRepliesReceived != 1 {
-		t.Fatalf("PCES interceptions = %d", w.pces[0].Stats.EncapRepliesReceived)
+	if w.pces[0].Stats().EncapRepliesReceived != 1 {
+		t.Fatalf("PCES interceptions = %d", w.pces[0].Stats().EncapRepliesReceived)
 	}
 	// Step 1 IPC fired.
-	if w.pces[0].Stats.IPCQueries == 0 {
+	if w.pces[0].Stats().IPCQueries == 0 {
 		t.Fatal("step-1 IPC never fired")
 	}
 	// The headline property: the mapping was installed at the ITRs BEFORE
@@ -97,17 +97,17 @@ func TestStepsOneToEight(t *testing.T) {
 		t.Fatalf("delivered = %d", delivered)
 	}
 	x0 := d0.XTRs[0]
-	if x0.Stats.CacheMissDrops != 0 || x0.Stats.QueuedPackets != 0 {
+	if x0.Stats().CacheMissDrops != 0 || x0.Stats().QueuedPackets != 0 {
 		t.Fatalf("drops=%d queued=%d, claim (i) violated",
-			x0.Stats.CacheMissDrops, x0.Stats.QueuedPackets)
+			x0.Stats().CacheMissDrops, x0.Stats().QueuedPackets)
 	}
-	if x0.Stats.FlowMappingsUsed != 1 {
-		t.Fatalf("flow mappings used = %d", x0.Stats.FlowMappingsUsed)
+	if x0.Stats().FlowMappingsUsed != 1 {
+		t.Fatalf("flow mappings used = %d", x0.Stats().FlowMappingsUsed)
 	}
 
 	// The ETR learned and distributed the reverse mapping; the PCED
 	// database heard the multicast.
-	if w.pces[1].Stats.ReversePushes == 0 {
+	if w.pces[1].Stats().ReversePushes == 0 {
 		t.Fatal("reverse mapping never reached the PCED database")
 	}
 	// Two-way resolution: the return path needs no lookup and no drops.
@@ -119,10 +119,10 @@ func TestStepsOneToEight(t *testing.T) {
 		t.Fatalf("returned = %d", returned)
 	}
 	x1 := d1.XTRs[0]
-	if x1.Stats.CacheMissDrops != 0 {
-		t.Fatalf("return-path drops = %d", x1.Stats.CacheMissDrops)
+	if x1.Stats().CacheMissDrops != 0 {
+		t.Fatalf("return-path drops = %d", x1.Stats().CacheMissDrops)
 	}
-	if x1.Stats.FlowMappingsUsed == 0 {
+	if x1.Stats().FlowMappingsUsed == 0 {
 		t.Fatal("return path did not use the reverse flow mapping")
 	}
 }
@@ -171,7 +171,7 @@ func TestRepeatFlowFromPCEDatabase(t *testing.T) {
 
 	d0.Hosts[0].DNS.Lookup(d1.Hosts[0].Name, func(netaddr.Addr, simnet.Time, bool) {})
 	sim.RunFor(2 * time.Second)
-	encapsBefore := w.pces[1].Stats.EncapRepliesSent
+	encapsBefore := w.pces[1].Stats().EncapRepliesSent
 
 	// A different host, same destination name: resolver cache hit.
 	done := false
@@ -180,19 +180,19 @@ func TestRepeatFlowFromPCEDatabase(t *testing.T) {
 	if !done {
 		t.Fatal("cached lookup failed")
 	}
-	if w.pces[1].Stats.EncapRepliesSent != encapsBefore {
+	if w.pces[1].Stats().EncapRepliesSent != encapsBefore {
 		t.Fatal("cache-hit flow must not traverse PCED again")
 	}
-	if w.pces[0].Stats.CacheHitPushes != 1 {
-		t.Fatalf("CacheHitPushes = %d", w.pces[0].Stats.CacheHitPushes)
+	if w.pces[0].Stats().CacheHitPushes != 1 {
+		t.Fatalf("CacheHitPushes = %d", w.pces[0].Stats().CacheHitPushes)
 	}
 	// The new flow's tuple is installed: data flows without drops.
 	delivered := false
 	d1.Hosts[0].Node.ListenUDP(9100, func(*simnet.Delivery, *packet.UDP) { delivered = true })
 	d0.Hosts[1].Node.SendUDP(d0.Hosts[1].Addr, d1.Hosts[0].Addr, 1, 9100, packet.Payload("x"))
 	sim.RunFor(time.Second)
-	if !delivered || d0.XTRs[0].Stats.CacheMissDrops != 0 {
-		t.Fatalf("delivered=%v drops=%d", delivered, d0.XTRs[0].Stats.CacheMissDrops)
+	if !delivered || d0.XTRs[0].Stats().CacheMissDrops != 0 {
+		t.Fatalf("delivered=%v drops=%d", delivered, d0.XTRs[0].Stats().CacheMissDrops)
 	}
 }
 
@@ -216,10 +216,10 @@ func TestMapFetchFallback(t *testing.T) {
 	if !done {
 		t.Fatal("lookup failed")
 	}
-	if w.pces[0].Stats.MapFetches == 0 || w.pces[0].Stats.MapFetchReplies == 0 {
-		t.Fatalf("fetches=%d replies=%d", w.pces[0].Stats.MapFetches, w.pces[0].Stats.MapFetchReplies)
+	if w.pces[0].Stats().MapFetches == 0 || w.pces[0].Stats().MapFetchReplies == 0 {
+		t.Fatalf("fetches=%d replies=%d", w.pces[0].Stats().MapFetches, w.pces[0].Stats().MapFetchReplies)
 	}
-	if w.pces[1].Stats.MapFetches == 0 {
+	if w.pces[1].Stats().MapFetches == 0 {
 		t.Fatal("PCED never answered the fetch")
 	}
 	// The fetched mapping unblocks the flow.
@@ -245,15 +245,15 @@ func TestLegacyDestinationInterop(t *testing.T) {
 	if !ok {
 		t.Fatal("lookup against legacy destination failed")
 	}
-	if pce0.Stats.EncapRepliesReceived != 0 || pce0.Stats.MappingPushes != 0 {
-		t.Fatalf("unexpected PCE activity: %+v", pce0.Stats)
+	if pce0.Stats().EncapRepliesReceived != 0 || pce0.Stats().MappingPushes != 0 {
+		t.Fatalf("unexpected PCE activity: %+v", pce0.Stats())
 	}
 	// Data falls back to the miss policy (drop here): claim (i) does not
 	// hold without the control plane, which is the point of E1.
 	in.Domain(0).Hosts[0].Node.SendUDP(in.Domain(0).Hosts[0].Addr, in.Domain(1).Hosts[0].Addr, 1, 9, packet.Payload("x"))
 	in.Sim.RunFor(time.Second)
-	if in.Domain(0).XTRs[0].Stats.CacheMissDrops != 1 {
-		t.Fatalf("drops = %d", in.Domain(0).XTRs[0].Stats.CacheMissDrops)
+	if in.Domain(0).XTRs[0].Stats().CacheMissDrops != 1 {
+		t.Fatalf("drops = %d", in.Domain(0).XTRs[0].Stats().CacheMissDrops)
 	}
 }
 
@@ -344,13 +344,13 @@ func TestRepushMovesIngress(t *testing.T) {
 
 	// The next data packet carries the new RLOCS; the remote ETR detects
 	// the change and re-announces the reverse mapping.
-	reverseBefore := w.pces[1].Stats.ReversePushes
+	reverseBefore := w.pces[1].Stats().ReversePushes
 	dst.Node.ListenUDP(9500, func(*simnet.Delivery, *packet.UDP) {})
 	src.Node.SendUDP(src.Addr, dst.Addr, 1, 9500, packet.Payload("a"))
 	sim.RunFor(time.Second)
 	src.Node.SendUDP(src.Addr, dst.Addr, 1, 9500, packet.Payload("b"))
 	sim.RunFor(time.Second)
-	if w.pces[1].Stats.ReversePushes <= reverseBefore {
+	if w.pces[1].Stats().ReversePushes <= reverseBefore {
 		t.Fatal("RLOCS change did not re-trigger the reverse push")
 	}
 }
@@ -373,7 +373,7 @@ func TestPendingExpiry(t *testing.T) {
 	pce0 := DeployDomain(in.Domain(0), irc.MinLatency{})
 	in.Domain(0).Hosts[0].DNS.Lookup(in.HostName(1, 0), func(netaddr.Addr, simnet.Time, bool) {})
 	in.Sim.RunFor(30 * time.Second)
-	if pce0.Stats.PendingExpired == 0 {
+	if pce0.Stats().PendingExpired == 0 {
 		t.Fatal("pending flow never expired")
 	}
 	if len(pce0.pending) != 0 {
@@ -416,7 +416,7 @@ func TestMapFetchEmptyFlowsNoPanic(t *testing.T) {
 	w.pces[1].Node().SendUDP(w.pces[1].Addr(), w.pces[0].Addr(),
 		packet.PortPCECP, packet.PortPCECP, msg)
 	sim.RunFor(2 * time.Second) // panics here without the guard
-	if w.pces[0].Stats.MapFetches == 0 {
+	if w.pces[0].Stats().MapFetches == 0 {
 		t.Fatal("malformed fetch never reached the PCE")
 	}
 	// A fetch with a zero reply target is equally unanswerable.
@@ -522,10 +522,10 @@ func TestWeightUpdateMovesRemoteFlows(t *testing.T) {
 	}
 	sim.RunFor(time.Second)
 
-	if got := w.pces[0].Stats.WeightUpdatesReceived; got != 1 {
+	if got := w.pces[0].Stats().WeightUpdatesReceived; got != 1 {
 		t.Fatalf("source PCE consumed %d weight updates", got)
 	}
-	if got := w.pces[0].Stats.WeightRepushes; got != 1 {
+	if got := w.pces[0].Stats().WeightRepushes; got != 1 {
 		t.Fatalf("weight repushes = %d", got)
 	}
 	fe, ok = d0.XTRs[0].Flows.Lookup(fk)
@@ -568,10 +568,10 @@ func TestLoadReportReachesHook(t *testing.T) {
 	if len(got) < 4 {
 		t.Fatalf("hook saw %d load records, want one per link per interval", len(got))
 	}
-	if w.pces[0].Stats.LoadReports == 0 {
+	if w.pces[0].Stats().LoadReports == 0 {
 		t.Fatal("LoadReports stat not counted")
 	}
-	if d0.XTRs[0].Stats.TelemetryReports == 0 {
+	if d0.XTRs[0].Stats().TelemetryReports == 0 {
 		t.Fatal("xTR telemetry stats not counted")
 	}
 	for _, lr := range got {

@@ -74,8 +74,8 @@ func TestProbeDrivenFailoverRepushesFlow(t *testing.T) {
 	if fe2.DstRLOC != survivor {
 		t.Fatalf("flow DstRLOC = %v after cut, want survivor %v", fe2.DstRLOC, survivor)
 	}
-	if w.pces[0].Stats.ReachabilityReports == 0 || w.pces[0].Stats.FailoverRepushes == 0 {
-		t.Fatalf("PCE consumed no reports: %+v", w.pces[0].Stats)
+	if w.pces[0].Stats().ReachabilityReports == 0 || w.pces[0].Stats().FailoverRepushes == 0 {
+		t.Fatalf("PCE consumed no reports: %+v", w.pces[0].Stats())
 	}
 	// Data still arrives.
 	delivered := 0

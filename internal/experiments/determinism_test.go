@@ -6,6 +6,7 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/metrics"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/runner"
 )
 
@@ -106,6 +107,52 @@ func TestShardByteIdentity(t *testing.T) {
 				t.Errorf("%s: %d-shard output diverged from 1 shard:\n%s\nvs\n%s",
 					id, n, out, base)
 			}
+		}
+	}
+}
+
+// TestRecordingByteIdentity is the flight recorder's determinism
+// guarantee: arming a recorder on every world in an experiment changes
+// nothing in the rendered tables — recording never draws from the
+// simulation RNG or timers. It re-runs the parallel and sharded paths
+// with recording on and compares against a recording-off baseline, then
+// checks the recorder actually captured control-plane events (an empty
+// ring would make the identity vacuous).
+func TestRecordingByteIdentity(t *testing.T) {
+	render := func(tables []*metrics.Table) string {
+		s := ""
+		for _, tbl := range tables {
+			s += tbl.String()
+		}
+		return s
+	}
+	for _, id := range []string{"E1", "E13"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		base := render(e.Run(11, true))
+
+		rec := obs.NewFlightRecorder(obs.DefaultRingSize)
+		prev := SetWorldRecorder(rec)
+		serial := render(e.Run(11, true))
+		parallel := render(e.RunWorkers(11, true, 3))
+		prevShards := SetWorldShards(2)
+		sharded := render(e.Run(11, true))
+		SetWorldShards(prevShards)
+		SetWorldRecorder(prev)
+
+		if serial != base {
+			t.Errorf("%s: recording changed serial output:\n%s\nvs\n%s", id, serial, base)
+		}
+		if parallel != base {
+			t.Errorf("%s: recording changed parallel output:\n%s\nvs\n%s", id, parallel, base)
+		}
+		if sharded != base {
+			t.Errorf("%s: recording changed 2-shard output:\n%s\nvs\n%s", id, sharded, base)
+		}
+		if rec.TotalRecorded() == 0 {
+			t.Errorf("%s: recorder captured no events — identity check is vacuous", id)
 		}
 	}
 }

@@ -207,7 +207,7 @@ func e12RunCell(seed int64, capacity int, ps e12Params) e12Result {
 	// reduction.
 	res := e12Result{capacity: capacity}
 	for _, s := range sites {
-		st := s.cache.Stats
+		st := s.cache.Stats()
 		res.stats.Hits += st.Hits
 		res.stats.Misses += st.Misses
 		res.stats.Expired += st.Expired

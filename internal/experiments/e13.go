@@ -197,7 +197,7 @@ func e13Rejected(w *World) uint64 {
 	var n uint64
 	for _, d := range w.In.Domains {
 		for _, x := range d.XTRs {
-			n += x.Stats.MappingsRejected
+			n += x.Stats().MappingsRejected
 		}
 	}
 	for _, req := range w.Requesters {
@@ -212,7 +212,7 @@ func e13Rejected(w *World) uint64 {
 	}
 	for _, p := range w.PCEs {
 		if p != nil {
-			n += p.Stats.AuthRejects
+			n += p.Stats().AuthRejects
 		}
 	}
 	return n
@@ -223,7 +223,7 @@ func e13CtlKB(w *World) float64 {
 	_, bytes := w.ControlTotals()
 	for _, p := range w.PCEs {
 		if p != nil {
-			bytes += p.Stats.TxControlBytes
+			bytes += p.Stats().TxControlBytes
 		}
 	}
 	return float64(bytes) / 1024
@@ -387,12 +387,12 @@ func e13RunFloodCell(cp CP, v e13FloodVar, seed int64, ps e13Params) e13FloodRes
 	}
 	if cp == CPPCE {
 		p := w.PCEs[1]
-		res.drops = p.Stats.FetchQueueDrops + p.Stats.FetchQuotaDrops
-		res.quotaHits = p.Stats.FetchQuotaDrops
+		res.drops = p.Stats().FetchQueueDrops + p.Stats().FetchQuotaDrops
+		res.quotaHits = p.Stats().FetchQuotaDrops
 	} else {
 		mr := w.MSMR.MR
-		res.drops = mr.Stats.QueueDrops + mr.Stats.QuotaDrops
-		res.quotaHits = mr.Stats.QuotaDrops
+		res.drops = mr.Stats().QueueDrops + mr.Stats().QuotaDrops
+		res.quotaHits = mr.Stats().QuotaDrops
 	}
 	return res
 }

@@ -80,7 +80,7 @@ func e8aRunCell(seed int64) e8aResult {
 	// encap after installAt is the SYN.
 	var poll func()
 	poll = func() {
-		if x0.Stats.EncapPackets > 0 && synAtITR == 0 {
+		if x0.Stats().EncapPackets > 0 && synAtITR == 0 {
 			synAtITR = w.Sim.Now()
 			return
 		}
@@ -165,12 +165,12 @@ func e8bRunCell(seed int64, label string, pceDomains []int) e8bResult {
 	w.RunFor(30 * time.Second)
 	pushes := uint64(0)
 	if w.PCEs[0] != nil {
-		pushes = w.PCEs[0].Stats.MappingPushes
+		pushes = w.PCEs[0].Stats().MappingPushes
 	}
 	resolutions := uint64(0)
 	for _, d := range w.In.Domains {
 		for _, x := range d.XTRs {
-			resolutions += x.Stats.ResolutionsStarted
+			resolutions += x.Stats().ResolutionsStarted
 		}
 	}
 	return e8bResult{label: label, ok: res.OK, setup: res.Setup,
@@ -250,8 +250,8 @@ func e8cRunCell(cp CP, seed int64, burst int) e8cResult {
 	}
 	w.RunFor(30 * time.Second)
 	x := w.In.Domains[0].XTRs[0]
-	return e8cResult{cp: cp, queued: x.Stats.QueuedPackets,
-		timeout: x.Stats.QueueTimeouts, replay: x.Stats.Replayed}
+	return e8cResult{cp: cp, queued: x.Stats().QueuedPackets,
+		timeout: x.Stats().QueueTimeouts, replay: x.Stats().Replayed}
 }
 
 // E8QueueMemory runs E8c serially and returns its table.

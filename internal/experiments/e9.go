@@ -157,7 +157,7 @@ func e9aRunCell(seed int64, policy string, capacity int, ps e9aParams) e9aResult
 	}
 	sim.ScheduleFunc(0, step)
 	sim.Run()
-	return e9aResult{policy: policy, capacity: capacity, stats: cache.Stats,
+	return e9aResult{policy: policy, capacity: capacity, stats: cache.Stats(),
 		workingSet: len(touched), finalLen: liveAtEnd}
 }
 
@@ -278,7 +278,7 @@ func e9bRunCell(cp CP, seed int64, capacity int, ps e9bParams) e9bResult {
 	x := w.In.Domains[0].XTRs[0]
 	return e9bResult{
 		cp: cp, capacity: capacity,
-		cache: x.Cache.Stats, cacheLen: x.Cache.Len(), flowLen: x.Flows.Len(),
+		cache: x.Cache.Stats(), cacheLen: x.Cache.Len(), flowLen: x.Flows.Len(),
 		workingSet: len(touched), drops: w.ITRDrops(),
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/mapsys"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 	"github.com/pcelisp/pcelisp/internal/topo"
@@ -134,6 +135,18 @@ type WorldConfig struct {
 	// historical default (strict nonces, no signatures, no floors, no
 	// quotas) — byte-identical to pre-E13 worlds.
 	Defenses DefenseConfig
+	// Recorder captures control-plane flight events from every xTR and
+	// PCE in the world (nil = the package default set by
+	// SetWorldRecorder, itself defaulting to off). Recording never draws
+	// from the simulation RNG or timers, so experiment output is
+	// byte-identical with it on or off.
+	Recorder *obs.FlightRecorder
+	// Obs registers every component's counters (map-cache, xTR, PCE,
+	// mapping systems) in one registry, labeled by node name. Series
+	// names collide across worlds (node names repeat), so a registry
+	// serves at most one world — there is deliberately no package-wide
+	// default. Nil leaves components on private orphan cells.
+	Obs *obs.Registry
 }
 
 // DefenseConfig turns individual control-plane defense layers on or off.
@@ -185,6 +198,24 @@ func SetWorldShards(n int) int {
 	return prev
 }
 
+// worldRecorder is the package-wide default flight recorder applied when
+// a WorldConfig leaves Recorder nil — how the determinism tests (and any
+// debugging session) arm recording across every experiment without
+// threading a parameter through each cell builder. A single recorder is
+// safe to share across concurrently built worlds: Record is
+// mutex-guarded and never registers names.
+var worldRecorder *obs.FlightRecorder
+
+// SetWorldRecorder sets the default flight recorder for subsequently
+// built worlds and returns the previous value (nil = recording off).
+// Not safe concurrently with world construction; intended for test
+// setup and cmd flag parsing.
+func SetWorldRecorder(rec *obs.FlightRecorder) *obs.FlightRecorder {
+	prev := worldRecorder
+	worldRecorder = rec
+	return prev
+}
+
 func (c *WorldConfig) fill() {
 	if c.Domains == 0 {
 		c.Domains = 2
@@ -203,6 +234,9 @@ func (c *WorldConfig) fill() {
 	}
 	if c.Shards == 0 {
 		c.Shards = worldShards
+	}
+	if c.Recorder == nil {
+		c.Recorder = worldRecorder
 	}
 }
 
@@ -309,6 +343,8 @@ func BuildWorld(cfg WorldConfig) *World {
 		CoreDelayMin: cfg.CoreDelayMin,
 		CoreDelayMax: cfg.CoreDelayMax,
 		DNSRecordTTL: cfg.DNSRecordTTL,
+		Obs:          cfg.Obs,
+		Recorder:     cfg.Recorder,
 	}
 	for i := 0; i < cfg.Domains; i++ {
 		spec.Domains = append(spec.Domains, topo.DomainSpec{
@@ -410,6 +446,8 @@ func BuildWorld(cfg WorldConfig) *World {
 			FetchServiceRate: cfg.Defenses.ResolverServiceRate,
 			FetchQueueCap:    cfg.Defenses.ResolverQueueCap,
 			FetchQuotaLimit:  cfg.Defenses.SourceQuota,
+			Obs:              cfg.Obs,
+			Recorder:         cfg.Recorder,
 		}
 		if cfg.Defenses.PCEAuth {
 			opts.AuthKey = pcecpKey
@@ -575,7 +613,7 @@ func (w *World) TelemetryMessages() uint64 {
 	var total uint64
 	for _, d := range w.In.Domains {
 		for _, x := range d.XTRs {
-			total += x.Stats.TelemetryReports
+			total += x.Stats().TelemetryReports
 		}
 	}
 	return total
@@ -587,7 +625,7 @@ func (w *World) ProbeMessages() uint64 {
 	var total uint64
 	for _, d := range w.In.Domains {
 		for _, x := range d.XTRs {
-			total += x.Stats.ProbesSent + x.Stats.ProbeRepliesSent
+			total += x.Stats().ProbesSent + x.Stats().ProbeRepliesSent
 		}
 	}
 	return total
@@ -606,6 +644,8 @@ func (w *World) buildMSMR() *mapsys.MSMR {
 	if def.SourceQuota > 0 {
 		m.MR.Quota = &lisp.SourceQuota{Limit: def.SourceQuota}
 	}
+	m.MS.RegisterMetrics(w.Cfg.Obs)
+	m.MR.RegisterMetrics(w.Cfg.Obs)
 	return m
 }
 
@@ -749,8 +789,8 @@ func (w *World) ControlTotals() (msgs, bytes uint64) {
 	msgs, bytes = cs.TxMessages, cs.TxBytes
 	for _, pce := range w.PCEs {
 		if pce != nil {
-			msgs += pce.Stats.TxControlMessages
-			bytes += pce.Stats.TxControlBytes
+			msgs += pce.Stats().TxControlMessages
+			bytes += pce.Stats().TxControlBytes
 		}
 	}
 	return msgs, bytes
@@ -773,7 +813,7 @@ func (w *World) ITRDrops() uint64 {
 	var total uint64
 	for _, d := range w.In.Domains {
 		for _, x := range d.XTRs {
-			total += x.Stats.CacheMissDrops + x.Stats.QueueTimeouts + x.Stats.QueueOverflows
+			total += x.Stats().CacheMissDrops + x.Stats().QueueTimeouts + x.Stats().QueueOverflows
 		}
 	}
 	return total

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/obs"
+)
+
+// TestWorldRegistry pins the EXPERIMENTS.md recipe for reading E-series
+// counters straight from a registry: arm WorldConfig.Obs, drive a flow,
+// and the registered series agree with the components' own Stats()
+// snapshots — same cells, two views.
+func TestWorldRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := BuildWorld(WorldConfig{CP: CPPCE, Domains: 2, Seed: 3, Obs: reg})
+	w.Settle()
+	var res FlowResult
+	w.StartFlow(0, 0, 1, 0, func(r FlowResult) { res = r })
+	w.Sim.RunFor(10 * time.Second)
+	if !res.OK {
+		t.Fatal("flow failed")
+	}
+
+	itr := w.In.Domains[0].XTRs[0]
+	stats := itr.Stats()
+	if stats.EncapPackets == 0 {
+		t.Fatal("no encapsulated packets after a completed flow — scenario too weak to test the registry")
+	}
+	encap, ok := reg.Value("pcelisp_xtr_encap_packets_total",
+		obs.Label{Key: "node", Value: itr.Node().Name()})
+	if !ok || uint64(encap) != stats.EncapPackets {
+		t.Errorf("registry encap = %v (ok=%v), Stats() = %d", encap, ok, stats.EncapPackets)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, series := range []string{
+		"pcelisp_mapcache_hits_total",
+		"pcelisp_xtr_encap_packets_total",
+		"pcelisp_pce_ipc_queries_total",
+	} {
+		if !strings.Contains(sb.String(), series) {
+			t.Errorf("world exposition missing %s", series)
+		}
+	}
+}
+
+// TestWorldRegistryMSMR covers the mapping-system side of the same
+// recipe: a MS/MR world registers the map-server and map-resolver
+// counters, and a resolved flow shows up in them.
+func TestWorldRegistryMSMR(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := BuildWorld(WorldConfig{CP: CPMSMR, Domains: 2, Seed: 3, Obs: reg})
+	w.Settle()
+	var res FlowResult
+	w.StartFlow(0, 0, 1, 0, func(r FlowResult) { res = r })
+	w.Sim.RunFor(30 * time.Second)
+	if !res.OK {
+		t.Fatal("flow failed")
+	}
+	fwd, ok := reg.Value("pcelisp_mr_forwarded_total", obs.Label{Key: "node", Value: "map-resolver"})
+	if !ok || fwd == 0 {
+		t.Errorf("mr forwarded = %v (ok=%v), want > 0", fwd, ok)
+	}
+	if got := w.MSMR.MR.Stats().Forwarded; uint64(fwd) != got {
+		t.Errorf("registry forwarded = %v, Stats() = %d", fwd, got)
+	}
+}

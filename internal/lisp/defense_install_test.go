@@ -22,8 +22,8 @@ func TestInstallMappingRejectsZeroLocators(t *testing.T) {
 	if w.xtrS.InstallMapping(empty) {
 		t.Fatal("zero-locator mapping must not install")
 	}
-	if w.xtrS.Stats.MappingsRejected != 1 {
-		t.Fatalf("MappingsRejected = %d, want 1", w.xtrS.Stats.MappingsRejected)
+	if w.xtrS.Stats().MappingsRejected != 1 {
+		t.Fatalf("MappingsRejected = %d, want 1", w.xtrS.Stats().MappingsRejected)
 	}
 	if _, ok := w.xtrS.Cache.Lookup(w.eidD); ok {
 		t.Fatal("cache holds an entry after a rejected install")
@@ -54,8 +54,8 @@ func TestInstallMappingOverclaimFloor(t *testing.T) {
 	if w.xtrS.InstallMapping(over) {
 		t.Fatal("/8 covering mapping must not install under a /16 floor")
 	}
-	if w.xtrS.Stats.MappingsRejected != 1 {
-		t.Fatalf("MappingsRejected = %d, want 1", w.xtrS.Stats.MappingsRejected)
+	if w.xtrS.Stats().MappingsRejected != 1 {
+		t.Fatalf("MappingsRejected = %d, want 1", w.xtrS.Stats().MappingsRejected)
 	}
 	if _, ok := w.xtrS.Cache.Lookup(w.eidD); ok {
 		t.Fatal("covering entry answers lookups after rejection")

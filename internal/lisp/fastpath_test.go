@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
@@ -132,5 +133,39 @@ func TestEncapFastPathAllocs(t *testing.T) {
 	})
 	if per > 2 {
 		t.Fatalf("fast-path encap allocates %.1f per packet, want <= 2", per)
+	}
+}
+
+// TestEncapFastPathAllocsInstrumented re-pins the same budget with the
+// observability layer fully armed: a registry collecting the xTR and
+// map-cache counters and a flight recorder attached. Counter increments
+// are atomic adds on pre-registered cells and Record writes into a fixed
+// ring, so instrumentation must not add a single allocation to the
+// per-packet path.
+func TestEncapFastPathAllocsInstrumented(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewFlightRecorder(obs.DefaultRingSize)
+	w := newLISPWorld(t, XTRConfig{MissPolicy: MissDrop, Obs: reg, Recorder: rec})
+	w.xtrS.InstallMapping(dMapping())
+	w.hD.ListenUDP(9000, func(*simnet.Delivery, *packet.UDP) {})
+	w.sendData("warm")
+	w.sim.Run()
+	if len(w.xtrS.pins) != 1 {
+		t.Fatalf("pins = %d, want 1", len(w.xtrS.pins))
+	}
+	out := w.xtrS.Node().IfaceByAddr(netaddr.MustParseAddr("10.0.0.1"))
+	if out == nil {
+		t.Fatal("no egress iface for the RLOC")
+	}
+	out.SetUp(false)
+	data := simnet.EncodeUDP(w.eidS, w.eidD, 40000, 9000, packet.Payload("payload-bytes"))
+	per := testing.AllocsPerRun(200, func() {
+		w.xtrS.handleOutbound(w.eidS, w.eidD, data)
+	})
+	if per > 2 {
+		t.Fatalf("instrumented fast-path encap allocates %.1f per packet, want <= 2", per)
+	}
+	if v, ok := reg.Value("pcelisp_xtr_encap_packets_total", obs.Label{Key: "node", Value: "xtrS"}); !ok || v == 0 {
+		t.Fatal("instrumented run recorded no encap packets — registry not wired")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
@@ -177,6 +178,53 @@ type MapCacheStats struct {
 	NegativeHits    uint64
 }
 
+// mapCacheMetrics is the cache's live metric set (see xtrMetrics for
+// the pattern); Stats() snapshots it.
+type mapCacheMetrics struct {
+	Hits            obs.Counter
+	Misses          obs.Counter
+	Expired         obs.Counter
+	Evictions       obs.Counter
+	Inserts         obs.Counter
+	WheelRetired    obs.Counter
+	NegativeInserts obs.Counter
+	NegativeHits    obs.Counter
+}
+
+// register wires the cache metrics under pcelisp_mapcache_*, labeled by
+// hosting node plus any extra labels (e.g. cache="itr" vs "pce-remote"
+// to disambiguate co-located caches). No-op when r is nil.
+func (m *mapCacheMetrics) register(r *obs.Registry, node string, extra ...obs.Label) {
+	if r == nil {
+		return
+	}
+	labels := append([]obs.Label{{Key: "node", Value: node}}, extra...)
+	c := func(name, help string, ctr *obs.Counter) {
+		r.RegisterCounter("pcelisp_mapcache_"+name, help, ctr, labels...)
+	}
+	c("hits_total", "Lookups answered from a live positive entry.", &m.Hits)
+	c("misses_total", "Lookups with no usable mapping (includes negative hits).", &m.Misses)
+	c("expired_total", "Entries retired by TTL expiry.", &m.Expired)
+	c("evictions_total", "Entries evicted by the capacity policy.", &m.Evictions)
+	c("inserts_total", "Positive mappings inserted.", &m.Inserts)
+	c("wheel_retired_total", "Expired entries retired in timing-wheel batches.", &m.WheelRetired)
+	c("negative_inserts_total", "Failed resolutions recorded in the negative cache.", &m.NegativeInserts)
+	c("negative_hits_total", "Lookups answered 'known unresolvable' by the negative cache.", &m.NegativeHits)
+}
+
+func (m *mapCacheMetrics) snapshot() MapCacheStats {
+	return MapCacheStats{
+		Hits:            m.Hits.Load(),
+		Misses:          m.Misses.Load(),
+		Expired:         m.Expired.Load(),
+		Evictions:       m.Evictions.Load(),
+		Inserts:         m.Inserts.Load(),
+		WheelRetired:    m.WheelRetired.Load(),
+		NegativeInserts: m.NegativeInserts.Load(),
+		NegativeHits:    m.NegativeHits.Load(),
+	}
+}
+
 // wheelGranularity is the timing-wheel bucket width: expired entries
 // leave the cache within this much virtual time of their TTL.
 const wheelGranularity = simnet.Time(time.Second)
@@ -205,8 +253,19 @@ type MapCache struct {
 	// cache's observable behavior stays deterministic by construction.
 	negatives *netaddr.Trie[struct{}]
 
-	// Stats counts cache activity for the experiments.
-	Stats MapCacheStats
+	// met holds the live metric set; Stats() snapshots it.
+	met mapCacheMetrics
+}
+
+// Stats snapshots the cache's activity counters — the legacy stats
+// view, now a thin read over the live obs metric set.
+func (c *MapCache) Stats() MapCacheStats { return c.met.snapshot() }
+
+// RegisterMetrics wires the cache's counters into r (no-op when r is
+// nil) labeled by the hosting node plus any extra labels. Call once, at
+// construction time.
+func (c *MapCache) RegisterMetrics(r *obs.Registry, node string, extra ...obs.Label) {
+	c.met.register(r, node, extra...)
 }
 
 // NewMapCache creates an LRU cache; capacity 0 means unbounded.
@@ -245,7 +304,7 @@ func (c *MapCache) Insert(prefix netaddr.Prefix, locators []packet.LISPLocator, 
 		e.Expires = c.rt.Now() + simnet.Time(ttl)*simnet.Time(time.Second)
 	}
 	c.insertEntry(prefix, e)
-	c.Stats.Inserts++
+	c.met.Inserts.Inc()
 	return e
 }
 
@@ -262,7 +321,7 @@ func (c *MapCache) InsertNegative(eid netaddr.Addr, ttl uint32) *MapEntry {
 		Expires:   c.rt.Now() + simnet.Time(ttl)*simnet.Time(time.Second),
 	}
 	c.insertEntry(e.EIDPrefix, e)
-	c.Stats.NegativeInserts++
+	c.met.NegativeInserts.Inc()
 	return e
 }
 
@@ -276,7 +335,7 @@ func (c *MapCache) insertEntry(prefix netaddr.Prefix, e *MapEntry) {
 			if victim, ok := c.policy.Victim(); ok {
 				c.trie.Delete(victim)
 				c.negatives.Delete(victim)
-				c.Stats.Evictions++
+				c.met.Evictions.Inc()
 			}
 		}
 		c.policy.Admit(prefix)
@@ -315,8 +374,8 @@ func (c *MapCache) retireExpired(keys []netaddr.Prefix) {
 			continue
 		}
 		c.removeKey(p)
-		c.Stats.Expired++
-		c.Stats.WheelRetired++
+		c.met.Expired.Inc()
+		c.met.WheelRetired.Inc()
 	}
 }
 
@@ -343,7 +402,7 @@ func (c *MapCache) Delete(prefix netaddr.Prefix) bool {
 func (c *MapCache) Lookup(eid netaddr.Addr) (*MapEntry, bool) {
 	e, p, ok := c.trie.Lookup(eid)
 	if !ok {
-		c.Stats.Misses++
+		c.met.Misses.Inc()
 		return nil, false
 	}
 	// The trie reports the matched length; recover the exact prefix key.
@@ -351,18 +410,18 @@ func (c *MapCache) Lookup(eid netaddr.Addr) (*MapEntry, bool) {
 	if e.Expired(c.rt.Now()) {
 		// The wheel retires in granularity batches; a lookup inside the
 		// window still observes (and collects) the expired entry.
-		c.Stats.Expired++
-		c.Stats.Misses++
+		c.met.Expired.Inc()
+		c.met.Misses.Inc()
 		c.removeKey(key)
 		return nil, false
 	}
 	if e.Negative {
-		c.Stats.NegativeHits++
-		c.Stats.Misses++
+		c.met.NegativeHits.Inc()
+		c.met.Misses.Inc()
 		c.policy.Touch(key)
 		return nil, false
 	}
-	c.Stats.Hits++
+	c.met.Hits.Inc()
 	c.policy.Touch(key)
 	return e, true
 }

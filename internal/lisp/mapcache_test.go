@@ -28,8 +28,8 @@ func TestMapCacheInsertLookup(t *testing.T) {
 	if _, ok := c.Lookup(netaddr.MustParseAddr("100.3.0.1")); ok {
 		t.Fatal("lookup outside prefix must miss")
 	}
-	if c.Stats.Hits != 1 || c.Stats.Misses != 1 || c.Stats.Inserts != 1 {
-		t.Fatalf("stats = %+v", c.Stats)
+	if c.Stats().Hits != 1 || c.Stats().Misses != 1 || c.Stats().Inserts != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
 	}
 }
 
@@ -45,8 +45,8 @@ func TestMapCacheTTLExpiry(t *testing.T) {
 	if _, ok := c.Lookup(netaddr.MustParseAddr("100.2.0.1")); ok {
 		t.Fatal("entry must expire after TTL")
 	}
-	if c.Stats.Expired != 1 {
-		t.Fatalf("expired = %d", c.Stats.Expired)
+	if c.Stats().Expired != 1 {
+		t.Fatalf("expired = %d", c.Stats().Expired)
 	}
 	if c.Len() != 0 {
 		t.Fatalf("expired entry not evicted: len=%d", c.Len())
@@ -77,8 +77,8 @@ func TestMapCacheLRUEviction(t *testing.T) {
 	if _, ok := c.Lookup(netaddr.AddrFrom4(100, 1, 0, 1)); !ok {
 		t.Fatal("recently used entry 1 must survive")
 	}
-	if c.Stats.Evictions != 1 {
-		t.Fatalf("evictions = %d", c.Stats.Evictions)
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
 	}
 }
 
@@ -215,19 +215,19 @@ func TestMapCacheExpiredLookupStats(t *testing.T) {
 	if _, ok := c.Lookup(netaddr.MustParseAddr("100.2.0.1")); ok {
 		t.Fatal("expired entry must miss")
 	}
-	if c.Stats.Expired != 1 || c.Stats.Misses != 1 {
-		t.Fatalf("expired=%d misses=%d, want both incremented", c.Stats.Expired, c.Stats.Misses)
+	if c.Stats().Expired != 1 || c.Stats().Misses != 1 {
+		t.Fatalf("expired=%d misses=%d, want both incremented", c.Stats().Expired, c.Stats().Misses)
 	}
-	if c.Stats.WheelRetired != 0 {
-		t.Fatalf("wheelRetired = %d for a lazily collected entry", c.Stats.WheelRetired)
+	if c.Stats().WheelRetired != 0 {
+		t.Fatalf("wheelRetired = %d for a lazily collected entry", c.Stats().WheelRetired)
 	}
 	if c.Len() != 0 {
 		t.Fatalf("len = %d", c.Len())
 	}
 	// The wheel bucket firing later must not double count.
 	s.RunFor(time.Second)
-	if c.Stats.Expired != 1 {
-		t.Fatalf("expired double-counted: %d", c.Stats.Expired)
+	if c.Stats().Expired != 1 {
+		t.Fatalf("expired double-counted: %d", c.Stats().Expired)
 	}
 }
 

@@ -49,8 +49,8 @@ func TestLFUEvictsLeastFrequent(t *testing.T) {
 			t.Fatalf("entry %d must survive", i)
 		}
 	}
-	if c.Stats.Evictions != 1 {
-		t.Fatalf("evictions = %d", c.Stats.Evictions)
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
 	}
 }
 
@@ -160,10 +160,10 @@ func TestTimingWheelHonestLen(t *testing.T) {
 	if c.Len() != 1 {
 		t.Fatalf("len after TTL = %d, want 1 (no lookups happened)", c.Len())
 	}
-	if c.Stats.Expired != 3 || c.Stats.WheelRetired != 3 {
-		t.Fatalf("expired=%d wheelRetired=%d", c.Stats.Expired, c.Stats.WheelRetired)
+	if c.Stats().Expired != 3 || c.Stats().WheelRetired != 3 {
+		t.Fatalf("expired=%d wheelRetired=%d", c.Stats().Expired, c.Stats().WheelRetired)
 	}
-	if c.Stats.Misses != 0 && c.Stats.Hits != 0 {
+	if c.Stats().Misses != 0 && c.Stats().Hits != 0 {
 		t.Fatal("wheel retirement must not fake lookup traffic")
 	}
 }
@@ -191,8 +191,8 @@ func TestNegativeCache(t *testing.T) {
 	c := NewMapCache(s, 0)
 	eid := netaddr.MustParseAddr("100.2.0.9")
 	c.InsertNegative(eid, 5)
-	if c.Stats.NegativeInserts != 1 {
-		t.Fatalf("negative inserts = %d", c.Stats.NegativeInserts)
+	if c.Stats().NegativeInserts != 1 {
+		t.Fatalf("negative inserts = %d", c.Stats().NegativeInserts)
 	}
 	if !c.HasNegative(eid) {
 		t.Fatal("negative entry not visible")
@@ -200,8 +200,8 @@ func TestNegativeCache(t *testing.T) {
 	if _, ok := c.Lookup(eid); ok {
 		t.Fatal("negative entry must answer as a miss")
 	}
-	if c.Stats.NegativeHits != 1 || c.Stats.Misses != 1 {
-		t.Fatalf("stats = %+v", c.Stats)
+	if c.Stats().NegativeHits != 1 || c.Stats().Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
 	}
 	// A sibling EID outside the /32 is not covered.
 	if c.HasNegative(netaddr.MustParseAddr("100.2.0.10")) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
@@ -119,9 +120,9 @@ func (x *XTR) probeTick() {
 		}
 		w.up = up
 		if up {
-			x.Stats.EgressUps++
+			x.met.EgressUps.Inc()
 		} else {
-			x.Stats.EgressDowns++
+			x.met.EgressDowns.Inc()
 		}
 		if x.OnEgressState != nil {
 			x.OnEgressState(w.rloc, up)
@@ -165,7 +166,7 @@ func (x *XTR) probeTick() {
 		// remote end — discard it unjudged instead of counting a miss.
 		if !x.host.RouteUp(target) {
 			st.awaiting = false
-			x.Stats.ProbesSkipped++
+			x.met.ProbesSkipped.Inc()
 			continue
 		}
 		if st.awaiting {
@@ -173,17 +174,17 @@ func (x *XTR) probeTick() {
 			st.awaiting = false
 			st.hits = 0
 			st.misses++
-			x.Stats.ProbeTimeouts++
+			x.met.ProbeTimeouts.Inc()
 			if st.up && st.misses >= x.probeCfg.FailAfter {
 				st.up = false
 				st.misses = 0
-				x.Stats.LocatorDowns++
+				x.met.LocatorDowns.Inc()
 				x.applyReachability(target, false)
 			}
 		}
 		st.nonce = x.rt.Rand().Uint64()
 		st.awaiting = true
-		x.Stats.ProbesSent++
+		x.met.ProbesSent.Inc()
 		x.host.OutputUDP(x.cfg.RLOC, target, packet.PortRLOCProbe, packet.PortRLOCProbe,
 			&packet.LISPMapRequest{
 				Probe:       true,
@@ -205,7 +206,7 @@ func (x *XTR) HandleProbe(src, dst netaddr.Addr, udp *packet.UDP) {
 			return
 		}
 		probed := dst
-		x.Stats.ProbeRepliesSent++
+		x.met.ProbeRepliesSent.Inc()
 		x.host.OutputUDP(probed, req.ITRRLOCs[0], packet.PortRLOCProbe, packet.PortRLOCProbe,
 			&packet.LISPMapReply{Probe: true, Nonce: req.Nonce})
 		return
@@ -220,7 +221,7 @@ func (x *XTR) HandleProbe(src, dst netaddr.Addr, udp *packet.UDP) {
 	}
 	st.awaiting = false
 	st.misses = 0
-	x.Stats.ProbeAcks++
+	x.met.ProbeAcks.Inc()
 	if st.up {
 		return
 	}
@@ -228,7 +229,7 @@ func (x *XTR) HandleProbe(src, dst netaddr.Addr, udp *packet.UDP) {
 	if st.hits >= x.probeCfg.RecoverAfter {
 		st.up = true
 		st.hits = 0
-		x.Stats.LocatorUps++
+		x.met.LocatorUps.Inc()
 		x.applyReachability(src, true)
 	}
 }
@@ -237,6 +238,11 @@ func (x *XTR) HandleProbe(src, dst netaddr.Addr, udp *packet.UDP) {
 // reports the transition.
 func (x *XTR) applyReachability(rloc netaddr.Addr, up bool) {
 	x.Cache.SetLocatorReachable(rloc, up)
+	kind := obs.KProbeDown
+	if up {
+		kind = obs.KProbeUp
+	}
+	x.rec.Record(obs.Event{At: x.rt.Now(), Kind: kind, Node: x.HostName(), RLOC: rloc})
 	if x.OnReachability != nil {
 		x.OnReachability(rloc, up)
 	}

@@ -74,14 +74,14 @@ func TestProbeKeepsLiveLocatorsUp(t *testing.T) {
 	w.xa.EnableProbing(ProbeConfig{})
 	w.xb.EnableProbing(ProbeConfig{})
 	w.sim.RunFor(5 * time.Second)
-	if w.xa.Stats.ProbesSent == 0 || w.xa.Stats.ProbeAcks == 0 {
-		t.Fatalf("no probe traffic: %+v", w.xa.Stats)
+	if w.xa.Stats().ProbesSent == 0 || w.xa.Stats().ProbeAcks == 0 {
+		t.Fatalf("no probe traffic: %+v", w.xa.Stats())
 	}
-	if w.xb.Stats.ProbeRepliesSent == 0 {
+	if w.xb.Stats().ProbeRepliesSent == 0 {
 		t.Fatal("probed xTR never echoed")
 	}
-	if w.xa.Stats.LocatorDowns != 0 {
-		t.Fatalf("healthy locator went down: %+v", w.xa.Stats)
+	if w.xa.Stats().LocatorDowns != 0 {
+		t.Fatalf("healthy locator went down: %+v", w.xa.Stats())
 	}
 	if !w.xa.LocatorUp(w.rlocB1) || !w.xa.LocatorUp(w.rlocB2) {
 		t.Fatal("locator marked down in steady state")
@@ -155,11 +155,11 @@ func TestProbeHysteresisToleratesOneLoss(t *testing.T) {
 		LinkUp(4500*time.Millisecond, w.linkB2)
 	plan.Schedule()
 	w.sim.RunFor(8 * time.Second)
-	if w.xa.Stats.ProbeTimeouts == 0 {
+	if w.xa.Stats().ProbeTimeouts == 0 {
 		t.Fatal("the cut round was not observed")
 	}
-	if w.xa.Stats.LocatorDowns != 0 || !w.xa.LocatorUp(w.rlocB2) {
-		t.Fatalf("one miss flipped the locator: %+v", w.xa.Stats)
+	if w.xa.Stats().LocatorDowns != 0 || !w.xa.LocatorUp(w.rlocB2) {
+		t.Fatalf("one miss flipped the locator: %+v", w.xa.Stats())
 	}
 }
 
@@ -181,12 +181,12 @@ func TestProbeEgressWatchAndSkip(t *testing.T) {
 	if len(egress) != 1 || egress[0] {
 		t.Fatalf("egress transitions = %v, want [false]", egress)
 	}
-	if w.xa.Stats.ProbesSkipped == 0 {
+	if w.xa.Stats().ProbesSkipped == 0 {
 		t.Fatal("probes kept flowing into a dead egress")
 	}
 	// No false remote-down verdicts while the local egress is dead.
-	if w.xa.Stats.LocatorDowns != 0 {
-		t.Fatalf("dead egress produced remote downs: %+v", w.xa.Stats)
+	if w.xa.Stats().LocatorDowns != 0 {
+		t.Fatalf("dead egress produced remote downs: %+v", w.xa.Stats())
 	}
 
 	w.linkA.A().SetUp(true)

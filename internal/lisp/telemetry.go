@@ -83,8 +83,8 @@ func (x *XTR) telemetryTick() {
 		Nonce: x.rt.Rand().Uint64(), Loads: loads,
 	}
 	data := simnet.EncodeUDP(x.cfg.RLOC, cfg.Collector, packet.PortPCECP, packet.PortPCECP, msg)
-	x.Stats.TelemetryReports++
-	x.Stats.TelemetryBytes += uint64(len(data))
+	x.met.TelemetryReports.Inc()
+	x.met.TelemetryBytes.Add(uint64(len(data)))
 	x.host.Output(data)
 	x.rt.ScheduleTimer(cfg.Interval, x, simnet.TimerArg{Kind: xtrTimerTelemetry})
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/runtime"
 	"github.com/pcelisp/pcelisp/internal/simnet"
@@ -114,6 +115,116 @@ type XTRStats struct {
 	GleansSuppressed uint64
 }
 
+// xtrMetrics is the xTR's live metric set: one obs counter per XTRStats
+// field, embedded by value so the hot paths pay a plain atomic add and
+// zero allocations whether or not a registry is scraping. Stats()
+// renders it back into the legacy snapshot struct.
+type xtrMetrics struct {
+	EncapPackets          obs.Counter
+	DecapPackets          obs.Counter
+	CacheMissDrops        obs.Counter
+	QueuedPackets         obs.Counter
+	QueueOverflows        obs.Counter
+	QueueTimeouts         obs.Counter
+	Replayed              obs.Counter
+	ResolutionsStarted    obs.Counter
+	ResolutionsFailed     obs.Counter
+	ResolutionsSuppressed obs.Counter
+	FlowMappingsUsed      obs.Counter
+	NonEIDForwarded       obs.Counter
+	ProbesSent            obs.Counter
+	ProbeRepliesSent      obs.Counter
+	ProbeAcks             obs.Counter
+	ProbeTimeouts         obs.Counter
+	ProbesSkipped         obs.Counter
+	LocatorDowns          obs.Counter
+	LocatorUps            obs.Counter
+	EgressDowns           obs.Counter
+	EgressUps             obs.Counter
+	TelemetryReports      obs.Counter
+	TelemetryBytes        obs.Counter
+	MappingsRejected      obs.Counter
+	GleansSuppressed      obs.Counter
+
+	// ResolutionSeconds observes cache-miss resolution latency (request
+	// sent to answer applied), the operator-facing face of the paper's
+	// T_map.
+	ResolutionSeconds obs.Histogram
+}
+
+// resolutionBounds buckets resolution latency from sub-millisecond
+// (intra-PoP PCE fetch) to tens of seconds (retransmitting pull planes).
+var resolutionBounds = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// register wires every metric into r (a no-op when r is nil) under the
+// pcelisp_xtr_* family names, labeled by hosting node.
+func (m *xtrMetrics) register(r *obs.Registry, node string) {
+	if r == nil {
+		return
+	}
+	l := obs.Label{Key: "node", Value: node}
+	c := func(name, help string, ctr *obs.Counter) {
+		r.RegisterCounter("pcelisp_xtr_"+name, help, ctr, l)
+	}
+	c("encap_packets_total", "Packets encapsulated toward remote RLOCs.", &m.EncapPackets)
+	c("decap_packets_total", "Packets decapsulated for local delivery.", &m.DecapPackets)
+	c("cache_miss_drops_total", "Data packets dropped by the drop miss policy during resolution.", &m.CacheMissDrops)
+	c("queued_packets_total", "Packets buffered by the queue miss policy.", &m.QueuedPackets)
+	c("queue_overflows_total", "Buffer-full drops under the queue miss policy.", &m.QueueOverflows)
+	c("queue_timeouts_total", "Buffered packets dropped because resolution never answered.", &m.QueueTimeouts)
+	c("replayed_packets_total", "Buffered packets sent after late mapping arrival.", &m.Replayed)
+	c("resolutions_started_total", "Mapping-system resolutions triggered by cache misses.", &m.ResolutionsStarted)
+	c("resolutions_failed_total", "Resolutions that came back negative or unusable.", &m.ResolutionsFailed)
+	c("resolutions_suppressed_total", "Resolutions skipped via the negative cache.", &m.ResolutionsSuppressed)
+	c("flow_mappings_used_total", "Encapsulations that used a per-flow PCE entry.", &m.FlowMappingsUsed)
+	c("non_eid_forwarded_total", "Intercepted packets that were not EID-sourced.", &m.NonEIDForwarded)
+	c("probes_sent_total", "RLOC probes sent.", &m.ProbesSent)
+	c("probe_replies_sent_total", "RLOC probe replies sent.", &m.ProbeRepliesSent)
+	c("probe_acks_total", "RLOC probe acknowledgements received.", &m.ProbeAcks)
+	c("probe_timeouts_total", "RLOC probe timeouts.", &m.ProbeTimeouts)
+	c("probes_skipped_total", "Probe rounds withheld because the local egress was down.", &m.ProbesSkipped)
+	c("locator_downs_total", "Probe-driven locator down transitions.", &m.LocatorDowns)
+	c("locator_ups_total", "Probe-driven locator up transitions.", &m.LocatorUps)
+	c("egress_downs_total", "Local egress-watch down transitions.", &m.EgressDowns)
+	c("egress_ups_total", "Local egress-watch up transitions.", &m.EgressUps)
+	c("telemetry_reports_total", "Link-load telemetry reports streamed to the TE collector.", &m.TelemetryReports)
+	c("telemetry_bytes_total", "Bytes of link-load telemetry streamed to the TE collector.", &m.TelemetryBytes)
+	c("mappings_rejected_total", "Mappings refused by install hardening (no locators, overclaim floor).", &m.MappingsRejected)
+	c("gleans_suppressed_total", "New flows whose decap-path gleaning was rate-limited.", &m.GleansSuppressed)
+	r.RegisterHistogram("pcelisp_xtr_resolution_seconds", "Cache-miss resolution latency (request to applied answer).", &m.ResolutionSeconds, l)
+}
+
+// snapshot renders the live counters as the legacy stats struct.
+func (m *xtrMetrics) snapshot() XTRStats {
+	return XTRStats{
+		EncapPackets:          m.EncapPackets.Load(),
+		DecapPackets:          m.DecapPackets.Load(),
+		CacheMissDrops:        m.CacheMissDrops.Load(),
+		QueuedPackets:         m.QueuedPackets.Load(),
+		QueueOverflows:        m.QueueOverflows.Load(),
+		QueueTimeouts:         m.QueueTimeouts.Load(),
+		Replayed:              m.Replayed.Load(),
+		ResolutionsStarted:    m.ResolutionsStarted.Load(),
+		ResolutionsFailed:     m.ResolutionsFailed.Load(),
+		ResolutionsSuppressed: m.ResolutionsSuppressed.Load(),
+		FlowMappingsUsed:      m.FlowMappingsUsed.Load(),
+		NonEIDForwarded:       m.NonEIDForwarded.Load(),
+		ProbesSent:            m.ProbesSent.Load(),
+		ProbeRepliesSent:      m.ProbeRepliesSent.Load(),
+		ProbeAcks:             m.ProbeAcks.Load(),
+		ProbeTimeouts:         m.ProbeTimeouts.Load(),
+		ProbesSkipped:         m.ProbesSkipped.Load(),
+		LocatorDowns:          m.LocatorDowns.Load(),
+		LocatorUps:            m.LocatorUps.Load(),
+		EgressDowns:           m.EgressDowns.Load(),
+		EgressUps:             m.EgressUps.Load(),
+		TelemetryReports:      m.TelemetryReports.Load(),
+		TelemetryBytes:        m.TelemetryBytes.Load(),
+		MappingsRejected:      m.MappingsRejected.Load(),
+		GleansSuppressed:      m.GleansSuppressed.Load(),
+	}
+}
+
 // XTRConfig configures a tunnel router.
 type XTRConfig struct {
 	// RLOC is the router's own locator, the default outer source.
@@ -156,6 +267,13 @@ type XTRConfig struct {
 	// nil for pure-push control planes (NERD, PCE-CP), in which case
 	// misses follow the policy with no resolution.
 	Resolver Resolver
+	// Obs, when set, registers the xTR's (and its map-cache's) metric
+	// sets with the registry, labeled by the hosting node. Nil leaves the
+	// counters live but unscraped — the hot-path cost is identical.
+	Obs *obs.Registry
+	// Recorder, when set, receives control-plane decision events
+	// (resolutions, installs/rejects, probe flips).
+	Recorder *obs.FlightRecorder
 }
 
 // XTR is a LISP tunnel router combining the ITR (encapsulate) and ETR
@@ -244,9 +362,15 @@ type XTR struct {
 	// that the template fast path is byte-identical.
 	disableFastPath bool
 
-	// Stats counts activity for the experiments.
-	Stats XTRStats
+	// met holds the live metric set (see xtrMetrics); Stats() snapshots
+	// it. rec is the control-plane flight recorder (nil-safe).
+	met xtrMetrics
+	rec *obs.FlightRecorder
 }
+
+// Stats snapshots the xTR's activity counters — the legacy stats view,
+// now a thin read over the live obs metric set.
+func (x *XTR) Stats() XTRStats { return x.met.snapshot() }
 
 type queuedPacket struct {
 	data     []byte
@@ -307,7 +431,11 @@ func NewXTR(rt runtime.Runtime, host runtime.Host, cfg XTRConfig) *XTR {
 		resolving:   make(map[netaddr.Addr]bool),
 		seenSources: make(map[FlowKey]simnet.Time),
 		pins:        make(map[FlowKey]flowPin),
+		rec:         cfg.Recorder,
 	}
+	x.met.ResolutionSeconds.Init(resolutionBounds)
+	x.met.register(cfg.Obs, host.HostName())
+	x.Cache.RegisterMetrics(cfg.Obs, host.HostName(), obs.Label{Key: "cache", Value: "itr"})
 	host.AddFrameSniffer(x.InterceptFrame)
 	host.BindUDPRaw(packet.PortLISPData, x.DecapFrame)
 	return x
@@ -418,7 +546,7 @@ func (x *XTR) InterceptFrame(data []byte) runtime.Verdict {
 	if !x.cfg.LocalEIDs.Contains(src) {
 		// EID-destined but not sourced here: without a mapping this is
 		// unroutable; treat like a miss-policy packet from elsewhere.
-		x.Stats.NonEIDForwarded++
+		x.met.NonEIDForwarded.Inc()
 	}
 	x.handleOutbound(src, dst, data)
 	return runtime.VerdictConsume
@@ -431,7 +559,7 @@ func (x *XTR) handleOutbound(src, dst netaddr.Addr, data []byte) {
 	// lifetime, so its outer-header template needs no invalidation — it
 	// is built on the first packet and reused until the slot dies.
 	if i, ok := x.Flows.lookupSlot(fk); ok {
-		x.Stats.FlowMappingsUsed++
+		x.met.FlowMappingsUsed.Inc()
 		if x.disableFastPath {
 			fe := &x.Flows.vals[i]
 			x.encap(fe.SrcRLOC, fe.DstRLOC, data)
@@ -491,7 +619,7 @@ func (x *XTR) pinFlow(fk FlowKey, e *MapEntry, dstRLOC netaddr.Addr) {
 // It consumes exactly one Rand draw per packet, like the slow path, so
 // runs with and without established pins stay byte-identical.
 func (x *XTR) encapFast(t *packet.EncapTemplate, out runtime.Egress, inner []byte) {
-	x.Stats.EncapPackets++
+	x.met.EncapPackets.Inc()
 	nonce := uint32(x.rt.Rand().Uint32()) & 0xffffff
 	data := t.Encap(inner, nonce)
 	if out != nil {
@@ -507,17 +635,17 @@ func (x *XTR) dropOnMiss(dst netaddr.Addr, data []byte) {
 	case MissQueue:
 		q := x.queue[dst]
 		if len(q) >= x.cfg.QueueCapPerEID {
-			x.Stats.QueueOverflows++
+			x.met.QueueOverflows.Inc()
 		} else {
 			deadline := x.rt.Now() + x.cfg.QueueTimeout
 			x.queue[dst] = append(q, queuedPacket{data: data, deadline: deadline})
-			x.Stats.QueuedPackets++
+			x.met.QueuedPackets.Inc()
 			if !x.queueTimer[dst] {
 				x.armQueueExpiry(dst, deadline)
 			}
 		}
 	default:
-		x.Stats.CacheMissDrops++
+		x.met.CacheMissDrops.Inc()
 	}
 	x.startResolution(dst)
 }
@@ -545,7 +673,7 @@ func (x *XTR) expireQueue(dst netaddr.Addr) {
 		if qp.deadline > now {
 			kept = append(kept, qp)
 		} else {
-			x.Stats.QueueTimeouts++
+			x.met.QueueTimeouts.Inc()
 		}
 	}
 	if len(kept) == 0 {
@@ -561,28 +689,42 @@ func (x *XTR) startResolution(dst netaddr.Addr) {
 		return
 	}
 	if x.Cache.HasNegative(dst) {
-		x.Stats.ResolutionsSuppressed++
+		x.met.ResolutionsSuppressed.Inc()
 		return
 	}
 	x.resolving[dst] = true
-	x.Stats.ResolutionsStarted++
+	x.met.ResolutionsStarted.Inc()
+	started := x.rt.Now()
+	x.rec.Record(obs.Event{
+		At: x.rt.Now(), Kind: obs.KMapRequest, Node: x.HostName(),
+		EID: netaddr.PrefixFrom(dst, 32),
+	})
 	x.cfg.Resolver.Resolve(dst, func(entry *MapEntry, ok bool) {
 		delete(x.resolving, dst)
+		x.met.ResolutionSeconds.Observe(float64(x.rt.Now()-started) / float64(time.Second))
 		if entry != nil && entry.Negative {
 			// Authoritative "no such EID": cache the negative answer so
 			// repeated misses stop re-triggering resolution.
-			x.Stats.ResolutionsFailed++
+			x.met.ResolutionsFailed.Inc()
 			x.Cache.InsertNegative(dst, x.cfg.NegativeTTL)
+			x.rec.Record(obs.Event{
+				At: x.rt.Now(), Kind: obs.KMapReply, Node: x.HostName(),
+				EID: netaddr.PrefixFrom(dst, 32), Note: "negative",
+			})
 			return
 		}
 		if !ok || entry == nil {
 			// Transient failure (timeout, loss): no negative caching —
 			// the next packet retries, as a real ITR would.
-			x.Stats.ResolutionsFailed++
+			x.met.ResolutionsFailed.Inc()
 			return
 		}
+		x.rec.Record(obs.Event{
+			At: x.rt.Now(), Kind: obs.KMapReply, Node: x.HostName(),
+			EID: entry.EIDPrefix,
+		})
 		if !x.InstallMapping(entry) {
-			x.Stats.ResolutionsFailed++
+			x.met.ResolutionsFailed.Inc()
 		}
 	})
 }
@@ -595,7 +737,11 @@ func (x *XTR) startResolution(dst netaddr.Addr) {
 // unusable or hijacking covering entry.
 func (x *XTR) InstallMapping(entry *MapEntry) bool {
 	if len(entry.Locators) == 0 || entry.EIDPrefix.Bits() < x.cfg.OverclaimFloor {
-		x.Stats.MappingsRejected++
+		x.met.MappingsRejected.Inc()
+		x.rec.Record(obs.Event{
+			At: x.rt.Now(), Kind: obs.KMappingReject, Node: x.HostName(),
+			EID: entry.EIDPrefix, Note: rejectReason(entry, x.cfg.OverclaimFloor),
+		})
 		return false
 	}
 	ttl := uint32(0)
@@ -610,6 +756,10 @@ func (x *XTR) InstallMapping(entry *MapEntry) bool {
 		}
 	}
 	e := x.Cache.Insert(entry.EIDPrefix, entry.Locators, ttl)
+	x.rec.Record(obs.Event{
+		At: x.rt.Now(), Kind: obs.KMappingInstall, Node: x.HostName(),
+		EID: entry.EIDPrefix,
+	})
 	for dst, q := range x.queue {
 		if !entry.EIDPrefix.Contains(dst) {
 			continue
@@ -619,14 +769,22 @@ func (x *XTR) InstallMapping(entry *MapEntry) bool {
 			src, _ := packet.PeekIPv4Src(qp.data)
 			h := packet.NewFlow(packet.NewIPv4Endpoint(src), packet.NewIPv4Endpoint(dst)).FastHash()
 			if loc, usable := e.SelectLocator(h); usable {
-				x.Stats.Replayed++
+				x.met.Replayed.Inc()
 				x.encap(x.cfg.RLOC, loc.Addr, qp.data)
 			} else {
-				x.Stats.QueueTimeouts++
+				x.met.QueueTimeouts.Inc()
 			}
 		}
 	}
 	return true
+}
+
+// rejectReason names which hardening check refused the entry.
+func rejectReason(entry *MapEntry, floor int) string {
+	if len(entry.Locators) == 0 {
+		return "no-locators"
+	}
+	return "overclaim-floor"
 }
 
 // InstallFlow installs a per-flow 4-tuple (the PCE step-7b push) and
@@ -641,7 +799,7 @@ func (x *XTR) InstallFlow(srcEID, dstEID, srcRLOC, dstRLOC netaddr.Addr, ttl uin
 	for _, qp := range q {
 		src, _ := packet.PeekIPv4Src(qp.data)
 		if src == srcEID {
-			x.Stats.Replayed++
+			x.met.Replayed.Inc()
 			x.encap(srcRLOC, dstRLOC, qp.data)
 		} else {
 			kept = append(kept, qp)
@@ -662,7 +820,7 @@ func (x *XTR) InstallFlow(srcEID, dstEID, srcRLOC, dstRLOC netaddr.Addr, ttl uin
 // default route and only the *return* path shifts (the paper's
 // independent one-way tunnels).
 func (x *XTR) encap(srcRLOC, dstRLOC netaddr.Addr, inner []byte) {
-	x.Stats.EncapPackets++
+	x.met.EncapPackets.Inc()
 	x.encIP = packet.IPv4{
 		TTL: packet.DefaultTTL, Protocol: packet.IPProtocolUDP,
 		SrcIP: srcRLOC, DstIP: dstRLOC,
@@ -722,7 +880,7 @@ func (x *XTR) DecapFrame(outer []byte, payload []byte) {
 	if !ok || !x.cfg.LocalEIDs.Contains(innerDst) {
 		return // not ours; a real ETR would ICMP, the sim just drops
 	}
-	x.Stats.DecapPackets++
+	x.met.DecapPackets.Inc()
 	innerSrc, _ := packet.PeekIPv4Src(inner)
 	if x.OnDecap != nil {
 		fk := FlowKey{Src: innerSrc, Dst: innerDst}
@@ -730,7 +888,11 @@ func (x *XTR) DecapFrame(outer []byte, payload []byte) {
 		if !seen && !x.gleanAllowed() {
 			// Rate-limited: forward the inner packet but glean no state
 			// for this new flow — it retries on its next packet.
-			x.Stats.GleansSuppressed++
+			x.met.GleansSuppressed.Inc()
+			x.rec.Record(obs.Event{
+				At: x.rt.Now(), Kind: obs.KDefenseReject, Node: x.HostName(),
+				EID: netaddr.PrefixFrom(innerSrc, 32), Note: "glean-rate-limit",
+			})
 			x.host.Output(inner)
 			return
 		}

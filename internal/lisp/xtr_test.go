@@ -112,8 +112,8 @@ func TestEncapDecapDelivery(t *testing.T) {
 	if at != 44*time.Millisecond {
 		t.Fatalf("delivered at %v, want 44ms", at)
 	}
-	if w.xtrS.Stats.EncapPackets != 1 || w.xtrD.Stats.DecapPackets != 1 {
-		t.Fatalf("encap=%d decap=%d", w.xtrS.Stats.EncapPackets, w.xtrD.Stats.DecapPackets)
+	if w.xtrS.Stats().EncapPackets != 1 || w.xtrD.Stats().DecapPackets != 1 {
+		t.Fatalf("encap=%d decap=%d", w.xtrS.Stats().EncapPackets, w.xtrD.Stats().DecapPackets)
 	}
 }
 
@@ -126,8 +126,8 @@ func TestEIDsUnroutableWithoutMapping(t *testing.T) {
 	if delivered {
 		t.Fatal("packet must not reach hD without a mapping")
 	}
-	if w.xtrS.Stats.CacheMissDrops != 1 {
-		t.Fatalf("CacheMissDrops = %d", w.xtrS.Stats.CacheMissDrops)
+	if w.xtrS.Stats().CacheMissDrops != 1 {
+		t.Fatalf("CacheMissDrops = %d", w.xtrS.Stats().CacheMissDrops)
 	}
 }
 
@@ -143,16 +143,16 @@ func TestMissQueueReplaysInOrder(t *testing.T) {
 	if len(got) != 0 {
 		t.Fatal("nothing may be delivered before the mapping arrives")
 	}
-	if w.xtrS.Stats.QueuedPackets != 2 {
-		t.Fatalf("queued = %d", w.xtrS.Stats.QueuedPackets)
+	if w.xtrS.Stats().QueuedPackets != 2 {
+		t.Fatalf("queued = %d", w.xtrS.Stats().QueuedPackets)
 	}
 	w.xtrS.InstallMapping(dMapping())
 	w.sim.Run()
 	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
 		t.Fatalf("replayed = %v", got)
 	}
-	if w.xtrS.Stats.Replayed != 2 {
-		t.Fatalf("Replayed = %d", w.xtrS.Stats.Replayed)
+	if w.xtrS.Stats().Replayed != 2 {
+		t.Fatalf("Replayed = %d", w.xtrS.Stats().Replayed)
 	}
 }
 
@@ -162,8 +162,8 @@ func TestMissQueueCapacity(t *testing.T) {
 		w.sendData("x")
 	}
 	w.sim.RunFor(10 * time.Millisecond)
-	if w.xtrS.Stats.QueuedPackets != 2 || w.xtrS.Stats.QueueOverflows != 3 {
-		t.Fatalf("queued=%d overflow=%d", w.xtrS.Stats.QueuedPackets, w.xtrS.Stats.QueueOverflows)
+	if w.xtrS.Stats().QueuedPackets != 2 || w.xtrS.Stats().QueueOverflows != 3 {
+		t.Fatalf("queued=%d overflow=%d", w.xtrS.Stats().QueuedPackets, w.xtrS.Stats().QueueOverflows)
 	}
 }
 
@@ -171,8 +171,8 @@ func TestMissQueueTimeout(t *testing.T) {
 	w := newLISPWorld(t, XTRConfig{MissPolicy: MissQueue, QueueTimeout: 500 * time.Millisecond})
 	w.sendData("doomed")
 	w.sim.RunFor(2 * time.Second)
-	if w.xtrS.Stats.QueueTimeouts != 1 {
-		t.Fatalf("QueueTimeouts = %d", w.xtrS.Stats.QueueTimeouts)
+	if w.xtrS.Stats().QueueTimeouts != 1 {
+		t.Fatalf("QueueTimeouts = %d", w.xtrS.Stats().QueueTimeouts)
 	}
 	// A late mapping must not resurrect timed-out packets.
 	delivered := false
@@ -196,8 +196,8 @@ func TestResolverIntegration(t *testing.T) {
 	w.sendData("first")  // dropped, triggers resolution
 	w.sendData("second") // dropped, resolution already in flight
 	w.sim.RunFor(100 * time.Millisecond)
-	if w.xtrS.Stats.ResolutionsStarted != 1 {
-		t.Fatalf("resolutions = %d, want 1 (deduplicated)", w.xtrS.Stats.ResolutionsStarted)
+	if w.xtrS.Stats().ResolutionsStarted != 1 {
+		t.Fatalf("resolutions = %d, want 1 (deduplicated)", w.xtrS.Stats().ResolutionsStarted)
 	}
 	w.sim.RunFor(100 * time.Millisecond) // resolution lands at 150ms+2ms
 	w.sendData("third")
@@ -205,8 +205,8 @@ func TestResolverIntegration(t *testing.T) {
 	if delivered != 1 {
 		t.Fatalf("delivered = %d, want only the post-resolution packet", delivered)
 	}
-	if w.xtrS.Stats.CacheMissDrops != 2 {
-		t.Fatalf("drops = %d", w.xtrS.Stats.CacheMissDrops)
+	if w.xtrS.Stats().CacheMissDrops != 2 {
+		t.Fatalf("drops = %d", w.xtrS.Stats().CacheMissDrops)
 	}
 }
 
@@ -218,8 +218,8 @@ func TestResolverFailureCounted(t *testing.T) {
 	w = newLISPWorld(t, XTRConfig{MissPolicy: MissDrop, Resolver: resolver})
 	w.sendData("x")
 	w.sim.Run()
-	if w.xtrS.Stats.ResolutionsFailed != 1 {
-		t.Fatalf("ResolutionsFailed = %d", w.xtrS.Stats.ResolutionsFailed)
+	if w.xtrS.Stats().ResolutionsFailed != 1 {
+		t.Fatalf("ResolutionsFailed = %d", w.xtrS.Stats().ResolutionsFailed)
 	}
 }
 
@@ -242,8 +242,8 @@ func TestFlowMappingPrecedenceAndSourceRLOC(t *testing.T) {
 	if len(outerSrcs) != 1 || outerSrcs[0] != engineered {
 		t.Fatalf("outer sources = %v, want [%v]", outerSrcs, engineered)
 	}
-	if w.xtrS.Stats.FlowMappingsUsed != 1 {
-		t.Fatalf("FlowMappingsUsed = %d", w.xtrS.Stats.FlowMappingsUsed)
+	if w.xtrS.Stats().FlowMappingsUsed != 1 {
+		t.Fatalf("FlowMappingsUsed = %d", w.xtrS.Stats().FlowMappingsUsed)
 	}
 }
 
@@ -255,8 +255,8 @@ func TestInstallFlowReplaysQueued(t *testing.T) {
 	w.sim.RunFor(50 * time.Millisecond)
 	w.xtrS.InstallFlow(w.eidS, w.eidD, w.xtrS.RLOC(), netaddr.MustParseAddr("12.0.0.1"), 60)
 	w.sim.Run()
-	if delivered != 1 || w.xtrS.Stats.Replayed != 1 {
-		t.Fatalf("delivered=%d replayed=%d", delivered, w.xtrS.Stats.Replayed)
+	if delivered != 1 || w.xtrS.Stats().Replayed != 1 {
+		t.Fatalf("delivered=%d replayed=%d", delivered, w.xtrS.Stats().Replayed)
 	}
 }
 
@@ -299,8 +299,8 @@ func TestDecapRejectsForeignInnerDst(t *testing.T) {
 	data := packet.Serialize(outerIP, outerUDP, &packet.LISP{}, packet.Payload(inner))
 	w.xtrS.Node().Send(data)
 	w.sim.Run()
-	if w.xtrD.Stats.DecapPackets != 0 {
-		t.Fatalf("foreign inner dst decapsulated: %d", w.xtrD.Stats.DecapPackets)
+	if w.xtrD.Stats().DecapPackets != 0 {
+		t.Fatalf("foreign inner dst decapsulated: %d", w.xtrD.Stats().DecapPackets)
 	}
 }
 
@@ -315,7 +315,7 @@ func TestTransitTrafficPassesThrough(t *testing.T) {
 	if !got {
 		t.Fatal("non-EID traffic must pass through the xTR")
 	}
-	if w.xtrS.Stats.EncapPackets != 0 || w.xtrS.Stats.CacheMissDrops != 0 {
+	if w.xtrS.Stats().EncapPackets != 0 || w.xtrS.Stats().CacheMissDrops != 0 {
 		t.Fatal("non-EID traffic must not touch the LISP path")
 	}
 }
@@ -331,7 +331,7 @@ func TestIntraSiteTrafficNotEncapsulated(t *testing.T) {
 	if !got {
 		t.Fatal("intra-site traffic must be delivered")
 	}
-	if w.xtrS.Stats.EncapPackets != 0 {
+	if w.xtrS.Stats().EncapPackets != 0 {
 		t.Fatal("intra-site traffic must not be encapsulated")
 	}
 }
@@ -395,16 +395,16 @@ func TestQueueExpiryTimerCoalesced(t *testing.T) {
 	w.sim.RunFor(10 * time.Millisecond)
 	w.sendData("c")
 	w.sim.RunFor(10 * time.Millisecond)
-	if w.xtrS.Stats.QueuedPackets != 3 {
-		t.Fatalf("queued = %d", w.xtrS.Stats.QueuedPackets)
+	if w.xtrS.Stats().QueuedPackets != 3 {
+		t.Fatalf("queued = %d", w.xtrS.Stats().QueuedPackets)
 	}
 	if len(w.xtrS.queueTimer) != 1 {
 		t.Fatalf("outstanding queue timers = %d, want 1", len(w.xtrS.queueTimer))
 	}
 	// The staggered deadlines still fire: all three time out.
 	w.sim.RunFor(2 * time.Second)
-	if w.xtrS.Stats.QueueTimeouts != 3 {
-		t.Fatalf("timeouts = %d", w.xtrS.Stats.QueueTimeouts)
+	if w.xtrS.Stats().QueueTimeouts != 3 {
+		t.Fatalf("timeouts = %d", w.xtrS.Stats().QueueTimeouts)
 	}
 	if len(w.xtrS.queue) != 0 || len(w.xtrS.queueTimer) != 0 {
 		t.Fatalf("queue=%d timers=%d leaked", len(w.xtrS.queue), len(w.xtrS.queueTimer))
@@ -422,16 +422,16 @@ func TestMissQueueOverflowThenReplay(t *testing.T) {
 		w.sendData("x")
 	}
 	w.sim.RunFor(10 * time.Millisecond)
-	if w.xtrS.Stats.QueuedPackets != 2 || w.xtrS.Stats.QueueOverflows != 3 {
-		t.Fatalf("queued=%d overflow=%d", w.xtrS.Stats.QueuedPackets, w.xtrS.Stats.QueueOverflows)
+	if w.xtrS.Stats().QueuedPackets != 2 || w.xtrS.Stats().QueueOverflows != 3 {
+		t.Fatalf("queued=%d overflow=%d", w.xtrS.Stats().QueuedPackets, w.xtrS.Stats().QueueOverflows)
 	}
 	w.xtrS.InstallMapping(dMapping())
 	w.sim.Run()
-	if delivered != 2 || w.xtrS.Stats.Replayed != 2 {
-		t.Fatalf("delivered=%d replayed=%d, want the 2 buffered packets only", delivered, w.xtrS.Stats.Replayed)
+	if delivered != 2 || w.xtrS.Stats().Replayed != 2 {
+		t.Fatalf("delivered=%d replayed=%d, want the 2 buffered packets only", delivered, w.xtrS.Stats().Replayed)
 	}
-	if w.xtrS.Stats.QueueTimeouts != 0 {
-		t.Fatalf("timeouts = %d", w.xtrS.Stats.QueueTimeouts)
+	if w.xtrS.Stats().QueueTimeouts != 0 {
+		t.Fatalf("timeouts = %d", w.xtrS.Stats().QueueTimeouts)
 	}
 }
 
@@ -448,8 +448,8 @@ func TestInstallFlowMultiSourceQueue(t *testing.T) {
 	w.sendData("from-five")
 	w.hS.SendUDP(otherSrc, w.eidD, 40000, 9000, packet.Payload("from-six"))
 	w.sim.RunFor(50 * time.Millisecond)
-	if w.xtrS.Stats.QueuedPackets != 2 {
-		t.Fatalf("queued = %d", w.xtrS.Stats.QueuedPackets)
+	if w.xtrS.Stats().QueuedPackets != 2 {
+		t.Fatalf("queued = %d", w.xtrS.Stats().QueuedPackets)
 	}
 	// Install the flow for otherSrc only.
 	w.xtrS.InstallFlow(otherSrc, w.eidD, w.xtrS.RLOC(), netaddr.MustParseAddr("12.0.0.1"), 60)
@@ -466,8 +466,8 @@ func TestInstallFlowMultiSourceQueue(t *testing.T) {
 	if len(got) != 2 || got[1] != "from-five" {
 		t.Fatalf("final deliveries = %v", got)
 	}
-	if w.xtrS.Stats.Replayed != 2 {
-		t.Fatalf("replayed = %d", w.xtrS.Stats.Replayed)
+	if w.xtrS.Stats().Replayed != 2 {
+		t.Fatalf("replayed = %d", w.xtrS.Stats().Replayed)
 	}
 }
 
@@ -492,8 +492,8 @@ func TestNegativeCacheSuppressesResolutionStorm(t *testing.T) {
 	w = newLISPWorld(t, XTRConfig{MissPolicy: MissDrop, Resolver: resolver, NegativeTTL: 5})
 	w.sendData("one")
 	w.sim.RunFor(time.Second)
-	if attempts != 1 || w.xtrS.Stats.ResolutionsFailed != 1 {
-		t.Fatalf("attempts=%d failed=%d", attempts, w.xtrS.Stats.ResolutionsFailed)
+	if attempts != 1 || w.xtrS.Stats().ResolutionsFailed != 1 {
+		t.Fatalf("attempts=%d failed=%d", attempts, w.xtrS.Stats().ResolutionsFailed)
 	}
 	// Storm of retries inside the negative TTL: all suppressed.
 	for i := 0; i < 10; i++ {
@@ -503,10 +503,10 @@ func TestNegativeCacheSuppressesResolutionStorm(t *testing.T) {
 	if attempts != 1 {
 		t.Fatalf("negative cache failed to suppress: %d resolutions", attempts)
 	}
-	if w.xtrS.Stats.ResolutionsSuppressed == 0 {
+	if w.xtrS.Stats().ResolutionsSuppressed == 0 {
 		t.Fatal("suppressions not counted")
 	}
-	if w.xtrS.Cache.Stats.NegativeHits == 0 {
+	if w.xtrS.Cache.Stats().NegativeHits == 0 {
 		t.Fatal("negative hits not counted")
 	}
 	// After the negative TTL, resolution retries and succeeds.
@@ -568,10 +568,10 @@ func TestTransientFailureNotNegativeCached(t *testing.T) {
 	if attempts != 2 {
 		t.Fatalf("attempts = %d, want a retry per packet after transient failures", attempts)
 	}
-	if w.xtrS.Cache.Stats.NegativeInserts != 0 {
+	if w.xtrS.Cache.Stats().NegativeInserts != 0 {
 		t.Fatal("transient failure must not enter the negative cache")
 	}
-	if w.xtrS.Stats.ResolutionsSuppressed != 0 {
+	if w.xtrS.Stats().ResolutionsSuppressed != 0 {
 		t.Fatal("nothing should be suppressed")
 	}
 }

@@ -1,0 +1,151 @@
+package lispd
+
+// The admin endpoint: a config-gated HTTP listener exposing the daemon's
+// observability surface — Prometheus metrics, liveness, a status snapshot
+// of the running configuration and protocol state, the Go profiler, and
+// the control-plane flight recorder. Read-only by construction: every
+// handler serves a snapshot; none mutates daemon state.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/lisp"
+	"github.com/pcelisp/pcelisp/internal/overlay"
+)
+
+// adminServer owns the admin HTTP listener. The listener binds in New
+// (bad addresses fail fast); Serve runs from Daemon.Start.
+type adminServer struct {
+	d   *Daemon
+	ln  net.Listener
+	srv *http.Server
+}
+
+func newAdminServer(d *Daemon, addr string) (*adminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lispd: admin listen %q: %w", addr, err)
+	}
+	a := &adminServer{d: d, ln: ln}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.metrics)
+	mux.HandleFunc("/healthz", a.healthz)
+	mux.HandleFunc("/statusz", a.statusz)
+	mux.HandleFunc("/flightrecorder", a.flightRecorder)
+	// pprof's default-mux registrations are skipped (we never touch
+	// http.DefaultServeMux), so wire the handlers explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a.srv = &http.Server{Handler: mux}
+	return a, nil
+}
+
+func (a *adminServer) start() { go a.srv.Serve(a.ln) }
+
+func (a *adminServer) close() { a.srv.Close() }
+
+func (a *adminServer) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.d.reg.WritePrometheus(w)
+}
+
+func (a *adminServer) healthz(w http.ResponseWriter, _ *http.Request) {
+	a.d.mu.Lock()
+	healthy := a.d.started && !a.d.closed
+	a.d.mu.Unlock()
+	if !healthy {
+		http.Error(w, "not running", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *adminServer) flightRecorder(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	a.d.rec.WriteJSON(w)
+}
+
+// cacheSummary is /statusz's view of the xTR map-cache.
+type cacheSummary struct {
+	Entries int                `json:"entries"`
+	Stats   lisp.MapCacheStats `json:"stats"`
+}
+
+// statusSnapshot is the /statusz document.
+type statusSnapshot struct {
+	Name   string              `json:"name"`
+	Listen string              `json:"listen"`
+	Roles  []string            `json:"roles"`
+	Config *Config             `json:"config"`
+	Peers  []overlay.PeerRoute `json:"peers"`
+	Cache  *cacheSummary       `json:"cache,omitempty"`
+	DNS    *FrontEndStats      `json:"dns,omitempty"`
+}
+
+// statusz reports the active config (secrets redacted), the peer table,
+// and protocol summaries. Cache internals are read on the loop goroutine
+// via a posted thunk; the timeout covers a daemon torn down mid-request,
+// whose loop will never run the thunk.
+func (a *adminServer) statusz(w http.ResponseWriter, _ *http.Request) {
+	d := a.d
+	st := statusSnapshot{
+		Name:   d.cfg.Name,
+		Listen: d.host.RealAddr().String(),
+		Config: redactConfig(d.cfg),
+		Peers:  d.host.Peers(),
+	}
+	if d.xtr != nil {
+		st.Roles = append(st.Roles, "site")
+	}
+	if d.pce != nil {
+		st.Roles = append(st.Roles, "pce")
+	}
+	if d.fe != nil {
+		st.Roles = append(st.Roles, "dns")
+		fes := d.fe.Stats()
+		st.DNS = &fes
+	}
+	if d.xtr != nil {
+		done := make(chan struct{})
+		var cs cacheSummary
+		d.loop.Post(func() {
+			cs = cacheSummary{Entries: d.xtr.Cache.Len(), Stats: d.xtr.Cache.Stats()}
+			close(done)
+		})
+		select {
+		case <-done:
+			st.Cache = &cs
+		case <-time.After(2 * time.Second):
+			http.Error(w, "loop unresponsive", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}
+
+// redactConfig copies the active config with key secrets blanked: the
+// endpoint reports which keys exist, never their material.
+func redactConfig(cfg *Config) *Config {
+	out := *cfg
+	if len(cfg.Keys) > 0 {
+		out.Keys = make([]KeyConfig, len(cfg.Keys))
+		for i, k := range cfg.Keys {
+			out.Keys[i] = KeyConfig{ID: k.ID, Secret: "<redacted>"}
+		}
+	}
+	return &out
+}

@@ -23,6 +23,10 @@ type Config struct {
 	Name string `json:"name"`
 	// Listen is the real UDP socket to bind ("127.0.0.1:0").
 	Listen string `json:"listen"`
+	// Admin, when set, serves the observability endpoint on this TCP
+	// address ("127.0.0.1:9090"): Prometheus /metrics, /healthz,
+	// /statusz, /debug/pprof/ and /flightrecorder. Empty disables it.
+	Admin string `json:"admin,omitempty"`
 	// Seed drives the daemon's deterministic random stream (nonces,
 	// locator draws). Daemons in a differential test pin it.
 	Seed int64 `json:"seed"`

@@ -10,6 +10,7 @@ import (
 	"github.com/pcelisp/pcelisp/internal/irc"
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/overlay"
 	"github.com/pcelisp/pcelisp/internal/runtime"
 )
@@ -27,6 +28,10 @@ type Daemon struct {
 	pce    *core.PCE
 	engine *irc.Engine
 	fe     *dnsFrontEnd
+
+	reg   *obs.Registry
+	rec   *obs.FlightRecorder
+	admin *adminServer // nil unless cfg.Admin is set
 
 	mu      sync.Mutex
 	started bool
@@ -47,7 +52,14 @@ func New(cfg *Config) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Daemon{cfg: cfg, loop: loop, host: host}
+	d := &Daemon{
+		cfg:  cfg,
+		loop: loop,
+		host: host,
+		reg:  obs.NewRegistry(),
+		rec:  obs.NewFlightRecorder(obs.DefaultRingSize),
+	}
+	host.RegisterMetrics(d.reg)
 
 	eidSpace := netaddr.MustParsePrefix(cfg.EIDSpace)
 
@@ -69,6 +81,8 @@ func New(cfg *Config) (*Daemon, error) {
 			MissPolicy:     miss,
 			OverclaimFloor: cfg.Defense.OverclaimFloor,
 			GleanRateLimit: cfg.Defense.GleanRateLimit,
+			Obs:            d.reg,
+			Recorder:       d.rec,
 		})
 	}
 
@@ -118,6 +132,8 @@ func New(cfg *Config) (*Daemon, error) {
 			FetchServiceRate: cfg.Defense.FetchServiceRate,
 			FetchQueueCap:    cfg.Defense.FetchQueueCap,
 			FetchQuotaLimit:  cfg.Defense.FetchQuotaLimit,
+			Obs:              d.reg,
+			Recorder:         d.rec,
 		})
 		if d.xtr != nil {
 			d.pce.WireXTR(d.xtr)
@@ -131,7 +147,7 @@ func New(cfg *Config) (*Daemon, error) {
 			return nil, fmt.Errorf("lispd: dns front end needs pce.dnsAddr (or a pce role)")
 		}
 		host.AddAddr(addr)
-		d.fe = newDNSFrontEnd(host, addr, cfg.DNS, d.pce)
+		d.fe = newDNSFrontEnd(host, addr, cfg.DNS, d.pce, d.reg)
 	}
 
 	for _, p := range cfg.Peers {
@@ -140,6 +156,18 @@ func New(cfg *Config) (*Daemon, error) {
 			return nil, fmt.Errorf("lispd: peer %q: %w", p.Endpoint, err)
 		}
 		host.SetPeer(netaddr.MustParsePrefix(p.Prefix), ra)
+	}
+
+	// Admin endpoint: the listener binds at construction (so a bad
+	// address fails New, and tests can read AdminAddr before Start), but
+	// serving starts with the daemon.
+	if cfg.Admin != "" {
+		admin, err := newAdminServer(d, cfg.Admin)
+		if err != nil {
+			host.Close()
+			return nil, err
+		}
+		d.admin = admin
 	}
 	return d, nil
 }
@@ -175,6 +203,9 @@ func (d *Daemon) Start() {
 	d.started = true
 	d.loop.Start()
 	d.host.Start()
+	if d.admin != nil {
+		d.admin.start()
+	}
 }
 
 // Close stops the socket and the loop.
@@ -185,6 +216,9 @@ func (d *Daemon) Close() {
 		return
 	}
 	d.closed = true
+	if d.admin != nil {
+		d.admin.close()
+	}
 	d.host.Close()
 	d.loop.Stop()
 }
@@ -200,6 +234,9 @@ func (d *Daemon) Reload(cfg *Config) error {
 	}
 	if cfg.Listen != d.cfg.Listen || cfg.Name != d.cfg.Name {
 		return fmt.Errorf("lispd: reload cannot change listen/name (restart required)")
+	}
+	if cfg.Admin != d.cfg.Admin {
+		return fmt.Errorf("lispd: reload cannot change admin address (restart required)")
 	}
 	if (cfg.Site == nil) != (d.cfg.Site == nil) || (cfg.PCE == nil) != (d.cfg.PCE == nil) {
 		return fmt.Errorf("lispd: reload cannot change roles (restart required)")
@@ -246,12 +283,21 @@ func (d *Daemon) XTR() *lisp.XTR { return d.xtr }
 // PCE returns the daemon's PCE (nil without a pce role).
 func (d *Daemon) PCE() *core.PCE { return d.pce }
 
-// FrontEndStats snapshots the DNS front end counters via the loop (safe
-// while running).
-func (d *Daemon) FrontEndStats() FrontEndStats {
-	var out FrontEndStats
-	done := make(chan struct{})
-	d.loop.Post(func() { out = d.fe.Stats; close(done) })
-	<-done
-	return out
+// FrontEndStats snapshots the DNS front end counters (atomic, safe while
+// running).
+func (d *Daemon) FrontEndStats() FrontEndStats { return d.fe.Stats() }
+
+// Registry exposes the daemon's metrics registry (what /metrics serves).
+func (d *Daemon) Registry() *obs.Registry { return d.reg }
+
+// Recorder exposes the daemon's control-plane flight recorder.
+func (d *Daemon) Recorder() *obs.FlightRecorder { return d.rec }
+
+// AdminAddr returns the admin endpoint's real listen address, or "" when
+// the endpoint is disabled.
+func (d *Daemon) AdminAddr() string {
+	if d.admin == nil {
+		return ""
+	}
+	return d.admin.ln.Addr().String()
 }

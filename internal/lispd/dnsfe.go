@@ -7,6 +7,7 @@ import (
 	"github.com/pcelisp/pcelisp/internal/core"
 	"github.com/pcelisp/pcelisp/internal/dnssim"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/runtime"
 )
@@ -17,6 +18,10 @@ type dnsView struct {
 	cidrs     []netaddr.Prefix
 	recursion bool
 	hosts     map[string]netaddr.Addr // canonical name -> override answer
+	// queries is the view's per-series query counter, resolved through
+	// the registry's get-or-create path so a view surviving a config
+	// reload keeps its running count.
+	queries *obs.Counter
 }
 
 // dnsZone is the compiled, immutable DNS state a front end serves. Reload
@@ -94,7 +99,7 @@ func nameUnder(name, zone string) bool {
 	return name == zone || strings.HasSuffix(name, "."+zone)
 }
 
-// FrontEndStats counts front-end activity (loop-goroutine confined).
+// FrontEndStats is a snapshot of front-end activity.
 type FrontEndStats struct {
 	Queries    uint64
 	Answered   uint64 // authoritative / view answers
@@ -105,6 +110,50 @@ type FrontEndStats struct {
 	Orphaned   uint64 // replies matching no pending query
 	ViewHits   uint64 // answers served from a view's hosts override
 	DroppedFwd uint64 // forward target had no route
+	Reloads    uint64 // zone swaps applied
+}
+
+// feMetrics is the live counter set behind FrontEndStats.
+type feMetrics struct {
+	Queries    obs.Counter
+	Answered   obs.Counter
+	Forwarded  obs.Counter
+	Returned   obs.Counter
+	Refused    obs.Counter
+	NXDomain   obs.Counter
+	Orphaned   obs.Counter
+	ViewHits   obs.Counter
+	DroppedFwd obs.Counter
+	Reloads    obs.Counter
+}
+
+func (m *feMetrics) register(r *obs.Registry, node string) {
+	l := obs.Label{Key: "node", Value: node}
+	r.RegisterCounter("pcelisp_dnsfe_queries_total", "DNS queries received by the front end.", &m.Queries, l)
+	r.RegisterCounter("pcelisp_dnsfe_answered_total", "Queries answered authoritatively (zone records or view overrides).", &m.Answered, l)
+	r.RegisterCounter("pcelisp_dnsfe_forwarded_total", "Queries forwarded toward a remote authoritative server.", &m.Forwarded, l)
+	r.RegisterCounter("pcelisp_dnsfe_returned_total", "Forwarded answers relayed back to clients.", &m.Returned, l)
+	r.RegisterCounter("pcelisp_dnsfe_refused_total", "Queries refused (no matching view, or recursion denied).", &m.Refused, l)
+	r.RegisterCounter("pcelisp_dnsfe_nxdomain_total", "NXDOMAIN answers sent.", &m.NXDomain, l)
+	r.RegisterCounter("pcelisp_dnsfe_orphaned_total", "Replies matching no pending query.", &m.Orphaned, l)
+	r.RegisterCounter("pcelisp_dnsfe_view_hits_total", "Answers served from a view's host overrides.", &m.ViewHits, l)
+	r.RegisterCounter("pcelisp_dnsfe_dropped_fwd_total", "Forwarded queries whose target had no route.", &m.DroppedFwd, l)
+	r.RegisterCounter("pcelisp_dnsfe_reloads_total", "DNS zone reloads applied.", &m.Reloads, l)
+}
+
+func (m *feMetrics) snapshot() FrontEndStats {
+	return FrontEndStats{
+		Queries:    m.Queries.Load(),
+		Answered:   m.Answered.Load(),
+		Forwarded:  m.Forwarded.Load(),
+		Returned:   m.Returned.Load(),
+		Refused:    m.Refused.Load(),
+		NXDomain:   m.NXDomain.Load(),
+		Orphaned:   m.Orphaned.Load(),
+		ViewHits:   m.ViewHits.Load(),
+		DroppedFwd: m.DroppedFwd.Load(),
+		Reloads:    m.Reloads.Load(),
+	}
 }
 
 // pendingQuery is one client resolution in flight through a forwarder.
@@ -121,30 +170,53 @@ type pendingQuery struct {
 // the sim resolver does (NoteClientQuery on forwarded queries, the
 // answers coming back through the PCES sniffer).
 type dnsFrontEnd struct {
-	host  runtime.Host
-	addr  netaddr.Addr
-	zone  atomic.Pointer[dnsZone]
-	pce   *core.PCE // nil when the daemon has no PCE role
-	pend  map[uint16]pendingQuery
-	Stats FrontEndStats
+	host runtime.Host
+	addr netaddr.Addr
+	zone atomic.Pointer[dnsZone]
+	pce  *core.PCE // nil when the daemon has no PCE role
+	pend map[uint16]pendingQuery
+	met  feMetrics
+	reg  *obs.Registry // per-view counters resolve through get-or-create
 }
 
-func newDNSFrontEnd(host runtime.Host, addr netaddr.Addr, cfg *DNSConfig, pce *core.PCE) *dnsFrontEnd {
+func newDNSFrontEnd(host runtime.Host, addr netaddr.Addr, cfg *DNSConfig, pce *core.PCE, reg *obs.Registry) *dnsFrontEnd {
 	fe := &dnsFrontEnd{
 		host: host,
 		addr: addr,
 		pce:  pce,
 		pend: make(map[uint16]pendingQuery),
+		reg:  reg,
 	}
-	fe.zone.Store(compileZone(cfg))
+	fe.met.register(reg, host.HostName())
+	fe.zone.Store(fe.compile(cfg))
 	host.BindUDP(addr, packet.PortDNS, fe.handle)
 	return fe
 }
 
+// compile builds the zone and resolves each view's query counter. A view
+// with the same name after a reload maps to the same registry series, so
+// its count survives the swap.
+func (fe *dnsFrontEnd) compile(cfg *DNSConfig) *dnsZone {
+	z := compileZone(cfg)
+	for i := range z.views {
+		z.views[i].queries = fe.reg.Counter("pcelisp_dnsfe_view_queries_total",
+			"DNS queries handled per split-horizon view.",
+			obs.Label{Key: "node", Value: fe.host.HostName()},
+			obs.Label{Key: "view", Value: z.views[i].name})
+	}
+	return z
+}
+
+// Stats returns a snapshot of the front end's counters.
+func (fe *dnsFrontEnd) Stats() FrontEndStats { return fe.met.snapshot() }
+
 // swap atomically installs a new compiled zone. In-flight resolutions
 // (fe.pend) are untouched: replies arriving after the swap still reach
 // their clients.
-func (fe *dnsFrontEnd) swap(cfg *DNSConfig) { fe.zone.Store(compileZone(cfg)) }
+func (fe *dnsFrontEnd) swap(cfg *DNSConfig) {
+	fe.zone.Store(fe.compile(cfg))
+	fe.met.Reloads.Inc()
+}
 
 func (fe *dnsFrontEnd) handle(src, dst netaddr.Addr, udp *packet.UDP) {
 	msg := &packet.DNS{}
@@ -159,28 +231,29 @@ func (fe *dnsFrontEnd) handle(src, dst netaddr.Addr, udp *packet.UDP) {
 }
 
 func (fe *dnsFrontEnd) handleQuery(src netaddr.Addr, sport uint16, q *packet.DNS) {
-	fe.Stats.Queries++
+	fe.met.Queries.Inc()
 	z := fe.zone.Load()
 	name := dnssim.CanonicalName(q.Questions[0].Name)
 
 	view := z.viewFor(src)
 	if view == nil {
-		fe.Stats.Refused++
+		fe.met.Refused.Inc()
 		fe.reply(src, sport, refused(q))
 		return
 	}
+	view.queries.Inc()
 
 	// Split horizon: the view's host overrides come first, then the
 	// shared authoritative records.
 	if q.Questions[0].Type == packet.DNSTypeA {
 		if addr, ok := view.hosts[name]; ok {
-			fe.Stats.ViewHits++
-			fe.Stats.Answered++
+			fe.met.ViewHits.Inc()
+			fe.met.Answered.Inc()
 			fe.reply(src, sport, answerA(q, name, addr, 300))
 			return
 		}
 		if addr, ok := z.records[name]; ok {
-			fe.Stats.Answered++
+			fe.met.Answered.Inc()
 			fe.reply(src, sport, answerA(q, name, addr, z.ttls[name]))
 			return
 		}
@@ -188,7 +261,7 @@ func (fe *dnsFrontEnd) handleQuery(src netaddr.Addr, sport uint16, q *packet.DNS
 
 	if nameUnder(name, z.zone) && z.zone != "" {
 		// Authoritatively nonexistent.
-		fe.Stats.NXDomain++
+		fe.met.NXDomain.Inc()
 		fe.reply(src, sport, nxdomain(q, true))
 		return
 	}
@@ -196,7 +269,7 @@ func (fe *dnsFrontEnd) handleQuery(src netaddr.Addr, sport uint16, q *packet.DNS
 	// Off-zone: forward if the view permits recursion and a forwarder
 	// covers the name.
 	if !view.recursion {
-		fe.Stats.Refused++
+		fe.met.Refused.Inc()
 		fe.reply(src, sport, refused(q))
 		return
 	}
@@ -210,14 +283,14 @@ func (fe *dnsFrontEnd) handleQuery(src netaddr.Addr, sport uint16, q *packet.DNS
 			fe.pce.NoteClientQuery(src, name)
 		}
 		fe.pend[q.ID] = pendingQuery{client: src, port: sport, qname: name}
-		fe.Stats.Forwarded++
+		fe.met.Forwarded.Inc()
 		if !fe.host.RouteUp(f.server) {
-			fe.Stats.DroppedFwd++
+			fe.met.DroppedFwd.Inc()
 		}
 		fe.host.OutputUDP(fe.addr, f.server, packet.PortDNS, packet.PortDNS, q)
 		return
 	}
-	fe.Stats.NXDomain++
+	fe.met.NXDomain.Inc()
 	fe.reply(src, sport, nxdomain(q, false))
 }
 
@@ -228,11 +301,11 @@ func (fe *dnsFrontEnd) handleQuery(src netaddr.Addr, sport uint16, q *packet.DNS
 func (fe *dnsFrontEnd) handleReply(msg *packet.DNS) {
 	p, ok := fe.pend[msg.ID]
 	if !ok {
-		fe.Stats.Orphaned++
+		fe.met.Orphaned.Inc()
 		return
 	}
 	delete(fe.pend, msg.ID)
-	fe.Stats.Returned++
+	fe.met.Returned.Inc()
 	if fe.pce != nil {
 		if addr, ok := msg.FirstA(); ok {
 			fe.pce.NoteAnswer(p.client, p.qname, addr, false)

@@ -74,6 +74,9 @@ func TestLoad(t *testing.T) {
 	if string(cfg.AuthKey()) != "pce-plane-key" {
 		t.Fatalf("auth key = %q", cfg.AuthKey())
 	}
+	if cfg.Admin != "127.0.0.1:0" {
+		t.Fatalf("admin = %q", cfg.Admin)
+	}
 	if d, err := New(cfg); err != nil {
 		t.Fatalf("daemon refuses the reference config: %v", err)
 	} else {
@@ -322,8 +325,8 @@ func TestLoopbackE2E(t *testing.T) {
 	// The control message ledger saw the exchange on both sides.
 	var aStats, bStats struct{ pushes, encapSent uint64 }
 	done := make(chan struct{}, 2)
-	da.Loop().Post(func() { aStats.pushes = da.PCE().Stats.MappingPushes; done <- struct{}{} })
-	db.Loop().Post(func() { bStats.encapSent = db.PCE().Stats.EncapRepliesSent; done <- struct{}{} })
+	da.Loop().Post(func() { aStats.pushes = da.PCE().Stats().MappingPushes; done <- struct{}{} })
+	db.Loop().Post(func() { bStats.encapSent = db.PCE().Stats().EncapRepliesSent; done <- struct{}{} })
 	<-done
 	<-done
 	if aStats.pushes == 0 {

@@ -126,8 +126,8 @@ func TestMSMRNegativeForUnknownEID(t *testing.T) {
 	if ok {
 		t.Fatal("unknown EID must resolve negatively")
 	}
-	if sys.MS.Stats.Negatives != 1 {
-		t.Fatalf("MS negatives = %d", sys.MS.Stats.Negatives)
+	if sys.MS.Stats().Negatives != 1 {
+		t.Fatalf("MS negatives = %d", sys.MS.Stats().Negatives)
 	}
 }
 
@@ -140,7 +140,7 @@ func TestMSMRBadAuthRejected(t *testing.T) {
 	r1 := sys.AttachSite(w.sites[1])
 	sys.AttachSite(w.sites[0])
 	w.sim.RunFor(time.Second)
-	if sys.MS.Stats.BadAuth == 0 {
+	if sys.MS.Stats().BadAuth == 0 {
 		t.Fatal("bad auth must be counted")
 	}
 	if sys.MS.RegisteredSites() != 1 {
@@ -162,7 +162,7 @@ func TestMSMRPeriodicReregistration(t *testing.T) {
 	sys.AttachSite(w.sites[0])
 	w.sim.RunUntil(100 * time.Second)
 	// t=0, 30, 60, 90 => 4 registrations.
-	if got := sys.MS.Stats.Registers; got != 4 {
+	if got := sys.MS.Stats().Registers; got != 4 {
 		t.Fatalf("registers = %d, want 4", got)
 	}
 }

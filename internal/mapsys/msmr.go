@@ -5,6 +5,7 @@ import (
 
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
@@ -22,8 +23,7 @@ type MapServer struct {
 	// so forged "no mapping" answers cannot impersonate it.
 	ReplySignKey []byte
 
-	// Stats counts server activity.
-	Stats MapServerStats
+	met msMetrics
 }
 
 // MapServerStats counts map-server activity.
@@ -33,6 +33,43 @@ type MapServerStats struct {
 	Forwarded    uint64
 	Negatives    uint64
 	NotifiesSent uint64
+}
+
+// msMetrics is the live counter set behind MapServerStats.
+type msMetrics struct {
+	Registers    obs.Counter
+	BadAuth      obs.Counter
+	Forwarded    obs.Counter
+	Negatives    obs.Counter
+	NotifiesSent obs.Counter
+}
+
+func (m *msMetrics) register(r *obs.Registry, node string) {
+	l := obs.Label{Key: "node", Value: node}
+	r.RegisterCounter("pcelisp_ms_registers_total", "Map-Registers accepted by the map-server.", &m.Registers, l)
+	r.RegisterCounter("pcelisp_ms_bad_auth_total", "Map-Registers rejected for bad authentication.", &m.BadAuth, l)
+	r.RegisterCounter("pcelisp_ms_forwarded_total", "Map-Requests forwarded to a registered ETR.", &m.Forwarded, l)
+	r.RegisterCounter("pcelisp_ms_negatives_total", "Negative Map-Replies sent for unregistered prefixes.", &m.Negatives, l)
+	r.RegisterCounter("pcelisp_ms_notifies_sent_total", "Map-Notify messages sent.", &m.NotifiesSent, l)
+}
+
+func (m *msMetrics) snapshot() MapServerStats {
+	return MapServerStats{
+		Registers:    m.Registers.Load(),
+		BadAuth:      m.BadAuth.Load(),
+		Forwarded:    m.Forwarded.Load(),
+		Negatives:    m.Negatives.Load(),
+		NotifiesSent: m.NotifiesSent.Load(),
+	}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (ms *MapServer) Stats() MapServerStats { return ms.met.snapshot() }
+
+// RegisterMetrics publishes the server's counters on r under
+// pcelisp_ms_* with a node label.
+func (ms *MapServer) RegisterMetrics(r *obs.Registry) {
+	ms.met.register(r, ms.agent.node.Name())
 }
 
 type registeredSite struct {
@@ -64,15 +101,15 @@ func (ms *MapServer) RegisteredSites() int { return ms.sites.Len() }
 
 func (ms *MapServer) onRegister(src netaddr.Addr, m *packet.LISPMapRegister) {
 	if !m.VerifyAuth(ms.authKey) {
-		ms.Stats.BadAuth++
+		ms.met.BadAuth.Inc()
 		return
 	}
-	ms.Stats.Registers++
+	ms.met.Registers.Inc()
 	for _, r := range m.Records {
 		ms.sites.Insert(r.EIDPrefix, registeredSite{record: r, etrAddr: src})
 	}
 	if m.WantNotify {
-		ms.Stats.NotifiesSent++
+		ms.met.NotifiesSent.Inc()
 		notify := &packet.LISPMapNotify{LISPMapRegister: packet.LISPMapRegister{
 			Nonce: m.Nonce, KeyID: m.KeyID, AuthKey: ms.authKey, Records: m.Records,
 		}}
@@ -87,11 +124,11 @@ func (ms *MapServer) onRequest(src netaddr.Addr, m *packet.LISPMapRequest) {
 	eid := m.EIDPrefixes[0].Addr()
 	site, _, ok := ms.sites.Lookup(eid)
 	if !ok {
-		ms.Stats.Negatives++
+		ms.met.Negatives.Inc()
 		ms.agent.Send(m.ITRRLOCs[0], &packet.LISPMapReply{Nonce: m.Nonce, KeyID: 1, AuthKey: ms.ReplySignKey})
 		return
 	}
-	ms.Stats.Forwarded++
+	ms.met.Forwarded.Inc()
 	ms.agent.SendECM(site.etrAddr, m)
 }
 
@@ -119,8 +156,7 @@ type MapResolver struct {
 
 	busyUntil simnet.Time
 
-	// Stats counts resolver activity.
-	Stats MapResolverStats
+	met mrMetrics
 }
 
 // MapResolverStats counts map-resolver activity.
@@ -131,6 +167,38 @@ type MapResolverStats struct {
 	QueueDrops uint64
 	// QuotaDrops counts requests shed by the per-source quota.
 	QuotaDrops uint64
+}
+
+// mrMetrics is the live counter set behind MapResolverStats, plus the
+// instantaneous service-queue depth in slots.
+type mrMetrics struct {
+	Forwarded  obs.Counter
+	QueueDrops obs.Counter
+	QuotaDrops obs.Counter
+	QueueDepth obs.Gauge
+}
+
+func (m *mrMetrics) register(r *obs.Registry, node string) {
+	l := obs.Label{Key: "node", Value: node}
+	r.RegisterCounter("pcelisp_mr_forwarded_total", "Map-Requests forwarded to the map-server.", &m.Forwarded, l)
+	r.RegisterCounter("pcelisp_mr_queue_drops_total", "Map-Requests shed because the service backlog exceeded QueueCap.", &m.QueueDrops, l)
+	r.RegisterCounter("pcelisp_mr_quota_drops_total", "Map-Requests shed by the per-source quota.", &m.QuotaDrops, l)
+	r.RegisterGauge("pcelisp_mr_queue_depth", "Service-queue backlog in request slots.", &m.QueueDepth, l)
+}
+
+// Stats returns a snapshot of the resolver's counters.
+func (mr *MapResolver) Stats() MapResolverStats {
+	return MapResolverStats{
+		Forwarded:  mr.met.Forwarded.Load(),
+		QueueDrops: mr.met.QueueDrops.Load(),
+		QuotaDrops: mr.met.QuotaDrops.Load(),
+	}
+}
+
+// RegisterMetrics publishes the resolver's counters on r under
+// pcelisp_mr_* with a node label.
+func (mr *MapResolver) RegisterMetrics(r *obs.Registry) {
+	mr.met.register(r, mr.agent.node.Name())
 }
 
 // NewMapResolver attaches a map-resolver to node at addr, forwarding to
@@ -144,11 +212,11 @@ func NewMapResolver(node *simnet.Node, addr, ms netaddr.Addr) *MapResolver {
 func (mr *MapResolver) onRequest(src netaddr.Addr, m *packet.LISPMapRequest) {
 	now := mr.agent.node.Sim().Now()
 	if mr.Quota != nil && !mr.Quota.Allow(now, src) {
-		mr.Stats.QuotaDrops++
+		mr.met.QuotaDrops.Inc()
 		return
 	}
 	if mr.ServiceRate <= 0 {
-		mr.Stats.Forwarded++
+		mr.met.Forwarded.Inc()
 		mr.agent.SendECM(mr.ms, m)
 		return
 	}
@@ -162,10 +230,11 @@ func (mr *MapResolver) onRequest(src netaddr.Addr, m *packet.LISPMapRequest) {
 		start = now
 	}
 	if start-now > cost*simnet.Time(cap) {
-		mr.Stats.QueueDrops++
+		mr.met.QueueDrops.Inc()
 		return
 	}
 	mr.busyUntil = start + cost
+	mr.met.QueueDepth.Set(int64((mr.busyUntil - now) / cost))
 	// Each queued request carries its own completion timer: the queue
 	// itself is implicit in busyUntil, so no container to drain.
 	mr.agent.node.Sim().ScheduleTimer(mr.busyUntil-now, mr, simnet.TimerArg{P: m})
@@ -174,7 +243,8 @@ func (mr *MapResolver) onRequest(src netaddr.Addr, m *packet.LISPMapRequest) {
 // OnTimer implements simnet.TimerHandler: one request leaves the service
 // queue and is forwarded to the map-server.
 func (mr *MapResolver) OnTimer(arg simnet.TimerArg) {
-	mr.Stats.Forwarded++
+	mr.met.Forwarded.Inc()
+	mr.met.QueueDepth.Add(-1)
 	mr.agent.SendECM(mr.ms, arg.P.(*packet.LISPMapRequest))
 }
 

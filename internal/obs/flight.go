@@ -1,0 +1,192 @@
+// The control-plane flight recorder: a fixed ring of typed decision
+// events. Protocol code Records control-plane decisions as they happen
+// (never per-packet work); the ring keeps the most recent window, and
+// Dump reconstructs it oldest-first for the admin endpoint or an
+// experiment driver. Timestamps come from the caller's runtime clock —
+// virtual time in the simulator, monotonic time in the daemon — so sim
+// and real traces are directly comparable.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint8
+
+// The decision points the recorder captures.
+const (
+	// KMapRequest: a resolution left the xTR/requester toward the
+	// mapping system (or a PCED MapFetch toward a PCES).
+	KMapRequest EventKind = iota
+	// KMapReply: a mapping answer arrived and was accepted.
+	KMapReply
+	// KMappingInstall: a mapping entered an ITR cache.
+	KMappingInstall
+	// KMappingReject: an install was refused (overclaim floor, bad
+	// prefix).
+	KMappingReject
+	// KProbeUp / KProbeDown: RLOC probing flipped a locator's
+	// reachability.
+	KProbeUp
+	KProbeDown
+	// KWeightPush: the PCE announced new locator weights.
+	KWeightPush
+	// KDefenseReject: a defense layer discarded control traffic (auth
+	// failure, quota, queue overflow, glean rate limit).
+	KDefenseReject
+)
+
+var kindNames = [...]string{
+	KMapRequest:     "map-request",
+	KMapReply:       "map-reply",
+	KMappingInstall: "mapping-install",
+	KMappingReject:  "mapping-reject",
+	KProbeUp:        "probe-up",
+	KProbeDown:      "probe-down",
+	KWeightPush:     "weight-push",
+	KDefenseReject:  "defense-reject",
+}
+
+// String returns the stable wire name of the kind.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one recorded control-plane decision.
+type Event struct {
+	// At is the runtime clock at the decision (virtual time in the sim,
+	// time since daemon start for real runs).
+	At time.Duration
+	// Kind classifies the decision.
+	Kind EventKind
+	// Node names the host that decided.
+	Node string
+	// EID is the prefix the decision concerns (zero when inapplicable).
+	EID netaddr.Prefix
+	// RLOC is the locator involved (zero when inapplicable).
+	RLOC netaddr.Addr
+	// Note carries kind-specific detail (reject reason, weight vector).
+	Note string
+}
+
+// MarshalJSON renders the event with human-readable kind and addresses.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		At   string `json:"at"`
+		Kind string `json:"kind"`
+		Node string `json:"node,omitempty"`
+		EID  string `json:"eid,omitempty"`
+		RLOC string `json:"rloc,omitempty"`
+		Note string `json:"note,omitempty"`
+	}
+	w := wire{At: e.At.String(), Kind: e.Kind.String(), Node: e.Node, Note: e.Note}
+	if e.EID.Bits() > 0 || e.EID.Addr().IsValid() {
+		w.EID = e.EID.String()
+	}
+	if e.RLOC.IsValid() {
+		w.RLOC = e.RLOC.String()
+	}
+	return json.Marshal(w)
+}
+
+// FlightRecorder is a fixed-size ring of Events. A nil *FlightRecorder
+// is valid and records nothing, so protocol code calls Record
+// unconditionally. All methods are safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	total uint64 // events ever recorded; total % len(ring) is the next slot
+}
+
+// DefaultRingSize is the ring capacity NewFlightRecorder(0) uses.
+const DefaultRingSize = 4096
+
+// NewFlightRecorder returns a recorder keeping the last size events
+// (DefaultRingSize when size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &FlightRecorder{ring: make([]Event, size)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. No-op on a nil recorder.
+func (r *FlightRecorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.total%uint64(len(r.ring))] = ev
+	r.total++
+	r.mu.Unlock()
+}
+
+// TotalRecorded returns how many events were ever recorded (including
+// ones the ring has since overwritten). Zero on a nil recorder.
+func (r *FlightRecorder) TotalRecorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dump returns the retained events oldest-first. Safe to call while
+// recording continues; the snapshot is consistent. Nil on a nil
+// recorder.
+func (r *FlightRecorder) Dump() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	cap64 := uint64(len(r.ring))
+	if n > cap64 {
+		n = cap64
+	}
+	out := make([]Event, 0, n)
+	start := r.total - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.ring[(start+i)%cap64])
+	}
+	return out
+}
+
+// Filter returns the retained events of the given kind, oldest-first —
+// the queryable-trace entry point experiment drivers use.
+func (r *FlightRecorder) Filter(k EventKind) []Event {
+	var out []Event
+	for _, ev := range r.Dump() {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteJSON dumps the ring as a JSON document for the admin endpoint.
+func (r *FlightRecorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Total    uint64  `json:"total_recorded"`
+		Retained int     `json:"retained"`
+		Events   []Event `json:"events"`
+	}{}
+	doc.Events = r.Dump()
+	doc.Total = r.TotalRecorded()
+	doc.Retained = len(doc.Events)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

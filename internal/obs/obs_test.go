@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pcelisp/pcelisp/internal/netaddr"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Init([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Fatalf("sum = %g, want 56.05", got)
+	}
+	// Cumulative: <=0.1 → 1, <=1 → 3, <=10 → 4, +Inf → 5.
+	for i, want := range []uint64{1, 3, 4} {
+		if got := h.Bucket(i); got != want {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	r.RegisterCounter("x_total", "x", &a, Label{"node", "n1"})
+	r.RegisterCounter("x_total", "x", &b, Label{"node", "n2"}) // distinct labels OK
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate series")
+		}
+	}()
+	r.RegisterCounter("x_total", "x", &b, Label{"node", "n1"})
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.RegisterCounter("y_total", "y", &c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	var g Gauge
+	r.RegisterGauge("y_total", "y", &g)
+}
+
+func TestGetOrCreateReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dns_queries_total", "q", Label{"view", "internal"})
+	a.Add(3)
+	// Same (name, labels) after e.g. a config reload: same live counter.
+	b := r.Counter("dns_queries_total", "q", Label{"view", "internal"})
+	if a != b {
+		t.Fatal("get-or-create returned a different counter for the same series")
+	}
+	if b.Load() != 3 {
+		t.Fatalf("counter lost its value across re-registration: %d", b.Load())
+	}
+	if v, ok := r.Value("dns_queries_total", Label{"view", "internal"}); !ok || v != 3 {
+		t.Fatalf("Value = %v, %v; want 3, true", v, ok)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	var c Counter
+	r.RegisterCounter("n_total", "n", &c)
+	r.Counter("m_total", "m").Inc()
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Value("n_total"); ok {
+		t.Fatal("nil registry claims to hold a value")
+	}
+}
+
+// TestPrometheusExposition parses every line of the exposition and
+// checks the text-format conventions: HELP/TYPE precede samples, names
+// and label keys are legal, counter families end in _total, histograms
+// emit _bucket/_sum/_count with a +Inf bucket, and families appear in
+// sorted order.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	var c1, c2 Counter
+	var g Gauge
+	var h Histogram
+	h.Init([]float64{0.01, 0.1, 1})
+	r.RegisterCounter("pcelisp_b_packets_total", "b packets", &c1, Label{"node", "a"}, Label{"dir", "rx"})
+	r.RegisterCounter("pcelisp_b_packets_total", "b packets", &c2, Label{"node", "a"}, Label{"dir", "tx"})
+	r.RegisterGauge("pcelisp_a_queue_depth", "queue depth", &g)
+	r.RegisterHistogram("pcelisp_c_latency_seconds", "latency", &h, Label{"node", "a"})
+	c1.Add(2)
+	g.Set(-1)
+	h.Observe(0.05)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	sawType := map[string]string{}
+	var familyOrder []string
+	var sampleCount int
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if parts[1] == "TYPE" {
+				sawType[parts[2]] = parts[3]
+				familyOrder = append(familyOrder, parts[2])
+			}
+			continue
+		}
+		sampleCount++
+		// name{labels} value
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		for _, r := range name {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Fatalf("illegal metric name char %q in %q", r, line)
+			}
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && sawType[strings.TrimSuffix(name, suf)] == "histogram" {
+				fam = strings.TrimSuffix(name, suf)
+			}
+		}
+		typ, ok := sawType[fam]
+		if !ok {
+			t.Fatalf("sample %q precedes its TYPE line", line)
+		}
+		if typ == "counter" && !strings.HasSuffix(fam, "_total") {
+			t.Fatalf("counter family %q does not end in _total", fam)
+		}
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces in %q", line)
+			}
+			for _, pair := range strings.Split(line[i+1:j], ",") {
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 || !strings.HasPrefix(kv[1], `"`) || !strings.HasSuffix(kv[1], `"`) {
+					t.Fatalf("malformed label %q in %q", pair, line)
+				}
+			}
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("sample line %q has no value", line)
+		}
+	}
+	if got := len(familyOrder); got != 3 {
+		t.Fatalf("family count = %d, want 3", got)
+	}
+	for i := 1; i < len(familyOrder); i++ {
+		if familyOrder[i-1] >= familyOrder[i] {
+			t.Fatalf("families out of order: %v", familyOrder)
+		}
+	}
+	// 2 counters + 1 gauge + histogram (3 bounds + Inf + sum + count).
+	if want := 2 + 1 + 6; sampleCount != want {
+		t.Fatalf("sample lines = %d, want %d\n%s", sampleCount, want, text)
+	}
+	if !strings.Contains(text, `le="+Inf"`) {
+		t.Fatal("histogram missing +Inf bucket")
+	}
+	if !strings.Contains(text, `pcelisp_b_packets_total{dir="rx",node="a"} 2`) {
+		t.Fatalf("counter sample missing or labels unsorted:\n%s", text)
+	}
+}
+
+func TestCounterHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	var h Histogram
+	h.Init([]float64{0.01, 0.1, 1})
+	r.RegisterCounter("z_total", "z", &c)
+	r.RegisterHistogram("z_seconds", "z", &h)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(0.5)
+	}); n != 0 {
+		t.Fatalf("metric update allocates %v/op, want 0", n)
+	}
+	var rec *FlightRecorder
+	if n := testing.AllocsPerRun(100, func() { rec.Record(Event{Kind: KMapReply}) }); n != 0 {
+		t.Fatalf("nil recorder Record allocates %v/op, want 0", n)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: time.Duration(i), Kind: KMappingInstall, Note: fmt.Sprintf("ev%d", i)})
+	}
+	if got := r.TotalRecorded(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	evs := r.Dump()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := time.Duration(6 + i); ev.At != want {
+			t.Fatalf("dump[%d].At = %v, want %v (oldest-first)", i, ev.At, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Record(Event{At: 1, Kind: KProbeDown})
+	r.Record(Event{At: 2, Kind: KProbeUp})
+	evs := r.Dump()
+	if len(evs) != 2 || evs[0].At != 1 || evs[1].At != 2 {
+		t.Fatalf("partial dump wrong: %+v", evs)
+	}
+	if got := len(r.Filter(KProbeUp)); got != 1 {
+		t.Fatalf("Filter(KProbeUp) = %d events, want 1", got)
+	}
+}
+
+// TestFlightRecorderConcurrentDump hammers the ring from writer
+// goroutines while a reader dumps continuously — the -race guard for
+// live /flightrecorder scrapes of a running daemon.
+func TestFlightRecorderConcurrentDump(t *testing.T) {
+	r := NewFlightRecorder(64)
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := Event{Kind: KWeightPush, Node: "n", RLOC: netaddr.MustParseAddr("10.0.0.1")}
+			for i := 0; i < perWriter; i++ {
+				ev.At = time.Duration(i)
+				r.Record(ev)
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		evs := r.Dump()
+		if len(evs) > 64 {
+			t.Errorf("dump retained %d > ring size", len(evs))
+			break
+		}
+		_ = r.TotalRecorded()
+	}
+	wg.Wait()
+	if got := r.TotalRecorded(); got != 4*perWriter {
+		t.Fatalf("total recorded = %d, want %d", got, 4*perWriter)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"kind": "weight-push"`) {
+		t.Fatalf("JSON dump missing events:\n%.300s", sb.String())
+	}
+}

@@ -16,25 +16,62 @@ package overlay
 
 import (
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/packet"
 	"github.com/pcelisp/pcelisp/internal/runtime"
 )
 
-// Stats counts host activity. Counters are only touched on the loop
-// goroutine; read them after Close or from posted thunks.
+// Stats is a snapshot of host activity; read it via Host.Stats.
 type Stats struct {
 	RxFrames      uint64
 	TxFrames      uint64
 	Consumed      uint64 // frames consumed by a sniffer
 	NoRoute       uint64 // frames with no local bind and no peer route
 	Unhandled     uint64 // local frames with no matching binding
-	Malformed     uint64
+	Malformed     uint64 // frames that failed to decode
 	MulticastDrop uint64
+}
+
+// hostMetrics is the live counter set behind Stats. The counters are
+// atomic, so a scraping admin endpoint reads them without posting to the
+// loop.
+type hostMetrics struct {
+	RxFrames      obs.Counter
+	TxFrames      obs.Counter
+	Consumed      obs.Counter
+	NoRoute       obs.Counter
+	Unhandled     obs.Counter
+	DecodeErrors  obs.Counter
+	MulticastDrop obs.Counter
+}
+
+func (m *hostMetrics) register(r *obs.Registry, node string) {
+	l := obs.Label{Key: "node", Value: node}
+	r.RegisterCounter("pcelisp_overlay_rx_frames_total", "Frames received by the host socket (including loopback deliveries).", &m.RxFrames, l)
+	r.RegisterCounter("pcelisp_overlay_tx_frames_total", "Frames forwarded to a peer socket.", &m.TxFrames, l)
+	r.RegisterCounter("pcelisp_overlay_consumed_total", "Frames consumed by a sniffer (PCE bump-in-the-wire).", &m.Consumed, l)
+	r.RegisterCounter("pcelisp_overlay_no_route_drops_total", "Frames dropped with no local bind and no peer route.", &m.NoRoute, l)
+	r.RegisterCounter("pcelisp_overlay_unhandled_total", "Local frames with no matching binding.", &m.Unhandled, l)
+	r.RegisterCounter("pcelisp_overlay_decode_errors_total", "Frames dropped because IPv4/UDP decoding failed.", &m.DecodeErrors, l)
+	r.RegisterCounter("pcelisp_overlay_multicast_drops_total", "Outbound multicast frames dropped (no multicast fabric).", &m.MulticastDrop, l)
+}
+
+func (m *hostMetrics) snapshot() Stats {
+	return Stats{
+		RxFrames:      m.RxFrames.Load(),
+		TxFrames:      m.TxFrames.Load(),
+		Consumed:      m.Consumed.Load(),
+		NoRoute:       m.NoRoute.Load(),
+		Unhandled:     m.Unhandled.Load(),
+		Malformed:     m.DecodeErrors.Load(),
+		MulticastDrop: m.MulticastDrop.Load(),
+	}
 }
 
 type bindKey struct {
@@ -66,8 +103,26 @@ type Host struct {
 	closeOnce sync.Once
 	readDone  chan struct{}
 
-	Stats Stats
+	met hostMetrics
+
+	// Logf, when set before Start, replaces log.Printf for the host's
+	// once-per-source drop diagnostics (tests capture it).
+	Logf func(format string, args ...any)
+
+	// dropLogged dedups drop diagnostics: one log line per (reason,
+	// source) pair, bounded so a spoofed-source flood cannot grow it
+	// without limit. Loop-goroutine confined, like the drop paths.
+	dropLogged map[dropKey]struct{}
 }
+
+type dropKey struct {
+	reason string
+	src    netaddr.Addr
+}
+
+// maxDropLogSources bounds dropLogged; past it, drops are still counted
+// but no longer logged for new sources.
+const maxDropLogSources = 1024
 
 // New binds a host socket on listen (e.g. "127.0.0.1:0") attached to the
 // given loop. Call AddAddr/SetPeer/Bind*/AddFrameSniffer, then Start.
@@ -81,15 +136,42 @@ func New(name string, loop *runtime.Loop, listen string) (*Host, error) {
 		return nil, fmt.Errorf("overlay: bind %q: %w", listen, err)
 	}
 	return &Host{
-		name:     name,
-		loop:     loop,
-		conn:     conn,
-		addrs:    make(map[netaddr.Addr]struct{}),
-		peers:    netaddr.NewTrie[*net.UDPAddr](),
-		binds:    make(map[bindKey]runtime.UDPHandler),
-		rawBinds: make(map[uint16]runtime.RawUDPHandler),
-		readDone: make(chan struct{}),
+		name:       name,
+		loop:       loop,
+		conn:       conn,
+		addrs:      make(map[netaddr.Addr]struct{}),
+		peers:      netaddr.NewTrie[*net.UDPAddr](),
+		binds:      make(map[bindKey]runtime.UDPHandler),
+		rawBinds:   make(map[uint16]runtime.RawUDPHandler),
+		readDone:   make(chan struct{}),
+		dropLogged: make(map[dropKey]struct{}),
 	}, nil
+}
+
+// Stats returns a snapshot of the host's counters.
+func (h *Host) Stats() Stats { return h.met.snapshot() }
+
+// RegisterMetrics publishes the host's counters on r under
+// pcelisp_overlay_* with a node label. Call before Start.
+func (h *Host) RegisterMetrics(r *obs.Registry) {
+	h.met.register(r, h.name)
+}
+
+// logDrop emits one diagnostic line per (reason, source) pair — a silent
+// NoRoute++ hid a whole class of misconfigured peer tables, while
+// per-frame logging would melt under a flood.
+func (h *Host) logDrop(reason string, data []byte) {
+	src, _ := packet.PeekIPv4Src(data) // invalid addr = "unparseable source"
+	k := dropKey{reason: reason, src: src}
+	if _, seen := h.dropLogged[k]; seen || len(h.dropLogged) >= maxDropLogSources {
+		return
+	}
+	h.dropLogged[k] = struct{}{}
+	logf := h.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("overlay %s: dropping frames from %v: %s (further drops from this source counted but not logged)", h.name, src, reason)
 }
 
 // RealAddr returns the socket's real address (for peering other hosts).
@@ -109,6 +191,24 @@ func (h *Host) SetPeer(p netaddr.Prefix, ra *net.UDPAddr) {
 	h.mu.Lock()
 	h.peers.Insert(p, ra)
 	h.mu.Unlock()
+}
+
+// PeerRoute is one peer-table entry, as reported by Peers.
+type PeerRoute struct {
+	Prefix   string `json:"prefix"`
+	Endpoint string `json:"endpoint"`
+}
+
+// Peers snapshots the peer table (the admin endpoint's /statusz view).
+func (h *Host) Peers() []PeerRoute {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []PeerRoute
+	h.peers.Walk(func(p netaddr.Prefix, ra *net.UDPAddr) bool {
+		out = append(out, PeerRoute{Prefix: p.String(), Endpoint: ra.String()})
+		return true
+	})
+	return out
 }
 
 // Start launches the socket reader. Frames are copied off the read buffer
@@ -151,16 +251,17 @@ func (h *Host) readLoop() {
 // first (ingress inspection — the PCE's bump-in-the-wire placement), then
 // local delivery or peer forwarding.
 func (h *Host) receive(data []byte) {
-	h.Stats.RxFrames++
+	h.met.RxFrames.Inc()
 	for _, s := range h.sniffers {
 		if s(data) == runtime.VerdictConsume {
-			h.Stats.Consumed++
+			h.met.Consumed.Inc()
 			return
 		}
 	}
 	dst, ok := packet.PeekIPv4Dst(data)
 	if !ok {
-		h.Stats.Malformed++
+		h.met.DecodeErrors.Inc()
+		h.logDrop("frame decode failure", data)
 		return
 	}
 	if h.HasAddr(dst) {
@@ -188,17 +289,19 @@ func (h *Host) deliver(dst netaddr.Addr, data []byte) {
 	pk := packet.NewPacket(data, packet.LayerTypeIPv4, packet.NoCopy)
 	ipl := pk.Layer(packet.LayerTypeIPv4)
 	if ipl == nil {
-		h.Stats.Malformed++
+		h.met.DecodeErrors.Inc()
+		h.logDrop("frame decode failure", data)
 		return
 	}
 	ip := ipl.(*packet.IPv4)
 	if ip.Protocol != packet.IPProtocolUDP {
-		h.Stats.Unhandled++
+		h.met.Unhandled.Inc()
 		return
 	}
 	udpl := pk.Layer(packet.LayerTypeUDP)
 	if udpl == nil {
-		h.Stats.Malformed++
+		h.met.DecodeErrors.Inc()
+		h.logDrop("frame decode failure", data)
 		return
 	}
 	udp := udpl.(*packet.UDP)
@@ -210,7 +313,7 @@ func (h *Host) deliver(dst netaddr.Addr, data []byte) {
 		bh(ip.SrcIP, ip.DstIP, udp)
 		return
 	}
-	h.Stats.Unhandled++
+	h.met.Unhandled.Inc()
 }
 
 // forward routes a frame to the peer owning its destination.
@@ -219,10 +322,11 @@ func (h *Host) forward(dst netaddr.Addr, data []byte) {
 	ra, _, ok := h.peers.Lookup(dst)
 	h.mu.RUnlock()
 	if !ok {
-		h.Stats.NoRoute++
+		h.met.NoRoute.Inc()
+		h.logDrop("no peer route", data)
 		return
 	}
-	h.Stats.TxFrames++
+	h.met.TxFrames.Inc()
 	h.conn.WriteToUDP(data, ra)
 }
 
@@ -265,13 +369,14 @@ func (h *Host) RouteUp(dst netaddr.Addr) bool {
 func (h *Host) Output(data []byte) error {
 	dst, ok := packet.PeekIPv4Dst(data)
 	if !ok {
-		h.Stats.Malformed++
+		h.met.DecodeErrors.Inc()
+		h.logDrop("frame decode failure", data)
 		return fmt.Errorf("overlay: malformed frame")
 	}
 	if dst.IsMulticast() {
 		// No multicast fabric: daemons run with an invalid group so the
 		// control plane unicasts instead; anything else is dropped.
-		h.Stats.MulticastDrop++
+		h.met.MulticastDrop.Inc()
 		return nil
 	}
 	if h.HasAddr(dst) {
@@ -280,7 +385,7 @@ func (h *Host) Output(data []byte) error {
 	}
 	for _, s := range h.sniffers {
 		if s(data) == runtime.VerdictConsume {
-			h.Stats.Consumed++
+			h.met.Consumed.Inc()
 			return nil
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"github.com/pcelisp/pcelisp/internal/dnssim"
 	"github.com/pcelisp/pcelisp/internal/lisp"
 	"github.com/pcelisp/pcelisp/internal/netaddr"
+	"github.com/pcelisp/pcelisp/internal/obs"
 	"github.com/pcelisp/pcelisp/internal/simnet"
 )
 
@@ -53,6 +54,15 @@ type Spec struct {
 	RootDelay, TLDDelay time.Duration
 	// DNSRecordTTL is the TTL of host A records in seconds (default 300).
 	DNSRecordTTL uint32
+	// Obs, when non-nil, registers every xTR's counters on this registry
+	// (series are labeled by node name, unique within one world; do not
+	// share a registry across worlds).
+	Obs *obs.Registry
+	// Recorder, when non-nil, receives control-plane flight events from
+	// every xTR in the world. Recording never draws from the simulation
+	// RNG and schedules nothing, so traces stay byte-identical with it
+	// on or off.
+	Recorder *obs.FlightRecorder
 }
 
 // DomainSpec describes one LISP domain.
@@ -402,6 +412,8 @@ func (in *Internet) buildDomain(spec *Spec, idx int, rng *rand.Rand) {
 			MissPolicy:     ds.MissPolicy,
 			OverclaimFloor: ds.OverclaimFloor,
 			GleanRateLimit: ds.GleanRateLimit,
+			Obs:            spec.Obs,
+			Recorder:       spec.Recorder,
 		})
 		d.XTRs = append(d.XTRs, xtr)
 	}

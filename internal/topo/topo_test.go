@@ -102,8 +102,8 @@ func TestEIDsNotRoutableNatively(t *testing.T) {
 		t.Fatal("EID-addressed packet must not cross the core natively")
 	}
 	// With MissDrop and no mapping, the xTR counted the drop.
-	if in.Domain(0).XTRs[0].Stats.CacheMissDrops != 1 {
-		t.Fatalf("drops = %d", in.Domain(0).XTRs[0].Stats.CacheMissDrops)
+	if in.Domain(0).XTRs[0].Stats().CacheMissDrops != 1 {
+		t.Fatalf("drops = %d", in.Domain(0).XTRs[0].Stats().CacheMissDrops)
 	}
 }
 
@@ -127,8 +127,8 @@ func TestLISPDeliveryWithManualMapping(t *testing.T) {
 	if got != "tunneled" {
 		t.Fatal("LISP delivery across the built internet failed")
 	}
-	if d0.XTRs[0].Stats.EncapPackets != 1 || d1.XTRs[0].Stats.DecapPackets != 1 {
-		t.Fatalf("encap=%d decap=%d", d0.XTRs[0].Stats.EncapPackets, d1.XTRs[0].Stats.DecapPackets)
+	if d0.XTRs[0].Stats().EncapPackets != 1 || d1.XTRs[0].Stats().DecapPackets != 1 {
+		t.Fatalf("encap=%d decap=%d", d0.XTRs[0].Stats().EncapPackets, d1.XTRs[0].Stats().DecapPackets)
 	}
 }
 
@@ -160,8 +160,8 @@ func TestSplitXTRs(t *testing.T) {
 	if !got {
 		t.Fatal("delivery via secondary xTR failed")
 	}
-	if d1.XTRs[1].Stats.DecapPackets != 1 {
-		t.Fatalf("secondary xTR decaps = %d", d1.XTRs[1].Stats.DecapPackets)
+	if d1.XTRs[1].Stats().DecapPackets != 1 {
+		t.Fatalf("secondary xTR decaps = %d", d1.XTRs[1].Stats().DecapPackets)
 	}
 }
 

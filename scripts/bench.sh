@@ -13,9 +13,12 @@
 #   BENCH            benchmark filter regex (default: all)
 #
 # The JSON (see cmd/benchjson) records ns/op, B/op and allocs/op per
-# benchmark; BENCH_PR6.json in the repository root is the committed
-# baseline for the PR 6 batched data plane (BENCH_PR3.json is the
-# previous baseline, kept for the perf trajectory in EXPERIMENTS.md).
+# benchmark; BENCH_PR10.json in the repository root is the committed
+# baseline for the PR 10 observability layer — recorded to prove the
+# instrumented hot paths allocate exactly what the PR 6 batched data
+# plane did (BENCH_PR6.json, which the CI regression gate still diffs
+# against; BENCH_PR3.json is kept for the perf trajectory in
+# EXPERIMENTS.md).
 # The root-package pass includes BenchmarkSimThroughputSharded, which
 # records the lock-step sharded engine at 1 and 4 shards (the 4-shard
 # speedup only materializes on a 4+ core machine).
@@ -29,7 +32,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR10.json}"
 BENCHTIME="${BENCHTIME:-300x}"
 MICRO_BENCHTIME="${MICRO_BENCHTIME:-200000x}"
 BENCH="${BENCH:-.}"
